@@ -1,0 +1,502 @@
+//! Algorithm 2 — bottleneck elimination via operator fission, plus the
+//! §3.2 hold-off replication heuristic.
+
+use crate::{key_partitioning, key_partitioning_for_rho, steady_state_with_rates, OperatorMetrics, SteadyStateReport};
+use serde::{Deserialize, Serialize};
+use spinstreams_core::{
+    topological_order, OperatorId, ServiceRate, StateClass, Topology,
+};
+
+/// Numerical slack on the `ρ > 1` bottleneck test (see Algorithm 1).
+const RHO_EPSILON: f64 = 1e-9;
+
+/// The result of bottleneck elimination: a replication degree per operator
+/// and the predicted steady state of the parallelized topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FissionPlan {
+    /// Replication degree per operator (1 = not replicated).
+    pub replicas: Vec<usize>,
+    /// Per-operator steady-state metrics *after* fission.
+    pub metrics: Vec<OperatorMetrics>,
+    /// Predicted throughput of the parallelized topology.
+    pub throughput: ServiceRate,
+    /// Bottlenecks that could **not** be removed: pure stateful operators,
+    /// or partitioned-stateful operators whose key skew defeats fission.
+    pub residual_bottlenecks: Vec<OperatorId>,
+    /// Total vertex visits performed.
+    pub visits: usize,
+}
+
+impl FissionPlan {
+    /// Total number of replicas `N = Σᵢ nᵢ` in the plan.
+    pub fn total_replicas(&self) -> usize {
+        self.replicas.iter().sum()
+    }
+
+    /// Number of *additional* replicas beyond one per operator (the
+    /// quantity plotted in Figure 9a).
+    pub fn additional_replicas(&self) -> usize {
+        self.replicas.iter().map(|n| n - 1).sum()
+    }
+
+    /// True if fission removed every bottleneck.
+    pub fn ideal(&self) -> bool {
+        self.residual_bottlenecks.is_empty()
+    }
+}
+
+/// The effective aggregate service rate (items/s) of operator `id` when run
+/// with `n` replicas.
+///
+/// * stateless — `n·µ` (items split evenly, e.g. round-robin);
+/// * partitioned-stateful — `µ / p_max(n)` where `p_max` is the input
+///   fraction of the most loaded replica under the LPT key assignment;
+/// * stateful — `µ` regardless of `n` (fission is not applicable).
+pub fn effective_service_rate(topo: &Topology, id: OperatorId, n: usize) -> f64 {
+    let op = topo.operator(id);
+    let mu = op.service_rate().items_per_sec();
+    if n <= 1 {
+        return mu;
+    }
+    match &op.state {
+        StateClass::Stateless => mu * n as f64,
+        StateClass::PartitionedStateful { keys } => {
+            let assign = key_partitioning(keys, n);
+            mu / assign.max_fraction
+        }
+        StateClass::Stateful => mu,
+    }
+}
+
+/// Runs Algorithm 2 on `topo`.
+///
+/// Visits operators in topological order computing `λ` and `ρ` as in
+/// Algorithm 1; at each bottleneck:
+///
+/// * **stateless** — replicate with `n = ⌈ρ⌉`, which always unblocks;
+/// * **partitioned-stateful** — call [`key_partitioning`]; if the most
+///   loaded replica still saturates (`λ·p_max > µ`, possible with skewed
+///   keys), cap the degree at the useful number of replicas, fold the
+///   residual backpressure into the source (Theorem 3.2) and restart;
+/// * **stateful** — fission is impossible: fold the backpressure into the
+///   source and restart.
+///
+/// Replication degrees are recomputed from scratch on every restart, so a
+/// later stateful bottleneck correctly *reduces* the parallelism needed
+/// upstream.
+pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
+    let order = topological_order(topo);
+    let n = topo.num_operators();
+    let src = topo.source();
+
+    let base_mu: Vec<f64> = topo
+        .operators()
+        .iter()
+        .map(|op| op.service_rate().items_per_sec())
+        .collect();
+    let src_factor = topo.operator(src).selectivity.rate_factor();
+    let mut delta_src = base_mu[src.0] * src_factor;
+
+    let mut arrival = vec![0.0f64; n];
+    let mut rho = vec![0.0f64; n];
+    let mut departure = vec![0.0f64; n];
+    let mut replicas = vec![1usize; n];
+    // Operators whose bottleneck forced a Theorem 3.2 source correction in
+    // *some* pass; persists across restarts, filtered by final saturation.
+    let mut residual_mark = vec![false; n];
+    let mut visits = 0usize;
+
+    'restart: loop {
+        replicas.iter_mut().for_each(|r| *r = 1);
+        departure[src.0] = delta_src;
+        rho[src.0] = delta_src / (base_mu[src.0] * src_factor);
+        arrival[src.0] = 0.0;
+        visits += 1;
+
+        for &id in order.iter().skip(1) {
+            visits += 1;
+            let i = id.0;
+            let mut lambda = 0.0;
+            for &eid in topo.in_edges(id) {
+                let e = topo.edge(eid);
+                lambda += departure[e.from.0] * e.probability;
+            }
+            arrival[i] = lambda;
+            let mu = base_mu[i];
+            let r = if mu.is_infinite() { 0.0 } else { lambda / mu };
+            let factor = topo.operator(id).selectivity.rate_factor();
+
+            if r <= 1.0 + RHO_EPSILON {
+                rho[i] = r;
+                replicas[i] = 1;
+                departure[i] = lambda.min(mu) * factor;
+                continue;
+            }
+
+            match &topo.operator(id).state {
+                StateClass::Stateless => {
+                    // n = ⌈ρ⌉ always unblocks an evenly-split stateless
+                    // operator.
+                    let ni = r.ceil() as usize;
+                    replicas[i] = ni;
+                    rho[i] = lambda / (mu * ni as f64);
+                    departure[i] = lambda * factor;
+                }
+                StateClass::PartitionedStateful { keys } => {
+                    let assign = key_partitioning_for_rho(keys, r);
+                    let rho_par = lambda * assign.max_fraction / mu;
+                    if rho_par > 1.0 + RHO_EPSILON {
+                        // Key skew defeats fission even with extra
+                        // replicas: keep only the useful ones (the degree
+                        // the heaviest share permits) and propagate the
+                        // residual backpressure to the source.
+                        let useful = ((1.0 / assign.max_fraction).ceil() as usize)
+                            .clamp(1, assign.replicas);
+                        replicas[i] = useful;
+                        residual_mark[i] = true;
+                        delta_src /= rho_par;
+                        continue 'restart;
+                    }
+                    replicas[i] = assign.replicas;
+                    rho[i] = rho_par;
+                    departure[i] = lambda * factor;
+                }
+                StateClass::Stateful => {
+                    replicas[i] = 1;
+                    residual_mark[i] = true;
+                    delta_src /= r;
+                    continue 'restart;
+                }
+            }
+        }
+        break;
+    }
+
+    // Re-derive the final per-operator metrics with the chosen degrees so
+    // residual-bottleneck utilizations are the post-correction ones.
+    let eff: Vec<f64> = (0..n)
+        .map(|i| effective_service_rate(topo, OperatorId(i), replicas[i]))
+        .collect();
+    let mut report = steady_state_with_rates(topo, &eff);
+    for (i, m) in report.metrics.iter_mut().enumerate() {
+        m.replicas = replicas[i];
+    }
+    // Residual bottlenecks: operators that forced a source correction and
+    // are still saturated in the final steady state (an early mark can be
+    // superseded by a harsher bottleneck found later).
+    let residual: Vec<OperatorId> = (0..n)
+        .filter(|i| residual_mark[*i] && report.metrics[*i].utilization >= 1.0 - 1e-6)
+        .map(OperatorId)
+        .collect();
+
+    FissionPlan {
+        replicas,
+        metrics: report.metrics,
+        throughput: report.throughput,
+        residual_bottlenecks: residual,
+        visits,
+    }
+}
+
+/// Re-runs the steady-state analysis of `topo` with an explicit replication
+/// degree per operator.
+///
+/// Used to evaluate plans modified by [`apply_replica_bound`] or chosen by
+/// hand. The metrics' `replicas` fields echo the input degrees.
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != topo.num_operators()` or any degree is zero.
+pub fn evaluate_with_replicas(topo: &Topology, replicas: &[usize]) -> SteadyStateReport {
+    assert_eq!(replicas.len(), topo.num_operators());
+    assert!(replicas.iter().all(|n| *n >= 1), "degrees must be >= 1");
+    let eff: Vec<f64> = replicas
+        .iter()
+        .enumerate()
+        .map(|(i, n)| effective_service_rate(topo, OperatorId(i), *n))
+        .collect();
+    let mut report = steady_state_with_rates(topo, &eff);
+    for (i, m) in report.metrics.iter_mut().enumerate() {
+        m.replicas = replicas[i];
+    }
+    report
+}
+
+/// §3.2 *hold-off replication*: shrinks `plan` so its total replica count
+/// does not exceed `n_max`.
+///
+/// Each degree is scaled by `r = n_max / N` (never below 1); rounding
+/// anomalies are then fixed by decrementing the largest degrees until the
+/// bound holds, exactly the "adjustments of few units" the paper describes.
+/// Returns the bounded degrees; callers evaluate them with
+/// [`evaluate_with_replicas`].
+///
+/// If the plan already fits, the degrees are returned unchanged.
+pub fn apply_replica_bound(plan: &FissionPlan, n_max: usize) -> Vec<usize> {
+    let n_total = plan.total_replicas();
+    let mut degrees = plan.replicas.clone();
+    if n_total <= n_max {
+        return degrees;
+    }
+    let r = n_max as f64 / n_total as f64;
+    for d in degrees.iter_mut() {
+        if *d > 1 {
+            *d = ((*d as f64 * r).round() as usize).max(1);
+        }
+    }
+    // The per-operator floor of 1 replica may keep the sum above the bound;
+    // trim the largest degrees first (they benefit least from one replica
+    // fewer) while any degree can still shrink.
+    loop {
+        let sum: usize = degrees.iter().sum();
+        if sum <= n_max {
+            break;
+        }
+        match degrees.iter_mut().filter(|d| **d > 1).max() {
+            Some(d) => *d -= 1,
+            None => break, // all at 1: n_max < |V| is unsatisfiable
+        }
+    }
+    degrees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_core::{KeyDistribution, OperatorSpec, Selectivity, ServiceTime, Topology};
+
+    fn stateless(name: &str, ms: f64) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(ms))
+    }
+
+    fn pipeline(specs: Vec<OperatorSpec>) -> Topology {
+        let mut b = Topology::builder();
+        let ids: Vec<_> = specs.into_iter().map(|s| b.add_operator(s)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stateless_bottleneck_gets_ceil_rho_replicas() {
+        // Figure 1: pipelined fission of the second operator.
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("slow", 3.5),
+            stateless("sink", 0.5),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas, vec![1, 4, 1]); // ⌈3.5⌉ = 4
+        assert!(plan.ideal());
+        assert!((plan.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+        assert_eq!(plan.additional_replicas(), 3);
+    }
+
+    #[test]
+    fn exact_integer_rho_uses_exactly_rho_replicas() {
+        let t = pipeline(vec![stateless("src", 1.0), stateless("x2", 2.0)]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas, vec![1, 2]);
+        assert!(plan.ideal());
+    }
+
+    #[test]
+    fn stateful_bottleneck_throttles_whole_topology() {
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            OperatorSpec::stateful("state", ServiceTime::from_millis(2.0)),
+            stateless("post", 3.0), // would need fission at 1000/s, not at 500/s
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas[1], 1);
+        assert_eq!(plan.residual_bottlenecks, vec![OperatorId(1)]);
+        assert!((plan.throughput.items_per_sec() - 500.0).abs() < 1e-6);
+        // After the stateful cap, "post" sees only 500/s: ρ = 1.5, so it is
+        // still replicated — but with 2 replicas, not the 3 the raw rate
+        // would demand.
+        assert_eq!(plan.replicas[2], 2);
+    }
+
+    #[test]
+    fn partitioned_stateful_with_uniform_keys_unblocks() {
+        // 64 uniform keys split 16/16/16/16 over ⌈ρ⌉ = 4 replicas: perfectly
+        // balanced, so fission fully removes the bottleneck.
+        let keys = KeyDistribution::uniform(64);
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            OperatorSpec::partitioned("agg", ServiceTime::from_millis(4.0), keys),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert!(plan.ideal());
+        assert_eq!(plan.replicas[1], 4);
+        assert!((plan.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partitioned_stateful_with_indivisible_keys_searches_upward() {
+        // 64 uniform keys at ρ = 3: with exactly 3 replicas the biggest bin
+        // holds 22/64 > 1/3 of the traffic, so the even-split optimum does
+        // not unblock — KeyPartitioning's upward search settles on 4
+        // replicas (16 keys each) and removes the bottleneck completely.
+        let keys = KeyDistribution::uniform(64);
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            OperatorSpec::partitioned("agg", ServiceTime::from_millis(3.0), keys),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert!(plan.ideal());
+        assert_eq!(plan.replicas[1], 4);
+        assert!((plan.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skewed_keys_mitigate_but_do_not_remove_bottleneck() {
+        // §3.2's example: ρ = 3 but half the traffic shares one key, so
+        // p_max = 0.5 and the best achievable effective rate is 2µ.
+        let keys = KeyDistribution::new(vec![0.5, 0.25, 0.25]).unwrap();
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            OperatorSpec::partitioned("agg", ServiceTime::from_millis(3.0), keys),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert!(!plan.ideal());
+        assert_eq!(plan.residual_bottlenecks, vec![OperatorId(1)]);
+        assert_eq!(plan.replicas[1], 2, "only 2 useful replicas at p_max=0.5");
+        // Throughput capped by the most loaded replica: δ₁·0.5·3ms = 1
+        // ⇒ δ₁ = 666.7/s.
+        assert!((plan.throughput.items_per_sec() - 2000.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fission_respects_selectivity_loads() {
+        // flatmap ×3 triples the load on the downstream sink.
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("flat", 0.2).with_selectivity(Selectivity::output(3.0)),
+            stateless("sink", 1.0),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas[2], 3);
+        assert!(plan.ideal());
+        assert!((plan.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diamond_fission_on_both_branches() {
+        let mut b = Topology::builder();
+        let s = b.add_operator(stateless("src", 0.5));
+        let l = b.add_operator(stateless("left", 2.0));
+        let r = b.add_operator(stateless("right", 3.0));
+        let k = b.add_operator(stateless("sink", 0.1));
+        b.add_edge(s, l, 0.5).unwrap();
+        b.add_edge(s, r, 0.5).unwrap();
+        b.add_edge(l, k, 1.0).unwrap();
+        b.add_edge(r, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let plan = eliminate_bottlenecks(&t);
+        // λ on each branch = 1000/s; left needs ⌈2⌉ = 2, right ⌈3⌉ = 3.
+        assert_eq!(plan.replicas, vec![1, 2, 3, 1]);
+        assert!(plan.ideal());
+    }
+
+    #[test]
+    fn effective_rate_cases() {
+        let keys = KeyDistribution::new(vec![0.4, 0.3, 0.3]).unwrap();
+        let mut b = Topology::builder();
+        let s = b.add_operator(stateless("src", 1.0));
+        let sl = b.add_operator(stateless("sl", 2.0));
+        let ps = b.add_operator(OperatorSpec::partitioned(
+            "ps",
+            ServiceTime::from_millis(2.0),
+            keys,
+        ));
+        let st = b.add_operator(OperatorSpec::stateful("st", ServiceTime::from_millis(2.0)));
+        b.add_edge(s, sl, 1.0).unwrap();
+        b.add_edge(sl, ps, 1.0).unwrap();
+        b.add_edge(ps, st, 1.0).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(effective_service_rate(&t, sl, 1), 500.0);
+        assert_eq!(effective_service_rate(&t, sl, 4), 2000.0);
+        // partitioned with 2 replicas: LPT gives {0.4} vs {0.3,0.3} ⇒
+        // p_max = 0.6 ⇒ µ_eff = 500/0.6 ≈ 833.3
+        assert!((effective_service_rate(&t, ps, 2) - 500.0 / 0.6).abs() < 1e-9);
+        // stateful never speeds up
+        assert_eq!(effective_service_rate(&t, st, 8), 500.0);
+    }
+
+    #[test]
+    fn evaluate_with_replicas_matches_plan() {
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("slow", 3.5),
+            stateless("sink", 0.5),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        let eval = evaluate_with_replicas(&t, &plan.replicas);
+        assert!(
+            (eval.throughput.items_per_sec() - plan.throughput.items_per_sec()).abs() < 1e-9
+        );
+        assert_eq!(eval.metric(OperatorId(1)).replicas, 4);
+    }
+
+    #[test]
+    fn replica_bound_scales_proportionally() {
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("a", 8.0),
+            stateless("b", 4.0),
+            stateless("c", 2.0),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas, vec![1, 8, 4, 2]);
+        assert_eq!(plan.total_replicas(), 15);
+
+        let bounded = apply_replica_bound(&plan, 9);
+        assert!(bounded.iter().sum::<usize>() <= 9);
+        assert!(bounded.iter().all(|d| *d >= 1));
+        // Ratio 9/15 = 0.6: 8→5, 4→2, 2→1 (rounded), sum = 1+5+2+1 = 9.
+        assert_eq!(bounded, vec![1, 5, 2, 1]);
+
+        // Bounded throughput de-scales roughly proportionally.
+        let full = plan.throughput.items_per_sec();
+        let part = evaluate_with_replicas(&t, &bounded)
+            .throughput
+            .items_per_sec();
+        assert!(part < full);
+        assert!(part >= full * 0.5, "part {part} vs full {full}");
+    }
+
+    #[test]
+    fn replica_bound_noop_when_already_within() {
+        let t = pipeline(vec![stateless("src", 1.0), stateless("a", 2.0)]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(apply_replica_bound(&plan, 100), plan.replicas);
+    }
+
+    #[test]
+    fn replica_bound_unsatisfiable_floors_at_one_each() {
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("a", 4.0),
+            stateless("b", 4.0),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        let bounded = apply_replica_bound(&plan, 2); // < |V| = 3
+        assert_eq!(bounded, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn visits_remain_quadratically_bounded() {
+        let specs: Vec<OperatorSpec> = std::iter::once(stateless("src", 1.0))
+            .chain((0..10).map(|i| {
+                OperatorSpec::stateful(format!("st{i}"), ServiceTime::from_millis(2.0 + i as f64))
+            }))
+            .collect();
+        let t = pipeline(specs);
+        let plan = eliminate_bottlenecks(&t);
+        let n = t.num_operators();
+        assert!(plan.visits <= n * n + 2 * n);
+        assert!(!plan.ideal());
+    }
+}

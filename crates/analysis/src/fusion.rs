@@ -1,0 +1,668 @@
+//! Algorithm 3 — operator fusion.
+//!
+//! Replaces a sub-graph with a single *meta-operator* that is semantically
+//! equivalent: each item entering at the sub-graph's unique front-end
+//! travels one source→exit path inside it, so the meta-operator's service
+//! time is the path-probability-weighted sum of the member service times
+//! (Definition 2). The fused topology is then re-analyzed with Algorithm 1
+//! to predict whether the fusion hampers performance.
+
+use crate::{steady_state, SteadyStateReport};
+use spinstreams_core::{
+    OperatorId, OperatorSpec, Selectivity, ServiceTime, StateClass, Topology, TopologyError,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a sub-graph cannot be fused.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FusionError {
+    /// The sub-graph is empty or references unknown operators.
+    InvalidSubGraph {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The sub-graph does not have exactly one front-end vertex (a member
+    /// with at least one input edge from outside the sub-graph).
+    FrontEndCount {
+        /// The front-end vertices found.
+        front_ends: Vec<OperatorId>,
+    },
+    /// Contracting the sub-graph would create a cycle: some path leaves the
+    /// sub-graph and re-enters it.
+    WouldCreateCycle,
+    /// The contracted topology failed validation for another reason.
+    Rebuild(TopologyError),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::InvalidSubGraph { reason } => {
+                write!(f, "invalid fusion sub-graph: {reason}")
+            }
+            FusionError::FrontEndCount { front_ends } => write!(
+                f,
+                "fusion sub-graph must have exactly one front-end vertex, found {}: {:?}",
+                front_ends.len(),
+                front_ends
+            ),
+            FusionError::WouldCreateCycle => {
+                write!(f, "fusing this sub-graph would create a cycle")
+            }
+            FusionError::Rebuild(e) => write!(f, "fused topology failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// The outcome of a fusion: the fused topology, its predicted steady state,
+/// and the verdict the SpinStreams GUI reports to the user (§5.4).
+#[derive(Debug, Clone)]
+pub struct FusionOutcome {
+    /// The topology with the sub-graph replaced by one meta-operator.
+    pub topology: Topology,
+    /// Id of the meta-operator in the fused topology.
+    pub fused_operator: OperatorId,
+    /// Service time of the meta-operator (Definition 2 aggregate).
+    pub fused_service_time: ServiceTime,
+    /// Steady-state prediction for the fused topology.
+    pub report: SteadyStateReport,
+    /// Steady-state prediction for the original topology, for comparison.
+    pub baseline: SteadyStateReport,
+    /// Mapping from fused-topology operator ids to original ids
+    /// (`None` for the meta-operator).
+    pub origin: Vec<Option<OperatorId>>,
+}
+
+impl FusionOutcome {
+    /// True if the fusion does **not** reduce the predicted topology
+    /// throughput (the "fusion is feasible" verdict of Table 1).
+    pub fn is_feasible(&self) -> bool {
+        self.report.throughput.items_per_sec()
+            >= self.baseline.throughput.items_per_sec() * (1.0 - 1e-9)
+    }
+
+    /// Predicted relative throughput change, e.g. `-0.25` for a 25%
+    /// degradation (the alert of Table 2).
+    pub fn throughput_change(&self) -> f64 {
+        let before = self.baseline.throughput.items_per_sec();
+        let after = self.report.throughput.items_per_sec();
+        (after - before) / before
+    }
+}
+
+/// Computes the Definition 2 aggregate service time of the sub-graph
+/// `members` with front-end `front`, i.e. the paper's `fusionRate()`:
+///
+/// `T(v) = T_v + Σ_{(v,j) ∈ E, j ∈ members} f_v · p(v,j) · T(j)`
+///
+/// where `f_v` is member `v`'s selectivity rate factor (output/input,
+/// §3.4). With identity selectivities this is exactly the
+/// path-probability-weighted sum over all front-end→exit paths of the
+/// per-path aggregate service times; with general selectivities each
+/// internal hop is additionally weighted by the expected number of items
+/// the upstream member forwards per item it receives — the §3.4
+/// generalization of Algorithm 3 ("all the SpinStreams algorithms can be
+/// easily generalized … by computing the departure rate as discussed").
+/// A fused filter with output selectivity 0.5 therefore halves the cost
+/// contribution of everything behind it, and a fused flatmap doubles it.
+///
+/// # Panics
+///
+/// Panics if `front` is not a member. Membership of other vertices is the
+/// caller's responsibility; [`fuse`] validates the full set of constraints.
+pub fn fusion_service_time(
+    topo: &Topology,
+    members: &BTreeSet<OperatorId>,
+    front: OperatorId,
+) -> ServiceTime {
+    assert!(members.contains(&front), "front-end must be a member");
+    let weights = visit_weights(topo, members, front);
+    let total: f64 = members
+        .iter()
+        .map(|m| weights[m.0] * topo.operator(*m).service_time.as_secs())
+        .sum();
+    ServiceTime::from_secs(total)
+}
+
+/// Fuses the sub-graph `members` of `topo` into a single meta-operator and
+/// predicts the outcome (Algorithm 3 plus the §3.3 constraint checks).
+///
+/// Constraints (§3.3): the sub-graph must have a *single front-end* vertex
+/// and the contracted topology must remain acyclic. Edges from distinct
+/// members to the same outside operator are merged and their probabilities
+/// combined (renormalized over the meta-operator's total exit flow), as
+/// described at the end of §3.3.
+///
+/// The meta-operator is stateful if any member is stateful, else
+/// partitioned-stateful if any member is (fission of meta-operators is not
+/// allowed in SpinStreams anyway), else stateless.
+///
+/// # Errors
+///
+/// Returns a [`FusionError`] if the structural constraints are violated.
+pub fn fuse(topo: &Topology, members: &BTreeSet<OperatorId>) -> Result<FusionOutcome, FusionError> {
+    if members.is_empty() {
+        return Err(FusionError::InvalidSubGraph {
+            reason: "empty member set".into(),
+        });
+    }
+    for m in members {
+        if m.0 >= topo.num_operators() {
+            return Err(FusionError::InvalidSubGraph {
+                reason: format!("unknown operator {m}"),
+            });
+        }
+    }
+    if members.len() == topo.num_operators() {
+        return Err(FusionError::InvalidSubGraph {
+            reason: "cannot fuse the entire topology".into(),
+        });
+    }
+
+    // Single front-end: exactly one member with an input edge from outside.
+    let mut front_ends: Vec<OperatorId> = Vec::new();
+    for &m in members {
+        let external_in = topo
+            .in_edges(m)
+            .iter()
+            .any(|e| !members.contains(&topo.edge(*e).from));
+        if external_in {
+            front_ends.push(m);
+        }
+    }
+    if members.contains(&topo.source()) {
+        // The source has no external inputs; a sub-graph containing it can
+        // never satisfy the front-end rule (and fusing away the source is
+        // meaningless).
+        return Err(FusionError::FrontEndCount { front_ends });
+    }
+    if front_ends.len() != 1 {
+        return Err(FusionError::FrontEndCount { front_ends });
+    }
+    let front = front_ends[0];
+
+    // Contracted-graph acyclicity: a path leaving and re-entering the
+    // sub-graph becomes a cycle through the meta-vertex.
+    {
+        let n = topo.num_operators();
+        // Map members to one contracted vertex id `n` is not needed: use
+        // index n for the meta vertex.
+        let meta = n;
+        let mapped = |v: OperatorId| -> usize {
+            if members.contains(&v) {
+                meta
+            } else {
+                v.0
+            }
+        };
+        let mut succ = vec![Vec::new(); n + 1];
+        for e in topo.edges() {
+            let (a, b) = (mapped(e.from), mapped(e.to));
+            if a != b {
+                succ[a].push(b);
+            }
+        }
+        if !spinstreams_core::is_acyclic(n + 1, &succ) {
+            return Err(FusionError::WouldCreateCycle);
+        }
+    }
+
+    let fused_time = fusion_service_time(topo, members, front);
+
+    // Meta-operator state class: the most restrictive among members.
+    let any_stateful = members
+        .iter()
+        .any(|m| topo.operator(*m).state.is_stateful());
+    let partitioned = members
+        .iter()
+        .find(|m| topo.operator(**m).state.is_partitioned());
+    let state = if any_stateful {
+        StateClass::Stateful
+    } else if let Some(m) = partitioned {
+        topo.operator(*m).state.clone()
+    } else {
+        StateClass::Stateless
+    };
+
+    // Exit-flow accounting for the meta-operator's output probabilities and
+    // its aggregate output selectivity: for each member v, weight(v) is
+    // the expected number of items reaching v per item entering the
+    // sub-graph, folding in edge probabilities and member selectivity rate
+    // factors (§3.4).
+    let weights = visit_weights(topo, members, front);
+
+    // Build the contracted topology. Keep non-members in their original
+    // relative order; insert the meta-operator where the front-end was.
+    let old_n = topo.num_operators();
+    let mut new_index = vec![usize::MAX; old_n];
+    let mut origin: Vec<Option<OperatorId>> = Vec::new();
+    let mut specs: Vec<OperatorSpec> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // indices drive two parallel maps
+    for v in 0..old_n {
+        let id = OperatorId(v);
+        if members.contains(&id) {
+            if id == front {
+                new_index[v] = specs.len();
+                origin.push(None);
+                let fused_names: Vec<&str> = members
+                    .iter()
+                    .map(|m| topo.operator(*m).name.as_str())
+                    .collect();
+                specs.push(OperatorSpec {
+                    name: format!("F({})", fused_names.join("+")),
+                    service_time: fused_time,
+                    state: state.clone(),
+                    selectivity: Selectivity::ONE,
+                    kind: "meta".into(),
+                    params: Default::default(),
+                });
+            }
+        } else {
+            new_index[v] = specs.len();
+            origin.push(Some(id));
+            specs.push(topo.operator(id).clone());
+        }
+    }
+    let fused_idx = new_index[front.0];
+
+    // Aggregate output selectivity of the meta-operator: expected number of
+    // items leaving the sub-graph per item entering it.
+    let total_exit: f64 = topo
+        .edges()
+        .iter()
+        .filter(|e| members.contains(&e.from) && !members.contains(&e.to))
+        .map(|e| {
+            weights[e.from.0]
+                * topo.operator(e.from).selectivity.rate_factor()
+                * e.probability
+        })
+        .sum();
+    if total_exit > 0.0 && (total_exit - 1.0).abs() > 1e-9 {
+        specs[fused_idx].selectivity = Selectivity::output(total_exit);
+    }
+
+    // Edges of the fused topology: internal edges vanish; edges touching
+    // members are re-pointed at the meta-operator, weighted by how much
+    // exit flow they carry, and parallel edges merge by summing.
+    let mut merged: Vec<(usize, usize, f64)> = Vec::new();
+    for e in topo.edges() {
+        let from_in = members.contains(&e.from);
+        let to_in = members.contains(&e.to);
+        if from_in && to_in {
+            continue;
+        }
+        let (nf, nt, p) = if !from_in && !to_in {
+            (new_index[e.from.0], new_index[e.to.0], e.probability)
+        } else if !from_in {
+            // external -> front-end (the only member with external inputs)
+            (new_index[e.from.0], fused_idx, e.probability)
+        } else {
+            // member -> external: probability is this edge's share of the
+            // total exit flow.
+            let share = weights[e.from.0]
+                * topo.operator(e.from).selectivity.rate_factor()
+                * e.probability
+                / total_exit;
+            (fused_idx, new_index[e.to.0], share)
+        };
+        if let Some(slot) = merged.iter_mut().find(|(a, b, _)| *a == nf && *b == nt) {
+            slot.2 += p;
+        } else {
+            merged.push((nf, nt, p));
+        }
+    }
+
+    let mut b = Topology::builder();
+    for s in &specs {
+        b.add_operator(s.clone());
+    }
+    for (f, t, p) in merged {
+        b.add_edge(OperatorId(f), OperatorId(t), p.min(1.0))
+            .map_err(FusionError::Rebuild)?;
+    }
+    let fused_topo = b.build().map_err(FusionError::Rebuild)?;
+
+    let baseline = steady_state(topo);
+    let report = steady_state(&fused_topo);
+
+    Ok(FusionOutcome {
+        topology: fused_topo,
+        fused_operator: OperatorId(fused_idx),
+        fused_service_time: fused_time,
+        report,
+        baseline,
+        origin,
+    })
+}
+
+/// For each member vertex, the expected number of items reaching it per
+/// item entering the sub-graph at `front` (path-probability mass weighted
+/// by the traversed members' selectivity rate factors, staying inside the
+/// sub-graph).
+fn visit_weights(topo: &Topology, members: &BTreeSet<OperatorId>, front: OperatorId) -> Vec<f64> {
+    let mut w = vec![0.0f64; topo.num_operators()];
+    w[front.0] = 1.0;
+    // Members in topological order (global order restricted to members).
+    let order = spinstreams_core::topological_order(topo);
+    for id in order {
+        if !members.contains(&id) || w[id.0] == 0.0 {
+            continue;
+        }
+        let factor = topo.operator(id).selectivity.rate_factor();
+        for &eid in topo.out_edges(id) {
+            let e = topo.edge(eid);
+            if members.contains(&e.to) {
+                w[e.to.0] += w[id.0] * factor * e.probability;
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_core::{Selectivity, ServiceTime};
+
+    fn op(name: &str, ms: f64) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(ms))
+    }
+
+    /// The reconstructed Figure 11 topology with configurable member
+    /// service times (ms) for operators 1..6.
+    fn figure11(times: [f64; 6]) -> Topology {
+        let mut b = Topology::builder();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.add_operator(op(&format!("{}", i + 1), times[i])))
+            .collect();
+        b.add_edge(ids[0], ids[1], 0.7).unwrap();
+        b.add_edge(ids[0], ids[2], 0.3).unwrap();
+        b.add_edge(ids[1], ids[5], 1.0).unwrap();
+        b.add_edge(ids[2], ids[3], 0.5).unwrap();
+        b.add_edge(ids[2], ids[4], 0.5).unwrap();
+        b.add_edge(ids[4], ids[3], 0.35).unwrap();
+        b.add_edge(ids[4], ids[5], 0.65).unwrap();
+        b.add_edge(ids[3], ids[5], 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn members_345() -> BTreeSet<OperatorId> {
+        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect()
+    }
+
+    #[test]
+    fn table1_fused_service_time_is_2_80_ms() {
+        let t = figure11([1.0, 1.2, 0.7, 2.0, 1.5, 0.2]);
+        let ft = fusion_service_time(&t, &members_345(), OperatorId(2));
+        assert!(
+            (ft.as_millis() - 2.80).abs() < 1e-9,
+            "got {} ms",
+            ft.as_millis()
+        );
+    }
+
+    #[test]
+    fn table2_fused_service_time_is_4_42_ms() {
+        let t = figure11([1.0, 1.2, 1.5, 2.7, 2.2, 0.2]);
+        let ft = fusion_service_time(&t, &members_345(), OperatorId(2));
+        assert!(
+            (ft.as_millis() - 4.4225).abs() < 1e-9,
+            "got {} ms",
+            ft.as_millis()
+        );
+    }
+
+    #[test]
+    fn table1_fusion_is_feasible() {
+        let t = figure11([1.0, 1.2, 0.7, 2.0, 1.5, 0.2]);
+        let out = fuse(&t, &members_345()).unwrap();
+        assert!(out.is_feasible());
+        assert!((out.report.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+        assert!((out.fused_service_time.as_millis() - 2.80).abs() < 1e-9);
+        // ρ_F from Table 1 is 0.84: λ_F = 300/s, µ_F = 1/2.8ms ≈ 357/s.
+        let rho_f = out.report.metric(out.fused_operator).utilization;
+        assert!((rho_f - 0.84).abs() < 5e-3, "ρ_F = {rho_f}");
+        // Topology shrank from 6 to 4 operators.
+        assert_eq!(out.topology.num_operators(), 4);
+    }
+
+    #[test]
+    fn table2_fusion_introduces_bottleneck() {
+        let t = figure11([1.0, 1.2, 1.5, 2.7, 2.2, 0.2]);
+        let out = fuse(&t, &members_345()).unwrap();
+        assert!(!out.is_feasible());
+        // Predicted degradation ≈ 1 - 1/(0.3·4.4225) ≈ 24.6%.
+        let change = out.throughput_change();
+        assert!(
+            (-0.26..=-0.20).contains(&change),
+            "throughput change {change}"
+        );
+        // Paper Table 2: predicted throughput ≈ 760 t/s (we compute 753.7,
+        // matching the paper's *measured* 753 — their 760 is rounded from
+        // the 4.42 ms they print).
+        let thr = out.report.throughput.items_per_sec();
+        assert!((thr - 753.7).abs() < 1.0, "throughput {thr}");
+    }
+
+    #[test]
+    fn fused_exit_probabilities_form_distribution() {
+        let t = figure11([1.0, 1.2, 0.7, 2.0, 1.5, 0.2]);
+        let out = fuse(&t, &members_345()).unwrap();
+        let f = out.fused_operator;
+        let total: f64 = out
+            .topology
+            .out_edges(f)
+            .iter()
+            .map(|e| out.topology.edge(*e).probability)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // All exit flow of {3,4,5} goes to operator 6, so F has one output
+        // edge with probability 1.
+        assert_eq!(out.topology.out_edges(f).len(), 1);
+    }
+
+    #[test]
+    fn multiple_front_ends_rejected() {
+        let t = figure11([1.0; 6]);
+        // {2, 3}: op2 receives from 1 (external) and op3 receives from 1
+        // (external) -> two front-ends. (0-based ids 1 and 2.)
+        let members: BTreeSet<_> = [OperatorId(1), OperatorId(2)].into_iter().collect();
+        match fuse(&t, &members).unwrap_err() {
+            FusionError::FrontEndCount { front_ends } => {
+                assert_eq!(front_ends.len(), 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaving_and_reentering_subgraph_rejected() {
+        // src -> a -> {b, c}, b -> c. Fusing {a, c} would contract to
+        // meta -> b -> meta — a cycle. The single-front-end rule already
+        // rejects it (c has the external input from b), and in fact any
+        // would-be contraction cycle in an acyclic rooted topology implies a
+        // second front end, so the dedicated cycle check is pure defense.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let a = b.add_operator(op("a", 1.0));
+        let x = b.add_operator(op("b", 1.0));
+        let c = b.add_operator(op("c", 1.0));
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, x, 0.5).unwrap();
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(x, c, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [a, c].into_iter().collect();
+        match fuse(&t, &members).unwrap_err() {
+            FusionError::FrontEndCount { front_ends } => {
+                assert_eq!(front_ends, vec![a, c]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subgraph_containing_source_rejected() {
+        let t = figure11([1.0; 6]);
+        let members: BTreeSet<_> = [OperatorId(0), OperatorId(1)].into_iter().collect();
+        assert!(matches!(
+            fuse(&t, &members).unwrap_err(),
+            FusionError::FrontEndCount { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_and_unknown_member_sets_rejected() {
+        let t = figure11([1.0; 6]);
+        assert!(matches!(
+            fuse(&t, &BTreeSet::new()).unwrap_err(),
+            FusionError::InvalidSubGraph { .. }
+        ));
+        let members: BTreeSet<_> = [OperatorId(99)].into_iter().collect();
+        assert!(matches!(
+            fuse(&t, &members).unwrap_err(),
+            FusionError::InvalidSubGraph { .. }
+        ));
+    }
+
+    #[test]
+    fn whole_topology_fusion_rejected() {
+        let t = figure11([1.0; 6]);
+        let members: BTreeSet<_> = t.operator_ids().collect();
+        assert!(matches!(
+            fuse(&t, &members).unwrap_err(),
+            FusionError::InvalidSubGraph { .. }
+        ));
+    }
+
+    #[test]
+    fn single_member_fusion_is_identity_like() {
+        let t = figure11([1.0, 1.2, 0.7, 2.0, 1.5, 0.2]);
+        let members: BTreeSet<_> = [OperatorId(3)].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!((out.fused_service_time.as_millis() - 2.0).abs() < 1e-12);
+        assert_eq!(out.topology.num_operators(), 6);
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn fusing_chain_sums_service_times() {
+        // src -> a -> b -> c (1, 2, 3 ms): fusing {a,b,c} gives 6 ms.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 10.0));
+        let a = b.add_operator(op("a", 1.0));
+        let x = b.add_operator(op("b", 2.0));
+        let c = b.add_operator(op("c", 3.0));
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, x, 1.0).unwrap();
+        b.add_edge(x, c, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [a, x, c].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!((out.fused_service_time.as_millis() - 6.0).abs() < 1e-12);
+        assert!(out.is_feasible(), "6 ms < the 10 ms source period");
+        assert_eq!(out.topology.num_operators(), 2);
+        // Meta-operator is a sink here.
+        assert_eq!(out.topology.sinks(), vec![out.fused_operator]);
+    }
+
+    #[test]
+    fn stateful_member_makes_meta_stateful() {
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let a = b.add_operator(op("a", 0.1));
+        let st = b.add_operator(OperatorSpec::stateful("st", ServiceTime::from_millis(0.1)));
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, st, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [a, st].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!(out
+            .topology
+            .operator(out.fused_operator)
+            .state
+            .is_stateful());
+    }
+
+    #[test]
+    fn fused_filter_attenuates_downstream_member_cost() {
+        // src -> filter(sel 0.5, 1 ms) -> map (4 ms) -> sink.
+        // Fusing {filter, map}: only half the items reach the map, so
+        // T(F) = 1 + 0.5*4 = 3 ms, and F's output selectivity is 0.5.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 10.0));
+        let f = b.add_operator(
+            op("filter", 1.0).with_selectivity(Selectivity::output(0.5)),
+        );
+        let m = b.add_operator(op("map", 4.0));
+        let k = b.add_operator(op("sink", 0.1));
+        b.add_edge(s, f, 1.0).unwrap();
+        b.add_edge(f, m, 1.0).unwrap();
+        b.add_edge(m, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [f, m].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!((out.fused_service_time.as_millis() - 3.0).abs() < 1e-12);
+        let meta = out.topology.operator(out.fused_operator);
+        assert!((meta.selectivity.rate_factor() - 0.5).abs() < 1e-12);
+        // Downstream arrival halves: sink sees 50/s when src runs at 100/s.
+        let sink_arrival = out
+            .report
+            .metric(out.topology.operator_by_name("sink").unwrap())
+            .arrival;
+        assert!((sink_arrival - 50.0).abs() < 1e-9, "sink lambda = {sink_arrival}");
+    }
+
+    #[test]
+    fn fused_flatmap_amplifies_downstream_member_cost() {
+        // src -> flatmap(x3, 1 ms) -> map (2 ms): T(F) = 1 + 3*2 = 7 ms.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 10.0));
+        let fm = b.add_operator(
+            op("flat", 1.0).with_selectivity(Selectivity::output(3.0)),
+        );
+        let m = b.add_operator(op("map", 2.0));
+        b.add_edge(s, fm, 1.0).unwrap();
+        b.add_edge(fm, m, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [fm, m].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!((out.fused_service_time.as_millis() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_window_divides_downstream_member_cost() {
+        // src -> window(slide 10, 1 ms) -> post (5 ms):
+        // T(F) = 1 + 0.1*5 = 1.5 ms and F emits one item per 10 inputs.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 10.0));
+        let w = b.add_operator(op("win", 1.0).with_selectivity(Selectivity::input(10.0)));
+        let m = b.add_operator(op("post", 5.0));
+        let k = b.add_operator(op("sink", 0.1));
+        b.add_edge(s, w, 1.0).unwrap();
+        b.add_edge(w, m, 1.0).unwrap();
+        b.add_edge(m, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let members: BTreeSet<_> = [w, m].into_iter().collect();
+        let out = fuse(&t, &members).unwrap();
+        assert!((out.fused_service_time.as_millis() - 1.5).abs() < 1e-12);
+        let meta = out.topology.operator(out.fused_operator);
+        assert!((meta.selectivity.rate_factor() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_mapping_tracks_unfused_operators() {
+        let t = figure11([1.0, 1.2, 0.7, 2.0, 1.5, 0.2]);
+        let out = fuse(&t, &members_345()).unwrap();
+        // Fused topo: [op1, op2, F, op6]
+        assert_eq!(out.origin.len(), 4);
+        assert_eq!(out.origin[0], Some(OperatorId(0)));
+        assert_eq!(out.origin[1], Some(OperatorId(1)));
+        assert_eq!(out.origin[2], None);
+        assert_eq!(out.origin[3], Some(OperatorId(5)));
+    }
+}

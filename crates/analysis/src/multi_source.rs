@@ -1,0 +1,220 @@
+//! The fictitious-source transform for multi-source applications (§3.1).
+//!
+//! SpinStreams' models require a rooted graph, but §3.1 notes that "the
+//! single source assumption can be circumvented by adding a fictitious
+//! source operator in the topology linked to the real sources". This module
+//! implements that transform: a zero-ish-cost fictitious source generates at
+//! the aggregate rate of the real sources and routes to each of them with a
+//! probability proportional to its generation rate, so every real source
+//! still ingests items at its own rate at steady state.
+
+use spinstreams_core::{
+    Edge, OperatorId, OperatorSpec, ServiceRate, Topology, TopologyError,
+};
+
+/// An unvalidated multi-source application description: operators plus
+/// edges, where *several* vertices may lack input edges (the real sources).
+#[derive(Debug, Clone, Default)]
+pub struct MultiSourceSpec {
+    ops: Vec<OperatorSpec>,
+    edges: Vec<Edge>,
+}
+
+impl MultiSourceSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operator, returning its id.
+    pub fn add_operator(&mut self, spec: OperatorSpec) -> OperatorId {
+        self.ops.push(spec);
+        OperatorId(self.ops.len() - 1)
+    }
+
+    /// Adds an edge (validated later, during the merge).
+    pub fn add_edge(&mut self, from: OperatorId, to: OperatorId, probability: f64) {
+        self.edges.push(Edge {
+            from,
+            to,
+            probability,
+        });
+    }
+
+    /// The vertices that currently have no input edges.
+    pub fn sources(&self) -> Vec<OperatorId> {
+        let mut has_input = vec![false; self.ops.len()];
+        for e in &self.edges {
+            if e.to.0 < self.ops.len() {
+                has_input[e.to.0] = true;
+            }
+        }
+        (0..self.ops.len())
+            .filter(|i| !has_input[*i])
+            .map(OperatorId)
+            .collect()
+    }
+}
+
+/// Builds a rooted [`Topology`] from a (possibly) multi-source spec.
+///
+/// With a single source the spec is validated as-is. With `k > 1` sources, a
+/// fictitious source is appended whose service rate is the sum of the real
+/// sources' rates, with an edge to real source `i` of probability
+/// `µᵢ / Σµ`; at steady state without bottlenecks each real source then
+/// receives items exactly at its own generation rate, preserving the
+/// original behavior. The transformed real sources keep their service rates
+/// and act as rate-limiting pass-through stages.
+///
+/// # Errors
+///
+/// Any structural error surfaced by topology validation (cycles, bad
+/// probabilities, …), or [`TopologyError::Empty`] for an empty spec.
+pub fn merge_sources(spec: &MultiSourceSpec) -> Result<Topology, TopologyError> {
+    if spec.ops.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    let sources = spec.sources();
+    let mut ops = spec.ops.clone();
+    let mut edges = spec.edges.clone();
+
+    if sources.len() > 1 {
+        let total: f64 = sources
+            .iter()
+            .map(|s| ops[s.0].service_rate().items_per_sec())
+            .sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(TopologyError::InvalidOperator {
+                index: sources[0].0,
+                reason: format!("aggregate source rate {total} is not positive and finite"),
+            });
+        }
+        let fict = OperatorId(ops.len());
+        ops.push(OperatorSpec::source(
+            "fictitious-source",
+            ServiceRate::per_sec(total).service_time(),
+        ));
+        for s in &sources {
+            let p = ops[s.0].service_rate().items_per_sec() / total;
+            edges.push(Edge {
+                from: fict,
+                to: *s,
+                probability: p,
+            });
+        }
+    }
+
+    let mut b = Topology::builder();
+    for op in ops {
+        b.add_operator(op);
+    }
+    for e in edges {
+        b.add_edge(e.from, e.to, e.probability)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady_state;
+    use spinstreams_core::ServiceTime;
+
+    fn op(name: &str, ms: f64) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(ms))
+    }
+
+    #[test]
+    fn single_source_spec_passes_through() {
+        let mut s = MultiSourceSpec::new();
+        let a = s.add_operator(op("src", 1.0));
+        let b = s.add_operator(op("sink", 0.5));
+        s.add_edge(a, b, 1.0);
+        let t = merge_sources(&s).unwrap();
+        assert_eq!(t.num_operators(), 2);
+        assert_eq!(t.source(), a);
+    }
+
+    #[test]
+    fn two_sources_get_fictitious_root() {
+        // Source A at 1000/s and source B at 500/s feeding a shared join.
+        let mut s = MultiSourceSpec::new();
+        let a = s.add_operator(op("srcA", 1.0));
+        let b = s.add_operator(op("srcB", 2.0));
+        let j = s.add_operator(op("join", 0.1));
+        s.add_edge(a, j, 1.0);
+        s.add_edge(b, j, 1.0);
+        assert_eq!(s.sources().len(), 2);
+
+        let t = merge_sources(&s).unwrap();
+        assert_eq!(t.num_operators(), 4);
+        let fict = t.source();
+        assert_eq!(t.operator(fict).name, "fictitious-source");
+        // Aggregate rate 1500/s.
+        assert!((t.operator(fict).service_rate().items_per_sec() - 1500.0).abs() < 1e-6);
+        // Probabilities proportional to rates: 2/3 and 1/3.
+        assert!((t.edge_probability(fict, a).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((t.edge_probability(fict, b).unwrap() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_steady_state_preserves_per_source_rates() {
+        let mut s = MultiSourceSpec::new();
+        let a = s.add_operator(op("srcA", 1.0));
+        let b = s.add_operator(op("srcB", 2.0));
+        let j = s.add_operator(op("sink", 0.1));
+        s.add_edge(a, j, 1.0);
+        s.add_edge(b, j, 1.0);
+        let t = merge_sources(&s).unwrap();
+        let r = steady_state(&t);
+        // No bottleneck: each real source departs at its own rate.
+        assert!((r.metric(a).departure - 1000.0).abs() < 1e-6);
+        assert!((r.metric(b).departure - 500.0).abs() < 1e-6);
+        assert!((r.metric(j).arrival - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_behind_merged_sources_throttles_aggregate() {
+        let mut s = MultiSourceSpec::new();
+        let a = s.add_operator(op("srcA", 1.0));
+        let b = s.add_operator(op("srcB", 1.0));
+        let j = s.add_operator(op("slow", 1.0)); // needs 2000/s, has 1000/s
+        s.add_edge(a, j, 1.0);
+        s.add_edge(b, j, 1.0);
+        let t = merge_sources(&s).unwrap();
+        let r = steady_state(&t);
+        assert!(r.has_bottleneck());
+        assert!((r.metric(j).arrival - 1000.0).abs() < 1e-6);
+        // Backpressure splits evenly between equal-rate sources.
+        assert!((r.metric(a).departure - 500.0).abs() < 1e-6);
+        assert!((r.metric(b).departure - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        assert_eq!(
+            merge_sources(&MultiSourceSpec::new()).unwrap_err(),
+            TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn three_sources_probabilities_sum_to_one() {
+        let mut s = MultiSourceSpec::new();
+        let srcs: Vec<_> = (0..3)
+            .map(|i| s.add_operator(op(&format!("src{i}"), 1.0 + i as f64)))
+            .collect();
+        let k = s.add_operator(op("sink", 0.01));
+        for src in &srcs {
+            s.add_edge(*src, k, 1.0);
+        }
+        let t = merge_sources(&s).unwrap();
+        let fict = t.source();
+        let total: f64 = t
+            .out_edges(fict)
+            .iter()
+            .map(|e| t.edge(*e).probability)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,345 @@
+//! The `KeyPartitioning()` heuristic of Algorithm 2.
+//!
+//! For a partitioned-stateful bottleneck, each replica must own a subset of
+//! the partitioning keys. The goal is an assignment where the most loaded
+//! replica receives a fraction of the input as close as possible to
+//! `1/n_opt`. The paper points to greedy/consistent-hashing heuristics
+//! (Gedik, VLDBJ 2014); we implement the classic *longest-processing-time*
+//! greedy, which is a 4/3-approximation of the optimal makespan.
+
+use spinstreams_core::KeyDistribution;
+
+/// Result of partitioning keys among replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyAssignment {
+    /// For each key (in key order), the replica index that owns it.
+    pub owner: Vec<usize>,
+    /// Number of replicas actually used (`≤` the requested degree — keys may
+    /// be fewer than replicas, or the greedy may leave replicas empty).
+    pub replicas: usize,
+    /// The input fraction received by the most loaded replica (`p_max`).
+    pub max_fraction: f64,
+}
+
+impl KeyAssignment {
+    /// The total input fraction assigned to replica `r`.
+    pub fn load(&self, keys: &KeyDistribution, r: usize) -> f64 {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == r)
+            .map(|(k, _)| keys.frequency(k))
+            .sum()
+    }
+}
+
+/// Greedily assigns keys to `requested` replicas, minimizing the most loaded
+/// replica's input fraction (LPT bin packing).
+///
+/// Keys are considered in decreasing frequency order and each is placed on
+/// the currently least-loaded replica. Replicas that end up with no keys are
+/// dropped, so the returned [`KeyAssignment::replicas`] may be smaller than
+/// `requested` (e.g. 3 replicas requested for 2 keys).
+///
+/// # Panics
+///
+/// Panics if `requested` is zero.
+pub fn key_partitioning(keys: &KeyDistribution, requested: usize) -> KeyAssignment {
+    assert!(requested > 0, "at least one replica required");
+    let n = requested.min(keys.num_keys());
+
+    // Sort key indices by decreasing frequency (stable on ties).
+    let mut order: Vec<usize> = (0..keys.num_keys()).collect();
+    order.sort_by(|a, b| {
+        keys.frequency(*b)
+            .partial_cmp(&keys.frequency(*a))
+            .expect("frequencies are finite")
+            .then(a.cmp(b))
+    });
+
+    let mut load = vec![0.0f64; n];
+    let mut owner = vec![0usize; keys.num_keys()];
+    for k in order {
+        // Least-loaded replica; ties break to the lowest index.
+        let (r, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("loads are finite"))
+            .expect("n > 0");
+        owner[k] = r;
+        load[r] += keys.frequency(k);
+    }
+
+    // Drop empty replicas and compact indices.
+    let mut remap = vec![usize::MAX; n];
+    let mut used = 0usize;
+    for r in 0..n {
+        if load[r] > 0.0 {
+            remap[r] = used;
+            used += 1;
+        }
+    }
+    for o in owner.iter_mut() {
+        *o = remap[*o];
+    }
+    let max_fraction = load.iter().cloned().fold(0.0, f64::max);
+
+    KeyAssignment {
+        owner,
+        replicas: used.max(1),
+        max_fraction,
+    }
+}
+
+/// The full `KeyPartitioning(K, {p_k}, ρ)` call of Algorithm 2: finds a
+/// replication degree whose most loaded replica is not a bottleneck.
+///
+/// Starts from the even-split optimum `⌈ρ⌉` and, if the key skew leaves the
+/// most loaded replica saturated (`p_max > 1/ρ`), tries a few extra
+/// replicas — the paper's interface lets `KeyPartitioning` return its own
+/// degree `nᵢ`, and with a large key domain a couple of extra replicas
+/// usually absorb mild skew. Gives up after `⌈ρ⌉ + 8` and returns the
+/// assignment with the smallest `p_max` found, which the caller treats as
+/// a residual bottleneck.
+///
+/// # Panics
+///
+/// Panics if `rho` is not finite and positive.
+pub fn key_partitioning_for_rho(keys: &KeyDistribution, rho: f64) -> KeyAssignment {
+    assert!(rho.is_finite() && rho > 0.0, "rho must be positive");
+    let n_opt = rho.ceil().max(1.0) as usize;
+    let target = 1.0 / rho;
+    let mut best: Option<KeyAssignment> = None;
+    for n in n_opt..=n_opt + 8 {
+        let a = key_partitioning(keys, n);
+        let better = best
+            .as_ref()
+            .map(|b| a.max_fraction < b.max_fraction)
+            .unwrap_or(true);
+        if better {
+            best = Some(a.clone());
+        }
+        if a.max_fraction <= target + 1e-12 {
+            return a;
+        }
+        if a.replicas < n {
+            break; // fewer keys than replicas: more cannot help
+        }
+    }
+    best.expect("at least one assignment computed")
+}
+
+/// Consistent-hashing key assignment — the alternative heuristic family the
+/// paper cites for `KeyPartitioning` ("based on consistent hashing and its
+/// variants for addressing skewed distributions", §3.2, citing Gedik VLDBJ
+/// 2014).
+///
+/// Each replica owns `vnodes` points on a hash ring; every key is assigned
+/// to the replica owning the first ring point clockwise of the key's hash.
+/// Unlike [`key_partitioning`] (LPT), the assignment is *stable*: adding a
+/// replica moves only `~1/n` of the keys, which is what makes consistent
+/// hashing attractive for elastic systems — at the cost of worse balance
+/// for a fixed degree (compare with the `ablation_partitioning` binary).
+///
+/// # Panics
+///
+/// Panics if `replicas` or `vnodes` is zero.
+pub fn consistent_hash_partitioning(
+    keys: &KeyDistribution,
+    replicas: usize,
+    vnodes: usize,
+) -> KeyAssignment {
+    assert!(replicas > 0, "at least one replica required");
+    assert!(vnodes > 0, "at least one virtual node per replica required");
+
+    fn mix(x: u64) -> u64 {
+        // splitmix64 finalizer.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    // Ring points: (hash, replica), sorted by hash.
+    let mut ring: Vec<(u64, usize)> = (0..replicas)
+        .flat_map(|r| (0..vnodes).map(move |v| (mix((r as u64) << 32 | v as u64), r)))
+        .collect();
+    ring.sort_unstable();
+
+    let mut owner = vec![0usize; keys.num_keys()];
+    let mut load = vec![0.0f64; replicas];
+    for (k, o) in owner.iter_mut().enumerate() {
+        let h = mix(k as u64 ^ 0xABCD_1234_5678_EF90);
+        let idx = match ring.binary_search_by_key(&h, |(p, _)| *p) {
+            Ok(i) => i,
+            Err(i) => i % ring.len(),
+        };
+        *o = ring[idx].1;
+        load[ring[idx].1] += keys.frequency(k);
+    }
+
+    // Compact replicas that own no keys, as in `key_partitioning`.
+    let mut remap = vec![usize::MAX; replicas];
+    let mut used = 0usize;
+    for r in 0..replicas {
+        if load[r] > 0.0 {
+            remap[r] = used;
+            used += 1;
+        }
+    }
+    for o in owner.iter_mut() {
+        *o = remap[*o];
+    }
+    let max_fraction = load.iter().cloned().fold(0.0, f64::max);
+    KeyAssignment {
+        owner,
+        replicas: used.max(1),
+        max_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_balance_perfectly() {
+        let keys = KeyDistribution::uniform(12);
+        let a = key_partitioning(&keys, 4);
+        assert_eq!(a.replicas, 4);
+        assert!((a.max_fraction - 0.25).abs() < 1e-12);
+        for r in 0..4 {
+            assert!((a.load(&keys, r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_fraction_lower_bounded_by_heaviest_key() {
+        // §3.2's example: 50% of items share one key; 3 replicas can only
+        // mitigate, never push p_max below 0.5.
+        let keys = KeyDistribution::new(vec![0.5, 0.2, 0.2, 0.1]).unwrap();
+        let a = key_partitioning(&keys, 3);
+        assert!((a.max_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(a.replicas, 3);
+    }
+
+    #[test]
+    fn fewer_keys_than_replicas_caps_replicas() {
+        let keys = KeyDistribution::uniform(2);
+        let a = key_partitioning(&keys, 5);
+        assert_eq!(a.replicas, 2);
+        assert!((a.max_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_replica_gets_everything() {
+        let keys = KeyDistribution::zipf(10, 1.5);
+        let a = key_partitioning(&keys, 1);
+        assert_eq!(a.replicas, 1);
+        assert!((a.max_fraction - 1.0).abs() < 1e-12);
+        assert!(a.owner.iter().all(|o| *o == 0));
+    }
+
+    #[test]
+    fn every_key_is_owned_by_a_valid_replica() {
+        let keys = KeyDistribution::zipf(40, 1.2);
+        let a = key_partitioning(&keys, 6);
+        assert_eq!(a.owner.len(), 40);
+        assert!(a.owner.iter().all(|o| *o < a.replicas));
+        // Loads over all replicas sum to 1.
+        let total: f64 = (0..a.replicas).map(|r| a.load(&keys, r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_beats_naive_contiguous_split_on_skew() {
+        let keys = KeyDistribution::zipf(20, 1.8);
+        let a = key_partitioning(&keys, 4);
+        // Naive contiguous split: keys 0..5, 5..10, ... — first chunk holds
+        // all the heavy keys.
+        let naive_max: f64 = (0..4)
+            .map(|c| (c * 5..(c + 1) * 5).map(|k| keys.frequency(k)).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!(
+            a.max_fraction < naive_max,
+            "LPT {} should beat contiguous {}",
+            a.max_fraction,
+            naive_max
+        );
+        // And can never beat the single heaviest key.
+        assert!(a.max_fraction >= keys.max_frequency() - 1e-12);
+    }
+
+    #[test]
+    fn for_rho_uses_extra_replicas_to_absorb_mild_skew() {
+        // 64 uniform keys, ρ = 3: 3 replicas leave p_max = 22/64 > 1/3, but
+        // 4 replicas give 16/64 = 0.25 ≤ 1/3.
+        let keys = KeyDistribution::uniform(64);
+        let a = key_partitioning_for_rho(&keys, 3.0);
+        assert_eq!(a.replicas, 4);
+        assert!(a.max_fraction <= 1.0 / 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn for_rho_gives_up_on_dominant_key() {
+        // One key holds 60% of the traffic: no degree can push p_max below
+        // 0.6, so ρ = 3 cannot be unblocked.
+        let keys = KeyDistribution::new(vec![0.6, 0.2, 0.2]).unwrap();
+        let a = key_partitioning_for_rho(&keys, 3.0);
+        assert!((a.max_fraction - 0.6).abs() < 1e-12);
+        assert!(a.max_fraction > 1.0 / 3.0);
+    }
+
+    #[test]
+    fn consistent_hash_covers_all_keys() {
+        let keys = KeyDistribution::uniform(200);
+        let a = consistent_hash_partitioning(&keys, 5, 64);
+        assert_eq!(a.owner.len(), 200);
+        assert!(a.owner.iter().all(|o| *o < a.replicas));
+        let total: f64 = (0..a.replicas).map(|r| a.load(&keys, r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With many vnodes the balance is reasonable (within 2x of even).
+        assert!(a.max_fraction < 2.0 / 5.0, "p_max {}", a.max_fraction);
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_under_replica_addition() {
+        let keys = KeyDistribution::uniform(500);
+        let a = consistent_hash_partitioning(&keys, 4, 64);
+        let b = consistent_hash_partitioning(&keys, 5, 64);
+        // Only a minority of keys change owner when a replica is added —
+        // the defining property of consistent hashing. (Owners are compared
+        // by raw index; replica 4 is new, moves *to* it are expected.)
+        let moved_between_old = a
+            .owner
+            .iter()
+            .zip(&b.owner)
+            .filter(|(x, y)| x != y && **y != 4)
+            .count();
+        assert!(
+            moved_between_old < 100,
+            "{moved_between_old}/500 keys moved between pre-existing replicas"
+        );
+    }
+
+    #[test]
+    fn lpt_balances_better_than_consistent_hash_at_fixed_degree() {
+        let keys = KeyDistribution::zipf(64, 0.8);
+        let lpt = key_partitioning(&keys, 6);
+        let ch = consistent_hash_partitioning(&keys, 6, 32);
+        assert!(
+            lpt.max_fraction <= ch.max_fraction + 1e-12,
+            "LPT {} vs CH {}",
+            lpt.max_fraction,
+            ch.max_fraction
+        );
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let keys = KeyDistribution::zipf(32, 1.4);
+        let a = key_partitioning(&keys, 5);
+        let b = key_partitioning(&keys, 5);
+        assert_eq!(a, b);
+    }
+}

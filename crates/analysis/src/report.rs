@@ -1,0 +1,149 @@
+//! Human-readable reports — the textual analogue of the SpinStreams GUI
+//! annotations (§4.1): per-operator λ, ρ, δ labels and the predicted
+//! topology throughput.
+
+use crate::{FissionPlan, SteadyStateReport};
+use spinstreams_core::Topology;
+use std::fmt::Write as _;
+
+/// Formats a steady-state report as an aligned table, one row per operator.
+///
+/// Columns: operator id and name, service time `µ⁻¹`, arrival rate `λ`,
+/// utilization `ρ`, departure rate `δ`, and `δ⁻¹` in milliseconds (the form
+/// used by the paper's Tables 1 and 2).
+pub fn format_steady_state(topo: &Topology, report: &SteadyStateReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<5} {:<20} {:>12} {:>12} {:>8} {:>12} {:>10}",
+        "id", "operator", "µ⁻¹ (ms)", "λ (1/s)", "ρ", "δ (1/s)", "δ⁻¹ (ms)"
+    );
+    for id in topo.operator_ids() {
+        let op = topo.operator(id);
+        let m = report.metric(id);
+        let dinv = if m.departure > 0.0 {
+            1000.0 / m.departure
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            s,
+            "{:<5} {:<20} {:>12.3} {:>12.2} {:>8.3} {:>12.2} {:>10.3}",
+            id.to_string(),
+            op.name,
+            op.service_time.as_millis(),
+            m.arrival,
+            m.utilization,
+            m.departure,
+            dinv
+        );
+    }
+    let _ = writeln!(
+        s,
+        "predicted throughput: {:.2} items/s ({} bottleneck corrections, {} visits)",
+        report.throughput.items_per_sec(),
+        report.bottlenecks.len(),
+        report.visits
+    );
+    s
+}
+
+/// Formats a fission plan: per-operator replication degrees and the
+/// predicted post-fission steady state.
+pub fn format_fission_plan(topo: &Topology, plan: &FissionPlan) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<5} {:<20} {:>9} {:>12} {:>8} {:>12}",
+        "id", "operator", "replicas", "λ (1/s)", "ρ", "δ (1/s)"
+    );
+    for id in topo.operator_ids() {
+        let op = topo.operator(id);
+        let m = plan.metrics[id.0];
+        let marker = if plan.residual_bottlenecks.contains(&id) {
+            "  <- residual bottleneck"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "{:<5} {:<20} {:>9} {:>12.2} {:>8.3} {:>12.2}{}",
+            id.to_string(),
+            op.name,
+            plan.replicas[id.0],
+            m.arrival,
+            m.utilization,
+            m.departure,
+            marker
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total replicas: {} (+{} added); predicted throughput: {:.2} items/s{}",
+        plan.total_replicas(),
+        plan.additional_replicas(),
+        plan.throughput.items_per_sec(),
+        if plan.ideal() {
+            "; all bottlenecks removed"
+        } else {
+            "; residual bottlenecks remain"
+        }
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eliminate_bottlenecks, steady_state};
+    use spinstreams_core::{OperatorSpec, ServiceTime, Topology};
+
+    fn sample() -> Topology {
+        let mut b = Topology::builder();
+        let s = b.add_operator(OperatorSpec::source("src", ServiceTime::from_millis(1.0)));
+        let sl = b.add_operator(OperatorSpec::stateless(
+            "slow-map",
+            ServiceTime::from_millis(2.5),
+        ));
+        let st = b.add_operator(OperatorSpec::stateful(
+            "state",
+            ServiceTime::from_millis(0.5),
+        ));
+        b.add_edge(s, sl, 1.0).unwrap();
+        b.add_edge(sl, st, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn steady_state_report_mentions_operators_and_throughput() {
+        let t = sample();
+        let text = format_steady_state(&t, &steady_state(&t));
+        assert!(text.contains("slow-map"));
+        assert!(text.contains("predicted throughput: 400.00 items/s"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fission_plan_report_shows_replicas() {
+        let t = sample();
+        let plan = eliminate_bottlenecks(&t);
+        let text = format_fission_plan(&t, &plan);
+        assert!(text.contains("total replicas: 5 (+2 added)"));
+        assert!(text.contains("all bottlenecks removed"));
+    }
+
+    #[test]
+    fn fission_plan_report_flags_residual_bottlenecks() {
+        let mut b = Topology::builder();
+        let s = b.add_operator(OperatorSpec::source("src", ServiceTime::from_millis(1.0)));
+        let st = b.add_operator(OperatorSpec::stateful(
+            "state",
+            ServiceTime::from_millis(2.0),
+        ));
+        b.add_edge(s, st, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let plan = eliminate_bottlenecks(&t);
+        let text = format_fission_plan(&t, &plan);
+        assert!(text.contains("residual bottleneck"));
+    }
+}

@@ -1,0 +1,460 @@
+//! Algorithm 1 — steady-state analysis with backpressure.
+//!
+//! Visits the operators in topological order, computing each operator's
+//! arrival rate `λᵢ` from the departure rates of its predecessors. Whenever
+//! a vertex turns out to be a bottleneck (`ρᵢ = λᵢ/µᵢ > 1`), the source
+//! departure rate is corrected by Theorem 3.2 (`δ₁ ← δ₁/ρᵢ`) and the visit
+//! restarts — exactly the structure of the paper's Algorithm 1, generalized
+//! with the §3.4 selectivity rules.
+
+use serde::{Deserialize, Serialize};
+use spinstreams_core::{topological_order, OperatorId, ServiceRate, Topology};
+
+/// Numerical slack on the `ρ > 1` bottleneck test.
+///
+/// After a Theorem 3.2 correction the revisited vertex has `ρ = 1` only up
+/// to floating-point rounding; without slack the algorithm could correct the
+/// same vertex forever by infinitesimal amounts.
+const RHO_EPSILON: f64 = 1e-9;
+
+/// Per-operator steady-state labels produced by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorMetrics {
+    /// Steady-state arrival rate `λ` (items/s). Zero for the source.
+    pub arrival: f64,
+    /// Utilization factor `ρ = λ/µ_eff` (dimensionless, `≤ 1` at steady
+    /// state; the source's is `δ₁/µ₁`).
+    pub utilization: f64,
+    /// Steady-state departure rate `δ` (items/s) onto any output edge.
+    pub departure: f64,
+    /// Replication degree used when computing the effective service rate
+    /// (always 1 for plain Algorithm 1).
+    pub replicas: usize,
+}
+
+/// A bottleneck discovered during the analysis, before its backpressure was
+/// folded into the source rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckEvent {
+    /// The bottleneck operator.
+    pub operator: OperatorId,
+    /// Its utilization factor at the moment of discovery (`> 1`).
+    pub utilization: f64,
+}
+
+/// Result of the steady-state analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStateReport {
+    /// Per-operator metrics, indexed by operator id.
+    pub metrics: Vec<OperatorMetrics>,
+    /// The topology throughput: the source's steady-state departure rate
+    /// (items ingested per second, §5.2's definition).
+    pub throughput: ServiceRate,
+    /// Sum of sink departure rates. With identity selectivities this equals
+    /// `throughput` (Proposition 3.5).
+    pub sink_departure_total: ServiceRate,
+    /// Every bottleneck correction applied, in discovery order.
+    pub bottlenecks: Vec<BottleneckEvent>,
+    /// Total vertex visits performed — bounded by `O(|V|²)`
+    /// (Proposition 3.4).
+    pub visits: usize,
+}
+
+impl SteadyStateReport {
+    /// Operators whose steady-state utilization is at least `threshold`
+    /// (used to locate the saturated operators; `ρ ≈ 1`).
+    pub fn saturated(&self, threshold: f64) -> Vec<OperatorId> {
+        self.metrics
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.utilization >= threshold)
+            .map(|(i, _)| OperatorId(i))
+            .collect()
+    }
+
+    /// True if the analysis found at least one bottleneck.
+    pub fn has_bottleneck(&self) -> bool {
+        !self.bottlenecks.is_empty()
+    }
+
+    /// The metrics of one operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn metric(&self, id: OperatorId) -> OperatorMetrics {
+        self.metrics[id.0]
+    }
+}
+
+/// Runs Algorithm 1 on `topo` with each operator's own (single-replica)
+/// service rate.
+///
+/// See [`steady_state_with_rates`] for the generalized entry point used by
+/// the fission machinery.
+pub fn steady_state(topo: &Topology) -> SteadyStateReport {
+    let rates: Vec<f64> = topo
+        .operators()
+        .iter()
+        .map(|op| op.service_rate().items_per_sec())
+        .collect();
+    steady_state_with_rates(topo, &rates)
+}
+
+/// Runs Algorithm 1 with explicit *effective* service rates (items/s) per
+/// operator.
+///
+/// The fission algorithms evaluate parallelized topologies by replacing each
+/// replicated operator's rate with its aggregate effective rate (e.g. `n·µ`
+/// for a stateless operator with `n` replicas) while keeping the topology
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `effective_rates.len() != topo.num_operators()` or any rate is
+/// not positive.
+pub fn steady_state_with_rates(topo: &Topology, effective_rates: &[f64]) -> SteadyStateReport {
+    assert_eq!(
+        effective_rates.len(),
+        topo.num_operators(),
+        "one effective rate per operator required"
+    );
+    assert!(
+        effective_rates.iter().all(|r| *r > 0.0 && !r.is_nan()),
+        "effective service rates must be positive"
+    );
+
+    let order = topological_order(topo);
+    let n = topo.num_operators();
+    let src = topo.source();
+    debug_assert_eq!(order[0], src);
+
+    // δ₁ starts at the source's service rate scaled by its own selectivity.
+    let src_factor = topo.operator(src).selectivity.rate_factor();
+    let mut delta_src = effective_rates[src.0] * src_factor;
+
+    let mut arrival = vec![0.0f64; n];
+    let mut rho = vec![0.0f64; n];
+    let mut departure = vec![0.0f64; n];
+    let mut bottlenecks = Vec::new();
+    let mut visits = 0usize;
+
+    'restart: loop {
+        departure[src.0] = delta_src;
+        rho[src.0] = delta_src / (effective_rates[src.0] * src_factor);
+        arrival[src.0] = 0.0;
+        visits += 1;
+
+        for &id in order.iter().skip(1) {
+            visits += 1;
+            let i = id.0;
+            // λᵢ = Σ_{j ∈ IN(i)} δⱼ · p(j, i)
+            let mut lambda = 0.0;
+            for &eid in topo.in_edges(id) {
+                let e = topo.edge(eid);
+                lambda += departure[e.from.0] * e.probability;
+            }
+            arrival[i] = lambda;
+            let mu = effective_rates[i];
+            let r = if mu.is_infinite() { 0.0 } else { lambda / mu };
+            rho[i] = r;
+            if r > 1.0 + RHO_EPSILON {
+                // Bottleneck: Theorem 3.2 — lower the source rate and
+                // restart the traversal.
+                bottlenecks.push(BottleneckEvent {
+                    operator: id,
+                    utilization: r,
+                });
+                delta_src /= r;
+                continue 'restart;
+            }
+            // Not a bottleneck: δᵢ = min(λ, µ) · output/input (§3.4).
+            let factor = topo.operator(id).selectivity.rate_factor();
+            departure[i] = lambda.min(mu) * factor;
+        }
+        break;
+    }
+
+    let metrics: Vec<OperatorMetrics> = (0..n)
+        .map(|i| OperatorMetrics {
+            arrival: arrival[i],
+            utilization: rho[i].min(1.0),
+            departure: departure[i],
+            replicas: 1,
+        })
+        .collect();
+    let sink_total: f64 = topo.sinks().iter().map(|s| departure[s.0]).sum();
+
+    SteadyStateReport {
+        metrics,
+        throughput: ServiceRate::per_sec(delta_src),
+        sink_departure_total: ServiceRate::per_sec(sink_total),
+        bottlenecks,
+        visits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_core::{OperatorSpec, Selectivity, ServiceTime, Topology};
+
+    fn op(name: &str, ms: f64) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(ms))
+    }
+
+    fn pipeline(ms: &[f64]) -> Topology {
+        let mut b = Topology::builder();
+        let ids: Vec<_> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| b.add_operator(op(&format!("op{i}"), *t)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_throughput_is_slowest_stage() {
+        // §2: the throughput of a pipeline equals that of its slowest
+        // operator.
+        let t = pipeline(&[1.0, 4.0, 2.0]);
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 250.0).abs() < 1e-6);
+        assert_eq!(r.bottlenecks.len(), 1);
+        assert_eq!(r.bottlenecks[0].operator, OperatorId(1));
+        // After correction the bottleneck is exactly saturated.
+        assert!((r.metric(OperatorId(1)).utilization - 1.0).abs() < 1e-9);
+        // The downstream 2 ms operator is half utilized at 250 items/s.
+        assert!((r.metric(OperatorId(2)).utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_bottleneck_passes_source_rate_through() {
+        let t = pipeline(&[2.0, 1.0, 0.5]);
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 500.0).abs() < 1e-6);
+        assert!(!r.has_bottleneck());
+        for id in t.operator_ids().skip(1) {
+            assert!((r.metric(id).departure - 500.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invariant_3_1_all_utilizations_at_most_one() {
+        let t = pipeline(&[1.0, 3.0, 2.0, 5.0, 0.1]);
+        let r = steady_state(&t);
+        for m in &r.metrics {
+            assert!(m.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiple_bottlenecks_cap_at_slowest() {
+        let t = pipeline(&[1.0, 2.0, 8.0, 4.0]);
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 125.0).abs() < 1e-6);
+        // 2 ms and 8 ms stages are both discovered as bottlenecks on the
+        // first pass; 4 ms never is (125/s < 250/s).
+        assert!(r.bottlenecks.len() >= 2);
+    }
+
+    #[test]
+    fn proposition_3_5_flow_conservation() {
+        // Diamond with asymmetric probabilities and a slow branch.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let l = b.add_operator(op("left", 2.0));
+        let r = b.add_operator(op("right", 0.5));
+        let k = b.add_operator(op("sink", 0.4));
+        b.add_edge(s, l, 0.4).unwrap();
+        b.add_edge(s, r, 0.6).unwrap();
+        b.add_edge(l, k, 1.0).unwrap();
+        b.add_edge(r, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let rep = steady_state(&t);
+        assert!(
+            (rep.sink_departure_total.items_per_sec() - rep.throughput.items_per_sec()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn branch_probability_weights_bottleneck_correction() {
+        // src (1 ms) -> {p=0.4 slow (2 ms), p=0.6 fast (0.1 ms)}.
+        // slow saturates when 0.4·δ₁·2ms = 1, i.e. δ₁ = 1250/s.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let slow = b.add_operator(op("slow", 2.0));
+        let fast = b.add_operator(op("fast", 0.1));
+        b.add_edge(s, slow, 0.4).unwrap();
+        b.add_edge(s, fast, 0.6).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        // δ₁ capped at its own µ (1000/s) — 1250 > 1000, so no bottleneck.
+        assert!((r.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+        assert!(!r.has_bottleneck());
+        // Make the source faster so slow actually bottlenecks.
+        let mut b = t.to_builder();
+        b.operator_mut(OperatorId(0)).service_time = ServiceTime::from_millis(0.5);
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 1250.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(1)).utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_selectivity_divides_departure() {
+        // src -> window(input sel 10) -> sink; no bottleneck.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let w = b.add_operator(op("win", 0.5).with_selectivity(Selectivity::input(10.0)));
+        let k = b.add_operator(op("sink", 0.1));
+        b.add_edge(s, w, 1.0).unwrap();
+        b.add_edge(w, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!((r.metric(OperatorId(1)).departure - 100.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(2)).arrival - 100.0).abs() < 1e-6);
+        // Utilization of the window operator still uses raw λ/µ.
+        assert!((r.metric(OperatorId(1)).utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_selectivity_multiplies_departure_and_loads_downstream() {
+        // src (1 ms) -> flatmap(×3) -> sink (0.5 ms): sink sees 3000/s,
+        // capacity 2000/s -> ρ = 1.5 -> backpressure throttles the source to
+        // 2000/3 items/s ≈ 666.7.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0));
+        let f = b.add_operator(op("flat", 0.1).with_selectivity(Selectivity::output(3.0)));
+        let k = b.add_operator(op("sink", 0.5));
+        b.add_edge(s, f, 1.0).unwrap();
+        b.add_edge(f, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 2000.0 / 3.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(2)).utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_selectivity_relieves_downstream() {
+        // src (0.5 ms) -> filter(×0.2) -> slow sink (2 ms).
+        // Without the filter the sink would cap at 500/s; with it the sink
+        // only sees 400/s and nothing bottlenecks.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 0.5));
+        let f = b.add_operator(op("filter", 0.1).with_selectivity(Selectivity::output(0.2)));
+        let k = b.add_operator(op("sink", 2.0));
+        b.add_edge(s, f, 1.0).unwrap();
+        b.add_edge(f, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!(!r.has_bottleneck());
+        assert!((r.throughput.items_per_sec() - 2000.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(2)).arrival - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visits_bounded_by_v_squared_plus_v() {
+        // Worst case: strictly decreasing pipeline rates — every vertex is a
+        // bottleneck when first visited.
+        let ms: Vec<f64> = (0..12).map(|i| 1.0 + i as f64).collect();
+        let t = pipeline(&ms);
+        let r = steady_state(&t);
+        let n = t.num_operators();
+        assert!(
+            r.visits <= n * n + 2 * n,
+            "visits {} exceeds O(n²) bound for n={}",
+            r.visits,
+            n
+        );
+        assert_eq!(r.bottlenecks.len(), n - 1);
+    }
+
+    #[test]
+    fn single_operator_topology() {
+        let t = pipeline(&[1.0]);
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 1000.0).abs() < 1e-9);
+        assert_eq!(r.sink_departure_total, r.throughput);
+    }
+
+    #[test]
+    fn with_rates_override_replaces_mu() {
+        // Same pipeline, but pretend the slow stage has 4 replicas.
+        let t = pipeline(&[1.0, 4.0, 2.0]);
+        let rates = vec![1000.0, 4.0 * 250.0, 2.0 * 500.0];
+        let r = steady_state_with_rates(&t, &rates);
+        assert!(!r.has_bottleneck());
+        assert!((r.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one effective rate per operator")]
+    fn with_rates_requires_matching_length() {
+        let t = pipeline(&[1.0, 2.0]);
+        steady_state_with_rates(&t, &[1000.0]);
+    }
+
+    #[test]
+    fn saturated_helper_reports_bottleneck() {
+        let t = pipeline(&[1.0, 2.0]);
+        let r = steady_state(&t);
+        // Only the bottleneck stage is saturated; after the Theorem 3.2
+        // correction the source runs at half its own capacity (ρ₁ = 0.5).
+        assert_eq!(r.saturated(0.999), vec![OperatorId(1)]);
+        assert!((r.metric(OperatorId(0)).utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_metrics_match_paper() {
+        // The reconstructed Figure 11 topology; Table 1 service times.
+        // Edges: 1→2(0.7) 1→3(0.3) 2→6(1) 3→4(0.5) 3→5(0.5) 5→4(0.35)
+        //        5→6(0.65) 4→6(1). (Vertices renumbered 0-based.)
+        let mut b = Topology::builder();
+        let o1 = b.add_operator(op("1", 1.0));
+        let o2 = b.add_operator(op("2", 1.2));
+        let o3 = b.add_operator(op("3", 0.7));
+        let o4 = b.add_operator(op("4", 2.0));
+        let o5 = b.add_operator(op("5", 1.5));
+        let o6 = b.add_operator(op("6", 0.2));
+        b.add_edge(o1, o2, 0.7).unwrap();
+        b.add_edge(o1, o3, 0.3).unwrap();
+        b.add_edge(o2, o6, 1.0).unwrap();
+        b.add_edge(o3, o4, 0.5).unwrap();
+        b.add_edge(o3, o5, 0.5).unwrap();
+        b.add_edge(o5, o4, 0.35).unwrap();
+        b.add_edge(o5, o6, 0.65).unwrap();
+        b.add_edge(o4, o6, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        // Predicted throughput 1000 tuples/s; no bottleneck besides source.
+        assert!((r.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+        // Table 1 utilizations: ρ = [1.00, 0.84, 0.21, 0.405, 0.225, 0.20]
+        let expect_rho = [1.00, 0.84, 0.21, 0.405, 0.225, 0.20];
+        for (i, e) in expect_rho.iter().enumerate() {
+            assert!(
+                (r.metrics[i].utilization - e).abs() < 5e-3,
+                "op {} rho {} expected {}",
+                i + 1,
+                r.metrics[i].utilization,
+                e
+            );
+        }
+        // Table 1 departure times δ⁻¹ (ms): [1.00, 1.42, 3.33, 4.93, 6.67, 1.00]
+        let expect_dinv = [1.0, 1.4286, 3.3333, 4.9383, 6.6667, 1.0];
+        for (i, e) in expect_dinv.iter().enumerate() {
+            let dinv = 1000.0 / r.metrics[i].departure;
+            assert!(
+                (dinv - e).abs() < 2e-2,
+                "op {} δ⁻¹ {} expected {}",
+                i + 1,
+                dinv,
+                e
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+use spinstreams_bench::*;
+use spinstreams_tool::comparison_table;
+
+fn main() {
+    let cfg = ExperimentConfig {
+        topologies: 1,
+        seed_base: 1000,
+        run_secs: 10.0,
+        calibration_secs: 3.0,
+        ..Default::default()
+    };
+    let testbed = build_testbed(&cfg).unwrap();
+    let entry = &testbed[0];
+    println!("{}", entry.calibrated);
+    let cmp = measure_entry(entry, &[], &cfg).unwrap();
+    println!("{}", comparison_table("topo seed 1000", &cmp));
+    for op in &cmp.operators {
+        println!(
+            "{:<24} pred {:>10.2} meas {:>10.2} err {:>6.1}%",
+            op.name,
+            op.predicted_departure,
+            op.measured_departure.unwrap_or(f64::NAN),
+            op.relative_error().map(|e| e * 100.0).unwrap_or(f64::NAN)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the runtime substrate: mailbox transfer
+//! cost, meta-operator dispatch, and end-to-end virtual-time simulation
+//! throughput (events/second of the DES engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinstreams_core::Tuple;
+use spinstreams_runtime::operators::PassThrough;
+use spinstreams_runtime::{
+    channel, simulate, ActorGraph, Behavior, Envelope, MetaDest, MetaOperator, MetaRoute,
+    Outputs, Route, SimConfig, SourceConfig, StreamOperator,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mailbox(c: &mut Criterion) {
+    // Same-thread enqueue/dequeue cost (the per-hop overhead every item
+    // pays in the threaded engine).
+    c.bench_function("mailbox_send_recv_uncontended", |b| {
+        let (tx, rx) = channel(1024);
+        let env = Envelope::Data(Tuple::default());
+        b.iter(|| {
+            tx.send(black_box(env), Duration::from_secs(1));
+            black_box(rx.try_recv())
+        })
+    });
+}
+
+fn bench_meta_operator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meta_operator_dispatch");
+    for members in [2usize, 5, 10] {
+        // A chain of pass-through members: measures pure Algorithm 4
+        // dispatch overhead per fused member.
+        let ops: Vec<Box<dyn StreamOperator>> = (0..members)
+            .map(|_| Box::new(PassThrough) as Box<dyn StreamOperator>)
+            .collect();
+        let routes: Vec<Vec<MetaRoute>> = (0..members)
+            .map(|m| {
+                if m + 1 < members {
+                    vec![MetaRoute::Unicast(MetaDest::Member(m + 1))]
+                } else {
+                    vec![MetaRoute::Unicast(MetaDest::Output(0))]
+                }
+            })
+            .collect();
+        let mut meta = MetaOperator::new("bench", ops, routes, 0, 1);
+        let mut out = Outputs::new();
+        g.bench_with_input(BenchmarkId::new("chain", members), &members, |b, _| {
+            b.iter(|| {
+                out.clear();
+                meta.process(black_box(Tuple::default()), &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtual_time_simulation");
+    g.sample_size(10);
+    // End-to-end DES throughput on a 5-stage pipeline, 20k items.
+    g.bench_function("pipeline5_20k_items", |b| {
+        b.iter(|| {
+            let mut graph = ActorGraph::new();
+            let s = graph.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(1_000_000.0, 20_000)),
+            );
+            let mut prev = s;
+            for i in 0..5 {
+                let w = graph.add_actor(format!("w{i}"), Behavior::worker(PassThrough));
+                graph.connect(prev, Route::Unicast(w));
+                prev = w;
+            }
+            black_box(
+                simulate(
+                    graph,
+                    &SimConfig {
+                        mailbox_capacity: 64,
+                        seed: 1,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mailbox, bench_meta_operator, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation — skew-aware key partitioning vs naive alternatives.
+//!
+//! Algorithm 2's `KeyPartitioning` uses longest-processing-time greedy
+//! placement plus an upward degree search. This ablation quantifies what
+//! each ingredient buys, over key distributions of increasing skew:
+//!
+//! * **naive-contiguous** — chop the key range into `⌈ρ⌉` equal slices
+//!   (what a hash-range split does when keys are sorted by popularity);
+//! * **lpt-fixed** — LPT placement at exactly `⌈ρ⌉` replicas;
+//! * **lpt-search** — LPT plus the upward search used by SpinStreams.
+//!
+//! For each strategy we report the *achievable throughput factor*
+//! `1/p_max` (the effective parallel speedup of the operator), relative to
+//! the demanded `ρ`.
+//!
+//! `cargo run --release -p spinstreams-bench --bin ablation_partitioning`
+
+use spinstreams_analysis::{consistent_hash_partitioning, key_partitioning, key_partitioning_for_rho};
+use spinstreams_core::KeyDistribution;
+
+fn contiguous_pmax(keys: &KeyDistribution, n: usize) -> f64 {
+    let k = keys.num_keys();
+    let per = k.div_ceil(n);
+    (0..n)
+        .map(|c| {
+            (c * per..((c + 1) * per).min(k))
+                .map(|i| keys.frequency(i))
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let rho: f64 = 6.0;
+    let keys_count = 96;
+    println!(
+        "Ablation: key partitioning strategies (|K| = {keys_count}, demanded ρ = {rho})\n"
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>16}",
+        "key skew α", "contiguous", "consist.hash", "LPT@⌈ρ⌉", "LPT+search", "search replicas"
+    );
+    for alpha in [0.2, 0.5, 0.8, 1.0, 1.3, 1.6, 2.0] {
+        let keys = KeyDistribution::zipf(keys_count, alpha);
+        let n_opt = rho.ceil() as usize;
+        let naive = 1.0 / contiguous_pmax(&keys, n_opt);
+        let ch = 1.0 / consistent_hash_partitioning(&keys, n_opt, 64).max_fraction;
+        let lpt = 1.0 / key_partitioning(&keys, n_opt).max_fraction;
+        let search = key_partitioning_for_rho(&keys, rho);
+        let searched = 1.0 / search.max_fraction;
+        println!(
+            "{alpha:<12} {naive:>13.2}x {ch:>13.2}x {lpt:>13.2}x {searched:>13.2}x {:>16}",
+            search.replicas
+        );
+    }
+    println!(
+        "\nfactor ≥ ρ = {rho} removes the bottleneck; smaller factors leave a residual\n\
+         bottleneck and the topology is throttled to factor/ρ of the ideal rate."
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 7 — accuracy of the backpressure model on the random testbed.
+//!
+//! (a) predicted vs measured throughput per topology;
+//! (b) relative prediction error per topology (paper: < 3% on average).
+//!
+//! `cargo run --release -p spinstreams-bench --bin fig7_accuracy [--quick]`
+
+use spinstreams_bench::{build_testbed, mean, measure_entry, write_csv, ExperimentConfig};
+use spinstreams_tool::ascii_series;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExperimentConfig::from_args();
+    println!(
+        "Figure 7 — backpressure model accuracy ({} topologies, seeds {}..{})",
+        cfg.topologies,
+        cfg.seed_base,
+        cfg.seed_base + cfg.topologies as u64 - 1
+    );
+    let testbed = build_testbed(&cfg)?;
+
+    let mut labels = Vec::new();
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    let mut errors = Vec::new();
+    let mut rows = Vec::new();
+    for (i, entry) in testbed.iter().enumerate() {
+        let cmp = measure_entry(entry, &[], &cfg)?;
+        labels.push(format!("topo{:02}", i + 1));
+        predicted.push(cmp.predicted_throughput);
+        measured.push(cmp.measured_throughput);
+        errors.push(cmp.relative_error() * 100.0);
+        rows.push(format!(
+            "{},{},{},{:.2},{:.2},{:.4}",
+            i + 1,
+            entry.generated.seed,
+            entry.calibrated.num_operators(),
+            cmp.predicted_throughput,
+            cmp.measured_throughput,
+            cmp.relative_error()
+        ));
+    }
+
+    println!(
+        "{}",
+        ascii_series(
+            "Fig. 7a — throughput (items/s), initial non-optimized topologies",
+            &labels,
+            &[("Predicted", predicted.clone()), ("Real", measured.clone())],
+        )
+    );
+    println!(
+        "{}",
+        ascii_series(
+            "Fig. 7b — relative prediction error (%)",
+            &labels,
+            &[("Error%", errors.clone())],
+        )
+    );
+    println!(
+        "mean relative error: {:.2}% (paper: < 3% on average); max {:.2}%",
+        mean(&errors),
+        errors.iter().cloned().fold(0.0, f64::max)
+    );
+    write_csv(
+        "fig7",
+        "topology,seed,operators,predicted_throughput,measured_throughput,relative_error",
+        &rows,
+    );
+    Ok(())
+}

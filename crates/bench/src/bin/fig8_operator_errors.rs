@@ -1,0 +1,81 @@
+//! Figure 8 — relative error between the predicted and the measured
+//! departure rate *per operator*, across the whole testbed.
+//!
+//! Paper result: 6.14% mean error (σ = 5%), a few outliers above 20%
+//! caused by operators on low-probability paths that have not reached
+//! steady state.
+//!
+//! `cargo run --release -p spinstreams-bench --bin fig8_operator_errors [--quick]`
+
+use spinstreams_bench::{build_testbed, mean, measure_entry, std_dev, write_csv, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExperimentConfig::from_args();
+    println!(
+        "Figure 8 — per-operator departure-rate prediction error ({} topologies)",
+        cfg.topologies
+    );
+    let testbed = build_testbed(&cfg)?;
+
+    let mut errors: Vec<f64> = Vec::new();
+    let mut rows = Vec::new();
+    for (i, entry) in testbed.iter().enumerate() {
+        let cmp = measure_entry(entry, &[], &cfg)?;
+        for op in &cmp.operators {
+            if let Some(err) = op.relative_error() {
+                errors.push(err * 100.0);
+                rows.push(format!(
+                    "{},{},{},{:.2},{:.2},{:.4}",
+                    i + 1,
+                    op.operator.index(),
+                    op.name,
+                    op.predicted_departure,
+                    op.measured_departure.unwrap_or(f64::NAN),
+                    err
+                ));
+            }
+        }
+    }
+
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = errors.len();
+    println!("operators measured: {n}");
+    println!(
+        "mean error {:.2}%  (paper: 6.14%)   std dev {:.2}%  (paper: 5%)",
+        mean(&errors),
+        std_dev(&errors)
+    );
+    println!(
+        "median {:.2}%   p90 {:.2}%   max {:.2}%",
+        errors[n / 2],
+        errors[(n as f64 * 0.9) as usize],
+        errors[n - 1]
+    );
+    let above20 = errors.iter().filter(|e| **e > 20.0).count();
+    println!(
+        "operators above 20% error: {above20} ({:.1}%) — the paper attributes these to \
+         operators on low-probability paths not yet at steady state",
+        above20 as f64 * 100.0 / n as f64
+    );
+
+    // Text histogram of the error distribution.
+    println!("\nerror distribution:");
+    let buckets = [2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, f64::INFINITY];
+    let mut lo = 0.0;
+    for hi in buckets {
+        let count = errors.iter().filter(|e| **e >= lo && **e < hi).count();
+        let bar = "#".repeat(count * 60 / n.max(1));
+        if hi.is_infinite() {
+            println!("  >= {lo:>4.0}%   {count:>5} {bar}");
+        } else {
+            println!("  {lo:>4.0}-{hi:<4.0}% {count:>5} {bar}");
+        }
+        lo = hi;
+    }
+    write_csv(
+        "fig8",
+        "topology,operator,name,predicted_departure,measured_departure,relative_error",
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Tables 1 and 2 — the §5.4 fusion case study on the reconstructed
+//! Figure 11 topology, printed in the paper's table format and validated
+//! against real (virtual-time) executions of the fused meta-operator.
+//!
+//! `cargo run --release -p spinstreams-bench --bin table1_2_fusion`
+
+use spinstreams_analysis::{fuse, steady_state};
+use spinstreams_codegen::FusionGroup;
+use spinstreams_core::{OperatorId, OperatorSpec, ServiceTime, Topology};
+use spinstreams_tool::{experiment_executor, predict_vs_measure};
+use std::collections::BTreeSet;
+
+fn figure11(times_ms: [f64; 6]) -> Topology {
+    let mut b = Topology::builder();
+    let mut ids = Vec::new();
+    for (i, t) in times_ms.iter().enumerate() {
+        let spec = if i == 0 {
+            OperatorSpec::source("1", ServiceTime::from_millis(*t)).with_kind("source")
+        } else {
+            OperatorSpec::stateless(format!("{}", i + 1), ServiceTime::from_millis(*t))
+                .with_kind("identity-map")
+                .with_param("work_ns", t * 1e6)
+        };
+        ids.push(b.add_operator(spec));
+    }
+    b.add_edge(ids[0], ids[1], 0.7).unwrap();
+    b.add_edge(ids[0], ids[2], 0.3).unwrap();
+    b.add_edge(ids[1], ids[5], 1.0).unwrap();
+    b.add_edge(ids[2], ids[3], 0.5).unwrap();
+    b.add_edge(ids[2], ids[4], 0.5).unwrap();
+    b.add_edge(ids[4], ids[3], 0.35).unwrap();
+    b.add_edge(ids[4], ids[5], 0.65).unwrap();
+    b.add_edge(ids[3], ids[5], 1.0).unwrap();
+    b.build().unwrap()
+}
+
+fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:<24}");
+    for v in values {
+        s.push_str(&format!(" {v:>8.2}"));
+    }
+    s
+}
+
+fn print_table(title: &str, topo: &Topology, measured_throughput: f64) {
+    let report = steady_state(topo);
+    println!("--- {title} ---");
+    let names: Vec<String> = topo
+        .operator_ids()
+        .map(|id| topo.operator(id).name.clone())
+        .collect();
+    println!("{:<24} {}", "operator", names.iter().map(|n| format!("{n:>8}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "{}",
+        row(
+            "µ⁻¹ (ms)",
+            &topo
+                .operator_ids()
+                .map(|id| topo.operator(id).service_time.as_millis())
+                .collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "δ⁻¹ (ms)",
+            &report
+                .metrics
+                .iter()
+                .map(|m| if m.departure > 0.0 { 1000.0 / m.departure } else { f64::NAN })
+                .collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "ρ",
+            &report.metrics.iter().map(|m| m.utilization).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "Throughput (tuples/sec): {:.0} (predicted)  {:.0} (measured)\n",
+        report.throughput.items_per_sec(),
+        measured_throughput
+    );
+}
+
+fn case(title: &str, times_ms: [f64; 6], expect_feasible: bool) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+    let topo = figure11(times_ms);
+    let executor = experiment_executor(0xF11);
+
+    let members: BTreeSet<OperatorId> =
+        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect();
+    let outcome = fuse(&topo, &members).expect("sub-graph satisfies the fusion constraints");
+
+    let original = predict_vs_measure(&topo, None, &[], &[], 40_000, &executor)
+        .expect("original deployment runs");
+    print_table("Original topology", &topo, original.measured_throughput);
+
+    let groups = [FusionGroup {
+        members,
+        front: OperatorId(2),
+    }];
+    let fused_run = predict_vs_measure(&topo, None, &[], &groups, 40_000, &executor)
+        .expect("fused deployment runs");
+    print_table(
+        "Topology after fusion",
+        &outcome.topology,
+        fused_run.measured_throughput,
+    );
+
+    println!(
+        "fused service time T(F) = {:.2} ms (paper: {})",
+        outcome.fused_service_time.as_millis(),
+        if expect_feasible { "2.80 ms" } else { "4.42 ms" }
+    );
+    println!(
+        "verdict: {}\n",
+        if outcome.is_feasible() {
+            "the proposed fusion is feasible and does not impair performance".to_string()
+        } else {
+            format!(
+                "the proposed fusion introduces a new bottleneck \
+                 (predicted degradation {:.0}%)",
+                -outcome.throughput_change() * 100.0
+            )
+        }
+    );
+    assert_eq!(outcome.is_feasible(), expect_feasible, "verdict must match the paper");
+}
+
+fn main() {
+    case(
+        "Table 1 — fusion of operators 3, 4, 5 is feasible",
+        [1.0, 1.2, 0.7, 2.0, 1.5, 0.2],
+        true,
+    );
+    case(
+        "Table 2 — the same fusion with slower members impairs performance",
+        [1.0, 1.2, 1.5, 2.7, 2.2, 0.2],
+        false,
+    );
+}

@@ -1,0 +1,235 @@
+//! # spinstreams-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§5). One binary per figure/table:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig7_accuracy` | Fig. 7a/7b — predicted vs measured throughput and relative errors over the 50-topology testbed |
+//! | `fig8_operator_errors` | Fig. 8 — per-operator departure-rate prediction errors |
+//! | `fig9_bottleneck` | Fig. 9a/9b — replicas added by bottleneck elimination; accuracy on the parallelized topologies |
+//! | `fig10_bounds` | Fig. 10 — throughput under replica bounds (hold-off replication) |
+//! | `table1_2_fusion` | Tables 1 & 2 — the Figure 11 fusion case study |
+//!
+//! Criterion micro-benchmarks of the tool itself (`benches/`) measure the
+//! cost of the analysis algorithms and of the runtime substrate, plus
+//! ablations (skew-aware key partitioning, BAS vs load shedding).
+//!
+//! Experiments run on the *virtual-time* executor (see
+//! `spinstreams_runtime::simulate`), so results are host-independent and
+//! deterministic given the seeds printed in each header.
+
+#![warn(missing_docs)]
+
+use spinstreams_tool::{
+    calibrate, experiment_executor, items_for_duration, predict_vs_measure, Comparison,
+    HarnessError,
+};
+use spinstreams_topogen::{generate, GeneratedTopology, TopogenConfig};
+
+/// Standard experiment parameters shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of testbed topologies (paper: 50).
+    pub topologies: usize,
+    /// Base seed; topology `i` uses `seed_base + i`.
+    pub seed_base: u64,
+    /// Target run length in (virtual) seconds per measurement.
+    pub run_secs: f64,
+    /// Target run length for the calibration pass.
+    pub calibration_secs: f64,
+    /// Generator configuration.
+    pub topogen: TopogenConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            topologies: 50,
+            seed_base: 1_000,
+            run_secs: 15.0,
+            calibration_secs: 10.0,
+            topogen: TopogenConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses `--quick` / `--topologies N` / `--seed S` from the command
+    /// line, for fast smoke runs.
+    pub fn from_args() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            match a.as_str() {
+                "--quick" => {
+                    cfg.topologies = 8;
+                    cfg.run_secs = 8.0;
+                    cfg.calibration_secs = 4.0;
+                }
+                "--topologies" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        cfg.topologies = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        cfg.seed_base = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+/// One testbed entry: the generated topology plus its calibrated twin.
+pub struct TestbedEntry {
+    /// The generated topology (profiled service times).
+    pub generated: GeneratedTopology,
+    /// The same topology with service times and selectivities re-measured
+    /// in situ by a calibration run (§4.1's profiling step).
+    pub calibrated: spinstreams_core::Topology,
+}
+
+/// Generates and calibrates the `n`-topology testbed.
+///
+/// Calibration runs the application once and replaces the per-operator
+/// annotations with measured values — the paper's "executing the
+/// application as is for a reasonable amount of time" — so the models are
+/// fed the same kind of profile data the authors used.
+///
+/// # Errors
+///
+/// Propagates harness failures (codegen/engine).
+pub fn build_testbed(cfg: &ExperimentConfig) -> Result<Vec<TestbedEntry>, HarnessError> {
+    let mut out = Vec::with_capacity(cfg.topologies);
+    for i in 0..cfg.topologies {
+        let seed = cfg.seed_base + i as u64;
+        let generated = generate(seed, &cfg.topogen);
+        let executor = experiment_executor(seed ^ 0xCA11);
+        let prelim = spinstreams_analysis::steady_state(&generated.topology);
+        let items = items_for_duration(
+            prelim.throughput.items_per_sec(),
+            cfg.calibration_secs,
+        );
+        let calibrated = calibrate(
+            &generated.topology,
+            Some(&generated.source_keys),
+            items,
+            50,
+            &executor,
+        )?;
+        out.push(TestbedEntry {
+            generated,
+            calibrated,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the predict-vs-measure comparison for one testbed entry with the
+/// given replication degrees (empty = unreplicated).
+///
+/// The measurement uses a different seed than the calibration run, so the
+/// model is validated on an execution it has not seen.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn measure_entry(
+    entry: &TestbedEntry,
+    replicas: &[usize],
+    cfg: &ExperimentConfig,
+) -> Result<Comparison, HarnessError> {
+    let predicted = if replicas.is_empty() {
+        spinstreams_analysis::steady_state(&entry.calibrated)
+            .throughput
+            .items_per_sec()
+    } else {
+        spinstreams_analysis::evaluate_with_replicas(&entry.calibrated, replicas)
+            .throughput
+            .items_per_sec()
+    };
+    let items = items_for_duration(predicted, cfg.run_secs);
+    let executor = experiment_executor(entry.generated.seed ^ 0x5EED);
+    predict_vs_measure(
+        &entry.calibrated,
+        Some(&entry.generated.source_keys),
+        replicas,
+        &[],
+        items,
+        &executor,
+    )
+}
+
+/// Writes rows as CSV into `results/<name>.csv` (best effort — failures are
+/// reported to stderr but do not abort the experiment).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = format!("results/{name}.csv");
+    let body = format!("{header}\n{}\n", rows.join("\n"));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write(&path, body))
+    {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("(wrote {path})");
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_testbed_calibrates_and_measures() {
+        let cfg = ExperimentConfig {
+            topologies: 2,
+            seed_base: 77,
+            run_secs: 1.0,
+            calibration_secs: 0.5,
+            topogen: TopogenConfig::fast(),
+        };
+        let testbed = build_testbed(&cfg).unwrap();
+        assert_eq!(testbed.len(), 2);
+        for entry in &testbed {
+            let cmp = measure_entry(entry, &[], &cfg).unwrap();
+            assert!(cmp.measured_throughput > 0.0);
+            assert!(cmp.predicted_throughput > 0.0);
+            // The model should be in the right ballpark even on tiny runs.
+            assert!(
+                cmp.relative_error() < 0.5,
+                "seed {}: error {:.2}",
+                entry.generated.seed,
+                cmp.relative_error()
+            );
+        }
+    }
+}

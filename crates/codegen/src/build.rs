@@ -1,0 +1,613 @@
+//! Deployment construction: topology → actor graph.
+
+use spinstreams_analysis::key_partitioning;
+use spinstreams_core::{KeyDistribution, OperatorId, StateClass, Topology};
+use spinstreams_operators::{build_operator, OperatorKind, OperatorParams};
+use spinstreams_runtime::operators::PassThrough;
+use spinstreams_runtime::{
+    ActorGraph, ActorId, Behavior, MetaDest, MetaOperator, MetaRoute, Route, SourceConfig,
+    StreamOperator,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A sub-graph to deploy as one fused meta-operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// The member operators (must not include the source).
+    pub members: BTreeSet<OperatorId>,
+    /// The unique front-end member.
+    pub front: OperatorId,
+}
+
+/// Options for the generated deployment.
+#[derive(Debug, Clone)]
+pub struct CodegenOptions {
+    /// Number of items the source generates.
+    pub items: u64,
+    /// RNG seed for the source's keys/values (and the meta-operators'
+    /// internal routing).
+    pub seed: u64,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            items: 10_000,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// Why code generation failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// `replicas` does not have one entry per operator, or an entry is 0.
+    BadReplicaVector {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An operator's `kind` tag is empty or unknown to the registry.
+    UnknownKind {
+        /// The operator.
+        operator: OperatorId,
+        /// The offending tag.
+        kind: String,
+    },
+    /// A fusion group is structurally invalid (overlap, contains the
+    /// source, front not a member, or an external edge enters a non-front
+    /// member).
+    BadFusionGroup {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::BadReplicaVector { reason } => {
+                write!(f, "bad replica vector: {reason}")
+            }
+            CodegenError::UnknownKind { operator, kind } => {
+                write!(f, "operator {operator} has unknown kind {kind:?}")
+            }
+            CodegenError::BadFusionGroup { reason } => write!(f, "bad fusion group: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// The generated deployment.
+#[derive(Debug)]
+pub struct GeneratedPlan {
+    /// The executable actor graph.
+    pub graph: ActorGraph,
+    /// For each original operator, the actor whose `items_out` measures the
+    /// operator's logical *departure rate*: the worker itself, the
+    /// collector of a replicated operator, or the meta actor of its fusion
+    /// group.
+    pub departure_actor: Vec<ActorId>,
+    /// For each original operator, the actor receiving its logical input
+    /// stream (worker, emitter, or meta actor).
+    pub input_actor: Vec<ActorId>,
+    /// Total number of actors (including emitters/collectors).
+    pub num_actors: usize,
+}
+
+fn instantiate(
+    topo: &Topology,
+    id: OperatorId,
+) -> Result<Box<dyn StreamOperator>, CodegenError> {
+    let spec = topo.operator(id);
+    let kind: OperatorKind = spec.kind.parse().map_err(|_| CodegenError::UnknownKind {
+        operator: id,
+        kind: spec.kind.clone(),
+    })?;
+    let params = OperatorParams::from_spec_params(&spec.params);
+    Ok(build_operator(kind, &params))
+}
+
+/// Builds the executable actor graph for `topo`.
+///
+/// * `source_keys` — key distribution for the source's generated stream;
+/// * `replicas` — replication degree per operator (`&[]` = all ones);
+/// * `fusions` — disjoint fusion groups to deploy as meta-operators.
+///
+/// # Errors
+///
+/// See [`CodegenError`].
+pub fn build_actor_graph(
+    topo: &Topology,
+    source_keys: Option<KeyDistribution>,
+    replicas: &[usize],
+    fusions: &[FusionGroup],
+    opts: &CodegenOptions,
+) -> Result<GeneratedPlan, CodegenError> {
+    let n = topo.num_operators();
+    let ones = vec![1usize; n];
+    let replicas: &[usize] = if replicas.is_empty() { &ones } else { replicas };
+    if replicas.len() != n {
+        return Err(CodegenError::BadReplicaVector {
+            reason: format!("{} entries for {} operators", replicas.len(), n),
+        });
+    }
+    if let Some(zero) = replicas.iter().position(|r| *r == 0) {
+        return Err(CodegenError::BadReplicaVector {
+            reason: format!("operator {zero} has replication degree 0"),
+        });
+    }
+    if replicas[topo.source().0] != 1 {
+        return Err(CodegenError::BadReplicaVector {
+            reason: "the source cannot be replicated".into(),
+        });
+    }
+
+    // Validate fusion groups.
+    let mut group_of: BTreeMap<OperatorId, usize> = BTreeMap::new();
+    for (gi, g) in fusions.iter().enumerate() {
+        if !g.members.contains(&g.front) {
+            return Err(CodegenError::BadFusionGroup {
+                reason: format!("front {} is not a member", g.front),
+            });
+        }
+        if g.members.contains(&topo.source()) {
+            return Err(CodegenError::BadFusionGroup {
+                reason: "fusion group contains the source".into(),
+            });
+        }
+        for m in &g.members {
+            if m.0 >= n {
+                return Err(CodegenError::BadFusionGroup {
+                    reason: format!("unknown member {m}"),
+                });
+            }
+            if replicas[m.0] != 1 {
+                return Err(CodegenError::BadFusionGroup {
+                    reason: format!("member {m} is replicated; meta-operators cannot be fissioned"),
+                });
+            }
+            if group_of.insert(*m, gi).is_some() {
+                return Err(CodegenError::BadFusionGroup {
+                    reason: format!("operator {m} belongs to two fusion groups"),
+                });
+            }
+            // External edges may only enter through the front.
+            if *m != g.front {
+                for &e in topo.in_edges(*m) {
+                    if !g.members.contains(&topo.edge(e).from) {
+                        return Err(CodegenError::BadFusionGroup {
+                            reason: format!("external edge enters non-front member {m}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut graph = ActorGraph::new();
+    let mut input_actor = vec![ActorId(usize::MAX); n];
+    let mut departure_actor = vec![ActorId(usize::MAX); n];
+    // Per original operator: the actor that performs its *output routing*
+    // (route configured later, once all input actors exist), or, for fused
+    // members, deferred to the meta actor's external ports.
+    let mut routing_actor = vec![None::<ActorId>; n];
+    // Replica actors of replicated ops (to wire replica -> collector).
+    let mut replica_actors: Vec<Vec<ActorId>> = vec![Vec::new(); n];
+    let mut collector_actor = vec![None::<ActorId>; n];
+    let mut emitter_actor = vec![None::<ActorId>; n];
+    // Meta actor per fusion group + its external edge->port map.
+    let mut meta_actor: Vec<Option<ActorId>> = vec![None; fusions.len()];
+    let mut meta_external: Vec<Vec<(OperatorId, OperatorId, f64, usize)>> =
+        vec![Vec::new(); fusions.len()];
+
+    // --- Create actors -----------------------------------------------------
+    for id in topo.operator_ids() {
+        let spec = topo.operator(id);
+        if id == topo.source() {
+            let mut cfg = SourceConfig::new(
+                spec.service_rate().items_per_sec(),
+                opts.items,
+            )
+            .with_seed(opts.seed);
+            if let Some(keys) = &source_keys {
+                cfg = cfg.with_keys(keys.clone());
+            }
+            let a = graph.add_actor(spec.name.clone(), Behavior::Source(cfg));
+            input_actor[id.0] = a;
+            departure_actor[id.0] = a;
+            routing_actor[id.0] = Some(a);
+            continue;
+        }
+        if let Some(&gi) = group_of.get(&id) {
+            // Member of a fusion group: the group's meta actor is created
+            // when its front is visited (BTreeSet order is stable).
+            if fusions[gi].front == id {
+                let g = &fusions[gi];
+                let members: Vec<OperatorId> = g.members.iter().cloned().collect();
+                let index_of = |m: OperatorId| members.iter().position(|x| *x == m).unwrap();
+                // External edges get sequential meta output ports.
+                let mut externals: Vec<(OperatorId, OperatorId, f64, usize)> = Vec::new();
+                for e in topo.edges() {
+                    if g.members.contains(&e.from) && !g.members.contains(&e.to) {
+                        let port = externals.len();
+                        externals.push((e.from, e.to, e.probability, port));
+                    }
+                }
+                // Internal routing tables (member port 0 only — all library
+                // operators emit on the default port).
+                let mut routes: Vec<Vec<MetaRoute>> = Vec::with_capacity(members.len());
+                let mut ops: Vec<Box<dyn StreamOperator>> = Vec::with_capacity(members.len());
+                for &m in &members {
+                    ops.push(instantiate(topo, m)?);
+                    let mut choices: Vec<(MetaDest, f64)> = Vec::new();
+                    for &eid in topo.out_edges(m) {
+                        let e = topo.edge(eid);
+                        let dest = if g.members.contains(&e.to) {
+                            MetaDest::Member(index_of(e.to))
+                        } else {
+                            let port = externals
+                                .iter()
+                                .find(|(f2, t2, _, _)| *f2 == m && *t2 == e.to)
+                                .map(|(_, _, _, p)| *p)
+                                .expect("external edge registered");
+                            MetaDest::Output(port)
+                        };
+                        choices.push((dest, e.probability));
+                    }
+                    let table = match choices.len() {
+                        0 => vec![],
+                        1 => vec![MetaRoute::Unicast(choices[0].0)],
+                        _ => vec![MetaRoute::Probabilistic { choices }],
+                    };
+                    routes.push(table);
+                }
+                let fused_names: Vec<&str> = members
+                    .iter()
+                    .map(|m| topo.operator(*m).name.as_str())
+                    .collect();
+                let meta = MetaOperator::new(
+                    format!("F({})", fused_names.join("+")),
+                    ops,
+                    routes,
+                    index_of(g.front),
+                    opts.seed ^ (0x4D45_5441 + gi as u64),
+                );
+                let a = graph.add_actor(format!("meta-g{gi}"), Behavior::Worker(Box::new(meta)));
+                meta_actor[gi] = Some(a);
+                meta_external[gi] = externals;
+                for &m in &members {
+                    input_actor[m.0] = a;
+                    departure_actor[m.0] = a;
+                }
+            }
+            continue;
+        }
+        let nrep = replicas[id.0];
+        if nrep == 1 {
+            let a = graph.add_actor(spec.name.clone(), Behavior::Worker(instantiate(topo, id)?));
+            input_actor[id.0] = a;
+            departure_actor[id.0] = a;
+            routing_actor[id.0] = Some(a);
+        } else {
+            // Emitter -> n replicas -> collector (§4.2).
+            let emitter = graph.add_actor(
+                format!("{}-emitter", spec.name),
+                Behavior::worker(PassThrough),
+            );
+            let mut reps = Vec::with_capacity(nrep);
+            for r in 0..nrep {
+                let a = graph.add_actor(
+                    format!("{}-r{r}", spec.name),
+                    Behavior::Worker(instantiate(topo, id)?),
+                );
+                reps.push(a);
+            }
+            let collector = graph.add_actor(
+                format!("{}-collector", spec.name),
+                Behavior::worker(PassThrough),
+            );
+            // Emitter policy: round-robin for stateless, key map for
+            // partitioned-stateful.
+            let route = match &spec.state {
+                StateClass::PartitionedStateful { keys } => {
+                    let assign = key_partitioning(keys, nrep);
+                    // `assign.replicas` may be < nrep for tiny key spaces;
+                    // use only the replicas the assignment references.
+                    Route::KeyMap {
+                        key_map: assign.owner.clone(),
+                        destinations: reps[..assign.replicas].to_vec(),
+                    }
+                }
+                _ => Route::RoundRobin(reps.clone()),
+            };
+            graph.connect(emitter, route);
+            for &r in &reps {
+                graph.connect(r, Route::Unicast(collector));
+            }
+            input_actor[id.0] = emitter;
+            departure_actor[id.0] = collector;
+            routing_actor[id.0] = Some(collector);
+            replica_actors[id.0] = reps;
+            emitter_actor[id.0] = Some(emitter);
+            collector_actor[id.0] = Some(collector);
+        }
+    }
+
+    // --- Wire the logical edges --------------------------------------------
+    for id in topo.operator_ids() {
+        if group_of.contains_key(&id) {
+            continue; // fused members' outputs are wired via the meta actor
+        }
+        let Some(actor) = routing_actor[id.0] else {
+            continue;
+        };
+        let outs = topo.out_edges(id);
+        if outs.is_empty() {
+            continue;
+        }
+        let choices: Vec<(ActorId, f64)> = outs
+            .iter()
+            .map(|&eid| {
+                let e = topo.edge(eid);
+                (input_actor[e.to.0], e.probability)
+            })
+            .collect();
+        let route = if choices.len() == 1 {
+            Route::Unicast(choices[0].0)
+        } else {
+            Route::Probabilistic { choices }
+        };
+        graph.connect(actor, route);
+    }
+    // Meta actors: one route per external port, in port order.
+    for (gi, externals) in meta_external.iter().enumerate() {
+        if let Some(a) = meta_actor[gi] {
+            for (_, to, _, _port) in externals {
+                graph.connect(a, Route::Unicast(input_actor[to.0]));
+            }
+        }
+    }
+
+    let num_actors = graph.num_actors();
+    Ok(GeneratedPlan {
+        graph,
+        departure_actor,
+        input_actor,
+        num_actors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_core::{OperatorSpec, ServiceTime};
+    use spinstreams_runtime::{run, EngineConfig};
+
+    fn spec(name: &str, kind: &str, ms: f64) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(ms)).with_kind(kind)
+    }
+
+    /// source -> identity -> filter(0.5) -> sink(identity)
+    fn small_topology() -> Topology {
+        let mut b = Topology::builder();
+        let s = b.add_operator(spec("src", "source", 0.05));
+        let a = b.add_operator(spec("map", "identity-map", 0.01));
+        let f = b.add_operator(
+            spec("filter", "filter", 0.01)
+                .with_param("threshold", 0.5)
+                .with_selectivity(spinstreams_core::Selectivity::output(0.5)),
+        );
+        let k = b.add_operator(spec("sink", "identity-map", 0.01));
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, f, 1.0).unwrap();
+        b.add_edge(f, k, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn engine() -> EngineConfig {
+        EngineConfig {
+            mailbox_capacity: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plain_topology_builds_one_actor_per_operator() {
+        let t = small_topology();
+        let plan =
+            build_actor_graph(&t, None, &[], &[], &CodegenOptions { items: 500, seed: 1 })
+                .unwrap();
+        assert_eq!(plan.num_actors, 4);
+        let report = run(plan.graph, &engine()).unwrap();
+        // Filter halves the stream.
+        let sink_in = report.actor(plan.input_actor[3]).items_in;
+        assert!((sink_in as f64 - 250.0).abs() < 40.0, "sink got {sink_in}");
+        assert_eq!(report.actor(plan.departure_actor[1]).items_out, 500);
+    }
+
+    #[test]
+    fn replicated_operator_gets_emitter_and_collector() {
+        let t = small_topology();
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[1, 3, 1, 1],
+            &[],
+            &CodegenOptions { items: 600, seed: 2 },
+        )
+        .unwrap();
+        // 4 logical - 1 replicated = 3 plain actors + 3 replicas + 2 aux.
+        assert_eq!(plan.num_actors, 3 + 3 + 2);
+        let report = run(plan.graph, &engine()).unwrap();
+        // The collector sees every item exactly once.
+        assert_eq!(report.actor(plan.departure_actor[1]).items_in, 600);
+        assert_eq!(report.actor(plan.departure_actor[1]).items_out, 600);
+    }
+
+    #[test]
+    fn partitioned_replicas_preserve_key_locality() {
+        // keyed-sum with 2 replicas: every key must stay on one replica, so
+        // per-key sums are identical to the unreplicated run.
+        let mut b = Topology::builder();
+        let s = b.add_operator(spec("src", "source", 0.05));
+        let keys = KeyDistribution::uniform(8);
+        let a = b.add_operator(
+            OperatorSpec::partitioned("agg", ServiceTime::from_millis(0.01), keys.clone())
+                .with_kind("keyed-sum")
+                .with_param("window", 4.0)
+                .with_param("slide", 4.0),
+        );
+        b.add_edge(s, a, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let opts = CodegenOptions { items: 800, seed: 3 };
+        let plan = build_actor_graph(&t, Some(keys), &[1, 2], &[], &opts).unwrap();
+        let report = run(plan.graph, &engine()).unwrap();
+        // Both replicas together consumed everything.
+        let consumed: u64 = (0..report.actors.len())
+            .filter(|i| report.actors[*i].name.starts_with("agg-r"))
+            .map(|i| report.actors[i].items_in)
+            .sum();
+        assert_eq!(consumed, 800);
+    }
+
+    #[test]
+    fn fusion_group_becomes_single_meta_actor() {
+        let t = small_topology();
+        let group = FusionGroup {
+            members: [OperatorId(1), OperatorId(2)].into_iter().collect(),
+            front: OperatorId(1),
+        };
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[],
+            &[group],
+            &CodegenOptions { items: 400, seed: 4 },
+        )
+        .unwrap();
+        assert_eq!(plan.num_actors, 3); // source, meta, sink
+        assert_eq!(plan.input_actor[1], plan.input_actor[2]);
+        let report = run(plan.graph, &engine()).unwrap();
+        // Meta applies map then filter: the sink sees about half.
+        let sink_in = report.actor(plan.input_actor[3]).items_in;
+        assert!((sink_in as f64 - 200.0).abs() < 40.0, "sink got {sink_in}");
+    }
+
+    #[test]
+    fn fused_and_unfused_outputs_are_semantically_equivalent() {
+        // Deterministic operators: identity-map then projection. Compare
+        // item counts through both deployments.
+        let mut b = Topology::builder();
+        let s = b.add_operator(spec("src", "source", 0.05));
+        let a = b.add_operator(spec("m1", "identity-map", 0.01));
+        let c = b.add_operator(spec("m2", "projection", 0.01).with_param("keep", 2.0));
+        let k = b.add_operator(spec("sink", "identity-map", 0.01));
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let opts = CodegenOptions { items: 300, seed: 5 };
+
+        let plain = build_actor_graph(&t, None, &[], &[], &opts).unwrap();
+        let r1 = run(plain.graph, &engine()).unwrap();
+        let plain_sink = r1.actor(plain.input_actor[3]).items_in;
+
+        let group = FusionGroup {
+            members: [OperatorId(1), OperatorId(2)].into_iter().collect(),
+            front: OperatorId(1),
+        };
+        let fused = build_actor_graph(&t, None, &[], &[group], &opts).unwrap();
+        let r2 = run(fused.graph, &engine()).unwrap();
+        let fused_sink = r2.actor(fused.input_actor[3]).items_in;
+
+        assert_eq!(plain_sink, fused_sink);
+        assert_eq!(plain_sink, 300);
+    }
+
+    #[test]
+    fn codegen_validation_errors() {
+        let t = small_topology();
+        let opts = CodegenOptions::default();
+        // Wrong replica vector length.
+        assert!(matches!(
+            build_actor_graph(&t, None, &[1, 1], &[], &opts).unwrap_err(),
+            CodegenError::BadReplicaVector { .. }
+        ));
+        // Zero degree.
+        assert!(matches!(
+            build_actor_graph(&t, None, &[1, 0, 1, 1], &[], &opts).unwrap_err(),
+            CodegenError::BadReplicaVector { .. }
+        ));
+        // Replicated source.
+        assert!(matches!(
+            build_actor_graph(&t, None, &[2, 1, 1, 1], &[], &opts).unwrap_err(),
+            CodegenError::BadReplicaVector { .. }
+        ));
+        // Fusion containing the source.
+        let g = FusionGroup {
+            members: [OperatorId(0), OperatorId(1)].into_iter().collect(),
+            front: OperatorId(1),
+        };
+        assert!(matches!(
+            build_actor_graph(&t, None, &[], &[g], &opts).unwrap_err(),
+            CodegenError::BadFusionGroup { .. }
+        ));
+        // Front not a member.
+        let g = FusionGroup {
+            members: [OperatorId(1)].into_iter().collect(),
+            front: OperatorId(2),
+        };
+        assert!(matches!(
+            build_actor_graph(&t, None, &[], &[g], &opts).unwrap_err(),
+            CodegenError::BadFusionGroup { .. }
+        ));
+        // Replicated fusion member.
+        let g = FusionGroup {
+            members: [OperatorId(1), OperatorId(2)].into_iter().collect(),
+            front: OperatorId(1),
+        };
+        assert!(matches!(
+            build_actor_graph(&t, None, &[1, 2, 1, 1], &[g], &opts).unwrap_err(),
+            CodegenError::BadFusionGroup { .. }
+        ));
+        // Unknown kind.
+        let mut b = Topology::builder();
+        let s = b.add_operator(spec("src", "source", 1.0));
+        let w = b.add_operator(spec("w", "no-such-kind", 1.0));
+        b.add_edge(s, w, 1.0).unwrap();
+        let bad = b.build().unwrap();
+        assert!(matches!(
+            build_actor_graph(&bad, None, &[], &[], &opts).unwrap_err(),
+            CodegenError::UnknownKind { .. }
+        ));
+    }
+
+    #[test]
+    fn probabilistic_split_wired_from_collector() {
+        // Replicated op with two downstream branches: the collector must
+        // carry the probabilistic split.
+        let mut b = Topology::builder();
+        let s = b.add_operator(spec("src", "source", 0.05));
+        let m = b.add_operator(spec("map", "identity-map", 0.01));
+        let x = b.add_operator(spec("x", "identity-map", 0.01));
+        let y = b.add_operator(spec("y", "identity-map", 0.01));
+        b.add_edge(s, m, 1.0).unwrap();
+        b.add_edge(m, x, 0.25).unwrap();
+        b.add_edge(m, y, 0.75).unwrap();
+        let t = b.build().unwrap();
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[1, 2, 1, 1],
+            &[],
+            &CodegenOptions { items: 4000, seed: 6 },
+        )
+        .unwrap();
+        let report = run(plan.graph, &engine()).unwrap();
+        let xin = report.actor(plan.input_actor[2]).items_in as f64;
+        assert!((xin / 4000.0 - 0.25).abs() < 0.05, "x got {xin}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Error type for topology construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`Topology`].
+///
+/// SpinStreams only analyzes *rooted acyclic flow graphs* (§3.1): a single
+/// source, no cycles, every vertex reachable from the source, and output-edge
+/// probabilities that form a distribution. Violations of those structural
+/// assumptions are reported through this type.
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The topology has no operators at all.
+    Empty,
+    /// An operator id referenced by an edge does not exist.
+    UnknownOperator {
+        /// The out-of-range vertex index.
+        index: usize,
+    },
+    /// An edge connects an operator to itself.
+    SelfLoop {
+        /// The vertex with the self loop.
+        index: usize,
+    },
+    /// The same ordered pair of operators is connected twice.
+    DuplicateEdge {
+        /// Edge origin.
+        from: usize,
+        /// Edge destination.
+        to: usize,
+    },
+    /// An edge probability is outside the half-open interval `(0, 1]`.
+    InvalidProbability {
+        /// Edge origin.
+        from: usize,
+        /// Edge destination.
+        to: usize,
+        /// The offending probability.
+        probability: f64,
+    },
+    /// The graph contains a directed cycle.
+    Cyclic,
+    /// The graph has no source (a vertex without input edges) or more than
+    /// one. SpinStreams requires exactly one; multi-source applications must
+    /// first be rewritten with a fictitious source (see
+    /// `spinstreams-analysis`).
+    SourceCount {
+        /// The vertices that have no input edges.
+        sources: Vec<usize>,
+    },
+    /// Some vertex is not reachable from the source, so the graph is not a
+    /// flow graph.
+    Unreachable {
+        /// The unreachable vertices.
+        vertices: Vec<usize>,
+    },
+    /// The probabilities on the output edges of an operator do not sum to 1.
+    ProbabilitySum {
+        /// The operator whose output distribution is invalid.
+        index: usize,
+        /// The actual sum of its output-edge probabilities.
+        sum: f64,
+    },
+    /// An operator parameter is invalid (e.g. non-positive selectivity).
+    InvalidOperator {
+        /// The operator index.
+        index: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has no operators"),
+            TopologyError::UnknownOperator { index } => {
+                write!(f, "edge references unknown operator index {index}")
+            }
+            TopologyError::SelfLoop { index } => {
+                write!(f, "operator {index} has a self-loop edge")
+            }
+            TopologyError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge from operator {from} to operator {to}")
+            }
+            TopologyError::InvalidProbability {
+                from,
+                to,
+                probability,
+            } => write!(
+                f,
+                "edge ({from} -> {to}) has probability {probability} outside (0, 1]"
+            ),
+            TopologyError::Cyclic => write!(f, "topology contains a directed cycle"),
+            TopologyError::SourceCount { sources } if sources.is_empty() => {
+                write!(f, "topology has no source vertex (every vertex has inputs)")
+            }
+            TopologyError::SourceCount { sources } => write!(
+                f,
+                "topology must have exactly one source, found {}: {:?}",
+                sources.len(),
+                sources
+            ),
+            TopologyError::Unreachable { vertices } => write!(
+                f,
+                "vertices not reachable from the source: {vertices:?} (not a flow graph)"
+            ),
+            TopologyError::ProbabilitySum { index, sum } => write!(
+                f,
+                "output-edge probabilities of operator {index} sum to {sum}, expected 1"
+            ),
+            TopologyError::InvalidOperator { index, reason } => {
+                write!(f, "operator {index} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TopologyError, &str)> = vec![
+            (TopologyError::Empty, "no operators"),
+            (TopologyError::UnknownOperator { index: 7 }, "7"),
+            (TopologyError::SelfLoop { index: 3 }, "self-loop"),
+            (TopologyError::DuplicateEdge { from: 1, to: 2 }, "duplicate"),
+            (
+                TopologyError::InvalidProbability {
+                    from: 0,
+                    to: 1,
+                    probability: 1.5,
+                },
+                "1.5",
+            ),
+            (TopologyError::Cyclic, "cycle"),
+            (
+                TopologyError::SourceCount {
+                    sources: vec![0, 4],
+                },
+                "exactly one source",
+            ),
+            (
+                TopologyError::SourceCount { sources: vec![] },
+                "no source",
+            ),
+            (
+                TopologyError::Unreachable { vertices: vec![5] },
+                "reachable",
+            ),
+            (
+                TopologyError::ProbabilitySum { index: 2, sum: 0.8 },
+                "0.8",
+            ),
+            (
+                TopologyError::InvalidOperator {
+                    index: 1,
+                    reason: "bad selectivity".into(),
+                },
+                "bad selectivity",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TopologyError::Cyclic);
+    }
+}

@@ -1,0 +1,117 @@
+//! The item (tuple) data model shared by the runtime and operator library.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of numeric attributes carried by every [`Tuple`].
+///
+/// The evaluation operators (§5.1) work on "tuples representing records of
+/// attributes". A small fixed arity keeps tuples `Copy`, which lets the
+/// runtime move them through mailboxes without allocation.
+pub const TUPLE_ARITY: usize = 4;
+
+/// A stream item: a record of [`TUPLE_ARITY`] numeric attributes plus a
+/// partitioning key and a sequence number.
+///
+/// * `key` — partitioning key used by partitioned-stateful operators and by
+///   the emitter of a replicated operator (hash routing).
+/// * `seq` — monotone sequence number assigned by the source; used by tests
+///   to check semantic equivalence of fused vs unfused sub-graphs.
+/// * `values` — numeric payload consumed by the real-world operators
+///   (filters, aggregates, skyline, joins, …).
+///
+/// # Example
+///
+/// ```
+/// use spinstreams_core::Tuple;
+/// let t = Tuple::new(42, 7, [1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(t.key, 42);
+/// assert_eq!(t.values[1], 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Partitioning key.
+    pub key: u64,
+    /// Monotone sequence number assigned by the source.
+    pub seq: u64,
+    /// Numeric attributes.
+    pub values: [f64; TUPLE_ARITY],
+}
+
+impl Tuple {
+    /// Creates a tuple from its parts.
+    pub fn new(key: u64, seq: u64, values: [f64; TUPLE_ARITY]) -> Self {
+        Tuple { key, seq, values }
+    }
+
+    /// Creates a tuple with all attributes set to `v`.
+    pub fn splat(key: u64, seq: u64, v: f64) -> Self {
+        Tuple {
+            key,
+            seq,
+            values: [v; TUPLE_ARITY],
+        }
+    }
+
+    /// Returns a copy of this tuple with `values[idx]` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= TUPLE_ARITY`.
+    pub fn with_value(mut self, idx: usize, v: f64) -> Self {
+        self.values[idx] = v;
+        self
+    }
+
+    /// Sum of all attributes.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+impl Default for Tuple {
+    fn default() -> Self {
+        Tuple::splat(0, 0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Tuple::new(1, 2, [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(t.sum(), 8.0);
+        let s = Tuple::splat(9, 0, 2.0);
+        assert_eq!(s.values, [2.0; TUPLE_ARITY]);
+        assert_eq!(s.sum(), 8.0);
+    }
+
+    #[test]
+    fn with_value_replaces_one_attribute() {
+        let t = Tuple::splat(0, 0, 1.0).with_value(2, 9.0);
+        assert_eq!(t.values, [1.0, 1.0, 9.0, 1.0]);
+    }
+
+    #[test]
+    fn tuple_is_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Tuple>();
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let t = Tuple::default();
+        assert_eq!(t.key, 0);
+        assert_eq!(t.seq, 0);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tuple::new(3, 4, [1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tuple = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,56 @@
+//! # spinstreams-core
+//!
+//! Core data model for the SpinStreams static optimization tool
+//! (Mencagli, Dazzi, Tonci — Middleware 2018).
+//!
+//! This crate defines the *abstract representation* of a streaming
+//! application on which all SpinStreams cost models operate:
+//!
+//! * [`Topology`] — a rooted acyclic flow graph of operators connected by
+//!   probability-weighted edges (the queueing-network abstraction of §3).
+//! * [`OperatorSpec`] — one vertex: a name, a profiled [`ServiceTime`],
+//!   a [`StateClass`] (stateless / partitioned-stateful / stateful) and a
+//!   [`Selectivity`] pair (§3.4).
+//! * [`Tuple`] — the item data model shared by the runtime and the
+//!   real-world operator library.
+//!
+//! The model enforces the paper's structural assumptions at construction
+//! time (single source, acyclicity, every vertex reachable from the source,
+//! output-edge probabilities summing to one), so the analysis algorithms in
+//! `spinstreams-analysis` can rely on them as invariants.
+//!
+//! # Example
+//!
+//! ```
+//! use spinstreams_core::{Topology, OperatorSpec, ServiceTime};
+//!
+//! # fn main() -> Result<(), spinstreams_core::TopologyError> {
+//! let mut b = Topology::builder();
+//! let src = b.add_operator(OperatorSpec::source("source", ServiceTime::from_millis(1.0)));
+//! let map = b.add_operator(OperatorSpec::stateless("map", ServiceTime::from_millis(2.0)));
+//! b.add_edge(src, map, 1.0)?;
+//! let topo = b.build()?;
+//! assert_eq!(topo.source(), src);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod item;
+mod keys;
+mod operator;
+mod order;
+mod paths;
+mod rates;
+mod topology;
+
+pub use error::TopologyError;
+pub use item::{Tuple, TUPLE_ARITY};
+pub use keys::KeyDistribution;
+pub use operator::{OperatorSpec, Selectivity, StateClass};
+pub use order::{is_acyclic, is_topological_order, topological_order};
+pub use paths::{arrival_coefficients, enumerate_paths, Path};
+pub use rates::{ServiceRate, ServiceTime};
+pub use topology::{Edge, EdgeId, OperatorId, Topology, TopologyBuilder};

@@ -1,0 +1,350 @@
+//! Operator specifications: state class, selectivity, profiled service time.
+
+use crate::{KeyDistribution, ServiceRate, ServiceTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How an operator holds state, which determines whether fission applies
+/// (§3.2).
+///
+/// * [`StateClass::Stateless`] — any load-balanced distribution of items
+///   among replicas is legal; the optimal replication degree `⌈ρ⌉` always
+///   removes the bottleneck.
+/// * [`StateClass::PartitionedStateful`] — state is partitioned by key;
+///   each key must be processed by a single replica, so the achievable
+///   speedup is bounded by the key-frequency skew.
+/// * [`StateClass::Stateful`] — monolithic state; fission cannot be used
+///   and a bottleneck of this class caps the whole topology through
+///   backpressure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateClass {
+    /// No state: replicas are interchangeable.
+    Stateless,
+    /// State partitioned by key.
+    PartitionedStateful {
+        /// Frequency distribution of the partitioning keys.
+        keys: KeyDistribution,
+    },
+    /// Monolithic state: cannot be replicated.
+    Stateful,
+}
+
+impl StateClass {
+    /// Returns true for [`StateClass::Stateless`].
+    pub fn is_stateless(&self) -> bool {
+        matches!(self, StateClass::Stateless)
+    }
+
+    /// Returns true for [`StateClass::PartitionedStateful`].
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, StateClass::PartitionedStateful { .. })
+    }
+
+    /// Returns true for [`StateClass::Stateful`].
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, StateClass::Stateful)
+    }
+}
+
+impl fmt::Display for StateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateClass::Stateless => write!(f, "stateless"),
+            StateClass::PartitionedStateful { keys } => {
+                write!(f, "partitioned-stateful({} keys)", keys.num_keys())
+            }
+            StateClass::Stateful => write!(f, "stateful"),
+        }
+    }
+}
+
+/// Input/output selectivity of an operator (§3.4).
+///
+/// * `input` — average number of input items consumed before a new output is
+///   produced (sliding-window operators: the slide `s`).
+/// * `output` — average number of output items produced per input item
+///   (flatmap > 1, selection/filter < 1).
+///
+/// An operator with both equal to one produces exactly one output per input,
+/// the base case of §3.1. The steady-state departure rate of an operator
+/// with arrival rate `λ` and service rate `µ` is
+/// `δ = min(λ, µ) · output / input`.
+///
+/// # Example
+///
+/// ```
+/// use spinstreams_core::Selectivity;
+/// let window = Selectivity::input(10.0);   // one aggregate per 10 items
+/// assert_eq!(window.rate_factor(), 0.1);
+/// let flatmap = Selectivity::output(3.0);  // three outputs per item
+/// assert_eq!(flatmap.rate_factor(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Selectivity {
+    /// Average inputs consumed per output produced (`≥ 0`, typically `≥ 1`).
+    pub input: f64,
+    /// Average outputs produced per input consumed.
+    pub output: f64,
+}
+
+impl Selectivity {
+    /// The identity selectivity: one output per input.
+    pub const ONE: Selectivity = Selectivity {
+        input: 1.0,
+        output: 1.0,
+    };
+
+    /// Selectivity of an operator consuming `s` inputs per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not finite and positive.
+    pub fn input(s: f64) -> Self {
+        assert!(s.is_finite() && s > 0.0, "input selectivity must be > 0");
+        Selectivity {
+            input: s,
+            output: 1.0,
+        }
+    }
+
+    /// Selectivity of an operator producing `s` outputs per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not finite and non-negative.
+    pub fn output(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "output selectivity must be >= 0"
+        );
+        Selectivity {
+            input: 1.0,
+            output: s,
+        }
+    }
+
+    /// Combined multiplicative effect on the departure rate:
+    /// `δ = min(λ, µ) · rate_factor()`.
+    pub fn rate_factor(self) -> f64 {
+        self.output / self.input
+    }
+
+    /// Returns true if this is the identity selectivity.
+    pub fn is_identity(self) -> bool {
+        self.input == 1.0 && self.output == 1.0
+    }
+
+    /// Validates the selectivity values, returning a description of the
+    /// problem if invalid.
+    pub fn validate(self) -> Result<(), String> {
+        if !self.input.is_finite() || self.input <= 0.0 {
+            return Err(format!("input selectivity must be > 0, got {}", self.input));
+        }
+        if !self.output.is_finite() || self.output < 0.0 {
+            return Err(format!(
+                "output selectivity must be >= 0, got {}",
+                self.output
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Selectivity {
+    fn default() -> Self {
+        Selectivity::ONE
+    }
+}
+
+/// One vertex of a streaming topology: a named operator with its profiled
+/// performance characteristics.
+///
+/// The `kind` / `params` pair is an opaque tag consumed by the code
+/// generator (`spinstreams-codegen`) to instantiate the concrete runtime
+/// operator — the analogue of the `.class` file the paper's users provide
+/// alongside the XML topology description (§4.1). Purely analytical
+/// workflows may leave it empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Human-readable unique name.
+    pub name: String,
+    /// Profiled average service time per input item (`µ⁻¹`).
+    pub service_time: ServiceTime,
+    /// How the operator holds state.
+    pub state: StateClass,
+    /// Input/output selectivity (§3.4).
+    pub selectivity: Selectivity,
+    /// Registry tag of the concrete operator implementation, if any.
+    pub kind: String,
+    /// Parameters forwarded to the operator factory (window length, …).
+    pub params: BTreeMap<String, f64>,
+}
+
+impl OperatorSpec {
+    /// Creates a stateless operator spec with identity selectivity.
+    pub fn stateless(name: impl Into<String>, service_time: ServiceTime) -> Self {
+        OperatorSpec {
+            name: name.into(),
+            service_time,
+            state: StateClass::Stateless,
+            selectivity: Selectivity::ONE,
+            kind: String::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a partitioned-stateful operator spec.
+    pub fn partitioned(
+        name: impl Into<String>,
+        service_time: ServiceTime,
+        keys: KeyDistribution,
+    ) -> Self {
+        OperatorSpec {
+            name: name.into(),
+            service_time,
+            state: StateClass::PartitionedStateful { keys },
+            selectivity: Selectivity::ONE,
+            kind: String::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a (monolithic) stateful operator spec.
+    pub fn stateful(name: impl Into<String>, service_time: ServiceTime) -> Self {
+        OperatorSpec {
+            name: name.into(),
+            service_time,
+            state: StateClass::Stateful,
+            selectivity: Selectivity::ONE,
+            kind: String::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a source operator spec.
+    ///
+    /// A source is modeled as a stateless operator whose service time is the
+    /// inverse of its generation rate; by the paper's convention it is vertex
+    /// 0 and has no input edges.
+    pub fn source(name: impl Into<String>, service_time: ServiceTime) -> Self {
+        Self::stateless(name, service_time)
+    }
+
+    /// Sets the selectivity (builder style).
+    pub fn with_selectivity(mut self, selectivity: Selectivity) -> Self {
+        self.selectivity = selectivity;
+        self
+    }
+
+    /// Sets the registry kind tag (builder style).
+    pub fn with_kind(mut self, kind: impl Into<String>) -> Self {
+        self.kind = kind.into();
+        self
+    }
+
+    /// Adds a factory parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.params.insert(key.into(), value);
+        self
+    }
+
+    /// The operator's service rate `µ = 1 / service_time`.
+    pub fn service_rate(&self) -> ServiceRate {
+        self.service_time.rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_class_predicates() {
+        assert!(StateClass::Stateless.is_stateless());
+        assert!(StateClass::Stateful.is_stateful());
+        let p = StateClass::PartitionedStateful {
+            keys: KeyDistribution::uniform(8),
+        };
+        assert!(p.is_partitioned());
+        assert!(!p.is_stateless() && !p.is_stateful());
+    }
+
+    #[test]
+    fn state_class_display() {
+        assert_eq!(StateClass::Stateless.to_string(), "stateless");
+        assert_eq!(StateClass::Stateful.to_string(), "stateful");
+        let p = StateClass::PartitionedStateful {
+            keys: KeyDistribution::uniform(8),
+        };
+        assert_eq!(p.to_string(), "partitioned-stateful(8 keys)");
+    }
+
+    #[test]
+    fn selectivity_rate_factor() {
+        assert_eq!(Selectivity::ONE.rate_factor(), 1.0);
+        assert!((Selectivity::input(4.0).rate_factor() - 0.25).abs() < 1e-12);
+        assert!((Selectivity::output(2.0).rate_factor() - 2.0).abs() < 1e-12);
+        let both = Selectivity {
+            input: 10.0,
+            output: 5.0,
+        };
+        assert!((both.rate_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_validation() {
+        assert!(Selectivity::ONE.validate().is_ok());
+        assert!(Selectivity {
+            input: 0.0,
+            output: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Selectivity {
+            input: 1.0,
+            output: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Selectivity {
+            input: f64::NAN,
+            output: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn selectivity_identity_check() {
+        assert!(Selectivity::ONE.is_identity());
+        assert!(Selectivity::default().is_identity());
+        assert!(!Selectivity::input(2.0).is_identity());
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = OperatorSpec::stateless("map", ServiceTime::from_millis(1.0))
+            .with_selectivity(Selectivity::output(0.5))
+            .with_kind("filter")
+            .with_param("threshold", 0.7);
+        assert_eq!(spec.name, "map");
+        assert_eq!(spec.kind, "filter");
+        assert_eq!(spec.params["threshold"], 0.7);
+        assert_eq!(spec.selectivity.output, 0.5);
+        assert!((spec.service_rate().items_per_sec() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = OperatorSpec::partitioned(
+            "agg",
+            ServiceTime::from_millis(2.0),
+            KeyDistribution::zipf(16, 1.2),
+        )
+        .with_selectivity(Selectivity::input(10.0));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: OperatorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

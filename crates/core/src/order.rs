@@ -1,0 +1,203 @@
+//! Topological ordering and acyclicity checks.
+//!
+//! The steady-state analysis (§3.1) visits vertices in a topological order so
+//! that every predecessor's departure rate is known when a vertex is
+//! examined. These helpers operate both on raw adjacency lists (used during
+//! validation, before a [`Topology`] exists) and on validated topologies.
+//!
+//! [`Topology`]: crate::Topology
+
+use crate::{OperatorId, Topology};
+
+/// Returns true if the directed graph given as successor lists is acyclic.
+///
+/// Standard three-color depth-first search; `n` is the number of vertices
+/// and `succ[v]` lists the successors of `v`.
+///
+/// # Panics
+///
+/// Panics if any successor index is `>= n`.
+pub fn is_acyclic(n: usize, succ: &[Vec<usize>]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    // Iterative DFS with an explicit stack of (vertex, next-child-index).
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = Color::Gray;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < succ[v].len() {
+                let w = succ[v][*next];
+                *next += 1;
+                match color[w] {
+                    Color::Gray => return false,
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+/// Computes a topological ordering of a validated [`Topology`], starting at
+/// the source.
+///
+/// The ordering is produced by a depth-first search (reverse postorder), as
+/// prescribed in §3.1. Since a validated topology is acyclic and rooted,
+/// the ordering always exists and includes every operator, with the source
+/// first.
+pub fn topological_order(topo: &Topology) -> Vec<OperatorId> {
+    let n = topo.num_operators();
+    let mut visited = vec![false; n];
+    let mut postorder: Vec<usize> = Vec::with_capacity(n);
+    // Iterative DFS from the source; validated topologies are rooted, so one
+    // root suffices.
+    let mut stack: Vec<(usize, usize)> = vec![(topo.source().0, 0)];
+    visited[topo.source().0] = true;
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let succs = topo.successors(OperatorId(v));
+        if *next < succs.len() {
+            let w = succs[*next].0;
+            *next += 1;
+            if !visited[w] {
+                visited[w] = true;
+                stack.push((w, 0));
+            }
+        } else {
+            postorder.push(v);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    debug_assert_eq!(postorder.len(), n, "rooted topology covers all vertices");
+    postorder.into_iter().map(OperatorId).collect()
+}
+
+/// Verifies that `order` is a topological ordering of `topo`: it contains
+/// every operator exactly once and every edge goes forward in the order.
+pub fn is_topological_order(topo: &Topology, order: &[OperatorId]) -> bool {
+    let n = topo.num_operators();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, id) in order.iter().enumerate() {
+        if id.0 >= n || pos[id.0] != usize::MAX {
+            return false;
+        }
+        pos[id.0] = i;
+    }
+    topo.edges()
+        .iter()
+        .all(|e| pos[e.from.0] < pos[e.to.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OperatorSpec, ServiceTime, Topology};
+
+    fn op(name: &str) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(1.0))
+    }
+
+    fn chain(len: usize) -> Topology {
+        let mut b = Topology::builder();
+        let ids: Vec<_> = (0..len).map(|i| b.add_operator(op(&format!("op{i}")))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn acyclic_detection() {
+        // 0 -> 1 -> 2
+        assert!(is_acyclic(3, &[vec![1], vec![2], vec![]]));
+        // 0 -> 1 -> 2 -> 0
+        assert!(!is_acyclic(3, &[vec![1], vec![2], vec![0]]));
+        // self loop
+        assert!(!is_acyclic(1, &[vec![0]]));
+        // disconnected acyclic
+        assert!(is_acyclic(4, &[vec![1], vec![], vec![3], vec![]]));
+        // cycle in a non-root component
+        assert!(!is_acyclic(4, &[vec![1], vec![], vec![3], vec![2]]));
+        // empty graph
+        assert!(is_acyclic(0, &[]));
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        let n = 200_000;
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|v| if v + 1 < n { vec![v + 1] } else { vec![] })
+            .collect();
+        assert!(is_acyclic(n, &succ));
+    }
+
+    #[test]
+    fn chain_order_is_identity() {
+        let t = chain(5);
+        let order = topological_order(&t);
+        assert_eq!(order, (0..5).map(OperatorId).collect::<Vec<_>>());
+        assert!(is_topological_order(&t, &order));
+    }
+
+    #[test]
+    fn diamond_order_is_topological() {
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("s"));
+        let l = b.add_operator(op("l"));
+        let r = b.add_operator(op("r"));
+        let k = b.add_operator(op("k"));
+        b.add_edge(s, l, 0.5).unwrap();
+        b.add_edge(s, r, 0.5).unwrap();
+        b.add_edge(l, k, 1.0).unwrap();
+        b.add_edge(r, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let order = topological_order(&t);
+        assert_eq!(order[0], s);
+        assert_eq!(order[3], k);
+        assert!(is_topological_order(&t, &order));
+    }
+
+    #[test]
+    fn order_starts_at_source() {
+        let t = chain(10);
+        assert_eq!(topological_order(&t)[0], t.source());
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_orders() {
+        let t = chain(3);
+        let ids: Vec<_> = (0..3).map(OperatorId).collect();
+        // reversed
+        assert!(!is_topological_order(
+            &t,
+            &[ids[2], ids[1], ids[0]]
+        ));
+        // wrong length
+        assert!(!is_topological_order(&t, &[ids[0], ids[1]]));
+        // duplicates
+        assert!(!is_topological_order(&t, &[ids[0], ids[0], ids[1]]));
+        // out of range
+        assert!(!is_topological_order(
+            &t,
+            &[ids[0], ids[1], OperatorId(7)]
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Source-to-vertex path enumeration and linear flow coefficients.
+//!
+//! Theorem 3.2 expresses the arrival rate at a bottleneck as
+//! `λᵢ = δ₁ · Σ_{π ∈ P(i)} Π_{(u,v) ∈ π} p(u,v)` — a sum over all paths from
+//! the source. Explicit path enumeration ([`enumerate_paths`]) is exponential
+//! in the worst case but fine for the tens-of-operators topologies the paper
+//! targets; [`arrival_coefficients`] computes the same quantity for *every*
+//! vertex in linear time by dynamic programming over a topological order,
+//! additionally folding in operator selectivities (§3.4).
+
+use crate::{topological_order, OperatorId, Topology};
+
+/// A simple path from the source to some vertex, with its probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// The vertices traversed, starting at the path's origin.
+    pub vertices: Vec<OperatorId>,
+    /// Product of the probabilities of the traversed edges.
+    pub probability: f64,
+}
+
+impl Path {
+    /// Number of edges in the path.
+    pub fn len(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// Returns true if the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() <= 1
+    }
+}
+
+/// Enumerates every path from `from` to `to` in the topology, with its
+/// probability.
+///
+/// If `from == to` the single empty path (probability 1) is returned. The
+/// graph is acyclic so enumeration terminates; worst-case cost is
+/// exponential in `|V|`, acceptable for the small graphs SpinStreams
+/// targets (§3.3 makes the same argument for `fusionRate`).
+pub fn enumerate_paths(topo: &Topology, from: OperatorId, to: OperatorId) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut current = vec![from];
+    let mut prob = vec![1.0f64];
+    // DFS with explicit stacks: `frame` holds (vertex, next-successor-idx).
+    fn dfs(
+        topo: &Topology,
+        v: OperatorId,
+        to: OperatorId,
+        current: &mut Vec<OperatorId>,
+        prob: &mut Vec<f64>,
+        out: &mut Vec<Path>,
+    ) {
+        if v == to {
+            out.push(Path {
+                vertices: current.clone(),
+                probability: *prob.last().expect("prob stack nonempty"),
+            });
+            return;
+        }
+        for &eid in topo.out_edges(v) {
+            let e = topo.edge(eid);
+            current.push(e.to);
+            prob.push(prob.last().unwrap() * e.probability);
+            dfs(topo, e.to, to, current, prob, out);
+            current.pop();
+            prob.pop();
+        }
+    }
+    dfs(topo, from, to, &mut current, &mut prob, &mut out);
+    out
+}
+
+/// Linear-time computation, for every vertex, of the coefficient `cᵥ` such
+/// that at steady state *with no bottlenecks* the arrival rate at `v` is
+/// `λᵥ = δ₁ · cᵥ`.
+///
+/// The coefficient folds in both edge probabilities and the selectivity
+/// rate factors of intermediate operators: a non-bottleneck operator departs
+/// at `δ = λ · (output_selectivity / input_selectivity)`. For the source the
+/// entry is `0` (a source has no arrivals).
+///
+/// With identity selectivities everywhere, `cᵥ` equals the path-probability
+/// sum of Theorem 3.2, and the sum of sink *departure* coefficients equals 1
+/// (Proposition 3.5).
+pub fn arrival_coefficients(topo: &Topology) -> Vec<f64> {
+    let order = topological_order(topo);
+    let n = topo.num_operators();
+    let mut arrival = vec![0.0f64; n];
+    let mut departure = vec![0.0f64; n];
+    for &id in &order {
+        let d = if id == topo.source() {
+            // The source's departure *is* δ₁: coefficient 1 by definition.
+            1.0
+        } else {
+            arrival[id.0] * topo.operator(id).selectivity.rate_factor()
+        };
+        departure[id.0] = d;
+        for &eid in topo.out_edges(id) {
+            let e = topo.edge(eid);
+            arrival[e.to.0] += d * e.probability;
+        }
+    }
+    arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OperatorSpec, Selectivity, ServiceTime, Topology};
+
+    fn op(name: &str) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(1.0))
+    }
+
+    /// `0 -> {1 (0.3), 2 (0.7)}; 1 -> 3; 2 -> 3; 3 -> 4`
+    fn diamond_chain() -> Topology {
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("s"));
+        let l = b.add_operator(op("l"));
+        let r = b.add_operator(op("r"));
+        let j = b.add_operator(op("j"));
+        let k = b.add_operator(op("k"));
+        b.add_edge(s, l, 0.3).unwrap();
+        b.add_edge(s, r, 0.7).unwrap();
+        b.add_edge(l, j, 1.0).unwrap();
+        b.add_edge(r, j, 1.0).unwrap();
+        b.add_edge(j, k, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enumerates_both_diamond_paths() {
+        let t = diamond_chain();
+        let paths = enumerate_paths(&t, OperatorId(0), OperatorId(3));
+        assert_eq!(paths.len(), 2);
+        let total: f64 = paths.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for p in &paths {
+            assert_eq!(p.vertices.first(), Some(&OperatorId(0)));
+            assert_eq!(p.vertices.last(), Some(&OperatorId(3)));
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_path_to_self() {
+        let t = diamond_chain();
+        let paths = enumerate_paths(&t, OperatorId(2), OperatorId(2));
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_empty());
+        assert_eq!(paths[0].probability, 1.0);
+    }
+
+    #[test]
+    fn no_paths_backward() {
+        let t = diamond_chain();
+        assert!(enumerate_paths(&t, OperatorId(3), OperatorId(0)).is_empty());
+        // No path between the two diamond branches either.
+        assert!(enumerate_paths(&t, OperatorId(1), OperatorId(2)).is_empty());
+    }
+
+    #[test]
+    fn coefficients_match_path_enumeration_with_identity_selectivity() {
+        let t = diamond_chain();
+        let c = arrival_coefficients(&t);
+        for (v, coeff) in c.iter().enumerate().skip(1) {
+            let by_paths: f64 = enumerate_paths(&t, t.source(), OperatorId(v))
+                .iter()
+                .map(|p| p.probability)
+                .sum();
+            assert!(
+                (coeff - by_paths).abs() < 1e-12,
+                "vertex {v}: dp={coeff} paths={by_paths}"
+            );
+        }
+        assert_eq!(c[0], 0.0, "source has no arrivals");
+    }
+
+    #[test]
+    fn coefficients_fold_in_selectivity() {
+        // source -> filter (output selectivity 0.5) -> sink
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("s"));
+        let f = b.add_operator(
+            op("filter").with_selectivity(Selectivity::output(0.5)),
+        );
+        let k = b.add_operator(op("k"));
+        b.add_edge(s, f, 1.0).unwrap();
+        b.add_edge(f, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let c = arrival_coefficients(&t);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+        assert!((c[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_selectivity_divides_downstream_rate() {
+        // source -> window (input selectivity 10) -> sink
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("s"));
+        let w = b.add_operator(op("w").with_selectivity(Selectivity::input(10.0)));
+        let k = b.add_operator(op("k"));
+        b.add_edge(s, w, 1.0).unwrap();
+        b.add_edge(w, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let c = arrival_coefficients(&t);
+        assert!((c[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_departure_coefficients_sum_to_one_without_selectivity() {
+        // Proposition 3.5: with identity selectivities, total sink departure
+        // equals source departure — coefficients of sink arrivals sum to 1
+        // (sinks have identity selectivity here).
+        let t = diamond_chain();
+        let c = arrival_coefficients(&t);
+        let sink_total: f64 = t.sinks().iter().map(|s| c[s.0]).sum();
+        assert!((sink_total - 1.0).abs() < 1e-12);
+    }
+}

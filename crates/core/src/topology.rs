@@ -1,0 +1,676 @@
+//! The rooted acyclic flow graph of a streaming application.
+
+use crate::{is_acyclic, OperatorSpec, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operator (vertex) within one [`Topology`].
+///
+/// Ids are dense indices assigned in insertion order; the source is always
+/// operator 0 once the topology validates.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct OperatorId(pub usize);
+
+impl OperatorId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OP{}", self.0)
+    }
+}
+
+/// Identifier of an edge within one [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A directed, probability-weighted stream between two operators.
+///
+/// The probability is the measured fraction of the origin's output items
+/// routed onto this edge (§3.1); the probabilities of all output edges of an
+/// operator sum to one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Origin operator.
+    pub from: OperatorId,
+    /// Destination operator.
+    pub to: OperatorId,
+    /// Routing probability in `(0, 1]`.
+    pub probability: f64,
+}
+
+/// A validated streaming topology: a rooted acyclic flow graph.
+///
+/// Guarantees established by [`TopologyBuilder::build`]:
+///
+/// * at least one operator; exactly one *source* (vertex without inputs);
+/// * no cycles, self-loops or duplicate edges;
+/// * every vertex reachable from the source (flow-graph property);
+/// * each edge probability in `(0, 1]`, and the output probabilities of
+///   every non-sink operator summing to 1 (±1e-6);
+/// * every operator's selectivity valid.
+///
+/// The structure is immutable after construction; optimization passes
+/// produce *new* topologies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    ops: Vec<OperatorSpec>,
+    edges: Vec<Edge>,
+    #[serde(skip)]
+    out_adj: Vec<Vec<EdgeId>>,
+    #[serde(skip)]
+    in_adj: Vec<Vec<EdgeId>>,
+    source: OperatorId,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of operators `|V|`.
+    pub fn num_operators(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The unique source operator.
+    pub fn source(&self) -> OperatorId {
+        self.source
+    }
+
+    /// The sink operators (vertices without output edges), in id order.
+    pub fn sinks(&self) -> Vec<OperatorId> {
+        (0..self.ops.len())
+            .map(OperatorId)
+            .filter(|id| self.out_adj[id.0].is_empty())
+            .collect()
+    }
+
+    /// The spec of operator `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn operator(&self, id: OperatorId) -> &OperatorSpec {
+        &self.ops[id.0]
+    }
+
+    /// All operator specs in id order.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.ops
+    }
+
+    /// Iterator over all operator ids.
+    pub fn operator_ids(&self) -> impl Iterator<Item = OperatorId> + '_ {
+        (0..self.ops.len()).map(OperatorId)
+    }
+
+    /// The edge with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.0]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of the output edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: OperatorId) -> &[EdgeId] {
+        &self.out_adj[id.0]
+    }
+
+    /// Ids of the input edges of `id`, in insertion order.
+    pub fn in_edges(&self, id: OperatorId) -> &[EdgeId] {
+        &self.in_adj[id.0]
+    }
+
+    /// The incoming neighborhood `IN(i)`: origins of the input edges of `id`.
+    pub fn predecessors(&self, id: OperatorId) -> Vec<OperatorId> {
+        self.in_adj[id.0]
+            .iter()
+            .map(|e| self.edges[e.0].from)
+            .collect()
+    }
+
+    /// The outgoing neighborhood: destinations of the output edges of `id`.
+    pub fn successors(&self, id: OperatorId) -> Vec<OperatorId> {
+        self.out_adj[id.0]
+            .iter()
+            .map(|e| self.edges[e.0].to)
+            .collect()
+    }
+
+    /// The probability of the edge from `from` to `to`, or `None` if no such
+    /// edge exists.
+    pub fn edge_probability(&self, from: OperatorId, to: OperatorId) -> Option<f64> {
+        self.out_adj[from.0]
+            .iter()
+            .map(|e| self.edges[e.0])
+            .find(|edge| edge.to == to)
+            .map(|edge| edge.probability)
+    }
+
+    /// Looks up an operator by name.
+    pub fn operator_by_name(&self, name: &str) -> Option<OperatorId> {
+        self.ops
+            .iter()
+            .position(|op| op.name == name)
+            .map(OperatorId)
+    }
+
+    /// Returns a builder pre-loaded with this topology's operators and
+    /// edges, for deriving modified topologies.
+    pub fn to_builder(&self) -> TopologyBuilder {
+        TopologyBuilder {
+            ops: self.ops.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Rebuilds adjacency lists (used after deserialization, where they are
+    /// skipped).
+    fn rebuild_adjacency(&mut self) {
+        self.out_adj = vec![Vec::new(); self.ops.len()];
+        self.in_adj = vec![Vec::new(); self.ops.len()];
+        for (i, edge) in self.edges.iter().enumerate() {
+            self.out_adj[edge.from.0].push(EdgeId(i));
+            self.in_adj[edge.to.0].push(EdgeId(i));
+        }
+    }
+
+    /// Reconstructs and re-validates a topology from raw parts, e.g. after
+    /// deserialization.
+    pub fn from_parts(
+        ops: Vec<OperatorSpec>,
+        edges: Vec<Edge>,
+    ) -> Result<Topology, TopologyError> {
+        let mut b = TopologyBuilder {
+            ops,
+            ..Default::default()
+        };
+        for e in edges {
+            b.add_edge(e.from, e.to, e.probability)?;
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Topology: {} operators, {} edges",
+            self.num_operators(),
+            self.num_edges()
+        )?;
+        for id in self.operator_ids() {
+            let op = self.operator(id);
+            write!(
+                f,
+                "  {} {:<16} µ⁻¹={:<12} {:<28}",
+                id,
+                op.name,
+                op.service_time.to_string(),
+                op.state.to_string()
+            )?;
+            let outs: Vec<String> = self
+                .out_edges(id)
+                .iter()
+                .map(|e| {
+                    let edge = self.edge(*e);
+                    format!("{}@{:.2}", edge.to, edge.probability)
+                })
+                .collect();
+            if outs.is_empty() {
+                writeln!(f, " -> (sink)")?;
+            } else {
+                writeln!(f, " -> {}", outs.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Topology`].
+///
+/// Collects operators and edges, then validates all structural assumptions
+/// in [`TopologyBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    ops: Vec<OperatorSpec>,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operator and returns its id.
+    pub fn add_operator(&mut self, spec: OperatorSpec) -> OperatorId {
+        self.ops.push(spec);
+        OperatorId(self.ops.len() - 1)
+    }
+
+    /// Adds an edge with the given routing probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error immediately if either endpoint is unknown, the edge
+    /// is a self-loop or a duplicate, or the probability is outside `(0,1]`.
+    pub fn add_edge(
+        &mut self,
+        from: OperatorId,
+        to: OperatorId,
+        probability: f64,
+    ) -> Result<EdgeId, TopologyError> {
+        for id in [from, to] {
+            if id.0 >= self.ops.len() {
+                return Err(TopologyError::UnknownOperator { index: id.0 });
+            }
+        }
+        if from == to {
+            return Err(TopologyError::SelfLoop { index: from.0 });
+        }
+        if self.edges.iter().any(|e| e.from == from && e.to == to) {
+            return Err(TopologyError::DuplicateEdge {
+                from: from.0,
+                to: to.0,
+            });
+        }
+        if !probability.is_finite() || probability <= 0.0 || probability > 1.0 {
+            return Err(TopologyError::InvalidProbability {
+                from: from.0,
+                to: to.0,
+                probability,
+            });
+        }
+        self.edges.push(Edge {
+            from,
+            to,
+            probability,
+        });
+        Ok(EdgeId(self.edges.len() - 1))
+    }
+
+    /// Number of operators added so far.
+    pub fn num_operators(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns true if an edge `from -> to` has already been added.
+    pub fn has_edge(&self, from: OperatorId, to: OperatorId) -> bool {
+        self.edges.iter().any(|e| e.from == from && e.to == to)
+    }
+
+    /// Returns true if operator `id` currently has at least one input edge.
+    pub fn has_inputs(&self, id: OperatorId) -> bool {
+        self.edges.iter().any(|e| e.to == id)
+    }
+
+    /// Number of input edges of `id` added so far.
+    pub fn in_degree(&self, id: OperatorId) -> usize {
+        self.edges.iter().filter(|e| e.to == id).count()
+    }
+
+    /// Mutable access to an operator spec added earlier (e.g. to adjust a
+    /// profiled service time before building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn operator_mut(&mut self, id: OperatorId) -> &mut OperatorSpec {
+        &mut self.ops[id.0]
+    }
+
+    /// Validates every structural assumption of §3.1 and produces the
+    /// immutable [`Topology`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TopologyError`] for the full list of structural violations.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.ops.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let n = self.ops.len();
+
+        // Selectivity validation.
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Err(reason) = op.selectivity.validate() {
+                return Err(TopologyError::InvalidOperator { index: i, reason });
+            }
+        }
+
+        // Exactly one source.
+        let mut has_input = vec![false; n];
+        for e in &self.edges {
+            has_input[e.to.0] = true;
+        }
+        let sources: Vec<usize> = (0..n).filter(|i| !has_input[*i]).collect();
+        if sources.len() != 1 {
+            return Err(TopologyError::SourceCount { sources });
+        }
+        let source = OperatorId(sources[0]);
+
+        // Acyclicity.
+        let succ: Vec<Vec<usize>> = {
+            let mut s = vec![Vec::new(); n];
+            for e in &self.edges {
+                s[e.from.0].push(e.to.0);
+            }
+            s
+        };
+        if !is_acyclic(n, &succ) {
+            return Err(TopologyError::Cyclic);
+        }
+
+        // Reachability from the source (flow graph).
+        let mut seen = vec![false; n];
+        let mut stack = vec![source.0];
+        seen[source.0] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &succ[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        let unreachable: Vec<usize> = (0..n).filter(|i| !seen[*i]).collect();
+        if !unreachable.is_empty() {
+            return Err(TopologyError::Unreachable {
+                vertices: unreachable,
+            });
+        }
+
+        // Output probability distributions.
+        let mut out_sum = vec![0.0f64; n];
+        let mut out_count = vec![0usize; n];
+        for e in &self.edges {
+            out_sum[e.from.0] += e.probability;
+            out_count[e.from.0] += 1;
+        }
+        for i in 0..n {
+            if out_count[i] > 0 && (out_sum[i] - 1.0).abs() > 1e-6 {
+                return Err(TopologyError::ProbabilitySum {
+                    index: i,
+                    sum: out_sum[i],
+                });
+            }
+        }
+
+        let mut topo = Topology {
+            ops: self.ops,
+            edges: self.edges,
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+            source,
+        };
+        topo.rebuild_adjacency();
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceTime, Selectivity};
+
+    fn op(name: &str) -> OperatorSpec {
+        OperatorSpec::stateless(name, ServiceTime::from_millis(1.0))
+    }
+
+    /// Builds the diamond used in several tests:
+    /// `0 -> {1 (0.4), 2 (0.6)}; 1 -> 3; 2 -> 3`.
+    fn diamond() -> Topology {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("src"));
+        let l = b.add_operator(op("left"));
+        let r = b.add_operator(op("right"));
+        let s = b.add_operator(op("sink"));
+        b.add_edge(a, l, 0.4).unwrap();
+        b.add_edge(a, r, 0.6).unwrap();
+        b.add_edge(l, s, 1.0).unwrap();
+        b.add_edge(r, s, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_valid_diamond() {
+        let t = diamond();
+        assert_eq!(t.num_operators(), 4);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.source(), OperatorId(0));
+        assert_eq!(t.sinks(), vec![OperatorId(3)]);
+        assert_eq!(
+            t.predecessors(OperatorId(3)),
+            vec![OperatorId(1), OperatorId(2)]
+        );
+        assert_eq!(
+            t.successors(OperatorId(0)),
+            vec![OperatorId(1), OperatorId(2)]
+        );
+        assert_eq!(t.edge_probability(OperatorId(0), OperatorId(2)), Some(0.6));
+        assert_eq!(t.edge_probability(OperatorId(1), OperatorId(2)), None);
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert_eq!(Topology::builder().build().unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        assert_eq!(
+            b.add_edge(a, a, 1.0).unwrap_err(),
+            TopologyError::SelfLoop { index: 0 }
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        let c = b.add_operator(op("b"));
+        b.add_edge(a, c, 0.5).unwrap();
+        assert!(matches!(
+            b.add_edge(a, c, 0.5).unwrap_err(),
+            TopologyError::DuplicateEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        assert!(matches!(
+            b.add_edge(a, OperatorId(9), 1.0).unwrap_err(),
+            TopologyError::UnknownOperator { index: 9 }
+        ));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        let c = b.add_operator(op("b"));
+        for p in [0.0, -0.3, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.clone().add_edge(a, c, p).unwrap_err(),
+                TopologyError::InvalidProbability { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src"));
+        let x = b.add_operator(op("x"));
+        let y = b.add_operator(op("y"));
+        b.add_edge(s, x, 1.0).unwrap();
+        b.add_edge(x, y, 1.0).unwrap();
+        b.add_edge(y, x, 1.0).unwrap();
+        // x's output distribution is fine (1.0), y -> x creates a cycle.
+        assert_eq!(b.build().unwrap_err(), TopologyError::Cyclic);
+    }
+
+    #[test]
+    fn multi_source_rejected() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        let c = b.add_operator(op("b"));
+        let d = b.add_operator(op("join"));
+        b.add_edge(a, d, 1.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::SourceCount {
+                sources: vec![0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn no_source_is_reported_via_cycle_or_sources() {
+        // A pure 2-cycle has no vertex without inputs.
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("a"));
+        let c = b.add_operator(op("b"));
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, a, 1.0).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::SourceCount { sources: vec![] }
+        );
+    }
+
+    #[test]
+    fn probability_sum_enforced() {
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("src"));
+        let l = b.add_operator(op("l"));
+        let r = b.add_operator(op("r"));
+        b.add_edge(a, l, 0.4).unwrap();
+        b.add_edge(a, r, 0.4).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::ProbabilitySum { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_selectivity_rejected_at_build() {
+        let mut b = Topology::builder();
+        let mut bad = op("src");
+        bad.selectivity = Selectivity {
+            input: -1.0,
+            output: 1.0,
+        };
+        b.add_operator(bad);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::InvalidOperator { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn single_vertex_topology_is_valid() {
+        let mut b = Topology::builder();
+        b.add_operator(op("only"));
+        let t = b.build().unwrap();
+        assert_eq!(t.source(), OperatorId(0));
+        assert_eq!(t.sinks(), vec![OperatorId(0)]);
+    }
+
+    #[test]
+    fn operator_by_name() {
+        let t = diamond();
+        assert_eq!(t.operator_by_name("right"), Some(OperatorId(2)));
+        assert_eq!(t.operator_by_name("nope"), None);
+    }
+
+    #[test]
+    fn to_builder_roundtrip() {
+        let t = diamond();
+        let t2 = t.to_builder().build().unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_parts_revalidates() {
+        let t = diamond();
+        let t2 = Topology::from_parts(t.operators().to_vec(), t.edges().to_vec()).unwrap();
+        assert_eq!(t.num_edges(), t2.num_edges());
+        assert_eq!(t.source(), t2.source());
+        // And rejects bad parts.
+        assert!(Topology::from_parts(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_via_from_parts() {
+        let t = diamond();
+        let json = serde_json::to_string(&t).unwrap();
+        let raw: Topology = serde_json::from_str(&json).unwrap();
+        // Adjacency is skipped by serde; from_parts rebuilds and revalidates.
+        let rebuilt =
+            Topology::from_parts(raw.operators().to_vec(), raw.edges().to_vec()).unwrap();
+        assert_eq!(rebuilt.successors(OperatorId(0)).len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_every_operator() {
+        let t = diamond();
+        let s = t.to_string();
+        for name in ["src", "left", "right", "sink"] {
+            assert!(s.contains(name), "{s}");
+        }
+        assert!(s.contains("(sink)"));
+    }
+
+    #[test]
+    fn unreachable_vertex_rejected() {
+        // 0 -> 1, and 2 -> 1 makes 2 a second source; instead craft
+        // reachability failure via from_parts with an isolated vertex.
+        let mut b = Topology::builder();
+        let a = b.add_operator(op("src"));
+        let c = b.add_operator(op("mid"));
+        b.add_operator(op("isolated"));
+        b.add_edge(a, c, 1.0).unwrap();
+        // "isolated" has no inputs -> two sources, caught as SourceCount.
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::SourceCount { .. }
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+//! Count-based windowed aggregations (§5.1): weighted moving average, sum,
+//! max, min, standard deviation, and quantiles.
+//!
+//! Each operator triggers once per `slide` inputs over the last `length`
+//! items and emits a single aggregate tuple, giving input selectivity
+//! `slide` (§3.4). In *keyed* mode the state is one window per key —
+//! partitioned-stateful, fissionable by key assignment; in *global* mode
+//! there is a single window — monolithic stateful, not fissionable.
+
+use crate::window::{CountWindow, KeyedWindows};
+use spinstreams_core::Tuple;
+use spinstreams_runtime::operators::synthetic_work;
+use spinstreams_runtime::{Outputs, StreamOperator};
+
+/// The aggregation function applied to a triggered window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Sum of `values[0]`.
+    Sum,
+    /// Maximum of `values[0]`.
+    Max,
+    /// Minimum of `values[0]`.
+    Min,
+    /// Weighted moving average of `values[0]` with linearly increasing
+    /// weights (most recent item weighs most).
+    WeightedMovingAverage,
+    /// Standard deviation of `values[0]`.
+    StdDev,
+}
+
+impl Aggregation {
+    /// Applies the aggregation to a window.
+    pub fn apply(self, window: &[Tuple]) -> f64 {
+        debug_assert!(!window.is_empty());
+        match self {
+            Aggregation::Sum => window.iter().map(|t| t.values[0]).sum(),
+            Aggregation::Max => window
+                .iter()
+                .map(|t| t.values[0])
+                .fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Min => window
+                .iter()
+                .map(|t| t.values[0])
+                .fold(f64::INFINITY, f64::min),
+            Aggregation::WeightedMovingAverage => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (i, t) in window.iter().enumerate() {
+                    let w = (i + 1) as f64;
+                    num += w * t.values[0];
+                    den += w;
+                }
+                num / den
+            }
+            Aggregation::StdDev => {
+                let n = window.len() as f64;
+                let mean = window.iter().map(|t| t.values[0]).sum::<f64>() / n;
+                let var = window
+                    .iter()
+                    .map(|t| (t.values[0] - mean).powi(2))
+                    .sum::<f64>()
+                    / n;
+                var.sqrt()
+            }
+        }
+    }
+
+    /// A short name for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Aggregation::Sum => "sum",
+            Aggregation::Max => "max",
+            Aggregation::Min => "min",
+            Aggregation::WeightedMovingAverage => "wma",
+            Aggregation::StdDev => "stddev",
+        }
+    }
+}
+
+enum WindowState {
+    Keyed(KeyedWindows),
+    Global(CountWindow),
+}
+
+/// A count-based windowed aggregation operator.
+///
+/// Emits, on each window trigger, a tuple whose `values[0]` is the
+/// aggregate (key and seq copied from the triggering item).
+pub struct WindowedAggregate {
+    agg: Aggregation,
+    state: WindowState,
+    extra_work_ns: u64,
+    name: String,
+}
+
+impl WindowedAggregate {
+    /// Keyed (partitioned-stateful) variant: one window per key.
+    pub fn keyed(agg: Aggregation, length: usize, slide: usize, extra_work_ns: u64) -> Self {
+        WindowedAggregate {
+            agg,
+            state: WindowState::Keyed(KeyedWindows::new(length, slide)),
+            extra_work_ns,
+            name: format!("keyed-{}", agg.label()),
+        }
+    }
+
+    /// Global (stateful) variant: a single window over the whole stream.
+    pub fn global(agg: Aggregation, length: usize, slide: usize, extra_work_ns: u64) -> Self {
+        WindowedAggregate {
+            agg,
+            state: WindowState::Global(CountWindow::new(length, slide)),
+            extra_work_ns,
+            name: format!("global-{}", agg.label()),
+        }
+    }
+
+    /// Switches to eager (partial-content) window triggering; see
+    /// [`CountWindow::eager`].
+    pub fn eager(mut self) -> Self {
+        self.state = match self.state {
+            WindowState::Keyed(kw) => WindowState::Keyed(kw.eager()),
+            WindowState::Global(w) => WindowState::Global(w.eager()),
+        };
+        self
+    }
+}
+
+impl StreamOperator for WindowedAggregate {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        let triggered = match &mut self.state {
+            WindowState::Keyed(kw) => kw.push(item),
+            WindowState::Global(w) => w.push(item),
+        };
+        if let Some(window) = triggered {
+            let value = self.agg.apply(window);
+            let mut result = item;
+            result.values[0] = value;
+            out.emit_default(result);
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Windowed quantile: emits the `q`-quantile of `values[0]` over the window
+/// (computed by sorting a scratch copy — a deliberately compute-heavy
+/// aggregate, like the paper's quantile operator).
+pub struct WindowedQuantile {
+    q: f64,
+    state: WindowState,
+    scratch: Vec<f64>,
+    extra_work_ns: u64,
+    name: String,
+}
+
+impl WindowedQuantile {
+    /// Keyed variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn keyed(q: f64, length: usize, slide: usize, extra_work_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        WindowedQuantile {
+            q,
+            state: WindowState::Keyed(KeyedWindows::new(length, slide)),
+            scratch: Vec::new(),
+            extra_work_ns,
+            name: "keyed-quantile".into(),
+        }
+    }
+
+    /// Global variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn global(q: f64, length: usize, slide: usize, extra_work_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        WindowedQuantile {
+            q,
+            state: WindowState::Global(CountWindow::new(length, slide)),
+            scratch: Vec::new(),
+            extra_work_ns,
+            name: "global-quantile".into(),
+        }
+    }
+
+    /// Switches to eager (partial-content) window triggering.
+    pub fn eager(mut self) -> Self {
+        self.state = match self.state {
+            WindowState::Keyed(kw) => WindowState::Keyed(kw.eager()),
+            WindowState::Global(w) => WindowState::Global(w.eager()),
+        };
+        self
+    }
+}
+
+impl StreamOperator for WindowedQuantile {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        let triggered = match &mut self.state {
+            WindowState::Keyed(kw) => kw.push(item),
+            WindowState::Global(w) => w.push(item),
+        };
+        if let Some(window) = triggered {
+            self.scratch.clear();
+            self.scratch.extend(window.iter().map(|t| t.values[0]));
+            self.scratch
+                .sort_by(|a, b| a.partial_cmp(b).expect("attribute values are finite"));
+            let idx = ((self.scratch.len() - 1) as f64 * self.q).round() as usize;
+            let mut result = item;
+            result.values[0] = self.scratch[idx];
+            out.emit_default(result);
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64, seq: u64) -> Tuple {
+        Tuple::splat(0, seq, v)
+    }
+
+    fn drive(op: &mut dyn StreamOperator, inputs: &[Tuple]) -> Vec<Tuple> {
+        let mut out = Outputs::new();
+        let mut result = Vec::new();
+        for x in inputs {
+            op.process(*x, &mut out);
+            result.extend(out.drain().map(|(_, t)| t));
+        }
+        result
+    }
+
+    #[test]
+    fn aggregation_functions_are_correct() {
+        let w: Vec<Tuple> = [1.0, 3.0, 2.0].iter().enumerate().map(|(i, v)| t(*v, i as u64)).collect();
+        assert_eq!(Aggregation::Sum.apply(&w), 6.0);
+        assert_eq!(Aggregation::Max.apply(&w), 3.0);
+        assert_eq!(Aggregation::Min.apply(&w), 1.0);
+        // WMA weights 1,2,3: (1 + 6 + 6) / 6 = 13/6.
+        assert!((Aggregation::WeightedMovingAverage.apply(&w) - 13.0 / 6.0).abs() < 1e-12);
+        // StdDev of {1,3,2}: mean 2, var 2/3.
+        assert!((Aggregation::StdDev.apply(&w) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_sum_emits_once_per_slide() {
+        let mut op = WindowedAggregate::global(Aggregation::Sum, 4, 2, 0);
+        let inputs: Vec<Tuple> = (0..12).map(|i| t(1.0, i)).collect();
+        let got = drive(&mut op, &inputs);
+        // Triggers at items 3,5,7,9,11 -> 5 outputs, each summing 4 ones.
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|x| x.values[0] == 4.0));
+    }
+
+    #[test]
+    fn input_selectivity_is_slide() {
+        let mut op = WindowedAggregate::global(Aggregation::Max, 10, 5, 0);
+        let inputs: Vec<Tuple> = (0..1000).map(|i| t(0.5, i)).collect();
+        let got = drive(&mut op, &inputs);
+        // ~1000/5 outputs (minus window fill).
+        assert_eq!(got.len(), (1000 - 10) / 5 + 1);
+    }
+
+    #[test]
+    fn keyed_aggregate_isolates_keys() {
+        let mut op = WindowedAggregate::keyed(Aggregation::Sum, 2, 2, 0);
+        let inputs = vec![
+            Tuple::splat(1, 0, 10.0),
+            Tuple::splat(2, 1, 1.0),
+            Tuple::splat(1, 2, 10.0),
+            Tuple::splat(2, 3, 1.0),
+        ];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 2);
+        let by_key: std::collections::HashMap<u64, f64> =
+            got.iter().map(|t| (t.key, t.values[0])).collect();
+        assert_eq!(by_key[&1], 20.0);
+        assert_eq!(by_key[&2], 2.0);
+    }
+
+    #[test]
+    fn wma_weights_recent_items_more() {
+        let mut op = WindowedAggregate::global(Aggregation::WeightedMovingAverage, 3, 3, 0);
+        // Increasing series: WMA > plain mean.
+        let inputs = vec![t(1.0, 0), t(2.0, 1), t(3.0, 2)];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].values[0] > 2.0);
+    }
+
+    #[test]
+    fn quantile_median_of_window() {
+        let mut op = WindowedQuantile::global(0.5, 5, 5, 0);
+        let inputs: Vec<Tuple> = [5.0, 1.0, 4.0, 2.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| t(*v, i as u64))
+            .collect();
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].values[0], 3.0);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let inputs: Vec<Tuple> = (0..10).map(|i| t(i as f64, i as u64)).collect();
+        let mut p0 = WindowedQuantile::global(0.0, 10, 10, 0);
+        assert_eq!(drive(&mut p0, &inputs)[0].values[0], 0.0);
+        let mut p100 = WindowedQuantile::global(1.0, 10, 10, 0);
+        assert_eq!(drive(&mut p100, &inputs)[0].values[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_out_of_range_rejected() {
+        WindowedQuantile::global(1.5, 10, 10, 0);
+    }
+
+    #[test]
+    fn keyed_quantile_works() {
+        let mut op = WindowedQuantile::keyed(0.5, 3, 3, 0);
+        let inputs = vec![
+            Tuple::splat(7, 0, 1.0),
+            Tuple::splat(7, 1, 9.0),
+            Tuple::splat(7, 2, 5.0),
+        ];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].values[0], 5.0);
+        assert_eq!(got[0].key, 7);
+    }
+
+    #[test]
+    fn eager_aggregate_emits_from_the_start() {
+        let mut op = WindowedAggregate::global(Aggregation::Sum, 100, 2, 0).eager();
+        let inputs: Vec<Tuple> = (0..10).map(|i| t(1.0, i)).collect();
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 5, "one output per slide from item 2 on");
+        // Partial-window sums grow as the buffer fills.
+        assert_eq!(got[0].values[0], 2.0);
+        assert_eq!(got[4].values[0], 10.0);
+    }
+
+    #[test]
+    fn operator_names_distinguish_modes() {
+        assert_eq!(
+            WindowedAggregate::keyed(Aggregation::Sum, 2, 1, 0).name(),
+            "keyed-sum"
+        );
+        assert_eq!(
+            WindowedAggregate::global(Aggregation::Max, 2, 1, 0).name(),
+            "global-max"
+        );
+        assert_eq!(WindowedQuantile::keyed(0.5, 2, 1, 0).name(), "keyed-quantile");
+    }
+}

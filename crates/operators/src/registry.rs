@@ -1,0 +1,548 @@
+//! The operator registry: symbolic kinds, factories and abstract metadata.
+//!
+//! This is the bridge between SpinStreams' abstract topology model and the
+//! executable runtime — the role played in the paper by the XML `type=`
+//! attributes plus the user-supplied `.class` files (§4.1). The random
+//! topology generator assigns [`OperatorKind`]s to vertices, the profiler
+//! measures their service times, and the code generator instantiates them
+//! via [`build_operator`].
+
+use crate::{Aggregation, WindowedAggregate, WindowedQuantile};
+use spinstreams_core::{KeyDistribution, Selectivity, StateClass};
+use spinstreams_runtime::StreamOperator;
+use std::fmt;
+use std::str::FromStr;
+
+/// The catalogue of real-world operators (§5.1's testbed mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum OperatorKind {
+    /// Stateless pass-through map.
+    IdentityMap,
+    /// Stateless compute-bound per-tuple transform.
+    ArithmeticMap,
+    /// Stateless selection (`values[0] < threshold`).
+    Filter,
+    /// Stateless 1→k expansion.
+    FlatMap,
+    /// Stateless attribute projection.
+    Projection,
+    /// Stateless enrichment with derived attributes.
+    Enricher,
+    /// Stateless probabilistic sampling.
+    Sampler,
+    /// Stateless re-keying.
+    KeyRouter,
+    /// Partitioned-stateful windowed sum.
+    KeyedSum,
+    /// Partitioned-stateful windowed max.
+    KeyedMax,
+    /// Partitioned-stateful windowed min.
+    KeyedMin,
+    /// Partitioned-stateful weighted moving average.
+    KeyedWma,
+    /// Partitioned-stateful windowed standard deviation.
+    KeyedStdDev,
+    /// Partitioned-stateful windowed quantile.
+    KeyedQuantile,
+    /// Monolithic-stateful global windowed sum.
+    GlobalSum,
+    /// Monolithic-stateful global weighted moving average.
+    GlobalWma,
+    /// Monolithic-stateful 2-D skyline query.
+    Skyline,
+    /// Monolithic-stateful top-k query.
+    TopK,
+    /// Monolithic-stateful band join (multi-input).
+    BandJoin,
+    /// Partitioned-stateful equi join (multi-input): matches require equal
+    /// keys, so key-partitioned replicas preserve its semantics exactly.
+    EquiJoin,
+    /// Monolithic-stateful distinct-key counter.
+    DistinctCount,
+    /// Monolithic-stateful change detector.
+    DeltaFilter,
+}
+
+impl OperatorKind {
+    /// Every kind, in a stable order.
+    pub fn all() -> &'static [OperatorKind] {
+        use OperatorKind::*;
+        &[
+            IdentityMap,
+            ArithmeticMap,
+            Filter,
+            FlatMap,
+            Projection,
+            Enricher,
+            Sampler,
+            KeyRouter,
+            KeyedSum,
+            KeyedMax,
+            KeyedMin,
+            KeyedWma,
+            KeyedStdDev,
+            KeyedQuantile,
+            GlobalSum,
+            GlobalWma,
+            Skyline,
+            TopK,
+            BandJoin,
+            EquiJoin,
+            DistinctCount,
+            DeltaFilter,
+        ]
+    }
+
+    /// Stable textual label (used in XML files and reports).
+    pub fn label(self) -> &'static str {
+        use OperatorKind::*;
+        match self {
+            IdentityMap => "identity-map",
+            ArithmeticMap => "arithmetic-map",
+            Filter => "filter",
+            FlatMap => "flatmap",
+            Projection => "projection",
+            Enricher => "enricher",
+            Sampler => "sampler",
+            KeyRouter => "key-router",
+            KeyedSum => "keyed-sum",
+            KeyedMax => "keyed-max",
+            KeyedMin => "keyed-min",
+            KeyedWma => "keyed-wma",
+            KeyedStdDev => "keyed-stddev",
+            KeyedQuantile => "keyed-quantile",
+            GlobalSum => "global-sum",
+            GlobalWma => "global-wma",
+            Skyline => "skyline",
+            TopK => "top-k",
+            BandJoin => "band-join",
+            EquiJoin => "equi-join",
+            DistinctCount => "distinct-count",
+            DeltaFilter => "delta-filter",
+        }
+    }
+
+    /// True for the stateless kinds (fissionable with round-robin).
+    pub fn is_stateless(self) -> bool {
+        use OperatorKind::*;
+        matches!(
+            self,
+            IdentityMap
+                | ArithmeticMap
+                | Filter
+                | FlatMap
+                | Projection
+                | Enricher
+                | Sampler
+                | KeyRouter
+        )
+    }
+
+    /// True for the partitioned-stateful kinds (fissionable by key).
+    ///
+    /// The equi join is included: a match requires both sides to carry the
+    /// same key, so replicas owning disjoint key sets never miss a pair.
+    /// The band join is *not* — its matches cross key boundaries.
+    pub fn is_partitioned(self) -> bool {
+        use OperatorKind::*;
+        matches!(
+            self,
+            KeyedSum | KeyedMax | KeyedMin | KeyedWma | KeyedStdDev | KeyedQuantile | EquiJoin
+        )
+    }
+
+    /// True for operators that make sense only with more than one input
+    /// stream (joins); Algorithm 5 assigns them only to vertices with
+    /// in-degree ≥ 2.
+    pub fn requires_multi_input(self) -> bool {
+        matches!(self, OperatorKind::BandJoin | OperatorKind::EquiJoin)
+    }
+
+    /// The abstract state class of this kind, used to build
+    /// [`spinstreams_core::OperatorSpec`]s.
+    ///
+    /// `keys` is the key-frequency distribution attached to
+    /// partitioned-stateful kinds (ignored otherwise).
+    pub fn state_class(self, keys: &KeyDistribution) -> StateClass {
+        if self.is_stateless() {
+            StateClass::Stateless
+        } else if self.is_partitioned() {
+            StateClass::PartitionedStateful { keys: keys.clone() }
+        } else {
+            StateClass::Stateful
+        }
+    }
+
+    /// The *nominal* selectivity implied by the parameters (§3.4): filters
+    /// and samplers scale the output down, flatmaps scale it up, windowed
+    /// operators consume `slide` inputs per output. Joins return identity —
+    /// their selectivity is workload-dependent and must be profiled.
+    pub fn nominal_selectivity(self, params: &OperatorParams) -> Selectivity {
+        use OperatorKind::*;
+        match self {
+            Filter => Selectivity::output(params.threshold),
+            Sampler => Selectivity::output(params.probability),
+            FlatMap => Selectivity::output(params.fanout as f64),
+            KeyedSum | KeyedMax | KeyedMin | KeyedWma | KeyedStdDev | KeyedQuantile
+            | GlobalSum | GlobalWma | Skyline | TopK | DistinctCount => {
+                Selectivity::input(params.slide as f64)
+            }
+            _ => Selectivity::ONE,
+        }
+    }
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for OperatorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OperatorKind::all()
+            .iter()
+            .find(|k| k.label() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown operator kind {s:?}"))
+    }
+}
+
+/// Parameters consumed by the operator factories.
+///
+/// One flat bag with sensible defaults keeps XML/topology plumbing simple;
+/// each kind reads only the fields it needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorParams {
+    /// Calibrated extra CPU time per item, ns.
+    pub work_ns: u64,
+    /// Count-window length.
+    pub window: usize,
+    /// Count-window slide.
+    pub slide: usize,
+    /// Filter threshold in `(0, 1]`.
+    pub threshold: f64,
+    /// Sampler keep-probability in `(0, 1]`.
+    pub probability: f64,
+    /// FlatMap fanout.
+    pub fanout: usize,
+    /// Projection attribute count.
+    pub keep: usize,
+    /// KeyRouter bucket count.
+    pub num_keys: u64,
+    /// Top-k `k`.
+    pub k: usize,
+    /// Band-join half width.
+    pub band: f64,
+    /// Quantile in `[0, 1]`.
+    pub quantile: f64,
+    /// ArithmeticMap rounds.
+    pub rounds: u32,
+    /// DeltaFilter epsilon.
+    pub epsilon: f64,
+}
+
+impl Default for OperatorParams {
+    fn default() -> Self {
+        OperatorParams {
+            work_ns: 0,
+            window: 100,
+            slide: 10,
+            threshold: 0.5,
+            probability: 0.5,
+            fanout: 2,
+            keep: 2,
+            num_keys: 16,
+            k: 5,
+            band: 0.05,
+            quantile: 0.5,
+            rounds: 8,
+            epsilon: 0.1,
+        }
+    }
+}
+
+impl OperatorParams {
+    /// Serializes into the flat `name -> value` map carried by
+    /// [`spinstreams_core::OperatorSpec::params`].
+    pub fn to_spec_params(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("work_ns".into(), self.work_ns as f64);
+        m.insert("window".into(), self.window as f64);
+        m.insert("slide".into(), self.slide as f64);
+        m.insert("threshold".into(), self.threshold);
+        m.insert("probability".into(), self.probability);
+        m.insert("fanout".into(), self.fanout as f64);
+        m.insert("keep".into(), self.keep as f64);
+        m.insert("num_keys".into(), self.num_keys as f64);
+        m.insert("k".into(), self.k as f64);
+        m.insert("band".into(), self.band);
+        m.insert("quantile".into(), self.quantile);
+        m.insert("rounds".into(), self.rounds as f64);
+        m.insert("epsilon".into(), self.epsilon);
+        m
+    }
+
+    /// Reconstructs parameters from an [`spinstreams_core::OperatorSpec`]
+    /// params map; missing entries fall back to the defaults.
+    pub fn from_spec_params(m: &std::collections::BTreeMap<String, f64>) -> Self {
+        let d = OperatorParams::default();
+        let get = |key: &str, fallback: f64| m.get(key).copied().unwrap_or(fallback);
+        OperatorParams {
+            work_ns: get("work_ns", d.work_ns as f64) as u64,
+            window: get("window", d.window as f64) as usize,
+            slide: get("slide", d.slide as f64) as usize,
+            threshold: get("threshold", d.threshold),
+            probability: get("probability", d.probability),
+            fanout: get("fanout", d.fanout as f64) as usize,
+            keep: get("keep", d.keep as f64) as usize,
+            num_keys: get("num_keys", d.num_keys as f64) as u64,
+            k: get("k", d.k as f64) as usize,
+            band: get("band", d.band),
+            quantile: get("quantile", d.quantile),
+            rounds: get("rounds", d.rounds as f64) as u32,
+            epsilon: get("epsilon", d.epsilon),
+        }
+    }
+}
+
+/// Instantiates a runnable operator of the given kind.
+pub fn build_operator(kind: OperatorKind, params: &OperatorParams) -> Box<dyn StreamOperator> {
+    use OperatorKind::*;
+    let p = params;
+    match kind {
+        IdentityMap => Box::new(crate::IdentityMap::new(p.work_ns)),
+        ArithmeticMap => Box::new(crate::ArithmeticMap::new(p.rounds, p.work_ns)),
+        Filter => Box::new(crate::Filter::new(p.threshold, p.work_ns)),
+        FlatMap => Box::new(crate::FlatMap::new(p.fanout, p.work_ns)),
+        Projection => Box::new(crate::Projection::new(p.keep, p.work_ns)),
+        Enricher => Box::new(crate::Enricher::new(p.work_ns)),
+        Sampler => Box::new(crate::Sampler::new(p.probability, p.work_ns)),
+        KeyRouter => Box::new(crate::KeyRouter::new(p.num_keys, p.work_ns)),
+        // Windowed kinds are built *eager* (partial-window triggering) so
+        // their steady-state output rate 1/slide holds from the first item,
+        // matching the §3.4 selectivity model without a fill-up transient.
+        KeyedSum => Box::new(
+            WindowedAggregate::keyed(Aggregation::Sum, p.window, p.slide, p.work_ns).eager(),
+        ),
+        KeyedMax => Box::new(
+            WindowedAggregate::keyed(Aggregation::Max, p.window, p.slide, p.work_ns).eager(),
+        ),
+        KeyedMin => Box::new(
+            WindowedAggregate::keyed(Aggregation::Min, p.window, p.slide, p.work_ns).eager(),
+        ),
+        KeyedWma => Box::new(
+            WindowedAggregate::keyed(
+                Aggregation::WeightedMovingAverage,
+                p.window,
+                p.slide,
+                p.work_ns,
+            )
+            .eager(),
+        ),
+        KeyedStdDev => Box::new(
+            WindowedAggregate::keyed(Aggregation::StdDev, p.window, p.slide, p.work_ns).eager(),
+        ),
+        KeyedQuantile => Box::new(
+            WindowedQuantile::keyed(p.quantile, p.window, p.slide, p.work_ns).eager(),
+        ),
+        GlobalSum => Box::new(
+            WindowedAggregate::global(Aggregation::Sum, p.window, p.slide, p.work_ns).eager(),
+        ),
+        GlobalWma => Box::new(
+            WindowedAggregate::global(
+                Aggregation::WeightedMovingAverage,
+                p.window,
+                p.slide,
+                p.work_ns,
+            )
+            .eager(),
+        ),
+        Skyline => Box::new(crate::Skyline::new(p.window, p.slide, p.work_ns).eager()),
+        TopK => Box::new(
+            crate::TopK::new(p.k.min(p.window), p.window, p.slide, p.work_ns).eager(),
+        ),
+        BandJoin => Box::new(crate::BandJoin::new(p.band, p.window, p.work_ns)),
+        EquiJoin => Box::new(crate::EquiJoin::new(p.window, p.work_ns)),
+        DistinctCount => Box::new(crate::DistinctCount::new(p.window, p.slide, p.work_ns).eager()),
+        DeltaFilter => Box::new(crate::DeltaFilter::new(p.epsilon, p.work_ns)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_runtime::{profile_operator, sample_stream};
+
+    #[test]
+    fn catalogue_has_at_least_twenty_kinds() {
+        // §5.1: "we developed 20 different real-world operators".
+        assert!(OperatorKind::all().len() >= 20);
+    }
+
+    #[test]
+    fn labels_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for k in OperatorKind::all() {
+            assert!(seen.insert(k.label()), "duplicate label {}", k.label());
+            assert_eq!(k.label().parse::<OperatorKind>().unwrap(), *k);
+            assert_eq!(format!("{k}"), k.label());
+        }
+        assert!("nope".parse::<OperatorKind>().is_err());
+    }
+
+    #[test]
+    fn state_classification_partitions_catalogue() {
+        let keys = KeyDistribution::uniform(4);
+        let mut stateless = 0;
+        let mut partitioned = 0;
+        let mut stateful = 0;
+        for k in OperatorKind::all() {
+            match k.state_class(&keys) {
+                StateClass::Stateless => {
+                    stateless += 1;
+                    assert!(k.is_stateless());
+                }
+                StateClass::PartitionedStateful { .. } => {
+                    partitioned += 1;
+                    assert!(k.is_partitioned());
+                }
+                StateClass::Stateful => {
+                    stateful += 1;
+                    assert!(!k.is_stateless() && !k.is_partitioned());
+                }
+            }
+        }
+        assert_eq!(stateless, 8);
+        assert_eq!(partitioned, 7);
+        assert_eq!(stateful, 7);
+    }
+
+    #[test]
+    fn joins_require_multi_input() {
+        for k in OperatorKind::all() {
+            assert_eq!(
+                k.requires_multi_input(),
+                matches!(k, OperatorKind::BandJoin | OperatorKind::EquiJoin)
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_selectivities() {
+        let p = OperatorParams {
+            threshold: 0.3,
+            probability: 0.2,
+            fanout: 4,
+            slide: 10,
+            ..Default::default()
+        };
+        assert_eq!(
+            OperatorKind::Filter.nominal_selectivity(&p),
+            Selectivity::output(0.3)
+        );
+        assert_eq!(
+            OperatorKind::Sampler.nominal_selectivity(&p),
+            Selectivity::output(0.2)
+        );
+        assert_eq!(
+            OperatorKind::FlatMap.nominal_selectivity(&p),
+            Selectivity::output(4.0)
+        );
+        assert_eq!(
+            OperatorKind::KeyedSum.nominal_selectivity(&p),
+            Selectivity::input(10.0)
+        );
+        assert_eq!(
+            OperatorKind::IdentityMap.nominal_selectivity(&p),
+            Selectivity::ONE
+        );
+        assert_eq!(
+            OperatorKind::BandJoin.nominal_selectivity(&p),
+            Selectivity::ONE
+        );
+    }
+
+    #[test]
+    fn every_kind_builds_and_processes() {
+        let params = OperatorParams {
+            window: 20,
+            slide: 5,
+            ..Default::default()
+        };
+        let inputs = sample_stream(200, 8, 42);
+        for kind in OperatorKind::all() {
+            let mut op = build_operator(*kind, &params);
+            let prof = profile_operator(op.as_mut(), &inputs, 50);
+            assert!(
+                prof.mean_service_time.as_secs() >= 0.0,
+                "{kind} profiled"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_kinds_profile_selectivity_near_nominal() {
+        let params = OperatorParams {
+            window: 10,
+            slide: 5,
+            ..Default::default()
+        };
+        let inputs = sample_stream(2000, 1, 3);
+        let mut op = build_operator(OperatorKind::GlobalSum, &params);
+        let prof = profile_operator(op.as_mut(), &inputs, 100);
+        // One output per 5 inputs -> output selectivity ≈ 0.2.
+        assert!(
+            (prof.output_selectivity - 0.2).abs() < 0.05,
+            "selectivity {}",
+            prof.output_selectivity
+        );
+    }
+
+    #[test]
+    fn params_roundtrip_through_spec_map() {
+        let p = OperatorParams {
+            work_ns: 1234,
+            window: 77,
+            slide: 7,
+            threshold: 0.25,
+            probability: 0.6,
+            fanout: 3,
+            keep: 1,
+            num_keys: 9,
+            k: 4,
+            band: 0.02,
+            quantile: 0.9,
+            rounds: 5,
+            epsilon: 0.3,
+        };
+        let back = OperatorParams::from_spec_params(&p.to_spec_params());
+        assert_eq!(p, back);
+        // Missing entries fall back to defaults.
+        let empty = std::collections::BTreeMap::new();
+        assert_eq!(OperatorParams::from_spec_params(&empty), OperatorParams::default());
+    }
+
+    #[test]
+    fn work_ns_raises_profiled_service_time() {
+        let base = OperatorParams::default();
+        let heavy = OperatorParams {
+            work_ns: 200_000,
+            ..base.clone()
+        };
+        let inputs = sample_stream(100, 8, 5);
+        let mut fast = build_operator(OperatorKind::IdentityMap, &base);
+        let mut slow = build_operator(OperatorKind::IdentityMap, &heavy);
+        let pf = profile_operator(fast.as_mut(), &inputs, 10);
+        let ps = profile_operator(slow.as_mut(), &inputs, 10);
+        assert!(
+            ps.mean_service_time.as_secs() > pf.mean_service_time.as_secs() + 100e-6,
+            "slow {} vs fast {}",
+            ps.mean_service_time,
+            pf.mean_service_time
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Miscellaneous stateful operators: distinct counting and change
+//! detection. Both keep monolithic cross-key state and are therefore not
+//! fissionable (the `stateful` flag of Algorithm 2).
+
+use spinstreams_core::Tuple;
+use spinstreams_runtime::operators::synthetic_work;
+use spinstreams_runtime::{Outputs, StreamOperator};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Counts distinct keys over a count-based window, emitting the cardinality
+/// once per `slide` items.
+pub struct DistinctCount {
+    window: VecDeque<u64>,
+    length: usize,
+    slide: usize,
+    since: usize,
+    scratch: HashSet<u64>,
+    extra_work_ns: u64,
+    eager: bool,
+}
+
+impl DistinctCount {
+    /// Creates the operator over a `length`/`slide` count window of keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `slide` is zero.
+    pub fn new(length: usize, slide: usize, extra_work_ns: u64) -> Self {
+        assert!(length > 0 && slide > 0, "window parameters must be positive");
+        DistinctCount {
+            window: VecDeque::with_capacity(length),
+            length,
+            slide,
+            since: 0,
+            scratch: HashSet::new(),
+            extra_work_ns,
+            eager: false,
+        }
+    }
+
+    /// Switches to eager (partial-content) window triggering.
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+}
+
+impl StreamOperator for DistinctCount {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        if self.window.len() == self.length {
+            self.window.pop_front();
+        }
+        self.window.push_back(item.key);
+        self.since += 1;
+        let full_enough = self.eager || self.window.len() == self.length;
+        if full_enough && self.since >= self.slide {
+            self.since = 0;
+            self.scratch.clear();
+            self.scratch.extend(self.window.iter().copied());
+            let mut result = item;
+            result.values[0] = self.scratch.len() as f64;
+            out.emit_default(result);
+        }
+    }
+    fn name(&self) -> &str {
+        "distinct-count"
+    }
+}
+
+/// Emits an item only when its first attribute moved by more than
+/// `epsilon` since the last *emitted* item — a change detector with a
+/// single-cell state.
+pub struct DeltaFilter {
+    epsilon: f64,
+    last: Option<f64>,
+    extra_work_ns: u64,
+}
+
+impl DeltaFilter {
+    /// Creates the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f64, extra_work_ns: u64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
+        DeltaFilter {
+            epsilon,
+            last: None,
+            extra_work_ns,
+        }
+    }
+}
+
+impl StreamOperator for DeltaFilter {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        let v = item.values[0];
+        let changed = match self.last {
+            None => true,
+            Some(prev) => (v - prev).abs() > self.epsilon,
+        };
+        if changed {
+            self.last = Some(v);
+            out.emit_default(item);
+        }
+    }
+    fn name(&self) -> &str {
+        "delta-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(key: u64, seq: u64, v: f64) -> Tuple {
+        Tuple::new(key, seq, [v, 0.0, 0.0, 0.0])
+    }
+
+    fn drive(op: &mut dyn StreamOperator, inputs: &[Tuple]) -> Vec<Tuple> {
+        let mut out = Outputs::new();
+        let mut result = Vec::new();
+        for x in inputs {
+            op.process(*x, &mut out);
+            result.extend(out.drain().map(|(_, t)| t));
+        }
+        result
+    }
+
+    #[test]
+    fn distinct_count_over_window() {
+        let mut op = DistinctCount::new(4, 4, 0);
+        let inputs = vec![t(1, 0, 0.0), t(2, 1, 0.0), t(1, 2, 0.0), t(3, 3, 0.0)];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].values[0], 3.0); // keys {1, 2, 3}
+    }
+
+    #[test]
+    fn distinct_count_window_evicts_old_keys() {
+        let mut op = DistinctCount::new(2, 1, 0);
+        let inputs = vec![t(1, 0, 0.0), t(1, 1, 0.0), t(2, 2, 0.0), t(3, 3, 0.0)];
+        let got = drive(&mut op, &inputs);
+        // Windows: [1,1] -> 1, [1,2] -> 2, [2,3] -> 2.
+        assert_eq!(
+            got.iter().map(|x| x.values[0] as u64).collect::<Vec<_>>(),
+            vec![1, 2, 2]
+        );
+    }
+
+    #[test]
+    fn delta_filter_emits_first_and_changes_only() {
+        let mut op = DeltaFilter::new(0.1, 0);
+        let inputs = vec![
+            t(0, 0, 0.50),
+            t(0, 1, 0.55), // within epsilon of 0.50
+            t(0, 2, 0.70), // moved
+            t(0, 3, 0.71), // within epsilon of 0.70
+            t(0, 4, 0.10), // moved
+        ];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(
+            got.iter().map(|x| x.seq).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn delta_filter_zero_epsilon_emits_on_any_change() {
+        let mut op = DeltaFilter::new(0.0, 0);
+        let inputs = vec![t(0, 0, 0.5), t(0, 1, 0.5), t(0, 2, 0.6)];
+        let got = drive(&mut op, &inputs);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be >= 0")]
+    fn negative_epsilon_rejected() {
+        DeltaFilter::new(-0.5, 0);
+    }
+
+    #[test]
+    fn eager_distinct_count_triggers_before_full() {
+        let mut op = DistinctCount::new(100, 1, 0).eager();
+        let got = drive(&mut op, &[t(1, 0, 0.0), t(2, 1, 0.0)]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].values[0], 2.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DistinctCount::new(2, 1, 0).name(), "distinct-count");
+        assert_eq!(DeltaFilter::new(0.1, 0).name(), "delta-filter");
+    }
+}

@@ -1,0 +1,403 @@
+//! Stateless tuple-by-tuple operators: maps, filters, flatmaps, projections
+//! (§5.1: "stateless operators like filters and maps, which apply
+//! transformations on a tuple-by-tuple basis").
+//!
+//! All of them are trivially fissionable with round-robin routing
+//! ([`spinstreams_core::StateClass::Stateless`]).
+
+use spinstreams_core::{Tuple, TUPLE_ARITY};
+use spinstreams_runtime::operators::synthetic_work;
+use spinstreams_runtime::{Outputs, StreamOperator};
+
+/// Forwards tuples unchanged (plus optional calibrated extra work).
+#[derive(Debug, Clone)]
+pub struct IdentityMap {
+    extra_work_ns: u64,
+}
+
+impl IdentityMap {
+    /// Creates the operator with `extra_work_ns` of busy CPU per item.
+    pub fn new(extra_work_ns: u64) -> Self {
+        IdentityMap { extra_work_ns }
+    }
+}
+
+impl StreamOperator for IdentityMap {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "identity-map"
+    }
+}
+
+/// Applies a fixed-point polynomial transformation to every attribute —
+/// a compute-bound map whose intrinsic cost scales with `rounds`.
+#[derive(Debug, Clone)]
+pub struct ArithmeticMap {
+    rounds: u32,
+    extra_work_ns: u64,
+}
+
+impl ArithmeticMap {
+    /// `rounds` iterations of the polynomial per attribute.
+    pub fn new(rounds: u32, extra_work_ns: u64) -> Self {
+        ArithmeticMap {
+            rounds,
+            extra_work_ns,
+        }
+    }
+}
+
+impl StreamOperator for ArithmeticMap {
+    fn process(&mut self, mut item: Tuple, out: &mut Outputs) {
+        for v in item.values.iter_mut() {
+            let mut x = *v;
+            for _ in 0..self.rounds {
+                // A contraction keeping x in [0, 1): cheap, non-optimizable
+                // away, numerically stable.
+                x = (x * x + 0.251).fract();
+            }
+            *v = x;
+        }
+        synthetic_work(self.extra_work_ns);
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "arithmetic-map"
+    }
+}
+
+/// Drops tuples whose first attribute is at or above a threshold.
+///
+/// With attributes uniform in `[0, 1)`, the output selectivity equals the
+/// threshold (§3.4).
+#[derive(Debug, Clone)]
+pub struct Filter {
+    threshold: f64,
+    extra_work_ns: u64,
+}
+
+impl Filter {
+    /// Keeps items with `values[0] < threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]`.
+    pub fn new(threshold: f64, extra_work_ns: u64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "filter threshold must be in (0, 1], got {threshold}"
+        );
+        Filter {
+            threshold,
+            extra_work_ns,
+        }
+    }
+
+    /// The expected output selectivity on uniform input.
+    pub fn selectivity(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl StreamOperator for Filter {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        if item.values[0] < self.threshold {
+            out.emit_default(item);
+        }
+    }
+    fn name(&self) -> &str {
+        "filter"
+    }
+}
+
+/// Emits `fanout` derived tuples per input (output selectivity `> 1`).
+#[derive(Debug, Clone)]
+pub struct FlatMap {
+    fanout: usize,
+    extra_work_ns: u64,
+}
+
+impl FlatMap {
+    /// Emits `fanout` tuples per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn new(fanout: usize, extra_work_ns: u64) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        FlatMap {
+            fanout,
+            extra_work_ns,
+        }
+    }
+}
+
+impl StreamOperator for FlatMap {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        for i in 0..self.fanout {
+            let mut t = item;
+            t.values[1] = i as f64;
+            out.emit_default(t);
+        }
+    }
+    fn name(&self) -> &str {
+        "flatmap"
+    }
+}
+
+/// Keeps only the first `keep` attributes, zeroing the rest.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    keep: usize,
+    extra_work_ns: u64,
+}
+
+impl Projection {
+    /// Projects onto the first `keep` attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero or exceeds [`TUPLE_ARITY`].
+    pub fn new(keep: usize, extra_work_ns: u64) -> Self {
+        assert!(
+            (1..=TUPLE_ARITY).contains(&keep),
+            "keep must be in 1..={TUPLE_ARITY}"
+        );
+        Projection {
+            keep,
+            extra_work_ns,
+        }
+    }
+}
+
+impl StreamOperator for Projection {
+    fn process(&mut self, mut item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        for v in item.values.iter_mut().skip(self.keep) {
+            *v = 0.0;
+        }
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "projection"
+    }
+}
+
+/// Adds derived attributes (mean and range of the existing ones) —
+/// a lightweight enrichment stage.
+#[derive(Debug, Clone)]
+pub struct Enricher {
+    extra_work_ns: u64,
+}
+
+impl Enricher {
+    /// Creates the operator.
+    pub fn new(extra_work_ns: u64) -> Self {
+        Enricher { extra_work_ns }
+    }
+}
+
+impl StreamOperator for Enricher {
+    fn process(&mut self, mut item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        let mean = item.sum() / TUPLE_ARITY as f64;
+        let max = item.values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = item.values.iter().cloned().fold(f64::MAX, f64::min);
+        item.values[2] = mean;
+        item.values[3] = max - min;
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "enricher"
+    }
+}
+
+/// Probabilistic sampler: forwards each item with probability `p`,
+/// deterministically derived from the tuple content (so replicas agree).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    p: f64,
+    extra_work_ns: u64,
+}
+
+impl Sampler {
+    /// Keeps a fraction `p` of the items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn new(p: f64, extra_work_ns: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling rate must be in (0, 1]");
+        Sampler { p, extra_work_ns }
+    }
+}
+
+impl StreamOperator for Sampler {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        // Hash the sequence number into [0, 1).
+        let h = item
+            .seq
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.p {
+            out.emit_default(item);
+        }
+    }
+    fn name(&self) -> &str {
+        "sampler"
+    }
+}
+
+/// Re-keys tuples from their attribute content (e.g. ahead of a
+/// partitioned-stateful aggregation over derived groups).
+#[derive(Debug, Clone)]
+pub struct KeyRouter {
+    num_keys: u64,
+    extra_work_ns: u64,
+}
+
+impl KeyRouter {
+    /// Maps each tuple to one of `num_keys` derived keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys` is zero.
+    pub fn new(num_keys: u64, extra_work_ns: u64) -> Self {
+        assert!(num_keys > 0, "num_keys must be positive");
+        KeyRouter {
+            num_keys,
+            extra_work_ns,
+        }
+    }
+}
+
+impl StreamOperator for KeyRouter {
+    fn process(&mut self, mut item: Tuple, out: &mut Outputs) {
+        synthetic_work(self.extra_work_ns);
+        let bucket = (item.values[0] * self.num_keys as f64) as u64 % self.num_keys;
+        item.key = bucket;
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "key-router"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinstreams_runtime::sample_stream;
+
+    fn drive(op: &mut dyn StreamOperator, inputs: &[Tuple]) -> Vec<Tuple> {
+        let mut out = Outputs::new();
+        let mut result = Vec::new();
+        for t in inputs {
+            op.process(*t, &mut out);
+            result.extend(out.drain().map(|(_, t)| t));
+        }
+        result
+    }
+
+    #[test]
+    fn identity_map_forwards_unchanged() {
+        let inputs = sample_stream(50, 4, 1);
+        let got = drive(&mut IdentityMap::new(0), &inputs);
+        assert_eq!(got, inputs);
+    }
+
+    #[test]
+    fn arithmetic_map_keeps_values_in_unit_interval() {
+        let inputs = sample_stream(100, 4, 2);
+        let got = drive(&mut ArithmeticMap::new(16, 0), &inputs);
+        assert_eq!(got.len(), 100);
+        for t in &got {
+            for v in &t.values {
+                assert!((0.0..1.0).contains(v), "value {v}");
+            }
+        }
+        // The transform actually changes values.
+        assert_ne!(got[0].values, inputs[0].values);
+    }
+
+    #[test]
+    fn filter_selectivity_matches_threshold() {
+        let inputs = sample_stream(20_000, 4, 3);
+        let mut f = Filter::new(0.3, 0);
+        assert_eq!(f.selectivity(), 0.3);
+        let got = drive(&mut f, &inputs);
+        let frac = got.len() as f64 / inputs.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "selectivity {frac}");
+        assert!(got.iter().all(|t| t.values[0] < 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0, 1]")]
+    fn filter_rejects_bad_threshold() {
+        Filter::new(1.5, 0);
+    }
+
+    #[test]
+    fn flatmap_emits_fanout_items() {
+        let inputs = sample_stream(10, 4, 4);
+        let got = drive(&mut FlatMap::new(3, 0), &inputs);
+        assert_eq!(got.len(), 30);
+        // Derived items are tagged with their index.
+        assert_eq!(got[0].values[1], 0.0);
+        assert_eq!(got[1].values[1], 1.0);
+        assert_eq!(got[2].values[1], 2.0);
+    }
+
+    #[test]
+    fn projection_zeroes_dropped_attributes() {
+        let inputs = sample_stream(5, 4, 5);
+        let got = drive(&mut Projection::new(2, 0), &inputs);
+        for t in &got {
+            assert_eq!(t.values[2], 0.0);
+            assert_eq!(t.values[3], 0.0);
+        }
+        assert_eq!(got[0].values[0], inputs[0].values[0]);
+    }
+
+    #[test]
+    fn enricher_adds_mean_and_range() {
+        let t = Tuple::new(0, 0, [0.2, 0.4, 0.0, 0.0]);
+        let got = drive(&mut Enricher::new(0), &[t]);
+        assert!((got[0].values[2] - 0.15).abs() < 1e-12); // mean
+        assert!((got[0].values[3] - 0.4).abs() < 1e-12); // range
+    }
+
+    #[test]
+    fn sampler_keeps_roughly_p_fraction_deterministically() {
+        let inputs = sample_stream(20_000, 4, 6);
+        let a = drive(&mut Sampler::new(0.25, 0), &inputs);
+        let b = drive(&mut Sampler::new(0.25, 0), &inputs);
+        assert_eq!(a, b, "sampling must be deterministic");
+        let frac = a.len() as f64 / inputs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn key_router_buckets_by_value() {
+        let inputs = sample_stream(1000, 1, 7);
+        let got = drive(&mut KeyRouter::new(8, 0), &inputs);
+        assert!(got.iter().all(|t| t.key < 8));
+        let distinct: std::collections::HashSet<u64> = got.iter().map(|t| t.key).collect();
+        assert!(distinct.len() > 4, "uniform values hit most buckets");
+    }
+
+    #[test]
+    fn operator_names_are_stable() {
+        assert_eq!(IdentityMap::new(0).name(), "identity-map");
+        assert_eq!(Filter::new(0.5, 0).name(), "filter");
+        assert_eq!(FlatMap::new(2, 0).name(), "flatmap");
+        assert_eq!(Sampler::new(0.5, 0).name(), "sampler");
+    }
+}

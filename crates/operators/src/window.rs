@@ -1,0 +1,316 @@
+//! Count-based sliding windows (§3.4, §5.1).
+//!
+//! A count-based window of length `w` sliding by `s` triggers a computation
+//! over the last `w` items every `s` new arrivals — the windowing model of
+//! all the paper's aggregation, spatial and join operators. [`CountWindow`]
+//! is the single-stream buffer; [`KeyedWindows`] maintains one window per
+//! partitioning key (the partitioned-stateful variant).
+
+use spinstreams_core::Tuple;
+use std::collections::HashMap;
+
+/// A count-based sliding window over one stream.
+///
+/// # Example
+///
+/// ```
+/// use spinstreams_operators::CountWindow;
+/// use spinstreams_core::Tuple;
+///
+/// let mut w = CountWindow::new(3, 2);
+/// assert!(w.push(Tuple::splat(0, 0, 1.0)).is_none());
+/// assert!(w.push(Tuple::splat(0, 1, 2.0)).is_none()); // not full yet
+/// assert!(w.push(Tuple::splat(0, 2, 3.0)).is_some()); // first full window
+/// assert!(w.push(Tuple::splat(0, 3, 4.0)).is_none());
+/// assert!(w.push(Tuple::splat(0, 4, 5.0)).is_some()); // slid by 2
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountWindow {
+    buf: Vec<Tuple>,
+    length: usize,
+    slide: usize,
+    since_trigger: usize,
+    total: u64,
+    eager: bool,
+}
+
+impl CountWindow {
+    /// Creates a window of `length` items sliding every `slide` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `slide` is zero.
+    pub fn new(length: usize, slide: usize) -> Self {
+        assert!(length > 0, "window length must be positive");
+        assert!(slide > 0, "window slide must be positive");
+        CountWindow {
+            buf: Vec::with_capacity(length),
+            length,
+            slide,
+            since_trigger: 0,
+            total: 0,
+            eager: false,
+        }
+    }
+
+    /// Switches the window to *eager* triggering: it fires every `slide`
+    /// items even before the buffer is full, computing over the partial
+    /// content. Eager windows reach their steady-state output rate (one
+    /// trigger per `slide` items, §3.4) immediately, eliminating the
+    /// fill-up transient that §5.2 identifies as the main source of
+    /// prediction error for rarely-hit windows.
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// True if this window triggers eagerly on partial content.
+    pub fn is_eager(&self) -> bool {
+        self.eager
+    }
+
+    /// Window length `w`.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Window slide `s` — the operator's input selectivity (§3.4).
+    pub fn slide(&self) -> usize {
+        self.slide
+    }
+
+    /// Items currently buffered (`≤ length`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Pushes an item; returns the full window content when the window
+    /// triggers (buffer full and `slide` items since the last trigger).
+    pub fn push(&mut self, item: Tuple) -> Option<&[Tuple]> {
+        if self.buf.len() == self.length {
+            self.buf.remove(0);
+        }
+        self.buf.push(item);
+        self.total += 1;
+        self.since_trigger += 1;
+        let full_enough = self.eager || self.buf.len() == self.length;
+        if full_enough && self.since_trigger >= self.slide {
+            self.since_trigger = 0;
+            Some(&self.buf)
+        } else {
+            None
+        }
+    }
+
+    /// The current buffer content (oldest first), regardless of triggering.
+    pub fn content(&self) -> &[Tuple] {
+        &self.buf
+    }
+}
+
+/// One [`CountWindow`] per partitioning key — the state layout of a
+/// partitioned-stateful windowed operator (§3.2): each key's window is
+/// touched only by items carrying that key, so replicas owning disjoint key
+/// sets never share state.
+#[derive(Debug, Clone)]
+pub struct KeyedWindows {
+    windows: HashMap<u64, CountWindow>,
+    length: usize,
+    slide: usize,
+    eager: bool,
+}
+
+impl KeyedWindows {
+    /// Creates the per-key window table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `slide` is zero.
+    pub fn new(length: usize, slide: usize) -> Self {
+        assert!(length > 0 && slide > 0, "window parameters must be positive");
+        KeyedWindows {
+            windows: HashMap::new(),
+            length,
+            slide,
+            eager: false,
+        }
+    }
+
+    /// Eager variant: per-key windows trigger on partial content (see
+    /// [`CountWindow::eager`]).
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// Pushes an item into its key's window; returns the triggered window
+    /// content, if any.
+    pub fn push(&mut self, item: Tuple) -> Option<&[Tuple]> {
+        let (length, slide, eager) = (self.length, self.slide, self.eager);
+        self.windows
+            .entry(item.key)
+            .or_insert_with(|| {
+                let w = CountWindow::new(length, slide);
+                if eager {
+                    w.eager()
+                } else {
+                    w
+                }
+            })
+            .push(item)
+    }
+
+    /// Number of distinct keys seen.
+    pub fn num_keys(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Window slide (input selectivity).
+    pub fn slide(&self) -> usize {
+        self.slide
+    }
+
+    /// Window length.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seq: u64, v: f64) -> Tuple {
+        Tuple::splat(0, seq, v)
+    }
+
+    fn tk(key: u64, seq: u64) -> Tuple {
+        Tuple::splat(key, seq, seq as f64)
+    }
+
+    #[test]
+    fn window_triggers_once_full_then_every_slide() {
+        let mut w = CountWindow::new(4, 2);
+        let mut triggers = Vec::new();
+        for i in 0..10 {
+            if w.push(t(i, i as f64)).is_some() {
+                triggers.push(i);
+            }
+        }
+        // Full at item 3 (0-indexed), then every 2: 3, 5, 7, 9.
+        assert_eq!(triggers, vec![3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn window_content_is_last_w_items() {
+        let mut w = CountWindow::new(3, 3);
+        let mut last: Vec<u64> = Vec::new();
+        for i in 0..9 {
+            if let Some(content) = w.push(t(i, 0.0)) {
+                last = content.iter().map(|x| x.seq).collect();
+            }
+        }
+        assert_eq!(last, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn tumbling_window_when_slide_equals_length() {
+        let mut w = CountWindow::new(5, 5);
+        let trigger_count = (0..25).filter(|i| w.push(t(*i, 0.0)).is_some()).count();
+        assert_eq!(trigger_count, 5);
+    }
+
+    #[test]
+    fn slide_one_triggers_every_item_after_fill() {
+        let mut w = CountWindow::new(3, 1);
+        let trigger_count = (0..10).filter(|i| w.push(t(*i, 0.0)).is_some()).count();
+        assert_eq!(trigger_count, 8); // items 2..=9
+    }
+
+    #[test]
+    fn accessors() {
+        let mut w = CountWindow::new(4, 2);
+        assert_eq!(w.length(), 4);
+        assert_eq!(w.slide(), 2);
+        assert!(w.is_empty());
+        w.push(t(0, 1.0));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.total_pushed(), 1);
+        assert_eq!(w.content().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        CountWindow::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must be positive")]
+    fn zero_slide_rejected() {
+        CountWindow::new(1, 0);
+    }
+
+    #[test]
+    fn keyed_windows_are_independent_per_key() {
+        let mut kw = KeyedWindows::new(2, 2);
+        // Alternate keys: each key's window fills after 2 of *its* items.
+        assert!(kw.push(tk(1, 0)).is_none());
+        assert!(kw.push(tk(2, 1)).is_none());
+        assert!(kw.push(tk(1, 2)).is_some()); // key 1 window full
+        assert!(kw.push(tk(2, 3)).is_some()); // key 2 window full
+        assert_eq!(kw.num_keys(), 2);
+        assert_eq!(kw.slide(), 2);
+        assert_eq!(kw.length(), 2);
+    }
+
+    #[test]
+    fn eager_window_triggers_before_full() {
+        let mut w = CountWindow::new(10, 2).eager();
+        assert!(w.is_eager());
+        let mut triggers = Vec::new();
+        for i in 0..8 {
+            if let Some(content) = w.push(t(i, 0.0)) {
+                triggers.push((i, content.len()));
+            }
+        }
+        // Fires every 2 items with whatever is buffered.
+        assert_eq!(triggers, vec![(1, 2), (3, 4), (5, 6), (7, 8)]);
+    }
+
+    #[test]
+    fn eager_keyed_windows_trigger_per_key_slide() {
+        let mut kw = KeyedWindows::new(100, 2).eager();
+        let mut count = 0;
+        for i in 0..20 {
+            if kw.push(tk(i % 5, i)).is_some() {
+                count += 1;
+            }
+        }
+        // Each of 5 keys sees 4 items -> 2 triggers each.
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn keyed_window_content_has_only_that_key() {
+        let mut kw = KeyedWindows::new(3, 1);
+        let mut seen: Vec<u64> = Vec::new();
+        for i in 0..30 {
+            if let Some(content) = kw.push(tk(i % 3, i)) {
+                seen = content.iter().map(|t| t.key).collect();
+                assert!(seen.windows(2).all(|p| p[0] == p[1]));
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

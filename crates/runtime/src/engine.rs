@@ -1,0 +1,701 @@
+//! The execution engine: one thread per actor, bounded BAS mailboxes,
+//! run-to-completion with end-of-stream propagation.
+
+use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
+use crate::mailbox::{channel, Envelope, RecvResult, SendOutcome, Sender};
+use crate::metrics::{ActorMetrics, RunReport};
+use crate::operator::Outputs;
+use crate::rng::XorShift64;
+use crate::route::{Route, RouteState};
+use crate::ActorId;
+use spinstreams_core::{Tuple, TUPLE_ARITY};
+use std::fmt;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Default mailbox capacity (overridable per actor in the graph).
+    pub mailbox_capacity: usize,
+    /// BAS send timeout after which an item is dropped. §5.1 sets this
+    /// "significantly higher than the maximum operators' service time"
+    /// (5 s there) so that nothing is dropped.
+    pub send_timeout: Duration,
+    /// Base RNG seed; actor `i` uses `seed + i` so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mailbox_capacity: 256,
+            send_timeout: Duration::from_secs(5),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Structural problems that prevent executing an actor graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The graph has no actors.
+    NoActors,
+    /// The graph has no source actor.
+    NoSource,
+    /// A route references an actor id that does not exist.
+    UnknownDestination {
+        /// The actor owning the route.
+        from: ActorId,
+        /// The bad destination.
+        to: ActorId,
+    },
+    /// A route targets a source actor (sources have no mailbox).
+    RouteToSource {
+        /// The actor owning the route.
+        from: ActorId,
+        /// The targeted source.
+        to: ActorId,
+    },
+    /// A route is structurally invalid (empty destination list, probability
+    /// mass far from 1, key map referencing a missing replica, …).
+    InvalidRoute {
+        /// The actor owning the route.
+        from: ActorId,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The actor graph contains a cycle; BAS blocking could deadlock.
+    Cyclic,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoActors => write!(f, "actor graph has no actors"),
+            EngineError::NoSource => write!(f, "actor graph has no source actor"),
+            EngineError::UnknownDestination { from, to } => {
+                write!(f, "{from} routes to unknown {to}")
+            }
+            EngineError::RouteToSource { from, to } => {
+                write!(f, "{from} routes to source actor {to}")
+            }
+            EngineError::InvalidRoute { from, reason } => {
+                write!(f, "invalid route on {from}: {reason}")
+            }
+            EngineError::Cyclic => write!(f, "actor graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Validates the actor graph (see [`EngineError`] variants).
+pub(crate) fn validate(actors: &[ActorSpec]) -> Result<(), EngineError> {
+    if actors.is_empty() {
+        return Err(EngineError::NoActors);
+    }
+    if !actors.iter().any(|a| a.behavior.is_source()) {
+        return Err(EngineError::NoSource);
+    }
+    let n = actors.len();
+    for (i, spec) in actors.iter().enumerate() {
+        let from = ActorId(i);
+        for route in &spec.routes {
+            let dests = route.destinations();
+            if dests.is_empty() {
+                return Err(EngineError::InvalidRoute {
+                    from,
+                    reason: "route has no destinations".into(),
+                });
+            }
+            for d in &dests {
+                if d.0 >= n {
+                    return Err(EngineError::UnknownDestination { from, to: *d });
+                }
+                if actors[d.0].behavior.is_source() {
+                    return Err(EngineError::RouteToSource { from, to: *d });
+                }
+            }
+            match route {
+                Route::Probabilistic { choices } => {
+                    let sum: f64 = choices.iter().map(|(_, p)| *p).sum();
+                    if (sum - 1.0).abs() > 1e-6 || choices.iter().any(|(_, p)| *p < 0.0) {
+                        return Err(EngineError::InvalidRoute {
+                            from,
+                            reason: format!("probabilities sum to {sum}"),
+                        });
+                    }
+                }
+                Route::KeyMap {
+                    key_map,
+                    destinations,
+                } => {
+                    if key_map.is_empty() {
+                        return Err(EngineError::InvalidRoute {
+                            from,
+                            reason: "empty key map".into(),
+                        });
+                    }
+                    if key_map.iter().any(|r| *r >= destinations.len()) {
+                        return Err(EngineError::InvalidRoute {
+                            from,
+                            reason: "key map references missing replica".into(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Acyclicity (actor-level): BAS blocking on a cycle can deadlock.
+    let succ: Vec<Vec<usize>> = actors
+        .iter()
+        .map(|a| {
+            let mut s: Vec<usize> = a
+                .routes
+                .iter()
+                .flat_map(|r| r.destinations())
+                .map(|d| d.0)
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    if !spinstreams_core::is_acyclic(n, &succ) {
+        return Err(EngineError::Cyclic);
+    }
+    Ok(())
+}
+
+/// Shared per-thread context for delivering outputs.
+struct DeliveryCtx {
+    senders: Vec<Option<Sender>>,
+    routes: Vec<RouteState>,
+    eos_targets: Vec<usize>,
+    rng: XorShift64,
+    metrics: Arc<ActorMetrics>,
+    started_at: Instant,
+    send_timeout: Duration,
+}
+
+impl DeliveryCtx {
+    fn now_ns(&self) -> u64 {
+        self.started_at.elapsed().as_nanos() as u64
+    }
+
+    /// Delivers everything buffered in `out`.
+    fn deliver(&mut self, out: &mut Outputs) {
+        use std::sync::atomic::Ordering;
+        for (port, tuple) in out.drain() {
+            match self.routes.get_mut(port) {
+                Some(route) => {
+                    let dest = route.pick(&tuple, &mut self.rng);
+                    let sender = self.senders[dest.0]
+                        .as_ref()
+                        .expect("validated destination has a mailbox");
+                    match sender.send(Envelope::Data(tuple), self.send_timeout) {
+                        SendOutcome::Sent => {
+                            self.metrics.record_out(self.started_at.elapsed().as_nanos() as u64);
+                        }
+                        SendOutcome::SentAfterBlocking(d) => {
+                            self.metrics
+                                .blocked_ns
+                                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+                            self.metrics.record_out(self.started_at.elapsed().as_nanos() as u64);
+                        }
+                        SendOutcome::TimedOut | SendOutcome::Disconnected => {
+                            self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                None => {
+                    // Sink port: the emission is the actor's departure.
+                    let now = self.now_ns();
+                    self.metrics.record_out(now);
+                }
+            }
+        }
+    }
+
+    /// Sends one EOS to every possible destination; EOS is never dropped.
+    fn propagate_eos(&mut self) {
+        for &d in &self.eos_targets {
+            if let Some(sender) = &self.senders[d] {
+                // EOS must never be dropped: retry until delivered (or the
+                // receiver is gone).
+                while sender.send(Envelope::Eos, Duration::from_secs(3600))
+                    == SendOutcome::TimedOut
+                {}
+            }
+        }
+        // Release all senders so downstream disconnect detection works.
+        for s in self.senders.iter_mut() {
+            *s = None;
+        }
+    }
+}
+
+/// Sleeps until `target`. Coarse sleep overshoot is tolerated: the source
+/// keeps an *absolute* emission schedule and catches up after oversleeping,
+/// so the average rate stays at the nominal value without busy-waiting.
+fn pace_until(target: Instant) {
+    let now = Instant::now();
+    if now < target {
+        thread::sleep(target - now);
+    }
+}
+
+fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
+    let mut rng = XorShift64::new(cfg.seed);
+    let mut out = Outputs::new();
+    let period = if cfg.rate.is_finite() {
+        Some(Duration::from_secs_f64(1.0 / cfg.rate))
+    } else {
+        None
+    };
+    let mut next_t = Instant::now();
+    for seq in 0..cfg.count {
+        if let Some(p) = period {
+            pace_until(next_t);
+            next_t += p;
+            let now = Instant::now();
+            if now > next_t + Duration::from_millis(50) {
+                // Far behind schedule: that is backpressure, not timer
+                // jitter — resume the nominal pace from now rather than
+                // bursting to catch up.
+                next_t = now;
+            }
+        }
+        let key = match &cfg.keys {
+            Some(dist) => dist.sample(rng.next_f64()) as u64,
+            None => seq,
+        };
+        let mut values = [0.0f64; TUPLE_ARITY];
+        for v in values.iter_mut() {
+            *v = rng.next_f64();
+        }
+        out.emit_default(Tuple::new(key, seq, values));
+        ctx.deliver(&mut out);
+    }
+    ctx.propagate_eos();
+}
+
+fn run_worker(
+    mut op: Box<dyn crate::StreamOperator>,
+    rx: crate::mailbox::Receiver,
+    mut eos_left: usize,
+    mut ctx: DeliveryCtx,
+) {
+    use std::sync::atomic::Ordering;
+    let mut out = Outputs::new();
+    loop {
+        match rx.recv() {
+            RecvResult::Envelope(Envelope::Data(item)) => {
+                ctx.metrics.items_in.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                op.process(item, &mut out);
+                ctx.metrics
+                    .busy_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                ctx.deliver(&mut out);
+            }
+            RecvResult::Envelope(Envelope::Eos) => {
+                eos_left = eos_left.saturating_sub(1);
+                if eos_left == 0 {
+                    break;
+                }
+            }
+            RecvResult::Disconnected => break,
+        }
+    }
+    let t0 = Instant::now();
+    op.flush(&mut out);
+    ctx.metrics
+        .busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    ctx.deliver(&mut out);
+    ctx.propagate_eos();
+}
+
+/// Executes the actor graph to completion and reports measured metrics.
+///
+/// Every actor runs on a dedicated thread (the §5.1 configuration: "each
+/// actor is associated with a dedicated thread"). The run ends when all
+/// sources have produced their configured item counts and the end-of-stream
+/// markers have drained through the graph.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the graph fails validation. A successfully
+/// validated graph always terminates: it is acyclic, and EOS markers
+/// propagate through every mailbox.
+pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, EngineError> {
+    let in_degrees = graph.in_degrees();
+    let actors = graph.into_actors();
+    validate(&actors)?;
+    let n = actors.len();
+
+    let metrics: Vec<Arc<ActorMetrics>> = (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
+
+    // One mailbox per non-source actor.
+    let mut senders: Vec<Option<Sender>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<crate::mailbox::Receiver>> = Vec::with_capacity(n);
+    for spec in &actors {
+        if spec.behavior.is_source() {
+            senders.push(None);
+            receivers.push(None);
+        } else {
+            let cap = spec.mailbox_capacity.unwrap_or(config.mailbox_capacity);
+            let (tx, rx) = channel(cap);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+    }
+
+    let started_at = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (i, spec) in actors.into_iter().enumerate() {
+        let eos_targets: Vec<usize> = {
+            let mut d: Vec<usize> = spec
+                .routes
+                .iter()
+                .flat_map(|r| r.destinations())
+                .map(|d| d.0)
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        // Give this actor clones of exactly the senders it can reach.
+        let my_senders: Vec<Option<Sender>> = (0..n)
+            .map(|j| {
+                if eos_targets.contains(&j) {
+                    senders[j].clone()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let ctx = DeliveryCtx {
+            senders: my_senders,
+            routes: spec.routes.into_iter().map(RouteState::new).collect(),
+            eos_targets,
+            rng: XorShift64::new(config.seed.wrapping_add(i as u64)),
+            metrics: Arc::clone(&metrics[i]),
+            started_at,
+            send_timeout: config.send_timeout,
+        };
+        let rx = receivers[i].take();
+        let eos_left = in_degrees[i];
+        let name = spec.name.clone();
+        let handle = thread::Builder::new()
+            .name(format!("ss-{i}-{name}"))
+            .spawn(move || match spec.behavior {
+                Behavior::Source(cfg) => run_source(cfg, ctx),
+                Behavior::Worker(op) => {
+                    let rx = rx.expect("worker has a mailbox");
+                    run_worker(op, rx, eos_left, ctx)
+                }
+            })
+            .expect("spawn actor thread");
+        handles.push((i, spec.name, handle));
+    }
+    // Drop the engine's own sender handles so disconnect detection can kick
+    // in for actors with no upstream.
+    drop(senders);
+
+    let mut names = vec![String::new(); n];
+    for (i, name, handle) in handles {
+        handle.join().expect("actor thread panicked");
+        names[i] = name;
+    }
+    let wall = started_at.elapsed();
+
+    let reports = (0..n)
+        .map(|i| metrics[i].snapshot(&names[i], ActorId(i)))
+        .collect();
+    Ok(RunReport {
+        actors: reports,
+        wall,
+        started_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{FnOperator, PassThrough, Spin};
+    use crate::{Behavior, Route, SourceConfig};
+
+    fn fast_cfg() -> EngineConfig {
+        EngineConfig {
+            mailbox_capacity: 64,
+            send_timeout: Duration::from_secs(5),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn source_to_sink_delivers_all_items() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 500)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(k).items_in, 500);
+        assert_eq!(r.actor(s).items_out, 500);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn pipeline_preserves_order_and_count() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 200)));
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(b).items_in, 200);
+        assert_eq!(r.actor(a).items_out, 200);
+    }
+
+    #[test]
+    fn paced_source_rate_is_respected() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(2000.0, 600)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        let rate = r.actor(s).departure_rate().unwrap();
+        assert!(
+            (rate - 2000.0).abs() / 2000.0 < 0.15,
+            "measured source rate {rate}"
+        );
+    }
+
+    #[test]
+    fn backpressure_throttles_source_to_bottleneck_rate() {
+        // Source at ~5000/s into a worker that can only do ~1000/s
+        // (1 ms busy per item): measured source rate must collapse to the
+        // bottleneck's service rate — the BAS phenomenon of §2.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(5000.0, 900)));
+        let w = g.add_actor("slow", Behavior::worker(Spin::new("slow", 1_000_000)));
+        g.connect(s, Route::Unicast(w));
+        g.set_mailbox_capacity(w, 16);
+        let r = run(g, &fast_cfg()).unwrap();
+        let src_rate = r.actor(s).departure_rate().unwrap();
+        assert!(
+            (src_rate - 1000.0).abs() / 1000.0 < 0.15,
+            "source rate {src_rate} should be backpressured to ~1000/s"
+        );
+        assert!(r.actor(s).blocked > Duration::ZERO);
+    }
+
+    #[test]
+    fn round_robin_splits_evenly() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 300)));
+        let a = g.add_actor("r0", Behavior::worker(PassThrough));
+        let b = g.add_actor("r1", Behavior::worker(PassThrough));
+        let c = g.add_actor("r2", Behavior::worker(PassThrough));
+        g.connect(s, Route::RoundRobin(vec![a, b, c]));
+        let r = run(g, &fast_cfg()).unwrap();
+        for id in [a, b, c] {
+            assert_eq!(r.actor(id).items_in, 100);
+        }
+    }
+
+    #[test]
+    fn probabilistic_route_approximates_distribution() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 10_000)));
+        let a = g.add_actor("p3", Behavior::worker(PassThrough));
+        let b = g.add_actor("p7", Behavior::worker(PassThrough));
+        g.connect(
+            s,
+            Route::Probabilistic {
+                choices: vec![(a, 0.3), (b, 0.7)],
+            },
+        );
+        let r = run(g, &fast_cfg()).unwrap();
+        let fa = r.actor(a).items_in as f64 / 10_000.0;
+        assert!((fa - 0.3).abs() < 0.03, "fraction {fa}");
+        assert_eq!(r.actor(a).items_in + r.actor(b).items_in, 10_000);
+    }
+
+    #[test]
+    fn key_map_routes_by_key() {
+        use spinstreams_core::KeyDistribution;
+        let mut g = ActorGraph::new();
+        let cfg = SourceConfig::new(f64::INFINITY, 1000).with_keys(KeyDistribution::uniform(4));
+        let s = g.add_actor("src", Behavior::Source(cfg));
+        let a = g.add_actor("r0", Behavior::worker(PassThrough));
+        let b = g.add_actor("r1", Behavior::worker(PassThrough));
+        g.connect(
+            s,
+            Route::KeyMap {
+                key_map: vec![0, 1, 0, 1],
+                destinations: vec![a, b],
+            },
+        );
+        let r = run(g, &fast_cfg()).unwrap();
+        let total = r.actor(a).items_in + r.actor(b).items_in;
+        assert_eq!(total, 1000);
+        // Uniform keys, 2+2 split: roughly half each.
+        let fa = r.actor(a).items_in as f64 / 1000.0;
+        assert!((fa - 0.5).abs() < 0.1, "fraction {fa}");
+    }
+
+    #[test]
+    fn eos_waits_for_all_upstreams() {
+        // Two branches converge on one sink; the sink must see items from
+        // both before terminating.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 400)));
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(Spin::new("b", 50_000)));
+        let k = g.add_actor("k", Behavior::worker(PassThrough));
+        g.connect(
+            s,
+            Route::Probabilistic {
+                choices: vec![(a, 0.5), (b, 0.5)],
+            },
+        );
+        g.connect(a, Route::Unicast(k));
+        g.connect(b, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(k).items_in, 400);
+    }
+
+    #[test]
+    fn flush_emissions_are_delivered_after_eos() {
+        struct HoldAll {
+            buf: Vec<Tuple>,
+        }
+        impl crate::StreamOperator for HoldAll {
+            fn process(&mut self, item: Tuple, _out: &mut Outputs) {
+                self.buf.push(item);
+            }
+            fn flush(&mut self, out: &mut Outputs) {
+                for t in self.buf.drain(..) {
+                    out.emit_default(t);
+                }
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 50)));
+        let h = g.add_actor("hold", Behavior::Worker(Box::new(HoldAll { buf: vec![] })));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(h));
+        g.connect(h, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(k).items_in, 50);
+    }
+
+    #[test]
+    fn sink_emissions_counted_without_routes() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 123)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        // PassThrough emits on port 0 which has no route on the sink.
+        assert_eq!(r.actor(k).items_out, 123);
+        assert!(r.actor(k).departure_rate().is_some());
+    }
+
+    #[test]
+    fn send_timeout_drops_items_when_consumer_stalls() {
+        // A consumer much slower than the timeout: with a tiny timeout the
+        // source drops items instead of waiting (load-shedding mode).
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 64)));
+        let w = g.add_actor("slow", Behavior::worker(Spin::new("slow", 3_000_000)));
+        g.connect(s, Route::Unicast(w));
+        g.set_mailbox_capacity(w, 4);
+        let cfg = EngineConfig {
+            send_timeout: Duration::from_millis(1),
+            ..fast_cfg()
+        };
+        let r = run(g, &cfg).unwrap();
+        assert!(r.actor(s).dropped > 0, "expected drops under 1 ms timeout");
+        assert!(r.actor(w).items_in < 64);
+    }
+
+    #[test]
+    fn validation_errors() {
+        // No actors.
+        assert_eq!(
+            run(ActorGraph::new(), &fast_cfg()).unwrap_err(),
+            EngineError::NoActors
+        );
+        // No source.
+        let mut g = ActorGraph::new();
+        g.add_actor("w", Behavior::worker(PassThrough));
+        assert_eq!(run(g, &fast_cfg()).unwrap_err(), EngineError::NoSource);
+        // Unknown destination.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1.0, 1)));
+        g.connect(s, Route::Unicast(ActorId(9)));
+        assert!(matches!(
+            run(g, &fast_cfg()).unwrap_err(),
+            EngineError::UnknownDestination { .. }
+        ));
+        // Route to source.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1.0, 1)));
+        let s2 = g.add_actor("src2", Behavior::Source(SourceConfig::new(1.0, 1)));
+        g.connect(s, Route::Unicast(s2));
+        assert!(matches!(
+            run(g, &fast_cfg()).unwrap_err(),
+            EngineError::RouteToSource { .. }
+        ));
+        // Bad probability mass.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1.0, 1)));
+        let w = g.add_actor("w", Behavior::worker(PassThrough));
+        g.connect(
+            s,
+            Route::Probabilistic {
+                choices: vec![(w, 0.4)],
+            },
+        );
+        assert!(matches!(
+            run(g, &fast_cfg()).unwrap_err(),
+            EngineError::InvalidRoute { .. }
+        ));
+        // Cycle between two workers.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1.0, 1)));
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        g.connect(b, Route::Unicast(a));
+        assert_eq!(run(g, &fast_cfg()).unwrap_err(), EngineError::Cyclic);
+    }
+
+    #[test]
+    fn closure_operators_transform_items() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 100)));
+        let double = g.add_actor(
+            "double",
+            Behavior::Worker(Box::new(FnOperator::new("double", |t: Tuple, out: &mut Outputs| {
+                out.emit_default(t);
+                out.emit_default(t);
+            }))),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(double));
+        g.connect(double, Route::Unicast(k));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(k).items_in, 200);
+    }
+}

@@ -1,0 +1,370 @@
+//! Bounded blocking mailboxes with Blocking-After-Service semantics.
+//!
+//! The paper's cost models assume streams implemented as fixed-capacity FIFO
+//! buffers where "when an output item attempts to enter into a full queue,
+//! that item is blocked until a free slot becomes available" (§3, BAS). The
+//! Akka evaluation uses `BoundedMailbox` with a send timeout after which the
+//! item is discarded (§5.1); [`Sender::send`] reproduces both behaviors.
+
+use parking_lot::{Condvar, Mutex};
+use spinstreams_core::Tuple;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in an actor's mailbox.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Envelope {
+    /// A stream item.
+    Data(Tuple),
+    /// End-of-stream marker; one is sent by each upstream sender when it
+    /// finishes.
+    Eos,
+}
+
+/// Outcome of a send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The envelope was enqueued without waiting.
+    Sent,
+    /// The envelope was enqueued after blocking for the given duration
+    /// (backpressure).
+    SentAfterBlocking(Duration),
+    /// The send timeout elapsed with the mailbox still full; the envelope
+    /// was dropped (Akka's bounded-mailbox `pushTimeOut` behavior).
+    TimedOut,
+    /// The receiver is gone; the envelope was discarded.
+    Disconnected,
+}
+
+impl SendOutcome {
+    /// True if the envelope was delivered.
+    pub fn delivered(self) -> bool {
+        matches!(self, SendOutcome::Sent | SendOutcome::SentAfterBlocking(_))
+    }
+
+    /// Time spent blocked on backpressure, if any.
+    pub fn blocked_for(self) -> Duration {
+        match self {
+            SendOutcome::SentAfterBlocking(d) => d,
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// Outcome of a blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecvResult {
+    /// An envelope was dequeued.
+    Envelope(Envelope),
+    /// All senders are gone and the mailbox is drained.
+    Disconnected,
+}
+
+struct Inner {
+    queue: Mutex<VecDeque<Envelope>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    senders: AtomicUsize,
+    receiver_alive: AtomicUsize,
+}
+
+/// The sending half of a mailbox. Cloning adds another producer.
+pub struct Sender {
+    inner: Arc<Inner>,
+}
+
+/// The receiving half of a mailbox (single consumer).
+pub struct Receiver {
+    inner: Arc<Inner>,
+}
+
+/// Creates a bounded BAS mailbox with the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel(capacity: usize) -> (Sender, Receiver) {
+    assert!(capacity > 0, "mailbox capacity must be positive");
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl Clone for Sender {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Sender {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake a receiver waiting on an empty queue.
+            let _guard = self.inner.queue.lock();
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.inner.receiver_alive.store(0, Ordering::SeqCst);
+        let _guard = self.inner.queue.lock();
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl Sender {
+    /// Sends with BAS semantics: if the mailbox is full, block until a slot
+    /// frees up or `timeout` elapses (then the envelope is dropped and
+    /// [`SendOutcome::TimedOut`] is returned).
+    pub fn send(&self, env: Envelope, timeout: Duration) -> SendOutcome {
+        let mut queue = self.inner.queue.lock();
+        if queue.len() < self.inner.capacity {
+            queue.push_back(env);
+            drop(queue);
+            self.inner.not_empty.notify_one();
+            return SendOutcome::Sent;
+        }
+        // Backpressure path.
+        let start = Instant::now();
+        let deadline = start + timeout;
+        loop {
+            if self.inner.receiver_alive.load(Ordering::SeqCst) == 0 {
+                return SendOutcome::Disconnected;
+            }
+            if queue.len() < self.inner.capacity {
+                queue.push_back(env);
+                drop(queue);
+                self.inner.not_empty.notify_one();
+                return SendOutcome::SentAfterBlocking(start.elapsed());
+            }
+            if self.inner.not_full.wait_until(&mut queue, deadline) .timed_out() {
+                return if queue.len() < self.inner.capacity {
+                    queue.push_back(env);
+                    drop(queue);
+                    self.inner.not_empty.notify_one();
+                    SendOutcome::SentAfterBlocking(start.elapsed())
+                } else {
+                    SendOutcome::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Current queue length (approximate; for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// True if the queue is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mailbox capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl Receiver {
+    /// Blocks until an envelope is available or every sender is gone.
+    pub fn recv(&self) -> RecvResult {
+        let mut queue = self.inner.queue.lock();
+        loop {
+            if let Some(env) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return RecvResult::Envelope(env);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return RecvResult::Disconnected;
+            }
+            self.inner.not_empty.wait(&mut queue);
+        }
+    }
+
+    /// Non-blocking receive; `None` if the mailbox is momentarily empty.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        let mut queue = self.inner.queue.lock();
+        let env = queue.pop_front();
+        if env.is_some() {
+            drop(queue);
+            self.inner.not_full.notify_one();
+        }
+        env
+    }
+
+    /// Current queue length (approximate).
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// True if the queue is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn item(seq: u64) -> Envelope {
+        Envelope::Data(Tuple::splat(0, seq, 1.0))
+    }
+
+    const LONG: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn send_recv_fifo_order() {
+        let (tx, rx) = channel(8);
+        for i in 0..5 {
+            assert_eq!(tx.send(item(i), LONG), SendOutcome::Sent);
+        }
+        for i in 0..5 {
+            match rx.recv() {
+                RecvResult::Envelope(Envelope::Data(t)) => assert_eq!(t.seq, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_mailbox_blocks_sender_until_slot_frees() {
+        let (tx, rx) = channel(2);
+        assert_eq!(tx.send(item(0), LONG), SendOutcome::Sent);
+        assert_eq!(tx.send(item(1), LONG), SendOutcome::Sent);
+        let handle = thread::spawn(move || tx.send(item(2), LONG));
+        thread::sleep(Duration::from_millis(50));
+        // The third send is still blocked; unblock it.
+        assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
+        let outcome = handle.join().unwrap();
+        match outcome {
+            SendOutcome::SentAfterBlocking(d) => {
+                assert!(d >= Duration::from_millis(30), "blocked {d:?}")
+            }
+            other => panic!("expected blocking send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_times_out_and_drops_item() {
+        let (tx, _rx) = channel(1);
+        assert_eq!(tx.send(item(0), LONG), SendOutcome::Sent);
+        let outcome = tx.send(item(1), Duration::from_millis(50));
+        assert_eq!(outcome, SendOutcome::TimedOut);
+        assert!(!outcome.delivered());
+        // The queue still holds only the first item.
+        assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn recv_blocks_until_item_arrives() {
+        let (tx, rx) = channel(4);
+        let handle = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(tx.send(item(7), LONG), SendOutcome::Sent);
+        match handle.join().unwrap() {
+            RecvResult::Envelope(Envelope::Data(t)) => assert_eq!(t.seq, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_receiver() {
+        let (tx, rx) = channel(4);
+        let tx2 = tx.clone();
+        tx.send(item(0), LONG);
+        drop(tx);
+        drop(tx2);
+        // Buffered item still delivered, then disconnect.
+        assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
+        assert_eq!(rx.recv(), RecvResult::Disconnected);
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_sender() {
+        let (tx, rx) = channel(1);
+        tx.send(item(0), LONG);
+        let handle = thread::spawn(move || tx.send(item(1), LONG));
+        thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), SendOutcome::Disconnected);
+    }
+
+    #[test]
+    fn multiple_producers_all_items_arrive() {
+        let (tx, rx) = channel(4);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let txp = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    assert!(txp.send(item(p * 1000 + i), LONG).delivered());
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = 0;
+        while let RecvResult::Envelope(_) = rx.recv() {
+            got += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got, 400);
+    }
+
+    #[test]
+    fn eos_envelopes_pass_through() {
+        let (tx, rx) = channel(2);
+        tx.send(Envelope::Eos, LONG);
+        assert_eq!(rx.recv(), RecvResult::Envelope(Envelope::Eos));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = channel(2);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(item(3), LONG);
+        assert!(matches!(rx.try_recv(), Some(Envelope::Data(_))));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = channel(0);
+    }
+
+    #[test]
+    fn capacity_and_len_reporting() {
+        let (tx, rx) = channel(3);
+        assert_eq!(tx.capacity(), 3);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(item(0), LONG);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+    }
+}

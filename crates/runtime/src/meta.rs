@@ -1,0 +1,299 @@
+//! The meta-operator: Algorithm 4, the executor of a fused sub-graph.
+//!
+//! A meta-operator owns the member operators of a fused sub-graph plus
+//! their *internal* routing. For each input item it runs the front-end
+//! member; every emitted item either feeds another member (processed
+//! immediately, inside the same actor — no mailbox hop) or leaves the
+//! sub-graph on one of the meta-operator's external ports. Because the
+//! sub-graph is acyclic, the internal work-list always drains (§4.2).
+
+use crate::rng::XorShift64;
+use crate::{Outputs, StreamOperator};
+use spinstreams_core::Tuple;
+use std::collections::VecDeque;
+
+/// Where an item emitted by a member goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaDest {
+    /// Another member of the fused sub-graph (index into the member list).
+    Member(usize),
+    /// An external port of the meta-operator.
+    Output(usize),
+}
+
+/// Internal routing policy for one member port — mirrors [`crate::Route`]
+/// but with member/output destinations.
+#[derive(Debug, Clone)]
+pub enum MetaRoute {
+    /// Every item to the same destination.
+    Unicast(MetaDest),
+    /// Destination drawn from a fixed distribution (application-semantics
+    /// simulation, as for the actor-level probabilistic routes).
+    Probabilistic {
+        /// Destinations and probabilities (sum ≈ 1).
+        choices: Vec<(MetaDest, f64)>,
+    },
+}
+
+/// The fused operator executing Algorithm 4.
+pub struct MetaOperator {
+    name: String,
+    members: Vec<Box<dyn StreamOperator>>,
+    /// `routes[m][p]` routes port `p` of member `m`.
+    routes: Vec<Vec<MetaRoute>>,
+    front: usize,
+    rng: XorShift64,
+    scratch: Outputs,
+}
+
+impl MetaOperator {
+    /// Creates a meta-operator.
+    ///
+    /// * `members` — the fused operators;
+    /// * `routes` — per member, per port, the internal route;
+    /// * `front` — index of the front-end member (every input item starts
+    ///   there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `front` is out of range or `routes` length differs from
+    /// `members`. Route cycles are the builder's responsibility (fused
+    /// sub-graphs are acyclic by construction, §3.3); a cycle would loop
+    /// forever.
+    pub fn new(
+        name: impl Into<String>,
+        members: Vec<Box<dyn StreamOperator>>,
+        routes: Vec<Vec<MetaRoute>>,
+        front: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(members.len(), routes.len(), "one route table per member");
+        assert!(front < members.len(), "front-end index out of range");
+        MetaOperator {
+            name: name.into(),
+            members,
+            routes,
+            front,
+            rng: XorShift64::new(seed),
+            scratch: Outputs::new(),
+        }
+    }
+
+    /// Number of fused members.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    fn resolve(&mut self, member: usize, port: usize) -> Option<MetaDest> {
+        let table = &self.routes[member];
+        let route = table.get(port)?;
+        Some(match route {
+            MetaRoute::Unicast(d) => *d,
+            MetaRoute::Probabilistic { choices } => {
+                let probs: Vec<f64> = choices.iter().map(|(_, p)| *p).collect();
+                choices[self.rng.sample_discrete(&probs)].0
+            }
+        })
+    }
+
+    fn drive(&mut self, start: VecDeque<(usize, Tuple)>, out: &mut Outputs) {
+        let mut work = start;
+        while let Some((m, item)) = work.pop_front() {
+            self.scratch.clear();
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.members[m].process(item, &mut scratch);
+            for (port, emitted) in scratch.drain() {
+                match self.resolve(m, port) {
+                    Some(MetaDest::Member(j)) => work.push_back((j, emitted)),
+                    Some(MetaDest::Output(p)) => out.emit(p, emitted),
+                    None => {} // unrouted member port: internal sink
+                }
+            }
+            self.scratch = scratch;
+        }
+    }
+}
+
+impl StreamOperator for MetaOperator {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        let mut work = VecDeque::with_capacity(4);
+        work.push_back((self.front, item));
+        self.drive(work, out);
+    }
+
+    fn flush(&mut self, out: &mut Outputs) {
+        // Flush members front-first so buffered state (windows) drains
+        // through the same internal routing as live items.
+        let order: Vec<usize> = std::iter::once(self.front)
+            .chain((0..self.members.len()).filter(|m| *m != self.front))
+            .collect();
+        for m in order {
+            self.scratch.clear();
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.members[m].flush(&mut scratch);
+            let mut work = VecDeque::new();
+            for (port, emitted) in scratch.drain() {
+                match self.resolve(m, port) {
+                    Some(MetaDest::Member(j)) => work.push_back((j, emitted)),
+                    Some(MetaDest::Output(p)) => out.emit(p, emitted),
+                    None => {}
+                }
+            }
+            self.scratch = scratch;
+            self.drive(work, out);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{FnOperator, PassThrough};
+
+    fn add_op(delta: f64) -> Box<dyn StreamOperator> {
+        Box::new(FnOperator::new("add", move |t: Tuple, out: &mut Outputs| {
+            out.emit_default(t.with_value(0, t.values[0] + delta));
+        }))
+    }
+
+    #[test]
+    fn chain_of_members_applies_sequentially() {
+        // front (+1) -> member1 (+10) -> external port 0.
+        let meta = MetaOperator::new(
+            "F",
+            vec![add_op(1.0), add_op(10.0)],
+            vec![
+                vec![MetaRoute::Unicast(MetaDest::Member(1))],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            ],
+            0,
+            1,
+        );
+        let mut meta = meta;
+        let mut out = Outputs::new();
+        meta.process(Tuple::splat(0, 0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.items()[0].1.values[0], 11.0);
+        assert_eq!(meta.num_members(), 2);
+    }
+
+    #[test]
+    fn probabilistic_internal_routing_splits_flow() {
+        // front -> {member1 (p=0.3), output (p=0.7)}; member1 -> output.
+        let mut meta = MetaOperator::new(
+            "F",
+            vec![add_op(0.0), add_op(100.0)],
+            vec![
+                vec![MetaRoute::Probabilistic {
+                    choices: vec![
+                        (MetaDest::Member(1), 0.3),
+                        (MetaDest::Output(0), 0.7),
+                    ],
+                }],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            ],
+            0,
+            42,
+        );
+        let mut out = Outputs::new();
+        let n = 20_000;
+        for i in 0..n {
+            meta.process(Tuple::splat(0, i, 0.0), &mut out);
+        }
+        assert_eq!(out.len(), n as usize, "every item exits exactly once");
+        let via_member1 = out
+            .items()
+            .iter()
+            .filter(|(_, t)| t.values[0] >= 100.0)
+            .count();
+        let frac = via_member1 as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn unrouted_member_port_discards() {
+        let mut meta = MetaOperator::new(
+            "F",
+            vec![Box::new(PassThrough) as Box<dyn StreamOperator>],
+            vec![vec![]],
+            0,
+            1,
+        );
+        let mut out = Outputs::new();
+        meta.process(Tuple::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_drains_member_state_through_routing() {
+        // A member that holds items until flush.
+        struct Hold {
+            buf: Vec<Tuple>,
+        }
+        impl StreamOperator for Hold {
+            fn process(&mut self, item: Tuple, _out: &mut Outputs) {
+                self.buf.push(item);
+            }
+            fn flush(&mut self, out: &mut Outputs) {
+                for t in self.buf.drain(..) {
+                    out.emit_default(t);
+                }
+            }
+        }
+        let mut meta = MetaOperator::new(
+            "F",
+            vec![
+                Box::new(Hold { buf: Vec::new() }) as Box<dyn StreamOperator>,
+                add_op(5.0),
+            ],
+            vec![
+                vec![MetaRoute::Unicast(MetaDest::Member(1))],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            ],
+            0,
+            1,
+        );
+        let mut out = Outputs::new();
+        meta.process(Tuple::splat(0, 1, 1.0), &mut out);
+        meta.process(Tuple::splat(0, 2, 2.0), &mut out);
+        assert!(out.is_empty(), "held until flush");
+        meta.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        // The held items passed through member 1 (+5) during flush.
+        assert_eq!(out.items()[0].1.values[0], 6.0);
+        assert_eq!(out.items()[1].1.values[0], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "front-end index out of range")]
+    fn bad_front_index_panics() {
+        MetaOperator::new("F", vec![], vec![], 0, 1);
+    }
+
+    #[test]
+    fn diamond_inside_meta_preserves_item_count() {
+        // front -> {m1 (0.5), m2 (0.5)}; m1 -> out, m2 -> out.
+        let mut meta = MetaOperator::new(
+            "F",
+            vec![add_op(0.0), add_op(1.0), add_op(2.0)],
+            vec![
+                vec![MetaRoute::Probabilistic {
+                    choices: vec![(MetaDest::Member(1), 0.5), (MetaDest::Member(2), 0.5)],
+                }],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            ],
+            0,
+            7,
+        );
+        let mut out = Outputs::new();
+        for i in 0..1000 {
+            meta.process(Tuple::splat(0, i, 0.0), &mut out);
+        }
+        assert_eq!(out.len(), 1000);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-actor runtime metrics and the run report.
+//!
+//! Every actor counts arrivals, departures, drops, busy time and
+//! backpressure-blocked time, and timestamps its first and last departure.
+//! From those the engine derives the *measured* steady-state departure
+//! rates compared against the cost model in §5.2.
+
+use crate::ActorId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared mutable metric cells for one actor (written by the actor thread).
+#[derive(Debug, Default)]
+pub(crate) struct ActorMetrics {
+    pub items_in: AtomicU64,
+    pub items_out: AtomicU64,
+    pub dropped: AtomicU64,
+    pub busy_ns: AtomicU64,
+    pub blocked_ns: AtomicU64,
+    /// Nanoseconds since engine start of the first/last departure
+    /// (`u64::MAX` = never departed).
+    pub first_out_ns: AtomicU64,
+    pub last_out_ns: AtomicU64,
+}
+
+impl ActorMetrics {
+    pub(crate) fn new() -> Self {
+        let m = ActorMetrics::default();
+        m.first_out_ns.store(u64::MAX, Ordering::Relaxed);
+        m
+    }
+
+    pub(crate) fn record_out(&self, now_ns: u64) {
+        self.items_out.fetch_add(1, Ordering::Relaxed);
+        // Only the owning actor thread writes, so a simple compare works.
+        if self.first_out_ns.load(Ordering::Relaxed) == u64::MAX {
+            self.first_out_ns.store(now_ns, Ordering::Relaxed);
+        }
+        self.last_out_ns.store(now_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &str, id: ActorId) -> ActorReport {
+        ActorReport {
+            id,
+            name: name.to_string(),
+            items_in: self.items_in.load(Ordering::Relaxed),
+            items_out: self.items_out.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            blocked: Duration::from_nanos(self.blocked_ns.load(Ordering::Relaxed)),
+            first_out_ns: self.first_out_ns.load(Ordering::Relaxed),
+            last_out_ns: self.last_out_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Metrics snapshot of one actor after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorReport {
+    /// The actor.
+    pub id: ActorId,
+    /// Diagnostic name from the actor graph.
+    pub name: String,
+    /// Items received.
+    pub items_in: u64,
+    /// Items emitted (delivered downstream, or consumed at a sink port).
+    pub items_out: u64,
+    /// Items dropped on send timeout.
+    pub dropped: u64,
+    /// Time spent inside the operator function.
+    pub busy: Duration,
+    /// Time spent blocked on full downstream mailboxes (backpressure).
+    pub blocked: Duration,
+    /// Nanoseconds (since run start) of the first departure
+    /// (`u64::MAX` if none).
+    pub first_out_ns: u64,
+    /// Nanoseconds (since run start) of the last departure.
+    pub last_out_ns: u64,
+}
+
+impl ActorReport {
+    /// Measured steady-state departure rate in items/s: emissions divided
+    /// by the first-to-last departure span. `None` with fewer than two
+    /// departures.
+    pub fn departure_rate(&self) -> Option<f64> {
+        if self.items_out < 2 || self.first_out_ns == u64::MAX {
+            return None;
+        }
+        let span_ns = self.last_out_ns.saturating_sub(self.first_out_ns);
+        if span_ns == 0 {
+            return None;
+        }
+        Some((self.items_out - 1) as f64 * 1e9 / span_ns as f64)
+    }
+
+    /// Fraction of wall time this actor spent blocked on backpressure.
+    pub fn blocked_fraction(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.blocked.as_secs_f64() / wall.as_secs_f64()
+        }
+    }
+}
+
+/// The result of executing an actor graph to completion.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-actor snapshots, indexed by actor id.
+    pub actors: Vec<ActorReport>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Engine start instant (all `*_ns` fields are relative to it).
+    pub started_at: Instant,
+}
+
+impl RunReport {
+    /// The report of one actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor(&self, id: ActorId) -> &ActorReport {
+        &self.actors[id.0]
+    }
+
+    /// Measured topology throughput: the departure rate of the (first)
+    /// source actor, per the paper's definition (§5.2).
+    pub fn source_throughput(&self) -> Option<f64> {
+        self.actors
+            .iter()
+            .find(|a| a.items_in == 0 && a.items_out > 0)
+            .and_then(|a| a.departure_rate())
+    }
+
+    /// Total items dropped anywhere (should be zero with an adequate send
+    /// timeout; §5.1 sets it well above the largest service time).
+    pub fn total_dropped(&self) -> u64 {
+        self.actors.iter().map(|a| a.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(items_out: u64, first_ns: u64, last_ns: u64) -> ActorReport {
+        ActorReport {
+            id: ActorId(0),
+            name: "a".into(),
+            items_in: 0,
+            items_out,
+            dropped: 0,
+            busy: Duration::ZERO,
+            blocked: Duration::ZERO,
+            first_out_ns: first_ns,
+            last_out_ns: last_ns,
+        }
+    }
+
+    #[test]
+    fn departure_rate_from_span() {
+        // 11 items across 1 second -> 10 intervals/s.
+        let r = report(11, 0, 1_000_000_000);
+        assert!((r.departure_rate().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departure_rate_needs_two_items() {
+        assert_eq!(report(1, 0, 5).departure_rate(), None);
+        assert_eq!(report(0, u64::MAX, 0).departure_rate(), None);
+        assert_eq!(report(5, 100, 100).departure_rate(), None);
+    }
+
+    #[test]
+    fn blocked_fraction() {
+        let mut r = report(2, 0, 10);
+        r.blocked = Duration::from_millis(250);
+        assert!((r.blocked_fraction(Duration::from_secs(1)) - 0.25).abs() < 1e-9);
+        assert_eq!(r.blocked_fraction(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn record_out_tracks_first_and_last() {
+        let m = ActorMetrics::new();
+        m.record_out(100);
+        m.record_out(500);
+        m.record_out(900);
+        let snap = m.snapshot("x", ActorId(3));
+        assert_eq!(snap.items_out, 3);
+        assert_eq!(snap.first_out_ns, 100);
+        assert_eq!(snap.last_out_ns, 900);
+        assert_eq!(snap.id, ActorId(3));
+    }
+
+    #[test]
+    fn run_report_source_throughput_picks_sourcelike_actor() {
+        let source = ActorReport {
+            items_in: 0,
+            ..report(101, 0, 1_000_000_000)
+        };
+        let worker = ActorReport {
+            id: ActorId(1),
+            items_in: 101,
+            ..report(101, 0, 1_000_000_000)
+        };
+        let rep = RunReport {
+            actors: vec![source, worker],
+            wall: Duration::from_secs(1),
+            started_at: Instant::now(),
+        };
+        assert!((rep.source_throughput().unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(rep.total_dropped(), 0);
+    }
+}

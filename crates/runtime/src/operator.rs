@@ -1,0 +1,146 @@
+//! The operator abstraction executed by actors (the SS2Akka analogue).
+//!
+//! User logic implements [`StreamOperator::process`], the counterpart of
+//! SS2Akka's `operatorFunction()` (§4.2): it consumes one input item and
+//! emits zero, one or many output items onto logical *ports*. A port indexes
+//! the operator's output edges in the abstract topology; the runtime's
+//! routing layer maps ports to destination mailboxes, keeping the business
+//! logic independent of how the topology was optimized (fission, fusion).
+
+use spinstreams_core::Tuple;
+
+/// The default output port for single-output operators.
+pub const DEFAULT_PORT: usize = 0;
+
+/// Collector of the items an operator emits while processing one input.
+///
+/// Reused across invocations to avoid per-item allocation.
+#[derive(Debug, Default)]
+pub struct Outputs {
+    items: Vec<(usize, Tuple)>,
+}
+
+impl Outputs {
+    /// Creates an empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits `item` on logical output `port`.
+    pub fn emit(&mut self, port: usize, item: Tuple) {
+        self.items.push((port, item));
+    }
+
+    /// Emits `item` on [`DEFAULT_PORT`].
+    pub fn emit_default(&mut self, item: Tuple) {
+        self.emit(DEFAULT_PORT, item);
+    }
+
+    /// The buffered `(port, item)` pairs, in emission order.
+    pub fn items(&self) -> &[(usize, Tuple)] {
+        &self.items
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Clears the buffer (done by the runtime between invocations).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Drains the buffered items.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, Tuple)> + '_ {
+        self.items.drain(..)
+    }
+}
+
+/// A streaming operator: the unit of user logic executed by an actor.
+///
+/// Implementations may keep internal state (window buffers, aggregates,
+/// join state); the runtime guarantees `process` is never invoked
+/// concurrently on the same instance, matching Akka's actor execution
+/// guarantee (§4.2).
+pub trait StreamOperator: Send {
+    /// Processes one input item, emitting any number of outputs.
+    fn process(&mut self, item: Tuple, out: &mut Outputs);
+
+    /// Called once at end-of-stream, after the last `process`; operators
+    /// with buffered state may emit final results. Default: nothing.
+    fn flush(&mut self, out: &mut Outputs) {
+        let _ = out;
+    }
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "operator"
+    }
+}
+
+impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        (**self).process(item, out)
+    }
+    fn flush(&mut self, out: &mut Outputs) {
+        (**self).flush(out)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl StreamOperator for Doubler {
+        fn process(&mut self, item: Tuple, out: &mut Outputs) {
+            out.emit_default(item);
+            out.emit(1, item);
+        }
+        fn name(&self) -> &str {
+            "doubler"
+        }
+    }
+
+    #[test]
+    fn outputs_collects_in_order() {
+        let mut out = Outputs::new();
+        assert!(out.is_empty());
+        out.emit(0, Tuple::splat(0, 1, 0.0));
+        out.emit(2, Tuple::splat(0, 2, 0.0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.items()[0].0, 0);
+        assert_eq!(out.items()[1].0, 2);
+        out.clear();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut out = Outputs::new();
+        out.emit_default(Tuple::default());
+        let drained: Vec<_> = out.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn boxed_operator_delegates() {
+        let mut op: Box<dyn StreamOperator> = Box::new(Doubler);
+        let mut out = Outputs::new();
+        op.process(Tuple::splat(1, 7, 3.0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(op.name(), "doubler");
+        op.flush(&mut out);
+        assert_eq!(out.len(), 2, "default flush emits nothing");
+    }
+}

@@ -1,0 +1,321 @@
+//! Built-in utility operators used by the runtime itself.
+//!
+//! The *real-world* operator library (filters, windowed aggregates, skyline,
+//! joins, …) lives in `spinstreams-operators`; here are only the neutral
+//! building blocks the runtime needs for emitters, collectors and tests.
+
+use crate::{Outputs, StreamOperator};
+use spinstreams_core::Tuple;
+
+/// Forwards every item unchanged on the default port.
+///
+/// Used as the body of emitter and collector actors (§4.2: "such actors are
+/// in general fast as they execute single point-to-point communications").
+#[derive(Debug, Default, Clone)]
+pub struct PassThrough;
+
+impl StreamOperator for PassThrough {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        "pass-through"
+    }
+}
+
+/// An operator defined by a closure — handy for tests and examples.
+pub struct FnOperator<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnOperator<F>
+where
+    F: FnMut(Tuple, &mut Outputs) + Send,
+{
+    /// Wraps `f` as an operator.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnOperator {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> StreamOperator for FnOperator<F>
+where
+    F: FnMut(Tuple, &mut Outputs) + Send,
+{
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        (self.f)(item, out)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Burns CPU for a calibrated amount of time per item, then forwards it.
+///
+/// The knob that gives runtime actors a precise, configurable service time
+/// without sleeping (a sleeping actor would not model a busy operator).
+#[derive(Debug, Clone)]
+pub struct Spin {
+    name: String,
+    work_ns: u64,
+}
+
+impl Spin {
+    /// An operator spending `work_ns` nanoseconds of CPU per item.
+    pub fn new(name: impl Into<String>, work_ns: u64) -> Self {
+        Spin {
+            name: name.into(),
+            work_ns,
+        }
+    }
+
+    /// The configured busy time per item.
+    pub fn work_ns(&self) -> u64 {
+        self.work_ns
+    }
+}
+
+/// Spins the CPU for approximately `ns` nanoseconds.
+pub fn busy_spin(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = std::time::Instant::now();
+    let target = std::time::Duration::from_nanos(ns);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+thread_local! {
+    static VIRTUAL_MODE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static VIRTUAL_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Performs `ns` nanoseconds of synthetic operator work.
+///
+/// In normal (threaded) execution this burns real CPU via [`busy_spin`].
+/// Under the discrete-event executor (see `simulate`), the cost is instead
+/// *accounted* onto the current actor's virtual clock — threads never
+/// block, so simulated operators run with perfect parallelism regardless
+/// of the physical core count (the paper's 24-core testbed, which we
+/// substitute with virtual time; see DESIGN.md).
+pub fn synthetic_work(ns: u64) {
+    if VIRTUAL_MODE.with(|m| m.get()) {
+        VIRTUAL_NS.with(|v| v.set(v.get().saturating_add(ns)));
+    } else {
+        busy_spin(ns);
+    }
+}
+
+/// Enables/disables virtual-work accounting on this thread.
+pub fn set_virtual_work_mode(on: bool) {
+    VIRTUAL_MODE.with(|m| m.set(on));
+    if on {
+        VIRTUAL_NS.with(|v| v.set(0));
+    }
+}
+
+/// Takes (and resets) the virtual work accumulated on this thread since the
+/// last call.
+pub fn take_virtual_work_ns() -> u64 {
+    VIRTUAL_NS.with(|v| v.replace(0))
+}
+
+/// The statistical distribution of an operator's per-item service time
+/// (§3.1 notes the flow-conservation model holds "regardless of the
+/// statistical distributions of the service rates — Poisson, Normal or
+/// Deterministic"; [`RandomWork`] lets experiments verify that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceDistribution {
+    /// Constant service time (the default of the operator library).
+    Deterministic,
+    /// Exponentially distributed service time (a Poisson server): the
+    /// maximum-variance case for a given mean.
+    Exponential,
+    /// Normally distributed with a 25% coefficient of variation, truncated
+    /// at zero.
+    Normal,
+}
+
+/// Wraps an operator, adding a *random* amount of synthetic work per item
+/// drawn from a [`ServiceDistribution`] with the given mean.
+pub struct RandomWork<O> {
+    inner: O,
+    mean_ns: u64,
+    dist: ServiceDistribution,
+    rng: crate::rng::XorShift64,
+}
+
+impl<O: StreamOperator> RandomWork<O> {
+    /// Adds `mean_ns` of expected synthetic work per item, distributed as
+    /// `dist`, on top of `inner`'s own behavior.
+    pub fn new(inner: O, mean_ns: u64, dist: ServiceDistribution, seed: u64) -> Self {
+        RandomWork {
+            inner,
+            mean_ns,
+            dist,
+            rng: crate::rng::XorShift64::new(seed),
+        }
+    }
+
+    fn draw_ns(&mut self) -> u64 {
+        let mean = self.mean_ns as f64;
+        let x = match self.dist {
+            ServiceDistribution::Deterministic => mean,
+            ServiceDistribution::Exponential => {
+                // Inverse CDF; clamp the uniform away from 0 to avoid inf.
+                let u = self.rng.next_f64().max(1e-12);
+                -mean * u.ln()
+            }
+            ServiceDistribution::Normal => {
+                // Box-Muller with σ = mean/4, truncated at 0.
+                let u1 = self.rng.next_f64().max(1e-12);
+                let u2 = self.rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + z * mean / 4.0).max(0.0)
+            }
+        };
+        x.round() as u64
+    }
+}
+
+impl<O: StreamOperator> StreamOperator for RandomWork<O> {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        let ns = self.draw_ns();
+        synthetic_work(ns);
+        self.inner.process(item, out);
+    }
+    fn flush(&mut self, out: &mut Outputs) {
+        self.inner.flush(out);
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl StreamOperator for Spin {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        busy_spin(self.work_ns);
+        out.emit_default(item);
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn pass_through_forwards_unchanged() {
+        let mut op = PassThrough;
+        let mut out = Outputs::new();
+        let t = Tuple::splat(3, 9, 2.5);
+        op.process(t, &mut out);
+        assert_eq!(out.items(), &[(0, t)]);
+        assert_eq!(op.name(), "pass-through");
+    }
+
+    #[test]
+    fn fn_operator_runs_closure() {
+        let mut op = FnOperator::new("x2", |t: Tuple, out: &mut Outputs| {
+            out.emit_default(t.with_value(0, t.values[0] * 2.0));
+        });
+        let mut out = Outputs::new();
+        op.process(Tuple::splat(0, 0, 21.0), &mut out);
+        assert_eq!(out.items()[0].1.values[0], 42.0);
+        assert_eq!(op.name(), "x2");
+    }
+
+    #[test]
+    fn spin_takes_roughly_configured_time() {
+        let mut op = Spin::new("spin", 200_000); // 200 µs
+        let mut out = Outputs::new();
+        let start = Instant::now();
+        for _ in 0..10 {
+            op.process(Tuple::default(), &mut out);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed.as_micros() >= 2_000, "elapsed {elapsed:?}");
+        assert!(elapsed.as_micros() < 20_000, "elapsed {elapsed:?}");
+        assert_eq!(out.len(), 10);
+        assert_eq!(op.work_ns(), 200_000);
+    }
+
+    #[test]
+    fn zero_spin_is_fast() {
+        let start = Instant::now();
+        busy_spin(0);
+        assert!(start.elapsed().as_micros() < 1_000);
+    }
+
+    #[test]
+    fn virtual_work_accumulates_instead_of_spinning() {
+        set_virtual_work_mode(true);
+        take_virtual_work_ns();
+        let start = Instant::now();
+        synthetic_work(50_000_000); // 50 ms would be obvious if spun
+        assert!(start.elapsed().as_millis() < 5);
+        assert_eq!(take_virtual_work_ns(), 50_000_000);
+        assert_eq!(take_virtual_work_ns(), 0, "take resets the counter");
+        set_virtual_work_mode(false);
+    }
+
+    #[test]
+    fn random_work_distributions_have_the_requested_mean() {
+        set_virtual_work_mode(true);
+        let mut out = Outputs::new();
+        for dist in [
+            ServiceDistribution::Deterministic,
+            ServiceDistribution::Exponential,
+            ServiceDistribution::Normal,
+        ] {
+            let mut op = RandomWork::new(PassThrough, 100_000, dist, 7);
+            take_virtual_work_ns();
+            let n = 20_000;
+            for i in 0..n {
+                op.process(Tuple::splat(0, i, 0.0), &mut out);
+                out.clear();
+            }
+            let mean = take_virtual_work_ns() as f64 / n as f64;
+            assert!(
+                (mean - 100_000.0).abs() / 100_000.0 < 0.03,
+                "{dist:?}: mean {mean}"
+            );
+        }
+        set_virtual_work_mode(false);
+    }
+
+    #[test]
+    fn random_work_variance_orders_as_expected() {
+        set_virtual_work_mode(true);
+        let mut out = Outputs::new();
+        let mut variance = |dist| {
+            let mut op = RandomWork::new(PassThrough, 100_000, dist, 11);
+            let n = 20_000;
+            let samples: Vec<f64> = (0..n)
+                .map(|i| {
+                    take_virtual_work_ns();
+                    op.process(Tuple::splat(0, i, 0.0), &mut out);
+                    out.clear();
+                    take_virtual_work_ns() as f64
+                })
+                .collect();
+            let m = samples.iter().sum::<f64>() / n as f64;
+            samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64
+        };
+        let det = variance(ServiceDistribution::Deterministic);
+        let norm = variance(ServiceDistribution::Normal);
+        let exp = variance(ServiceDistribution::Exponential);
+        set_virtual_work_mode(false);
+        assert_eq!(det, 0.0);
+        assert!(norm > 0.0 && exp > norm, "exp {exp} vs norm {norm}");
+    }
+}

@@ -1,0 +1,139 @@
+//! A small deterministic PRNG for routing decisions.
+//!
+//! Probabilistic routes (simulating the application-semantics edge
+//! probabilities of §3.1) and workload generation need randomness inside
+//! actors. A self-contained xorshift64* keeps the runtime dependency-free
+//! and the executions reproducible given a seed.
+
+/// xorshift64* pseudo-random generator.
+///
+/// Passes BigCrush-level statistical quality for the routing/workload
+/// purposes here; not cryptographically secure.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (zero is remapped to a fixed
+    /// non-zero constant, since the all-zero state is absorbing).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_bounded(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Samples an index from a discrete distribution given as weights that
+    /// sum to one (last index absorbs rounding slack).
+    pub fn sample_discrete(&mut self, probs: &[f64]) -> usize {
+        debug_assert!(!probs.is_empty());
+        let u = self.next_f64();
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = XorShift64::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.next_bounded(7) < 7);
+        }
+    }
+
+    #[test]
+    fn discrete_sampling_matches_weights() {
+        let mut r = XorShift64::new(123);
+        let probs = [0.2, 0.5, 0.3];
+        let mut counts = [0usize; 3];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[r.sample_discrete(&probs)] += 1;
+        }
+        for (i, p) in probs.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "index {i}: {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        XorShift64::new(1).next_bounded(0);
+    }
+}

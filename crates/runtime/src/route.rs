@@ -1,0 +1,183 @@
+//! Port-to-destination routing policies.
+//!
+//! The abstract topology's edges become routes in the actor graph. Each
+//! logical output port of an actor carries one [`Route`]; the engine
+//! resolves it to a concrete destination per item:
+//!
+//! * [`Route::Unicast`] — a plain stream edge;
+//! * [`Route::Probabilistic`] — simulates the measured routing
+//!   probabilities of §3.1 (an item goes to one destination, drawn from the
+//!   edge distribution);
+//! * [`Route::RoundRobin`] — the emitter policy for replicated *stateless*
+//!   operators ("items are distributed in a circular manner", §4.2);
+//! * [`Route::KeyMap`] — the emitter policy for replicated
+//!   *partitioned-stateful* operators: key → replica, from the
+//!   key-partitioning assignment of Algorithm 2.
+
+use crate::rng::XorShift64;
+use crate::ActorId;
+use spinstreams_core::Tuple;
+
+/// Routing policy for one logical output port.
+#[derive(Debug, Clone)]
+pub enum Route {
+    /// Every item goes to the same destination.
+    Unicast(ActorId),
+    /// Each item goes to one destination drawn from a fixed distribution
+    /// (application-semantics simulation of edge probabilities).
+    Probabilistic {
+        /// Destinations and their probabilities (must sum to ~1).
+        choices: Vec<(ActorId, f64)>,
+    },
+    /// Items are spread over the destinations in a circular manner
+    /// (stateless-fission emitter).
+    RoundRobin(Vec<ActorId>),
+    /// Key-based dispatch: `destinations[key_map[key % key_map.len()]]`
+    /// (partitioned-stateful-fission emitter).
+    KeyMap {
+        /// Replica index per key (from `KeyAssignment::owner`).
+        key_map: Vec<usize>,
+        /// One destination per replica.
+        destinations: Vec<ActorId>,
+    },
+}
+
+impl Route {
+    /// All destinations this route can ever deliver to (used for wiring and
+    /// EOS propagation).
+    pub fn destinations(&self) -> Vec<ActorId> {
+        match self {
+            Route::Unicast(d) => vec![*d],
+            Route::Probabilistic { choices } => choices.iter().map(|(d, _)| *d).collect(),
+            Route::RoundRobin(ds) => ds.clone(),
+            Route::KeyMap { destinations, .. } => destinations.clone(),
+        }
+    }
+}
+
+/// Per-actor runtime state resolving routes to destinations.
+#[derive(Debug)]
+pub(crate) struct RouteState {
+    route: Route,
+    rr_next: usize,
+    probs: Vec<f64>,
+}
+
+impl RouteState {
+    pub(crate) fn new(route: Route) -> Self {
+        let probs = match &route {
+            Route::Probabilistic { choices } => choices.iter().map(|(_, p)| *p).collect(),
+            _ => Vec::new(),
+        };
+        RouteState {
+            route,
+            rr_next: 0,
+            probs,
+        }
+    }
+
+    /// Picks the destination for `item`.
+    pub(crate) fn pick(&mut self, item: &Tuple, rng: &mut XorShift64) -> ActorId {
+        match &self.route {
+            Route::Unicast(d) => *d,
+            Route::Probabilistic { choices } => {
+                let idx = rng.sample_discrete(&self.probs);
+                choices[idx].0
+            }
+            Route::RoundRobin(ds) => {
+                let d = ds[self.rr_next % ds.len()];
+                self.rr_next = (self.rr_next + 1) % ds.len();
+                d
+            }
+            Route::KeyMap {
+                key_map,
+                destinations,
+            } => {
+                let k = (item.key as usize) % key_map.len();
+                destinations[key_map[k]]
+            }
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn route(&self) -> &Route {
+        &self.route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(key: u64) -> Tuple {
+        Tuple::splat(key, 0, 0.0)
+    }
+
+    #[test]
+    fn unicast_always_same() {
+        let mut s = RouteState::new(Route::Unicast(ActorId(3)));
+        let mut rng = XorShift64::new(1);
+        for _ in 0..10 {
+            assert_eq!(s.pick(&tuple(0), &mut rng), ActorId(3));
+        }
+        assert_eq!(s.route().destinations(), vec![ActorId(3)]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ds = vec![ActorId(1), ActorId(2), ActorId(3)];
+        let mut s = RouteState::new(Route::RoundRobin(ds.clone()));
+        let mut rng = XorShift64::new(1);
+        let picks: Vec<_> = (0..6).map(|_| s.pick(&tuple(0), &mut rng)).collect();
+        assert_eq!(
+            picks,
+            vec![ActorId(1), ActorId(2), ActorId(3), ActorId(1), ActorId(2), ActorId(3)]
+        );
+    }
+
+    #[test]
+    fn probabilistic_respects_distribution() {
+        let mut s = RouteState::new(Route::Probabilistic {
+            choices: vec![(ActorId(0), 0.25), (ActorId(1), 0.75)],
+        });
+        let mut rng = XorShift64::new(99);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| s.pick(&tuple(0), &mut rng) == ActorId(1))
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn key_map_is_deterministic_per_key() {
+        let mut s = RouteState::new(Route::KeyMap {
+            key_map: vec![0, 1, 1, 0],
+            destinations: vec![ActorId(10), ActorId(11)],
+        });
+        let mut rng = XorShift64::new(1);
+        assert_eq!(s.pick(&tuple(0), &mut rng), ActorId(10));
+        assert_eq!(s.pick(&tuple(1), &mut rng), ActorId(11));
+        assert_eq!(s.pick(&tuple(2), &mut rng), ActorId(11));
+        assert_eq!(s.pick(&tuple(3), &mut rng), ActorId(10));
+        // Keys beyond the map wrap around.
+        assert_eq!(s.pick(&tuple(4), &mut rng), ActorId(10));
+        // Same key always lands on the same replica.
+        for _ in 0..10 {
+            assert_eq!(s.pick(&tuple(2), &mut rng), ActorId(11));
+        }
+    }
+
+    #[test]
+    fn destinations_enumerates_all() {
+        let r = Route::Probabilistic {
+            choices: vec![(ActorId(4), 0.5), (ActorId(5), 0.5)],
+        };
+        assert_eq!(r.destinations(), vec![ActorId(4), ActorId(5)]);
+        let r = Route::KeyMap {
+            key_map: vec![0, 1],
+            destinations: vec![ActorId(7), ActorId(8)],
+        };
+        assert_eq!(r.destinations(), vec![ActorId(7), ActorId(8)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! The SpinStreams command-line tool — the §4 workflow without the GUI.
+//!
+//! ```text
+//! spinstreams analyze  <topology.xml>                 steady-state analysis (Algorithm 1)
+//! spinstreams optimize <topology.xml> [--max-replicas N]
+//!                                                     bottleneck elimination (Algorithm 2)
+//! spinstreams fuse     <topology.xml> --members 2,3,4 operator fusion (Algorithm 3)
+//! spinstreams autofuse <topology.xml> [--threshold T] automated greedy fusion (§7)
+//! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
+//! spinstreams run      <topology.xml> [--items N]     execute and compare vs the model
+//! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
+//! ```
+//!
+//! Topology files follow the §4.1 XML formalism (see `spinstreams-xml`);
+//! operators whose specs carry registry `kind` tags are runnable.
+
+use spinstreams_analysis::{
+    apply_replica_bound, auto_fuse, eliminate_bottlenecks, evaluate_with_replicas,
+    format_fission_plan, format_steady_state, fuse, fusion_candidates, steady_state,
+};
+use spinstreams_codegen::{emit_rust_source, CodegenOptions};
+use spinstreams_core::{OperatorId, Topology};
+use spinstreams_tool::{comparison_table, experiment_executor, predict_vs_measure, topology_dot};
+use spinstreams_xml::topology_from_xml;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run> <topology.xml> [options]\n\
+         \n\
+         analyze   — steady-state throughput analysis (Algorithm 1)\n\
+         optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
+         fuse      — fuse a sub-graph (Algorithm 3); --members i,j,k (0-based operator ids)\n\
+         autofuse  — automated greedy fusion; --threshold T (default 0.9)\n\
+         codegen   — emit the optimized application's Rust source; --out FILE\n\
+         run       — execute on the virtual-time runtime and compare vs the model; --items N\n\
+         dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan"
+    );
+    ExitCode::FAILURE
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Result<Topology, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    topology_from_xml(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let topo = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "analyze" => {
+            let report = steady_state(&topo);
+            print!("{}", format_steady_state(&topo, &report));
+            if report.has_bottleneck() {
+                println!(
+                    "bottlenecks detected at: {}",
+                    report
+                        .bottlenecks
+                        .iter()
+                        .map(|b| topo.operator(b.operator).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            } else {
+                println!("no bottlenecks: the topology sustains the source rate.");
+            }
+            let candidates = fusion_candidates(&topo, 0.9);
+            if !candidates.is_empty() {
+                println!("\nfusion candidates (ranked by mean utilization):");
+                for c in candidates.iter().take(5) {
+                    println!(
+                        "  {{{}}} mean ρ {:.2}",
+                        c.members
+                            .iter()
+                            .map(|m| topo.operator(*m).name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        c.mean_utilization
+                    );
+                }
+            }
+        }
+        "optimize" => {
+            let plan = eliminate_bottlenecks(&topo);
+            print!("{}", format_fission_plan(&topo, &plan));
+            if let Some(n) = flag_value(&args, "--max-replicas").and_then(|v| v.parse().ok()) {
+                if plan.total_replicas() > n {
+                    let bounded = apply_replica_bound(&plan, n);
+                    let eval = evaluate_with_replicas(&topo, &bounded);
+                    println!(
+                        "\nwith the --max-replicas {n} bound: degrees {:?} -> predicted {:.2} items/s",
+                        bounded,
+                        eval.throughput.items_per_sec()
+                    );
+                }
+            }
+        }
+        "fuse" => {
+            let Some(member_list) = flag_value(&args, "--members") else {
+                eprintln!("fuse requires --members i,j,k");
+                return ExitCode::FAILURE;
+            };
+            let members: BTreeSet<OperatorId> = member_list
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .map(OperatorId)
+                .collect();
+            match fuse(&topo, &members) {
+                Ok(outcome) => {
+                    println!(
+                        "fused operator service time: {} (aggregate of {} members)",
+                        outcome.fused_service_time,
+                        members.len()
+                    );
+                    println!(
+                        "throughput: {:.2} -> {:.2} items/s ({:+.1}%)",
+                        outcome.baseline.throughput.items_per_sec(),
+                        outcome.report.throughput.items_per_sec(),
+                        outcome.throughput_change() * 100.0
+                    );
+                    println!(
+                        "{}",
+                        if outcome.is_feasible() {
+                            "verdict: fusion is feasible and does not impair performance."
+                        } else {
+                            "verdict: ALERT — fusion would introduce a bottleneck."
+                        }
+                    );
+                    println!("\nfused topology:\n{}", outcome.topology);
+                }
+                Err(e) => {
+                    eprintln!("cannot fuse: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "autofuse" => {
+            let threshold = flag_value(&args, "--threshold")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.9);
+            let result = auto_fuse(&topo, threshold);
+            println!(
+                "accepted {} fusion step(s); {} -> {} operators; predicted throughput {:.2} items/s",
+                result.steps.len(),
+                topo.num_operators(),
+                result.topology.num_operators(),
+                result.report.throughput.items_per_sec()
+            );
+            println!("\nfinal topology:\n{}", result.topology);
+        }
+        "codegen" => {
+            let plan = eliminate_bottlenecks(&topo);
+            let source = emit_rust_source(&topo, &plan.replicas, &[], &CodegenOptions::default());
+            match flag_value(&args, "--out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(&out, source) {
+                        eprintln!("cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote optimized application to {out}");
+                }
+                None => print!("{source}"),
+            }
+        }
+        "run" => {
+            let items = flag_value(&args, "--items")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20_000);
+            let executor = experiment_executor(0x70_01);
+            match predict_vs_measure(&topo, None, &[], &[], items, &executor) {
+                Ok(cmp) => print!("{}", comparison_table(path, &cmp)),
+                Err(e) => {
+                    eprintln!("run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "dot" => {
+            let report = steady_state(&topo);
+            if args.iter().any(|a| a == "--optimized") {
+                let plan = eliminate_bottlenecks(&topo);
+                print!("{}", topology_dot(&topo, Some(&report), Some(&plan)));
+            } else {
+                print!("{}", topology_dot(&topo, Some(&report), None));
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! Plain-text rendering of experiment results (the bench binaries' output).
+
+use crate::Comparison;
+use std::fmt::Write as _;
+
+/// Renders one or more named series as an aligned text table with a
+/// trailing ASCII bar for the first series — the form the figure binaries
+/// print (one row per topology/operator).
+///
+/// `labels` names the rows; each series must have one value per row.
+///
+/// # Panics
+///
+/// Panics if series lengths do not match `labels`.
+pub fn ascii_series(title: &str, labels: &[String], series: &[(&str, Vec<f64>)]) -> String {
+    for (name, values) in series {
+        assert_eq!(
+            values.len(),
+            labels.len(),
+            "series {name} length mismatch"
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(5).max(5);
+    let _ = write!(out, "{:<label_w$}", "");
+    for (name, _) in series {
+        let _ = write!(out, " {name:>14}");
+    }
+    let _ = writeln!(out);
+    let max = series
+        .first()
+        .map(|(_, v)| v.iter().cloned().fold(0.0, f64::max))
+        .unwrap_or(0.0);
+    for (i, label) in labels.iter().enumerate() {
+        let _ = write!(out, "{label:<label_w$}");
+        for (_, values) in series {
+            let _ = write!(out, " {:>14.3}", values[i]);
+        }
+        if max > 0.0 {
+            let bar = ((series[0].1[i] / max) * 40.0).round() as usize;
+            let _ = write!(out, "  |{}", "#".repeat(bar));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a [`Comparison`] in the style of the paper's Tables 1 and 2:
+/// per-operator `µ⁻¹`, predicted `δ⁻¹` and `ρ`, plus the
+/// predicted/measured throughput footer.
+pub fn comparison_table(title: &str, cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>8} {:>14}",
+        "operator", "µ⁻¹ (ms)", "δ⁻¹ (ms)", "ρ", "measured δ⁻¹"
+    );
+    for (i, op) in cmp.operators.iter().enumerate() {
+        let m = cmp.report.metrics[i];
+        let mu_inv = if m.utilization > 0.0 && m.arrival > 0.0 {
+            1000.0 * m.utilization / m.arrival
+        } else {
+            f64::NAN
+        };
+        let dinv = if op.predicted_departure > 0.0 {
+            1000.0 / op.predicted_departure
+        } else {
+            f64::INFINITY
+        };
+        let measured = op
+            .measured_departure
+            .map(|d| format!("{:>14.3}", 1000.0 / d))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3} {:>12.3} {:>8.3} {measured}",
+            op.name, mu_inv, dinv, m.utilization
+        );
+    }
+    let _ = writeln!(
+        out,
+        "throughput: {:.1} predicted vs {:.1} measured items/s (error {:.2}%)",
+        cmp.predicted_throughput,
+        cmp.measured_throughput,
+        cmp.relative_error() * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_series_renders_rows_and_bars() {
+        let labels = vec!["t1".to_string(), "t2".to_string()];
+        let text = ascii_series(
+            "Figure X",
+            &labels,
+            &[("Predicted", vec![10.0, 20.0]), ("Real", vec![11.0, 19.0])],
+        );
+        assert!(text.contains("== Figure X =="));
+        assert!(text.contains("Predicted"));
+        assert!(text.contains("t2"));
+        // t2 carries the longest bar (40 hashes).
+        assert!(text.contains(&"#".repeat(40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        ascii_series(
+            "x",
+            &["a".to_string()],
+            &[("s", vec![1.0, 2.0])],
+        );
+    }
+
+    #[test]
+    fn empty_series_is_fine() {
+        let text = ascii_series("empty", &[], &[("s", vec![])]);
+        assert!(text.contains("== empty =="));
+    }
+}

@@ -1,0 +1,30 @@
+//! # spinstreams-tool
+//!
+//! The experiment harness tying the whole SpinStreams workflow together
+//! (§4.1): profile a running application, feed the measurements to the cost
+//! models, deploy the (optimized) topology on the runtime, and compare the
+//! model's predictions against reality.
+//!
+//! * [`calibrate`] — the profiling step: executes the topology once and
+//!   rewrites each operator's service time and selectivity from the
+//!   measured actor metrics ("executing the application as is for a
+//!   reasonable amount of time and instrumenting the code to collect
+//!   profiling measures").
+//! * [`predict_vs_measure`] — runs Algorithm 1 on the calibrated topology
+//!   *and* executes the deployment, returning per-operator and
+//!   whole-topology comparisons (the data behind Figures 7–9).
+//! * [`ascii_series`] / [`comparison_table`] — plain-text rendering used by
+//!   the figure/table binaries in `spinstreams-bench`.
+
+#![warn(missing_docs)]
+
+mod dot;
+mod format;
+mod harness;
+
+pub use dot::topology_dot;
+pub use format::{ascii_series, comparison_table};
+pub use harness::{
+    calibrate, experiment_executor, items_for_duration, predict_vs_measure, Comparison,
+    HarnessError, OperatorComparison,
+};

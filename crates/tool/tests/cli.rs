@@ -1,0 +1,130 @@
+//! Smoke tests of the `spinstreams` command-line tool: every sub-command
+//! runs against a temporary XML topology and produces the expected output.
+
+use std::process::Command;
+
+const TOPOLOGY: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<topology name="cli-test">
+  <operator id="0" name="src" kind="source" type="stateless" service-time="100" time-unit="us"/>
+  <operator id="1" name="stage-a" kind="identity-map" type="stateless" service-time="60" time-unit="us">
+    <param name="work_ns" value="60000"/>
+  </operator>
+  <operator id="2" name="stage-b" kind="arithmetic-map" type="stateless" service-time="400" time-unit="us">
+    <param name="work_ns" value="400000"/>
+  </operator>
+  <operator id="3" name="tail-a" kind="identity-map" type="stateless" service-time="30" time-unit="us">
+    <param name="work_ns" value="30000"/>
+  </operator>
+  <operator id="4" name="tail-b" kind="projection" type="stateless" service-time="20" time-unit="us">
+    <param name="keep" value="2"/>
+    <param name="work_ns" value="20000"/>
+  </operator>
+  <edge from="0" to="1" probability="1.0"/>
+  <edge from="1" to="2" probability="1.0"/>
+  <edge from="2" to="3" probability="1.0"/>
+  <edge from="3" to="4" probability="1.0"/>
+</topology>
+"#;
+
+fn topology_file() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("ss-cli-{}.xml", std::process::id()));
+    std::fs::write(&path, TOPOLOGY).expect("write temp topology");
+    path
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_spinstreams-cli"))
+        .args(args)
+        .output()
+        .expect("spawn spinstreams CLI");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_reports_bottleneck() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["analyze", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("predicted throughput: 2500.00 items/s"));
+    assert!(stdout.contains("bottlenecks detected at: stage-b"));
+    assert!(stdout.contains("fusion candidates"));
+}
+
+#[test]
+fn optimize_prints_fission_plan() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["optimize", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("all bottlenecks removed"));
+    assert!(stdout.contains("predicted throughput: 10000.00 items/s"));
+}
+
+#[test]
+fn fuse_underutilized_tail_is_feasible() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["fuse", path.to_str().unwrap(), "--members", "3,4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fusion is feasible"));
+    assert!(stdout.contains("F(tail-a+tail-b)"));
+}
+
+#[test]
+fn fuse_rejects_invalid_subgraph() {
+    let path = topology_file();
+    // {1, 3} is not connected with a single front end.
+    let (_, stderr, ok) = run_cli(&["fuse", path.to_str().unwrap(), "--members", "1,3"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot fuse"));
+}
+
+#[test]
+fn autofuse_merges_the_tail() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["autofuse", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("5 -> 4 operators") || stdout.contains("5 -> 3 operators"));
+}
+
+#[test]
+fn codegen_emits_compilable_looking_source() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["codegen", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("fn main()"));
+    assert!(stdout.contains("build_actor_graph"));
+}
+
+#[test]
+fn dot_renders_graphviz() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["dot", path.to_str().unwrap(), "--optimized"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph topology {"));
+    assert!(stdout.contains("×4 replicas"), "{stdout}");
+}
+
+#[test]
+fn run_compares_model_and_measurement() {
+    let path = topology_file();
+    let (stdout, _, ok) = run_cli(&["run", path.to_str().unwrap(), "--items", "8000"]);
+    assert!(ok);
+    assert!(stdout.contains("predicted vs"));
+    assert!(stdout.contains("measured items/s"));
+}
+
+#[test]
+fn bad_usage_and_bad_file_fail_cleanly() {
+    let (_, stderr, ok) = run_cli(&["analyze"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+    let (_, stderr, ok) = run_cli(&["analyze", "/nonexistent.xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, ok) = run_cli(&["frobnicate", "/nonexistent.xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read") || stderr.contains("usage:"));
+}

@@ -1,0 +1,99 @@
+//! Generator configuration.
+
+/// Parameters of the random testbed generator (paper defaults, with window
+/// sizes scaled down so a full 50-topology sweep runs in minutes instead of
+/// hours — see DESIGN.md §2 on the service-time scaling substitution).
+#[derive(Debug, Clone)]
+pub struct TopogenConfig {
+    /// Minimum number of vertices (inclusive). Paper: 2.
+    pub min_vertices: usize,
+    /// Maximum number of vertices (inclusive). Paper: 20.
+    pub max_vertices: usize,
+    /// Connecting-factor range `β` (edges = `(V-1)·β`). Paper: `[1, 1.2]`.
+    pub beta_range: (f64, f64),
+    /// ZipF scaling-exponent range for edge probabilities (`α > 1`,
+    /// "distributions with different skewness").
+    pub zipf_alpha_range: (f64, f64),
+    /// ZipF scaling-exponent range for key frequencies (kept mild so large
+    /// key domains still balance across replicas, as in §5.3's testbed).
+    pub key_zipf_alpha_range: (f64, f64),
+    /// Candidate `(window, slide)` pairs for windowed operators. Paper:
+    /// `{1000, 5000, 10000} × {1, 10, 50}`; scaled default:
+    /// `{100, 300, 600} × {1, 5, 20}`.
+    pub window_choices: Vec<(usize, usize)>,
+    /// Range of calibrated extra work per item, ns (gives operators
+    /// heterogeneous service times on top of their intrinsic cost).
+    pub work_ns_range: (u64, u64),
+    /// Number of distinct partitioning keys in the source stream.
+    pub key_count_range: (usize, usize),
+    /// The source's generation rate as a multiple of the fastest operator's
+    /// service rate. Paper (§5.3): 1.33 — "33% higher than the service rate
+    /// of the faster operator", guaranteeing bottlenecks exist.
+    pub source_rate_factor: f64,
+    /// Sample-stream length used when profiling each operator.
+    pub profile_samples: usize,
+    /// Warmup samples discarded by the profiler.
+    pub profile_warmup: usize,
+}
+
+impl Default for TopogenConfig {
+    fn default() -> Self {
+        TopogenConfig {
+            min_vertices: 2,
+            max_vertices: 20,
+            beta_range: (1.0, 1.2),
+            zipf_alpha_range: (1.1, 2.5),
+            key_zipf_alpha_range: (0.3, 0.9),
+            window_choices: vec![
+                (100, 1),
+                (100, 5),
+                (300, 5),
+                (300, 20),
+                (600, 20),
+                (600, 50),
+            ],
+            work_ns_range: (20_000, 400_000),
+            key_count_range: (32, 128),
+            source_rate_factor: 1.33,
+            profile_samples: 600,
+            profile_warmup: 150,
+        }
+    }
+}
+
+impl TopogenConfig {
+    /// A reduced configuration for fast unit tests: small graphs, light
+    /// profiling.
+    pub fn fast() -> Self {
+        TopogenConfig {
+            max_vertices: 8,
+            window_choices: vec![(20, 1), (40, 5)],
+            work_ns_range: (1_000, 20_000),
+            profile_samples: 200,
+            profile_warmup: 50,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_structure() {
+        let c = TopogenConfig::default();
+        assert_eq!(c.min_vertices, 2);
+        assert_eq!(c.max_vertices, 20);
+        assert_eq!(c.beta_range, (1.0, 1.2));
+        assert!((c.source_rate_factor - 1.33).abs() < 1e-12);
+        assert!(!c.window_choices.is_empty());
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        let c = TopogenConfig::fast();
+        assert!(c.max_vertices <= 8);
+        assert!(c.profile_samples <= 200);
+    }
+}

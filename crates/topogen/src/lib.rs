@@ -1,0 +1,32 @@
+//! # spinstreams-topogen
+//!
+//! The random-topology testbed generator of §5.1 (Algorithm 5).
+//!
+//! Given a seed, [`generate`] produces one topology of the paper's testbed:
+//!
+//! 1. `V` vertices (uniform in a configurable range, paper: `[2, 20]`) and
+//!    `E = (V-1)·β` expected edges with the connecting factor `β` uniform in
+//!    `[1, 1.2]` — sparse graphs of loosely coupled operators;
+//! 2. a random spanning structure respecting the topological ordering
+//!    (`edge (i, j) ⇒ i < j`), extra random forward edges up to `E`, and
+//!    source edges added to any vertex left without inputs;
+//! 3. real-world operators assigned to vertices under structural
+//!    constraints (joins only on vertices with ≥ 2 input edges) and
+//!    randomized parameters (window lengths/slides, thresholds, extra work,
+//!    ZipF key-frequency distributions for partitioned-stateful operators);
+//! 4. ZipF-distributed routing probabilities on multi-output vertices
+//!    (random scaling exponent — "distributions with different skewness");
+//! 5. *profiling*: every assigned operator is run over a sample stream to
+//!    measure its service time and output selectivity, which become the
+//!    [`OperatorSpec`] inputs to the cost models — exactly the
+//!    profile-driven workflow of §4.1.
+//!
+//! [`OperatorSpec`]: spinstreams_core::OperatorSpec
+
+#![warn(missing_docs)]
+
+mod config;
+mod gen;
+
+pub use config::TopogenConfig;
+pub use gen::{generate, GeneratedTopology};

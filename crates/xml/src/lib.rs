@@ -1,0 +1,45 @@
+//! # spinstreams-xml
+//!
+//! The XML topology-description formalism of §4.1, implemented from
+//! scratch (no external XML dependency):
+//!
+//! * a small well-formed-XML [`parser`](parse) and [`writer`](XmlNode::to_xml)
+//!   supporting elements, attributes, self-closing tags, comments, an
+//!   optional declaration, and the five standard entities;
+//! * the topology schema ([`topology_to_xml`] / [`topology_from_xml`]):
+//!   operators with name, service time (with explicit time unit), type
+//!   (stateless / stateful / partitioned-stateful with key frequencies),
+//!   selectivities and factory parameters; edges with probabilities —
+//!   "the syntax provides tags to specify the operators, with attributes
+//!   for their name, the service rate (specifying the time unit), …, the
+//!   type, … other tags specify the output edges and their probability,
+//!   and the input/output selectivity" (§4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use spinstreams_core::{OperatorSpec, ServiceTime, Topology};
+//! use spinstreams_xml::{topology_from_xml, topology_to_xml};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Topology::builder();
+//! let s = b.add_operator(OperatorSpec::source("src", ServiceTime::from_millis(1.0)));
+//! let m = b.add_operator(OperatorSpec::stateless("map", ServiceTime::from_millis(2.0)));
+//! b.add_edge(s, m, 1.0)?;
+//! let topo = b.build()?;
+//!
+//! let xml = topology_to_xml(&topo, "example");
+//! let back = topology_from_xml(&xml)?;
+//! assert_eq!(topo, back);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod parser;
+mod schema;
+mod writer;
+
+pub use parser::{parse, XmlError, XmlNode};
+pub use schema::{topology_from_xml, topology_to_xml, SchemaError};

@@ -1,0 +1,398 @@
+//! A minimal well-formed-XML parser.
+//!
+//! Supports the subset needed by the topology schema: nested elements,
+//! double- or single-quoted attributes, self-closing tags, comments,
+//! an optional `<?xml …?>` declaration, character data, and the five
+//! predefined entities. No namespaces, DTDs, CDATA or processing
+//! instructions beyond the declaration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Attributes, sorted by name.
+    pub attrs: BTreeMap<String, String>,
+    /// Child elements, in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated character data directly inside this element
+    /// (whitespace-trimmed).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// Creates an element with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlNode {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.attrs.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Appends a child element (builder style).
+    pub fn child(mut self, child: XmlNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Returns the attribute value, if present.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// Returns all children with the given element name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Returns the first child with the given name.
+    pub fn first_child<'a>(&'a self, name: &str) -> Option<&'a XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parse errors with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                match self.input[self.pos..]
+                    .windows(2)
+                    .position(|w| w == b"?>")
+                {
+                    Some(i) => self.pos += i + 2,
+                    None => return self.err("unterminated declaration"),
+                }
+            } else if self.starts_with("<!--") {
+                match self.input[self.pos..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    Some(i) => self.pos += i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'-' | b'_' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn quoted(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return unescape(&raw).map_err(|m| XmlError {
+                    offset: start,
+                    message: m,
+                });
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.peek() != Some(b'<') {
+            return self.err("expected '<'");
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut node = XmlNode::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected '>' after '/'");
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return self.err("expected '=' in attribute");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.quoted()?;
+                    if node.attrs.insert(key.clone(), value).is_some() {
+                        return self.err(format!("duplicate attribute {key:?}"));
+                    }
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_misc()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return self.err(format!("mismatched close tag: {name:?} vs {close:?}"));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return self.err("expected '>' in close tag");
+                }
+                self.pos += 1;
+                node.text = text.trim().to_string();
+                return Ok(node);
+            }
+            match self.peek() {
+                Some(b'<') => node.children.push(self.element()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    text.push_str(&unescape(&raw).map_err(|m| XmlError {
+                        offset: start,
+                        message: m,
+                    })?);
+                }
+                None => return self.err(format!("unterminated element {name:?}")),
+            }
+        }
+    }
+}
+
+/// Parses a document into its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return p.err("trailing content after root element");
+    }
+    Ok(root)
+}
+
+/// Decodes the five predefined entities.
+fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity".to_string())?;
+        match &rest[..=end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => return Err(format!("unknown entity {other:?}")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Encodes the five predefined entities (used by the writer).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_element() {
+        let n = parse("<a/>").unwrap();
+        assert_eq!(n.name, "a");
+        assert!(n.attrs.is_empty());
+        assert!(n.children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let n = parse(r#"<op name="map" rate='5.5'/>"#).unwrap();
+        assert_eq!(n.get_attr("name"), Some("map"));
+        assert_eq!(n.get_attr("rate"), Some("5.5"));
+        assert_eq!(n.get_attr("missing"), None);
+    }
+
+    #[test]
+    fn parses_nested_children_and_text() {
+        let n = parse("<a><b x=\"1\"/><c>hello</c><b x=\"2\"/></a>").unwrap();
+        assert_eq!(n.children.len(), 3);
+        assert_eq!(n.children_named("b").count(), 2);
+        assert_eq!(n.first_child("c").unwrap().text, "hello");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- top --><a><!-- inner --><b/></a><!-- tail -->";
+        let n = parse(doc).unwrap();
+        assert_eq!(n.name, "a");
+        assert_eq!(n.children.len(), 1);
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let n = parse(r#"<a t="&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;"/>"#).unwrap();
+        assert_eq!(n.get_attr("t"), Some("<x> & \"y\" 'z'"));
+        let written = XmlNode::new("a").attr("t", "<x> & \"y\" 'z'").to_xml();
+        let back = parse(&written).unwrap();
+        assert_eq!(back.get_attr("t"), Some("<x> & \"y\" 'z'"));
+    }
+
+    #[test]
+    fn error_cases_report_offsets() {
+        for (doc, needle) in [
+            ("<a>", "unterminated element"),
+            ("<a></b>", "mismatched close tag"),
+            ("<a x=1/>", "quoted attribute"),
+            ("<a x=\"1\" x=\"2\"/>", "duplicate attribute"),
+            ("<a/><b/>", "trailing content"),
+            ("<a t=\"&bad;\"/>", "unknown entity"),
+            ("<", "expected a name"),
+            ("<!-- forever", "unterminated comment"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{doc:?}: {} should contain {needle:?}",
+                err.message
+            );
+            assert!(err.to_string().contains("XML error at byte"));
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerant_tags() {
+        let n = parse("<a  x = \"1\" \n  ></a  >").unwrap();
+        assert_eq!(n.get_attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn text_is_trimmed_and_concatenated() {
+        let n = parse("<a>  one <b/> two  </a>").unwrap();
+        assert_eq!(n.text, "one  two");
+    }
+
+    #[test]
+    fn builder_api() {
+        let n = XmlNode::new("root")
+            .attr("k", 3)
+            .child(XmlNode::new("leaf").attr("v", 1.5));
+        assert_eq!(n.get_attr("k"), Some("3"));
+        assert_eq!(n.first_child("leaf").unwrap().get_attr("v"), Some("1.5"));
+    }
+}

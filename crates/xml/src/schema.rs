@@ -1,0 +1,360 @@
+//! The topology XML schema (§4.1).
+//!
+//! ```xml
+//! <topology name="...">
+//!   <operator id="0" name="source" kind="source" type="stateless"
+//!             service-time="1.0" time-unit="ms">
+//!     <selectivity input="1" output="1"/>
+//!     <param name="window" value="100"/>
+//!   </operator>
+//!   <operator id="1" name="agg" kind="keyed-sum" type="partitioned-stateful" ...>
+//!     <keys>
+//!       <key frequency="0.5"/>
+//!       ...
+//!     </keys>
+//!   </operator>
+//!   <edge from="0" to="1" probability="1.0"/>
+//! </topology>
+//! ```
+
+use crate::{parse, XmlError, XmlNode};
+use spinstreams_core::{
+    KeyDistribution, OperatorId, OperatorSpec, Selectivity, ServiceTime, StateClass, Topology,
+    TopologyError,
+};
+use std::fmt;
+
+/// Errors raised when interpreting a parsed document as a topology.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchemaError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// An element or attribute required by the schema is missing or
+    /// malformed.
+    Invalid {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The described topology violates the structural constraints.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Xml(e) => write!(f, "{e}"),
+            SchemaError::Invalid { reason } => write!(f, "invalid topology document: {reason}"),
+            SchemaError::Topology(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<XmlError> for SchemaError {
+    fn from(e: XmlError) -> Self {
+        SchemaError::Xml(e)
+    }
+}
+
+impl From<TopologyError> for SchemaError {
+    fn from(e: TopologyError) -> Self {
+        SchemaError::Topology(e)
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> SchemaError {
+    SchemaError::Invalid {
+        reason: reason.into(),
+    }
+}
+
+/// Serializes a topology into the XML formalism.
+///
+/// Service times are written in microseconds (`time-unit="us"`); key
+/// distributions and parameters are written in full, so the document
+/// round-trips losslessly through [`topology_from_xml`].
+pub fn topology_to_xml(topo: &Topology, name: &str) -> String {
+    let mut root = XmlNode::new("topology").attr("name", name);
+    for id in topo.operator_ids() {
+        let op = topo.operator(id);
+        let ty = match &op.state {
+            StateClass::Stateless => "stateless",
+            StateClass::PartitionedStateful { .. } => "partitioned-stateful",
+            StateClass::Stateful => "stateful",
+        };
+        let mut node = XmlNode::new("operator")
+            .attr("id", id.0)
+            .attr("name", &op.name)
+            .attr("type", ty)
+            .attr("service-time", format!("{:e}", op.service_time.as_micros()))
+            .attr("time-unit", "us");
+        if !op.kind.is_empty() {
+            node = node.attr("kind", &op.kind);
+        }
+        if !op.selectivity.is_identity() {
+            node = node.child(
+                XmlNode::new("selectivity")
+                    .attr("input", format!("{:e}", op.selectivity.input))
+                    .attr("output", format!("{:e}", op.selectivity.output)),
+            );
+        }
+        if let StateClass::PartitionedStateful { keys } = &op.state {
+            let mut keys_node = XmlNode::new("keys");
+            for f in keys.frequencies() {
+                keys_node = keys_node.child(XmlNode::new("key").attr("frequency", format!("{f:e}")));
+            }
+            node = node.child(keys_node);
+        }
+        for (k, v) in &op.params {
+            node = node.child(
+                XmlNode::new("param")
+                    .attr("name", k)
+                    .attr("value", format!("{v:e}")),
+            );
+        }
+        root = root.child(node);
+    }
+    for e in topo.edges() {
+        root = root.child(
+            XmlNode::new("edge")
+                .attr("from", e.from.0)
+                .attr("to", e.to.0)
+                .attr("probability", format!("{:e}", e.probability)),
+        );
+    }
+    root.to_xml_document()
+}
+
+fn req_attr<'a>(node: &'a XmlNode, key: &str) -> Result<&'a str, SchemaError> {
+    node.get_attr(key)
+        .ok_or_else(|| invalid(format!("<{}> missing attribute {key:?}", node.name)))
+}
+
+fn num_attr(node: &XmlNode, key: &str) -> Result<f64, SchemaError> {
+    let raw = req_attr(node, key)?;
+    raw.parse::<f64>()
+        .map_err(|_| invalid(format!("attribute {key}={raw:?} is not a number")))
+}
+
+/// Parses a topology document produced by [`topology_to_xml`] (or written
+/// by hand following the schema).
+///
+/// # Errors
+///
+/// [`SchemaError::Xml`] for malformed XML, [`SchemaError::Invalid`] for
+/// schema violations, [`SchemaError::Topology`] if the described graph
+/// fails the §3.1 structural validation.
+pub fn topology_from_xml(text: &str) -> Result<Topology, SchemaError> {
+    let root = parse(text)?;
+    if root.name != "topology" {
+        return Err(invalid(format!("root element is <{}>", root.name)));
+    }
+    let mut ops: Vec<(usize, OperatorSpec)> = Vec::new();
+    for node in root.children_named("operator") {
+        let id = num_attr(node, "id")? as usize;
+        let name = req_attr(node, "name")?.to_string();
+        let raw_time = num_attr(node, "service-time")?;
+        let unit = node.get_attr("time-unit").unwrap_or("us");
+        let service_time = match unit {
+            "s" => ServiceTime::from_secs(raw_time),
+            "ms" => ServiceTime::from_millis(raw_time),
+            "us" => ServiceTime::from_micros(raw_time),
+            "ns" => ServiceTime::from_micros(raw_time / 1e3),
+            other => return Err(invalid(format!("unknown time-unit {other:?}"))),
+        };
+        let ty = req_attr(node, "type")?;
+        let state = match ty {
+            "stateless" => StateClass::Stateless,
+            "stateful" => StateClass::Stateful,
+            "partitioned-stateful" => {
+                let keys_node = node
+                    .first_child("keys")
+                    .ok_or_else(|| invalid("partitioned-stateful operator without <keys>"))?;
+                let freqs: Result<Vec<f64>, SchemaError> = keys_node
+                    .children_named("key")
+                    .map(|k| num_attr(k, "frequency"))
+                    .collect();
+                let keys = KeyDistribution::new(freqs?)
+                    .ok_or_else(|| invalid("invalid key frequency distribution"))?;
+                StateClass::PartitionedStateful { keys }
+            }
+            other => return Err(invalid(format!("unknown operator type {other:?}"))),
+        };
+        let mut spec = OperatorSpec {
+            name,
+            service_time,
+            state,
+            selectivity: Selectivity::ONE,
+            kind: node.get_attr("kind").unwrap_or("").to_string(),
+            params: Default::default(),
+        };
+        if let Some(sel) = node.first_child("selectivity") {
+            spec.selectivity = Selectivity {
+                input: num_attr(sel, "input")?,
+                output: num_attr(sel, "output")?,
+            };
+        }
+        for p in node.children_named("param") {
+            spec.params
+                .insert(req_attr(p, "name")?.to_string(), num_attr(p, "value")?);
+        }
+        ops.push((id, spec));
+    }
+    ops.sort_by_key(|(id, _)| *id);
+    for (expect, (id, _)) in ops.iter().enumerate() {
+        if *id != expect {
+            return Err(invalid(format!(
+                "operator ids must be dense, missing id {expect}"
+            )));
+        }
+    }
+
+    let mut b = Topology::builder();
+    for (_, spec) in ops {
+        b.add_operator(spec);
+    }
+    for node in root.children_named("edge") {
+        let from = num_attr(node, "from")? as usize;
+        let to = num_attr(node, "to")? as usize;
+        let p = num_attr(node, "probability")?;
+        b.add_edge(OperatorId(from), OperatorId(to), p)?;
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Topology {
+        let mut b = Topology::builder();
+        let s = b.add_operator(
+            OperatorSpec::source("src", ServiceTime::from_millis(0.5)).with_kind("source"),
+        );
+        let f = b.add_operator(
+            OperatorSpec::stateless("filter", ServiceTime::from_micros(80.0))
+                .with_kind("filter")
+                .with_selectivity(Selectivity::output(0.4))
+                .with_param("threshold", 0.4),
+        );
+        let a = b.add_operator(
+            OperatorSpec::partitioned(
+                "agg",
+                ServiceTime::from_micros(120.0),
+                KeyDistribution::zipf(8, 1.3),
+            )
+            .with_kind("keyed-sum")
+            .with_selectivity(Selectivity::input(10.0))
+            .with_param("window", 100.0)
+            .with_param("slide", 10.0),
+        );
+        let k = b.add_operator(OperatorSpec::stateful("join", ServiceTime::from_micros(200.0)));
+        b.add_edge(s, f, 1.0).unwrap();
+        b.add_edge(f, a, 0.7).unwrap();
+        b.add_edge(f, k, 0.3).unwrap();
+        b.add_edge(a, k, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let xml = topology_to_xml(&t, "sample");
+        let back = topology_from_xml(&xml).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn document_contains_schema_elements() {
+        let xml = topology_to_xml(&sample(), "sample");
+        assert!(xml.contains("<topology name=\"sample\">"));
+        assert!(xml.contains("type=\"partitioned-stateful\""));
+        assert!(xml.contains("<keys>"));
+        assert!(xml.contains("<selectivity"));
+        assert!(xml.contains("<param name=\"slide\""));
+        assert!(xml.contains("probability=\"7e-1\""));
+    }
+
+    #[test]
+    fn parses_hand_written_document_with_units() {
+        let doc = r#"
+            <topology name="hand">
+              <operator id="0" name="src" type="stateless" service-time="1" time-unit="ms"/>
+              <operator id="1" name="sink" type="stateless" service-time="0.0005" time-unit="s"/>
+              <edge from="0" to="1" probability="1.0"/>
+            </topology>"#;
+        let t = topology_from_xml(doc).unwrap();
+        assert_eq!(t.num_operators(), 2);
+        assert!((t.operator(OperatorId(0)).service_time.as_millis() - 1.0).abs() < 1e-12);
+        assert!((t.operator(OperatorId(1)).service_time.as_micros() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_errors() {
+        // Root element wrong.
+        assert!(matches!(
+            topology_from_xml("<nope/>").unwrap_err(),
+            SchemaError::Invalid { .. }
+        ));
+        // Missing required attribute.
+        let doc = r#"<topology><operator id="0" type="stateless" service-time="1"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(doc).unwrap_err(),
+            SchemaError::Invalid { .. }
+        ));
+        // Bad number.
+        let doc = r#"<topology><operator id="0" name="a" type="stateless" service-time="xx"/></topology>"#;
+        assert!(topology_from_xml(doc).is_err());
+        // Unknown type.
+        let doc = r#"<topology><operator id="0" name="a" type="weird" service-time="1"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(doc).unwrap_err(),
+            SchemaError::Invalid { .. }
+        ));
+        // Sparse ids.
+        let doc = r#"<topology>
+            <operator id="0" name="a" type="stateless" service-time="1"/>
+            <operator id="2" name="b" type="stateless" service-time="1"/>
+        </topology>"#;
+        assert!(matches!(
+            topology_from_xml(doc).unwrap_err(),
+            SchemaError::Invalid { .. }
+        ));
+        // Partitioned without keys.
+        let doc = r#"<topology><operator id="0" name="a" type="partitioned-stateful" service-time="1"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(doc).unwrap_err(),
+            SchemaError::Invalid { .. }
+        ));
+        // Structural violation (cycle) surfaces as Topology error.
+        let doc = r#"<topology>
+            <operator id="0" name="a" type="stateless" service-time="1"/>
+            <operator id="1" name="b" type="stateless" service-time="1"/>
+            <operator id="2" name="c" type="stateless" service-time="1"/>
+            <edge from="0" to="1" probability="1.0"/>
+            <edge from="1" to="2" probability="1.0"/>
+            <edge from="2" to="1" probability="1.0"/>
+        </topology>"#;
+        assert!(matches!(
+            topology_from_xml(doc).unwrap_err(),
+            SchemaError::Topology(_)
+        ));
+        // Malformed XML surfaces as Xml error.
+        assert!(matches!(
+            topology_from_xml("<topology>").unwrap_err(),
+            SchemaError::Xml(_)
+        ));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let e = SchemaError::Invalid {
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        let e: SchemaError = TopologyError::Cyclic.into();
+        assert!(e.to_string().contains("cycle"));
+    }
+}

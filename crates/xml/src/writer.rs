@@ -1,0 +1,99 @@
+//! Pretty-printing XML writer.
+
+use crate::parser::escape;
+use crate::XmlNode;
+use std::fmt::Write as _;
+
+impl XmlNode {
+    /// Serializes the element (and its subtree) as an indented XML
+    /// document fragment. Attributes are emitted in sorted order, so the
+    /// output is deterministic.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    /// Serializes with an `<?xml?>` declaration prepended.
+    pub fn to_xml_document(&self) -> String {
+        format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", self.to_xml())
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}<{}", self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}=\"{}\"", escape(v));
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            let _ = writeln!(out, "/>");
+            return;
+        }
+        if self.children.is_empty() {
+            let _ = writeln!(out, ">{}</{}>", escape(&self.text), self.name);
+            return;
+        }
+        let _ = writeln!(out, ">");
+        if !self.text.is_empty() {
+            let _ = writeln!(out, "{pad}  {}", escape(&self.text));
+        }
+        for child in &self.children {
+            child.write_into(out, depth + 1);
+        }
+        let _ = writeln!(out, "{pad}</{}>", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, XmlNode};
+
+    #[test]
+    fn writes_self_closing_for_empty() {
+        assert_eq!(XmlNode::new("a").to_xml(), "<a/>\n");
+    }
+
+    #[test]
+    fn writes_attributes_sorted() {
+        let x = XmlNode::new("a").attr("zeta", 1).attr("alpha", 2).to_xml();
+        assert_eq!(x, "<a alpha=\"2\" zeta=\"1\"/>\n");
+    }
+
+    #[test]
+    fn writes_text_inline() {
+        let x = XmlNode::new("a");
+        let mut x = x;
+        x.text = "hi".into();
+        assert_eq!(x.to_xml(), "<a>hi</a>\n");
+    }
+
+    #[test]
+    fn nested_structure_roundtrips() {
+        let node = XmlNode::new("topology")
+            .attr("name", "t")
+            .child(XmlNode::new("operator").attr("id", 0).attr("name", "src"))
+            .child(
+                XmlNode::new("operator")
+                    .attr("id", 1)
+                    .child(XmlNode::new("param").attr("k", "window").attr("v", 10)),
+            );
+        let text = node.to_xml_document();
+        assert!(text.starts_with("<?xml"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn indentation_is_two_spaces_per_level() {
+        let node = XmlNode::new("a").child(XmlNode::new("b").child(XmlNode::new("c")));
+        let text = node.to_xml();
+        assert!(text.contains("\n  <b>"));
+        assert!(text.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn escapes_attribute_values() {
+        let x = XmlNode::new("a").attr("t", "x<y&z").to_xml();
+        assert!(x.contains("x&lt;y&amp;z"));
+    }
+}

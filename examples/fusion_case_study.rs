@@ -1,0 +1,139 @@
+//! The paper's fusion case study (§5.4, Figure 11, Tables 1 and 2),
+//! end to end.
+//!
+//! Reconstructs the six-operator topology of Figure 11, fuses operators
+//! 3, 4 and 5, and shows both verdicts:
+//!
+//! * Table 1 service times → the fused operator needs 2.80 ms per item and
+//!   fusion is *feasible* (no throughput loss);
+//! * Table 2 service times → 4.42 ms, the meta-operator becomes a
+//!   bottleneck and SpinStreams raises the alert.
+//!
+//! Both predictions are validated by deploying the fused meta-operator on
+//! the runtime.
+//!
+//! Run with `cargo run --example fusion_case_study`.
+
+use spinstreams::analysis::{fuse, fusion_candidates, steady_state};
+use spinstreams::codegen::FusionGroup;
+use spinstreams::core::{OperatorId, OperatorSpec, ServiceTime, Topology};
+use spinstreams::runtime::Executor;
+use spinstreams::tool::{experiment_executor, predict_vs_measure};
+use std::collections::BTreeSet;
+
+/// Figure 11's topology with the given per-operator service times (ms).
+/// Operators carry runnable kinds so the fused topology can be deployed.
+fn figure11(times_ms: [f64; 6]) -> Result<Topology, Box<dyn std::error::Error>> {
+    let mut b = Topology::builder();
+    let mut ids = Vec::new();
+    for (i, t) in times_ms.iter().enumerate() {
+        let spec = if i == 0 {
+            OperatorSpec::source("op1", ServiceTime::from_millis(*t)).with_kind("source")
+        } else {
+            OperatorSpec::stateless(format!("op{}", i + 1), ServiceTime::from_millis(*t))
+                .with_kind("identity-map")
+                .with_param("work_ns", t * 1e6)
+        };
+        ids.push(b.add_operator(spec));
+    }
+    b.add_edge(ids[0], ids[1], 0.7)?;
+    b.add_edge(ids[0], ids[2], 0.3)?;
+    b.add_edge(ids[1], ids[5], 1.0)?;
+    b.add_edge(ids[2], ids[3], 0.5)?;
+    b.add_edge(ids[2], ids[4], 0.5)?;
+    b.add_edge(ids[4], ids[3], 0.35)?;
+    b.add_edge(ids[4], ids[5], 0.65)?;
+    b.add_edge(ids[3], ids[5], 1.0)?;
+    Ok(b.build()?)
+}
+
+fn case(
+    label: &str,
+    times_ms: [f64; 6],
+    executor: &Executor,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let topo = figure11(times_ms)?;
+    println!("==================== {label} ====================");
+    let baseline = steady_state(&topo);
+    println!(
+        "original topology: predicted throughput {:.0} items/s",
+        baseline.throughput.items_per_sec()
+    );
+
+    // The GUI's candidate ranking (§4.1): underutilized sub-graphs first.
+    let candidates = fusion_candidates(&topo, 0.9);
+    println!("fusion candidates (ranked by mean utilization):");
+    for c in &candidates {
+        let names: Vec<_> = c
+            .members
+            .iter()
+            .map(|m| topo.operator(*m).name.clone())
+            .collect();
+        println!(
+            "  {:?} front-end {} mean ρ {:.2}",
+            names,
+            topo.operator(c.front_end).name,
+            c.mean_utilization
+        );
+    }
+
+    // Fuse {op3, op4, op5} (0-based ids 2, 3, 4), as in §5.4.
+    let members: BTreeSet<OperatorId> =
+        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect();
+    let outcome = fuse(&topo, &members)?;
+    println!(
+        "fused operator F: service time {:.2} ms, predicted throughput {:.0} items/s -> {}",
+        outcome.fused_service_time.as_millis(),
+        outcome.report.throughput.items_per_sec(),
+        if outcome.is_feasible() {
+            "fusion is FEASIBLE".to_string()
+        } else {
+            format!(
+                "ALERT: fusion would degrade throughput by {:.0}%",
+                -outcome.throughput_change() * 100.0
+            )
+        }
+    );
+
+    // Validate by actually running the fused deployment (Algorithm 4
+    // meta-operator) against the original.
+    // Long enough runs that the buffer-fill transient is negligible.
+    let plain = predict_vs_measure(&topo, None, &[], &[], 40_000, executor)?;
+    let fused_groups = [FusionGroup {
+        members: members.clone(),
+        front: OperatorId(2),
+    }];
+    let fused = predict_vs_measure(&topo, None, &[], &fused_groups, 40_000, executor)?;
+    println!(
+        "measured: original {:.0} items/s, fused {:.0} items/s",
+        plain.measured_throughput, fused.measured_throughput
+    );
+    println!(
+        "model said fused topology runs at {:.0} items/s; measured {:.0} (error {:.1}%)",
+        outcome.report.throughput.items_per_sec(),
+        fused.measured_throughput,
+        (outcome.report.throughput.items_per_sec() - fused.measured_throughput).abs()
+            / fused.measured_throughput
+            * 100.0
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let executor = experiment_executor(7);
+    // Table 1: fusion is feasible (F = 2.80 ms < the 3.33 ms inter-arrival
+    // gap at its input).
+    case(
+        "Table 1 — fusion preserves throughput",
+        [1.0, 1.2, 0.7, 2.0, 1.5, 0.2],
+        &executor,
+    )?;
+    // Table 2: slower members; F = 4.42 ms becomes the bottleneck.
+    case(
+        "Table 2 — fusion introduces a bottleneck",
+        [1.0, 1.2, 1.5, 2.7, 2.2, 0.2],
+        &executor,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the full SpinStreams workflow on a small pipeline.
+//!
+//! 1. describe a topology,
+//! 2. run the steady-state analysis (Algorithm 1) to find the bottleneck,
+//! 3. remove it with operator fission (Algorithm 2),
+//! 4. deploy both versions on the runtime and compare predicted vs
+//!    measured throughput.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use spinstreams::analysis::{eliminate_bottlenecks, format_fission_plan, format_steady_state};
+use spinstreams::core::{OperatorSpec, ServiceTime, Topology};
+use spinstreams::runtime::Executor;
+use spinstreams::tool::predict_vs_measure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A four-stage pipeline: the 400 µs "score" stage is 4x too slow for
+    // the 10 000 items/s the source produces.
+    let mut b = Topology::builder();
+    let src = b.add_operator(
+        OperatorSpec::source("ticks", ServiceTime::from_micros(100.0)).with_kind("source"),
+    );
+    let parse = b.add_operator(
+        OperatorSpec::stateless("parse", ServiceTime::from_micros(50.0))
+            .with_kind("identity-map")
+            .with_param("work_ns", 50_000.0),
+    );
+    let score = b.add_operator(
+        OperatorSpec::stateless("score", ServiceTime::from_micros(400.0))
+            .with_kind("arithmetic-map")
+            .with_param("work_ns", 400_000.0),
+    );
+    let sink = b.add_operator(
+        OperatorSpec::stateless("publish", ServiceTime::from_micros(20.0))
+            .with_kind("identity-map")
+            .with_param("work_ns", 20_000.0),
+    );
+    b.add_edge(src, parse, 1.0)?;
+    b.add_edge(parse, score, 1.0)?;
+    b.add_edge(score, sink, 1.0)?;
+    let topo = b.build()?;
+
+    println!("--- initial topology ---");
+    println!("{topo}");
+
+    // Algorithm 1: where does backpressure cap the throughput?
+    let report = spinstreams::analysis::steady_state(&topo);
+    println!("{}", format_steady_state(&topo, &report));
+
+    // Algorithm 2: the optimal fission plan.
+    let plan = eliminate_bottlenecks(&topo);
+    println!("{}", format_fission_plan(&topo, &plan));
+
+    // Deploy both versions (virtual-time executor) and compare.
+    let executor = Executor::default();
+    let before = predict_vs_measure(&topo, None, &[], &[], 20_000, &executor)?;
+    println!(
+        "before fission: predicted {:.0} vs measured {:.0} items/s (error {:.1}%)",
+        before.predicted_throughput,
+        before.measured_throughput,
+        before.relative_error() * 100.0
+    );
+    let after = predict_vs_measure(&topo, None, &plan.replicas, &[], 40_000, &executor)?;
+    println!(
+        "after fission:  predicted {:.0} vs measured {:.0} items/s (error {:.1}%)",
+        after.predicted_throughput,
+        after.measured_throughput,
+        after.relative_error() * 100.0
+    );
+    println!(
+        "speedup from fission: {:.2}x",
+        after.measured_throughput / before.measured_throughput
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # spinstreams
+//!
+//! A from-scratch Rust reproduction of **SpinStreams: a Static Optimization
+//! Tool for Data Stream Processing Applications** (Mencagli, Dazzi, Tonci —
+//! Middleware 2018), packaged as an umbrella crate over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `spinstreams-core` | topology model (operators, edges, selectivity, key distributions) |
+//! | [`analysis`] | `spinstreams-analysis` | Algorithms 1–3: steady-state analysis under backpressure, bottleneck elimination via fission, operator fusion |
+//! | [`runtime`] | `spinstreams-runtime` | actor-style streaming runtime (BAS mailboxes) with threaded and virtual-time executors |
+//! | [`operators`] | `spinstreams-operators` | the 20+ real-world operators of the paper's testbed |
+//! | [`topogen`] | `spinstreams-topogen` | Algorithm 5 random topology generator with profiling |
+//! | [`xml`] | `spinstreams-xml` | the §4.1 XML topology formalism |
+//! | [`codegen`] | `spinstreams-codegen` | optimized topology → executable deployment (the SS2Akka analogue) |
+//! | [`tool`] | `spinstreams-tool` | calibration and predict-vs-measure harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spinstreams::core::{OperatorSpec, ServiceTime, Topology};
+//! use spinstreams::analysis::{steady_state, eliminate_bottlenecks};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Describe the application as a probability-weighted operator graph.
+//! let mut b = Topology::builder();
+//! let src = b.add_operator(OperatorSpec::source("src", ServiceTime::from_millis(1.0)));
+//! let slow = b.add_operator(OperatorSpec::stateless("slow", ServiceTime::from_millis(3.0)));
+//! b.add_edge(src, slow, 1.0)?;
+//! let topo = b.build()?;
+//!
+//! // Algorithm 1: backpressure throttles the source to 333 items/s...
+//! let report = steady_state(&topo);
+//! assert!((report.throughput.items_per_sec() - 1000.0 / 3.0).abs() < 1e-6);
+//!
+//! // ...and Algorithm 2 removes the bottleneck with 3 replicas.
+//! let plan = eliminate_bottlenecks(&topo);
+//! assert_eq!(plan.replicas, vec![1, 3]);
+//! assert!((plan.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spinstreams_analysis as analysis;
+pub use spinstreams_codegen as codegen;
+pub use spinstreams_core as core;
+pub use spinstreams_operators as operators;
+pub use spinstreams_runtime as runtime;
+pub use spinstreams_tool as tool;
+pub use spinstreams_topogen as topogen;
+pub use spinstreams_xml as xml;

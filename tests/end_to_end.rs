@@ -1,0 +1,216 @@
+//! End-to-end integration: the full SpinStreams workflow across all crates
+//! (XML import → analysis → optimization → code generation → execution →
+//! model-vs-measurement validation).
+
+use spinstreams::analysis::{eliminate_bottlenecks, steady_state};
+use spinstreams::codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
+use spinstreams::core::{OperatorId, OperatorSpec, Selectivity, ServiceTime, Topology};
+use spinstreams::runtime::{simulate, Executor, SimConfig};
+use spinstreams::tool::{calibrate, predict_vs_measure};
+use spinstreams::xml::{topology_from_xml, topology_to_xml};
+
+fn executor() -> Executor {
+    Executor::VirtualTime(SimConfig {
+        mailbox_capacity: 32,
+        seed: 0xE2E,
+    })
+}
+
+/// A pipeline with a clear bottleneck, fully runnable (kinds + params).
+fn pipeline() -> Topology {
+    let mut b = Topology::builder();
+    let s = b.add_operator(
+        OperatorSpec::source("src", ServiceTime::from_micros(100.0)).with_kind("source"),
+    );
+    let f = b.add_operator(
+        OperatorSpec::stateless("filter", ServiceTime::from_micros(80.0))
+            .with_kind("filter")
+            .with_selectivity(Selectivity::output(0.5))
+            .with_param("threshold", 0.5)
+            .with_param("work_ns", 80_000.0),
+    );
+    let m = b.add_operator(
+        OperatorSpec::stateless("heavy", ServiceTime::from_micros(900.0))
+            .with_kind("arithmetic-map")
+            .with_param("work_ns", 900_000.0),
+    );
+    let k = b.add_operator(
+        OperatorSpec::stateless("sink", ServiceTime::from_micros(30.0))
+            .with_kind("identity-map")
+            .with_param("work_ns", 30_000.0),
+    );
+    b.add_edge(s, f, 1.0).unwrap();
+    b.add_edge(f, m, 1.0).unwrap();
+    b.add_edge(m, k, 1.0).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn xml_roundtrip_preserves_analysis_results() {
+    let topo = pipeline();
+    let xml = topology_to_xml(&topo, "e2e");
+    let back = topology_from_xml(&xml).unwrap();
+    assert_eq!(topo, back);
+    let a = steady_state(&topo);
+    let b = steady_state(&back);
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn model_predicts_measured_throughput_within_tolerance() {
+    let topo = pipeline();
+    // filter halves the stream: heavy sees 5000/s but serves ~1111/s →
+    // bottleneck; δ₁ throttles to ~2222/s.
+    let calibrated = calibrate(&topo, None, 8_000, 100, &executor()).unwrap();
+    let cmp = predict_vs_measure(&calibrated, None, &[], &[], 20_000, &executor()).unwrap();
+    assert!(
+        cmp.relative_error() < 0.05,
+        "predicted {} measured {}",
+        cmp.predicted_throughput,
+        cmp.measured_throughput
+    );
+    assert!(cmp.report.has_bottleneck());
+}
+
+#[test]
+fn fission_plan_executes_and_restores_source_rate() {
+    let topo = pipeline();
+    let calibrated = calibrate(&topo, None, 8_000, 100, &executor()).unwrap();
+    let plan = eliminate_bottlenecks(&calibrated);
+    assert!(plan.ideal());
+    assert!(plan.replicas[2] >= 4, "heavy stage needs several replicas");
+    let cmp = predict_vs_measure(
+        &calibrated,
+        None,
+        &plan.replicas,
+        &[],
+        40_000,
+        &executor(),
+    )
+    .unwrap();
+    assert!(
+        cmp.relative_error() < 0.05,
+        "predicted {} measured {}",
+        cmp.predicted_throughput,
+        cmp.measured_throughput
+    );
+    // Parallelized throughput ≈ the 10k/s source rate.
+    assert!(cmp.measured_throughput > 9_000.0);
+}
+
+#[test]
+fn generated_plan_counts_every_item_exactly_once() {
+    let topo = pipeline();
+    let opts = CodegenOptions {
+        items: 5_000,
+        seed: 3,
+    };
+    let plan = build_actor_graph(&topo, None, &[1, 2, 3, 1], &[], &opts).unwrap();
+    let report = simulate(
+        plan.graph,
+        &SimConfig {
+            mailbox_capacity: 32,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    // Every source item passes the filter emitter stage exactly once.
+    assert_eq!(report.actor(plan.input_actor[1]).items_in, 5_000);
+    assert_eq!(report.total_dropped(), 0);
+    // Filter keeps about half.
+    let heavy_in = report.actor(plan.input_actor[2]).items_in;
+    assert!(
+        (heavy_in as f64 - 2_500.0).abs() < 150.0,
+        "heavy saw {heavy_in}"
+    );
+}
+
+#[test]
+fn emitted_rust_source_reflects_the_deployment() {
+    let topo = pipeline();
+    let plan = eliminate_bottlenecks(&topo);
+    let src = emit_rust_source(&topo, &plan.replicas, &[], &CodegenOptions::default());
+    assert!(src.contains("fn main()"));
+    assert!(src.contains("OperatorSpec::stateless(\"heavy\""));
+    assert!(src.contains(&format!("vec!{:?}", plan.replicas)));
+    // Balanced delimiters (cheap stand-in for compiling the emitted text).
+    for (o, c) in [('{', '}'), ('(', ')'), ('[', ']')] {
+        assert_eq!(src.matches(o).count(), src.matches(c).count());
+    }
+}
+
+#[test]
+fn threaded_and_virtual_executors_agree_on_counts() {
+    // Functional equivalence of the two engines (rates differ on a loaded
+    // host, item accounting must not).
+    let topo = pipeline();
+    let opts = CodegenOptions {
+        items: 2_000,
+        seed: 11,
+    };
+    let p1 = build_actor_graph(&topo, None, &[], &[], &opts).unwrap();
+    let r1 = simulate(
+        p1.graph,
+        &SimConfig {
+            mailbox_capacity: 32,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let p2 = build_actor_graph(&topo, None, &[], &[], &opts).unwrap();
+    let r2 = spinstreams::runtime::run(
+        p2.graph,
+        &spinstreams::runtime::EngineConfig {
+            mailbox_capacity: 32,
+            seed: 11,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for id in [1usize, 2, 3] {
+        assert_eq!(
+            r1.actor(p1.input_actor[id]).items_in,
+            r2.actor(p2.input_actor[id]).items_in,
+            "operator {id} saw different item counts across executors"
+        );
+    }
+}
+
+#[test]
+fn table1_and_table2_verdicts_reproduce() {
+    // The §5.4 case study in compact form (details in the examples/bench).
+    let times_feasible = [1.0, 1.2, 0.7, 2.0, 1.5, 0.2];
+    let times_bottleneck = [1.0, 1.2, 1.5, 2.7, 2.2, 0.2];
+    for (times, feasible, expect_ms) in [
+        (times_feasible, true, 2.80),
+        (times_bottleneck, false, 4.4225),
+    ] {
+        let mut b = Topology::builder();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                b.add_operator(OperatorSpec::stateless(
+                    format!("{}", i + 1),
+                    ServiceTime::from_millis(*t),
+                ))
+            })
+            .collect();
+        b.add_edge(ids[0], ids[1], 0.7).unwrap();
+        b.add_edge(ids[0], ids[2], 0.3).unwrap();
+        b.add_edge(ids[1], ids[5], 1.0).unwrap();
+        b.add_edge(ids[2], ids[3], 0.5).unwrap();
+        b.add_edge(ids[2], ids[4], 0.5).unwrap();
+        b.add_edge(ids[4], ids[3], 0.35).unwrap();
+        b.add_edge(ids[4], ids[5], 0.65).unwrap();
+        b.add_edge(ids[3], ids[5], 1.0).unwrap();
+        let topo = b.build().unwrap();
+        let members = [OperatorId(2), OperatorId(3), OperatorId(4)]
+            .into_iter()
+            .collect();
+        let outcome = spinstreams::analysis::fuse(&topo, &members).unwrap();
+        assert_eq!(outcome.is_feasible(), feasible);
+        assert!((outcome.fused_service_time.as_millis() - expect_ms).abs() < 1e-9);
+    }
+}

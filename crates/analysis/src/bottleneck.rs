@@ -2,7 +2,6 @@
 //! §3.2 hold-off replication heuristic.
 
 use crate::{key_partitioning, key_partitioning_for_rho, steady_state_with_rates, OperatorMetrics, SteadyStateReport};
-use serde::{Deserialize, Serialize};
 use spinstreams_core::{
     topological_order, OperatorId, ServiceRate, StateClass, Topology,
 };
@@ -12,7 +11,7 @@ const RHO_EPSILON: f64 = 1e-9;
 
 /// The result of bottleneck elimination: a replication degree per operator
 /// and the predicted steady state of the parallelized topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FissionPlan {
     /// Replication degree per operator (1 = not replicated).
     pub replicas: Vec<usize>,

@@ -7,7 +7,6 @@
 //! restarts — exactly the structure of the paper's Algorithm 1, generalized
 //! with the §3.4 selectivity rules.
 
-use serde::{Deserialize, Serialize};
 use spinstreams_core::{topological_order, OperatorId, ServiceRate, Topology};
 
 /// Numerical slack on the `ρ > 1` bottleneck test.
@@ -18,7 +17,7 @@ use spinstreams_core::{topological_order, OperatorId, ServiceRate, Topology};
 const RHO_EPSILON: f64 = 1e-9;
 
 /// Per-operator steady-state labels produced by Algorithm 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatorMetrics {
     /// Steady-state arrival rate `λ` (items/s). Zero for the source.
     pub arrival: f64,
@@ -34,7 +33,7 @@ pub struct OperatorMetrics {
 
 /// A bottleneck discovered during the analysis, before its backpressure was
 /// folded into the source rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BottleneckEvent {
     /// The bottleneck operator.
     pub operator: OperatorId,
@@ -43,7 +42,7 @@ pub struct BottleneckEvent {
 }
 
 /// Result of the steady-state analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SteadyStateReport {
     /// Per-operator metrics, indexed by operator id.
     pub metrics: Vec<OperatorMetrics>,

@@ -1,6 +1,5 @@
 //! Key-frequency distributions for partitioned-stateful operators.
 
-use serde::{Deserialize, Serialize};
 
 /// The frequency distribution of partitioning keys of a partitioned-stateful
 /// operator (§3.2).
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.frequency(0), 0.75);
 /// assert_eq!(d.num_keys(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KeyDistribution {
     freqs: Vec<f64>,
 }

@@ -7,7 +7,6 @@
 //! per item, a [`ServiceRate`] is items per second, and conversions between
 //! them are explicit.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul};
 use std::time::Duration;
@@ -26,7 +25,7 @@ use std::time::Duration;
 /// assert_eq!(t.as_secs(), 0.002);
 /// assert_eq!(t.rate().items_per_sec(), 500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct ServiceTime(f64);
 
 impl ServiceTime {
@@ -136,7 +135,7 @@ impl fmt::Display for ServiceTime {
 /// let mu = ServiceRate::per_sec(1000.0);
 /// assert_eq!(mu.service_time().as_millis(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct ServiceRate(f64);
 
 impl ServiceRate {

@@ -6,12 +6,21 @@
 //! Akka evaluation uses `BoundedMailbox` with a send timeout after which the
 //! item is discarded (§5.1); [`Sender::send`] reproduces both behaviors.
 
-use parking_lot::{Condvar, Mutex};
 use spinstreams_core::Tuple;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mailbox mutex, recovering from poisoning.
+///
+/// A mailbox lock is only ever held inside this module for queue
+/// manipulation, so a poisoned lock means a foreign panic (e.g. OOM abort
+/// path) interrupted a push/pop; the queue itself is still structurally
+/// sound and the supervised engine must keep running.
+fn lock_queue(m: &Mutex<VecDeque<Envelope>>) -> MutexGuard<'_, VecDeque<Envelope>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A message in an actor's mailbox.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,7 +126,7 @@ impl Drop for Sender {
     fn drop(&mut self) {
         if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last sender: wake a receiver waiting on an empty queue.
-            let _guard = self.inner.queue.lock();
+            let _guard = lock_queue(&self.inner.queue);
             self.inner.not_empty.notify_all();
         }
     }
@@ -126,7 +135,7 @@ impl Drop for Sender {
 impl Drop for Receiver {
     fn drop(&mut self) {
         self.inner.receiver_alive.store(0, Ordering::SeqCst);
-        let _guard = self.inner.queue.lock();
+        let _guard = lock_queue(&self.inner.queue);
         self.inner.not_full.notify_all();
     }
 }
@@ -136,7 +145,7 @@ impl Sender {
     /// frees up or `timeout` elapses (then the envelope is dropped and
     /// [`SendOutcome::TimedOut`] is returned).
     pub fn send(&self, env: Envelope, timeout: Duration) -> SendOutcome {
-        let mut queue = self.inner.queue.lock();
+        let mut queue = lock_queue(&self.inner.queue);
         if queue.len() < self.inner.capacity {
             queue.push_back(env);
             drop(queue);
@@ -156,7 +165,14 @@ impl Sender {
                 self.inner.not_empty.notify_one();
                 return SendOutcome::SentAfterBlocking(start.elapsed());
             }
-            if self.inner.not_full.wait_until(&mut queue, deadline) .timed_out() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (guard, wait) = self
+                .inner
+                .not_full
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+            if wait.timed_out() {
                 return if queue.len() < self.inner.capacity {
                     queue.push_back(env);
                     drop(queue);
@@ -171,7 +187,7 @@ impl Sender {
 
     /// Current queue length (approximate; for tests and diagnostics).
     pub fn len(&self) -> usize {
-        self.inner.queue.lock().len()
+        lock_queue(&self.inner.queue).len()
     }
 
     /// True if the queue is currently empty (approximate).
@@ -188,7 +204,7 @@ impl Sender {
 impl Receiver {
     /// Blocks until an envelope is available or every sender is gone.
     pub fn recv(&self) -> RecvResult {
-        let mut queue = self.inner.queue.lock();
+        let mut queue = lock_queue(&self.inner.queue);
         loop {
             if let Some(env) = queue.pop_front() {
                 drop(queue);
@@ -198,13 +214,17 @@ impl Receiver {
             if self.inner.senders.load(Ordering::SeqCst) == 0 {
                 return RecvResult::Disconnected;
             }
-            self.inner.not_empty.wait(&mut queue);
+            queue = self
+                .inner
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking receive; `None` if the mailbox is momentarily empty.
     pub fn try_recv(&self) -> Option<Envelope> {
-        let mut queue = self.inner.queue.lock();
+        let mut queue = lock_queue(&self.inner.queue);
         let env = queue.pop_front();
         if env.is_some() {
             drop(queue);
@@ -215,7 +235,7 @@ impl Receiver {
 
     /// Current queue length (approximate).
     pub fn len(&self) -> usize {
-        self.inner.queue.lock().len()
+        lock_queue(&self.inner.queue).len()
     }
 
     /// True if the queue is currently empty (approximate).

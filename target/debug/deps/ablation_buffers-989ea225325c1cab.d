@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffers-989ea225325c1cab.d: crates/bench/src/bin/ablation_buffers.rs
+
+/root/repo/target/debug/deps/ablation_buffers-989ea225325c1cab: crates/bench/src/bin/ablation_buffers.rs
+
+crates/bench/src/bin/ablation_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_distributions-3b76caf3f28441f0.d: crates/bench/src/bin/ablation_distributions.rs
+
+/root/repo/target/debug/deps/ablation_distributions-3b76caf3f28441f0: crates/bench/src/bin/ablation_distributions.rs
+
+crates/bench/src/bin/ablation_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_partitioning-1c9429c6cc6c77ca.d: crates/bench/src/bin/ablation_partitioning.rs
+
+/root/repo/target/debug/deps/ablation_partitioning-1c9429c6cc6c77ca: crates/bench/src/bin/ablation_partitioning.rs
+
+crates/bench/src/bin/ablation_partitioning.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-d844807caae95248.d: crates/tool/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-d844807caae95248: crates/tool/tests/cli.rs
+
+crates/tool/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_spinstreams-cli=/root/repo/target/debug/spinstreams-cli

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug1-8b920937e429befd.d: crates/bench/src/bin/debug1.rs
+
+/root/repo/target/debug/deps/debug1-8b920937e429befd: crates/bench/src/bin/debug1.rs
+
+crates/bench/src/bin/debug1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a8685f344830c9de.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a8685f344830c9de: tests/end_to_end.rs
+
+tests/end_to_end.rs:

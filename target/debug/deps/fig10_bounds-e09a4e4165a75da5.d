@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_bounds-e09a4e4165a75da5.d: crates/bench/src/bin/fig10_bounds.rs
+
+/root/repo/target/debug/deps/fig10_bounds-e09a4e4165a75da5: crates/bench/src/bin/fig10_bounds.rs
+
+crates/bench/src/bin/fig10_bounds.rs:

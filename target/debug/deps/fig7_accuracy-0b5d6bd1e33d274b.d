@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_accuracy-0b5d6bd1e33d274b.d: crates/bench/src/bin/fig7_accuracy.rs
+
+/root/repo/target/debug/deps/fig7_accuracy-0b5d6bd1e33d274b: crates/bench/src/bin/fig7_accuracy.rs
+
+crates/bench/src/bin/fig7_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_operator_errors-190e697a421755eb.d: crates/bench/src/bin/fig8_operator_errors.rs
+
+/root/repo/target/debug/deps/fig8_operator_errors-190e697a421755eb: crates/bench/src/bin/fig8_operator_errors.rs
+
+crates/bench/src/bin/fig8_operator_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_bottleneck-bb2b4fd5fbe513fb.d: crates/bench/src/bin/fig9_bottleneck.rs
+
+/root/repo/target/debug/deps/fig9_bottleneck-bb2b4fd5fbe513fb: crates/bench/src/bin/fig9_bottleneck.rs
+
+crates/bench/src/bin/fig9_bottleneck.rs:

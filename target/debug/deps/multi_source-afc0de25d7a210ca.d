@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_source-afc0de25d7a210ca.d: tests/multi_source.rs
+
+/root/repo/target/debug/deps/multi_source-afc0de25d7a210ca: tests/multi_source.rs
+
+tests/multi_source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fab994b0ffdcc015.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fab994b0ffdcc015: tests/properties.rs
+
+tests/properties.rs:

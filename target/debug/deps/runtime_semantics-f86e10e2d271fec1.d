@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_semantics-f86e10e2d271fec1.d: tests/runtime_semantics.rs
+
+/root/repo/target/debug/deps/runtime_semantics-f86e10e2d271fec1: tests/runtime_semantics.rs
+
+tests/runtime_semantics.rs:

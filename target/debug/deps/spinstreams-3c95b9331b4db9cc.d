@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spinstreams-3c95b9331b4db9cc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspinstreams-3c95b9331b4db9cc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspinstreams-3c95b9331b4db9cc.rmeta: src/lib.rs
+
+src/lib.rs:

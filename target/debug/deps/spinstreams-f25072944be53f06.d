@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spinstreams-f25072944be53f06.d: src/lib.rs
+
+/root/repo/target/debug/deps/spinstreams-f25072944be53f06: src/lib.rs
+
+src/lib.rs:

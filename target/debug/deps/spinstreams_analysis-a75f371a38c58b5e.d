@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spinstreams_analysis-a75f371a38c58b5e.d: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+/root/repo/target/debug/deps/spinstreams_analysis-a75f371a38c58b5e: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bottleneck.rs:
+crates/analysis/src/candidates.rs:
+crates/analysis/src/fusion.rs:
+crates/analysis/src/multi_source.rs:
+crates/analysis/src/partitioning.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/steady_state.rs:

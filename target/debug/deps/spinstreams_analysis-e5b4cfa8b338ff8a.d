@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spinstreams_analysis-e5b4cfa8b338ff8a.d: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+/root/repo/target/debug/deps/libspinstreams_analysis-e5b4cfa8b338ff8a.rlib: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+/root/repo/target/debug/deps/libspinstreams_analysis-e5b4cfa8b338ff8a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bottleneck.rs:
+crates/analysis/src/candidates.rs:
+crates/analysis/src/fusion.rs:
+crates/analysis/src/multi_source.rs:
+crates/analysis/src/partitioning.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/steady_state.rs:

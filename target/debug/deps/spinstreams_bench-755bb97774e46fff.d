@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spinstreams_bench-755bb97774e46fff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/spinstreams_bench-755bb97774e46fff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spinstreams_bench-85ffee670fad9f3f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspinstreams_bench-85ffee670fad9f3f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspinstreams_bench-85ffee670fad9f3f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

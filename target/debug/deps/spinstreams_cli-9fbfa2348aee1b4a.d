@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spinstreams_cli-9fbfa2348aee1b4a.d: crates/tool/src/bin/spinstreams.rs
+
+/root/repo/target/debug/deps/spinstreams_cli-9fbfa2348aee1b4a: crates/tool/src/bin/spinstreams.rs
+
+crates/tool/src/bin/spinstreams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spinstreams_cli-f61983f55c4e632e.d: crates/tool/src/bin/spinstreams.rs
+
+/root/repo/target/debug/deps/spinstreams_cli-f61983f55c4e632e: crates/tool/src/bin/spinstreams.rs
+
+crates/tool/src/bin/spinstreams.rs:

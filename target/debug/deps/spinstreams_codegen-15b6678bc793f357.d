@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spinstreams_codegen-15b6678bc793f357.d: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+/root/repo/target/debug/deps/spinstreams_codegen-15b6678bc793f357: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/build.rs:
+crates/codegen/src/emit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spinstreams_codegen-fe415d64373edc01.d: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+/root/repo/target/debug/deps/libspinstreams_codegen-fe415d64373edc01.rlib: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+/root/repo/target/debug/deps/libspinstreams_codegen-fe415d64373edc01.rmeta: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/build.rs:
+crates/codegen/src/emit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spinstreams_core-0c2c2ef92cb9ba39.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/spinstreams_core-0c2c2ef92cb9ba39: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/item.rs:
+crates/core/src/keys.rs:
+crates/core/src/operator.rs:
+crates/core/src/order.rs:
+crates/core/src/paths.rs:
+crates/core/src/rates.rs:
+crates/core/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spinstreams_core-fa021f82b0ada0c0.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libspinstreams_core-fa021f82b0ada0c0.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libspinstreams_core-fa021f82b0ada0c0.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/item.rs:
+crates/core/src/keys.rs:
+crates/core/src/operator.rs:
+crates/core/src/order.rs:
+crates/core/src/paths.rs:
+crates/core/src/rates.rs:
+crates/core/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spinstreams_operators-0b72b9c21a26d22c.d: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+/root/repo/target/debug/deps/libspinstreams_operators-0b72b9c21a26d22c.rlib: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+/root/repo/target/debug/deps/libspinstreams_operators-0b72b9c21a26d22c.rmeta: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+crates/operators/src/lib.rs:
+crates/operators/src/aggregates.rs:
+crates/operators/src/join.rs:
+crates/operators/src/registry.rs:
+crates/operators/src/spatial.rs:
+crates/operators/src/stateful.rs:
+crates/operators/src/stateless.rs:
+crates/operators/src/window.rs:

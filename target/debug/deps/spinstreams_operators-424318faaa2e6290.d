@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spinstreams_operators-424318faaa2e6290.d: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+/root/repo/target/debug/deps/spinstreams_operators-424318faaa2e6290: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+crates/operators/src/lib.rs:
+crates/operators/src/aggregates.rs:
+crates/operators/src/join.rs:
+crates/operators/src/registry.rs:
+crates/operators/src/spatial.rs:
+crates/operators/src/stateful.rs:
+crates/operators/src/stateless.rs:
+crates/operators/src/window.rs:

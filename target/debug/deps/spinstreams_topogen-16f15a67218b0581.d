@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spinstreams_topogen-16f15a67218b0581.d: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+/root/repo/target/debug/deps/spinstreams_topogen-16f15a67218b0581: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+crates/topogen/src/lib.rs:
+crates/topogen/src/config.rs:
+crates/topogen/src/gen.rs:

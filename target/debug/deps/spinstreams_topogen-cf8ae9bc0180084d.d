@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spinstreams_topogen-cf8ae9bc0180084d.d: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+/root/repo/target/debug/deps/libspinstreams_topogen-cf8ae9bc0180084d.rlib: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+/root/repo/target/debug/deps/libspinstreams_topogen-cf8ae9bc0180084d.rmeta: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+crates/topogen/src/lib.rs:
+crates/topogen/src/config.rs:
+crates/topogen/src/gen.rs:

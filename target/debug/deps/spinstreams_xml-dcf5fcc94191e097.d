@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spinstreams_xml-dcf5fcc94191e097.d: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/spinstreams_xml-dcf5fcc94191e097: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spinstreams_xml-f7f50be0799fe643.d: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libspinstreams_xml-f7f50be0799fe643.rlib: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libspinstreams_xml-f7f50be0799fe643.rmeta: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/writer.rs:

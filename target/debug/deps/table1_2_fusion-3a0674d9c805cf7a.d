@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_2_fusion-3a0674d9c805cf7a.d: crates/bench/src/bin/table1_2_fusion.rs
+
+/root/repo/target/debug/deps/table1_2_fusion-3a0674d9c805cf7a: crates/bench/src/bin/table1_2_fusion.rs
+
+crates/bench/src/bin/table1_2_fusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_pipeline-9588f22b99eaf688.d: examples/fraud_pipeline.rs
+
+/root/repo/target/debug/examples/fraud_pipeline-9588f22b99eaf688: examples/fraud_pipeline.rs
+
+examples/fraud_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fusion_case_study-bb497c1640758b34.d: examples/fusion_case_study.rs
+
+/root/repo/target/debug/examples/fusion_case_study-bb497c1640758b34: examples/fusion_case_study.rs
+
+examples/fusion_case_study.rs:

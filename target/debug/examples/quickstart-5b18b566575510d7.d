@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5b18b566575510d7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5b18b566575510d7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_topology-c72a5f6a4abab331.d: examples/random_topology.rs
+
+/root/repo/target/debug/examples/random_topology-c72a5f6a4abab331: examples/random_topology.rs
+
+examples/random_topology.rs:

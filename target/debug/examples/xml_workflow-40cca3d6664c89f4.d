@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xml_workflow-40cca3d6664c89f4.d: examples/xml_workflow.rs
+
+/root/repo/target/debug/examples/xml_workflow-40cca3d6664c89f4: examples/xml_workflow.rs
+
+examples/xml_workflow.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spinstreams-4674caec850c57a0.d: src/lib.rs
+
+/root/repo/target/release/deps/libspinstreams-4674caec850c57a0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspinstreams-4674caec850c57a0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/spinstreams_analysis-6f21bcfacf17587b.d: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+/root/repo/target/release/deps/libspinstreams_analysis-6f21bcfacf17587b.rlib: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+/root/repo/target/release/deps/libspinstreams_analysis-6f21bcfacf17587b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bottleneck.rs crates/analysis/src/candidates.rs crates/analysis/src/fusion.rs crates/analysis/src/multi_source.rs crates/analysis/src/partitioning.rs crates/analysis/src/report.rs crates/analysis/src/steady_state.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bottleneck.rs:
+crates/analysis/src/candidates.rs:
+crates/analysis/src/fusion.rs:
+crates/analysis/src/multi_source.rs:
+crates/analysis/src/partitioning.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/steady_state.rs:

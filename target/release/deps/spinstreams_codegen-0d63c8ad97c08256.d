@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spinstreams_codegen-0d63c8ad97c08256.d: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+/root/repo/target/release/deps/libspinstreams_codegen-0d63c8ad97c08256.rlib: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+/root/repo/target/release/deps/libspinstreams_codegen-0d63c8ad97c08256.rmeta: crates/codegen/src/lib.rs crates/codegen/src/build.rs crates/codegen/src/emit.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/build.rs:
+crates/codegen/src/emit.rs:

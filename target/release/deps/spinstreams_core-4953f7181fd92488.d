@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/spinstreams_core-4953f7181fd92488.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+/root/repo/target/release/deps/libspinstreams_core-4953f7181fd92488.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+/root/repo/target/release/deps/libspinstreams_core-4953f7181fd92488.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/item.rs crates/core/src/keys.rs crates/core/src/operator.rs crates/core/src/order.rs crates/core/src/paths.rs crates/core/src/rates.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/item.rs:
+crates/core/src/keys.rs:
+crates/core/src/operator.rs:
+crates/core/src/order.rs:
+crates/core/src/paths.rs:
+crates/core/src/rates.rs:
+crates/core/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/spinstreams_operators-8518f2102640ec3c.d: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+/root/repo/target/release/deps/libspinstreams_operators-8518f2102640ec3c.rlib: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+/root/repo/target/release/deps/libspinstreams_operators-8518f2102640ec3c.rmeta: crates/operators/src/lib.rs crates/operators/src/aggregates.rs crates/operators/src/join.rs crates/operators/src/registry.rs crates/operators/src/spatial.rs crates/operators/src/stateful.rs crates/operators/src/stateless.rs crates/operators/src/window.rs
+
+crates/operators/src/lib.rs:
+crates/operators/src/aggregates.rs:
+crates/operators/src/join.rs:
+crates/operators/src/registry.rs:
+crates/operators/src/spatial.rs:
+crates/operators/src/stateful.rs:
+crates/operators/src/stateless.rs:
+crates/operators/src/window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spinstreams_topogen-ddd7a64a8547a8d0.d: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+/root/repo/target/release/deps/libspinstreams_topogen-ddd7a64a8547a8d0.rlib: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+/root/repo/target/release/deps/libspinstreams_topogen-ddd7a64a8547a8d0.rmeta: crates/topogen/src/lib.rs crates/topogen/src/config.rs crates/topogen/src/gen.rs
+
+crates/topogen/src/lib.rs:
+crates/topogen/src/config.rs:
+crates/topogen/src/gen.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spinstreams_xml-46fadc3883ce27df.d: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libspinstreams_xml-46fadc3883ce27df.rlib: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libspinstreams_xml-46fadc3883ce27df.rmeta: crates/xml/src/lib.rs crates/xml/src/parser.rs crates/xml/src/schema.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/schema.rs:
+crates/xml/src/writer.rs:

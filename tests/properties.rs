@@ -1,5 +1,5 @@
 //! Property-based tests of the cost-model invariants over random
-//! topologies (proptest).
+//! topologies.
 //!
 //! These check the paper's stated invariants on arbitrary rooted acyclic
 //! flow graphs, not just hand-picked examples:
@@ -11,164 +11,197 @@
 //! * monotonicity — fission never predicts lower throughput;
 //! * Definition 2 — `fusionRate` equals explicit path enumeration;
 //! * idempotence of the steady state under its own departure rates.
+//!
+//! Cases are driven by a deterministic seeded generator rather than a
+//! property-testing framework (the build environment is offline): every
+//! failure message carries the case seed, so a failing case reproduces by
+//! construction.
 
-use proptest::prelude::*;
 use spinstreams::analysis::{
     apply_replica_bound, eliminate_bottlenecks, evaluate_with_replicas, fusion_service_time,
     steady_state,
 };
 use spinstreams::core::{
-    enumerate_paths, KeyDistribution, OperatorId, OperatorSpec, ServiceTime, StateClass,
-    Topology,
+    enumerate_paths, KeyDistribution, OperatorId, OperatorSpec, ServiceTime, StateClass, Topology,
 };
 use spinstreams::xml::{topology_from_xml, topology_to_xml};
 use std::collections::BTreeSet;
 
-/// Strategy: a random rooted DAG in Algorithm 5's style, with service times
-/// in a two-orders-of-magnitude band and random state classes.
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    (2usize..12, any::<u64>()).prop_map(|(v, seed)| {
-        // Small deterministic generator (xorshift) from the seed.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        };
-        let mut b = Topology::builder();
-        for i in 0..v {
-            let us = 50.0 + (next() % 5_000) as f64;
-            let spec = match next() % 4 {
-                0 => OperatorSpec::partitioned(
-                    format!("op{i}"),
-                    ServiceTime::from_micros(us),
-                    KeyDistribution::zipf(8 + (next() % 32) as usize, 0.8),
-                ),
-                1 => OperatorSpec::stateful(format!("op{i}"), ServiceTime::from_micros(us)),
-                _ => OperatorSpec::stateless(format!("op{i}"), ServiceTime::from_micros(us)),
-            };
-            b.add_operator(spec);
-        }
-        // Forward edges: each vertex i>0 gets an input from some j<i.
-        let mut out_count = vec![0usize; v];
-        let mut edges: Vec<(usize, usize)> = Vec::new();
-        for i in 1..v {
-            let j = (next() % i as u64) as usize;
-            edges.push((j, i));
-            out_count[j] += 1;
-        }
-        // A few extra forward edges.
-        for _ in 0..v / 2 {
-            let a = (next() % v as u64) as usize;
-            let c = (next() % v as u64) as usize;
-            if a < c && !edges.contains(&(a, c)) {
-                edges.push((a, c));
-                out_count[a] += 1;
-            }
-        }
-        // Probabilities: uniform split per origin (sums to exactly 1).
-        for (a, c) in edges {
-            let share = 1.0 / out_count[a] as f64;
-            // Adjust the last edge of each origin for rounding.
-            b.add_edge(OperatorId(a), OperatorId(c), share).unwrap();
-        }
-        b.build().expect("forward-edge construction is a rooted DAG")
-    })
+/// Number of random cases per property (matches the prior proptest config).
+const CASES: u64 = 128;
+
+/// xorshift64* step, the same generator used throughout the workspace.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Runs `check` against `CASES` generated topologies.
+fn for_each_topology(check: impl Fn(u64, &Topology)) {
+    for case in 0..CASES {
+        let seed = 0x5EED_0000_0000_0000 | (case.wrapping_mul(0x9E37_79B9) | 1);
+        let topo = arb_topology(seed);
+        check(seed, &topo);
+    }
+}
 
-    #[test]
-    fn invariant_3_1_holds(topo in arb_topology()) {
-        let report = steady_state(&topo);
-        for m in &report.metrics {
-            prop_assert!(m.utilization <= 1.0 + 1e-9);
+/// A random rooted DAG in Algorithm 5's style, with service times in a
+/// two-orders-of-magnitude band and random state classes.
+fn arb_topology(seed: u64) -> Topology {
+    let mut state = seed | 1;
+    let v = 2 + (next(&mut state) % 10) as usize;
+    let mut b = Topology::builder();
+    for i in 0..v {
+        let us = 50.0 + (next(&mut state) % 5_000) as f64;
+        let spec = match next(&mut state) % 4 {
+            0 => OperatorSpec::partitioned(
+                format!("op{i}"),
+                ServiceTime::from_micros(us),
+                KeyDistribution::zipf(8 + (next(&mut state) % 32) as usize, 0.8),
+            ),
+            1 => OperatorSpec::stateful(format!("op{i}"), ServiceTime::from_micros(us)),
+            _ => OperatorSpec::stateless(format!("op{i}"), ServiceTime::from_micros(us)),
+        };
+        b.add_operator(spec);
+    }
+    // Forward edges: each vertex i>0 gets an input from some j<i.
+    let mut out_count = vec![0usize; v];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 1..v {
+        let j = (next(&mut state) % i as u64) as usize;
+        edges.push((j, i));
+        out_count[j] += 1;
+    }
+    // A few extra forward edges.
+    for _ in 0..v / 2 {
+        let a = (next(&mut state) % v as u64) as usize;
+        let c = (next(&mut state) % v as u64) as usize;
+        if a < c && !edges.contains(&(a, c)) {
+            edges.push((a, c));
+            out_count[a] += 1;
         }
     }
+    // Probabilities: uniform split per origin (sums to exactly 1).
+    for (a, c) in edges {
+        let share = 1.0 / out_count[a] as f64;
+        b.add_edge(OperatorId(a), OperatorId(c), share).unwrap();
+    }
+    b.build().expect("forward-edge construction is a rooted DAG")
+}
 
-    #[test]
-    fn flow_conservation_holds(topo in arb_topology()) {
+#[test]
+fn invariant_3_1_holds() {
+    for_each_topology(|seed, topo| {
+        let report = steady_state(topo);
+        for m in &report.metrics {
+            assert!(
+                m.utilization <= 1.0 + 1e-9,
+                "seed {seed:#x}: ρ={}",
+                m.utilization
+            );
+        }
+    });
+}
+
+#[test]
+fn flow_conservation_holds() {
+    for_each_topology(|seed, topo| {
         // All generated selectivities are identity, so Proposition 3.5
         // applies exactly.
-        let report = steady_state(&topo);
+        let report = steady_state(topo);
         let diff = (report.sink_departure_total.items_per_sec()
             - report.throughput.items_per_sec())
         .abs();
-        prop_assert!(
+        assert!(
             diff <= 1e-6 * report.throughput.items_per_sec().max(1.0),
-            "sinks {} vs source {}",
+            "seed {seed:#x}: sinks {} vs source {}",
             report.sink_departure_total.items_per_sec(),
             report.throughput.items_per_sec()
         );
-    }
+    });
+}
 
-    #[test]
-    fn visit_count_is_quadratically_bounded(topo in arb_topology()) {
-        let report = steady_state(&topo);
+#[test]
+fn visit_count_is_quadratically_bounded() {
+    for_each_topology(|seed, topo| {
+        let report = steady_state(topo);
         let n = topo.num_operators();
-        prop_assert!(report.visits <= n * n + 2 * n);
-    }
+        assert!(
+            report.visits <= n * n + 2 * n,
+            "seed {seed:#x}: {} visits for {n} operators",
+            report.visits
+        );
+    });
+}
 
-    #[test]
-    fn fission_never_hurts_predicted_throughput(topo in arb_topology()) {
-        let before = steady_state(&topo).throughput.items_per_sec();
-        let plan = eliminate_bottlenecks(&topo);
-        prop_assert!(
+#[test]
+fn fission_never_hurts_predicted_throughput() {
+    for_each_topology(|seed, topo| {
+        let before = steady_state(topo).throughput.items_per_sec();
+        let plan = eliminate_bottlenecks(topo);
+        assert!(
             plan.throughput.items_per_sec() >= before * (1.0 - 1e-9),
-            "fission reduced throughput {before} -> {}",
+            "seed {seed:#x}: fission reduced throughput {before} -> {}",
             plan.throughput.items_per_sec()
         );
-    }
+    });
+}
 
-    #[test]
-    fn fission_plan_is_consistent_under_reevaluation(topo in arb_topology()) {
-        let plan = eliminate_bottlenecks(&topo);
-        let eval = evaluate_with_replicas(&topo, &plan.replicas);
+#[test]
+fn fission_plan_is_consistent_under_reevaluation() {
+    for_each_topology(|seed, topo| {
+        let plan = eliminate_bottlenecks(topo);
+        let eval = evaluate_with_replicas(topo, &plan.replicas);
         let a = plan.throughput.items_per_sec();
         let b = eval.throughput.items_per_sec();
-        prop_assert!((a - b).abs() <= 1e-6 * a.max(1.0), "{a} vs {b}");
-    }
+        assert!(
+            (a - b).abs() <= 1e-6 * a.max(1.0),
+            "seed {seed:#x}: {a} vs {b}"
+        );
+    });
+}
 
-    #[test]
-    fn bounded_plans_respect_budget_and_never_beat_unbounded(topo in arb_topology()) {
-        let plan = eliminate_bottlenecks(&topo);
+#[test]
+fn bounded_plans_respect_budget_and_never_beat_unbounded() {
+    for_each_topology(|seed, topo| {
+        let plan = eliminate_bottlenecks(topo);
         let n = topo.num_operators();
         for bound in [n, n + 3, plan.total_replicas()] {
             let degrees = apply_replica_bound(&plan, bound);
-            prop_assert!(degrees.iter().sum::<usize>() <= bound.max(n));
-            prop_assert!(degrees.iter().all(|d| *d >= 1));
-            let bounded = evaluate_with_replicas(&topo, &degrees)
+            assert!(
+                degrees.iter().sum::<usize>() <= bound.max(n),
+                "seed {seed:#x}"
+            );
+            assert!(degrees.iter().all(|d| *d >= 1), "seed {seed:#x}");
+            let bounded = evaluate_with_replicas(topo, &degrees)
                 .throughput
                 .items_per_sec();
-            prop_assert!(
+            assert!(
                 bounded <= plan.throughput.items_per_sec() * (1.0 + 1e-9),
-                "bounded {bounded} beats unbounded {}",
+                "seed {seed:#x}: bounded {bounded} beats unbounded {}",
                 plan.throughput.items_per_sec()
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn stateless_only_topologies_always_reach_ideal(
-        seed in any::<u64>(),
-        v in 2usize..10,
-    ) {
-        // With every operator stateless, fission must remove every
-        // bottleneck: predicted throughput equals the source rate
-        // (pipelines keep the probability algebra trivial).
+#[test]
+fn stateless_only_topologies_always_reach_ideal() {
+    // With every operator stateless, fission must remove every bottleneck:
+    // predicted throughput equals the source rate (pipelines keep the
+    // probability algebra trivial).
+    for case in 0..CASES {
+        let seed = 0x1DEA_0000_0000_0000 | (case.wrapping_mul(0x94D0_49BB) | 1);
+        let mut state = seed;
+        let v = 2 + (next(&mut state) % 8) as usize;
         let mut b = Topology::builder();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        };
         let ids: Vec<OperatorId> = (0..v)
             .map(|i| {
-                let us = 50.0 + (next() % 2_000) as f64;
+                let us = 50.0 + (next(&mut state) % 2_000) as f64;
                 b.add_operator(OperatorSpec::stateless(
                     format!("op{i}"),
                     ServiceTime::from_micros(us),
@@ -180,19 +213,19 @@ proptest! {
         }
         let topo = b.build().unwrap();
         let plan = eliminate_bottlenecks(&topo);
-        prop_assert!(plan.ideal());
-        let source_rate = topo
-            .operator(topo.source())
-            .service_rate()
-            .items_per_sec();
-        prop_assert!(
-            (plan.throughput.items_per_sec() - source_rate).abs()
-                <= 1e-6 * source_rate
+        assert!(plan.ideal(), "seed {seed:#x}");
+        let source_rate = topo.operator(topo.source()).service_rate().items_per_sec();
+        assert!(
+            (plan.throughput.items_per_sec() - source_rate).abs() <= 1e-6 * source_rate,
+            "seed {seed:#x}: {} vs {source_rate}",
+            plan.throughput.items_per_sec()
         );
     }
+}
 
-    #[test]
-    fn fusion_service_time_matches_path_enumeration(topo in arb_topology()) {
+#[test]
+fn fusion_service_time_matches_path_enumeration() {
+    for_each_topology(|seed, topo| {
         // Pick a contiguous suffix sub-graph rooted at some non-source
         // vertex with all inputs outside: use each vertex's full downstream
         // closure when it has a unique entry.
@@ -209,45 +242,46 @@ proptest! {
             }
             // Only valid if every non-front member's inputs are internal.
             let valid = members.iter().all(|m| {
-                *m == front
-                    || topo.predecessors(*m).iter().all(|p| members.contains(p))
+                *m == front || topo.predecessors(*m).iter().all(|p| members.contains(p))
             });
             if !valid {
                 continue;
             }
-            let by_alg = fusion_service_time(&topo, &members, front).as_secs();
-            // Definition 2: weighted path enumeration over exit paths.
-            // Enumerate paths from front to each member that is a sink of
-            // the sub-graph (no internal successors)... equivalently sum
-            // over all paths to every member weighted by path probability
-            // of the member's own service time contribution.
+            let by_alg = fusion_service_time(topo, &members, front).as_secs();
+            // Definition 2: weighted path enumeration — sum over all paths
+            // to every member weighted by path probability of the member's
+            // own service time contribution.
             let mut by_paths = 0.0;
             for m in &members {
-                let paths = enumerate_paths(&topo, front, *m);
+                let paths = enumerate_paths(topo, front, *m);
                 let visit_mass: f64 = paths.iter().map(|p| p.probability).sum();
                 by_paths += visit_mass * topo.operator(*m).service_time.as_secs();
             }
-            prop_assert!(
+            assert!(
                 (by_alg - by_paths).abs() <= 1e-9 * by_alg.max(1e-12),
-                "front {front}: recursive {by_alg} vs paths {by_paths}"
+                "seed {seed:#x}: front {front}: recursive {by_alg} vs paths {by_paths}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn xml_roundtrip_is_lossless(topo in arb_topology()) {
-        let xml = topology_to_xml(&topo, "prop");
+#[test]
+fn xml_roundtrip_is_lossless() {
+    for_each_topology(|seed, topo| {
+        let xml = topology_to_xml(topo, "prop");
         let back = topology_from_xml(&xml).unwrap();
-        prop_assert_eq!(&topo, &back);
-    }
+        assert_eq!(topo, &back, "seed {seed:#x}");
+    });
+}
 
-    #[test]
-    fn stateful_operators_never_get_replicas(topo in arb_topology()) {
-        let plan = eliminate_bottlenecks(&topo);
+#[test]
+fn stateful_operators_never_get_replicas() {
+    for_each_topology(|seed, topo| {
+        let plan = eliminate_bottlenecks(topo);
         for id in topo.operator_ids() {
             if matches!(topo.operator(id).state, StateClass::Stateful) {
-                prop_assert_eq!(plan.replicas[id.0], 1);
+                assert_eq!(plan.replicas[id.0], 1, "seed {seed:#x}: {id}");
             }
         }
-    }
+    });
 }

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of the `criterion` bench API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal measuring harness with the same call signatures:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It times each closure
+//! over a short fixed window and prints mean per-iteration latency — no
+//! statistics, plots, or baseline comparisons.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// The bench harness entry point.
+pub struct Criterion {
+    /// When true (`--test`), run each benchmark once and skip measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Compatibility no-op (upstream configures sampling here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (upstream configures sampling here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        run_one(&full, self.criterion.test_mode, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly over the sampling window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up: also calibrates how many iterations fill the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((MEASURE_WINDOW.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!(
+            "{name:<50} {:>12.3} ns/iter ({} iters)",
+            per_iter * 1e9,
+            b.iters
+        );
+    } else {
+        println!("{name:<50} (no measurement)");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = false;
+        c.bench_function("probe", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            for n in [1u32, 2] {
+                g.bench_with_input(BenchmarkId::new("case", n), &n, |b, x| {
+                    b.iter(|| count += *x)
+                });
+            }
+            g.bench_function("plain", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 4);
+    }
+}

@@ -1,11 +1,10 @@
-/root/repo/target/debug/deps/spinstreams_runtime-606b6e2f99a860e9.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/debug/deps/spinstreams_runtime-606b6e2f99a860e9.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
-/root/repo/target/debug/deps/spinstreams_runtime-606b6e2f99a860e9: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/debug/deps/spinstreams_runtime-606b6e2f99a860e9: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/engine.rs:
 crates/runtime/src/graph.rs:
-crates/runtime/src/sim.rs:
 crates/runtime/src/mailbox.rs:
 crates/runtime/src/meta.rs:
 crates/runtime/src/metrics.rs:
@@ -14,3 +13,5 @@ crates/runtime/src/operators.rs:
 crates/runtime/src/profiler.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/route.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/supervision.rs:

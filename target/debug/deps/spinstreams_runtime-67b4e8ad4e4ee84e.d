@@ -1,13 +1,12 @@
-/root/repo/target/debug/deps/spinstreams_runtime-67b4e8ad4e4ee84e.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/debug/deps/spinstreams_runtime-67b4e8ad4e4ee84e.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
-/root/repo/target/debug/deps/libspinstreams_runtime-67b4e8ad4e4ee84e.rlib: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/debug/deps/libspinstreams_runtime-67b4e8ad4e4ee84e.rlib: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
-/root/repo/target/debug/deps/libspinstreams_runtime-67b4e8ad4e4ee84e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/debug/deps/libspinstreams_runtime-67b4e8ad4e4ee84e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/engine.rs:
 crates/runtime/src/graph.rs:
-crates/runtime/src/sim.rs:
 crates/runtime/src/mailbox.rs:
 crates/runtime/src/meta.rs:
 crates/runtime/src/metrics.rs:
@@ -16,3 +15,5 @@ crates/runtime/src/operators.rs:
 crates/runtime/src/profiler.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/route.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/supervision.rs:

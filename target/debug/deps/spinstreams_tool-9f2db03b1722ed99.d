@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/spinstreams_tool-9f2db03b1722ed99.d: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/debug/deps/spinstreams_tool-9f2db03b1722ed99.d: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
-/root/repo/target/debug/deps/spinstreams_tool-9f2db03b1722ed99: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/debug/deps/spinstreams_tool-9f2db03b1722ed99: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
 crates/tool/src/lib.rs:
+crates/tool/src/chaos.rs:
 crates/tool/src/dot.rs:
 crates/tool/src/format.rs:
 crates/tool/src/harness.rs:

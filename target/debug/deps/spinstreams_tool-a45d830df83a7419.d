@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/spinstreams_tool-a45d830df83a7419.d: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/debug/deps/spinstreams_tool-a45d830df83a7419.d: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
-/root/repo/target/debug/deps/libspinstreams_tool-a45d830df83a7419.rlib: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/debug/deps/libspinstreams_tool-a45d830df83a7419.rlib: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
-/root/repo/target/debug/deps/libspinstreams_tool-a45d830df83a7419.rmeta: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/debug/deps/libspinstreams_tool-a45d830df83a7419.rmeta: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
 crates/tool/src/lib.rs:
+crates/tool/src/chaos.rs:
 crates/tool/src/dot.rs:
 crates/tool/src/format.rs:
 crates/tool/src/harness.rs:

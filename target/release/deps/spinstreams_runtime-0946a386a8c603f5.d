@@ -1,13 +1,12 @@
-/root/repo/target/release/deps/spinstreams_runtime-0946a386a8c603f5.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/release/deps/spinstreams_runtime-0946a386a8c603f5.d: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
-/root/repo/target/release/deps/libspinstreams_runtime-0946a386a8c603f5.rlib: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/release/deps/libspinstreams_runtime-0946a386a8c603f5.rlib: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
-/root/repo/target/release/deps/libspinstreams_runtime-0946a386a8c603f5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/sim.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs
+/root/repo/target/release/deps/libspinstreams_runtime-0946a386a8c603f5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/engine.rs crates/runtime/src/graph.rs crates/runtime/src/mailbox.rs crates/runtime/src/meta.rs crates/runtime/src/metrics.rs crates/runtime/src/operator.rs crates/runtime/src/operators.rs crates/runtime/src/profiler.rs crates/runtime/src/rng.rs crates/runtime/src/route.rs crates/runtime/src/sim.rs crates/runtime/src/supervision.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/engine.rs:
 crates/runtime/src/graph.rs:
-crates/runtime/src/sim.rs:
 crates/runtime/src/mailbox.rs:
 crates/runtime/src/meta.rs:
 crates/runtime/src/metrics.rs:
@@ -16,3 +15,5 @@ crates/runtime/src/operators.rs:
 crates/runtime/src/profiler.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/route.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/supervision.rs:

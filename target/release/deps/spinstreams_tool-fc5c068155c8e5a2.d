@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/spinstreams_tool-fc5c068155c8e5a2.d: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/release/deps/spinstreams_tool-fc5c068155c8e5a2.d: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
-/root/repo/target/release/deps/libspinstreams_tool-fc5c068155c8e5a2.rlib: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/release/deps/libspinstreams_tool-fc5c068155c8e5a2.rlib: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
-/root/repo/target/release/deps/libspinstreams_tool-fc5c068155c8e5a2.rmeta: crates/tool/src/lib.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
+/root/repo/target/release/deps/libspinstreams_tool-fc5c068155c8e5a2.rmeta: crates/tool/src/lib.rs crates/tool/src/chaos.rs crates/tool/src/dot.rs crates/tool/src/format.rs crates/tool/src/harness.rs
 
 crates/tool/src/lib.rs:
+crates/tool/src/chaos.rs:
 crates/tool/src/dot.rs:
 crates/tool/src/format.rs:
 crates/tool/src/harness.rs:

@@ -1,10 +1,11 @@
 //! Algorithm 2 — bottleneck elimination via operator fission, plus the
 //! §3.2 hold-off replication heuristic.
 
-use crate::{key_partitioning, key_partitioning_for_rho, steady_state_with_rates, OperatorMetrics, SteadyStateReport};
-use spinstreams_core::{
-    topological_order, OperatorId, ServiceRate, StateClass, Topology,
+use crate::{
+    key_partitioning, key_partitioning_for_rho, steady_state_with_rates, OperatorMetrics,
+    SteadyStateReport,
 };
+use spinstreams_core::{topological_order, OperatorId, ServiceRate, StateClass, Topology};
 
 /// Numerical slack on the `ρ > 1` bottleneck test (see Algorithm 1).
 const RHO_EPSILON: f64 = 1e-9;
@@ -149,8 +150,8 @@ pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
                         // replicas: keep only the useful ones (the degree
                         // the heaviest share permits) and propagate the
                         // residual backpressure to the source.
-                        let useful = ((1.0 / assign.max_fraction).ceil() as usize)
-                            .clamp(1, assign.replicas);
+                        let useful =
+                            ((1.0 / assign.max_fraction).ceil() as usize).clamp(1, assign.replicas);
                         replicas[i] = useful;
                         residual_mark[i] = true;
                         delta_src /= rho_par;
@@ -433,9 +434,7 @@ mod tests {
         ]);
         let plan = eliminate_bottlenecks(&t);
         let eval = evaluate_with_replicas(&t, &plan.replicas);
-        assert!(
-            (eval.throughput.items_per_sec() - plan.throughput.items_per_sec()).abs() < 1e-9
-        );
+        assert!((eval.throughput.items_per_sec() - plan.throughput.items_per_sec()).abs() < 1e-9);
         assert_eq!(eval.metric(OperatorId(1)).replicas, 4);
     }
 

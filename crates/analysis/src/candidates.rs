@@ -65,10 +65,8 @@ pub fn fusion_candidates(topo: &Topology, utilization_threshold: f64) -> Vec<Fus
                     if report.metric(succ).utilization > utilization_threshold {
                         continue;
                     }
-                    let all_inputs_internal = topo
-                        .predecessors(succ)
-                        .iter()
-                        .all(|p| members.contains(p));
+                    let all_inputs_internal =
+                        topo.predecessors(succ).iter().all(|p| members.contains(p));
                     if all_inputs_internal {
                         members.insert(succ);
                         grew = true;

@@ -276,9 +276,7 @@ pub fn fuse(topo: &Topology, members: &BTreeSet<OperatorId>) -> Result<FusionOut
         .iter()
         .filter(|e| members.contains(&e.from) && !members.contains(&e.to))
         .map(|e| {
-            weights[e.from.0]
-                * topo.operator(e.from).selectivity.rate_factor()
-                * e.probability
+            weights[e.from.0] * topo.operator(e.from).selectivity.rate_factor() * e.probability
         })
         .sum();
     if total_exit > 0.0 && (total_exit - 1.0).abs() > 1e-9 {
@@ -303,10 +301,9 @@ pub fn fuse(topo: &Topology, members: &BTreeSet<OperatorId>) -> Result<FusionOut
         } else {
             // member -> external: probability is this edge's share of the
             // total exit flow.
-            let share = weights[e.from.0]
-                * topo.operator(e.from).selectivity.rate_factor()
-                * e.probability
-                / total_exit;
+            let share =
+                weights[e.from.0] * topo.operator(e.from).selectivity.rate_factor() * e.probability
+                    / total_exit;
             (fused_idx, new_index[e.to.0], share)
         };
         if let Some(slot) = merged.iter_mut().find(|(a, b, _)| *a == nf && *b == nt) {
@@ -391,7 +388,9 @@ mod tests {
     }
 
     fn members_345() -> BTreeSet<OperatorId> {
-        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect()
+        [OperatorId(2), OperatorId(3), OperatorId(4)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -595,9 +594,7 @@ mod tests {
         // T(F) = 1 + 0.5*4 = 3 ms, and F's output selectivity is 0.5.
         let mut b = Topology::builder();
         let s = b.add_operator(op("src", 10.0));
-        let f = b.add_operator(
-            op("filter", 1.0).with_selectivity(Selectivity::output(0.5)),
-        );
+        let f = b.add_operator(op("filter", 1.0).with_selectivity(Selectivity::output(0.5)));
         let m = b.add_operator(op("map", 4.0));
         let k = b.add_operator(op("sink", 0.1));
         b.add_edge(s, f, 1.0).unwrap();
@@ -614,7 +611,10 @@ mod tests {
             .report
             .metric(out.topology.operator_by_name("sink").unwrap())
             .arrival;
-        assert!((sink_arrival - 50.0).abs() < 1e-9, "sink lambda = {sink_arrival}");
+        assert!(
+            (sink_arrival - 50.0).abs() < 1e-9,
+            "sink lambda = {sink_arrival}"
+        );
     }
 
     #[test]
@@ -622,9 +622,7 @@ mod tests {
         // src -> flatmap(x3, 1 ms) -> map (2 ms): T(F) = 1 + 3*2 = 7 ms.
         let mut b = Topology::builder();
         let s = b.add_operator(op("src", 10.0));
-        let fm = b.add_operator(
-            op("flat", 1.0).with_selectivity(Selectivity::output(3.0)),
-        );
+        let fm = b.add_operator(op("flat", 1.0).with_selectivity(Selectivity::output(3.0)));
         let m = b.add_operator(op("map", 2.0));
         b.add_edge(s, fm, 1.0).unwrap();
         b.add_edge(fm, m, 1.0).unwrap();

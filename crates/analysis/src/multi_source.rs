@@ -8,9 +8,7 @@
 //! probability proportional to its generation rate, so every real source
 //! still ingests items at its own rate at steady state.
 
-use spinstreams_core::{
-    Edge, OperatorId, OperatorSpec, ServiceRate, Topology, TopologyError,
-};
+use spinstreams_core::{Edge, OperatorId, OperatorSpec, ServiceRate, Topology, TopologyError};
 
 /// An unvalidated multi-source application description: operators plus
 /// edges, where *several* vertices may lack input edges (the real sources).

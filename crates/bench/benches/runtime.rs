@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spinstreams_core::Tuple;
 use spinstreams_runtime::operators::PassThrough;
 use spinstreams_runtime::{
-    channel, simulate, ActorGraph, Behavior, Envelope, MetaDest, MetaOperator, MetaRoute,
-    Outputs, Route, SimConfig, SourceConfig, StreamOperator,
+    channel, simulate, ActorGraph, Behavior, Envelope, MetaDest, MetaOperator, MetaRoute, Outputs,
+    Route, SimConfig, SourceConfig, StreamOperator,
 };
 use std::hint::black_box;
 use std::time::Duration;
@@ -87,5 +87,10 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mailbox, bench_meta_operator, bench_simulation);
+criterion_group!(
+    benches,
+    bench_mailbox,
+    bench_meta_operator,
+    bench_simulation
+);
 criterion_main!(benches);

@@ -12,9 +12,7 @@
 //! `cargo run --release -p spinstreams-bench --bin ablation_distributions`
 
 use spinstreams_runtime::operators::{PassThrough, RandomWork, ServiceDistribution};
-use spinstreams_runtime::{
-    simulate, ActorGraph, Behavior, Route, SimConfig, SourceConfig,
-};
+use spinstreams_runtime::{simulate, ActorGraph, Behavior, Route, SimConfig, SourceConfig};
 
 fn run(dist: ServiceDistribution, capacity: usize, items: u64) -> f64 {
     // src 10k/s -> 200 µs stage -> 400 µs bottleneck -> 50 µs sink.
@@ -50,9 +48,7 @@ fn main() {
     // Fluid-model prediction: the 400 µs stage caps throughput at 2500/s.
     let predicted = 2_500.0;
     let items = 50_000;
-    println!(
-        "Ablation: service-time distributions (fluid model predicts {predicted} items/s)\n"
-    );
+    println!("Ablation: service-time distributions (fluid model predicts {predicted} items/s)\n");
     println!(
         "{:<16} {:>10} {:>12} {:>10}",
         "distribution", "capacity", "measured", "error"

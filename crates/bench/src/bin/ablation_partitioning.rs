@@ -15,7 +15,9 @@
 //!
 //! `cargo run --release -p spinstreams-bench --bin ablation_partitioning`
 
-use spinstreams_analysis::{consistent_hash_partitioning, key_partitioning, key_partitioning_for_rho};
+use spinstreams_analysis::{
+    consistent_hash_partitioning, key_partitioning, key_partitioning_for_rho,
+};
 use spinstreams_core::KeyDistribution;
 
 fn contiguous_pmax(keys: &KeyDistribution, n: usize) -> f64 {
@@ -33,9 +35,7 @@ fn contiguous_pmax(keys: &KeyDistribution, n: usize) -> f64 {
 fn main() {
     let rho: f64 = 6.0;
     let keys_count = 96;
-    println!(
-        "Ablation: key partitioning strategies (|K| = {keys_count}, demanded ρ = {rho})\n"
-    );
+    println!("Ablation: key partitioning strategies (|K| = {keys_count}, demanded ρ = {rho})\n");
     println!(
         "{:<12} {:>14} {:>14} {:>14} {:>14} {:>16}",
         "key skew α", "contiguous", "consist.hash", "LPT@⌈ρ⌉", "LPT+search", "search replicas"

@@ -2,8 +2,14 @@ use spinstreams_bench::*;
 use spinstreams_tool::comparison_table;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1003);
-    let secs: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1003);
+    let secs: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
     let cfg = ExperimentConfig {
         topologies: 1,
         seed_base: seed,

@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .operator(entry.calibrated.source())
             .service_rate()
             .items_per_sec();
-        let ideal = plan.ideal()
-            && (cmp.predicted_throughput - source_rate).abs() / source_rate < 1e-6;
+        let ideal =
+            plan.ideal() && (cmp.predicted_throughput - source_rate).abs() / source_rate < 1e-6;
         if ideal {
             ideal_count += 1;
         }
@@ -90,9 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}/{} topologies reach the ideal throughput after parallelization \
          (paper: 43/50); {} capped by non-fissionable bottlenecks (paper: 7/50)",
-        ideal_count,
-        cfg.topologies,
-        residual_count
+        ideal_count, cfg.topologies, residual_count
     );
     println!(
         "mean relative error on parallelized topologies: {:.2}% (paper: 3-3.5%)",

@@ -49,7 +49,15 @@ fn print_table(title: &str, topo: &Topology, measured_throughput: f64) {
         .operator_ids()
         .map(|id| topo.operator(id).name.clone())
         .collect();
-    println!("{:<24} {}", "operator", names.iter().map(|n| format!("{n:>8}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "{:<24} {}",
+        "operator",
+        names
+            .iter()
+            .map(|n| format!("{n:>8}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     println!(
         "{}",
         row(
@@ -67,7 +75,11 @@ fn print_table(title: &str, topo: &Topology, measured_throughput: f64) {
             &report
                 .metrics
                 .iter()
-                .map(|m| if m.departure > 0.0 { 1000.0 / m.departure } else { f64::NAN })
+                .map(|m| if m.departure > 0.0 {
+                    1000.0 / m.departure
+                } else {
+                    f64::NAN
+                })
                 .collect::<Vec<_>>()
         )
     );
@@ -75,7 +87,11 @@ fn print_table(title: &str, topo: &Topology, measured_throughput: f64) {
         "{}",
         row(
             "ρ",
-            &report.metrics.iter().map(|m| m.utilization).collect::<Vec<_>>()
+            &report
+                .metrics
+                .iter()
+                .map(|m| m.utilization)
+                .collect::<Vec<_>>()
         )
     );
     println!(
@@ -92,8 +108,9 @@ fn case(title: &str, times_ms: [f64; 6], expect_feasible: bool) {
     let topo = figure11(times_ms);
     let executor = experiment_executor(0xF11);
 
-    let members: BTreeSet<OperatorId> =
-        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect();
+    let members: BTreeSet<OperatorId> = [OperatorId(2), OperatorId(3), OperatorId(4)]
+        .into_iter()
+        .collect();
     let outcome = fuse(&topo, &members).expect("sub-graph satisfies the fusion constraints");
 
     let original = predict_vs_measure(&topo, None, &[], &[], 40_000, &executor)
@@ -115,7 +132,11 @@ fn case(title: &str, times_ms: [f64; 6], expect_feasible: bool) {
     println!(
         "fused service time T(F) = {:.2} ms (paper: {})",
         outcome.fused_service_time.as_millis(),
-        if expect_feasible { "2.80 ms" } else { "4.42 ms" }
+        if expect_feasible {
+            "2.80 ms"
+        } else {
+            "4.42 ms"
+        }
     );
     println!(
         "verdict: {}\n",
@@ -129,7 +150,11 @@ fn case(title: &str, times_ms: [f64; 6], expect_feasible: bool) {
             )
         }
     );
-    assert_eq!(outcome.is_feasible(), expect_feasible, "verdict must match the paper");
+    assert_eq!(
+        outcome.is_feasible(),
+        expect_feasible,
+        "verdict must match the paper"
+    );
 }
 
 fn main() {

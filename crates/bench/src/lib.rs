@@ -110,10 +110,7 @@ pub fn build_testbed(cfg: &ExperimentConfig) -> Result<Vec<TestbedEntry>, Harnes
         let generated = generate(seed, &cfg.topogen);
         let executor = experiment_executor(seed ^ 0xCA11);
         let prelim = spinstreams_analysis::steady_state(&generated.topology);
-        let items = items_for_duration(
-            prelim.throughput.items_per_sec(),
-            cfg.calibration_secs,
-        );
+        let items = items_for_duration(prelim.throughput.items_per_sec(), cfg.calibration_secs);
         let calibrated = calibrate(
             &generated.topology,
             Some(&generated.source_keys),
@@ -169,9 +166,7 @@ pub fn measure_entry(
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = format!("results/{name}.csv");
     let body = format!("{header}\n{}\n", rows.join("\n"));
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|_| std::fs::write(&path, body))
-    {
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|_| std::fs::write(&path, body)) {
         eprintln!("warning: could not write {path}: {e}");
     } else {
         println!("(wrote {path})");

@@ -97,10 +97,7 @@ pub struct GeneratedPlan {
     pub num_actors: usize,
 }
 
-fn instantiate(
-    topo: &Topology,
-    id: OperatorId,
-) -> Result<Box<dyn StreamOperator>, CodegenError> {
+fn instantiate(topo: &Topology, id: OperatorId) -> Result<Box<dyn StreamOperator>, CodegenError> {
     let spec = topo.operator(id);
     let kind: OperatorKind = spec.kind.parse().map_err(|_| CodegenError::UnknownKind {
         operator: id,
@@ -207,11 +204,8 @@ pub fn build_actor_graph(
     for id in topo.operator_ids() {
         let spec = topo.operator(id);
         if id == topo.source() {
-            let mut cfg = SourceConfig::new(
-                spec.service_rate().items_per_sec(),
-                opts.items,
-            )
-            .with_seed(opts.seed);
+            let mut cfg = SourceConfig::new(spec.service_rate().items_per_sec(), opts.items)
+                .with_seed(opts.seed);
             if let Some(keys) = &source_keys {
                 cfg = cfg.with_keys(keys.clone());
             }
@@ -417,9 +411,17 @@ mod tests {
     #[test]
     fn plain_topology_builds_one_actor_per_operator() {
         let t = small_topology();
-        let plan =
-            build_actor_graph(&t, None, &[], &[], &CodegenOptions { items: 500, seed: 1 })
-                .unwrap();
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[],
+            &[],
+            &CodegenOptions {
+                items: 500,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(plan.num_actors, 4);
         let report = run(plan.graph, &engine()).unwrap();
         // Filter halves the stream.
@@ -436,7 +438,10 @@ mod tests {
             None,
             &[1, 3, 1, 1],
             &[],
-            &CodegenOptions { items: 600, seed: 2 },
+            &CodegenOptions {
+                items: 600,
+                seed: 2,
+            },
         )
         .unwrap();
         // 4 logical - 1 replicated = 3 plain actors + 3 replicas + 2 aux.
@@ -462,7 +467,10 @@ mod tests {
         );
         b.add_edge(s, a, 1.0).unwrap();
         let t = b.build().unwrap();
-        let opts = CodegenOptions { items: 800, seed: 3 };
+        let opts = CodegenOptions {
+            items: 800,
+            seed: 3,
+        };
         let plan = build_actor_graph(&t, Some(keys), &[1, 2], &[], &opts).unwrap();
         let report = run(plan.graph, &engine()).unwrap();
         // Both replicas together consumed everything.
@@ -485,7 +493,10 @@ mod tests {
             None,
             &[],
             &[group],
-            &CodegenOptions { items: 400, seed: 4 },
+            &CodegenOptions {
+                items: 400,
+                seed: 4,
+            },
         )
         .unwrap();
         assert_eq!(plan.num_actors, 3); // source, meta, sink
@@ -509,7 +520,10 @@ mod tests {
         b.add_edge(a, c, 1.0).unwrap();
         b.add_edge(c, k, 1.0).unwrap();
         let t = b.build().unwrap();
-        let opts = CodegenOptions { items: 300, seed: 5 };
+        let opts = CodegenOptions {
+            items: 300,
+            seed: 5,
+        };
 
         let plain = build_actor_graph(&t, None, &[], &[], &opts).unwrap();
         let r1 = run(plain.graph, &engine()).unwrap();
@@ -603,7 +617,10 @@ mod tests {
             None,
             &[1, 2, 1, 1],
             &[],
-            &CodegenOptions { items: 4000, seed: 6 },
+            &CodegenOptions {
+                items: 4000,
+                seed: 6,
+            },
         )
         .unwrap();
         let report = run(plan.graph, &engine()).unwrap();

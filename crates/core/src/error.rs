@@ -147,18 +147,12 @@ mod tests {
                 },
                 "exactly one source",
             ),
-            (
-                TopologyError::SourceCount { sources: vec![] },
-                "no source",
-            ),
+            (TopologyError::SourceCount { sources: vec![] }, "no source"),
             (
                 TopologyError::Unreachable { vertices: vec![5] },
                 "reachable",
             ),
-            (
-                TopologyError::ProbabilitySum { index: 2, sum: 0.8 },
-                "0.8",
-            ),
+            (TopologyError::ProbabilitySum { index: 2, sum: 0.8 }, "0.8"),
             (
                 TopologyError::InvalidOperator {
                     index: 1,

@@ -1,6 +1,5 @@
 //! The item (tuple) data model shared by the runtime and operator library.
 
-
 /// Number of numeric attributes carried by every [`Tuple`].
 ///
 /// The evaluation operators (§5.1) work on "tuples representing records of

@@ -1,6 +1,5 @@
 //! Key-frequency distributions for partitioned-stateful operators.
 
-
 /// The frequency distribution of partitioning keys of a partitioned-stateful
 /// operator (§3.2).
 ///

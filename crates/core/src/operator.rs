@@ -113,10 +113,7 @@ impl Selectivity {
     ///
     /// Panics if `s` is not finite and non-negative.
     pub fn output(s: f64) -> Self {
-        assert!(
-            s.is_finite() && s >= 0.0,
-            "output selectivity must be >= 0"
-        );
+        assert!(s.is_finite() && s >= 0.0, "output selectivity must be >= 0");
         Selectivity {
             input: 1.0,
             output: s,

@@ -101,9 +101,7 @@ pub fn is_topological_order(topo: &Topology, order: &[OperatorId]) -> bool {
         }
         pos[id.0] = i;
     }
-    topo.edges()
-        .iter()
-        .all(|e| pos[e.from.0] < pos[e.to.0])
+    topo.edges().iter().all(|e| pos[e.from.0] < pos[e.to.0])
 }
 
 #[cfg(test)]
@@ -117,7 +115,9 @@ mod tests {
 
     fn chain(len: usize) -> Topology {
         let mut b = Topology::builder();
-        let ids: Vec<_> = (0..len).map(|i| b.add_operator(op(&format!("op{i}")))).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.add_operator(op(&format!("op{i}"))))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1], 1.0).unwrap();
         }
@@ -186,18 +186,12 @@ mod tests {
         let t = chain(3);
         let ids: Vec<_> = (0..3).map(OperatorId).collect();
         // reversed
-        assert!(!is_topological_order(
-            &t,
-            &[ids[2], ids[1], ids[0]]
-        ));
+        assert!(!is_topological_order(&t, &[ids[2], ids[1], ids[0]]));
         // wrong length
         assert!(!is_topological_order(&t, &[ids[0], ids[1]]));
         // duplicates
         assert!(!is_topological_order(&t, &[ids[0], ids[0], ids[1]]));
         // out of range
-        assert!(!is_topological_order(
-            &t,
-            &[ids[0], ids[1], OperatorId(7)]
-        ));
+        assert!(!is_topological_order(&t, &[ids[0], ids[1], OperatorId(7)]));
     }
 }

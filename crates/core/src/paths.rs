@@ -182,9 +182,7 @@ mod tests {
         // source -> filter (output selectivity 0.5) -> sink
         let mut b = Topology::builder();
         let s = b.add_operator(op("s"));
-        let f = b.add_operator(
-            op("filter").with_selectivity(Selectivity::output(0.5)),
-        );
+        let f = b.add_operator(op("filter").with_selectivity(Selectivity::output(0.5)));
         let k = b.add_operator(op("k"));
         b.add_edge(s, f, 1.0).unwrap();
         b.add_edge(f, k, 1.0).unwrap();

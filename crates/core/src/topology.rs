@@ -199,10 +199,7 @@ impl Topology {
 
     /// Reconstructs and re-validates a topology from raw parts, e.g. after
     /// deserialization.
-    pub fn from_parts(
-        ops: Vec<OperatorSpec>,
-        edges: Vec<Edge>,
-    ) -> Result<Topology, TopologyError> {
+    pub fn from_parts(ops: Vec<OperatorSpec>, edges: Vec<Edge>) -> Result<Topology, TopologyError> {
         let mut b = TopologyBuilder {
             ops,
             ..Default::default()
@@ -435,7 +432,7 @@ impl TopologyBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ServiceTime, Selectivity};
+    use crate::{Selectivity, ServiceTime};
 
     fn op(name: &str) -> OperatorSpec {
         OperatorSpec::stateless(name, ServiceTime::from_millis(1.0))
@@ -477,7 +474,10 @@ mod tests {
 
     #[test]
     fn empty_topology_rejected() {
-        assert_eq!(Topology::builder().build().unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            Topology::builder().build().unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]

@@ -241,7 +241,11 @@ mod tests {
 
     #[test]
     fn aggregation_functions_are_correct() {
-        let w: Vec<Tuple> = [1.0, 3.0, 2.0].iter().enumerate().map(|(i, v)| t(*v, i as u64)).collect();
+        let w: Vec<Tuple> = [1.0, 3.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| t(*v, i as u64))
+            .collect();
         assert_eq!(Aggregation::Sum.apply(&w), 6.0);
         assert_eq!(Aggregation::Max.apply(&w), 3.0);
         assert_eq!(Aggregation::Min.apply(&w), 1.0);
@@ -360,6 +364,9 @@ mod tests {
             WindowedAggregate::global(Aggregation::Max, 2, 1, 0).name(),
             "global-max"
         );
-        assert_eq!(WindowedQuantile::keyed(0.5, 2, 1, 0).name(), "keyed-quantile");
+        assert_eq!(
+            WindowedQuantile::keyed(0.5, 2, 1, 0).name(),
+            "keyed-quantile"
+        );
     }
 }

@@ -94,7 +94,13 @@ impl StreamOperator for BandJoin {
 /// sides to carry the same key, and each key's windows live wholly on one
 /// replica.
 pub struct EquiJoin {
-    windows: std::collections::HashMap<u64, (std::collections::VecDeque<Tuple>, std::collections::VecDeque<Tuple>)>,
+    windows: std::collections::HashMap<
+        u64,
+        (
+            std::collections::VecDeque<Tuple>,
+            std::collections::VecDeque<Tuple>,
+        ),
+    >,
     length: usize,
     extra_work_ns: u64,
 }
@@ -125,7 +131,11 @@ impl StreamOperator for EquiJoin {
             .windows
             .entry(item.key)
             .or_insert_with(|| (Default::default(), Default::default()));
-        let (own, opposite) = if is_left { (left, right) } else { (right, left) };
+        let (own, opposite) = if is_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
         // Latest-match (enrichment) semantics: join the arriving item with
         // the most recent same-key item of the opposite side. Emitting one
         // output per probe keeps the selectivity ≤ 1 and the output stream

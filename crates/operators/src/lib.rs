@@ -31,9 +31,7 @@ mod stateful;
 mod stateless;
 mod window;
 
-pub use aggregates::{
-    Aggregation, WindowedAggregate, WindowedQuantile,
-};
+pub use aggregates::{Aggregation, WindowedAggregate, WindowedQuantile};
 pub use join::{BandJoin, EquiJoin};
 pub use registry::{build_operator, OperatorKind, OperatorParams};
 pub use spatial::{Skyline, TopK};

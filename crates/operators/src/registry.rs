@@ -184,10 +184,8 @@ impl OperatorKind {
             Filter => Selectivity::output(params.threshold),
             Sampler => Selectivity::output(params.probability),
             FlatMap => Selectivity::output(params.fanout as f64),
-            KeyedSum | KeyedMax | KeyedMin | KeyedWma | KeyedStdDev | KeyedQuantile
-            | GlobalSum | GlobalWma | Skyline | TopK | DistinctCount => {
-                Selectivity::input(params.slide as f64)
-            }
+            KeyedSum | KeyedMax | KeyedMin | KeyedWma | KeyedStdDev | KeyedQuantile | GlobalSum
+            | GlobalWma | Skyline | TopK | DistinctCount => Selectivity::input(params.slide as f64),
             _ => Selectivity::ONE,
         }
     }
@@ -346,9 +344,9 @@ pub fn build_operator(kind: OperatorKind, params: &OperatorParams) -> Box<dyn St
         KeyedStdDev => Box::new(
             WindowedAggregate::keyed(Aggregation::StdDev, p.window, p.slide, p.work_ns).eager(),
         ),
-        KeyedQuantile => Box::new(
-            WindowedQuantile::keyed(p.quantile, p.window, p.slide, p.work_ns).eager(),
-        ),
+        KeyedQuantile => {
+            Box::new(WindowedQuantile::keyed(p.quantile, p.window, p.slide, p.work_ns).eager())
+        }
         GlobalSum => Box::new(
             WindowedAggregate::global(Aggregation::Sum, p.window, p.slide, p.work_ns).eager(),
         ),
@@ -362,9 +360,7 @@ pub fn build_operator(kind: OperatorKind, params: &OperatorParams) -> Box<dyn St
             .eager(),
         ),
         Skyline => Box::new(crate::Skyline::new(p.window, p.slide, p.work_ns).eager()),
-        TopK => Box::new(
-            crate::TopK::new(p.k.min(p.window), p.window, p.slide, p.work_ns).eager(),
-        ),
+        TopK => Box::new(crate::TopK::new(p.k.min(p.window), p.window, p.slide, p.work_ns).eager()),
         BandJoin => Box::new(crate::BandJoin::new(p.band, p.window, p.work_ns)),
         EquiJoin => Box::new(crate::EquiJoin::new(p.window, p.work_ns)),
         DistinctCount => Box::new(crate::DistinctCount::new(p.window, p.slide, p.work_ns).eager()),
@@ -477,10 +473,7 @@ mod tests {
         for kind in OperatorKind::all() {
             let mut op = build_operator(*kind, &params);
             let prof = profile_operator(op.as_mut(), &inputs, 50);
-            assert!(
-                prof.mean_service_time.as_secs() >= 0.0,
-                "{kind} profiled"
-            );
+            assert!(prof.mean_service_time.as_secs() >= 0.0, "{kind} profiled");
         }
     }
 
@@ -523,7 +516,10 @@ mod tests {
         assert_eq!(p, back);
         // Missing entries fall back to defaults.
         let empty = std::collections::BTreeMap::new();
-        assert_eq!(OperatorParams::from_spec_params(&empty), OperatorParams::default());
+        assert_eq!(
+            OperatorParams::from_spec_params(&empty),
+            OperatorParams::default()
+        );
     }
 
     #[test]

@@ -190,7 +190,7 @@ mod tests {
         let inputs: Vec<Tuple> = (0..10).map(|i| pt(i as f64, (10 - i) as f64)).collect();
         let got = drive(&mut op, &inputs);
         assert_eq!(got.len(), 4); // triggers at 3,5,7,9
-        // Each window of this anti-chain has all 4 points in the skyline.
+                                  // Each window of this anti-chain has all 4 points in the skyline.
         assert!(got.iter().all(|t| t.values[0] == 4.0));
     }
 

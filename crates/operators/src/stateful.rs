@@ -27,7 +27,10 @@ impl DistinctCount {
     ///
     /// Panics if `length` or `slide` is zero.
     pub fn new(length: usize, slide: usize, extra_work_ns: u64) -> Self {
-        assert!(length > 0 && slide > 0, "window parameters must be positive");
+        assert!(
+            length > 0 && slide > 0,
+            "window parameters must be positive"
+        );
         DistinctCount {
             window: VecDeque::with_capacity(length),
             length,
@@ -165,10 +168,7 @@ mod tests {
             t(0, 4, 0.10), // moved
         ];
         let got = drive(&mut op, &inputs);
-        assert_eq!(
-            got.iter().map(|x| x.seq).collect::<Vec<_>>(),
-            vec![0, 2, 4]
-        );
+        assert_eq!(got.iter().map(|x| x.seq).collect::<Vec<_>>(), vec![0, 2, 4]);
     }
 
     #[test]

@@ -137,7 +137,10 @@ impl KeyedWindows {
     ///
     /// Panics if `length` or `slide` is zero.
     pub fn new(length: usize, slide: usize) -> Self {
-        assert!(length > 0 && slide > 0, "window parameters must be positive");
+        assert!(
+            length > 0 && slide > 0,
+            "window parameters must be positive"
+        );
         KeyedWindows {
             windows: HashMap::new(),
             length,

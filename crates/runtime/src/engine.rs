@@ -1,5 +1,6 @@
 //! The execution engine: one thread per actor, bounded BAS mailboxes,
-//! run-to-completion with end-of-stream propagation.
+//! run-to-completion with end-of-stream propagation, and per-actor
+//! supervision of panicking operators (see [`crate::supervision`]).
 
 use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
 use crate::mailbox::{channel, Envelope, RecvResult, SendOutcome, Sender};
@@ -7,10 +8,17 @@ use crate::metrics::{ActorMetrics, RunReport};
 use crate::operator::Outputs;
 use crate::rng::XorShift64;
 use crate::route::{Route, RouteState};
+use crate::supervision::{
+    DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory, SupervisionPolicy,
+    SupervisorSpec,
+};
 use crate::ActorId;
 use spinstreams_core::{Tuple, TUPLE_ARITY};
+use std::any::Any;
+use std::cell::Cell;
 use std::fmt;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, Once, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -25,6 +33,9 @@ pub struct EngineConfig {
     pub send_timeout: Duration,
     /// Base RNG seed; actor `i` uses `seed + i` so runs are reproducible.
     pub seed: u64,
+    /// Number of individual [`DeadLetter`] entries retained in the run
+    /// report's log; totals stay exact past the cap.
+    pub dead_letter_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +44,7 @@ impl Default for EngineConfig {
             mailbox_capacity: 256,
             send_timeout: Duration::from_secs(5),
             seed: 0xC0FFEE,
+            dead_letter_capacity: 4096,
         }
     }
 }
@@ -69,6 +81,15 @@ pub enum EngineError {
     },
     /// The actor graph contains a cycle; BAS blocking could deadlock.
     Cyclic,
+    /// An actor thread died in a way supervision could not contain (for
+    /// example a panic inside a restart hook). [`run`] reports this
+    /// instead of panicking the caller.
+    ActorFailed {
+        /// The actor whose thread died.
+        actor: ActorId,
+        /// The panic message, as far as it could be extracted.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -86,6 +107,9 @@ impl fmt::Display for EngineError {
                 write!(f, "invalid route on {from}: {reason}")
             }
             EngineError::Cyclic => write!(f, "actor graph contains a cycle"),
+            EngineError::ActorFailed { actor, reason } => {
+                write!(f, "{actor} failed: {reason}")
+            }
         }
     }
 }
@@ -173,6 +197,7 @@ pub(crate) fn validate(actors: &[ActorSpec]) -> Result<(), EngineError> {
 
 /// Shared per-thread context for delivering outputs.
 struct DeliveryCtx {
+    id: ActorId,
     senders: Vec<Option<Sender>>,
     routes: Vec<RouteState>,
     eos_targets: Vec<usize>,
@@ -180,11 +205,28 @@ struct DeliveryCtx {
     metrics: Arc<ActorMetrics>,
     started_at: Instant,
     send_timeout: Duration,
+    dead_letters: Arc<Mutex<DeadLetterLog>>,
 }
 
 impl DeliveryCtx {
     fn now_ns(&self) -> u64 {
         self.started_at.elapsed().as_nanos() as u64
+    }
+
+    /// Records `tuple` as undeliverable.
+    fn dead_letter(&self, destination: Option<ActorId>, reason: DeadLetterReason, tuple: &Tuple) {
+        use std::sync::atomic::Ordering;
+        self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+        self.dead_letters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(DeadLetter {
+                source: self.id,
+                destination,
+                reason,
+                key: tuple.key,
+                seq: tuple.seq,
+            });
     }
 
     /// Delivers everything buffered in `out`.
@@ -199,16 +241,23 @@ impl DeliveryCtx {
                         .expect("validated destination has a mailbox");
                     match sender.send(Envelope::Data(tuple), self.send_timeout) {
                         SendOutcome::Sent => {
-                            self.metrics.record_out(self.started_at.elapsed().as_nanos() as u64);
+                            self.metrics
+                                .record_out(self.started_at.elapsed().as_nanos() as u64);
                         }
                         SendOutcome::SentAfterBlocking(d) => {
                             self.metrics
                                 .blocked_ns
                                 .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-                            self.metrics.record_out(self.started_at.elapsed().as_nanos() as u64);
+                            self.metrics
+                                .record_out(self.started_at.elapsed().as_nanos() as u64);
                         }
-                        SendOutcome::TimedOut | SendOutcome::Disconnected => {
+                        SendOutcome::TimedOut => {
                             self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                            self.dead_letter(Some(dest), DeadLetterReason::SendTimeout, &tuple);
+                        }
+                        SendOutcome::Disconnected => {
+                            self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                            self.dead_letter(Some(dest), DeadLetterReason::Disconnected, &tuple);
                         }
                     }
                 }
@@ -227,9 +276,9 @@ impl DeliveryCtx {
             if let Some(sender) = &self.senders[d] {
                 // EOS must never be dropped: retry until delivered (or the
                 // receiver is gone).
-                while sender.send(Envelope::Eos, Duration::from_secs(3600))
-                    == SendOutcome::TimedOut
-                {}
+                while sender.send(Envelope::Eos, Duration::from_secs(3600)) == SendOutcome::TimedOut
+                {
+                }
             }
         }
         // Release all senders so downstream disconnect detection works.
@@ -284,24 +333,116 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
     ctx.propagate_eos();
 }
 
+thread_local! {
+    /// While true, the process panic hook stays quiet on this thread —
+    /// supervised operator panics are expected and reported through the
+    /// run report, not stderr.
+    static SILENCE_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that defers to the previous
+/// hook except on threads currently running a supervised operator call.
+fn install_panic_silencer() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Runs `f` with panics caught and the panic hook silenced, charging the
+/// elapsed time to the actor's busy counter either way.
+fn guarded_call(metrics: &ActorMetrics, f: impl FnOnce()) -> Result<(), Box<dyn Any + Send>> {
+    use std::sync::atomic::Ordering;
+    let t0 = Instant::now();
+    SILENCE_PANICS.with(|s| s.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SILENCE_PANICS.with(|s| s.set(false));
+    metrics
+        .busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    result
+}
+
+/// The supervised worker loop: every operator invocation runs under
+/// `catch_unwind`; panics are handled per the actor's [`SupervisorSpec`].
 fn run_worker(
     mut op: Box<dyn crate::StreamOperator>,
+    factory: Option<OperatorFactory>,
+    supervision: SupervisorSpec,
     rx: crate::mailbox::Receiver,
     mut eos_left: usize,
     mut ctx: DeliveryCtx,
 ) {
     use std::sync::atomic::Ordering;
     let mut out = Outputs::new();
+    // Degraded mode: the operator is gone; input is forwarded or dropped.
+    let mut stopped = false;
+    let mut restarts_done: u32 = 0;
     loop {
         match rx.recv() {
             RecvResult::Envelope(Envelope::Data(item)) => {
                 ctx.metrics.items_in.fetch_add(1, Ordering::Relaxed);
-                let t0 = Instant::now();
-                op.process(item, &mut out);
-                ctx.metrics
-                    .busy_ns
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                ctx.deliver(&mut out);
+                if stopped {
+                    match supervision.degrade {
+                        DegradePolicy::Forward => {
+                            out.emit_default(item);
+                            ctx.deliver(&mut out);
+                        }
+                        DegradePolicy::Drop => {
+                            ctx.dead_letter(None, DeadLetterReason::StoppedActor, &item);
+                        }
+                    }
+                    continue;
+                }
+                if guarded_call(&ctx.metrics, || op.process(item, &mut out)).is_ok() {
+                    ctx.deliver(&mut out);
+                } else {
+                    // The poisoned invocation may have emitted partial
+                    // output before dying; discard it — the item either
+                    // fully processes or dead-letters.
+                    out.clear();
+                    ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                    ctx.dead_letter(None, DeadLetterReason::OperatorPanic, &item);
+                    match &supervision.policy {
+                        SupervisionPolicy::Resume => {}
+                        SupervisionPolicy::Restart(policy) => {
+                            if restarts_done < policy.max_restarts {
+                                restarts_done += 1;
+                                let delay = policy.backoff.delay(restarts_done, &mut ctx.rng);
+                                if !delay.is_zero() {
+                                    thread::sleep(delay);
+                                    ctx.metrics
+                                        .backoff_ns
+                                        .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                                }
+                                match &factory {
+                                    Some(f) => op = f.build(),
+                                    None => op.reset(),
+                                }
+                                ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                stopped = true;
+                            }
+                        }
+                        SupervisionPolicy::Stop => stopped = true,
+                    }
+                }
             }
             RecvResult::Envelope(Envelope::Eos) => {
                 eos_left = eos_left.saturating_sub(1);
@@ -312,12 +453,14 @@ fn run_worker(
             RecvResult::Disconnected => break,
         }
     }
-    let t0 = Instant::now();
-    op.flush(&mut out);
-    ctx.metrics
-        .busy_ns
-        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    ctx.deliver(&mut out);
+    if !stopped {
+        if guarded_call(&ctx.metrics, || op.flush(&mut out)).is_ok() {
+            ctx.deliver(&mut out);
+        } else {
+            out.clear();
+            ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     ctx.propagate_eos();
 }
 
@@ -328,18 +471,30 @@ fn run_worker(
 /// sources have produced their configured item counts and the end-of-stream
 /// markers have drained through the graph.
 ///
+/// Worker actors are supervised: a panicking operator is caught and
+/// handled per the actor's [`SupervisorSpec`] (resume, restart with
+/// backoff, or stop into degraded mode), and every undelivered item is
+/// recorded in the report's [`DeadLetterLog`]. `run` itself never panics
+/// on operator failure.
+///
 /// # Errors
 ///
-/// Returns an [`EngineError`] if the graph fails validation. A successfully
-/// validated graph always terminates: it is acyclic, and EOS markers
-/// propagate through every mailbox.
+/// Returns an [`EngineError`] if the graph fails validation, or
+/// [`EngineError::ActorFailed`] if an actor thread dies in a way
+/// supervision could not contain. A successfully validated graph always
+/// terminates: it is acyclic, and EOS markers propagate through every
+/// mailbox.
 pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, EngineError> {
     let in_degrees = graph.in_degrees();
     let actors = graph.into_actors();
     validate(&actors)?;
+    install_panic_silencer();
     let n = actors.len();
 
     let metrics: Vec<Arc<ActorMetrics>> = (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
+    let dead_letters = Arc::new(Mutex::new(DeadLetterLog::with_capacity(
+        config.dead_letter_capacity,
+    )));
 
     // One mailbox per non-source actor.
     let mut senders: Vec<Option<Sender>> = Vec::with_capacity(n);
@@ -381,6 +536,7 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
             })
             .collect();
         let ctx = DeliveryCtx {
+            id: ActorId(i),
             senders: my_senders,
             routes: spec.routes.into_iter().map(RouteState::new).collect(),
             eos_targets,
@@ -388,6 +544,7 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
             metrics: Arc::clone(&metrics[i]),
             started_at,
             send_timeout: config.send_timeout,
+            dead_letters: Arc::clone(&dead_letters),
         };
         let rx = receivers[i].take();
         let eos_left = in_degrees[i];
@@ -398,7 +555,7 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
                 Behavior::Source(cfg) => run_source(cfg, ctx),
                 Behavior::Worker(op) => {
                     let rx = rx.expect("worker has a mailbox");
-                    run_worker(op, rx, eos_left, ctx)
+                    run_worker(op, spec.factory, spec.supervision, rx, eos_left, ctx)
                 }
             })
             .expect("spawn actor thread");
@@ -409,19 +566,36 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
     drop(senders);
 
     let mut names = vec![String::new(); n];
+    let mut failure: Option<EngineError> = None;
     for (i, name, handle) in handles {
-        handle.join().expect("actor thread panicked");
+        // Join every thread before returning, even after a failure, so no
+        // actor outlives `run`.
+        if let Err(payload) = handle.join() {
+            if failure.is_none() {
+                failure = Some(EngineError::ActorFailed {
+                    actor: ActorId(i),
+                    reason: panic_message(payload.as_ref()),
+                });
+            }
+        }
         names[i] = name;
+    }
+    if let Some(err) = failure {
+        return Err(err);
     }
     let wall = started_at.elapsed();
 
     let reports = (0..n)
         .map(|i| metrics[i].snapshot(&names[i], ActorId(i)))
         .collect();
+    let dead_letters = Arc::try_unwrap(dead_letters)
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .unwrap_or_else(|arc| arc.lock().unwrap_or_else(PoisonError::into_inner).clone());
     Ok(RunReport {
         actors: reports,
         wall,
         started_at,
+        dead_letters,
     })
 }
 
@@ -436,13 +610,17 @@ mod tests {
             mailbox_capacity: 64,
             send_timeout: Duration::from_secs(5),
             seed: 1,
+            dead_letter_capacity: 4096,
         }
     }
 
     #[test]
     fn source_to_sink_delivers_all_items() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 500)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 500)),
+        );
         let k = g.add_actor("sink", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(k));
         let r = run(g, &fast_cfg()).unwrap();
@@ -454,7 +632,10 @@ mod tests {
     #[test]
     fn pipeline_preserves_order_and_count() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 200)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 200)),
+        );
         let a = g.add_actor("a", Behavior::worker(PassThrough));
         let b = g.add_actor("b", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(a));
@@ -500,7 +681,10 @@ mod tests {
     #[test]
     fn round_robin_splits_evenly() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 300)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
         let a = g.add_actor("r0", Behavior::worker(PassThrough));
         let b = g.add_actor("r1", Behavior::worker(PassThrough));
         let c = g.add_actor("r2", Behavior::worker(PassThrough));
@@ -514,7 +698,10 @@ mod tests {
     #[test]
     fn probabilistic_route_approximates_distribution() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 10_000)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 10_000)),
+        );
         let a = g.add_actor("p3", Behavior::worker(PassThrough));
         let b = g.add_actor("p7", Behavior::worker(PassThrough));
         g.connect(
@@ -557,7 +744,10 @@ mod tests {
         // Two branches converge on one sink; the sink must see items from
         // both before terminating.
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 400)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 400)),
+        );
         let a = g.add_actor("a", Behavior::worker(PassThrough));
         let b = g.add_actor("b", Behavior::worker(Spin::new("b", 50_000)));
         let k = g.add_actor("k", Behavior::worker(PassThrough));
@@ -589,7 +779,10 @@ mod tests {
             }
         }
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 50)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 50)),
+        );
         let h = g.add_actor("hold", Behavior::Worker(Box::new(HoldAll { buf: vec![] })));
         let k = g.add_actor("sink", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(h));
@@ -601,7 +794,10 @@ mod tests {
     #[test]
     fn sink_emissions_counted_without_routes() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 123)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 123)),
+        );
         let k = g.add_actor("sink", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(k));
         let r = run(g, &fast_cfg()).unwrap();
@@ -615,7 +811,10 @@ mod tests {
         // A consumer much slower than the timeout: with a tiny timeout the
         // source drops items instead of waiting (load-shedding mode).
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 64)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 64)),
+        );
         let w = g.add_actor("slow", Behavior::worker(Spin::new("slow", 3_000_000)));
         g.connect(s, Route::Unicast(w));
         g.set_mailbox_capacity(w, 4);
@@ -626,6 +825,13 @@ mod tests {
         let r = run(g, &cfg).unwrap();
         assert!(r.actor(s).dropped > 0, "expected drops under 1 ms timeout");
         assert!(r.actor(w).items_in < 64);
+        // Every drop is structurally accounted as a dead letter.
+        assert_eq!(r.total_dead_letters(), r.actor(s).dropped);
+        assert_eq!(r.dead_letters.total(), r.actor(s).dropped);
+        let first = r.dead_letters.entries()[0];
+        assert_eq!(first.source, s);
+        assert_eq!(first.destination, Some(w));
+        assert_eq!(first.reason, DeadLetterReason::SendTimeout);
     }
 
     #[test]
@@ -681,16 +887,291 @@ mod tests {
         assert_eq!(run(g, &fast_cfg()).unwrap_err(), EngineError::Cyclic);
     }
 
+    /// Panics on items whose `seq` is a multiple of `every` (except 0 when
+    /// `skip_zero`); passes everything else through.
+    struct PanicEvery {
+        every: u64,
+    }
+    impl crate::StreamOperator for PanicEvery {
+        fn process(&mut self, item: Tuple, out: &mut Outputs) {
+            if item.seq.is_multiple_of(self.every) {
+                panic!("injected: seq {}", item.seq);
+            }
+            out.emit_default(item);
+        }
+        fn name(&self) -> &str {
+            "panic-every"
+        }
+    }
+
+    #[test]
+    fn resume_drops_only_poisoned_items() {
+        use crate::supervision::SupervisorSpec;
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 100)),
+        );
+        let w = g.add_actor(
+            "flaky",
+            Behavior::Worker(Box::new(PanicEvery { every: 10 })),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::resume());
+        let r = run(g, &fast_cfg()).unwrap();
+        // seq 0, 10, ..., 90 panic: 10 poisoned items, 90 delivered.
+        assert_eq!(r.actor(w).items_in, 100);
+        assert_eq!(r.actor(w).panics, 10);
+        assert_eq!(r.actor(w).restarts, 0);
+        assert_eq!(r.actor(k).items_in, 90);
+        assert_eq!(r.dead_letters.total(), 10);
+        assert_eq!(
+            r.dead_letters.by_reason(DeadLetterReason::OperatorPanic),
+            10
+        );
+        assert!(r.dead_letters.entries().iter().all(|l| l.source == w));
+    }
+
+    #[test]
+    fn restart_reinstantiates_operator_via_factory() {
+        use crate::supervision::{Backoff, OperatorFactory, SupervisorSpec};
+        // Dies on its 3rd item, every life: without restart (state reset)
+        // it would stop after one failure.
+        struct DiesAtThree {
+            seen: u64,
+        }
+        impl crate::StreamOperator for DiesAtThree {
+            fn process(&mut self, item: Tuple, out: &mut Outputs) {
+                self.seen += 1;
+                if self.seen == 3 {
+                    panic!("third item");
+                }
+                out.emit_default(item);
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 30)),
+        );
+        let w = g.add_actor(
+            "fragile",
+            Behavior::Worker(Box::new(DiesAtThree { seen: 0 })),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(100, Backoff::none()));
+        g.set_restart_factory(
+            w,
+            OperatorFactory::new(|| Box::new(DiesAtThree { seen: 0 })),
+        );
+        let r = run(g, &fast_cfg()).unwrap();
+        // Every life processes 2 items then dies on the 3rd: 30 items =
+        // 10 lives, 10 panics, 10 restarts, 20 delivered.
+        assert_eq!(r.actor(w).panics, 10);
+        assert_eq!(r.actor(w).restarts, 10);
+        assert_eq!(r.actor(k).items_in, 20);
+        assert_eq!(r.dead_letters.total(), 10);
+    }
+
+    #[test]
+    fn restart_without_factory_resets_operator() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        struct DiesAtThree {
+            seen: u64,
+        }
+        impl crate::StreamOperator for DiesAtThree {
+            fn process(&mut self, item: Tuple, out: &mut Outputs) {
+                self.seen += 1;
+                if self.seen == 3 {
+                    panic!("third item");
+                }
+                out.emit_default(item);
+            }
+            fn reset(&mut self) {
+                self.seen = 0;
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 30)),
+        );
+        let w = g.add_actor(
+            "fragile",
+            Behavior::Worker(Box::new(DiesAtThree { seen: 0 })),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(100, Backoff::none()));
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(w).panics, 10);
+        assert_eq!(r.actor(w).restarts, 10);
+        assert_eq!(r.actor(k).items_in, 20);
+    }
+
+    #[test]
+    fn restart_backoff_time_is_recorded() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 20)),
+        );
+        let w = g.add_actor("flaky", Behavior::Worker(Box::new(PanicEvery { every: 5 })));
+        g.connect(s, Route::Unicast(w));
+        g.set_supervision(
+            w,
+            SupervisorSpec::restart(
+                100,
+                Backoff {
+                    initial: Duration::from_millis(2),
+                    max: Duration::from_millis(2),
+                    multiplier: 1.0,
+                    jitter: 0.0,
+                },
+            ),
+        );
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(w).restarts, 4);
+        assert!(
+            r.actor(w).backoff >= Duration::from_millis(8),
+            "backoff {:?}",
+            r.actor(w).backoff
+        );
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_stops_the_actor() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        struct AlwaysPanics;
+        impl crate::StreamOperator for AlwaysPanics {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("always");
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 50)),
+        );
+        let w = g.add_actor("doomed", Behavior::Worker(Box::new(AlwaysPanics)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(2, Backoff::none()));
+        let r = run(g, &fast_cfg()).unwrap();
+        // Items 1-3 panic (2 restarts used, 3rd failure exhausts the
+        // budget); items 4-50 arrive at a stopped actor and drop.
+        assert_eq!(r.actor(w).panics, 3);
+        assert_eq!(r.actor(w).restarts, 2);
+        assert_eq!(r.actor(k).items_in, 0);
+        assert_eq!(r.dead_letters.total(), 50);
+        assert_eq!(r.dead_letters.by_reason(DeadLetterReason::OperatorPanic), 3);
+        assert_eq!(r.dead_letters.by_reason(DeadLetterReason::StoppedActor), 47);
+    }
+
+    #[test]
+    fn stopped_actor_can_degrade_to_forwarding() {
+        use crate::supervision::{DegradePolicy, SupervisorSpec};
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 40)),
+        );
+        // Panics on seq 0, i.e. immediately; Stop + Forward turns the
+        // actor into an identity for the remaining 39 items.
+        let w = g.add_actor(
+            "flaky",
+            Behavior::Worker(Box::new(PanicEvery { every: 64 })),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(
+            w,
+            SupervisorSpec::default().with_degrade(DegradePolicy::Forward),
+        );
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(w).panics, 1);
+        assert_eq!(r.actor(k).items_in, 39);
+        assert_eq!(r.dead_letters.total(), 1);
+    }
+
+    #[test]
+    fn uncontainable_failure_reports_actor_failed() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        // `reset` itself panics: supervision cannot contain that, but
+        // `run` must return an error instead of panicking the caller.
+        struct BrokenReset;
+        impl crate::StreamOperator for BrokenReset {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("process");
+            }
+            fn reset(&mut self) {
+                panic!("reset is broken too");
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 10)),
+        );
+        let w = g.add_actor("broken", Behavior::Worker(Box::new(BrokenReset)));
+        g.connect(s, Route::Unicast(w));
+        g.set_supervision(w, SupervisorSpec::restart(10, Backoff::none()));
+        let err = run(g, &fast_cfg()).unwrap_err();
+        match err {
+            EngineError::ActorFailed { actor, reason } => {
+                assert_eq!(actor, w);
+                assert!(reason.contains("reset is broken"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_policy_stops_and_drops_silently_but_accountably() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 25)),
+        );
+        let w = g.add_actor(
+            "flaky",
+            Behavior::Worker(Box::new(PanicEvery { every: 64 })),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        // No set_supervision call: default is Stop + Drop.
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.actor(w).panics, 1);
+        assert_eq!(r.actor(k).items_in, 0);
+        assert_eq!(r.dead_letters.total(), 25);
+        assert_eq!(r.total_dead_letters(), 25);
+    }
+
     #[test]
     fn closure_operators_transform_items() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 100)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 100)),
+        );
         let double = g.add_actor(
             "double",
-            Behavior::Worker(Box::new(FnOperator::new("double", |t: Tuple, out: &mut Outputs| {
-                out.emit_default(t);
-                out.emit_default(t);
-            }))),
+            Behavior::Worker(Box::new(FnOperator::new(
+                "double",
+                |t: Tuple, out: &mut Outputs| {
+                    out.emit_default(t);
+                    out.emit_default(t);
+                },
+            ))),
         );
         let k = g.add_actor("sink", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(double));

@@ -5,6 +5,7 @@
 //! emitters, collectors, meta-operators), connected by routes. The engine
 //! gives each actor a bounded mailbox and a dedicated thread.
 
+use crate::supervision::{OperatorFactory, SupervisorSpec};
 use crate::{Route, StreamOperator};
 use spinstreams_core::KeyDistribution;
 use std::fmt;
@@ -111,6 +112,11 @@ pub struct ActorSpec {
     pub routes: Vec<Route>,
     /// Mailbox capacity override (`None` = engine default).
     pub mailbox_capacity: Option<usize>,
+    /// Supervision configuration (panic directive + degraded mode).
+    pub supervision: SupervisorSpec,
+    /// Factory re-instantiating the operator on `Restart` (`None` = fall
+    /// back to [`StreamOperator::reset`]).
+    pub factory: Option<OperatorFactory>,
 }
 
 /// A graph of actors ready to execute.
@@ -135,6 +141,8 @@ impl ActorGraph {
             behavior,
             routes: Vec::new(),
             mailbox_capacity: None,
+            supervision: SupervisorSpec::default(),
+            factory: None,
         });
         ActorId(self.actors.len() - 1)
     }
@@ -159,6 +167,50 @@ impl ActorGraph {
     pub fn set_mailbox_capacity(&mut self, actor: ActorId, capacity: usize) {
         assert!(capacity > 0, "mailbox capacity must be positive");
         self.actors[actor.0].mailbox_capacity = Some(capacity);
+    }
+
+    /// Sets the supervision configuration of `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range.
+    pub fn set_supervision(&mut self, actor: ActorId, supervision: SupervisorSpec) {
+        self.actors[actor.0].supervision = supervision;
+    }
+
+    /// Sets the supervision configuration of every worker actor.
+    pub fn set_supervision_all(&mut self, supervision: &SupervisorSpec) {
+        for spec in &mut self.actors {
+            if !spec.behavior.is_source() {
+                spec.supervision = supervision.clone();
+            }
+        }
+    }
+
+    /// Registers a factory producing fresh operator instances for `actor`,
+    /// used by the `Restart` directive instead of
+    /// [`StreamOperator::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range.
+    pub fn set_restart_factory(&mut self, actor: ActorId, factory: OperatorFactory) {
+        self.actors[actor.0].factory = Some(factory);
+    }
+
+    /// Replaces every worker operator with `f(id, operator)` — the hook the
+    /// chaos harness uses to wrap operators in fault injectors without
+    /// rebuilding the graph.
+    pub fn map_workers(
+        &mut self,
+        mut f: impl FnMut(ActorId, Box<dyn StreamOperator>) -> Box<dyn StreamOperator>,
+    ) {
+        for (i, spec) in self.actors.iter_mut().enumerate() {
+            if let Behavior::Worker(op) = &mut spec.behavior {
+                let inner = std::mem::replace(op, Box::new(crate::operators::PassThrough));
+                *op = f(ActorId(i), inner);
+            }
+        }
     }
 
     /// Number of actors.

@@ -39,12 +39,63 @@
 //! let report = spinstreams_runtime::run(g, &EngineConfig::default()).unwrap();
 //! assert_eq!(report.actor(sink).items_in, 1_000);
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! Worker actors are *supervised*, Akka-style. The threaded engine wraps
+//! every operator invocation in `catch_unwind`; a panicking operator never
+//! takes its actor thread — let alone the process — down. The actor's
+//! [`SupervisorSpec`] decides what happens next:
+//!
+//! * [`SupervisionPolicy::Resume`] — drop the poisoned item, keep state;
+//! * [`SupervisionPolicy::Restart`] — re-instantiate the operator (via a
+//!   registered [`OperatorFactory`], or [`StreamOperator::reset`]), with a
+//!   restart budget and exponential [`Backoff`] with jitter;
+//! * [`SupervisionPolicy::Stop`] (the default) — stop the operator and
+//!   degrade: forward input as an identity or drop it, per
+//!   [`DegradePolicy`].
+//!
+//! Every item the runtime fails to deliver — send-timeout drops, routes
+//! into disconnected actors, items consumed by panics, items arriving at
+//! stopped actors — is recorded in the report's [`DeadLetterLog`] with its
+//! source, destination and reason, and counted per actor
+//! ([`ActorReport::panics`], [`ActorReport::restarts`],
+//! [`ActorReport::backoff`], [`ActorReport::dead_letters`]). Chaos
+//! experiments drive all of this with the seeded
+//! [`operators::FaultInjector`] wrapper.
+//!
+//! ```
+//! use spinstreams_runtime::supervision::SupervisorSpec;
+//! use spinstreams_runtime::{ActorGraph, Behavior, EngineConfig, Route, SourceConfig};
+//! use spinstreams_runtime::operators::{PassThrough, FaultInjector, FaultConfig};
+//!
+//! // source -> flaky worker -> sink; the worker panics on ~10% of items.
+//! let mut g = ActorGraph::new();
+//! let src = g.add_actor("src", Behavior::Source(SourceConfig::new(f64::INFINITY, 500)));
+//! let flaky = g.add_actor(
+//!     "flaky",
+//!     Behavior::Worker(Box::new(FaultInjector::new(
+//!         PassThrough,
+//!         FaultConfig::panics(0.1, 42),
+//!     ))),
+//! );
+//! let sink = g.add_actor("sink", Behavior::worker(PassThrough));
+//! g.connect(src, Route::Unicast(flaky));
+//! g.connect(flaky, Route::Unicast(sink));
+//! g.set_supervision(flaky, SupervisorSpec::resume());
+//!
+//! let report = spinstreams_runtime::run(g, &EngineConfig::default()).unwrap();
+//! let panics = report.actor(flaky).panics;
+//! assert!(panics > 0, "the injector fires with p=0.1 over 500 items");
+//! // Poisoned items become dead letters; the rest reach the sink.
+//! assert_eq!(report.dead_letters.total(), panics);
+//! assert_eq!(report.actor(sink).items_in, 500 - panics);
+//! ```
 
 #![warn(missing_docs)]
 
 mod engine;
 mod graph;
-mod sim;
 mod mailbox;
 mod meta;
 mod metrics;
@@ -53,14 +104,20 @@ pub mod operators;
 mod profiler;
 mod rng;
 mod route;
+mod sim;
+pub mod supervision;
 
 pub use engine::{run, EngineConfig, EngineError};
-pub use sim::{execute, simulate, Executor, SimConfig};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
-pub use mailbox::{channel, Envelope, RecvResult, SendOutcome, Sender, Receiver};
+pub use mailbox::{channel, Envelope, Receiver, RecvResult, SendOutcome, Sender};
 pub use meta::{MetaDest, MetaOperator, MetaRoute};
 pub use metrics::{ActorReport, RunReport};
 pub use operator::{Outputs, StreamOperator, DEFAULT_PORT};
 pub use profiler::{profile_operator, sample_stream, ProfileResult};
 pub use rng::XorShift64;
 pub use route::Route;
+pub use sim::{execute, simulate, Executor, SimConfig};
+pub use supervision::{
+    Backoff, DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory,
+    RestartPolicy, SupervisionPolicy, SupervisorSpec,
+};

@@ -147,6 +147,16 @@ impl StreamOperator for MetaOperator {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn reset(&mut self) {
+        // A restart of the fused actor restarts every member: partial
+        // state surviving in some members would break the sub-graph's
+        // semantic equivalence with its unfused form.
+        for m in &mut self.members {
+            m.reset();
+        }
+        self.scratch.clear();
+    }
 }
 
 #[cfg(test)]
@@ -155,9 +165,12 @@ mod tests {
     use crate::operators::{FnOperator, PassThrough};
 
     fn add_op(delta: f64) -> Box<dyn StreamOperator> {
-        Box::new(FnOperator::new("add", move |t: Tuple, out: &mut Outputs| {
-            out.emit_default(t.with_value(0, t.values[0] + delta));
-        }))
+        Box::new(FnOperator::new(
+            "add",
+            move |t: Tuple, out: &mut Outputs| {
+                out.emit_default(t.with_value(0, t.values[0] + delta));
+            },
+        ))
     }
 
     #[test]
@@ -189,10 +202,7 @@ mod tests {
             vec![add_op(0.0), add_op(100.0)],
             vec![
                 vec![MetaRoute::Probabilistic {
-                    choices: vec![
-                        (MetaDest::Member(1), 0.3),
-                        (MetaDest::Output(0), 0.7),
-                    ],
+                    choices: vec![(MetaDest::Member(1), 0.3), (MetaDest::Output(0), 0.7)],
                 }],
                 vec![MetaRoute::Unicast(MetaDest::Output(0))],
             ],

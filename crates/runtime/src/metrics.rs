@@ -5,6 +5,7 @@
 //! From those the engine derives the *measured* steady-state departure
 //! rates compared against the cost model in §5.2.
 
+use crate::supervision::DeadLetterLog;
 use crate::ActorId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -21,6 +22,14 @@ pub(crate) struct ActorMetrics {
     /// (`u64::MAX` = never departed).
     pub first_out_ns: AtomicU64,
     pub last_out_ns: AtomicU64,
+    /// Operator invocations that panicked (caught by the supervisor).
+    pub panics: AtomicU64,
+    /// Times the operator was re-instantiated after a panic.
+    pub restarts: AtomicU64,
+    /// Time spent sleeping in restart backoff.
+    pub backoff_ns: AtomicU64,
+    /// Dead letters attributed to this actor (as source).
+    pub dead_letters: AtomicU64,
 }
 
 impl ActorMetrics {
@@ -50,6 +59,10 @@ impl ActorMetrics {
             blocked: Duration::from_nanos(self.blocked_ns.load(Ordering::Relaxed)),
             first_out_ns: self.first_out_ns.load(Ordering::Relaxed),
             last_out_ns: self.last_out_ns.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            backoff: Duration::from_nanos(self.backoff_ns.load(Ordering::Relaxed)),
+            dead_letters: self.dead_letters.load(Ordering::Relaxed),
         }
     }
 }
@@ -76,6 +89,15 @@ pub struct ActorReport {
     pub first_out_ns: u64,
     /// Nanoseconds (since run start) of the last departure.
     pub last_out_ns: u64,
+    /// Operator invocations that panicked (caught by the supervisor).
+    pub panics: u64,
+    /// Times the operator was re-instantiated after a panic.
+    pub restarts: u64,
+    /// Time spent sleeping in restart backoff.
+    pub backoff: Duration,
+    /// Dead letters attributed to this actor (items it failed to deliver
+    /// or consumed by panics / degraded-mode drops).
+    pub dead_letters: u64,
 }
 
 impl ActorReport {
@@ -112,6 +134,9 @@ pub struct RunReport {
     pub wall: Duration,
     /// Engine start instant (all `*_ns` fields are relative to it).
     pub started_at: Instant,
+    /// Structural record of every undelivered item (capacity-bounded
+    /// entries, exact totals).
+    pub dead_letters: DeadLetterLog,
 }
 
 impl RunReport {
@@ -138,6 +163,22 @@ impl RunReport {
     pub fn total_dropped(&self) -> u64 {
         self.actors.iter().map(|a| a.dropped).sum()
     }
+
+    /// Total caught operator panics across all actors.
+    pub fn total_panics(&self) -> u64 {
+        self.actors.iter().map(|a| a.panics).sum()
+    }
+
+    /// Total operator restarts across all actors.
+    pub fn total_restarts(&self) -> u64 {
+        self.actors.iter().map(|a| a.restarts).sum()
+    }
+
+    /// Total dead letters across all actors (equals
+    /// `self.dead_letters.total()`).
+    pub fn total_dead_letters(&self) -> u64 {
+        self.actors.iter().map(|a| a.dead_letters).sum()
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +196,10 @@ mod tests {
             blocked: Duration::ZERO,
             first_out_ns: first_ns,
             last_out_ns: last_ns,
+            panics: 0,
+            restarts: 0,
+            backoff: Duration::ZERO,
+            dead_letters: 0,
         }
     }
 
@@ -208,8 +253,13 @@ mod tests {
             actors: vec![source, worker],
             wall: Duration::from_secs(1),
             started_at: Instant::now(),
+            dead_letters: DeadLetterLog::default(),
         };
         assert!((rep.source_throughput().unwrap() - 100.0).abs() < 1e-9);
         assert_eq!(rep.total_dropped(), 0);
+        assert_eq!(rep.total_panics(), 0);
+        assert_eq!(rep.total_restarts(), 0);
+        assert_eq!(rep.total_dead_letters(), 0);
+        assert!(rep.dead_letters.is_empty());
     }
 }

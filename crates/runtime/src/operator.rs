@@ -82,6 +82,12 @@ pub trait StreamOperator: Send {
     fn name(&self) -> &str {
         "operator"
     }
+
+    /// Discards internal state, returning the operator to its freshly
+    /// constructed condition. Used by the supervisor's `Restart` directive
+    /// when no [`crate::OperatorFactory`] was registered for the actor.
+    /// Default: nothing (correct for stateless operators).
+    fn reset(&mut self) {}
 }
 
 impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
@@ -93,6 +99,9 @@ impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
     }
 }
 

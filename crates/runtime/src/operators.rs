@@ -208,6 +208,115 @@ impl StreamOperator for Spin {
     }
 }
 
+/// Configuration of a [`FaultInjector`]: seeded, per-item fault draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that processing an item panics.
+    pub panic_prob: f64,
+    /// Probability that an item *starts* a transient-error burst: the next
+    /// [`FaultConfig::burst_len`] items all panic.
+    pub error_burst_prob: f64,
+    /// Length of a transient-error burst.
+    pub burst_len: u32,
+    /// Probability that an item suffers a latency spike.
+    pub latency_spike_prob: f64,
+    /// Synthetic work added by one latency spike, in nanoseconds.
+    pub latency_spike_ns: u64,
+    /// RNG seed; equal seeds produce identical fault schedules.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A config injecting only panics, with probability `p` per item.
+    pub fn panics(p: f64, seed: u64) -> Self {
+        FaultConfig {
+            panic_prob: p,
+            error_burst_prob: 0.0,
+            burst_len: 0,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            seed,
+        }
+    }
+
+    /// Validates probabilities, returning a description of any problem.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("panic_prob", self.panic_prob),
+            ("error_burst_prob", self.error_burst_prob),
+            ("latency_spike_prob", self.latency_spike_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wraps an operator, injecting faults per a seeded deterministic schedule:
+/// single panics, transient-error bursts (several consecutive panics) and
+/// latency spikes. The chaos harness uses it to exercise supervision and
+/// measure degraded-mode throughput against prediction.
+pub struct FaultInjector<O> {
+    inner: O,
+    cfg: FaultConfig,
+    rng: crate::rng::XorShift64,
+    burst_left: u32,
+}
+
+impl<O: StreamOperator> FaultInjector<O> {
+    /// Wraps `inner` with the fault schedule described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`FaultConfig::validate`].
+    pub fn new(inner: O, cfg: FaultConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fault config: {e}");
+        }
+        FaultInjector {
+            inner,
+            cfg,
+            rng: crate::rng::XorShift64::new(cfg.seed),
+            burst_left: 0,
+        }
+    }
+}
+
+impl<O: StreamOperator> StreamOperator for FaultInjector<O> {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            panic!("injected fault: transient-error burst");
+        }
+        if self.cfg.error_burst_prob > 0.0 && self.rng.next_f64() < self.cfg.error_burst_prob {
+            self.burst_left = self.cfg.burst_len.saturating_sub(1);
+            panic!("injected fault: transient-error burst");
+        }
+        if self.cfg.panic_prob > 0.0 && self.rng.next_f64() < self.cfg.panic_prob {
+            panic!("injected fault: panic");
+        }
+        if self.cfg.latency_spike_prob > 0.0 && self.rng.next_f64() < self.cfg.latency_spike_prob {
+            synthetic_work(self.cfg.latency_spike_ns);
+        }
+        self.inner.process(item, out);
+    }
+    fn flush(&mut self, out: &mut Outputs) {
+        self.inner.flush(out);
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn reset(&mut self) {
+        // A restart replaces the wrapped operator's state and ends any
+        // in-flight burst; the RNG keeps its position so the fault
+        // schedule stays a single deterministic stream per seed.
+        self.inner.reset();
+        self.burst_left = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +400,116 @@ mod tests {
             );
         }
         set_virtual_work_mode(false);
+    }
+
+    #[test]
+    fn fault_injector_panic_rate_tracks_probability() {
+        let cfg = FaultConfig::panics(0.2, 99);
+        let mut op = FaultInjector::new(PassThrough, cfg);
+        let mut out = Outputs::new();
+        let n = 10_000;
+        let mut panics = 0;
+        for i in 0..n {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                op.process(Tuple::splat(0, i, 0.0), &mut out)
+            }));
+            if r.is_err() {
+                panics += 1;
+                out.clear();
+            }
+        }
+        let rate = panics as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "panic rate {rate}");
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_per_seed() {
+        let schedule = |seed| {
+            let mut op = FaultInjector::new(PassThrough, FaultConfig::panics(0.3, seed));
+            let mut out = Outputs::new();
+            (0..200u64)
+                .map(|i| {
+                    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        op.process(Tuple::splat(0, i, 0.0), &mut out)
+                    }))
+                    .is_err();
+                    out.clear();
+                    died
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(schedule(5), schedule(5));
+        assert_ne!(schedule(5), schedule(6));
+    }
+
+    #[test]
+    fn fault_injector_bursts_panic_consecutively() {
+        let cfg = FaultConfig {
+            panic_prob: 0.0,
+            error_burst_prob: 0.05,
+            burst_len: 3,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            seed: 17,
+        };
+        let mut op = FaultInjector::new(PassThrough, cfg);
+        let mut out = Outputs::new();
+        let deaths: Vec<bool> = (0..2000u64)
+            .map(|i| {
+                let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    op.process(Tuple::splat(0, i, 0.0), &mut out)
+                }))
+                .is_err();
+                out.clear();
+                died
+            })
+            .collect();
+        // Every burst is a run of exactly `burst_len` consecutive deaths
+        // (two bursts can abut, so runs are multiples of 3).
+        let mut run = 0;
+        let mut seen_any = false;
+        for d in deaths.iter().chain(std::iter::once(&false)) {
+            if *d {
+                run += 1;
+            } else {
+                if run > 0 {
+                    assert_eq!(run % 3, 0, "burst of length {run}");
+                    seen_any = true;
+                }
+                run = 0;
+            }
+        }
+        assert!(seen_any, "no bursts triggered in 2000 items");
+    }
+
+    #[test]
+    fn fault_injector_latency_spikes_add_work() {
+        set_virtual_work_mode(true);
+        take_virtual_work_ns();
+        let cfg = FaultConfig {
+            panic_prob: 0.0,
+            error_burst_prob: 0.0,
+            burst_len: 0,
+            latency_spike_prob: 0.5,
+            latency_spike_ns: 1_000,
+            seed: 23,
+        };
+        let mut op = FaultInjector::new(PassThrough, cfg);
+        let mut out = Outputs::new();
+        for i in 0..1000 {
+            op.process(Tuple::splat(0, i, 0.0), &mut out);
+            out.clear();
+        }
+        let ns = take_virtual_work_ns();
+        set_virtual_work_mode(false);
+        // ~500 spikes of 1 µs each.
+        assert!((400_000..600_000).contains(&ns), "spike work {ns}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn fault_injector_rejects_bad_probability() {
+        FaultInjector::new(PassThrough, FaultConfig::panics(1.5, 1));
     }
 
     #[test]

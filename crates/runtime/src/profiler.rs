@@ -65,13 +65,10 @@ pub fn profile_operator(
         emitted += out.len();
         out.clear();
     }
-    let elapsed_ns =
-        start.elapsed().as_nanos() as u64 + crate::operators::take_virtual_work_ns();
+    let elapsed_ns = start.elapsed().as_nanos() as u64 + crate::operators::take_virtual_work_ns();
     crate::operators::set_virtual_work_mode(false);
     ProfileResult {
-        mean_service_time: ServiceTime::from_secs(
-            elapsed_ns as f64 / 1e9 / measured.len() as f64,
-        ),
+        mean_service_time: ServiceTime::from_secs(elapsed_ns as f64 / 1e9 / measured.len() as f64),
         output_selectivity: emitted as f64 / measured.len() as f64,
         samples: measured.len(),
     }

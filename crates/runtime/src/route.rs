@@ -131,7 +131,14 @@ mod tests {
         let picks: Vec<_> = (0..6).map(|_| s.pick(&tuple(0), &mut rng)).collect();
         assert_eq!(
             picks,
-            vec![ActorId(1), ActorId(2), ActorId(3), ActorId(1), ActorId(2), ActorId(3)]
+            vec![
+                ActorId(1),
+                ActorId(2),
+                ActorId(3),
+                ActorId(1),
+                ActorId(2),
+                ActorId(3)
+            ]
         );
     }
 

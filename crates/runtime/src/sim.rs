@@ -319,10 +319,7 @@ impl Sim {
     fn handle_source_emit(&mut self, a: usize, now: u64) {
         let tuple = {
             let Kind::Source {
-                cfg,
-                produced,
-                rng,
-                ..
+                cfg, produced, rng, ..
             } = &mut self.actors[a].kind
             else {
                 return;
@@ -471,12 +468,19 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
             blocked: Duration::from_nanos(a.blocked_ns),
             first_out_ns: a.first_out_ns,
             last_out_ns: a.last_out_ns,
+            // The simulator models ideal operators: no panics, so the
+            // supervision counters are structurally zero.
+            panics: 0,
+            restarts: 0,
+            backoff: Duration::ZERO,
+            dead_letters: 0,
         })
         .collect();
     Ok(RunReport {
         actors: reports,
         wall: Duration::from_nanos(sim.end_time),
         started_at,
+        dead_letters: crate::supervision::DeadLetterLog::default(),
     })
 }
 
@@ -525,16 +529,22 @@ mod tests {
 
     /// A worker with `ns` virtual nanoseconds of service per item.
     fn work(ns: u64) -> Behavior {
-        Behavior::Worker(Box::new(FnOperator::new("work", move |t, out: &mut Outputs| {
-            crate::operators::synthetic_work(ns);
-            out.emit_default(t);
-        })))
+        Behavior::Worker(Box::new(FnOperator::new(
+            "work",
+            move |t, out: &mut Outputs| {
+                crate::operators::synthetic_work(ns);
+                out.emit_default(t);
+            },
+        )))
     }
 
     #[test]
     fn delivers_all_items_in_virtual_time() {
         let mut g = ActorGraph::new();
-        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(1_000_000.0, 1000)));
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(1_000_000.0, 1000)),
+        );
         let k = g.add_actor("sink", Behavior::worker(PassThrough));
         g.connect(s, Route::Unicast(k));
         let r = simulate(g, &cfg()).unwrap();

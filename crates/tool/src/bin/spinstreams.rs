@@ -8,6 +8,8 @@
 //! spinstreams autofuse <topology.xml> [--threshold T] automated greedy fusion (§7)
 //! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
 //! spinstreams run      <topology.xml> [--items N]     execute and compare vs the model
+//! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S]
+//!                                                     fault-injected run: supervision + dead letters
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! ```
 //!
@@ -20,14 +22,17 @@ use spinstreams_analysis::{
 };
 use spinstreams_codegen::{emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
-use spinstreams_tool::{comparison_table, experiment_executor, predict_vs_measure, topology_dot};
+use spinstreams_tool::{
+    chaos_table, comparison_table, experiment_executor, predict_vs_measure, run_chaos,
+    topology_dot, ChaosConfig,
+};
 use spinstreams_xml::topology_from_xml;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run> <topology.xml> [options]\n\
+        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos> <topology.xml> [options]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -35,6 +40,8 @@ fn usage() -> ExitCode {
          autofuse  — automated greedy fusion; --threshold T (default 0.9)\n\
          codegen   — emit the optimized application's Rust source; --out FILE\n\
          run       — execute on the virtual-time runtime and compare vs the model; --items N\n\
+         chaos     — fault-injected threaded run exercising supervision;\n\
+                     --items N, --panic-prob P (default 0.05), --seed S\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan"
     );
     ExitCode::FAILURE
@@ -189,6 +196,29 @@ fn main() -> ExitCode {
                 Ok(cmp) => print!("{}", comparison_table(path, &cmp)),
                 Err(e) => {
                     eprintln!("run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "chaos" => {
+            let mut cfg = ChaosConfig::default();
+            if let Some(items) = flag_value(&args, "--items").and_then(|v| v.parse().ok()) {
+                cfg.items = items;
+            }
+            if let Some(p) = flag_value(&args, "--panic-prob").and_then(|v| v.parse().ok()) {
+                cfg.panic_prob = p;
+            }
+            if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+                cfg.seed = seed;
+            }
+            if !(0.0..=1.0).contains(&cfg.panic_prob) {
+                eprintln!("--panic-prob must be in [0, 1]");
+                return ExitCode::FAILURE;
+            }
+            match run_chaos(&topo, &cfg) {
+                Ok(outcome) => print!("{}", chaos_table(path, &cfg, &outcome)),
+                Err(e) => {
+                    eprintln!("chaos run failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

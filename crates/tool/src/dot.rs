@@ -44,7 +44,11 @@ pub fn topology_dot(
         let mut saturated = false;
         if let Some(r) = report {
             let m = r.metric(id);
-            let _ = write!(label, "\\nρ = {:.2}, δ = {:.1}/s", m.utilization, m.departure);
+            let _ = write!(
+                label,
+                "\\nρ = {:.2}, δ = {:.1}/s",
+                m.utilization, m.departure
+            );
             saturated = m.utilization >= 1.0 - 1e-6;
         }
         if let Some(p) = plan {

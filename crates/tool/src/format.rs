@@ -14,11 +14,7 @@ use std::fmt::Write as _;
 /// Panics if series lengths do not match `labels`.
 pub fn ascii_series(title: &str, labels: &[String], series: &[(&str, Vec<f64>)]) -> String {
     for (name, values) in series {
-        assert_eq!(
-            values.len(),
-            labels.len(),
-            "series {name} length mismatch"
-        );
+        assert_eq!(values.len(), labels.len(), "series {name} length mismatch");
     }
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
@@ -111,11 +107,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_series_rejected() {
-        ascii_series(
-            "x",
-            &["a".to_string()],
-            &[("s", vec![1.0, 2.0])],
-        );
+        ascii_series("x", &["a".to_string()], &[("s", vec![1.0, 2.0])]);
     }
 
     #[test]

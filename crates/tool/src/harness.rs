@@ -307,8 +307,7 @@ mod tests {
     fn predict_vs_measure_tracks_backpressured_throughput() {
         let t = bottleneck_topology();
         let calibrated = calibrate(&t, None, 4_000, 100, &engine()).unwrap();
-        let cmp =
-            predict_vs_measure(&calibrated, None, &[], &[], 8_000, &engine()).unwrap();
+        let cmp = predict_vs_measure(&calibrated, None, &[], &[], 8_000, &engine()).unwrap();
         // The 400 µs stage caps throughput at 2500/s; in virtual time the
         // model and the measurement agree tightly.
         assert!(
@@ -328,15 +327,8 @@ mod tests {
         let calibrated = calibrate(&t, None, 4_000, 100, &engine()).unwrap();
         let plan = spinstreams_analysis::eliminate_bottlenecks(&calibrated);
         assert!(plan.replicas[1] >= 2, "bottleneck must be replicated");
-        let cmp = predict_vs_measure(
-            &calibrated,
-            None,
-            &plan.replicas,
-            &[],
-            12_000,
-            &engine(),
-        )
-        .unwrap();
+        let cmp =
+            predict_vs_measure(&calibrated, None, &plan.replicas, &[], 12_000, &engine()).unwrap();
         // Parallelized: throughput should approach the source rate
         // (10k items/s) and the model should track it closely — virtual
         // time gives the replicas perfect parallelism on any host.
@@ -351,10 +343,7 @@ mod tests {
 
     #[test]
     fn harness_errors_are_displayable() {
-        let e: HarnessError = CodegenError::BadReplicaVector {
-            reason: "x".into(),
-        }
-        .into();
+        let e: HarnessError = CodegenError::BadReplicaVector { reason: "x".into() }.into();
         assert!(e.to_string().contains("codegen"));
         let e: HarnessError = EngineError::NoActors.into();
         assert!(e.to_string().contains("engine"));

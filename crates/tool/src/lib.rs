@@ -13,15 +13,21 @@
 //! * [`predict_vs_measure`] — runs Algorithm 1 on the calibrated topology
 //!   *and* executes the deployment, returning per-operator and
 //!   whole-topology comparisons (the data behind Figures 7–9).
+//! * [`run_chaos`] — the fault-injection harness: wraps every deployed
+//!   worker in a seeded fault injector, supervises it with a restart
+//!   policy, and compares measured throughput degradation against the
+//!   path-probability prediction.
 //! * [`ascii_series`] / [`comparison_table`] — plain-text rendering used by
 //!   the figure/table binaries in `spinstreams-bench`.
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod dot;
 mod format;
 mod harness;
 
+pub use chaos::{chaos_table, predicted_delivered_fraction, run_chaos, ChaosConfig, ChaosOutcome};
 pub use dot::topology_dot;
 pub use format::{ascii_series, comparison_table};
 pub use harness::{

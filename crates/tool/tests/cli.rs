@@ -117,6 +117,36 @@ fn run_compares_model_and_measurement() {
 }
 
 #[test]
+fn chaos_injects_faults_and_reports_supervision() {
+    let path = topology_file();
+    let (stdout, stderr, ok) = run_cli(&[
+        "chaos",
+        path.to_str().unwrap(),
+        "--items",
+        "3000",
+        "--panic-prob",
+        "0.05",
+        "--seed",
+        "11",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("panic probability 5.0%"), "{stdout}");
+    assert!(stdout.contains("delivered fraction"), "{stdout}");
+    // With 3000 items at 5% per worker, panics/restarts/dead letters are
+    // all but certain; the report lists nonzero totals.
+    assert!(!stdout.contains("totals: 0 panics"), "{stdout}");
+    assert!(!stdout.contains("0 dead letters"), "{stdout}");
+}
+
+#[test]
+fn chaos_rejects_bad_probability() {
+    let path = topology_file();
+    let (_, stderr, ok) = run_cli(&["chaos", path.to_str().unwrap(), "--panic-prob", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("--panic-prob"));
+}
+
+#[test]
 fn bad_usage_and_bad_file_fail_cleanly() {
     let (_, stderr, ok) = run_cli(&["analyze"]);
     assert!(!ok);

@@ -248,7 +248,9 @@ pub fn generate(seed: u64, cfg: &TopogenConfig) -> GeneratedTopology {
         b.add_edge(OperatorId(*a), OperatorId(*w), probs[idx])
             .expect("generated edges are forward and unique");
     }
-    let topology = b.build().expect("Algorithm 5 output satisfies the constraints");
+    let topology = b
+        .build()
+        .expect("Algorithm 5 output satisfies the constraints");
 
     GeneratedTopology {
         topology,
@@ -376,7 +378,14 @@ mod tests {
     fn edge_count_respects_beta_bound() {
         let cfg = TopogenConfig::default();
         for seed in 0..10 {
-            let g = generate(seed, &TopogenConfig { profile_samples: 150, profile_warmup: 20, ..cfg.clone() });
+            let g = generate(
+                seed,
+                &TopogenConfig {
+                    profile_samples: 150,
+                    profile_warmup: 20,
+                    ..cfg.clone()
+                },
+            );
             let t = &g.topology;
             let v = t.num_operators();
             // E ≤ (V-1)·β_max plus the single-source fix-up edges.

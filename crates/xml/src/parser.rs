@@ -108,18 +108,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<?") {
-                match self.input[self.pos..]
-                    .windows(2)
-                    .position(|w| w == b"?>")
-                {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
                     Some(i) => self.pos += i + 2,
                     None => return self.err("unterminated declaration"),
                 }
             } else if self.starts_with("<!--") {
-                match self.input[self.pos..]
-                    .windows(3)
-                    .position(|w| w == b"-->")
-                {
+                match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
                     Some(i) => self.pos += i + 3,
                     None => return self.err("unterminated comment"),
                 }

@@ -103,7 +103,8 @@ pub fn topology_to_xml(topo: &Topology, name: &str) -> String {
         if let StateClass::PartitionedStateful { keys } = &op.state {
             let mut keys_node = XmlNode::new("keys");
             for f in keys.frequencies() {
-                keys_node = keys_node.child(XmlNode::new("key").attr("frequency", format!("{f:e}")));
+                keys_node =
+                    keys_node.child(XmlNode::new("key").attr("frequency", format!("{f:e}")));
             }
             node = node.child(keys_node);
         }
@@ -250,7 +251,10 @@ mod tests {
             .with_param("window", 100.0)
             .with_param("slide", 10.0),
         );
-        let k = b.add_operator(OperatorSpec::stateful("join", ServiceTime::from_micros(200.0)));
+        let k = b.add_operator(OperatorSpec::stateful(
+            "join",
+            ServiceTime::from_micros(200.0),
+        ));
         b.add_edge(s, f, 1.0).unwrap();
         b.add_edge(f, a, 0.7).unwrap();
         b.add_edge(f, k, 0.3).unwrap();
@@ -308,7 +312,8 @@ mod tests {
         let doc = r#"<topology><operator id="0" name="a" type="stateless" service-time="xx"/></topology>"#;
         assert!(topology_from_xml(doc).is_err());
         // Unknown type.
-        let doc = r#"<topology><operator id="0" name="a" type="weird" service-time="1"/></topology>"#;
+        let doc =
+            r#"<topology><operator id="0" name="a" type="weird" service-time="1"/></topology>"#;
         assert!(matches!(
             topology_from_xml(doc).unwrap_err(),
             SchemaError::Invalid { .. }

@@ -16,7 +16,10 @@ impl XmlNode {
 
     /// Serializes with an `<?xml?>` declaration prepended.
     pub fn to_xml_document(&self) -> String {
-        format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", self.to_xml())
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}",
+            self.to_xml()
+        )
     }
 
     fn write_into(&self, out: &mut String, depth: usize) {

@@ -39,16 +39,12 @@ fn build() -> Result<(Topology, KeyDistribution), Box<dyn std::error::Error>> {
             .with_param("work_ns", 80_000.0),
     );
     let stats = b.add_operator(
-        OperatorSpec::partitioned(
-            "card-stats",
-            ServiceTime::from_micros(900.0),
-            cards.clone(),
-        )
-        .with_kind("keyed-wma")
-        .with_selectivity(Selectivity::input(4.0))
-        .with_param("window", 32.0)
-        .with_param("slide", 4.0)
-        .with_param("work_ns", 900_000.0),
+        OperatorSpec::partitioned("card-stats", ServiceTime::from_micros(900.0), cards.clone())
+            .with_kind("keyed-wma")
+            .with_selectivity(Selectivity::input(4.0))
+            .with_param("window", 32.0)
+            .with_param("slide", 4.0)
+            .with_param("work_ns", 900_000.0),
     );
     let quantile = b.add_operator(
         OperatorSpec::stateless("risk-score", ServiceTime::from_micros(300.0))

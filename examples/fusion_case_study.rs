@@ -78,8 +78,9 @@ fn case(
     }
 
     // Fuse {op3, op4, op5} (0-based ids 2, 3, 4), as in §5.4.
-    let members: BTreeSet<OperatorId> =
-        [OperatorId(2), OperatorId(3), OperatorId(4)].into_iter().collect();
+    let members: BTreeSet<OperatorId> = [OperatorId(2), OperatorId(3), OperatorId(4)]
+        .into_iter()
+        .collect();
     let outcome = fuse(&topo, &members)?;
     println!(
         "fused operator F: service time {:.2} ms, predicted throughput {:.0} items/s -> {}",

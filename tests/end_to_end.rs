@@ -80,15 +80,8 @@ fn fission_plan_executes_and_restores_source_rate() {
     let plan = eliminate_bottlenecks(&calibrated);
     assert!(plan.ideal());
     assert!(plan.replicas[2] >= 4, "heavy stage needs several replicas");
-    let cmp = predict_vs_measure(
-        &calibrated,
-        None,
-        &plan.replicas,
-        &[],
-        40_000,
-        &executor(),
-    )
-    .unwrap();
+    let cmp =
+        predict_vs_measure(&calibrated, None, &plan.replicas, &[], 40_000, &executor()).unwrap();
     assert!(
         cmp.relative_error() < 0.05,
         "predicted {} measured {}",

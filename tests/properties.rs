@@ -90,7 +90,8 @@ fn arb_topology(seed: u64) -> Topology {
         let share = 1.0 / out_count[a] as f64;
         b.add_edge(OperatorId(a), OperatorId(c), share).unwrap();
     }
-    b.build().expect("forward-edge construction is a rooted DAG")
+    b.build()
+        .expect("forward-edge construction is a rooted DAG")
 }
 
 #[test]
@@ -113,9 +114,8 @@ fn flow_conservation_holds() {
         // All generated selectivities are identity, so Proposition 3.5
         // applies exactly.
         let report = steady_state(topo);
-        let diff = (report.sink_departure_total.items_per_sec()
-            - report.throughput.items_per_sec())
-        .abs();
+        let diff =
+            (report.sink_departure_total.items_per_sec() - report.throughput.items_per_sec()).abs();
         assert!(
             diff <= 1e-6 * report.throughput.items_per_sec().max(1.0),
             "seed {seed:#x}: sinks {} vs source {}",
@@ -241,9 +241,9 @@ fn fusion_service_time_matches_path_enumeration() {
                 }
             }
             // Only valid if every non-front member's inputs are internal.
-            let valid = members.iter().all(|m| {
-                *m == front || topo.predecessors(*m).iter().all(|p| members.contains(p))
-            });
+            let valid = members
+                .iter()
+                .all(|m| *m == front || topo.predecessors(*m).iter().all(|p| members.contains(p)));
             if !valid {
                 continue;
             }

@@ -5,8 +5,8 @@
 use spinstreams::core::{KeyDistribution, Tuple};
 use spinstreams::runtime::operators::{FnOperator, PassThrough};
 use spinstreams::runtime::{
-    simulate, ActorGraph, Behavior, MetaDest, MetaOperator, MetaRoute, Outputs, Route,
-    SimConfig, SourceConfig, StreamOperator,
+    simulate, ActorGraph, Behavior, MetaDest, MetaOperator, MetaRoute, Outputs, Route, SimConfig,
+    SourceConfig, StreamOperator,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -14,9 +14,12 @@ use std::sync::{Arc, Mutex};
 type Captured = Arc<Mutex<Vec<Tuple>>>;
 
 fn capturing_sink(store: Captured) -> Behavior {
-    Behavior::Worker(Box::new(FnOperator::new("capture", move |t: Tuple, _out: &mut Outputs| {
-        store.lock().unwrap().push(t);
-    })))
+    Behavior::Worker(Box::new(FnOperator::new(
+        "capture",
+        move |t: Tuple, _out: &mut Outputs| {
+            store.lock().unwrap().push(t);
+        },
+    )))
 }
 
 fn sim() -> SimConfig {
@@ -28,9 +31,12 @@ fn sim() -> SimConfig {
 
 /// A deterministic transform used on both sides of differential tests.
 fn plus(delta: f64) -> Box<dyn StreamOperator> {
-    Box::new(FnOperator::new("plus", move |t: Tuple, out: &mut Outputs| {
-        out.emit_default(t.with_value(0, t.values[0] + delta));
-    }))
+    Box::new(FnOperator::new(
+        "plus",
+        move |t: Tuple, out: &mut Outputs| {
+            out.emit_default(t.with_value(0, t.values[0] + delta));
+        },
+    ))
 }
 
 /// A deterministic keyed running sum (emits the per-key total so far).
@@ -226,7 +232,10 @@ fn probabilistic_fused_subgraph_preserves_throughput_counts() {
     let v = store.lock().unwrap();
     assert_eq!(v.len(), 3_000);
     // Roughly 40% took the +1 branch.
-    let branch1 = v.iter().filter(|t| t.values[0] >= 1.0 && t.values[0] < 2.0).count();
+    let branch1 = v
+        .iter()
+        .filter(|t| t.values[0] >= 1.0 && t.values[0] < 2.0)
+        .count();
     let frac = branch1 as f64 / 3_000.0;
     assert!((frac - 0.4).abs() < 0.05, "branch fraction {frac}");
 }

@@ -1,0 +1,262 @@
+//! Online predicted-vs-measured drift monitoring (§5.2 of the paper).
+//!
+//! The paper validates Algorithm 1 by comparing the predicted per-operator
+//! departure rates against the rates measured on the running application.
+//! [`DriftMonitor`] performs that comparison *online*: each telemetry tick
+//! it receives the rolling measured departure rate per operator and flags
+//! any operator whose relative error against the static prediction exceeds
+//! a threshold for several consecutive ticks. A sustained drift means the
+//! profile the optimizer ran on (service times, selectivities) no longer
+//! describes the live workload — the signal to re-profile and re-optimize.
+//!
+//! The monitor is deliberately decoupled from the runtime: it consumes
+//! plain `f64` rates, so it works identically against the threaded engine,
+//! the discrete-event executor, or rates parsed back out of an exported
+//! telemetry log.
+
+/// Configuration for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Relative error above which a tick counts toward drift
+    /// (`|predicted - measured| / predicted`). Default `0.25`.
+    pub threshold: f64,
+    /// Number of initial ticks reported as [`DriftStatus::Warmup`] and
+    /// excluded from streak counting — rolling rates are noisy while the
+    /// pipeline fills. Default `2`.
+    pub warmup_ticks: u64,
+    /// Number of consecutive over-threshold ticks required before an
+    /// operator is reported as [`DriftStatus::Drifting`]. Default `2`.
+    pub consecutive: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.25,
+            warmup_ticks: 2,
+            consecutive: 2,
+        }
+    }
+}
+
+/// Per-operator verdict for one monitor tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    /// Index of the operator (position in the rate slices).
+    pub index: usize,
+    /// The statically predicted departure rate (items/s), if any.
+    pub predicted: Option<f64>,
+    /// The measured rolling departure rate (items/s), if any.
+    pub measured: Option<f64>,
+    /// `|predicted - measured| / predicted`; `None` unless both rates are
+    /// present and the prediction is positive.
+    pub rel_error: Option<f64>,
+    /// The streak-aware classification.
+    pub status: DriftStatus,
+}
+
+/// Classification of one operator at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStatus {
+    /// Still inside [`DriftConfig::warmup_ticks`]; no judgement made.
+    Warmup,
+    /// No prediction or no measurement available for this operator.
+    NoData,
+    /// Relative error within threshold, or streak not yet long enough.
+    Ok,
+    /// Relative error exceeded the threshold for
+    /// [`DriftConfig::consecutive`] ticks in a row.
+    Drifting,
+}
+
+impl std::fmt::Display for DriftStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DriftStatus::Warmup => "warmup",
+            DriftStatus::NoData => "no-data",
+            DriftStatus::Ok => "ok",
+            DriftStatus::Drifting => "drifting",
+        })
+    }
+}
+
+/// Streaming comparator of predicted vs measured per-operator rates.
+///
+/// Create one per run with the predictions from Algorithm 1, then call
+/// [`tick`](DriftMonitor::tick) once per telemetry snapshot with the
+/// rolling measured rates (indexed the same way as the predictions).
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    predicted: Vec<Option<f64>>,
+    config: DriftConfig,
+    streaks: Vec<u32>,
+    ticks: u64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor for `predicted` per-operator departure rates
+    /// (items/s). `None` entries are never judged (reported as
+    /// [`DriftStatus::NoData`]).
+    pub fn new(predicted: Vec<Option<f64>>, config: DriftConfig) -> Self {
+        let n = predicted.len();
+        Self {
+            predicted,
+            config,
+            streaks: vec![0; n],
+            ticks: 0,
+        }
+    }
+
+    /// Number of operators being monitored.
+    pub fn len(&self) -> usize {
+        self.predicted.len()
+    }
+
+    /// True if the monitor tracks no operators.
+    pub fn is_empty(&self) -> bool {
+        self.predicted.is_empty()
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Feeds one snapshot of measured rolling rates and returns a verdict
+    /// per operator. `measured` entries beyond `self.len()` are ignored;
+    /// missing entries are treated as `None`.
+    ///
+    /// A tick with a measurement (`Some`) either extends or resets the
+    /// over-threshold streak; a tick without one leaves the streak
+    /// untouched, so a momentarily idle operator neither accrues nor
+    /// forgives drift.
+    pub fn tick(&mut self, measured: &[Option<f64>]) -> Vec<DriftVerdict> {
+        self.ticks += 1;
+        let warming = self.ticks <= self.config.warmup_ticks;
+        let mut verdicts = Vec::with_capacity(self.predicted.len());
+        for (i, &predicted) in self.predicted.iter().enumerate() {
+            let m = measured.get(i).copied().flatten();
+            let rel_error = match (predicted, m) {
+                (Some(p), Some(meas)) if p > 0.0 => Some((p - meas).abs() / p),
+                _ => None,
+            };
+            let status = if warming {
+                DriftStatus::Warmup
+            } else {
+                match rel_error {
+                    None => DriftStatus::NoData,
+                    Some(e) => {
+                        if e > self.config.threshold {
+                            self.streaks[i] = self.streaks[i].saturating_add(1);
+                        } else {
+                            self.streaks[i] = 0;
+                        }
+                        if self.streaks[i] >= self.config.consecutive {
+                            DriftStatus::Drifting
+                        } else {
+                            DriftStatus::Ok
+                        }
+                    }
+                }
+            };
+            verdicts.push(DriftVerdict {
+                index: i,
+                predicted,
+                measured: m,
+                rel_error,
+                status,
+            });
+        }
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(pred: &[f64]) -> DriftMonitor {
+        DriftMonitor::new(
+            pred.iter().map(|&p| Some(p)).collect(),
+            DriftConfig {
+                threshold: 0.25,
+                warmup_ticks: 1,
+                consecutive: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn warmup_ticks_make_no_judgement() {
+        let mut m = monitor(&[100.0]);
+        let v = m.tick(&[Some(1.0)]); // wildly off, but warming up
+        assert_eq!(v[0].status, DriftStatus::Warmup);
+        assert!(v[0].rel_error.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn drift_requires_consecutive_over_threshold_ticks() {
+        let mut m = monitor(&[100.0]);
+        m.tick(&[Some(100.0)]); // warmup
+        let v = m.tick(&[Some(10.0)]); // 1st over-threshold tick
+        assert_eq!(v[0].status, DriftStatus::Ok);
+        let v = m.tick(&[Some(10.0)]); // 2nd consecutive -> drifting
+        assert_eq!(v[0].status, DriftStatus::Drifting);
+        assert!((v[0].rel_error.unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_threshold_tick_resets_the_streak() {
+        let mut m = monitor(&[100.0]);
+        m.tick(&[Some(100.0)]); // warmup
+        m.tick(&[Some(10.0)]); // streak 1
+        let v = m.tick(&[Some(95.0)]); // back in band -> reset
+        assert_eq!(v[0].status, DriftStatus::Ok);
+        let v = m.tick(&[Some(10.0)]); // streak restarts at 1
+        assert_eq!(v[0].status, DriftStatus::Ok);
+        let v = m.tick(&[Some(10.0)]);
+        assert_eq!(v[0].status, DriftStatus::Drifting);
+    }
+
+    #[test]
+    fn missing_measurement_freezes_the_streak() {
+        let mut m = monitor(&[100.0]);
+        m.tick(&[Some(100.0)]); // warmup
+        m.tick(&[Some(10.0)]); // streak 1
+        let v = m.tick(&[None]); // idle tick: no data, streak kept
+        assert_eq!(v[0].status, DriftStatus::NoData);
+        let v = m.tick(&[Some(10.0)]); // streak 2 -> drifting
+        assert_eq!(v[0].status, DriftStatus::Drifting);
+    }
+
+    #[test]
+    fn unpredicted_operators_report_no_data() {
+        let mut m = DriftMonitor::new(vec![None, Some(50.0)], DriftConfig::default());
+        m.tick(&[Some(1.0), Some(50.0)]);
+        m.tick(&[Some(1.0), Some(50.0)]);
+        let v = m.tick(&[Some(1.0), Some(50.0)]);
+        assert_eq!(v[0].status, DriftStatus::NoData);
+        assert_eq!(v[0].rel_error, None);
+        assert_eq!(v[1].status, DriftStatus::Ok);
+        assert_eq!(v[1].rel_error, Some(0.0));
+    }
+
+    #[test]
+    fn short_measured_slice_is_padded_with_none() {
+        let mut m = monitor(&[100.0, 200.0]);
+        m.tick(&[Some(100.0)]); // warmup
+        let v = m.tick(&[Some(100.0)]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].status, DriftStatus::NoData);
+    }
+
+    #[test]
+    fn accepts_measurements_within_threshold_forever() {
+        let mut m = monitor(&[1000.0]);
+        for _ in 0..20 {
+            let v = m.tick(&[Some(900.0)]); // 10% error < 25%
+            assert_ne!(v[0].status, DriftStatus::Drifting);
+        }
+        assert_eq!(m.ticks(), 20);
+    }
+}

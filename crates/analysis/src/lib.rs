@@ -20,6 +20,9 @@
 //! * [`fusion_candidates`] / [`auto_fuse`] — utilization-ranked fusion
 //!   candidate enumeration (the GUI ranking of §4.1) and the automated
 //!   greedy fusion search the paper lists as future work (§7).
+//! * [`DriftMonitor`] — the §5.2 predicted-vs-measured validation run
+//!   *online*: flags operators whose live departure rates have drifted
+//!   from the Algorithm 1 predictions.
 //! * [`merge_sources`] — the fictitious-source transform (§3.1) that turns a
 //!   multi-source application into the rooted form the models require.
 //!
@@ -47,6 +50,7 @@
 
 mod bottleneck;
 mod candidates;
+mod drift;
 mod fusion;
 mod multi_source;
 mod partitioning;
@@ -58,6 +62,7 @@ pub use bottleneck::{
     FissionPlan,
 };
 pub use candidates::{auto_fuse, fusion_candidates, AutoFusion, FusionCandidate};
+pub use drift::{DriftConfig, DriftMonitor, DriftStatus, DriftVerdict};
 pub use fusion::{fuse, fusion_service_time, FusionError, FusionOutcome};
 pub use multi_source::{merge_sources, MultiSourceSpec};
 pub use partitioning::{

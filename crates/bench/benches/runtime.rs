@@ -78,6 +78,7 @@ fn bench_simulation(c: &mut Criterion) {
                     &SimConfig {
                         mailbox_capacity: 64,
                         seed: 1,
+                        ..SimConfig::default()
                     },
                 )
                 .unwrap(),

@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let executor = Executor::VirtualTime(SimConfig {
                 mailbox_capacity: capacity,
                 seed: 9,
+                ..SimConfig::default()
             });
             let cmp = predict_vs_measure(&topo, None, &[], &[], items, &executor)?;
             println!(

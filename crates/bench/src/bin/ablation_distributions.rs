@@ -38,6 +38,7 @@ fn run(dist: ServiceDistribution, capacity: usize, items: u64) -> f64 {
         &SimConfig {
             mailbox_capacity: capacity,
             seed: 5,
+            ..SimConfig::default()
         },
     )
     .unwrap();

@@ -14,6 +14,10 @@ pub const TUPLE_ARITY: usize = 4;
 ///   the emitter of a replicated operator (hash routing).
 /// * `seq` — monotone sequence number assigned by the source; used by tests
 ///   to check semantic equivalence of fused vs unfused sub-graphs.
+/// * `src_ns` — source emission timestamp in nanoseconds since run start
+///   (`0` = unstamped). Stamped by the executors when an item leaves its
+///   source and read back at the sinks to measure per-tuple end-to-end
+///   latency; operators that forward (copies of) their input preserve it.
 /// * `values` — numeric payload consumed by the real-world operators
 ///   (filters, aggregates, skyline, joins, …).
 ///
@@ -31,14 +35,22 @@ pub struct Tuple {
     pub key: u64,
     /// Monotone sequence number assigned by the source.
     pub seq: u64,
+    /// Source emission timestamp in nanoseconds since run start
+    /// (`0` = unstamped).
+    pub src_ns: u64,
     /// Numeric attributes.
     pub values: [f64; TUPLE_ARITY],
 }
 
 impl Tuple {
-    /// Creates a tuple from its parts.
+    /// Creates a tuple from its parts (unstamped; see [`Tuple::stamped`]).
     pub fn new(key: u64, seq: u64, values: [f64; TUPLE_ARITY]) -> Self {
-        Tuple { key, seq, values }
+        Tuple {
+            key,
+            seq,
+            src_ns: 0,
+            values,
+        }
     }
 
     /// Creates a tuple with all attributes set to `v`.
@@ -46,7 +58,26 @@ impl Tuple {
         Tuple {
             key,
             seq,
+            src_ns: 0,
             values: [v; TUPLE_ARITY],
+        }
+    }
+
+    /// Returns a copy of this tuple stamped with a source emission
+    /// timestamp. `0` means "unstamped", so the executors clamp the stamp
+    /// to at least 1 ns.
+    pub fn stamped(mut self, src_ns: u64) -> Self {
+        self.src_ns = src_ns.max(1);
+        self
+    }
+
+    /// End-to-end latency of this tuple relative to `now_ns`, or `None`
+    /// if the tuple was never stamped at a source.
+    pub fn latency_ns(&self, now_ns: u64) -> Option<u64> {
+        if self.src_ns == 0 {
+            None
+        } else {
+            Some(now_ns.saturating_sub(self.src_ns))
         }
     }
 
@@ -103,6 +134,21 @@ mod tests {
         assert_eq!(t.key, 0);
         assert_eq!(t.seq, 0);
         assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn stamping_and_latency() {
+        let t = Tuple::splat(1, 2, 3.0);
+        assert_eq!(t.src_ns, 0);
+        assert_eq!(t.latency_ns(100), None);
+        let s = t.stamped(40);
+        assert_eq!(s.src_ns, 40);
+        assert_eq!(s.latency_ns(100), Some(60));
+        // A zero stamp is clamped to 1 so "stamped" stays distinguishable
+        // from "unstamped".
+        assert_eq!(t.stamped(0).src_ns, 1);
+        // Latency never underflows if clocks disagree.
+        assert_eq!(s.latency_ns(10), Some(0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! supervision of panicking operators (see [`crate::supervision`]).
 
 use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
-use crate::mailbox::{channel, Envelope, RecvResult, SendOutcome, Sender};
+use crate::mailbox::{channel, DepthProbe, Envelope, RecvResult, SendOutcome, Sender};
 use crate::metrics::{ActorMetrics, RunReport};
 use crate::operator::Outputs;
 use crate::rng::XorShift64;
@@ -11,6 +11,10 @@ use crate::route::{Route, RouteState};
 use crate::supervision::{
     DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory, SupervisionPolicy,
     SupervisorSpec,
+};
+use crate::telemetry::{
+    HubActor, LatencyHistogram, RawCounters, TelemetryConfig, TelemetryHub, TelemetryReport,
+    TraceEventKind, TraceLog,
 };
 use crate::ActorId;
 use spinstreams_core::{Tuple, TUPLE_ARITY};
@@ -206,6 +210,13 @@ struct DeliveryCtx {
     started_at: Instant,
     send_timeout: Duration,
     dead_letters: Arc<Mutex<DeadLetterLog>>,
+    /// Present only with telemetry enabled on a sink actor: records
+    /// end-to-end latency of every tuple consumed at a sink port.
+    latency: Option<Arc<LatencyHistogram>>,
+    /// Present only with telemetry enabled: structured lifecycle events.
+    trace: Option<Arc<TraceLog>>,
+    /// Stamp source emissions with their departure time (telemetry on).
+    stamp: bool,
 }
 
 impl DeliveryCtx {
@@ -213,10 +224,18 @@ impl DeliveryCtx {
         self.started_at.elapsed().as_nanos() as u64
     }
 
+    /// Records a lifecycle trace event, if tracing is enabled.
+    fn trace_event(&self, kind: TraceEventKind) {
+        if let Some(trace) = &self.trace {
+            trace.record(self.now_ns(), self.id, kind);
+        }
+    }
+
     /// Records `tuple` as undeliverable.
     fn dead_letter(&self, destination: Option<ActorId>, reason: DeadLetterReason, tuple: &Tuple) {
         use std::sync::atomic::Ordering;
         self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+        self.trace_event(TraceEventKind::DeadLetter { reason });
         self.dead_letters
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -248,6 +267,9 @@ impl DeliveryCtx {
                             self.metrics
                                 .blocked_ns
                                 .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+                            self.trace_event(TraceEventKind::Blocked {
+                                ns: d.as_nanos() as u64,
+                            });
                             self.metrics
                                 .record_out(self.started_at.elapsed().as_nanos() as u64);
                         }
@@ -262,8 +284,15 @@ impl DeliveryCtx {
                     }
                 }
                 None => {
-                    // Sink port: the emission is the actor's departure.
+                    // Sink port: the emission is the actor's departure —
+                    // and, with telemetry on, the end of the tuple's
+                    // end-to-end latency span.
                     let now = self.now_ns();
+                    if let Some(hist) = &self.latency {
+                        if let Some(lat) = tuple.latency_ns(now) {
+                            hist.record(lat);
+                        }
+                    }
                     self.metrics.record_out(now);
                 }
             }
@@ -299,6 +328,7 @@ fn pace_until(target: Instant) {
 }
 
 fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
+    ctx.trace_event(TraceEventKind::ActorStarted);
     let mut rng = XorShift64::new(cfg.seed);
     let mut out = Outputs::new();
     let period = if cfg.rate.is_finite() {
@@ -327,10 +357,17 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
         for v in values.iter_mut() {
             *v = rng.next_f64();
         }
-        out.emit_default(Tuple::new(key, seq, values));
+        let tuple = Tuple::new(key, seq, values);
+        let tuple = if ctx.stamp {
+            tuple.stamped(ctx.now_ns())
+        } else {
+            tuple
+        };
+        out.emit_default(tuple);
         ctx.deliver(&mut out);
     }
     ctx.propagate_eos();
+    ctx.trace_event(TraceEventKind::ActorFinished);
 }
 
 thread_local! {
@@ -390,6 +427,7 @@ fn run_worker(
     mut ctx: DeliveryCtx,
 ) {
     use std::sync::atomic::Ordering;
+    ctx.trace_event(TraceEventKind::ActorStarted);
     let mut out = Outputs::new();
     // Degraded mode: the operator is gone; input is forwarded or dropped.
     let mut stopped = false;
@@ -411,6 +449,7 @@ fn run_worker(
                     continue;
                 }
                 if guarded_call(&ctx.metrics, || op.process(item, &mut out)).is_ok() {
+                    out.inherit_stamp(item.src_ns);
                     ctx.deliver(&mut out);
                 } else {
                     // The poisoned invocation may have emitted partial
@@ -418,6 +457,7 @@ fn run_worker(
                     // fully processes or dead-letters.
                     out.clear();
                     ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                    ctx.trace_event(TraceEventKind::OperatorPanicked);
                     ctx.dead_letter(None, DeadLetterReason::OperatorPanic, &item);
                     match &supervision.policy {
                         SupervisionPolicy::Resume => {}
@@ -430,17 +470,25 @@ fn run_worker(
                                     ctx.metrics
                                         .backoff_ns
                                         .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                                    ctx.trace_event(TraceEventKind::Backoff {
+                                        ns: delay.as_nanos() as u64,
+                                    });
                                 }
                                 match &factory {
                                     Some(f) => op = f.build(),
                                     None => op.reset(),
                                 }
                                 ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                                ctx.trace_event(TraceEventKind::OperatorRestarted);
                             } else {
                                 stopped = true;
+                                ctx.trace_event(TraceEventKind::ActorStopped);
                             }
                         }
-                        SupervisionPolicy::Stop => stopped = true,
+                        SupervisionPolicy::Stop => {
+                            stopped = true;
+                            ctx.trace_event(TraceEventKind::ActorStopped);
+                        }
                     }
                 }
             }
@@ -459,9 +507,11 @@ fn run_worker(
         } else {
             out.clear();
             ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            ctx.trace_event(TraceEventKind::OperatorPanicked);
         }
     }
     ctx.propagate_eos();
+    ctx.trace_event(TraceEventKind::ActorFinished);
 }
 
 /// Executes the actor graph to completion and reports measured metrics.
@@ -485,6 +535,34 @@ fn run_worker(
 /// terminates: it is acyclic, and EOS markers propagate through every
 /// mailbox.
 pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, EngineError> {
+    run_with(graph, config, None).map(|(report, _)| report)
+}
+
+/// Like [`run`], but with the live telemetry layer enabled: sources stamp
+/// every tuple, sinks aggregate end-to-end latency, lifecycle events are
+/// traced, and a background sampler thread takes a [`crate::TelemetrySnapshot`]
+/// every `telemetry.interval` (plus one final snapshot at end of run).
+///
+/// With the `telemetry` cargo feature disabled only the final snapshot is
+/// taken (no sampler thread is spawned).
+///
+/// # Errors
+///
+/// Fails exactly as [`run`] does.
+pub fn run_with_telemetry(
+    graph: ActorGraph,
+    config: &EngineConfig,
+    telemetry: &TelemetryConfig,
+) -> Result<(RunReport, TelemetryReport), EngineError> {
+    run_with(graph, config, Some(telemetry))
+        .map(|(report, tel)| (report, tel.expect("telemetry was requested")))
+}
+
+fn run_with(
+    graph: ActorGraph,
+    config: &EngineConfig,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(RunReport, Option<TelemetryReport>), EngineError> {
     let in_degrees = graph.in_degrees();
     let actors = graph.into_actors();
     validate(&actors)?;
@@ -510,6 +588,35 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
             receivers.push(Some(rx));
         }
     }
+
+    // Depth probes observe queue depths without counting as producers, so
+    // they never delay disconnect detection.
+    let probes: Arc<Vec<Option<DepthProbe>>> = Arc::new(
+        senders
+            .iter()
+            .map(|s| s.as_ref().map(Sender::depth_probe))
+            .collect(),
+    );
+    let hub: Option<Arc<TelemetryHub>> = telemetry.map(|tcfg| {
+        let hub_actors = actors
+            .iter()
+            .map(|spec| HubActor {
+                name: spec.name.clone(),
+                queue_capacity: if spec.behavior.is_source() {
+                    None
+                } else {
+                    Some(spec.mailbox_capacity.unwrap_or(config.mailbox_capacity))
+                },
+                // Sink actors (no outgoing routes) terminate latency spans.
+                latency: if !spec.behavior.is_source() && spec.routes.is_empty() {
+                    Some(Arc::new(LatencyHistogram::new()))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        Arc::new(TelemetryHub::new(hub_actors, tcfg))
+    });
 
     let started_at = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -545,6 +652,9 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
             started_at,
             send_timeout: config.send_timeout,
             dead_letters: Arc::clone(&dead_letters),
+            latency: hub.as_ref().and_then(|h| h.latency_of(i)),
+            trace: hub.as_ref().map(|h| Arc::clone(&h.trace)),
+            stamp: hub.is_some(),
         };
         let rx = receivers[i].take();
         let eos_left = in_degrees[i];
@@ -565,6 +675,42 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
     // in for actors with no upstream.
     drop(senders);
 
+    // Background sampler: wakes every `interval`, snapshots all counters
+    // and queue depths into the hub. Spawned only when telemetry was
+    // requested (and the `telemetry` feature is on), so the plain [`run`]
+    // path pays nothing.
+    #[cfg(feature = "telemetry")]
+    let sampler = telemetry.and_then(|tcfg| {
+        hub.as_ref().map(|hub| {
+            let hub = Arc::clone(hub);
+            let metrics = metrics.clone();
+            let probes = Arc::clone(&probes);
+            let interval = tcfg.interval.max(Duration::from_micros(100));
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop_flag = Arc::clone(&stop);
+            let handle = thread::Builder::new()
+                .name("ss-telemetry".into())
+                .spawn(move || {
+                    use std::sync::atomic::Ordering;
+                    let mut next = started_at + interval;
+                    while !stop_flag.load(Ordering::Acquire) {
+                        let now = Instant::now();
+                        if now < next {
+                            // Re-check stop and the deadline after every
+                            // wakeup: park_timeout may return spuriously.
+                            thread::park_timeout(next - now);
+                            continue;
+                        }
+                        next += interval;
+                        let t_ns = started_at.elapsed().as_nanos() as u64;
+                        hub.sample(t_ns, &gather_raw(&metrics, &probes));
+                    }
+                })
+                .expect("spawn telemetry sampler thread");
+            (stop, handle)
+        })
+    });
+
     let mut names = vec![String::new(); n];
     let mut failure: Option<EngineError> = None;
     for (i, name, handle) in handles {
@@ -580,10 +726,28 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
         }
         names[i] = name;
     }
+    let wall = started_at.elapsed();
+
+    // Stop the sampler before the final end-of-run snapshot so snapshot
+    // ticks stay strictly ordered.
+    #[cfg(feature = "telemetry")]
+    if let Some((stop, handle)) = sampler {
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        handle.thread().unpark();
+        let _ = handle.join();
+    }
+    let telemetry_report = hub.map(|hub| {
+        let t_ns = started_at.elapsed().as_nanos() as u64;
+        hub.sample(t_ns, &gather_raw(&metrics, &probes));
+        Arc::try_unwrap(hub)
+            .ok()
+            .expect("every telemetry holder has been joined")
+            .into_report()
+    });
+
     if let Some(err) = failure {
         return Err(err);
     }
-    let wall = started_at.elapsed();
 
     let reports = (0..n)
         .map(|i| metrics[i].snapshot(&names[i], ActorId(i)))
@@ -591,12 +755,24 @@ pub fn run(graph: ActorGraph, config: &EngineConfig) -> Result<RunReport, Engine
     let dead_letters = Arc::try_unwrap(dead_letters)
         .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .unwrap_or_else(|arc| arc.lock().unwrap_or_else(PoisonError::into_inner).clone());
-    Ok(RunReport {
-        actors: reports,
-        wall,
-        started_at,
-        dead_letters,
-    })
+    Ok((
+        RunReport {
+            actors: reports,
+            wall,
+            started_at,
+            dead_letters,
+        },
+        telemetry_report,
+    ))
+}
+
+/// Loads every actor's raw cumulative counters plus current queue depth.
+fn gather_raw(metrics: &[Arc<ActorMetrics>], probes: &[Option<DepthProbe>]) -> Vec<RawCounters> {
+    metrics
+        .iter()
+        .zip(probes)
+        .map(|(m, p)| RawCounters::from_metrics(m, p.as_ref().map(DepthProbe::len)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1154,6 +1330,101 @@ mod tests {
         assert_eq!(r.actor(k).items_in, 0);
         assert_eq!(r.dead_letters.total(), 25);
         assert_eq!(r.total_dead_letters(), 25);
+    }
+
+    #[test]
+    fn telemetry_run_samples_latency_and_traces_lifecycle() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(5_000.0, 200)));
+        let w = g.add_actor("work", Behavior::worker(Spin::new("w", 50_000)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        let tcfg = TelemetryConfig::default().with_interval(Duration::from_millis(5));
+        let (report, tel) = run_with_telemetry(g, &fast_cfg(), &tcfg).unwrap();
+        assert_eq!(report.actor(k).items_in, 200);
+
+        // At minimum the end-of-run snapshot exists; with the sampler
+        // feature on, a ~40 ms paced run at a 5 ms interval yields several.
+        assert!(!tel.snapshots.is_empty());
+        #[cfg(feature = "telemetry")]
+        assert!(tel.snapshots.len() >= 2, "got {}", tel.snapshots.len());
+        let last = tel.snapshots.last().unwrap();
+        assert_eq!(last.actors.len(), 3);
+        assert_eq!(last.actors[k.0].items_in, 200);
+        assert_eq!(
+            last.actors[s.0].queue_depth, None,
+            "sources have no mailbox"
+        );
+        assert_eq!(last.actors[w.0].queue_capacity, Some(64));
+
+        // Every tuple's end-to-end latency landed in the sink histogram.
+        assert_eq!(last.latencies.len(), 1);
+        assert_eq!(last.latencies[0].actor, k);
+        assert_eq!(last.latencies[0].latency.count, 200);
+        // The Spin stage costs 50 µs alone, so the p50 must exceed that.
+        assert!(
+            last.latencies[0].latency.p50_ns >= 50_000,
+            "p50 {}",
+            last.latencies[0].latency.p50_ns
+        );
+
+        // Lifecycle trace: every actor started and finished.
+        let starts = tel
+            .trace
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::ActorStarted)
+            .count();
+        let finishes = tel
+            .trace
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::ActorFinished)
+            .count();
+        assert_eq!(starts, 3);
+        assert_eq!(finishes, 3);
+        // Sequence numbers are gap-free and ordered.
+        for (i, e) in tel.trace.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        // Snapshot ticks are strictly increasing with monotone time.
+        for pair in tel.snapshots.windows(2) {
+            assert_eq!(pair[1].tick, pair[0].tick + 1);
+            assert!(pair[1].t_ns >= pair[0].t_ns);
+        }
+    }
+
+    #[test]
+    fn telemetry_traces_panics_restarts_and_stops() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 20)),
+        );
+        let w = g.add_actor("flaky", Behavior::Worker(Box::new(PanicEvery { every: 5 })));
+        g.connect(s, Route::Unicast(w));
+        g.set_supervision(w, SupervisorSpec::restart(2, Backoff::none()));
+        let (report, tel) =
+            run_with_telemetry(g, &fast_cfg(), &TelemetryConfig::default()).unwrap();
+        // seq 0 and 5 panic and restart; seq 10's panic exhausts the
+        // budget (stop); seq 11-19 then arrive at a stopped actor.
+        assert_eq!(report.actor(w).panics, 3);
+        let count = |k: TraceEventKind| tel.trace.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(TraceEventKind::OperatorPanicked), 3);
+        assert_eq!(count(TraceEventKind::OperatorRestarted), 2);
+        assert_eq!(count(TraceEventKind::ActorStopped), 1);
+        // 3 poisoned items + 9 items dropped at the stopped actor.
+        assert_eq!(
+            tel.trace
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::DeadLetter { .. }))
+                .count(),
+            12
+        );
+        // The final snapshot reflects the same counters.
+        let last = tel.snapshots.last().unwrap();
+        assert_eq!(last.actors[w.0].panics, 3);
+        assert_eq!(last.actors[w.0].restarts, 2);
     }
 
     #[test]

@@ -106,8 +106,9 @@ mod rng;
 mod route;
 mod sim;
 pub mod supervision;
+pub mod telemetry;
 
-pub use engine::{run, EngineConfig, EngineError};
+pub use engine::{run, run_with_telemetry, EngineConfig, EngineError};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
 pub use mailbox::{channel, Envelope, Receiver, RecvResult, SendOutcome, Sender};
 pub use meta::{MetaDest, MetaOperator, MetaRoute};
@@ -116,8 +117,14 @@ pub use operator::{Outputs, StreamOperator, DEFAULT_PORT};
 pub use profiler::{profile_operator, sample_stream, ProfileResult};
 pub use rng::XorShift64;
 pub use route::Route;
-pub use sim::{execute, simulate, Executor, SimConfig};
+pub use sim::{
+    execute, execute_with_telemetry, simulate, simulate_with_telemetry, Executor, SimConfig,
+};
 pub use supervision::{
     Backoff, DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory,
     RestartPolicy, SupervisionPolicy, SupervisorSpec,
+};
+pub use telemetry::{
+    LatencyHistogram, LatencySnapshot, TelemetryConfig, TelemetryReport, TelemetrySnapshot,
+    TraceEvent, TraceEventKind, TraceLog,
 };

@@ -201,6 +201,43 @@ impl Sender {
     }
 }
 
+/// A passive observer of a mailbox's queue depth.
+///
+/// Unlike a cloned [`Sender`], a probe does not count as a producer, so
+/// holding one does not delay disconnect detection on the receiver side —
+/// the telemetry sampler can keep probes alive for the whole run without
+/// perturbing termination.
+pub struct DepthProbe {
+    inner: Arc<Inner>,
+}
+
+impl DepthProbe {
+    /// Current queue length (approximate; the queue is concurrently
+    /// mutated).
+    pub fn len(&self) -> usize {
+        lock_queue(&self.inner.queue).len()
+    }
+
+    /// True if the queue is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mailbox capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl Sender {
+    /// Creates a passive depth probe on this mailbox.
+    pub fn depth_probe(&self) -> DepthProbe {
+        DepthProbe {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
 impl Receiver {
     /// Blocks until an envelope is available or every sender is gone.
     pub fn recv(&self) -> RecvResult {
@@ -375,6 +412,24 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = channel(0);
+    }
+
+    #[test]
+    fn depth_probe_observes_without_producing() {
+        let (tx, rx) = channel(4);
+        let probe = tx.depth_probe();
+        assert!(probe.is_empty());
+        assert_eq!(probe.capacity(), 4);
+        tx.send(item(0), LONG);
+        tx.send(item(1), LONG);
+        assert_eq!(probe.len(), 2);
+        // Dropping the only sender must still disconnect the receiver even
+        // though the probe outlives it.
+        drop(tx);
+        assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
+        assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
+        assert_eq!(rx.recv(), RecvResult::Disconnected);
+        assert_eq!(probe.len(), 0);
     }
 
     #[test]

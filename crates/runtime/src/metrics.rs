@@ -149,13 +149,22 @@ impl RunReport {
         &self.actors[id.0]
     }
 
-    /// Measured topology throughput: the departure rate of the (first)
-    /// source actor, per the paper's definition (§5.2).
+    /// Measured topology throughput, per the paper's definition (§5.2):
+    /// the combined departure rate of the source actors. Multi-source
+    /// topologies sum the per-source rates; `None` if no source produced a
+    /// measurable rate (fewer than two departures everywhere).
     pub fn source_throughput(&self) -> Option<f64> {
-        self.actors
+        let rates: Vec<f64> = self
+            .actors
             .iter()
-            .find(|a| a.items_in == 0 && a.items_out > 0)
-            .and_then(|a| a.departure_rate())
+            .filter(|a| a.items_in == 0 && a.items_out > 0)
+            .filter_map(|a| a.departure_rate())
+            .collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates.iter().sum())
+        }
     }
 
     /// Total items dropped anywhere (should be zero with an adequate send
@@ -261,5 +270,61 @@ mod tests {
         assert_eq!(rep.total_restarts(), 0);
         assert_eq!(rep.total_dead_letters(), 0);
         assert!(rep.dead_letters.is_empty());
+    }
+
+    #[test]
+    fn run_report_source_throughput_sums_all_sources() {
+        // Two independent sources (no arrivals, >0 departures) at 100/s and
+        // 50/s feeding one worker: topology throughput is their sum.
+        let source_a = ActorReport {
+            items_in: 0,
+            ..report(101, 0, 1_000_000_000)
+        };
+        let source_b = ActorReport {
+            id: ActorId(1),
+            items_in: 0,
+            ..report(51, 0, 1_000_000_000)
+        };
+        let worker = ActorReport {
+            id: ActorId(2),
+            items_in: 152,
+            ..report(152, 0, 1_000_000_000)
+        };
+        let rep = RunReport {
+            actors: vec![source_a, source_b, worker],
+            wall: Duration::from_secs(1),
+            started_at: Instant::now(),
+            dead_letters: DeadLetterLog::default(),
+        };
+        assert!((rep.source_throughput().unwrap() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_report_source_throughput_skips_unmeasurable_sources() {
+        // A one-shot source (single departure, no measurable rate) must not
+        // hide the measurable one, and an all-unmeasurable report is None.
+        let one_shot = ActorReport {
+            items_in: 0,
+            ..report(1, 0, 0)
+        };
+        let steady = ActorReport {
+            id: ActorId(1),
+            items_in: 0,
+            ..report(101, 0, 1_000_000_000)
+        };
+        let rep = RunReport {
+            actors: vec![one_shot.clone(), steady],
+            wall: Duration::from_secs(1),
+            started_at: Instant::now(),
+            dead_letters: DeadLetterLog::default(),
+        };
+        assert!((rep.source_throughput().unwrap() - 100.0).abs() < 1e-9);
+        let rep = RunReport {
+            actors: vec![one_shot],
+            wall: Duration::from_secs(1),
+            started_at: Instant::now(),
+            dead_letters: DeadLetterLog::default(),
+        };
+        assert_eq!(rep.source_throughput(), None);
     }
 }

@@ -60,6 +60,23 @@ impl Outputs {
     pub fn drain(&mut self) -> impl Iterator<Item = (usize, Tuple)> + '_ {
         self.items.drain(..)
     }
+
+    /// Propagates a source timestamp onto any buffered item the operator
+    /// constructed from scratch (i.e. still unstamped). Called by the
+    /// executors after each `process` invocation so end-to-end latency
+    /// survives operators that build fresh tuples (aggregates,
+    /// projections) instead of forwarding copies of their input. A no-op
+    /// when the input itself was unstamped (`src_ns == 0`).
+    pub fn inherit_stamp(&mut self, src_ns: u64) {
+        if src_ns == 0 {
+            return;
+        }
+        for (_, item) in self.items.iter_mut() {
+            if item.src_ns == 0 {
+                item.src_ns = src_ns;
+            }
+        }
+    }
 }
 
 /// A streaming operator: the unit of user logic executed by an actor.
@@ -131,6 +148,21 @@ mod tests {
         assert_eq!(out.items()[1].0, 2);
         out.clear();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn inherit_stamp_fills_only_unstamped_items() {
+        let mut out = Outputs::new();
+        out.emit_default(Tuple::default()); // fresh, unstamped
+        out.emit_default(Tuple::default().stamped(7)); // forwarded copy
+        out.inherit_stamp(42);
+        assert_eq!(out.items()[0].1.src_ns, 42);
+        assert_eq!(out.items()[1].1.src_ns, 7);
+        // Unstamped input: nothing to propagate.
+        let mut out = Outputs::new();
+        out.emit_default(Tuple::default());
+        out.inherit_stamp(0);
+        assert_eq!(out.items()[0].1.src_ns, 0);
     }
 
     #[test]

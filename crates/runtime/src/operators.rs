@@ -113,6 +113,9 @@ pub fn synthetic_work(ns: u64) {
 }
 
 /// Enables/disables virtual-work accounting on this thread.
+///
+/// Prefer [`VirtualWorkGuard::enter`], which restores the previous mode
+/// even if the protected code panics.
 pub fn set_virtual_work_mode(on: bool) {
     VIRTUAL_MODE.with(|m| m.set(on));
     if on {
@@ -120,10 +123,43 @@ pub fn set_virtual_work_mode(on: bool) {
     }
 }
 
+/// True while this thread accounts synthetic work onto the virtual clock.
+pub fn virtual_work_mode() -> bool {
+    VIRTUAL_MODE.with(|m| m.get())
+}
+
 /// Takes (and resets) the virtual work accumulated on this thread since the
 /// last call.
 pub fn take_virtual_work_ns() -> u64 {
     VIRTUAL_NS.with(|v| v.replace(0))
+}
+
+/// RAII scope for virtual-work accounting: enables the mode on
+/// construction (discarding any stale accumulated nanoseconds) and
+/// restores the previous mode on drop — including when unwinding from a
+/// panicking operator, so a panic mid-profile or mid-simulation can never
+/// leave the thread silently accounting instead of spinning.
+#[derive(Debug)]
+pub struct VirtualWorkGuard {
+    was_virtual: bool,
+}
+
+impl VirtualWorkGuard {
+    /// Enters virtual-work mode on the current thread.
+    #[must_use = "the guard restores the previous mode on drop"]
+    pub fn enter() -> Self {
+        let was_virtual = virtual_work_mode();
+        set_virtual_work_mode(true);
+        VirtualWorkGuard { was_virtual }
+    }
+}
+
+impl Drop for VirtualWorkGuard {
+    fn drop(&mut self) {
+        if !self.was_virtual {
+            VIRTUAL_MODE.with(|m| m.set(false));
+        }
+    }
 }
 
 /// The statistical distribution of an operator's per-item service time
@@ -375,6 +411,33 @@ mod tests {
         assert_eq!(take_virtual_work_ns(), 50_000_000);
         assert_eq!(take_virtual_work_ns(), 0, "take resets the counter");
         set_virtual_work_mode(false);
+    }
+
+    #[test]
+    fn virtual_work_guard_restores_mode_on_panic() {
+        assert!(!virtual_work_mode());
+        // Normal scope: mode active inside, restored after.
+        {
+            let _guard = VirtualWorkGuard::enter();
+            assert!(virtual_work_mode());
+            // Nested guards keep the mode active until the outermost drops.
+            {
+                let _inner = VirtualWorkGuard::enter();
+                assert!(virtual_work_mode());
+            }
+            assert!(virtual_work_mode());
+        }
+        assert!(!virtual_work_mode());
+        // Panicking scope: the guard must still restore the mode while
+        // unwinding — the failure mode the vestigial `was_virtual` code in
+        // the profiler never handled.
+        let result = std::panic::catch_unwind(|| {
+            let _guard = VirtualWorkGuard::enter();
+            panic!("operator died mid-profile");
+        });
+        assert!(result.is_err());
+        assert!(!virtual_work_mode(), "panic leaked virtual-work mode");
+        take_virtual_work_ns();
     }
 
     #[test]

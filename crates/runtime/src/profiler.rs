@@ -44,13 +44,9 @@ pub fn profile_operator(
     // intrinsic (wall-clock) compute plus its declared synthetic work,
     // matching how the discrete-event executor accounts it. Threaded
     // execution spins the same number of nanoseconds, so the profile is
-    // valid for both executors.
-    let was_virtual = {
-        crate::operators::set_virtual_work_mode(true);
-        crate::operators::take_virtual_work_ns();
-        true
-    };
-    let _ = was_virtual;
+    // valid for both executors. The RAII guard restores the previous mode
+    // even if the operator panics mid-profile.
+    let _mode = crate::operators::VirtualWorkGuard::enter();
     let mut out = Outputs::new();
     for item in &inputs[..warmup] {
         op.process(*item, &mut out);
@@ -66,7 +62,6 @@ pub fn profile_operator(
         out.clear();
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64 + crate::operators::take_virtual_work_ns();
-    crate::operators::set_virtual_work_mode(false);
     ProfileResult {
         mean_service_time: ServiceTime::from_secs(elapsed_ns as f64 / 1e9 / measured.len() as f64),
         output_selectivity: emitted as f64 / measured.len() as f64,
@@ -147,5 +142,25 @@ mod tests {
         let mut op = Spin::new("s", 0);
         let inputs = sample_stream(10, 1, 1);
         profile_operator(&mut op, &inputs, 10);
+    }
+
+    #[test]
+    fn panicking_operator_does_not_leak_virtual_mode() {
+        struct Bomb;
+        impl crate::StreamOperator for Bomb {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("boom");
+            }
+        }
+        let inputs = sample_stream(10, 1, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            profile_operator(&mut Bomb, &inputs, 2);
+        }));
+        assert!(result.is_err());
+        assert!(
+            !crate::operators::virtual_work_mode(),
+            "profiler leaked virtual-work mode after an operator panic"
+        );
+        crate::operators::take_virtual_work_ns();
     }
 }

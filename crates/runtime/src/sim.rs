@@ -28,9 +28,14 @@ use crate::metrics::{ActorReport, RunReport};
 use crate::operator::Outputs;
 use crate::rng::XorShift64;
 use crate::route::RouteState;
+use crate::telemetry::{
+    HubActor, LatencyHistogram, RawCounters, TelemetryConfig, TelemetryHub, TelemetryReport,
+    TraceEventKind,
+};
 use crate::{ActorId, EngineError, StreamOperator};
 use spinstreams_core::{Tuple, TUPLE_ARITY};
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the virtual-time executor.
@@ -40,6 +45,12 @@ pub struct SimConfig {
     pub mailbox_capacity: usize,
     /// Base RNG seed; actor `i` uses `seed + i`.
     pub seed: u64,
+    /// Include each operator's *real* measured compute time in its virtual
+    /// service time (the default, and the faithful model). Disable to make
+    /// service times purely the declared synthetic work, which renders the
+    /// whole simulation — including telemetry snapshots — bit-for-bit
+    /// reproducible across runs and hosts.
+    pub intrinsic_time: bool,
 }
 
 impl Default for SimConfig {
@@ -47,6 +58,7 @@ impl Default for SimConfig {
         SimConfig {
             mailbox_capacity: 256,
             seed: 0xC0FFEE,
+            intrinsic_time: true,
         }
     }
 }
@@ -87,6 +99,8 @@ struct SimActor {
     closed: bool,
     blocked_since: u64,
     downstream: Vec<usize>,
+    /// Present only with telemetry enabled on sink actors.
+    latency: Option<Arc<LatencyHistogram>>,
     // metrics
     items_in: u64,
     items_out: u64,
@@ -142,6 +156,12 @@ struct Sim {
     seq: u64,
     out_buf: Outputs,
     end_time: u64,
+    /// Present only with telemetry enabled.
+    hub: Option<Arc<TelemetryHub>>,
+    /// Stamp source emissions with their (virtual) departure time.
+    stamp: bool,
+    /// Include real measured compute in virtual service times.
+    intrinsic_time: bool,
 }
 
 impl Sim {
@@ -156,17 +176,52 @@ impl Sim {
         });
     }
 
+    /// Records a lifecycle trace event, if telemetry is enabled.
+    fn trace(&self, now: u64, a: usize, kind: TraceEventKind) {
+        if let Some(hub) = &self.hub {
+            hub.trace.record(now, ActorId(a), kind);
+        }
+    }
+
+    /// Snapshots every actor's counters and queue depth at virtual `t_ns`.
+    fn take_sample(&self, t_ns: u64) {
+        if let Some(hub) = &self.hub {
+            let raw: Vec<RawCounters> = self
+                .actors
+                .iter()
+                .map(|a| RawCounters {
+                    items_in: a.items_in,
+                    items_out: a.items_out,
+                    busy_ns: a.busy_ns,
+                    queue_depth: if matches!(a.kind, Kind::Source { .. }) {
+                        None
+                    } else {
+                        Some(a.queue.len())
+                    },
+                    ..RawCounters::default()
+                })
+                .collect();
+            hub.sample(t_ns, &raw);
+        }
+    }
+
     /// Runs the operator on one item, returning the virtual service time.
     fn run_operator(&mut self, a: usize, item: Tuple) -> u64 {
         crate::operators::take_virtual_work_ns();
+        let src_ns = item.src_ns;
         let t0 = Instant::now();
         let mut out = std::mem::take(&mut self.out_buf);
         out.clear();
         if let Kind::Worker { op } = &mut self.actors[a].kind {
             op.process(item, &mut out);
         }
-        let intrinsic = t0.elapsed().as_nanos() as u64;
+        let intrinsic = if self.intrinsic_time {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let virt = crate::operators::take_virtual_work_ns();
+        out.inherit_stamp(src_ns);
         self.actors[a].in_flight.clear();
         let in_flight: Vec<(usize, Tuple)> = out.drain().collect();
         self.actors[a].in_flight = in_flight;
@@ -184,6 +239,12 @@ impl Sim {
                 let dest = actor.routes[port].pick(&item, &mut actor.route_rng);
                 actor.pending.push_back((dest.0, item));
             } else {
+                // Sink emission: end of the tuple's end-to-end span.
+                if let Some(hist) = &self.actors[a].latency {
+                    if let Some(lat) = item.latency_ns(now) {
+                        hist.record(lat);
+                    }
+                }
                 self.actors[a].record_out(now);
             }
         }
@@ -267,7 +328,11 @@ impl Sim {
                 return;
             };
             let since = self.actors[w].blocked_since;
-            self.actors[w].blocked_ns += now.saturating_sub(since);
+            let blocked = now.saturating_sub(since);
+            self.actors[w].blocked_ns += blocked;
+            if blocked > 0 {
+                self.trace(now, w, TraceEventKind::Blocked { ns: blocked });
+            }
             self.actors[w].state = AState::Idle;
             self.deliver_pending(w, now);
         }
@@ -293,7 +358,12 @@ impl Sim {
         if let Kind::Worker { op } = &mut self.actors[a].kind {
             op.flush(&mut out);
         }
-        let flush_ns = t0.elapsed().as_nanos() as u64 + crate::operators::take_virtual_work_ns();
+        let intrinsic = if self.intrinsic_time {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let flush_ns = intrinsic + crate::operators::take_virtual_work_ns();
         self.actors[a].busy_ns += flush_ns;
         let in_flight: Vec<(usize, Tuple)> = out.drain().collect();
         self.out_buf = out;
@@ -308,6 +378,7 @@ impl Sim {
             return;
         }
         self.actors[a].closed = true;
+        self.trace(now, a, TraceEventKind::ActorFinished);
         self.end_time = self.end_time.max(now);
         let downstream = self.actors[a].downstream.clone();
         for d in downstream {
@@ -336,6 +407,11 @@ impl Sim {
             }
             Tuple::new(key, seq, values)
         };
+        let tuple = if self.stamp {
+            tuple.stamped(now)
+        } else {
+            tuple
+        };
         self.actors[a].in_flight.push((0, tuple));
         self.resolve_outputs(a, now);
         self.deliver_pending(a, now);
@@ -358,11 +434,58 @@ impl Sim {
 /// never dropped (BAS with unbounded patience — §5.1 configures the
 /// timeout so that no drops occur).
 pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, EngineError> {
+    simulate_with(graph, config, None).map(|(report, _)| report)
+}
+
+/// Like [`simulate`], but with the telemetry layer enabled: snapshots are
+/// taken at exact virtual-clock boundaries (every `telemetry.interval` of
+/// *virtual* time, plus one at end of run), so the sampled telemetry is as
+/// deterministic as the simulation itself — bit-for-bit reproducible given
+/// the seeds when [`SimConfig::intrinsic_time`] is off.
+///
+/// # Errors
+///
+/// Fails exactly as [`simulate`] does.
+pub fn simulate_with_telemetry(
+    graph: ActorGraph,
+    config: &SimConfig,
+    telemetry: &TelemetryConfig,
+) -> Result<(RunReport, TelemetryReport), EngineError> {
+    simulate_with(graph, config, Some(telemetry))
+        .map(|(report, tel)| (report, tel.expect("telemetry was requested")))
+}
+
+fn simulate_with(
+    graph: ActorGraph,
+    config: &SimConfig,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(RunReport, Option<TelemetryReport>), EngineError> {
     let in_degrees = graph.in_degrees();
     let actors = graph.into_actors();
     validate(&actors)?;
 
-    crate::operators::set_virtual_work_mode(true);
+    let hub: Option<Arc<TelemetryHub>> = telemetry.map(|tcfg| {
+        let hub_actors = actors
+            .iter()
+            .map(|spec| HubActor {
+                name: spec.name.clone(),
+                queue_capacity: if spec.behavior.is_source() {
+                    None
+                } else {
+                    Some(spec.mailbox_capacity.unwrap_or(config.mailbox_capacity))
+                },
+                latency: if !spec.behavior.is_source() && spec.routes.is_empty() {
+                    Some(Arc::new(LatencyHistogram::new()))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        Arc::new(TelemetryHub::new(hub_actors, tcfg))
+    });
+
+    // RAII: virtual-work mode is restored even if an operator panics.
+    let _mode = crate::operators::VirtualWorkGuard::enter();
 
     let n = actors.len();
     let mut sim = Sim {
@@ -371,6 +494,9 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
         seq: 0,
         out_buf: Outputs::new(),
         end_time: 0,
+        hub: hub.clone(),
+        stamp: hub.is_some(),
+        intrinsic_time: config.intrinsic_time,
     };
     for (i, spec) in actors.into_iter().enumerate() {
         let downstream: Vec<usize> = {
@@ -419,6 +545,7 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
             closed: false,
             blocked_since: 0,
             downstream,
+            latency: hub.as_ref().and_then(|h| h.latency_of(i)),
             items_in: 0,
             items_out: 0,
             busy_ns: 0,
@@ -429,7 +556,11 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
     }
 
     // Kick off: sources emit at t=0 (an empty source closes immediately);
-    // input-less workers finish immediately.
+    // input-less workers finish immediately. Every actor's (simulated)
+    // server starts at t=0.
+    for i in 0..n {
+        sim.trace(0, i, TraceEventKind::ActorStarted);
+    }
     for i in 0..n {
         match &sim.actors[i].kind {
             Kind::Source { cfg, .. } => {
@@ -443,15 +574,31 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
         }
     }
 
+    // Virtual-clock sampling: before advancing past a sample boundary,
+    // snapshot the state as of that exact virtual instant. Events at the
+    // boundary itself are processed after the snapshot, a fixed (hence
+    // deterministic) convention.
+    let interval_ns: Option<u64> = telemetry.map(|t| (t.interval.as_nanos() as u64).max(1));
+    let mut next_sample = interval_ns.unwrap_or(u64::MAX);
+    let mut last_sample_t: Option<u64> = None;
     while let Some(ev) = sim.heap.pop() {
+        if let Some(iv) = interval_ns {
+            while ev.time >= next_sample {
+                sim.take_sample(next_sample);
+                last_sample_t = Some(next_sample);
+                next_sample += iv;
+            }
+        }
         match ev.kind {
             Ev::SourceEmit => sim.handle_source_emit(ev.actor, ev.time),
             Ev::ServiceDone => sim.handle_service_done(ev.actor, ev.time),
         }
         sim.end_time = sim.end_time.max(ev.time);
     }
-
-    crate::operators::set_virtual_work_mode(false);
+    // Final end-of-run snapshot (unless one landed exactly there already).
+    if hub.is_some() && last_sample_t != Some(sim.end_time) {
+        sim.take_sample(sim.end_time);
+    }
 
     let started_at = Instant::now();
     let reports: Vec<ActorReport> = sim
@@ -476,12 +623,23 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
             dead_letters: 0,
         })
         .collect();
-    Ok(RunReport {
-        actors: reports,
-        wall: Duration::from_nanos(sim.end_time),
-        started_at,
-        dead_letters: crate::supervision::DeadLetterLog::default(),
-    })
+    let wall = Duration::from_nanos(sim.end_time);
+    drop(sim); // releases the sim's hub clone so the unwrap below is unique
+    let telemetry_report = hub.map(|hub| {
+        Arc::try_unwrap(hub)
+            .ok()
+            .expect("simulation holds the only other hub reference")
+            .into_report()
+    });
+    Ok((
+        RunReport {
+            actors: reports,
+            wall,
+            started_at,
+            dead_letters: crate::supervision::DeadLetterLog::default(),
+        },
+        telemetry_report,
+    ))
 }
 
 /// Selects how a deployment is executed.
@@ -514,6 +672,23 @@ pub fn execute(graph: ActorGraph, executor: &Executor) -> Result<RunReport, Engi
     }
 }
 
+/// Runs `graph` on the selected executor with the telemetry layer enabled
+/// (see [`crate::run_with_telemetry`] and [`simulate_with_telemetry`]).
+///
+/// # Errors
+///
+/// Validation errors from either engine ([`EngineError`]).
+pub fn execute_with_telemetry(
+    graph: ActorGraph,
+    executor: &Executor,
+    telemetry: &TelemetryConfig,
+) -> Result<(RunReport, TelemetryReport), EngineError> {
+    match executor {
+        Executor::Threads(cfg) => crate::run_with_telemetry(graph, cfg, telemetry),
+        Executor::VirtualTime(cfg) => simulate_with_telemetry(graph, cfg, telemetry),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +699,7 @@ mod tests {
         SimConfig {
             mailbox_capacity: 64,
             seed: 1,
+            ..SimConfig::default()
         }
     }
 
@@ -627,6 +803,7 @@ mod tests {
             &SimConfig {
                 mailbox_capacity: 8,
                 seed: 1,
+                ..SimConfig::default()
             },
         )
         .unwrap();
@@ -710,6 +887,83 @@ mod tests {
     fn validation_still_applies() {
         let g = ActorGraph::new();
         assert_eq!(simulate(g, &cfg()).unwrap_err(), EngineError::NoActors);
+    }
+
+    #[test]
+    fn telemetry_snapshots_fall_on_virtual_clock_boundaries() {
+        // 1000/s bottleneck over 2000 items ≈ 2 s of virtual time; a
+        // 100 ms virtual interval yields ~20 interior snapshots plus the
+        // final one, each timestamped exactly on a boundary.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor("src", Behavior::Source(SourceConfig::new(2_000.0, 2000)));
+        let w = g.add_actor("work", work(1_000_000));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_mailbox_capacity(w, 8);
+        let tcfg = TelemetryConfig::default().with_interval(Duration::from_millis(100));
+        let (report, tel) = simulate_with_telemetry(g, &cfg(), &tcfg).unwrap();
+        assert_eq!(report.actor(k).items_in, 2000);
+        assert!(tel.snapshots.len() >= 15, "got {}", tel.snapshots.len());
+        for snap in &tel.snapshots[..tel.snapshots.len() - 1] {
+            assert_eq!(snap.t_ns % 100_000_000, 0, "t_ns {}", snap.t_ns);
+        }
+        // Mid-run snapshots see the backpressured bottleneck saturated.
+        let mid = &tel.snapshots[tel.snapshots.len() / 2];
+        assert!(
+            mid.actors[w.0].utilization > 0.9,
+            "bottleneck utilization {}",
+            mid.actors[w.0].utilization
+        );
+        assert!(
+            (mid.actors[w.0].departure_rate - 1000.0).abs() / 1000.0 < 0.05,
+            "rolling departure rate {}",
+            mid.actors[w.0].departure_rate
+        );
+        // Latency at the sink reflects queueing behind the bottleneck.
+        let last = tel.snapshots.last().unwrap();
+        assert_eq!(last.latencies.len(), 1);
+        assert_eq!(last.latencies[0].latency.count, 2000);
+        assert!(last.latencies[0].latency.p50_ns >= 1_000_000);
+        // Lifecycle: every actor started and finished.
+        let count = |kind: TraceEventKind| tel.trace.iter().filter(|e| e.kind == kind).count();
+        assert_eq!(count(TraceEventKind::ActorStarted), 3);
+        assert_eq!(count(TraceEventKind::ActorFinished), 3);
+        // Backpressure produced blocked-transition events.
+        assert!(tel
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Blocked { .. })));
+    }
+
+    #[test]
+    fn telemetry_without_intrinsic_time_is_bit_identical() {
+        let build = || {
+            let mut g = ActorGraph::new();
+            let s = g.add_actor("src", Behavior::Source(SourceConfig::new(5_000.0, 1500)));
+            let a = g.add_actor("a", work(300_000));
+            let b = g.add_actor("b", work(150_000));
+            let k = g.add_actor("sink", Behavior::worker(PassThrough));
+            g.connect(
+                s,
+                Route::Probabilistic {
+                    choices: vec![(a, 0.5), (b, 0.5)],
+                },
+            );
+            g.connect(a, Route::Unicast(k));
+            g.connect(b, Route::Unicast(k));
+            g.set_mailbox_capacity(a, 8);
+            g
+        };
+        let sim_cfg = SimConfig {
+            intrinsic_time: false,
+            ..cfg()
+        };
+        let tcfg = TelemetryConfig::default().with_interval(Duration::from_millis(20));
+        let (_, t1) = simulate_with_telemetry(build(), &sim_cfg, &tcfg).unwrap();
+        let (_, t2) = simulate_with_telemetry(build(), &sim_cfg, &tcfg).unwrap();
+        assert_eq!(t1.to_jsonl(), t2.to_jsonl());
+        assert!(!t1.snapshots.is_empty());
     }
 
     #[test]

@@ -7,41 +7,53 @@
 //! spinstreams fuse     <topology.xml> --members 2,3,4 operator fusion (Algorithm 3)
 //! spinstreams autofuse <topology.xml> [--threshold T] automated greedy fusion (§7)
 //! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
-//! spinstreams run      <topology.xml> [--items N]     execute and compare vs the model
+//! spinstreams run      <topology.xml> [--items N] [--telemetry FILE] [--interval-ms M]
+//!                                                     execute and compare vs the model
 //! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S]
+//!                                     [--telemetry FILE] [--interval-ms M]
 //!                                                     fault-injected run: supervision + dead letters
+//! spinstreams monitor  <topology.xml> [--items N] [--interval-ms M] [--format table|jsonl|prom]
+//!                                                     live telemetry of a threaded run
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! ```
 //!
 //! Topology files follow the §4.1 XML formalism (see `spinstreams-xml`);
 //! operators whose specs carry registry `kind` tags are runnable.
 
+use spinstreams_analysis::DriftConfig;
 use spinstreams_analysis::{
     apply_replica_bound, auto_fuse, eliminate_bottlenecks, evaluate_with_replicas,
     format_fission_plan, format_steady_state, fuse, fusion_candidates, steady_state,
 };
-use spinstreams_codegen::{emit_rust_source, CodegenOptions};
+use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
+use spinstreams_runtime::{run_with_telemetry, EngineConfig, TelemetryConfig};
 use spinstreams_tool::{
-    chaos_table, comparison_table, experiment_executor, predict_vs_measure, run_chaos,
-    topology_dot, ChaosConfig,
+    chaos_table, comparison_table, drift_json, experiment_executor, monitor_table,
+    predict_vs_measure, predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text,
+    run_chaos, run_chaos_with_telemetry, topology_dot, ChaosConfig, DriftExporter,
 };
 use spinstreams_xml::topology_from_xml;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos> <topology.xml> [options]\n\
+        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|dot> <topology.xml> [options]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
          fuse      — fuse a sub-graph (Algorithm 3); --members i,j,k (0-based operator ids)\n\
          autofuse  — automated greedy fusion; --threshold T (default 0.9)\n\
          codegen   — emit the optimized application's Rust source; --out FILE\n\
-         run       — execute on the virtual-time runtime and compare vs the model; --items N\n\
+         run       — execute on the virtual-time runtime and compare vs the model; --items N,\n\
+                     --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M\n\
          chaos     — fault-injected threaded run exercising supervision;\n\
-                     --items N, --panic-prob P (default 0.05), --seed S\n\
+                     --items N, --panic-prob P (default 0.05), --seed S,\n\
+                     --telemetry FILE, --interval-ms M\n\
+         monitor   — live telemetry of a threaded run; --items N, --interval-ms M,\n\
+                     --format table|jsonl|prom (default table)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan"
     );
     ExitCode::FAILURE
@@ -52,6 +64,14 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn telemetry_config(args: &[String]) -> TelemetryConfig {
+    let interval_ms = flag_value(args, "--interval-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .max(1);
+    TelemetryConfig::default().with_interval(Duration::from_millis(interval_ms))
 }
 
 fn load(path: &str) -> Result<Topology, String> {
@@ -192,12 +212,50 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(20_000);
             let executor = experiment_executor(0x70_01);
-            match predict_vs_measure(&topo, None, &[], &[], items, &executor) {
-                Ok(cmp) => print!("{}", comparison_table(path, &cmp)),
-                Err(e) => {
-                    eprintln!("run failed: {e}");
-                    return ExitCode::FAILURE;
+            match flag_value(&args, "--telemetry") {
+                Some(out) => {
+                    let tcfg = telemetry_config(&args);
+                    let run = match predict_vs_measure_telemetry(
+                        &topo,
+                        items,
+                        &executor,
+                        &tcfg,
+                        DriftConfig::default(),
+                    ) {
+                        Ok(run) => run,
+                        Err(e) => {
+                            eprintln!("run failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if let Err(e) = std::fs::write(&out, &run.export.jsonl) {
+                        eprintln!("cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    print!("{}", comparison_table(path, &run.comparison));
+                    println!(
+                        "telemetry: {} snapshot(s), {} trace event(s) -> {out}",
+                        run.export.snapshot_lines, run.telemetry.trace_total
+                    );
+                    let names: Vec<String> = run
+                        .telemetry
+                        .last_snapshot()
+                        .map(|s| s.actors.iter().map(|a| a.name.clone()).collect())
+                        .unwrap_or_default();
+                    let drifting = run.export.drifting_actors(&names);
+                    if drifting.is_empty() {
+                        println!("drift: all operators within threshold.");
+                    } else {
+                        println!("drift: DRIFTING at {}", drifting.join(", "));
+                    }
                 }
+                None => match predict_vs_measure(&topo, None, &[], &[], items, &executor) {
+                    Ok(cmp) => print!("{}", comparison_table(path, &cmp)),
+                    Err(e) => {
+                        eprintln!("run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
             }
         }
         "chaos" => {
@@ -215,10 +273,92 @@ fn main() -> ExitCode {
                 eprintln!("--panic-prob must be in [0, 1]");
                 return ExitCode::FAILURE;
             }
-            match run_chaos(&topo, &cfg) {
-                Ok(outcome) => print!("{}", chaos_table(path, &cfg, &outcome)),
+            match flag_value(&args, "--telemetry") {
+                Some(out) => {
+                    let tcfg = telemetry_config(&args);
+                    match run_chaos_with_telemetry(&topo, &cfg, &tcfg) {
+                        Ok((outcome, telemetry)) => {
+                            if let Err(e) = std::fs::write(&out, telemetry.to_jsonl()) {
+                                eprintln!("cannot write {out}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            print!("{}", chaos_table(path, &cfg, &outcome));
+                            println!(
+                                "telemetry: {} snapshot(s), {} trace event(s) -> {out}",
+                                telemetry.snapshots.len(),
+                                telemetry.trace_total
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("chaos run failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => match run_chaos(&topo, &cfg) {
+                    Ok(outcome) => print!("{}", chaos_table(path, &cfg, &outcome)),
+                    Err(e) => {
+                        eprintln!("chaos run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            }
+        }
+        "monitor" => {
+            let items = flag_value(&args, "--items")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(50_000);
+            let format = flag_value(&args, "--format").unwrap_or_else(|| "table".into());
+            if !matches!(format.as_str(), "table" | "jsonl" | "prom") {
+                eprintln!("--format must be table, jsonl or prom");
+                return ExitCode::FAILURE;
+            }
+            let report = steady_state(&topo);
+            let plan = match build_actor_graph(
+                &topo,
+                None,
+                &[],
+                &[],
+                &CodegenOptions {
+                    items,
+                    seed: 0x3017,
+                },
+            ) {
+                Ok(plan) => plan,
                 Err(e) => {
-                    eprintln!("chaos run failed: {e}");
+                    eprintln!("codegen failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let predicted = predicted_actor_rates(&topo, &report, &plan);
+            let exporter = DriftExporter::new(predicted, DriftConfig::default());
+            // Redraw in place only when a human is watching.
+            let clear = matches!(format.as_str(), "table")
+                && std::io::IsTerminal::is_terminal(&std::io::stdout());
+            let tcfg = exporter.attach(telemetry_config(&args), move |snap, verdicts| match format
+                .as_str()
+            {
+                "jsonl" => println!("{}", snap.to_json_with(&drift_json(verdicts))),
+                "prom" => println!("{}", prometheus_text(snap, verdicts)),
+                _ => {
+                    if clear {
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    println!("{}", monitor_table(snap, verdicts));
+                }
+            });
+            match run_with_telemetry(plan.graph, &EngineConfig::default(), &tcfg) {
+                Ok((run_report, telemetry)) => {
+                    println!(
+                        "run complete: {} item(s) delivered in {:.2}s wall; {} snapshot(s), {} trace event(s)",
+                        run_report.actors.iter().map(|a| a.items_out).max().unwrap_or(0),
+                        run_report.wall.as_secs_f64(),
+                        telemetry.snapshots.len(),
+                        telemetry.trace_total
+                    );
+                }
+                Err(e) => {
+                    eprintln!("monitor run failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -1,6 +1,10 @@
-//! Plain-text rendering of experiment results (the bench binaries' output).
+//! Plain-text rendering of experiment results (the bench binaries' output)
+//! and of live telemetry snapshots (the `monitor` subcommand's table and
+//! the Prometheus text exposition).
 
 use crate::Comparison;
+use spinstreams_analysis::{DriftStatus, DriftVerdict};
+use spinstreams_runtime::TelemetrySnapshot;
 use std::fmt::Write as _;
 
 /// Renders one or more named series as an aligned text table with a
@@ -85,9 +89,263 @@ pub fn comparison_table(title: &str, cmp: &Comparison) -> String {
     out
 }
 
+fn drift_cell(verdicts: &[DriftVerdict], actor: usize) -> String {
+    match verdicts.iter().find(|v| v.index == actor) {
+        Some(v) => match (v.status, v.rel_error) {
+            (DriftStatus::Drifting, Some(e)) => format!("DRIFT {:.0}%", e * 100.0),
+            (DriftStatus::Ok, Some(e)) => format!("ok {:.0}%", e * 100.0),
+            (s, _) => s.to_string(),
+        },
+        None => "-".into(),
+    }
+}
+
+/// Renders one telemetry snapshot as the live table the `monitor`
+/// subcommand prints: per-actor queue occupancy, rolling rates,
+/// utilization and drift verdict, followed by per-sink latency quantiles.
+pub fn monitor_table(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "t=+{:.3}s  tick {}  window {:.0}ms  trace events {}",
+        snap.t_ns as f64 / 1e9,
+        snap.tick,
+        snap.interval_ns as f64 / 1e6,
+        snap.trace_total
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} {:>9} {:>10} {:>10} {:>9} {:>9} {:>6} {:>10}",
+        "actor", "queue", "in", "out", "arr/s", "dep/s", "util", "drift"
+    );
+    for a in &snap.actors {
+        let queue = match (a.queue_depth, a.queue_capacity) {
+            (Some(d), Some(c)) => format!("{d}/{c}"),
+            (Some(d), None) => format!("{d}"),
+            _ => "-".into(),
+        };
+        let _ = writeln!(
+            s,
+            "{:<18} {:>9} {:>10} {:>10} {:>9.1} {:>9.1} {:>6.2} {:>10}",
+            a.name,
+            queue,
+            a.items_in,
+            a.items_out,
+            a.arrival_rate,
+            a.departure_rate,
+            a.utilization,
+            drift_cell(verdicts, a.id.0)
+        );
+    }
+    for l in &snap.latencies {
+        let _ = writeln!(
+            s,
+            "latency[{}]: n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs p99={:.1}µs max={:.1}µs",
+            l.name,
+            l.latency.count,
+            l.latency.mean_ns as f64 / 1e3,
+            l.latency.p50_ns as f64 / 1e3,
+            l.latency.p95_ns as f64 / 1e3,
+            l.latency.p99_ns as f64 / 1e3,
+            l.latency.max_ns as f64 / 1e3
+        );
+    }
+    s
+}
+
+fn prom_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders one telemetry snapshot in the Prometheus text exposition
+/// format (version 0.0.4): counters for item totals, gauges for queue
+/// depths, rolling rates, utilization, latency quantiles and drift
+/// relative error.
+pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# TYPE spinstreams_actor_items_in_total counter");
+    for a in &snap.actors {
+        let _ = writeln!(
+            s,
+            "spinstreams_actor_items_in_total{{actor=\"{}\"}} {}",
+            prom_label(&a.name),
+            a.items_in
+        );
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_actor_items_out_total counter");
+    for a in &snap.actors {
+        let _ = writeln!(
+            s,
+            "spinstreams_actor_items_out_total{{actor=\"{}\"}} {}",
+            prom_label(&a.name),
+            a.items_out
+        );
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_actor_queue_depth gauge");
+    for a in &snap.actors {
+        if let Some(d) = a.queue_depth {
+            let _ = writeln!(
+                s,
+                "spinstreams_actor_queue_depth{{actor=\"{}\"}} {d}",
+                prom_label(&a.name)
+            );
+        }
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_actor_arrival_rate gauge");
+    for a in &snap.actors {
+        let _ = writeln!(
+            s,
+            "spinstreams_actor_arrival_rate{{actor=\"{}\"}} {:.3}",
+            prom_label(&a.name),
+            a.arrival_rate
+        );
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_actor_departure_rate gauge");
+    for a in &snap.actors {
+        let _ = writeln!(
+            s,
+            "spinstreams_actor_departure_rate{{actor=\"{}\"}} {:.3}",
+            prom_label(&a.name),
+            a.departure_rate
+        );
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_actor_utilization gauge");
+    for a in &snap.actors {
+        let _ = writeln!(
+            s,
+            "spinstreams_actor_utilization{{actor=\"{}\"}} {:.4}",
+            prom_label(&a.name),
+            a.utilization
+        );
+    }
+    let _ = writeln!(s, "# TYPE spinstreams_sink_latency_ns gauge");
+    for l in &snap.latencies {
+        for (q, v) in [
+            ("0.5", l.latency.p50_ns),
+            ("0.95", l.latency.p95_ns),
+            ("0.99", l.latency.p99_ns),
+            ("1", l.latency.max_ns),
+        ] {
+            let _ = writeln!(
+                s,
+                "spinstreams_sink_latency_ns{{sink=\"{}\",quantile=\"{q}\"}} {v}",
+                prom_label(&l.name)
+            );
+        }
+    }
+    let drifting: Vec<&DriftVerdict> = verdicts.iter().filter(|v| v.rel_error.is_some()).collect();
+    if !drifting.is_empty() {
+        let _ = writeln!(s, "# TYPE spinstreams_drift_relative_error gauge");
+        for v in &drifting {
+            let name = snap
+                .actors
+                .iter()
+                .find(|a| a.id.0 == v.index)
+                .map(|a| a.name.as_str())
+                .unwrap_or("?");
+            let _ = writeln!(
+                s,
+                "spinstreams_drift_relative_error{{actor=\"{}\"}} {:.4}",
+                prom_label(name),
+                v.rel_error.unwrap_or(f64::NAN)
+            );
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spinstreams_runtime::telemetry::{ActorSample, LatencySnapshot, SinkLatency};
+    use spinstreams_runtime::ActorId;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            tick: 3,
+            t_ns: 400_000_000,
+            interval_ns: 100_000_000,
+            actors: vec![
+                ActorSample {
+                    id: ActorId(0),
+                    name: "src".into(),
+                    items_in: 0,
+                    items_out: 1000,
+                    queue_depth: None,
+                    queue_capacity: None,
+                    arrival_rate: 0.0,
+                    departure_rate: 2500.0,
+                    utilization: 0.25,
+                    panics: 0,
+                    restarts: 0,
+                    dead_letters: 0,
+                    dropped: 0,
+                },
+                ActorSample {
+                    id: ActorId(1),
+                    name: "slow".into(),
+                    items_in: 990,
+                    items_out: 980,
+                    queue_depth: Some(31),
+                    queue_capacity: Some(32),
+                    arrival_rate: 2500.0,
+                    departure_rate: 2480.0,
+                    utilization: 0.99,
+                    panics: 0,
+                    restarts: 0,
+                    dead_letters: 0,
+                    dropped: 0,
+                },
+            ],
+            latencies: vec![SinkLatency {
+                actor: ActorId(1),
+                name: "slow".into(),
+                latency: LatencySnapshot {
+                    count: 980,
+                    mean_ns: 420_000,
+                    p50_ns: 400_000,
+                    p95_ns: 700_000,
+                    p99_ns: 900_000,
+                    max_ns: 1_200_000,
+                },
+            }],
+            trace_total: 6,
+        }
+    }
+
+    fn verdicts() -> Vec<DriftVerdict> {
+        vec![DriftVerdict {
+            index: 1,
+            predicted: Some(2500.0),
+            measured: Some(1000.0),
+            rel_error: Some(0.6),
+            status: DriftStatus::Drifting,
+        }]
+    }
+
+    #[test]
+    fn monitor_table_shows_queues_rates_and_drift() {
+        let text = monitor_table(&sample_snapshot(), &verdicts());
+        assert!(text.contains("tick 3"));
+        assert!(text.contains("31/32"), "queue occupancy missing:\n{text}");
+        assert!(text.contains("DRIFT 60%"), "drift cell missing:\n{text}");
+        assert!(text.contains("latency[slow]"), "latency line missing");
+        assert!(text.contains("p99=900.0µs"));
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = prometheus_text(&sample_snapshot(), &verdicts());
+        assert!(text.contains("# TYPE spinstreams_actor_items_in_total counter"));
+        assert!(text.contains("spinstreams_actor_queue_depth{actor=\"slow\"} 31"));
+        assert!(text.contains("spinstreams_actor_departure_rate{actor=\"src\"} 2500.000"));
+        assert!(
+            text.contains("spinstreams_sink_latency_ns{sink=\"slow\",quantile=\"0.99\"} 900000")
+        );
+        assert!(text.contains("spinstreams_drift_relative_error{actor=\"slow\"} 0.6000"));
+        // Sources have no mailbox: no queue_depth series for src.
+        assert!(!text.contains("spinstreams_actor_queue_depth{actor=\"src\"}"));
+    }
 
     #[test]
     fn ascii_series_renders_rows_and_bars() {

@@ -115,6 +115,7 @@ pub fn experiment_executor(seed: u64) -> Executor {
     Executor::VirtualTime(spinstreams_runtime::SimConfig {
         mailbox_capacity: 32,
         seed,
+        ..spinstreams_runtime::SimConfig::default()
     })
 }
 
@@ -252,6 +253,7 @@ mod tests {
         Executor::VirtualTime(spinstreams_runtime::SimConfig {
             mailbox_capacity: 32,
             seed: 0xC0FFEE,
+            ..spinstreams_runtime::SimConfig::default()
         })
     }
 

@@ -17,6 +17,11 @@
 //!   worker in a seeded fault injector, supervises it with a restart
 //!   policy, and compares measured throughput degradation against the
 //!   path-probability prediction.
+//! * [`predict_vs_measure_telemetry`] / [`DriftExporter`] — the live
+//!   telemetry exporters: run with the runtime's sampler enabled, tick an
+//!   online [`DriftMonitor`](spinstreams_analysis::DriftMonitor) on every
+//!   snapshot, and render JSON-lines / Prometheus text
+//!   ([`prometheus_text`]) / a live table ([`monitor_table`]).
 //! * [`ascii_series`] / [`comparison_table`] — plain-text rendering used by
 //!   the figure/table binaries in `spinstreams-bench`.
 
@@ -26,11 +31,19 @@ mod chaos;
 mod dot;
 mod format;
 mod harness;
+mod telemetry;
 
-pub use chaos::{chaos_table, predicted_delivered_fraction, run_chaos, ChaosConfig, ChaosOutcome};
+pub use chaos::{
+    chaos_table, predicted_delivered_fraction, run_chaos, run_chaos_with_telemetry, ChaosConfig,
+    ChaosOutcome,
+};
 pub use dot::topology_dot;
-pub use format::{ascii_series, comparison_table};
+pub use format::{ascii_series, comparison_table, monitor_table, prometheus_text};
 pub use harness::{
     calibrate, experiment_executor, items_for_duration, predict_vs_measure, Comparison,
     HarnessError, OperatorComparison,
+};
+pub use telemetry::{
+    drift_json, predict_vs_measure_telemetry, predicted_actor_rates, DriftExporter,
+    TelemetryExport, TelemetryRun,
 };

@@ -158,3 +158,110 @@ fn bad_usage_and_bad_file_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("cannot read") || stderr.contains("usage:"));
 }
+
+#[test]
+fn run_with_telemetry_exports_jsonl_with_drift() {
+    let path = topology_file();
+    let out = std::env::temp_dir().join(format!("ss-cli-telemetry-{}.jsonl", std::process::id()));
+    let (stdout, stderr, ok) = run_cli(&[
+        "run",
+        path.to_str().unwrap(),
+        "--items",
+        "6000",
+        "--telemetry",
+        out.to_str().unwrap(),
+        "--interval-ms",
+        "50",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("telemetry:"), "{stdout}");
+    assert!(stdout.contains("drift:"), "{stdout}");
+    let jsonl = std::fs::read_to_string(&out).expect("telemetry file");
+    let _ = std::fs::remove_file(&out);
+    let snapshots: Vec<&str> = jsonl
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"snapshot\""))
+        .collect();
+    assert!(!snapshots.is_empty(), "no snapshot records:\n{jsonl}");
+    for line in &snapshots {
+        assert!(
+            line.contains("\"drift\":["),
+            "snapshot without drift: {line}"
+        );
+        assert!(line.contains("\"departure_rate\":"));
+        assert!(line.contains("\"latency\":["));
+    }
+    assert!(
+        jsonl.lines().any(|l| l.starts_with("{\"type\":\"trace\"")),
+        "no trace records"
+    );
+}
+
+#[test]
+fn chaos_with_telemetry_exports_fault_traces() {
+    let path = topology_file();
+    let out = std::env::temp_dir().join(format!(
+        "ss-cli-chaos-telemetry-{}.jsonl",
+        std::process::id()
+    ));
+    let (stdout, stderr, ok) = run_cli(&[
+        "chaos",
+        path.to_str().unwrap(),
+        "--items",
+        "3000",
+        "--panic-prob",
+        "0.05",
+        "--seed",
+        "11",
+        "--telemetry",
+        out.to_str().unwrap(),
+        "--interval-ms",
+        "20",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("telemetry:"), "{stdout}");
+    let jsonl = std::fs::read_to_string(&out).expect("telemetry file");
+    let _ = std::fs::remove_file(&out);
+    assert!(jsonl
+        .lines()
+        .any(|l| l.starts_with("{\"type\":\"snapshot\"")));
+    assert!(
+        jsonl.contains("\"event\":\"operator-panicked\""),
+        "fault traces missing:\n{}",
+        jsonl.lines().rev().take(5).collect::<Vec<_>>().join("\n")
+    );
+    assert!(jsonl.contains("\"event\":\"operator-restarted\""));
+}
+
+#[test]
+fn monitor_streams_jsonl_snapshots() {
+    let path = topology_file();
+    let (stdout, stderr, ok) = run_cli(&[
+        "monitor",
+        path.to_str().unwrap(),
+        "--items",
+        "3000",
+        "--interval-ms",
+        "50",
+        "--format",
+        "jsonl",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"snapshot\""))
+            .count()
+            >= 1,
+        "no live snapshots:\n{stdout}"
+    );
+    assert!(stdout.contains("run complete:"), "{stdout}");
+}
+
+#[test]
+fn monitor_rejects_unknown_format() {
+    let path = topology_file();
+    let (_, stderr, ok) = run_cli(&["monitor", path.to_str().unwrap(), "--format", "xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("--format"));
+}

@@ -13,6 +13,7 @@ fn executor() -> Executor {
     Executor::VirtualTime(SimConfig {
         mailbox_capacity: 32,
         seed: 0xE2E,
+        ..SimConfig::default()
     })
 }
 
@@ -105,6 +106,7 @@ fn generated_plan_counts_every_item_exactly_once() {
         &SimConfig {
             mailbox_capacity: 32,
             seed: 3,
+            ..SimConfig::default()
         },
     )
     .unwrap();
@@ -148,6 +150,7 @@ fn threaded_and_virtual_executors_agree_on_counts() {
         &SimConfig {
             mailbox_capacity: 32,
             seed: 11,
+            ..SimConfig::default()
         },
     )
     .unwrap();

@@ -8,6 +8,42 @@ use spinstreams::runtime::Executor;
 use spinstreams::runtime::SimConfig;
 use spinstreams::tool::predict_vs_measure;
 
+mod multi_source_throughput {
+    use spinstreams::runtime::operators::PassThrough;
+    use spinstreams::runtime::{simulate, ActorGraph, Behavior, Route, SimConfig, SourceConfig};
+
+    /// Regression test: `RunReport::source_throughput` must sum over ALL
+    /// source actors, not just the first. Two independent 2 kHz / 1 kHz
+    /// sources feed one cheap union stage; the aggregate source rate is
+    /// 3 kHz.
+    #[test]
+    fn source_throughput_sums_every_source_actor() {
+        let mut g = ActorGraph::new();
+        let fast = g.add_actor("fast", Behavior::Source(SourceConfig::new(2_000.0, 4_000)));
+        let slow = g.add_actor("slow", Behavior::Source(SourceConfig::new(1_000.0, 2_000)));
+        let sink = g.add_actor("union", Behavior::worker(PassThrough));
+        g.connect(fast, Route::Unicast(sink));
+        g.connect(slow, Route::Unicast(sink));
+        let report = simulate(
+            g,
+            &SimConfig {
+                mailbox_capacity: 64,
+                seed: 0xA11,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let measured = report.source_throughput().expect("measurable sources");
+        assert!(
+            (measured - 3_000.0).abs() / 3_000.0 < 0.05,
+            "aggregate source throughput {measured} items/s, expected ~3000"
+        );
+        // Regression guard: summing (not first-source-wins) means the
+        // aggregate strictly exceeds the faster source alone.
+        assert!(measured > 2_100.0);
+    }
+}
+
 #[test]
 fn merged_two_source_application_runs_and_matches_the_model() {
     // Two feeds (6 kHz and 3 kHz) converge on a 0.2 ms merge stage
@@ -61,6 +97,7 @@ fn merged_two_source_application_runs_and_matches_the_model() {
     let executor = Executor::VirtualTime(SimConfig {
         mailbox_capacity: 32,
         seed: 0x2517,
+        ..SimConfig::default()
     });
     let cmp = predict_vs_measure(&topo, None, &[], &[], 40_000, &executor).unwrap();
     assert!(

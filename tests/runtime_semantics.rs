@@ -26,6 +26,7 @@ fn sim() -> SimConfig {
     SimConfig {
         mailbox_capacity: 32,
         seed: 0x5E11,
+        ..SimConfig::default()
     }
 }
 

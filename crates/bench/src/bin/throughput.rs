@@ -1,0 +1,206 @@
+//! Runtime throughput suite: batch size × topology shape on the threaded
+//! executor.
+//!
+//! Every topology runs with envelope batch sizes {1, 8, 64}; all operators
+//! are pass-throughs, so wall-clock is dominated by mailbox
+//! synchronization — exactly the cost that envelope batching and output
+//! coalescing amortize. Results land in `BENCH_runtime.json` at the
+//! current directory (override with `--out PATH`), one record per
+//! (topology, batch size) with the measured tuples/sec and the speedup
+//! over the unbatched run.
+//!
+//! ```text
+//! cargo run --release -p spinstreams-bench --bin throughput [-- --smoke] [--out FILE] [--items N]
+//! ```
+//!
+//! `--smoke` shrinks the item counts so CI can validate the schema and
+//! plumbing in seconds; speedup assertions only make sense in full mode.
+
+use spinstreams_runtime::operators::PassThrough;
+use spinstreams_runtime::{run, ActorGraph, Behavior, EngineConfig, Route, SourceConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+struct Shape {
+    name: &'static str,
+    /// Builder: item count -> graph plus the sink whose arrivals count.
+    build: fn(u64) -> (ActorGraph, spinstreams_runtime::ActorId),
+}
+
+/// src -> a -> b -> sink: every tuple crosses three mailboxes, nothing
+/// else happens — the fully contended hand-off chain.
+fn pipeline(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
+    let mut g = ActorGraph::new();
+    let s = g.add_actor(
+        "src",
+        Behavior::Source(SourceConfig::new(f64::INFINITY, items)),
+    );
+    let a = g.add_actor("a", Behavior::worker(PassThrough));
+    let b = g.add_actor("b", Behavior::worker(PassThrough));
+    let k = g.add_actor("sink", Behavior::worker(PassThrough));
+    g.connect(s, Route::Unicast(a));
+    g.connect(a, Route::Unicast(b));
+    g.connect(b, Route::Unicast(k));
+    (g, k)
+}
+
+/// src -> round-robin over 4 replicas -> collector: one producer feeding
+/// four mailboxes, four producers contending on one.
+fn fanout(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
+    let mut g = ActorGraph::new();
+    let s = g.add_actor(
+        "src",
+        Behavior::Source(SourceConfig::new(f64::INFINITY, items)),
+    );
+    let replicas: Vec<_> = (0..4)
+        .map(|i| g.add_actor(format!("r{i}"), Behavior::worker(PassThrough)))
+        .collect();
+    let k = g.add_actor("collector", Behavior::worker(PassThrough));
+    g.connect(s, Route::RoundRobin(replicas.clone()));
+    for r in replicas {
+        g.connect(r, Route::Unicast(k));
+    }
+    (g, k)
+}
+
+/// src -> emitter -> round-robin over 4 replicas -> collector: the
+/// replicated emitter/collector shape produced by fission (§4.2).
+fn replicated(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
+    let mut g = ActorGraph::new();
+    let s = g.add_actor(
+        "src",
+        Behavior::Source(SourceConfig::new(f64::INFINITY, items)),
+    );
+    let e = g.add_actor("emitter", Behavior::worker(PassThrough));
+    let replicas: Vec<_> = (0..4)
+        .map(|i| g.add_actor(format!("r{i}"), Behavior::worker(PassThrough)))
+        .collect();
+    let k = g.add_actor("collector", Behavior::worker(PassThrough));
+    g.connect(s, Route::Unicast(e));
+    g.connect(e, Route::RoundRobin(replicas.clone()));
+    for r in replicas {
+        g.connect(r, Route::Unicast(k));
+    }
+    (g, k)
+}
+
+struct Record {
+    topology: &'static str,
+    batch_size: usize,
+    items: u64,
+    wall_s: f64,
+    tuples_per_sec: f64,
+    speedup_vs_batch1: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_runtime.json".into());
+    let items = flag(&args, "--items")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(if smoke { 5_000 } else { 200_000 });
+
+    let shapes = [
+        Shape {
+            name: "pipeline",
+            build: pipeline,
+        },
+        Shape {
+            name: "fanout",
+            build: fanout,
+        },
+        Shape {
+            name: "replicated",
+            build: replicated,
+        },
+    ];
+
+    let mut records: Vec<Record> = Vec::new();
+    println!(
+        "runtime throughput suite ({} mode, {items} items per run)",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<12} {:>6} {:>10} {:>14} {:>9}",
+        "topology", "batch", "wall", "tuples/s", "speedup"
+    );
+    for shape in &shapes {
+        let mut base_rate = 0.0f64;
+        for batch_size in BATCH_SIZES {
+            let (graph, sink) = (shape.build)(items);
+            let cfg = EngineConfig {
+                mailbox_capacity: 256,
+                // Generous timeout: the suite measures throughput, not
+                // load shedding; nothing may drop.
+                send_timeout: Duration::from_secs(60),
+                seed: 0xBE9C4,
+                batch_size,
+                ..EngineConfig::default()
+            };
+            let report = run(graph, &cfg).expect("bench graph is valid");
+            let delivered = report.actor(sink).items_in;
+            assert_eq!(delivered, items, "{}: lossless run expected", shape.name);
+            let wall_s = report.wall.as_secs_f64();
+            let rate = delivered as f64 / wall_s;
+            if batch_size == 1 {
+                base_rate = rate;
+            }
+            let speedup = if base_rate > 0.0 {
+                rate / base_rate
+            } else {
+                1.0
+            };
+            println!(
+                "{:<12} {:>6} {:>9.3}s {:>14.0} {:>8.2}x",
+                shape.name, batch_size, wall_s, rate, speedup
+            );
+            records.push(Record {
+                topology: shape.name,
+                batch_size,
+                items,
+                wall_s,
+                tuples_per_sec: rate,
+                speedup_vs_batch1: speedup,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"executor\": \"threads\",");
+    let _ = writeln!(
+        json,
+        "  \"batch_sizes\": [{}],",
+        BATCH_SIZES.map(|b| b.to_string()).join(", ")
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"topology\": \"{}\", \"batch_size\": {}, \"items\": {}, \
+             \"wall_s\": {:.6}, \"tuples_per_sec\": {:.1}, \"speedup_vs_batch1\": {:.3}}}{comma}",
+            r.topology, r.batch_size, r.items, r.wall_s, r.tuples_per_sec, r.speedup_vs_batch1
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -247,7 +247,7 @@ impl ActorGraph {
             let mut dests: Vec<usize> = spec
                 .routes
                 .iter()
-                .flat_map(|r| r.destinations())
+                .flat_map(|r| r.destinations_iter())
                 .map(|d| d.0)
                 .collect();
             dests.sort_unstable();

@@ -110,7 +110,10 @@ pub mod telemetry;
 
 pub use engine::{run, run_with_telemetry, EngineConfig, EngineError};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
-pub use mailbox::{channel, Envelope, Receiver, RecvResult, SendOutcome, Sender};
+pub use mailbox::{
+    channel, BatchFailure, BatchOutcome, Envelope, Receiver, RecvBatch, RecvResult, SendOutcome,
+    Sender,
+};
 pub use meta::{MetaDest, MetaOperator, MetaRoute};
 pub use metrics::{ActorReport, RunReport};
 pub use operator::{Outputs, StreamOperator, DEFAULT_PORT};

@@ -62,11 +62,56 @@ impl SendOutcome {
     }
 }
 
+/// Why a batched send stopped before delivering every envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFailure {
+    /// The per-slot send timeout elapsed with the mailbox still full; the
+    /// envelope at `delivered` (and everything after it) was not enqueued.
+    TimedOut,
+    /// The receiver is gone; the remaining envelopes cannot be delivered.
+    Disconnected,
+}
+
+/// Outcome of a [`Sender::send_batch`] call.
+///
+/// Delivery is always a *prefix* of the batch, in order: BAS semantics hold
+/// per slot, so a full queue blocks the remainder of the batch rather than
+/// dropping envelopes mid-batch. Only a timeout (or a vanished receiver)
+/// terminates delivery early, and then every undelivered envelope stays in
+/// the caller's buffer for per-envelope accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Number of envelopes enqueued (the delivered prefix).
+    pub delivered: usize,
+    /// Total time spent blocked on backpressure while delivering the
+    /// prefix. Zero when every slot was free immediately.
+    pub blocked: Duration,
+    /// Why delivery stopped before the end of the batch (`None` = the whole
+    /// batch was delivered).
+    pub failure: Option<BatchFailure>,
+}
+
+impl BatchOutcome {
+    /// True if every envelope of the batch was enqueued.
+    pub fn complete(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
 /// Outcome of a blocking receive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecvResult {
     /// An envelope was dequeued.
     Envelope(Envelope),
+    /// All senders are gone and the mailbox is drained.
+    Disconnected,
+}
+
+/// Outcome of a [`Receiver::recv_drain`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvBatch {
+    /// This many envelopes were appended to the caller's buffer (≥ 1).
+    Received(usize),
     /// All senders are gone and the mailbox is drained.
     Disconnected,
 }
@@ -115,7 +160,11 @@ pub fn channel(capacity: usize) -> (Sender, Receiver) {
 
 impl Clone for Sender {
     fn clone(&self) -> Self {
-        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: incrementing a producer count needs no ordering of its
+        // own (the Arc-clone pattern). Handing the clone to another thread
+        // necessarily goes through some synchronization (a spawn, a mutex),
+        // which publishes the increment before that thread can drop it.
+        self.inner.senders.fetch_add(1, Ordering::Relaxed);
         Sender {
             inner: Arc::clone(&self.inner),
         }
@@ -124,7 +173,12 @@ impl Clone for Sender {
 
 impl Drop for Sender {
     fn drop(&mut self) {
-        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Release: orders this producer's final queue writes before the
+        // decrement. The receiver only acts on `senders == 0` while holding
+        // the queue mutex, and the last dropper reacquires that mutex below,
+        // so the mutex's acquire/release pairing makes the store visible to
+        // the wakeup path — SeqCst buys nothing extra here.
+        if self.inner.senders.fetch_sub(1, Ordering::Release) == 1 {
             // Last sender: wake a receiver waiting on an empty queue.
             let _guard = lock_queue(&self.inner.queue);
             self.inner.not_empty.notify_all();
@@ -134,7 +188,12 @@ impl Drop for Sender {
 
 impl Drop for Receiver {
     fn drop(&mut self) {
-        self.inner.receiver_alive.store(0, Ordering::SeqCst);
+        // Release paired with the Acquire loads in the senders' blocking
+        // loops: a sender woken by the notify below reacquires the queue
+        // mutex first, which already synchronizes-with this critical
+        // section; Release/Acquire on the flag itself covers the unlocked
+        // fast-path read.
+        self.inner.receiver_alive.store(0, Ordering::Release);
         let _guard = lock_queue(&self.inner.queue);
         self.inner.not_full.notify_all();
     }
@@ -156,7 +215,8 @@ impl Sender {
         let start = Instant::now();
         let deadline = start + timeout;
         loop {
-            if self.inner.receiver_alive.load(Ordering::SeqCst) == 0 {
+            // Acquire pairs with the Release store in `Drop for Receiver`.
+            if self.inner.receiver_alive.load(Ordering::Acquire) == 0 {
                 return SendOutcome::Disconnected;
             }
             if queue.len() < self.inner.capacity {
@@ -182,6 +242,86 @@ impl Sender {
                     SendOutcome::TimedOut
                 };
             }
+        }
+    }
+
+    /// Sends a whole batch under (at most) one lock acquisition per burst,
+    /// in order, with BAS semantics applied per slot.
+    ///
+    /// As many envelopes as fit are enqueued while holding the lock once;
+    /// when the queue fills, the sender blocks until a slot frees — exactly
+    /// as [`Sender::send`] would — and resumes pushing the remainder. Each
+    /// envelope gets its own `timeout` window, so a batch is never dropped
+    /// mid-way except by timeout (or a vanished receiver).
+    ///
+    /// The delivered prefix is drained out of `batch`; whatever remains in
+    /// the buffer afterwards was **not** enqueued, and
+    /// [`BatchOutcome::failure`] says why, so the caller can account for
+    /// every undelivered envelope individually.
+    ///
+    /// With a single-envelope batch this performs the same queue/notify
+    /// operations in the same order as [`Sender::send`].
+    pub fn send_batch(&self, batch: &mut Vec<Envelope>, timeout: Duration) -> BatchOutcome {
+        let total = batch.len();
+        let mut delivered = 0usize;
+        let mut blocked = Duration::ZERO;
+        let mut failure = None;
+        let mut queue = lock_queue(&self.inner.queue);
+        'batch: while delivered < total {
+            // Burst: enqueue everything that fits under this lock hold.
+            while delivered < total && queue.len() < self.inner.capacity {
+                queue.push_back(batch[delivered]);
+                delivered += 1;
+            }
+            if delivered == total {
+                break;
+            }
+            // Backpressure: wake the consumer for what we already pushed
+            // (it may be parked on `not_empty` — without this it would
+            // never drain the queue and the batch would deadlock), then
+            // block until a slot frees, per-slot timeout.
+            if delivered > 0 {
+                self.inner.not_empty.notify_one();
+            }
+            let start = Instant::now();
+            let deadline = start + timeout;
+            loop {
+                // Acquire pairs with the Release store in `Drop for
+                // Receiver`.
+                if self.inner.receiver_alive.load(Ordering::Acquire) == 0 {
+                    failure = Some(BatchFailure::Disconnected);
+                    break 'batch;
+                }
+                if queue.len() < self.inner.capacity {
+                    blocked += start.elapsed();
+                    continue 'batch;
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let (guard, wait) = self
+                    .inner
+                    .not_full
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+                if wait.timed_out() {
+                    if queue.len() < self.inner.capacity {
+                        blocked += start.elapsed();
+                        continue 'batch;
+                    }
+                    failure = Some(BatchFailure::TimedOut);
+                    break 'batch;
+                }
+            }
+        }
+        drop(queue);
+        if delivered > 0 {
+            self.inner.not_empty.notify_one();
+            batch.drain(..delivered);
+        }
+        BatchOutcome {
+            delivered,
+            blocked,
+            failure,
         }
     }
 
@@ -248,8 +388,54 @@ impl Receiver {
                 self.inner.not_full.notify_one();
                 return RecvResult::Envelope(env);
             }
-            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+            // Acquire pairs with the Release decrement in `Drop for Sender`;
+            // this read happens under the queue mutex, which the last
+            // dropper also takes before notifying, so the sender's final
+            // pushes are already visible once the count reads zero.
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
                 return RecvResult::Disconnected;
+            }
+            queue = self
+                .inner
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks like [`Receiver::recv`], then drains up to `max` envelopes
+    /// into `buf` under a single lock acquisition.
+    ///
+    /// Returns [`RecvBatch::Received`] with the number of envelopes
+    /// appended (always ≥ 1), or [`RecvBatch::Disconnected`] once every
+    /// sender is gone and the queue is drained. With `max == 1` this
+    /// performs the same queue/notify operations in the same order as
+    /// [`Receiver::recv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn recv_drain(&self, buf: &mut Vec<Envelope>, max: usize) -> RecvBatch {
+        assert!(max > 0, "recv_drain max must be positive");
+        let mut queue = lock_queue(&self.inner.queue);
+        loop {
+            if !queue.is_empty() {
+                let take = queue.len().min(max);
+                buf.extend(queue.drain(..take));
+                drop(queue);
+                if take == 1 {
+                    self.inner.not_full.notify_one();
+                } else {
+                    // More than one slot freed: several producers may be
+                    // blocked mid-batch, wake them all.
+                    self.inner.not_full.notify_all();
+                }
+                return RecvBatch::Received(take);
+            }
+            // Acquire pairs with the Release decrement in `Drop for Sender`
+            // (see `recv` above).
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return RecvBatch::Disconnected;
             }
             queue = self
                 .inner
@@ -441,5 +627,231 @@ mod tests {
         assert_eq!(tx.len(), 1);
         assert_eq!(rx.len(), 1);
         assert!(!rx.is_empty());
+    }
+
+    #[test]
+    fn send_batch_delivers_whole_batch_in_order() {
+        let (tx, rx) = channel(16);
+        let mut batch: Vec<Envelope> = (0..10).map(item).collect();
+        let outcome = tx.send_batch(&mut batch, LONG);
+        assert!(outcome.complete());
+        assert_eq!(outcome.delivered, 10);
+        assert_eq!(outcome.blocked, Duration::ZERO);
+        assert!(batch.is_empty(), "delivered prefix must be drained");
+        for i in 0..10 {
+            match rx.recv() {
+                RecvResult::Envelope(Envelope::Data(t)) => assert_eq!(t.seq, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn send_batch_larger_than_capacity_blocks_and_completes() {
+        // The batch (20) far exceeds capacity (4): delivery must make
+        // progress by waking the consumer mid-batch, not deadlock.
+        let (tx, rx) = channel(4);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                match rx.recv_drain(&mut buf, 8) {
+                    RecvBatch::Received(_) => {
+                        for env in buf.drain(..) {
+                            if let Envelope::Data(t) = env {
+                                got.push(t.seq);
+                            }
+                        }
+                        // Slow consumer: force the sender onto the
+                        // backpressure path repeatedly.
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    RecvBatch::Disconnected => return got,
+                }
+            }
+        });
+        let mut batch: Vec<Envelope> = (0..20).map(item).collect();
+        let outcome = tx.send_batch(&mut batch, LONG);
+        assert!(outcome.complete());
+        assert_eq!(outcome.delivered, 20);
+        assert!(outcome.blocked > Duration::ZERO);
+        assert!(batch.is_empty());
+        drop(tx);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_batch_partial_delivery_on_timeout_keeps_suffix() {
+        let (tx, _rx) = channel(3);
+        let mut batch: Vec<Envelope> = (0..8).map(item).collect();
+        let outcome = tx.send_batch(&mut batch, Duration::from_millis(50));
+        assert_eq!(outcome.delivered, 3);
+        assert_eq!(outcome.failure, Some(BatchFailure::TimedOut));
+        assert!(!outcome.complete());
+        // The undelivered suffix stays in the caller's buffer, in order.
+        assert_eq!(batch.len(), 5);
+        match batch[0] {
+            Envelope::Data(t) => assert_eq!(t.seq, 3),
+            Envelope::Eos => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn send_batch_to_dropped_receiver_reports_disconnected() {
+        let (tx, rx) = channel(2);
+        assert_eq!(tx.send(item(0), LONG), SendOutcome::Sent);
+        assert_eq!(tx.send(item(1), LONG), SendOutcome::Sent);
+        drop(rx);
+        let mut batch: Vec<Envelope> = (2..6).map(item).collect();
+        let outcome = tx.send_batch(&mut batch, LONG);
+        assert_eq!(outcome.delivered, 0);
+        assert_eq!(outcome.failure, Some(BatchFailure::Disconnected));
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn send_batch_empty_is_a_noop() {
+        let (tx, rx) = channel(2);
+        let mut batch = Vec::new();
+        let outcome = tx.send_batch(&mut batch, LONG);
+        assert!(outcome.complete());
+        assert_eq!(outcome.delivered, 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn recv_drain_caps_at_max_and_drains_in_order() {
+        let (tx, rx) = channel(16);
+        for i in 0..10 {
+            assert_eq!(tx.send(item(i), LONG), SendOutcome::Sent);
+        }
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_drain(&mut buf, 4), RecvBatch::Received(4));
+        assert_eq!(rx.recv_drain(&mut buf, 64), RecvBatch::Received(6));
+        let seqs: Vec<u64> = buf
+            .iter()
+            .map(|e| match e {
+                Envelope::Data(t) => t.seq,
+                Envelope::Eos => panic!("unexpected EOS"),
+            })
+            .collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_drain_blocks_until_item_arrives() {
+        let (tx, rx) = channel(4);
+        let handle = thread::spawn(move || {
+            let mut buf = Vec::new();
+            let res = rx.recv_drain(&mut buf, 8);
+            (res, buf)
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(tx.send(item(7), LONG), SendOutcome::Sent);
+        let (res, buf) = handle.join().unwrap();
+        assert_eq!(res, RecvBatch::Received(1));
+        assert_eq!(buf, vec![item(7)]);
+    }
+
+    #[test]
+    fn recv_drain_disconnects_after_draining() {
+        let (tx, rx) = channel(8);
+        tx.send(item(0), LONG);
+        tx.send(Envelope::Eos, LONG);
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_drain(&mut buf, 64), RecvBatch::Received(2));
+        assert_eq!(rx.recv_drain(&mut buf, 64), RecvBatch::Disconnected);
+    }
+
+    #[test]
+    fn eos_after_partial_batch_stays_ordered() {
+        // A producer whose data batch only partially fits must still get
+        // its EOS delivered *after* the remainder of the batch: the
+        // undelivered suffix stays in the caller's buffer and is re-sent
+        // before EOS, and FIFO order guarantees no reordering.
+        let (tx, rx) = channel(2);
+        let mut batch: Vec<Envelope> = (0..5).map(item).collect();
+        let outcome = tx.send_batch(&mut batch, Duration::from_millis(40));
+        assert_eq!(outcome.delivered, 2);
+        assert_eq!(batch.len(), 3);
+        // Consumer frees space; producer finishes the suffix then EOS.
+        let producer = thread::spawn(move || {
+            let out = tx.send_batch(&mut batch, LONG);
+            assert!(out.complete());
+            assert_eq!(tx.send(Envelope::Eos, LONG), SendOutcome::Sent);
+        });
+        let mut seen = Vec::new();
+        let mut buf = Vec::new();
+        while let RecvBatch::Received(_) = rx.recv_drain(&mut buf, 4) {
+            seen.append(&mut buf);
+            if seen.last() == Some(&Envelope::Eos) {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        producer.join().unwrap();
+        let mut expect: Vec<Envelope> = (0..5).map(item).collect();
+        expect.push(Envelope::Eos);
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn multi_producer_batch_backpressure_stress() {
+        // Several producers push large batches through a tiny mailbox
+        // concurrently; every envelope must arrive exactly once and each
+        // producer's own sequence must stay in order (FIFO per producer).
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 500;
+        let (tx, rx) = channel(8);
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                let mut sent = 0;
+                while sent < PER_PRODUCER {
+                    let end = (sent + 32).min(PER_PRODUCER);
+                    let mut batch: Vec<Envelope> = (sent..end)
+                        .map(|i| Envelope::Data(Tuple::splat(p, i, 1.0)))
+                        .collect();
+                    let outcome = tx.send_batch(&mut batch, LONG);
+                    assert!(outcome.complete(), "stress send failed: {outcome:?}");
+                    sent = end;
+                }
+            }));
+        }
+        drop(tx);
+        let mut per_key: Vec<Vec<u64>> = vec![Vec::new(); PRODUCERS as usize];
+        let mut buf = Vec::new();
+        while let RecvBatch::Received(_) = rx.recv_drain(&mut buf, 16) {
+            for env in buf.drain(..) {
+                if let Envelope::Data(t) = env {
+                    per_key[t.key as usize].push(t.seq);
+                }
+            }
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        for seqs in &per_key {
+            assert_eq!(seqs, &(0..PER_PRODUCER).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn send_batch_of_one_matches_send_semantics() {
+        let (tx, rx) = channel(1);
+        let mut batch = vec![item(0)];
+        let outcome = tx.send_batch(&mut batch, LONG);
+        assert!(outcome.complete());
+        assert_eq!(outcome.delivered, 1);
+        // Queue full: a 1-batch times out exactly like a single send.
+        let mut batch = vec![item(1)];
+        let outcome = tx.send_batch(&mut batch, Duration::from_millis(40));
+        assert_eq!(outcome.failure, Some(BatchFailure::TimedOut));
+        assert_eq!(outcome.delivered, 0);
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
     }
 }

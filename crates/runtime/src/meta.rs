@@ -41,6 +41,12 @@ pub struct MetaOperator {
     members: Vec<Box<dyn StreamOperator>>,
     /// `routes[m][p]` routes port `p` of member `m`.
     routes: Vec<Vec<MetaRoute>>,
+    /// `cums[m][p]` is the cumulative distribution of a `Probabilistic`
+    /// route (empty for `Unicast`), precomputed once at construction and
+    /// accumulated left-to-right exactly like
+    /// `XorShift64::sample_discrete`, so per-item resolution is a binary
+    /// search with bit-identical results to the linear scan.
+    cums: Vec<Vec<Vec<f64>>>,
     front: usize,
     rng: XorShift64,
     scratch: Outputs,
@@ -69,10 +75,32 @@ impl MetaOperator {
     ) -> Self {
         assert_eq!(members.len(), routes.len(), "one route table per member");
         assert!(front < members.len(), "front-end index out of range");
+        let cums = routes
+            .iter()
+            .map(|table| {
+                table
+                    .iter()
+                    .map(|route| match route {
+                        MetaRoute::Unicast(_) => Vec::new(),
+                        MetaRoute::Probabilistic { choices } => {
+                            let mut acc = 0.0;
+                            choices
+                                .iter()
+                                .map(|(_, p)| {
+                                    acc += p;
+                                    acc
+                                })
+                                .collect()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         MetaOperator {
             name: name.into(),
             members,
             routes,
+            cums,
             front,
             rng: XorShift64::new(seed),
             scratch: Outputs::new(),
@@ -90,8 +118,12 @@ impl MetaOperator {
         Some(match route {
             MetaRoute::Unicast(d) => *d,
             MetaRoute::Probabilistic { choices } => {
-                let probs: Vec<f64> = choices.iter().map(|(_, p)| *p).collect();
-                choices[self.rng.sample_discrete(&probs)].0
+                let cum = &self.cums[member][port];
+                let u = self.rng.next_f64();
+                // First index with `u < cum[idx]`; the last bucket absorbs
+                // floating-point slack, matching `sample_discrete`.
+                let idx = cum.partition_point(|&c| c <= u).min(choices.len() - 1);
+                choices[idx].0
             }
         })
     }

@@ -44,14 +44,29 @@ pub enum Route {
 
 impl Route {
     /// All destinations this route can ever deliver to (used for wiring and
-    /// EOS propagation).
+    /// EOS propagation), without allocating.
+    pub fn destinations_iter(&self) -> impl Iterator<Item = ActorId> + '_ {
+        // One slot per variant; exactly one is Some.
+        let (single, pairs, list) = match self {
+            Route::Unicast(d) => (Some(*d), None, None),
+            Route::Probabilistic { choices } => (None, Some(choices.as_slice()), None),
+            Route::RoundRobin(ds) => (None, None, Some(ds.as_slice())),
+            Route::KeyMap { destinations, .. } => (None, None, Some(destinations.as_slice())),
+        };
+        single.into_iter().chain(
+            pairs
+                .into_iter()
+                .flat_map(|cs| cs.iter().map(|(d, _)| *d))
+                .chain(list.into_iter().flat_map(|ds| ds.iter().copied())),
+        )
+    }
+
+    /// All destinations this route can ever deliver to, collected.
+    ///
+    /// Prefer [`Route::destinations_iter`] on hot paths; this allocates a
+    /// fresh `Vec` per call.
     pub fn destinations(&self) -> Vec<ActorId> {
-        match self {
-            Route::Unicast(d) => vec![*d],
-            Route::Probabilistic { choices } => choices.iter().map(|(d, _)| *d).collect(),
-            Route::RoundRobin(ds) => ds.clone(),
-            Route::KeyMap { destinations, .. } => destinations.clone(),
-        }
+        self.destinations_iter().collect()
     }
 }
 
@@ -60,19 +75,32 @@ impl Route {
 pub(crate) struct RouteState {
     route: Route,
     rr_next: usize,
-    probs: Vec<f64>,
+    /// Cumulative distribution for `Probabilistic`, accumulated
+    /// left-to-right exactly like `XorShift64::sample_discrete` so a binary
+    /// search lands on the same index the linear scan would (bit-identical
+    /// float sums, same `u < cum` comparison).
+    cum: Vec<f64>,
 }
 
 impl RouteState {
     pub(crate) fn new(route: Route) -> Self {
-        let probs = match &route {
-            Route::Probabilistic { choices } => choices.iter().map(|(_, p)| *p).collect(),
+        let cum = match &route {
+            Route::Probabilistic { choices } => {
+                let mut acc = 0.0;
+                choices
+                    .iter()
+                    .map(|(_, p)| {
+                        acc += p;
+                        acc
+                    })
+                    .collect()
+            }
             _ => Vec::new(),
         };
         RouteState {
             route,
             rr_next: 0,
-            probs,
+            cum,
         }
     }
 
@@ -81,7 +109,11 @@ impl RouteState {
         match &self.route {
             Route::Unicast(d) => *d,
             Route::Probabilistic { choices } => {
-                let idx = rng.sample_discrete(&self.probs);
+                let u = rng.next_f64();
+                // First index with `u < cum[idx]`; the last bucket absorbs
+                // any floating-point slack below 1.0, matching the linear
+                // scan's fallback.
+                let idx = self.cum.partition_point(|&c| c <= u).min(choices.len() - 1);
                 choices[idx].0
             }
             Route::RoundRobin(ds) => {
@@ -172,6 +204,45 @@ mod tests {
         // Same key always lands on the same replica.
         for _ in 0..10 {
             assert_eq!(s.pick(&tuple(2), &mut rng), ActorId(11));
+        }
+    }
+
+    #[test]
+    fn cdf_binary_search_matches_linear_scan_exactly() {
+        // Awkward probabilities that don't sum to exactly 1.0 in floating
+        // point: the binary-search pick must agree with
+        // `sample_discrete`'s linear scan on every draw.
+        let probs = vec![0.1, 0.2, 0.3, 0.15, 0.25];
+        let choices: Vec<(ActorId, f64)> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (ActorId(i), p))
+            .collect();
+        let mut s = RouteState::new(Route::Probabilistic { choices });
+        let mut rng_a = XorShift64::new(0xFEED);
+        let mut rng_b = XorShift64::new(0xFEED);
+        for _ in 0..50_000 {
+            let picked = s.pick(&tuple(0), &mut rng_a);
+            let expect = rng_b.sample_discrete(&probs);
+            assert_eq!(picked, ActorId(expect));
+        }
+    }
+
+    #[test]
+    fn destinations_iter_matches_destinations() {
+        let routes = vec![
+            Route::Unicast(ActorId(3)),
+            Route::Probabilistic {
+                choices: vec![(ActorId(4), 0.5), (ActorId(5), 0.5)],
+            },
+            Route::RoundRobin(vec![ActorId(1), ActorId(2)]),
+            Route::KeyMap {
+                key_map: vec![0, 1],
+                destinations: vec![ActorId(7), ActorId(8)],
+            },
+        ];
+        for r in &routes {
+            assert_eq!(r.destinations_iter().collect::<Vec<_>>(), r.destinations());
         }
     }
 

@@ -51,6 +51,14 @@ pub struct SimConfig {
     /// whole simulation — including telemetry snapshots — bit-for-bit
     /// reproducible across runs and hosts.
     pub intrinsic_time: bool,
+    /// Accepted for configuration parity with
+    /// [`crate::EngineConfig::batch_size`], and **ignored**: envelope
+    /// batching amortizes lock acquisitions and condvar wakeups, which the
+    /// discrete-event executor does not model (queues are plain `VecDeque`s
+    /// and blocking is virtual), so every batch size produces the same
+    /// schedule. Threaded and virtual runs of one experiment can therefore
+    /// share a config without the virtual results drifting.
+    pub batch_size: usize,
 }
 
 impl Default for SimConfig {
@@ -59,6 +67,7 @@ impl Default for SimConfig {
             mailbox_capacity: 256,
             seed: 0xC0FFEE,
             intrinsic_time: true,
+            batch_size: 1,
         }
     }
 }
@@ -437,7 +446,7 @@ pub fn simulate(graph: ActorGraph, config: &SimConfig) -> Result<RunReport, Engi
     simulate_with(graph, config, None).map(|(report, _)| report)
 }
 
-/// Like [`simulate`], but with the telemetry layer enabled: snapshots are
+///// Like [`simulate`], but with the telemetry layer enabled: snapshots are
 /// taken at exact virtual-clock boundaries (every `telemetry.interval` of
 /// *virtual* time, plus one at end of run), so the sampled telemetry is as
 /// deterministic as the simulation itself — bit-for-bit reproducible given
@@ -503,7 +512,7 @@ fn simulate_with(
             let mut d: Vec<usize> = spec
                 .routes
                 .iter()
-                .flat_map(|r| r.destinations())
+                .flat_map(|r| r.destinations_iter())
                 .map(|d| d.0)
                 .collect();
             d.sort_unstable();

@@ -7,12 +7,12 @@
 //! spinstreams fuse     <topology.xml> --members 2,3,4 operator fusion (Algorithm 3)
 //! spinstreams autofuse <topology.xml> [--threshold T] automated greedy fusion (§7)
 //! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
-//! spinstreams run      <topology.xml> [--items N] [--telemetry FILE] [--interval-ms M]
+//! spinstreams run      <topology.xml> [--items N] [--batch N] [--telemetry FILE] [--interval-ms M]
 //!                                                     execute and compare vs the model
-//! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S]
+//! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S] [--batch N]
 //!                                     [--telemetry FILE] [--interval-ms M]
 //!                                                     fault-injected run: supervision + dead letters
-//! spinstreams monitor  <topology.xml> [--items N] [--interval-ms M] [--format table|jsonl|prom]
+//! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--interval-ms M] [--format table|jsonl|prom]
 //!                                                     live telemetry of a threaded run
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! ```
@@ -27,13 +27,14 @@ use spinstreams_analysis::{
 };
 use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
+use spinstreams_runtime::Executor;
 use spinstreams_runtime::{run_with_telemetry, EngineConfig, TelemetryConfig};
 use spinstreams_tool::{
     chaos_table, comparison_table, drift_json, experiment_executor, monitor_table,
     predict_vs_measure, predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text,
     run_chaos, run_chaos_with_telemetry, topology_dot, ChaosConfig, DriftExporter,
 };
-use spinstreams_xml::topology_from_xml;
+use spinstreams_xml::{runtime_settings_from_xml, topology_from_xml};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -48,12 +49,15 @@ fn usage() -> ExitCode {
          autofuse  — automated greedy fusion; --threshold T (default 0.9)\n\
          codegen   — emit the optimized application's Rust source; --out FILE\n\
          run       — execute on the virtual-time runtime and compare vs the model; --items N,\n\
+                     --batch N (envelope batch size; accepted for parity, virtual time ignores it),\n\
                      --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M\n\
          chaos     — fault-injected threaded run exercising supervision;\n\
-                     --items N, --panic-prob P (default 0.05), --seed S,\n\
+                     --items N, --panic-prob P (default 0.05), --seed S, --batch N,\n\
                      --telemetry FILE, --interval-ms M\n\
-         monitor   — live telemetry of a threaded run; --items N, --interval-ms M,\n\
+         monitor   — live telemetry of a threaded run; --items N, --batch N, --interval-ms M,\n\
                      --format table|jsonl|prom (default table)\n\
+         \n\
+         --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan"
     );
     ExitCode::FAILURE
@@ -74,9 +78,11 @@ fn telemetry_config(args: &[String]) -> TelemetryConfig {
     TelemetryConfig::default().with_interval(Duration::from_millis(interval_ms))
 }
 
-fn load(path: &str) -> Result<Topology, String> {
+fn load(path: &str) -> Result<(Topology, usize), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    topology_from_xml(&text).map_err(|e| format!("{path}: {e}"))
+    let topo = topology_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
+    let settings = runtime_settings_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((topo, settings.batch_size.unwrap_or(1)))
 }
 
 fn main() -> ExitCode {
@@ -84,12 +90,23 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let topo = match load(path) {
+    let (topo, xml_batch) = match load(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    // CLI flag wins over the document's <settings batch-size="N"/>.
+    let batch = match flag_value(&args, "--batch") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--batch must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => xml_batch,
     };
 
     match cmd.as_str() {
@@ -211,7 +228,12 @@ fn main() -> ExitCode {
             let items = flag_value(&args, "--items")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(20_000);
-            let executor = experiment_executor(0x70_01);
+            let mut executor = experiment_executor(0x70_01);
+            // Accepted for config parity; virtual time ignores batching
+            // (see `SimConfig::batch_size`).
+            if let Executor::VirtualTime(sim) = &mut executor {
+                sim.batch_size = batch;
+            }
             match flag_value(&args, "--telemetry") {
                 Some(out) => {
                     let tcfg = telemetry_config(&args);
@@ -269,6 +291,7 @@ fn main() -> ExitCode {
             if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
                 cfg.seed = seed;
             }
+            cfg.batch_size = batch;
             if !(0.0..=1.0).contains(&cfg.panic_prob) {
                 eprintln!("--panic-prob must be in [0, 1]");
                 return ExitCode::FAILURE;
@@ -347,7 +370,11 @@ fn main() -> ExitCode {
                     println!("{}", monitor_table(snap, verdicts));
                 }
             });
-            match run_with_telemetry(plan.graph, &EngineConfig::default(), &tcfg) {
+            let engine = EngineConfig {
+                batch_size: batch,
+                ..EngineConfig::default()
+            };
+            match run_with_telemetry(plan.graph, &engine, &tcfg) {
                 Ok((run_report, telemetry)) => {
                     println!(
                         "run complete: {} item(s) delivered in {:.2}s wall; {} snapshot(s), {} trace event(s)",

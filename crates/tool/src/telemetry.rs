@@ -292,6 +292,7 @@ mod tests {
             mailbox_capacity: 32,
             seed: 0xD1A7,
             intrinsic_time: false,
+            ..SimConfig::default()
         })
     }
 

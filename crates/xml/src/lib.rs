@@ -42,4 +42,7 @@ mod schema;
 mod writer;
 
 pub use parser::{parse, XmlError, XmlNode};
-pub use schema::{topology_from_xml, topology_to_xml, SchemaError};
+pub use schema::{
+    runtime_settings_from_xml, topology_from_xml, topology_to_xml, topology_to_xml_with_settings,
+    RuntimeSettings, SchemaError,
+};

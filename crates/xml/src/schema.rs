@@ -70,6 +70,81 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
     }
 }
 
+/// Optional runtime tuning carried by a topology document in a
+/// `<settings .../>` child of `<topology>`.
+///
+/// The element is additive: [`topology_from_xml`] ignores it entirely, so
+/// documents with settings parse under older readers and documents without
+/// it yield all-`None` settings.
+///
+/// ```xml
+/// <topology name="...">
+///   <settings batch-size="64"/>
+///   ...
+/// </topology>
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeSettings {
+    /// Envelope batch size for the threaded engine's coalesced data path
+    /// (`EngineConfig::batch_size`); `None` leaves the engine default.
+    pub batch_size: Option<usize>,
+}
+
+/// Extracts the optional [`RuntimeSettings`] from a topology document.
+///
+/// # Errors
+///
+/// [`SchemaError::Xml`] for malformed XML, [`SchemaError::Invalid`] when a
+/// `<settings>` attribute is present but malformed (e.g. a non-numeric or
+/// zero `batch-size`).
+pub fn runtime_settings_from_xml(text: &str) -> Result<RuntimeSettings, SchemaError> {
+    let root = parse(text)?;
+    if root.name != "topology" {
+        return Err(invalid(format!("root element is <{}>", root.name)));
+    }
+    let mut settings = RuntimeSettings::default();
+    for node in root.children_named("settings") {
+        if let Some(raw) = node.get_attr("batch-size") {
+            let n = raw
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| invalid(format!("batch-size={raw:?} is not a positive integer")))?;
+            settings.batch_size = Some(n);
+        }
+    }
+    Ok(settings)
+}
+
+/// Serializes a topology with explicit [`RuntimeSettings`]: the regular
+/// [`topology_to_xml`] document plus a `<settings/>` element (omitted when
+/// every setting is `None`, so the output stays byte-identical to the
+/// plain serializer in that case).
+pub fn topology_to_xml_with_settings(
+    topo: &Topology,
+    name: &str,
+    settings: &RuntimeSettings,
+) -> String {
+    let Some(batch) = settings.batch_size else {
+        return topology_to_xml(topo, name);
+    };
+    let doc = topology_to_xml(topo, name);
+    // Insert <settings/> right after the opening <topology ...> tag so the
+    // document shape matches the schema example (the document begins with
+    // an XML declaration, so search from the root element).
+    let insert_at = doc
+        .find("<topology")
+        .and_then(|start| doc[start..].find('>').map(|off| start + off));
+    match insert_at {
+        Some(end) => format!(
+            "{}\n  <settings batch-size=\"{batch}\"/>{}",
+            &doc[..=end],
+            &doc[end + 1..]
+        ),
+        None => doc,
+    }
+}
+
 /// Serializes a topology into the XML formalism.
 ///
 /// Service times are written in microseconds (`time-unit="us"`); key
@@ -351,6 +426,50 @@ mod tests {
             topology_from_xml("<topology>").unwrap_err(),
             SchemaError::Xml(_)
         ));
+    }
+
+    #[test]
+    fn settings_roundtrip_and_are_ignored_by_topology_parse() {
+        let t = sample();
+        let settings = RuntimeSettings {
+            batch_size: Some(64),
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &settings);
+        assert!(xml.contains("<settings batch-size=\"64\"/>"));
+        // The settings element is invisible to the topology parser...
+        let back = topology_from_xml(&xml).unwrap();
+        assert_eq!(t, back);
+        // ...and round-trips through the settings parser.
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), settings);
+        // No settings: serializer emits the plain document, parser yields
+        // defaults.
+        let plain = topology_to_xml_with_settings(&t, "sample", &RuntimeSettings::default());
+        assert_eq!(plain, topology_to_xml(&t, "sample"));
+        assert_eq!(
+            runtime_settings_from_xml(&plain).unwrap(),
+            RuntimeSettings::default()
+        );
+    }
+
+    #[test]
+    fn malformed_settings_are_rejected() {
+        for bad in ["0", "-3", "abc"] {
+            let doc = format!(
+                r#"<topology name="t">
+                     <settings batch-size="{bad}"/>
+                     <operator id="0" name="src" type="stateless" service-time="1"/>
+                   </topology>"#
+            );
+            assert!(
+                matches!(
+                    runtime_settings_from_xml(&doc).unwrap_err(),
+                    SchemaError::Invalid { .. }
+                ),
+                "batch-size {bad:?} must be rejected"
+            );
+            // The topology itself still parses: settings stay additive.
+            assert!(topology_from_xml(&doc).is_ok());
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_runtime.json produced by the `throughput` bench binary.
+
+Usage: validate_bench.py <BENCH_runtime.json>
+
+Structural checks (always):
+  * schema tag is "spinstreams-bench-runtime/1", executor is "threads",
+    mode is "full" or "smoke";
+  * every (topology, batch size) pair in the sweep is present exactly
+    once, with positive items/wall/throughput and a positive speedup;
+  * each topology's batch-1 record has speedup 1.0 (it is the baseline).
+
+Performance gate (full mode only — smoke runs are too short to be
+meaningful): the contended pipeline at batch 64 must be at least 2x the
+unbatched throughput.
+
+Exits non-zero (with a message) on the first violation.
+"""
+
+import json
+import sys
+
+TOPOLOGIES = {"pipeline", "fanout", "replicated"}
+BATCH_SIZES = {1, 8, 64}
+MIN_PIPELINE_SPEEDUP = 2.0
+
+
+def fail(msg):
+    sys.exit(f"{sys.argv[1]}: {msg}")
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"invalid JSON: {e}")
+
+    if doc.get("schema") != "spinstreams-bench-runtime/1":
+        fail(f"unknown schema tag {doc.get('schema')!r}")
+    mode = doc.get("mode")
+    if mode not in ("full", "smoke"):
+        fail(f"unknown mode {mode!r}")
+    if doc.get("executor") != "threads":
+        fail(f"unexpected executor {doc.get('executor')!r}")
+    if set(doc.get("batch_sizes", [])) != BATCH_SIZES:
+        fail(f"batch_sizes must be {sorted(BATCH_SIZES)}")
+
+    seen = {}
+    for r in doc.get("results", []):
+        key = (r.get("topology"), r.get("batch_size"))
+        if key[0] not in TOPOLOGIES:
+            fail(f"unknown topology {key[0]!r}")
+        if key[1] not in BATCH_SIZES:
+            fail(f"unknown batch size {key[1]!r}")
+        if key in seen:
+            fail(f"duplicate record for {key}")
+        for field in ("items", "wall_s", "tuples_per_sec", "speedup_vs_batch1"):
+            v = r.get(field)
+            if not isinstance(v, (int, float)) or v <= 0:
+                fail(f"{key}: field {field!r} must be positive, got {v!r}")
+        if key[1] == 1 and abs(r["speedup_vs_batch1"] - 1.0) > 1e-9:
+            fail(f"{key}: batch-1 baseline must report speedup 1.0")
+        seen[key] = r
+
+    missing = {(t, b) for t in TOPOLOGIES for b in BATCH_SIZES} - set(seen)
+    if missing:
+        fail(f"missing records: {sorted(missing)}")
+
+    if mode == "full":
+        speedup = seen[("pipeline", 64)]["speedup_vs_batch1"]
+        if speedup < MIN_PIPELINE_SPEEDUP:
+            fail(f"pipeline at batch 64 is only {speedup:.2f}x over batch 1, "
+                 f"expected >= {MIN_PIPELINE_SPEEDUP}x")
+
+    best = max(r["speedup_vs_batch1"] for r in seen.values())
+    print(f"{path}: OK — {len(seen)} records ({mode} mode), "
+          f"best speedup {best:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    validate(sys.argv[1])

@@ -1,0 +1,171 @@
+//! Equivalence tests for the batched data path: coalescing envelopes must
+//! change throughput, never semantics. Delivered counts, per-key order,
+//! supervision accounting, and (under the discrete-event executor) the
+//! byte-exact telemetry export must all be independent of `batch_size`.
+
+use spinstreams::analysis::DriftConfig;
+use spinstreams::core::{KeyDistribution, OperatorSpec, ServiceTime, Topology};
+use spinstreams::runtime::operators::{FnOperator, PassThrough};
+use spinstreams::runtime::{
+    run, ActorGraph, Behavior, EngineConfig, Executor, Outputs, Route, SimConfig, SourceConfig,
+    TelemetryConfig,
+};
+use spinstreams::tool::predict_vs_measure_telemetry;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+fn engine_cfg(batch_size: usize) -> EngineConfig {
+    EngineConfig {
+        mailbox_capacity: 64,
+        seed: 42,
+        batch_size,
+        ..EngineConfig::default()
+    }
+}
+
+/// Source with uniform keys fanning out over a `KeyMap` into two replicas
+/// that converge on an order-recording sink. Each key follows exactly one
+/// path, so its arrival order at the sink is fully determined — at every
+/// batch size.
+fn run_keyed(batch_size: usize, items: u64) -> Vec<(u64, u64)> {
+    let arrivals: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut g = ActorGraph::new();
+    let cfg = SourceConfig::new(f64::INFINITY, items).with_keys(KeyDistribution::uniform(8));
+    let s = g.add_actor("src", Behavior::Source(cfg));
+    let r0 = g.add_actor("r0", Behavior::worker(PassThrough));
+    let r1 = g.add_actor("r1", Behavior::worker(PassThrough));
+    let log = Arc::clone(&arrivals);
+    let k = g.add_actor(
+        "sink",
+        Behavior::Worker(Box::new(FnOperator::new(
+            "record",
+            move |t: spinstreams::core::Tuple, out: &mut Outputs| {
+                log.lock().unwrap().push((t.key, t.seq));
+                out.emit_default(t);
+            },
+        ))),
+    );
+    g.connect(
+        s,
+        Route::KeyMap {
+            key_map: vec![0, 1, 0, 1, 0, 1, 0, 1],
+            destinations: vec![r0, r1],
+        },
+    );
+    g.connect(r0, Route::Unicast(k));
+    g.connect(r1, Route::Unicast(k));
+    let report = run(g, &engine_cfg(batch_size)).unwrap();
+    assert_eq!(report.actor(k).items_in, items, "no items lost or dropped");
+    assert_eq!(report.total_dropped(), 0);
+    Arc::try_unwrap(arrivals).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn keyed_delivery_counts_and_per_key_order_match_across_batch_sizes() {
+    let items = 4_000;
+    let baseline = run_keyed(1, items);
+    assert_eq!(baseline.len(), items as usize);
+    // Per-key sequences of the unbatched run, in arrival order.
+    let per_key = |arrivals: &[(u64, u64)]| -> Vec<Vec<u64>> {
+        let mut seqs = vec![Vec::new(); 8];
+        for &(key, seq) in arrivals {
+            seqs[key as usize].push(seq);
+        }
+        seqs
+    };
+    let base_seqs = per_key(&baseline);
+    for seqs in &base_seqs {
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "per-key arrival order must be the source order"
+        );
+    }
+    for batch in [8, 64] {
+        let arrivals = run_keyed(batch, items);
+        assert_eq!(arrivals.len(), items as usize, "batch {batch}");
+        assert_eq!(
+            per_key(&arrivals),
+            base_seqs,
+            "batch {batch}: per-key order must match the unbatched run"
+        );
+    }
+}
+
+#[test]
+fn fan_out_topology_is_lossless_at_every_batch_size() {
+    for batch in BATCH_SIZES {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 3_000)),
+        );
+        let replicas: Vec<_> = (0..4)
+            .map(|i| g.add_actor(format!("r{i}"), Behavior::worker(PassThrough)))
+            .collect();
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::RoundRobin(replicas.clone()));
+        for r in &replicas {
+            g.connect(*r, Route::Unicast(k));
+        }
+        let report = run(g, &engine_cfg(batch)).unwrap();
+        assert_eq!(report.actor(k).items_in, 3_000, "batch {batch}");
+        for r in &replicas {
+            assert_eq!(report.actor(*r).items_in, 750, "batch {batch}");
+        }
+        assert_eq!(report.total_dropped(), 0);
+    }
+}
+
+fn telemetry_pipeline() -> Topology {
+    let mut b = Topology::builder();
+    let s = b.add_operator(
+        OperatorSpec::source("src", ServiceTime::from_micros(100.0)).with_kind("source"),
+    );
+    let m = b.add_operator(
+        OperatorSpec::stateless("work", ServiceTime::from_micros(300.0))
+            .with_kind("arithmetic-map")
+            .with_param("work_ns", 300_000.0),
+    );
+    let k = b.add_operator(
+        OperatorSpec::stateless("sink", ServiceTime::from_micros(10.0))
+            .with_kind("identity-map")
+            .with_param("work_ns", 10_000.0),
+    );
+    b.add_edge(s, m, 1.0).unwrap();
+    b.add_edge(m, k, 1.0).unwrap();
+    b.build().unwrap()
+}
+
+/// Under the discrete-event executor the telemetry export is a pure
+/// function of topology and seed; `batch_size` amortizes host-level
+/// synchronization that virtual time does not model, so every batch size
+/// must produce the byte-identical JSON-lines export.
+#[test]
+fn sim_telemetry_export_is_byte_identical_across_batch_sizes() {
+    let topo = telemetry_pipeline();
+    let tcfg = TelemetryConfig::default().with_interval(Duration::from_millis(100));
+    let drift = DriftConfig::default();
+    let export_at = |batch_size: usize| {
+        let executor = Executor::VirtualTime(SimConfig {
+            mailbox_capacity: 32,
+            seed: 0xBA7C4,
+            intrinsic_time: false,
+            batch_size,
+        });
+        predict_vs_measure_telemetry(&topo, 5_000, &executor, &tcfg, drift)
+            .unwrap()
+            .export
+            .jsonl
+    };
+    let baseline = export_at(1);
+    assert!(!baseline.is_empty());
+    for batch in [8, 64] {
+        assert_eq!(
+            export_at(batch),
+            baseline,
+            "batch {batch}: virtual-time telemetry must be byte-identical to batch 1"
+        );
+    }
+}

@@ -35,6 +35,7 @@ fn sim(seed: u64) -> Executor {
         // Pure virtual time: service costs come from the specs alone, so
         // two runs with the same seed take identical trajectories.
         intrinsic_time: false,
+        ..SimConfig::default()
     })
 }
 

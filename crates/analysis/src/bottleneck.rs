@@ -94,8 +94,11 @@ pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
         .iter()
         .map(|op| op.service_rate().items_per_sec())
         .collect();
+    // As in Algorithm 1: the source ingests at up to µ₁ (ρ₁ = ingestion/µ₁,
+    // §3.4) and its departure rate is the ingestion rate times its own
+    // selectivity rate factor.
     let src_factor = topo.operator(src).selectivity.rate_factor();
-    let mut delta_src = base_mu[src.0] * src_factor;
+    let mut ingest_src = base_mu[src.0];
 
     let mut arrival = vec![0.0f64; n];
     let mut rho = vec![0.0f64; n];
@@ -108,8 +111,8 @@ pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
 
     'restart: loop {
         replicas.iter_mut().for_each(|r| *r = 1);
-        departure[src.0] = delta_src;
-        rho[src.0] = delta_src / (base_mu[src.0] * src_factor);
+        departure[src.0] = ingest_src * src_factor;
+        rho[src.0] = ingest_src / base_mu[src.0];
         arrival[src.0] = 0.0;
         visits += 1;
 
@@ -154,7 +157,7 @@ pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
                             ((1.0 / assign.max_fraction).ceil() as usize).clamp(1, assign.replicas);
                         replicas[i] = useful;
                         residual_mark[i] = true;
-                        delta_src /= rho_par;
+                        ingest_src /= rho_par;
                         continue 'restart;
                     }
                     replicas[i] = assign.replicas;
@@ -164,7 +167,7 @@ pub fn eliminate_bottlenecks(topo: &Topology) -> FissionPlan {
                 StateClass::Stateful => {
                     replicas[i] = 1;
                     residual_mark[i] = true;
-                    delta_src /= r;
+                    ingest_src /= r;
                     continue 'restart;
                 }
             }
@@ -227,9 +230,11 @@ pub fn evaluate_with_replicas(topo: &Topology, replicas: &[usize]) -> SteadyStat
 ///
 /// Each degree is scaled by `r = n_max / N` (never below 1); rounding
 /// anomalies are then fixed by decrementing the largest degrees until the
-/// bound holds, exactly the "adjustments of few units" the paper describes.
-/// Returns the bounded degrees; callers evaluate them with
-/// [`evaluate_with_replicas`].
+/// bound holds — or, when rounding lands strictly *below* the bound,
+/// re-incrementing the degrees with the highest residual per-replica load
+/// until the sum reaches `min(n_max, N)` — exactly the "adjustments of few
+/// units" the paper describes. Returns the bounded degrees; callers
+/// evaluate them with [`evaluate_with_replicas`].
 ///
 /// If the plan already fits, the degrees are returned unchanged.
 pub fn apply_replica_bound(plan: &FissionPlan, n_max: usize) -> Vec<usize> {
@@ -255,6 +260,37 @@ pub fn apply_replica_bound(plan: &FissionPlan, n_max: usize) -> Vec<usize> {
         match degrees.iter_mut().filter(|d| **d > 1).max() {
             Some(d) => *d -= 1,
             None => break, // all at 1: n_max < |V| is unsatisfiable
+        }
+    }
+    // Rounding can also undershoot (every degree rounded down), silently
+    // giving up throughput the bound allows. Hand the spare replicas back,
+    // one at a time, to the operator with the highest residual per-replica
+    // load ρᵢ·nᵢ/dᵢ — never raising a degree past the original plan's,
+    // where extra replicas buy nothing.
+    let target = n_max.min(n_total);
+    loop {
+        let sum: usize = degrees.iter().sum();
+        if sum >= target {
+            break;
+        }
+        let candidate = degrees
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| **d < plan.replicas[*i])
+            .max_by(|(i, a), (j, b)| {
+                let load = |idx: usize, d: usize| {
+                    plan.metrics[idx].utilization * plan.replicas[idx] as f64 / d as f64
+                };
+                load(*i, **a)
+                    .partial_cmp(&load(*j, **b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Ties broken toward the lowest index for determinism.
+                    .then(j.cmp(i))
+            })
+            .map(|(i, _)| i);
+        match candidate {
+            Some(i) => degrees[i] += 1,
+            None => break,
         }
     }
     degrees
@@ -463,6 +499,45 @@ mod tests {
             .items_per_sec();
         assert!(part < full);
         assert!(part >= full * 0.5, "part {part} vs full {full}");
+    }
+
+    #[test]
+    fn replica_bound_tops_up_rounding_undershoot() {
+        // Three equal 5 ms stages: plan [1, 5, 5, 5], N = 16. With
+        // n_max = 14 the scale r = 0.875 rounds every 5 down to 4, leaving
+        // the sum at 13 — one replica below what the bound allows. The
+        // top-up pass must hand that spare replica back (ties broken toward
+        // the lowest operator index).
+        let t = pipeline(vec![
+            stateless("src", 1.0),
+            stateless("a", 5.0),
+            stateless("b", 5.0),
+            stateless("c", 5.0),
+        ]);
+        let plan = eliminate_bottlenecks(&t);
+        assert_eq!(plan.replicas, vec![1, 5, 5, 5]);
+
+        let bounded = apply_replica_bound(&plan, 14);
+        assert_eq!(bounded.iter().sum::<usize>(), 14);
+        assert_eq!(bounded, vec![1, 5, 4, 4]);
+
+        // The extra replica buys throughput over the undershot [1, 4, 4, 4].
+        let topped = evaluate_with_replicas(&t, &bounded)
+            .throughput
+            .items_per_sec();
+        let undershot = evaluate_with_replicas(&t, &[1, 4, 4, 4])
+            .throughput
+            .items_per_sec();
+        assert!(
+            topped >= undershot,
+            "topped {topped} vs undershot {undershot}"
+        );
+
+        // Degrees never exceed the original plan's, even when n_max leaves
+        // spare budget above N = 16.
+        let plan_sum = plan.total_replicas();
+        let generous = apply_replica_bound(&plan, plan_sum + 10);
+        assert_eq!(generous, plan.replicas);
     }
 
     #[test]

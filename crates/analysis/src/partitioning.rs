@@ -70,7 +70,10 @@ pub fn key_partitioning(keys: &KeyDistribution, requested: usize) -> KeyAssignme
         load[r] += keys.frequency(k);
     }
 
-    // Drop empty replicas and compact indices.
+    // Drop empty replicas and compact indices. A replica holding only
+    // zero-frequency keys has load 0 and is dropped too; its keys are
+    // re-homed on replica 0 so every owner entry stays a valid index
+    // (downstream emitters index replica mailboxes with it).
     let mut remap = vec![usize::MAX; n];
     let mut used = 0usize;
     for r in 0..n {
@@ -80,7 +83,10 @@ pub fn key_partitioning(keys: &KeyDistribution, requested: usize) -> KeyAssignme
         }
     }
     for o in owner.iter_mut() {
-        *o = remap[*o];
+        *o = match remap[*o] {
+            usize::MAX => 0,
+            r => r,
+        };
     }
     let max_fraction = load.iter().cloned().fold(0.0, f64::max);
 
@@ -178,7 +184,8 @@ pub fn consistent_hash_partitioning(
         load[ring[idx].1] += keys.frequency(k);
     }
 
-    // Compact replicas that own no keys, as in `key_partitioning`.
+    // Compact replicas that own no keys, as in `key_partitioning`; keys
+    // stranded on a dropped zero-load replica are re-homed on replica 0.
     let mut remap = vec![usize::MAX; replicas];
     let mut used = 0usize;
     for r in 0..replicas {
@@ -188,7 +195,10 @@ pub fn consistent_hash_partitioning(
         }
     }
     for o in owner.iter_mut() {
-        *o = remap[*o];
+        *o = match remap[*o] {
+            usize::MAX => 0,
+            r => r,
+        };
     }
     let max_fraction = load.iter().cloned().fold(0.0, f64::max);
     KeyAssignment {
@@ -333,6 +343,53 @@ mod tests {
             lpt.max_fraction,
             ch.max_fraction
         );
+    }
+
+    #[test]
+    fn zero_frequency_keys_are_not_orphaned() {
+        // Regression: with two live keys and two dead (zero-frequency) keys
+        // over 4 requested replicas, LPT parks each dead key on an empty
+        // replica; compaction used to leave their owner at usize::MAX.
+        let keys = KeyDistribution::new(vec![0.5, 0.5, 0.0, 0.0]).unwrap();
+        let a = key_partitioning(&keys, 4);
+        assert_eq!(a.replicas, 2);
+        assert!(
+            a.owner.iter().all(|o| *o < a.replicas),
+            "owners {:?} must all index a live replica",
+            a.owner
+        );
+        // The dead keys land on replica 0 and contribute no load.
+        assert_eq!(a.owner[2], 0);
+        assert_eq!(a.owner[3], 0);
+        assert!((a.load(&keys, 0) - 0.5).abs() < 1e-12);
+        assert!((a.max_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_frequency_keys_survive_consistent_hashing() {
+        // Many keys, most dead: any replica whose hash arc catches only
+        // dead keys is dropped, and those keys must still map to a live
+        // replica index.
+        let mut freqs = vec![0.0; 64];
+        freqs[0] = 0.7;
+        freqs[1] = 0.3;
+        let keys = KeyDistribution::new(freqs).unwrap();
+        let a = consistent_hash_partitioning(&keys, 6, 4);
+        assert!(a.replicas >= 1);
+        assert!(
+            a.owner.iter().all(|o| *o < a.replicas),
+            "owners {:?} must all index a live replica",
+            a.owner
+        );
+        let total: f64 = (0..a.replicas).map(|r| a.load(&keys, r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_rho_handles_zero_frequency_keys() {
+        let keys = KeyDistribution::new(vec![0.4, 0.3, 0.3, 0.0, 0.0, 0.0]).unwrap();
+        let a = key_partitioning_for_rho(&keys, 2.0);
+        assert!(a.owner.iter().all(|o| *o < a.replicas));
     }
 
     #[test]

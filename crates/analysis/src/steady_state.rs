@@ -22,7 +22,8 @@ pub struct OperatorMetrics {
     /// Steady-state arrival rate `λ` (items/s). Zero for the source.
     pub arrival: f64,
     /// Utilization factor `ρ = λ/µ_eff` (dimensionless, `≤ 1` at steady
-    /// state; the source's is `δ₁/µ₁`).
+    /// state; the source's is its ingestion rate over `µ₁` — selectivity
+    /// affects only departures, §3.4).
     pub utilization: f64,
     /// Steady-state departure rate `δ` (items/s) onto any output edge.
     pub departure: f64,
@@ -46,8 +47,10 @@ pub struct BottleneckEvent {
 pub struct SteadyStateReport {
     /// Per-operator metrics, indexed by operator id.
     pub metrics: Vec<OperatorMetrics>,
-    /// The topology throughput: the source's steady-state departure rate
-    /// (items ingested per second, §5.2's definition).
+    /// The topology throughput: the source's steady-state ingestion rate
+    /// (items ingested per second, §5.2's definition). The source's
+    /// *departure* rate is this times its own selectivity rate factor —
+    /// identical for the common identity-selectivity source.
     pub throughput: ServiceRate,
     /// Sum of sink departure rates. With identity selectivities this equals
     /// `throughput` (Proposition 3.5).
@@ -128,9 +131,12 @@ pub fn steady_state_with_rates(topo: &Topology, effective_rates: &[f64]) -> Stea
     let src = topo.source();
     debug_assert_eq!(order[0], src);
 
-    // δ₁ starts at the source's service rate scaled by its own selectivity.
+    // The source ingestion rate starts at the source's own service rate µ₁;
+    // §3.4 applies selectivity only to departures, so ρ₁ stays λ/µ (here the
+    // ingestion rate over µ₁) and δ₁ is the ingestion rate times the
+    // source's rate factor.
     let src_factor = topo.operator(src).selectivity.rate_factor();
-    let mut delta_src = effective_rates[src.0] * src_factor;
+    let mut ingest_src = effective_rates[src.0];
 
     let mut arrival = vec![0.0f64; n];
     let mut rho = vec![0.0f64; n];
@@ -139,8 +145,8 @@ pub fn steady_state_with_rates(topo: &Topology, effective_rates: &[f64]) -> Stea
     let mut visits = 0usize;
 
     'restart: loop {
-        departure[src.0] = delta_src;
-        rho[src.0] = delta_src / (effective_rates[src.0] * src_factor);
+        departure[src.0] = ingest_src * src_factor;
+        rho[src.0] = ingest_src / effective_rates[src.0];
         arrival[src.0] = 0.0;
         visits += 1;
 
@@ -164,7 +170,7 @@ pub fn steady_state_with_rates(topo: &Topology, effective_rates: &[f64]) -> Stea
                     operator: id,
                     utilization: r,
                 });
-                delta_src /= r;
+                ingest_src /= r;
                 continue 'restart;
             }
             // Not a bottleneck: δᵢ = min(λ, µ) · output/input (§3.4).
@@ -186,7 +192,7 @@ pub fn steady_state_with_rates(topo: &Topology, effective_rates: &[f64]) -> Stea
 
     SteadyStateReport {
         metrics,
-        throughput: ServiceRate::per_sec(delta_src),
+        throughput: ServiceRate::per_sec(ingest_src),
         sink_departure_total: ServiceRate::per_sec(sink_total),
         bottlenecks,
         visits,
@@ -354,6 +360,41 @@ mod tests {
         assert!(!r.has_bottleneck());
         assert!((r.throughput.items_per_sec() - 2000.0).abs() < 1e-6);
         assert!((r.metric(OperatorId(2)).arrival - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn source_selectivity_scales_departure_not_utilization() {
+        // Regression: the source's ρ used to divide by µ·rate_factor, so a
+        // filtering source (factor < 1) reported ρ = 1 while ingesting at µ
+        // and throughput conflated ingestion with departure. §3.4: ρ stays
+        // λ/µ and selectivity applies only to departures.
+        //
+        // src (1 ms, output ×0.5) -> sink (1 ms). The source ingests at its
+        // full 1000/s, departs 500/s; the sink is half loaded.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0).with_selectivity(Selectivity::output(0.5)));
+        let k = b.add_operator(op("sink", 1.0));
+        b.add_edge(s, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 1000.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(0)).utilization - 1.0).abs() < 1e-9);
+        assert!((r.metric(OperatorId(0)).departure - 500.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(1)).arrival - 500.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(1)).utilization - 0.5).abs() < 1e-9);
+
+        // A multiplying source (factor > 1) feeding a same-speed sink must
+        // be throttled by backpressure: δ₁·2 ≤ 1000/s ⇒ ingestion 500/s.
+        let mut b = Topology::builder();
+        let s = b.add_operator(op("src", 1.0).with_selectivity(Selectivity::output(2.0)));
+        let k = b.add_operator(op("sink", 1.0));
+        b.add_edge(s, k, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let r = steady_state(&t);
+        assert!((r.throughput.items_per_sec() - 500.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(0)).utilization - 0.5).abs() < 1e-9);
+        assert!((r.metric(OperatorId(0)).departure - 1000.0).abs() < 1e-6);
+        assert!((r.metric(OperatorId(1)).utilization - 1.0).abs() < 1e-9);
     }
 
     #[test]

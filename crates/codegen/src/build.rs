@@ -204,8 +204,11 @@ pub fn build_actor_graph(
     for id in topo.operator_ids() {
         let spec = topo.operator(id);
         if id == topo.source() {
-            let mut cfg = SourceConfig::new(spec.service_rate().items_per_sec(), opts.items)
-                .with_seed(opts.seed);
+            // The source ingests at µ but *emits* at µ scaled by its own
+            // selectivity rate factor (§3.4 applies selectivity to
+            // departures); the runtime source only models the emission side.
+            let emit_rate = spec.service_rate().items_per_sec() * spec.selectivity.rate_factor();
+            let mut cfg = SourceConfig::new(emit_rate, opts.items).with_seed(opts.seed);
             if let Some(keys) = &source_keys {
                 cfg = cfg.with_keys(keys.clone());
             }

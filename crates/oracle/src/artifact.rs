@@ -1,0 +1,147 @@
+//! Reproducible counterexample artifacts.
+//!
+//! Each divergent seed dumps:
+//!
+//! * `seed-<N>.xml` — the generated scenario (topology + source key
+//!   distribution) in the tool's XML schema;
+//! * `seed-<N>-min.xml` — the delta-debugged minimal counterexample, when
+//!   minimization ran;
+//! * `seed-<N>.txt` — the human-readable report: repro command, the
+//!   divergence list, and the three-way rate tables.
+
+use crate::{format_table, DivergentCase};
+use spinstreams_xml::scenario_to_xml;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders the text report of a divergent case.
+pub fn format_report(case: &DivergentCase) -> String {
+    let seed = case.scenario.seed;
+    let mut out = String::new();
+    out.push_str("SpinStreams differential oracle — divergent scenario\n");
+    out.push_str(&format!("seed: {seed}\n"));
+    out.push_str(&format!(
+        "reproduce: spinstreams-cli oracle --seed-start {seed} --seeds 1 --no-threaded\n\n"
+    ));
+
+    out.push_str(&format!(
+        "divergences ({}):\n",
+        case.report.divergences.len()
+    ));
+    for d in &case.report.divergences {
+        out.push_str(&format!("  [{}] {}\n", d.layer, d.detail));
+    }
+    out.push('\n');
+
+    for table in &case.report.tables {
+        out.push_str(&format_table(table));
+        out.push('\n');
+    }
+
+    if let Some(min) = &case.minimized {
+        out.push_str(&format!(
+            "minimized: {} operators, {} edges (from {} operators, {} edges; \
+             {} pipeline evaluations)\n",
+            min.scenario.topology.num_operators(),
+            min.scenario.topology.num_edges(),
+            case.scenario.topology.num_operators(),
+            case.scenario.topology.num_edges(),
+            min.checks,
+        ));
+        out.push_str(&format!(
+            "surviving divergences ({}):\n",
+            min.divergences.len()
+        ));
+        for d in &min.divergences {
+            out.push_str(&format!("  [{}] {}\n", d.layer, d.detail));
+        }
+        out.push('\n');
+        out.push_str(&min.scenario.topology.to_string());
+    }
+    out
+}
+
+/// Writes the artifact files for one divergent case into `dir` (created if
+/// missing). Returns the paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifacts(dir: &Path, case: &DivergentCase) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let seed = case.scenario.seed;
+    let mut written = Vec::new();
+
+    let xml = scenario_to_xml(
+        &case.scenario.topology,
+        &format!("oracle-seed-{seed}"),
+        Some(&case.scenario.source_keys),
+    );
+    let path = dir.join(format!("seed-{seed}.xml"));
+    std::fs::write(&path, xml)?;
+    written.push(path);
+
+    if let Some(min) = &case.minimized {
+        let xml = scenario_to_xml(
+            &min.scenario.topology,
+            &format!("oracle-seed-{seed}-min"),
+            Some(&min.scenario.source_keys),
+        );
+        let path = dir.join(format!("seed-{seed}-min.xml"));
+        std::fs::write(&path, xml)?;
+        written.push(path);
+    }
+
+    let path = dir.join(format!("seed-{seed}.txt"));
+    std::fs::write(&path, format_report(case))?;
+    written.push(path);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scenario, MinimalCase, OracleConfig, ScenarioReport};
+    use spinstreams_xml::scenario_from_xml;
+
+    fn fake_case(minimized: bool) -> DivergentCase {
+        let cfg = OracleConfig::default();
+        let s = scenario(9, &cfg);
+        DivergentCase {
+            report: ScenarioReport {
+                seed: s.seed,
+                tables: Vec::new(),
+                divergences: Vec::new(),
+            },
+            minimized: minimized.then(|| MinimalCase {
+                scenario: s.clone(),
+                divergences: Vec::new(),
+                checks: 1,
+            }),
+            scenario: s,
+        }
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_the_xml_schema() {
+        let dir = std::env::temp_dir().join(format!("oracle-artifact-test-{}", std::process::id()));
+        let case = fake_case(true);
+        let written = write_artifacts(&dir, &case).unwrap();
+        assert_eq!(written.len(), 3);
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        let (topo, keys) = scenario_from_xml(&text).unwrap();
+        assert_eq!(topo.num_operators(), case.scenario.topology.num_operators());
+        assert_eq!(keys, Some(case.scenario.source_keys.clone()));
+        let report = std::fs::read_to_string(&written[2]).unwrap();
+        assert!(report.contains("reproduce: spinstreams-cli oracle --seed-start 9"));
+        assert!(report.contains("minimized:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_without_minimization_omits_that_section() {
+        let case = fake_case(false);
+        let report = format_report(&case);
+        assert!(!report.contains("minimized:"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic oracle scenarios.
+//!
+//! `topogen` profiles operators against the wall clock, so its service-time
+//! annotations jitter run to run. The oracle re-derives every annotation
+//! from seed-drawn quantities instead: each operator's service time becomes
+//! its declared synthetic `work_ns` (exactly what the simulator charges
+//! under pure synthetic time), and the source rate is re-anchored to the
+//! fastest such rate. The resulting scenario — structure, parameters,
+//! selectivities, key skew, rates — is a pure function of the seed, which
+//! makes the sim-vs-analysis layers of the sweep fully reproducible.
+
+use crate::OracleConfig;
+use spinstreams_core::{KeyDistribution, OperatorId, ServiceRate, ServiceTime, Topology};
+use spinstreams_topogen::generate;
+
+/// One seeded oracle scenario: a topology plus its source key stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// The (pre-calibration) topology, with deterministic annotations.
+    pub topology: Topology,
+    /// Key-frequency distribution of the source stream.
+    pub source_keys: KeyDistribution,
+}
+
+/// Generates the deterministic scenario for `seed`.
+pub fn scenario(seed: u64, cfg: &OracleConfig) -> Scenario {
+    let g = generate(seed, &cfg.topogen);
+    let source = g.topology.source();
+    let mut b = g.topology.to_builder();
+    let mut fastest = 0.0f64;
+    for id in g.topology.operator_ids() {
+        if id == source {
+            continue;
+        }
+        let spec = b.operator_mut(id);
+        let work_ns = spec
+            .params
+            .get("work_ns")
+            .copied()
+            .unwrap_or(1_000.0)
+            .max(1.0);
+        spec.service_time = ServiceTime::from_secs(work_ns * 1e-9);
+        fastest = fastest.max(spec.service_time.rate().items_per_sec());
+    }
+    // Source: §5.3's testbed rule, re-applied on the deterministic rates.
+    let src_rate = fastest * cfg.topogen.source_rate_factor;
+    b.operator_mut(source).service_time = ServiceRate::per_sec(src_rate).service_time();
+    let topology = b
+        .build()
+        .expect("re-annotating service times preserves structure");
+    Scenario {
+        seed,
+        topology,
+        source_keys: g.source_keys,
+    }
+}
+
+impl Scenario {
+    /// The source operator's id (always [`Topology::source`]).
+    pub fn source(&self) -> OperatorId {
+        self.topology.source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_fully_deterministic() {
+        let cfg = OracleConfig::default();
+        let a = scenario(42, &cfg);
+        let b = scenario(42, &cfg);
+        // Unlike raw topogen output, *every* annotation matches — service
+        // times included.
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.source_keys, b.source_keys);
+    }
+
+    #[test]
+    fn source_rate_anchored_to_fastest_deterministic_rate() {
+        let cfg = OracleConfig::default();
+        let s = scenario(7, &cfg);
+        let fastest = s
+            .topology
+            .operator_ids()
+            .skip(1)
+            .map(|id| s.topology.operator(id).service_rate().items_per_sec())
+            .fold(0.0, f64::max);
+        let src = s
+            .topology
+            .operator(s.source())
+            .service_rate()
+            .items_per_sec();
+        assert!((src - fastest * cfg.topogen.source_rate_factor).abs() / src < 1e-9);
+    }
+
+    #[test]
+    fn some_scenarios_have_non_identity_sources() {
+        let cfg = OracleConfig::default();
+        let non_identity = (0..10)
+            .map(|seed| scenario(seed, &cfg))
+            .filter(|s| {
+                let f = s.topology.operator(s.source()).selectivity.rate_factor();
+                (f - 1.0).abs() > 1e-9
+            })
+            .count();
+        assert!(non_identity >= 5, "only {non_identity}/10 non-identity");
+    }
+}

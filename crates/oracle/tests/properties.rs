@@ -1,0 +1,153 @@
+//! Property tests over seeded topologies: the §3 invariants the analytical
+//! model promises, checked across the same scenario generator the oracle
+//! sweeps, plus the paper's running example (Table 1 / Figure 11) pinned as
+//! an end-to-end oracle scenario.
+
+use spinstreams_analysis::{eliminate_bottlenecks, evaluate_with_replicas, steady_state};
+use spinstreams_core::{
+    Edge, KeyDistribution, OperatorId, OperatorSpec, Selectivity, ServiceTime, Topology,
+};
+use spinstreams_oracle::{evaluate, scenario, OracleConfig};
+
+/// Seeded topologies each property is checked over.
+const SEEDS: u64 = 60;
+
+fn cfg() -> OracleConfig {
+    OracleConfig {
+        threaded_runs: 0,
+        minimize: false,
+        ..OracleConfig::default()
+    }
+}
+
+/// Invariant 3.1: at the steady state no operator's utilization exceeds 1 —
+/// backpressure throttles upstream departures until every `ρ = λ/µ_eff` is
+/// feasible. Holds for plain Algorithm 1 and for Algorithm 2's replicated
+/// evaluation alike.
+#[test]
+fn invariant_3_1_utilization_never_exceeds_one() {
+    let cfg = cfg();
+    for seed in 0..SEEDS {
+        let s = scenario(seed, &cfg);
+        let report = steady_state(&s.topology);
+        for id in s.topology.operator_ids() {
+            let rho = report.metric(id).utilization;
+            assert!(
+                rho <= 1.0 + 1e-9,
+                "seed {seed}: {id} has ρ = {rho} > 1 (base)"
+            );
+        }
+        let plan = eliminate_bottlenecks(&s.topology);
+        let fis = evaluate_with_replicas(&s.topology, &plan.replicas);
+        for id in s.topology.operator_ids() {
+            let rho = fis.metric(id).utilization;
+            assert!(
+                rho <= 1.0 + 1e-9,
+                "seed {seed}: {id} has ρ = {rho} > 1 (fission)"
+            );
+        }
+    }
+}
+
+/// Proposition 3.5: with identity selectivities the steady-state flow is
+/// conserved — every operator's departure rate equals the probability-
+/// weighted sum of its predecessors' departures, even when backpressure
+/// rescales the whole flow.
+#[test]
+fn proposition_3_5_flow_conservation_under_identity_selectivities() {
+    let cfg = cfg();
+    for seed in 0..SEEDS {
+        let s = scenario(seed, &cfg);
+        let mut ops = s.topology.operators().to_vec();
+        for op in &mut ops {
+            op.selectivity = Selectivity::ONE;
+        }
+        let topo = Topology::from_parts(ops, s.topology.edges().to_vec())
+            .expect("identity-selectivity rewrite must stay valid");
+        let report = steady_state(&topo);
+        for id in topo.operator_ids() {
+            if id == topo.source() {
+                continue;
+            }
+            let arrival: f64 = topo
+                .in_edges(id)
+                .iter()
+                .map(|e| {
+                    let edge = topo.edge(*e);
+                    report.metric(edge.from).departure * edge.probability
+                })
+                .sum();
+            let departure = report.metric(id).departure;
+            assert!(
+                (departure - arrival).abs() <= 1e-6 * arrival.max(1.0),
+                "seed {seed}: {id} departs {departure}/s but receives {arrival}/s"
+            );
+        }
+    }
+}
+
+/// The paper's running example (Table 1 operators on the Figure 11 graph),
+/// pinned as a full oracle scenario: Algorithm 1's prediction, the
+/// virtual-time simulator, and Algorithm 2's replicated deployment must
+/// agree within the sweep's default tolerance bands.
+#[test]
+fn the_papers_running_example_passes_the_oracle() {
+    let topo = running_example(1.0);
+    let report = evaluate(&topo, &KeyDistribution::uniform(32), 0, &cfg(), false);
+    assert!(
+        report.is_clean(),
+        "the running example diverged: {:#?}",
+        report.divergences
+    );
+}
+
+/// The same graph with the source sped up 4× saturates three operators, so
+/// Algorithm 2 must replicate — pinning the fission layer of the oracle to
+/// the paper's topology too.
+#[test]
+fn the_saturated_running_example_exercises_the_fission_layer() {
+    let topo = running_example(0.25);
+    let report = evaluate(&topo, &KeyDistribution::uniform(32), 0, &cfg(), false);
+    assert!(
+        report.is_clean(),
+        "the saturated running example diverged: {:#?}",
+        report.divergences
+    );
+    assert_eq!(
+        report.tables.len(),
+        2,
+        "expected base + fission layers for the saturated variant"
+    );
+}
+
+/// Table 1's service times on Figure 11's graph, with the source scaled by
+/// `source_scale` (1.0 = the paper's 1 ms ingestion period).
+fn running_example(source_scale: f64) -> Topology {
+    let ms = [1.0 * source_scale, 1.2, 0.7, 2.0, 1.5, 0.2];
+    let mut ops =
+        vec![OperatorSpec::source("source", ServiceTime::from_millis(ms[0])).with_kind("source")];
+    for (i, &m) in ms.iter().enumerate().skip(1) {
+        let st = ServiceTime::from_millis(m);
+        ops.push(
+            OperatorSpec::stateless(format!("op{i}"), st)
+                .with_kind("identity-map")
+                .with_param("work_ns", st.as_secs() * 1e9),
+        );
+    }
+    let e = |from: usize, to: usize, probability: f64| Edge {
+        from: OperatorId(from),
+        to: OperatorId(to),
+        probability,
+    };
+    let edges = vec![
+        e(0, 1, 0.7),
+        e(0, 2, 0.3),
+        e(1, 5, 1.0),
+        e(2, 3, 0.5),
+        e(2, 4, 0.5),
+        e(4, 3, 0.35),
+        e(4, 5, 0.65),
+        e(3, 5, 1.0),
+    ];
+    Topology::from_parts(ops, edges).expect("the paper's topology is valid")
+}

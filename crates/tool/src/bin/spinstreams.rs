@@ -15,6 +15,10 @@
 //! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--interval-ms M] [--format table|jsonl|prom]
 //!                                                     live telemetry of a threaded run
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
+//! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
+//!                      [--no-minimize] [--artifacts DIR]
+//!                                                     differential oracle sweep: prediction vs
+//!                                                     simulator vs threaded runtime
 //! ```
 //!
 //! Topology files follow the §4.1 XML formalism (see `spinstreams-xml`);
@@ -27,6 +31,7 @@ use spinstreams_analysis::{
 };
 use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
+use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig};
 use spinstreams_runtime::Executor;
 use spinstreams_runtime::{run_with_telemetry, EngineConfig, TelemetryConfig};
 use spinstreams_tool::{
@@ -42,6 +47,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|dot> <topology.xml> [options]\n\
+         \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
+         \x20                         [--no-minimize] [--artifacts DIR]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -58,7 +65,11 @@ fn usage() -> ExitCode {
                      --format table|jsonl|prom (default table)\n\
          \n\
          --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1)\n\
-         dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan"
+         dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan\n\
+         oracle    — cross-validate Algorithm 1/2 predictions against the simulator (and a\n\
+                     threaded smoke run) over seeded topologies; exits nonzero on divergence.\n\
+                     --seeds N (default 20), --seed-start S (default 0), --no-threaded,\n\
+                     --no-fission, --no-minimize, --artifacts DIR (write repro artifacts)"
     );
     ExitCode::FAILURE
 }
@@ -85,8 +96,90 @@ fn load(path: &str) -> Result<(Topology, usize), String> {
     Ok((topo, settings.batch_size.unwrap_or(1)))
 }
 
+/// `spinstreams oracle` — the differential sweep. Unlike every other
+/// subcommand it takes no topology file: scenarios are generated from seeds.
+fn oracle_cmd(args: &[String]) -> ExitCode {
+    let seeds = match flag_value(args, "--seeds").map(|v| v.parse::<u64>()) {
+        None => 20,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--seeds must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed_start = match flag_value(args, "--seed-start").map(|v| v.parse::<u64>()) {
+        None => 0,
+        Some(Ok(s)) => s,
+        _ => {
+            eprintln!("--seed-start must be a non-negative integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = OracleConfig::default();
+    if args.iter().any(|a| a == "--no-threaded") {
+        cfg.threaded_runs = 0;
+    }
+    if args.iter().any(|a| a == "--no-fission") {
+        cfg.check_fission = false;
+    }
+    if args.iter().any(|a| a == "--no-minimize") {
+        cfg.minimize = false;
+    }
+    let artifacts = flag_value(args, "--artifacts");
+
+    println!(
+        "oracle sweep: seeds {seed_start}..{} ({} threaded, fission {}, minimize {})",
+        seed_start + seeds - 1,
+        cfg.threaded_runs.min(seeds as usize),
+        if cfg.check_fission { "on" } else { "off" },
+        if cfg.minimize { "on" } else { "off" },
+    );
+    let sweep = run_sweep(&cfg, seed_start, seeds, &mut |report| {
+        if report.is_clean() {
+            println!(
+                "seed {:>4}: ok ({} layer(s))",
+                report.seed,
+                report.tables.len()
+            );
+        } else {
+            println!(
+                "seed {:>4}: DIVERGENT ({} violation(s))",
+                report.seed,
+                report.divergences.len()
+            );
+        }
+    });
+
+    for case in &sweep.cases {
+        println!();
+        print!("{}", format_report(case));
+        if let Some(dir) = &artifacts {
+            match write_artifacts(std::path::Path::new(dir), case) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("artifact: {}", p.display());
+                    }
+                }
+                Err(e) => eprintln!("cannot write artifacts to {dir}: {e}"),
+            }
+        }
+    }
+    println!("\n{}/{} seed(s) clean", sweep.clean, sweep.seeds.len());
+    if sweep.is_clean() {
+        println!("oracle verdict: prediction, simulator and runtime agree within tolerance.");
+        ExitCode::SUCCESS
+    } else {
+        println!("oracle verdict: DIVERGENT — see the rate tables above.");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `oracle` generates its own seeded topologies — no XML positional.
+    if args.first().map(String::as_str) == Some("oracle") {
+        return oracle_cmd(&args[1..]);
+    }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };

@@ -215,12 +215,21 @@ pub fn predict_vs_measure(
     };
     let plan = build_actor_graph(topo, source_keys.cloned(), replicas, fusions, &opts)?;
     let run_report = execute(plan.graph, executor)?;
+    // The runtime source reports its *emission* rate; throughput is defined
+    // as items ingested per second (§5.2), so divide the source's own
+    // selectivity rate factor back out (identity for typical sources).
+    let src_factor = topo
+        .operator(topo.source())
+        .selectivity
+        .rate_factor()
+        .max(f64::MIN_POSITIVE);
     let measured_throughput =
         run_report
             .source_throughput()
             .ok_or_else(|| HarnessError::Measurement {
                 reason: "source produced fewer than two items".into(),
-            })?;
+            })?
+            / src_factor;
 
     let operators = topo
         .operator_ids()

@@ -34,6 +34,13 @@ pub struct TopogenConfig {
     pub profile_samples: usize,
     /// Warmup samples discarded by the profiler.
     pub profile_warmup: usize,
+    /// Optional range for a non-identity *source* output selectivity: when
+    /// set, each generated source draws an output rate factor uniformly
+    /// from the range (a source can filter or expand what it ingests before
+    /// emitting, §3.4). `None` (the default) keeps the identity-selectivity
+    /// source of §5.3's testbed. Used by the differential oracle to
+    /// exercise the source-selectivity code paths.
+    pub source_selectivity_range: Option<(f64, f64)>,
 }
 
 impl Default for TopogenConfig {
@@ -57,6 +64,7 @@ impl Default for TopogenConfig {
             source_rate_factor: 1.33,
             profile_samples: 600,
             profile_warmup: 150,
+            source_selectivity_range: None,
         }
     }
 }

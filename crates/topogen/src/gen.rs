@@ -211,6 +211,13 @@ pub fn generate(seed: u64, cfg: &TopogenConfig) -> GeneratedTopology {
     // Source: `factor` times faster than the fastest operator (§5.3).
     let src_rate = fastest_rate * cfg.source_rate_factor;
     specs[0].service_time = ServiceRate::per_sec(src_rate).service_time();
+    // Optional non-identity source selectivity (differential-oracle
+    // scenarios); drawn only when requested so existing seeds reproduce
+    // byte-identical topologies under the default configuration.
+    if let Some((lo, hi)) = cfg.source_selectivity_range {
+        let factor = rng.gen_range(lo..=hi);
+        specs[0].selectivity = spinstreams_core::Selectivity::output(factor);
+    }
 
     // -- Routing probabilities (ZipF over each multi-output vertex) ---------
     let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); v];
@@ -342,6 +349,36 @@ mod tests {
                 "source {src} vs fastest {fastest}"
             );
         }
+    }
+
+    #[test]
+    fn source_selectivity_range_draws_within_bounds() {
+        let cfg = TopogenConfig {
+            source_selectivity_range: Some((0.5, 1.5)),
+            ..TopogenConfig::fast()
+        };
+        let mut non_identity = 0;
+        for seed in 0..10 {
+            let g = generate(seed, &cfg);
+            let f = g
+                .topology
+                .operator(g.topology.source())
+                .selectivity
+                .rate_factor();
+            assert!((0.5..=1.5).contains(&f), "seed {seed}: factor {f}");
+            if (f - 1.0).abs() > 1e-9 {
+                non_identity += 1;
+            }
+        }
+        assert!(non_identity >= 8, "uniform draw rarely lands exactly on 1");
+        // Default config keeps the identity source.
+        let g = generate(3, &TopogenConfig::fast());
+        let f = g
+            .topology
+            .operator(g.topology.source())
+            .selectivity
+            .rate_factor();
+        assert!((f - 1.0).abs() < 1e-12);
     }
 
     #[test]

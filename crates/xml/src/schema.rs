@@ -145,6 +145,73 @@ pub fn topology_to_xml_with_settings(
     }
 }
 
+/// Serializes a full *scenario* — a topology plus the source stream's
+/// key-frequency distribution — into one self-contained document.
+///
+/// The output is the regular [`topology_to_xml`] document with an extra
+/// `<source-keys>` child holding one `<key frequency="…"/>` per key. The
+/// element is additive: [`topology_from_xml`] ignores it, so scenario
+/// documents still parse as plain topologies. The differential oracle uses
+/// this to dump minimized counterexamples that reproduce byte-for-byte.
+pub fn scenario_to_xml(
+    topo: &Topology,
+    name: &str,
+    source_keys: Option<&KeyDistribution>,
+) -> String {
+    let Some(keys) = source_keys else {
+        return topology_to_xml(topo, name);
+    };
+    let mut keys_node = XmlNode::new("source-keys");
+    for f in keys.frequencies() {
+        keys_node = keys_node.child(XmlNode::new("key").attr("frequency", format!("{f:e}")));
+    }
+    let doc = topology_to_xml(topo, name);
+    // Insert after the opening <topology ...> tag, like the settings writer.
+    let insert_at = doc
+        .find("<topology")
+        .and_then(|start| doc[start..].find('>').map(|off| start + off));
+    match insert_at {
+        Some(end) => {
+            // Indent the fragment two spaces to match the document body.
+            let fragment = keys_node
+                .to_xml()
+                .lines()
+                .map(|l| format!("  {l}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("{}\n{fragment}{}", &doc[..=end], &doc[end + 1..])
+        }
+        None => doc,
+    }
+}
+
+/// Parses a scenario document written by [`scenario_to_xml`]: the topology
+/// plus the optional source key distribution (`None` when the document has
+/// no `<source-keys>` element, i.e. it is a plain topology).
+///
+/// # Errors
+///
+/// As [`topology_from_xml`], plus [`SchemaError::Invalid`] for a malformed
+/// `<source-keys>` distribution.
+pub fn scenario_from_xml(text: &str) -> Result<(Topology, Option<KeyDistribution>), SchemaError> {
+    let topo = topology_from_xml(text)?;
+    let root = parse(text)?;
+    let keys = match root.first_child("source-keys") {
+        None => None,
+        Some(node) => {
+            let freqs: Result<Vec<f64>, SchemaError> = node
+                .children_named("key")
+                .map(|k| num_attr(k, "frequency"))
+                .collect();
+            Some(
+                KeyDistribution::new(freqs?)
+                    .ok_or_else(|| invalid("invalid source-keys frequency distribution"))?,
+            )
+        }
+    };
+    Ok((topo, keys))
+}
+
 /// Serializes a topology into the XML formalism.
 ///
 /// Service times are written in microseconds (`time-unit="us"`); key
@@ -335,6 +402,25 @@ mod tests {
         b.add_edge(f, k, 0.3).unwrap();
         b.add_edge(a, k, 1.0).unwrap();
         b.build().unwrap()
+    }
+
+    #[test]
+    fn scenario_roundtrip_preserves_topology_and_keys() {
+        let t = sample();
+        let keys = KeyDistribution::zipf(12, 0.8);
+        let xml = scenario_to_xml(&t, "scen", Some(&keys));
+        let (back, back_keys) = scenario_from_xml(&xml).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back_keys.as_ref(), Some(&keys));
+        // The scenario document still parses as a plain topology.
+        assert_eq!(topology_from_xml(&xml).unwrap(), t);
+        // Without keys the document is byte-identical to the plain writer.
+        assert_eq!(
+            scenario_to_xml(&t, "scen", None),
+            topology_to_xml(&t, "scen")
+        );
+        let (_, none_keys) = scenario_from_xml(&topology_to_xml(&t, "scen")).unwrap();
+        assert!(none_keys.is_none());
     }
 
     #[test]

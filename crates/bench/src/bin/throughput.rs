@@ -1,13 +1,15 @@
-//! Runtime throughput suite: batch size × topology shape on the threaded
-//! executor.
+//! Runtime throughput suite: executor × worker count × batch size on each
+//! topology shape.
 //!
-//! Every topology runs with envelope batch sizes {1, 8, 64}; all operators
-//! are pass-throughs, so wall-clock is dominated by mailbox
-//! synchronization — exactly the cost that envelope batching and output
-//! coalescing amortize. Results land in `BENCH_runtime.json` at the
-//! current directory (override with `--out PATH`), one record per
-//! (topology, batch size) with the measured tuples/sec and the speedup
-//! over the unbatched run.
+//! Every topology runs under the thread-per-actor executor and under the
+//! cooperative worker pool at worker counts {1, 2, 4}, each with envelope
+//! batch sizes {1, 8, 64}; all operators are pass-throughs, so wall-clock
+//! is dominated by mailbox synchronization and scheduling — exactly the
+//! costs that envelope batching amortizes and the pool's run-until-blocked
+//! scheduling removes. Results land in `BENCH_runtime.json` at the current
+//! directory (override with `--out PATH`), one record per (topology,
+//! executor, workers, batch size) with the measured tuples/sec and the
+//! speedup over that configuration's unbatched run.
 //!
 //! ```text
 //! cargo run --release -p spinstreams-bench --bin throughput [-- --smoke] [--out FILE] [--items N]
@@ -15,13 +17,19 @@
 //!
 //! `--smoke` shrinks the item counts so CI can validate the schema and
 //! plumbing in seconds; speedup assertions only make sense in full mode.
+//! `--topology NAME` restricts the sweep to one topology (the emitted
+//! JSON is then partial — useful for focused measurements, not for
+//! `validate_bench.py`).
 
 use spinstreams_runtime::operators::PassThrough;
-use spinstreams_runtime::{run, ActorGraph, Behavior, EngineConfig, Route, SourceConfig};
+use spinstreams_runtime::{
+    run, ActorGraph, Behavior, EngineConfig, ExecutorKind, Route, SourceConfig,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
 struct Shape {
     name: &'static str,
@@ -86,8 +94,18 @@ fn replicated(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
     (g, k)
 }
 
+struct ExecCfg {
+    /// `"threads"` or `"pool"` — the record's `executor` field.
+    label: &'static str,
+    kind: ExecutorKind,
+    /// Pool worker count; `None` for thread-per-actor.
+    workers: Option<usize>,
+}
+
 struct Record {
     topology: &'static str,
+    executor: &'static str,
+    workers: Option<usize>,
     batch_size: usize,
     items: u64,
     wall_s: f64,
@@ -109,6 +127,7 @@ fn main() {
     let items = flag(&args, "--items")
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(if smoke { 5_000 } else { 200_000 });
+    let only = flag(&args, "--topology");
 
     let shapes = [
         Shape {
@@ -124,6 +143,18 @@ fn main() {
             build: replicated,
         },
     ];
+    let mut execs = vec![ExecCfg {
+        label: "threads",
+        kind: ExecutorKind::ThreadPerActor,
+        workers: None,
+    }];
+    for w in WORKER_COUNTS {
+        execs.push(ExecCfg {
+            label: "pool",
+            kind: ExecutorKind::Pool { workers: w },
+            workers: Some(w),
+        });
+    }
 
     let mut records: Vec<Record> = Vec::new();
     println!(
@@ -131,72 +162,98 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
     println!(
-        "{:<12} {:>6} {:>10} {:>14} {:>9}",
-        "topology", "batch", "wall", "tuples/s", "speedup"
+        "{:<12} {:>8} {:>7} {:>6} {:>10} {:>14} {:>9}",
+        "topology", "executor", "workers", "batch", "wall", "tuples/s", "speedup"
     );
     for shape in &shapes {
-        let mut base_rate = 0.0f64;
-        for batch_size in BATCH_SIZES {
-            let (graph, sink) = (shape.build)(items);
-            let cfg = EngineConfig {
-                mailbox_capacity: 256,
-                // Generous timeout: the suite measures throughput, not
-                // load shedding; nothing may drop.
-                send_timeout: Duration::from_secs(60),
-                seed: 0xBE9C4,
-                batch_size,
-                ..EngineConfig::default()
-            };
-            let report = run(graph, &cfg).expect("bench graph is valid");
-            let delivered = report.actor(sink).items_in;
-            assert_eq!(delivered, items, "{}: lossless run expected", shape.name);
-            let wall_s = report.wall.as_secs_f64();
-            let rate = delivered as f64 / wall_s;
-            if batch_size == 1 {
-                base_rate = rate;
+        if only.as_deref().is_some_and(|t| t != shape.name) {
+            continue;
+        }
+        for exec in &execs {
+            let mut base_rate = 0.0f64;
+            for batch_size in BATCH_SIZES {
+                let (graph, sink) = (shape.build)(items);
+                let cfg = EngineConfig {
+                    mailbox_capacity: 256,
+                    // Generous timeout: the suite measures throughput, not
+                    // load shedding; nothing may drop.
+                    send_timeout: Duration::from_secs(60),
+                    seed: 0xBE9C4,
+                    batch_size,
+                    executor: exec.kind,
+                    ..EngineConfig::default()
+                };
+                let report = run(graph, &cfg).expect("bench graph is valid");
+                let delivered = report.actor(sink).items_in;
+                assert_eq!(delivered, items, "{}: lossless run expected", shape.name);
+                let wall_s = report.wall.as_secs_f64();
+                let rate = delivered as f64 / wall_s;
+                if batch_size == 1 {
+                    base_rate = rate;
+                }
+                let speedup = if base_rate > 0.0 {
+                    rate / base_rate
+                } else {
+                    1.0
+                };
+                println!(
+                    "{:<12} {:>8} {:>7} {:>6} {:>9.3}s {:>14.0} {:>8.2}x",
+                    shape.name,
+                    exec.label,
+                    exec.workers.map_or("-".into(), |w| w.to_string()),
+                    batch_size,
+                    wall_s,
+                    rate,
+                    speedup
+                );
+                records.push(Record {
+                    topology: shape.name,
+                    executor: exec.label,
+                    workers: exec.workers,
+                    batch_size,
+                    items,
+                    wall_s,
+                    tuples_per_sec: rate,
+                    speedup_vs_batch1: speedup,
+                });
             }
-            let speedup = if base_rate > 0.0 {
-                rate / base_rate
-            } else {
-                1.0
-            };
-            println!(
-                "{:<12} {:>6} {:>9.3}s {:>14.0} {:>8.2}x",
-                shape.name, batch_size, wall_s, rate, speedup
-            );
-            records.push(Record {
-                topology: shape.name,
-                batch_size,
-                items,
-                wall_s,
-                tuples_per_sec: rate,
-                speedup_vs_batch1: speedup,
-            });
         }
     }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/1\",");
+    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/2\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
         if smoke { "smoke" } else { "full" }
     );
-    let _ = writeln!(json, "  \"executor\": \"threads\",");
     let _ = writeln!(
         json,
         "  \"batch_sizes\": [{}],",
         BATCH_SIZES.map(|b| b.to_string()).join(", ")
     );
+    let _ = writeln!(
+        json,
+        "  \"worker_counts\": [{}],",
+        WORKER_COUNTS.map(|w| w.to_string()).join(", ")
+    );
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
+        let workers = r.workers.map_or("null".into(), |w: usize| w.to_string());
         let _ = writeln!(
             json,
-            "    {{\"topology\": \"{}\", \"batch_size\": {}, \"items\": {}, \
+            "    {{\"topology\": \"{}\", \"executor\": \"{}\", \"workers\": {workers}, \
+             \"batch_size\": {}, \"items\": {}, \
              \"wall_s\": {:.6}, \"tuples_per_sec\": {:.1}, \"speedup_vs_batch1\": {:.3}}}{comma}",
-            r.topology, r.batch_size, r.items, r.wall_s, r.tuples_per_sec, r.speedup_vs_batch1
+            r.topology,
+            r.executor,
+            r.batch_size,
+            r.items,
+            r.wall_s,
+            r.tuples_per_sec,
+            r.speedup_vs_batch1
         );
     }
     let _ = writeln!(json, "  ]");

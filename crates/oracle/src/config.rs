@@ -70,6 +70,11 @@ pub struct OracleConfig {
     /// (shorter runs fill fewer windows), and the threaded layer's
     /// selectivity ratios are compared against the sim run's.
     pub threaded_items: u64,
+    /// Worker-pool executor for the threaded smoke layer: `Some(n)` runs
+    /// actors on a pool of `n` cooperative workers (`Some(0)` = one per
+    /// core), `None` keeps thread-per-actor. The oracle's comparisons must
+    /// hold under either scheduling discipline.
+    pub workers: Option<usize>,
     /// Delta-debug divergent scenarios down to a minimal counterexample.
     pub minimize: bool,
     /// Hard cap on pipeline evaluations spent minimizing one scenario.
@@ -90,6 +95,7 @@ impl Default for OracleConfig {
             check_fission: true,
             threaded_runs: 4,
             threaded_items: 6_000,
+            workers: None,
             minimize: true,
             minimize_budget: 200,
         }

@@ -4,7 +4,7 @@
 use crate::OracleConfig;
 use spinstreams_codegen::{build_actor_graph, CodegenError, CodegenOptions};
 use spinstreams_core::{KeyDistribution, OperatorId, Selectivity, ServiceTime, Topology};
-use spinstreams_runtime::{execute, EngineConfig, EngineError, Executor, SimConfig};
+use spinstreams_runtime::{execute, EngineConfig, EngineError, Executor, ExecutorKind, SimConfig};
 use std::fmt;
 
 /// Errors from an oracle pipeline stage.
@@ -62,10 +62,17 @@ pub fn sim_executor(seed: u64) -> Executor {
     })
 }
 
-/// The thread-per-actor executor used by the threaded smoke layer.
-pub fn threaded_executor(seed: u64) -> Executor {
+/// The threaded executor used by the smoke layer: thread-per-actor by
+/// default, or the worker-pool executor when `workers` is set (`Some(0)`
+/// = one worker per core). The oracle's rate comparisons must hold under
+/// either scheduling discipline.
+pub fn threaded_executor(seed: u64, workers: Option<usize>) -> Executor {
     Executor::Threads(EngineConfig {
         seed,
+        executor: match workers {
+            Some(n) => ExecutorKind::Pool { workers: n },
+            None => ExecutorKind::ThreadPerActor,
+        },
         ..EngineConfig::default()
     })
 }

@@ -116,7 +116,7 @@ pub fn evaluate(
             &[],
             cfg.threaded_items,
             seed,
-            &threaded_executor(seed),
+            &threaded_executor(seed, cfg.workers),
         ) {
             Ok(thr) => {
                 divergences.extend(compare_threaded(

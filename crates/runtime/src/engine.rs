@@ -1,9 +1,18 @@
-//! The execution engine: one thread per actor, bounded BAS mailboxes,
-//! run-to-completion with end-of-stream propagation, and per-actor
-//! supervision of panicking operators (see [`crate::supervision`]).
+//! The execution engine: bounded BAS mailboxes, run-to-completion with
+//! end-of-stream propagation, and per-actor supervision of panicking
+//! operators (see [`crate::supervision`]).
+//!
+//! Two executors are available (see [`ExecutorKind`]): the classic
+//! thread-per-actor configuration of §5.1, and a fixed-size cooperative
+//! worker pool that multiplexes ready actors over a handful of OS threads —
+//! the SS2Akka decoupling of logical operators from runtime executors (§4),
+//! which keeps fission-inflated graphs from oversubscribing cores.
 
 use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
-use crate::mailbox::{channel, BatchFailure, DepthProbe, Envelope, RecvBatch, SendOutcome, Sender};
+use crate::mailbox::{
+    channel, channel_spsc, BatchFailure, BatchOutcome, DepthProbe, Envelope, RecvBatch,
+    SendOutcome, Sender, TryRecvBatch, TrySend,
+};
 use crate::metrics::{ActorMetrics, RunReport};
 use crate::operator::Outputs;
 use crate::rng::XorShift64;
@@ -20,11 +29,48 @@ use crate::ActorId;
 use spinstreams_core::{Tuple, TUPLE_ARITY};
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, Once, PoisonError};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Which executor runs the actor graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One dedicated OS thread per actor — the §5.1 configuration ("each
+    /// actor is associated with a dedicated thread"). The default.
+    ThreadPerActor,
+    /// A fixed-size cooperative worker pool: sources keep dedicated
+    /// threads (they pace wall-clock emission schedules), while worker
+    /// actors are multiplexed over `workers` OS threads with a
+    /// run-until-blocked scheduling loop. Post-fission graphs with dozens
+    /// of actors then run on a handful of cores without context-switch
+    /// thrash.
+    Pool {
+        /// Worker thread count; `0` means
+        /// [`std::thread::available_parallelism`].
+        workers: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// Resolves the configured worker count for [`ExecutorKind::Pool`]
+    /// (`0` → available parallelism), or `None` for thread-per-actor.
+    pub fn pool_workers(self) -> Option<usize> {
+        match self {
+            ExecutorKind::ThreadPerActor => None,
+            ExecutorKind::Pool { workers: 0 } => Some(
+                thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+            ExecutorKind::Pool { workers } => Some(workers),
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +99,8 @@ pub struct EngineConfig {
     /// streams never stall behind an unfilled batch. Irrelevant at
     /// `batch_size = 1`.
     pub flush_interval: Duration,
+    /// Which executor runs the graph (thread-per-actor by default).
+    pub executor: ExecutorKind,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +112,7 @@ impl Default for EngineConfig {
             dead_letter_capacity: 4096,
             batch_size: 1,
             flush_interval: Duration::from_millis(1),
+            executor: ExecutorKind::ThreadPerActor,
         }
     }
 }
@@ -224,7 +273,11 @@ struct DeliveryCtx {
     metrics: Arc<ActorMetrics>,
     started_at: Instant,
     send_timeout: Duration,
-    dead_letters: Arc<Mutex<DeadLetterLog>>,
+    /// This actor's private dead-letter log: nothing shared sits on the
+    /// send path. Per-actor logs are merged into the run report (in actor
+    /// id order) at shutdown; the per-actor `dead_letters` metric keeps
+    /// `total_dead_letters()` exact regardless of entry caps.
+    dead_letters: DeadLetterLog,
     /// Present only with telemetry enabled on a sink actor: records
     /// end-to-end latency of every tuple consumed at a sink port.
     latency: Option<Arc<LatencyHistogram>>,
@@ -243,11 +296,41 @@ struct DeliveryCtx {
     buffered: usize,
     /// When the coalescing buffers were last drained (deadline policy).
     last_flush: Instant,
+    /// Clock reading taken once per drained input batch (worker actors
+    /// only; `0` = never refreshed). Sink-port latency/departure stamping
+    /// uses this instead of one `Instant::now()` per envelope, bounding
+    /// the stamp skew to one batch.
+    cached_now_ns: u64,
+    /// Sink-port departures accumulated since the last flush. All share
+    /// the batch-cached clock reading, so they fold into one metrics
+    /// update in [`flush_all`](Self::flush_all) instead of one RMW per
+    /// consumed tuple.
+    pending_sink_outs: u64,
+    /// Present only under the pool executor: lets a blocked flush run
+    /// other ready actors instead of parking its worker thread.
+    pool: Option<Arc<PoolShared>>,
 }
 
 impl DeliveryCtx {
     fn now_ns(&self) -> u64 {
         self.started_at.elapsed().as_nanos() as u64
+    }
+
+    /// Re-reads the clock into the per-batch cache. Called once per
+    /// drained input batch, not per envelope.
+    fn refresh_now(&mut self) {
+        self.cached_now_ns = self.now_ns();
+    }
+
+    /// The batch-cached clock for sink-port stamping; falls back to a
+    /// fresh read on actors that never refresh (sources, whose emission
+    /// times *are* the measurement).
+    fn sink_now(&self) -> u64 {
+        if self.cached_now_ns != 0 {
+            self.cached_now_ns
+        } else {
+            self.now_ns()
+        }
     }
 
     /// Records a lifecycle trace event, if tracing is enabled.
@@ -257,21 +340,27 @@ impl DeliveryCtx {
         }
     }
 
-    /// Records `tuple` as undeliverable.
-    fn dead_letter(&self, destination: Option<ActorId>, reason: DeadLetterReason, tuple: &Tuple) {
+    /// Records `tuple` as undeliverable in this actor's private log — no
+    /// shared lock on the send path. The per-actor logs are merged into
+    /// the [`RunReport`] in actor-id order at shutdown; the per-actor
+    /// `dead_letters` metric keeps `total_dead_letters()` exact even when
+    /// the merged log's capacity truncates entries.
+    fn dead_letter(
+        &mut self,
+        destination: Option<ActorId>,
+        reason: DeadLetterReason,
+        tuple: &Tuple,
+    ) {
         use std::sync::atomic::Ordering;
         self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
         self.trace_event(TraceEventKind::DeadLetter { reason });
-        self.dead_letters
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(DeadLetter {
-                source: self.id,
-                destination,
-                reason,
-                key: tuple.key,
-                seq: tuple.seq,
-            });
+        self.dead_letters.push(DeadLetter {
+            source: self.id,
+            destination,
+            reason,
+            key: tuple.key,
+            seq: tuple.seq,
+        });
     }
 
     /// Routes everything in `out` into the per-destination coalescing
@@ -293,14 +382,14 @@ impl DeliveryCtx {
                     // Sink port: the emission is the actor's departure —
                     // and, with telemetry on, the end of the tuple's
                     // end-to-end latency span. Never coalesced: there is
-                    // no mailbox hop to amortize.
-                    let now = self.now_ns();
+                    // no mailbox hop to amortize. Workers stamp with the
+                    // batch-cached clock (one read per drained batch).
                     if let Some(hist) = &self.latency {
-                        if let Some(lat) = tuple.latency_ns(now) {
+                        if let Some(lat) = tuple.latency_ns(self.sink_now()) {
                             hist.record(lat);
                         }
                     }
-                    self.metrics.record_out(now);
+                    self.pending_sink_outs += 1;
                 }
             }
         }
@@ -321,17 +410,26 @@ impl DeliveryCtx {
         let sender = self.senders[dest]
             .as_ref()
             .expect("validated destination has a mailbox");
-        let outcome = sender.send_batch(&mut buf, self.send_timeout);
+        let outcome = match &self.pool {
+            // Pooled actors must not park their worker thread while a
+            // downstream mailbox is full — the consumer that would drain it
+            // may be waiting for this very thread. Help run ready actors
+            // instead of sleeping.
+            Some(pool) => {
+                let pool = Arc::clone(pool);
+                let min_rank = pool.rank[self.id.0];
+                pool_send_batch(&pool, sender, &mut buf, self.send_timeout, min_rank)
+            }
+            None => sender.send_batch(&mut buf, self.send_timeout),
+        };
         if outcome.blocked > Duration::ZERO {
             let ns = outcome.blocked.as_nanos() as u64;
             self.metrics.blocked_ns.fetch_add(ns, Ordering::Relaxed);
             self.trace_event(TraceEventKind::Blocked { ns });
         }
         if outcome.delivered > 0 {
-            let now = self.now_ns();
-            for _ in 0..outcome.delivered {
-                self.metrics.record_out(now);
-            }
+            self.metrics
+                .record_out_n(self.now_ns(), outcome.delivered as u64);
         }
         if let Some(failure) = outcome.failure {
             let reason = match failure {
@@ -355,6 +453,11 @@ impl DeliveryCtx {
     /// nothing ever sits buffered across a restart, a backoff sleep, or
     /// shutdown.
     fn flush_all(&mut self) {
+        if self.pending_sink_outs > 0 {
+            self.metrics
+                .record_out_n(self.sink_now(), self.pending_sink_outs);
+            self.pending_sink_outs = 0;
+        }
         if self.buffered > 0 {
             for dest in 0..self.out_bufs.len() {
                 if !self.out_bufs[dest].is_empty() {
@@ -388,10 +491,34 @@ impl DeliveryCtx {
         self.flush_all();
         for &d in &self.eos_targets {
             if let Some(sender) = &self.senders[d] {
-                // EOS must never be dropped: retry until delivered (or the
-                // receiver is gone).
-                while sender.send(Envelope::Eos, Duration::from_secs(3600)) == SendOutcome::TimedOut
-                {
+                match &self.pool {
+                    // Pooled: keep running ready actors while the target
+                    // mailbox is full, falling back to short bounded
+                    // blocking slices when nothing is runnable.
+                    Some(pool) => {
+                        let pool = Arc::clone(pool);
+                        loop {
+                            match sender.try_send(Envelope::Eos) {
+                                TrySend::Sent | TrySend::Disconnected => break,
+                                TrySend::Full => {
+                                    if !run_one_ready(&pool, pool.rank[self.id.0]) {
+                                        let out =
+                                            sender.send(Envelope::Eos, Duration::from_millis(1));
+                                        if out.delivered() || out == SendOutcome::Disconnected {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // EOS must never be dropped: retry until delivered
+                        // (or the receiver is gone).
+                        while sender.send(Envelope::Eos, Duration::from_secs(3600))
+                            == SendOutcome::TimedOut
+                        {}
+                    }
                 }
             }
         }
@@ -412,7 +539,10 @@ fn pace_until(target: Instant) {
     }
 }
 
-fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
+/// Runs a source actor to completion on the calling thread, returning its
+/// private dead-letter log for the shutdown merge. Sources never refresh
+/// the batch clock cache: their emission times *are* the measurement.
+fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
     ctx.trace_event(TraceEventKind::ActorStarted);
     let mut rng = XorShift64::new(cfg.seed);
     let mut out = Outputs::new();
@@ -454,6 +584,7 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) {
     }
     ctx.propagate_eos();
     ctx.trace_event(TraceEventKind::ActorFinished);
+    std::mem::take(&mut ctx.dead_letters)
 }
 
 thread_local! {
@@ -489,150 +620,572 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 }
 
 /// Runs `f` with panics caught and the panic hook silenced, charging the
-/// elapsed time to the actor's busy counter either way.
+/// elapsed time to the actor's busy counter. Used for one-off calls (the
+/// terminal `flush`); the per-tuple hot path uses [`guarded_raw`] and
+/// batch-level timing instead — two `clock_gettime` calls per tuple cost
+/// more than a pass-through operator does.
 fn guarded_call(metrics: &ActorMetrics, f: impl FnOnce()) -> Result<(), Box<dyn Any + Send>> {
     use std::sync::atomic::Ordering;
     let t0 = Instant::now();
-    SILENCE_PANICS.with(|s| s.set(true));
-    let result = catch_unwind(AssertUnwindSafe(f));
-    SILENCE_PANICS.with(|s| s.set(false));
+    let result = guarded_raw(f);
     metrics
         .busy_ns
         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     result
 }
 
-/// The supervised worker loop: every operator invocation runs under
-/// `catch_unwind`; panics are handled per the actor's [`SupervisorSpec`].
-fn run_worker(
-    mut op: Box<dyn crate::StreamOperator>,
+/// Runs `f` with panics caught and the panic hook silenced — no timing.
+/// Callers account elapsed time at batch granularity (see
+/// [`WorkerTask::process_batch`]).
+fn guarded_raw(f: impl FnOnce()) -> Result<(), Box<dyn Any + Send>> {
+    SILENCE_PANICS.with(|s| s.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SILENCE_PANICS.with(|s| s.set(false));
+    result
+}
+
+/// A worker actor's complete runnable state: operator, supervision,
+/// mailbox receiver, and delivery context. Thread-per-actor drives it with
+/// a blocking [`run_worker`] loop; the pool executor stores it in a
+/// [`PoolShared`] slot and drives it with non-blocking [`WorkerTask::poll`]
+/// calls whenever the actor is ready.
+struct WorkerTask {
+    op: Box<dyn crate::StreamOperator>,
     factory: Option<OperatorFactory>,
     supervision: SupervisorSpec,
     rx: crate::mailbox::Receiver,
-    mut eos_left: usize,
-    mut ctx: DeliveryCtx,
-) {
-    use std::sync::atomic::Ordering;
-    ctx.trace_event(TraceEventKind::ActorStarted);
-    let mut out = Outputs::new();
-    // Degraded mode: the operator is gone; input is forwarded or dropped.
-    let mut stopped = false;
-    let mut restarts_done: u32 = 0;
-    // Batched intake: block for the first envelope, then drain whatever
-    // else is already queued (up to `batch_size`) under the same lock. With
-    // `batch_size = 1` this is operation-for-operation the plain `recv`
-    // loop.
-    let intake = ctx.batch_size;
-    let mut inbox: Vec<Envelope> = Vec::with_capacity(intake);
-    'recv: loop {
-        match rx.recv_drain(&mut inbox, intake) {
-            RecvBatch::Received(_) => {
-                let mut finished = false;
-                for env in inbox.drain(..) {
-                    match env {
-                        Envelope::Data(item) => {
-                            ctx.metrics.items_in.fetch_add(1, Ordering::Relaxed);
-                            if stopped {
-                                match supervision.degrade {
-                                    DegradePolicy::Forward => {
-                                        out.emit_default(item);
-                                        ctx.deliver(&mut out);
-                                    }
-                                    DegradePolicy::Drop => {
-                                        ctx.dead_letter(
-                                            None,
-                                            DeadLetterReason::StoppedActor,
-                                            &item,
-                                        );
-                                    }
-                                }
-                                continue;
+    eos_left: usize,
+    ctx: DeliveryCtx,
+    out: Outputs,
+    inbox: Vec<Envelope>,
+    /// Degraded mode: the operator is gone; input is forwarded or dropped.
+    stopped: bool,
+    restarts_done: u32,
+}
+
+impl WorkerTask {
+    /// Processes every envelope currently in `self.inbox` under the
+    /// actor's [`SupervisorSpec`] (operator invocations run inside
+    /// `catch_unwind`). Returns true once the final EOS marker is seen.
+    fn process_inbox(&mut self) -> bool {
+        use std::sync::atomic::Ordering;
+        let mut finished = false;
+        let mut inbox = std::mem::take(&mut self.inbox);
+        // Count arrivals once per drained batch. The loop below only stops
+        // early at the *final* EOS marker, and FIFO order plus EOS-last per
+        // upstream guarantee no data envelope sits behind it, so every
+        // counted envelope is also processed.
+        let arrived = inbox
+            .iter()
+            .filter(|e| matches!(e, Envelope::Data(_)))
+            .count() as u64;
+        if arrived > 0 {
+            self.ctx
+                .metrics
+                .items_in
+                .fetch_add(arrived, Ordering::Relaxed);
+        }
+        for env in inbox.drain(..) {
+            match env {
+                Envelope::Data(item) => {
+                    if self.stopped {
+                        match self.supervision.degrade {
+                            DegradePolicy::Forward => {
+                                self.out.emit_default(item);
+                                self.ctx.deliver(&mut self.out);
                             }
-                            if guarded_call(&ctx.metrics, || op.process(item, &mut out)).is_ok() {
-                                out.inherit_stamp(item.src_ns);
-                                ctx.deliver(&mut out);
-                            } else {
-                                // The poisoned invocation may have emitted
-                                // partial output before dying; discard it —
-                                // the item either fully processes or
-                                // dead-letters. Output coalesced from
-                                // *earlier* items is sound: flush it before
-                                // any backoff sleep so downstream is not
-                                // starved while this actor recovers.
-                                out.clear();
-                                ctx.flush_all();
-                                ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
-                                ctx.trace_event(TraceEventKind::OperatorPanicked);
-                                ctx.dead_letter(None, DeadLetterReason::OperatorPanic, &item);
-                                match &supervision.policy {
-                                    SupervisionPolicy::Resume => {}
-                                    SupervisionPolicy::Restart(policy) => {
-                                        if restarts_done < policy.max_restarts {
-                                            restarts_done += 1;
-                                            let delay =
-                                                policy.backoff.delay(restarts_done, &mut ctx.rng);
-                                            if !delay.is_zero() {
-                                                thread::sleep(delay);
-                                                ctx.metrics.backoff_ns.fetch_add(
-                                                    delay.as_nanos() as u64,
-                                                    Ordering::Relaxed,
-                                                );
-                                                ctx.trace_event(TraceEventKind::Backoff {
-                                                    ns: delay.as_nanos() as u64,
-                                                });
-                                            }
-                                            match &factory {
-                                                Some(f) => op = f.build(),
-                                                None => op.reset(),
-                                            }
-                                            ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
-                                            ctx.trace_event(TraceEventKind::OperatorRestarted);
-                                        } else {
-                                            stopped = true;
-                                            ctx.trace_event(TraceEventKind::ActorStopped);
-                                        }
-                                    }
-                                    SupervisionPolicy::Stop => {
-                                        stopped = true;
-                                        ctx.trace_event(TraceEventKind::ActorStopped);
-                                    }
-                                }
+                            DegradePolicy::Drop => {
+                                self.ctx
+                                    .dead_letter(None, DeadLetterReason::StoppedActor, &item);
                             }
                         }
-                        Envelope::Eos => {
-                            eos_left = eos_left.saturating_sub(1);
-                            if eos_left == 0 {
-                                // FIFO per mailbox and EOS-last per
-                                // upstream guarantee no data follows the
-                                // final marker.
-                                finished = true;
-                                break;
+                        continue;
+                    }
+                    let op = &mut self.op;
+                    let out = &mut self.out;
+                    if guarded_raw(|| op.process(item, out)).is_ok() {
+                        self.out.inherit_stamp(item.src_ns);
+                        self.ctx.deliver(&mut self.out);
+                    } else {
+                        // The poisoned invocation may have emitted partial
+                        // output before dying; discard it — the item either
+                        // fully processes or dead-letters. Output coalesced
+                        // from *earlier* items is sound: flush it before
+                        // any backoff sleep so downstream is not starved
+                        // while this actor recovers.
+                        self.out.clear();
+                        self.ctx.flush_all();
+                        self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                        self.ctx.trace_event(TraceEventKind::OperatorPanicked);
+                        self.ctx
+                            .dead_letter(None, DeadLetterReason::OperatorPanic, &item);
+                        match &self.supervision.policy {
+                            SupervisionPolicy::Resume => {}
+                            SupervisionPolicy::Restart(policy) => {
+                                if self.restarts_done < policy.max_restarts {
+                                    self.restarts_done += 1;
+                                    let delay =
+                                        policy.backoff.delay(self.restarts_done, &mut self.ctx.rng);
+                                    if !delay.is_zero() {
+                                        thread::sleep(delay);
+                                        self.ctx
+                                            .metrics
+                                            .backoff_ns
+                                            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                                        self.ctx.trace_event(TraceEventKind::Backoff {
+                                            ns: delay.as_nanos() as u64,
+                                        });
+                                    }
+                                    match &self.factory {
+                                        Some(f) => self.op = f.build(),
+                                        None => self.op.reset(),
+                                    }
+                                    self.ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                                    self.ctx.trace_event(TraceEventKind::OperatorRestarted);
+                                } else {
+                                    self.stopped = true;
+                                    self.ctx.trace_event(TraceEventKind::ActorStopped);
+                                }
+                            }
+                            SupervisionPolicy::Stop => {
+                                self.stopped = true;
+                                self.ctx.trace_event(TraceEventKind::ActorStopped);
                             }
                         }
                     }
                 }
-                // Coalesced output never outlives the input batch that
-                // produced it: flush before blocking on the next intake so
-                // batching adds no cross-batch latency.
-                ctx.flush_all();
-                if finished {
-                    break 'recv;
+                Envelope::Eos => {
+                    self.eos_left = self.eos_left.saturating_sub(1);
+                    if self.eos_left == 0 {
+                        // FIFO per mailbox and EOS-last per upstream
+                        // guarantee no data follows the final marker.
+                        finished = true;
+                        break;
+                    }
                 }
             }
-            RecvBatch::Disconnected => break 'recv,
+        }
+        // Hand the (drained) inbox back so its allocation is reused.
+        self.inbox = inbox;
+        finished
+    }
+
+    /// Processes the drained inbox and flushes coalesced output, charging
+    /// the actor's busy counter once for the whole batch: elapsed wall
+    /// time minus whatever the batch spent blocked on backpressure or
+    /// sleeping in restart backoff (both tracked exactly, on this thread,
+    /// by the paths that wait). Timing per batch instead of per operator
+    /// call keeps `clock_gettime` off the per-tuple path — at
+    /// pass-through service times the two reads cost more than the
+    /// operator. The price is that busy time now includes routing and
+    /// buffering overhead; see [`ActorReport::busy`].
+    fn process_batch(&mut self) -> bool {
+        use std::sync::atomic::Ordering;
+        let blocked0 = self.ctx.metrics.blocked_ns.load(Ordering::Relaxed);
+        let backoff0 = self.ctx.metrics.backoff_ns.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let finished = self.process_inbox();
+        // Coalesced output never outlives the input batch that produced
+        // it: flush before the next intake so batching adds no cross-batch
+        // latency.
+        self.ctx.flush_all();
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let waited = (self.ctx.metrics.blocked_ns.load(Ordering::Relaxed) - blocked0)
+            + (self.ctx.metrics.backoff_ns.load(Ordering::Relaxed) - backoff0);
+        self.ctx
+            .metrics
+            .busy_ns
+            .fetch_add(elapsed.saturating_sub(waited), Ordering::Relaxed);
+        finished
+    }
+
+    /// Terminal sequence: final operator flush (unless degraded-stopped),
+    /// EOS propagation, finish trace. Runs exactly once per actor.
+    fn finish(&mut self) {
+        use std::sync::atomic::Ordering;
+        if !self.stopped {
+            let op = &mut self.op;
+            let out = &mut self.out;
+            if guarded_call(&self.ctx.metrics, || op.flush(out)).is_ok() {
+                self.ctx.deliver(&mut self.out);
+            } else {
+                self.out.clear();
+                self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                self.ctx.trace_event(TraceEventKind::OperatorPanicked);
+            }
+        }
+        self.ctx.propagate_eos();
+        self.ctx.trace_event(TraceEventKind::ActorFinished);
+    }
+
+    /// Pool-executor step: drain and process input batches until the
+    /// mailbox is momentarily empty (run-until-blocked). Returns true when
+    /// the actor has fully finished (EOS drained or all producers gone).
+    fn poll(&mut self) -> bool {
+        let intake = self.ctx.batch_size;
+        loop {
+            let mut inbox = std::mem::take(&mut self.inbox);
+            let drained = self.rx.try_drain(&mut inbox, intake);
+            self.inbox = inbox;
+            match drained {
+                TryRecvBatch::Received(_) => {
+                    // One clock read covers the whole drained batch.
+                    self.ctx.refresh_now();
+                    if self.process_batch() {
+                        self.finish();
+                        return true;
+                    }
+                }
+                TryRecvBatch::Empty => return false,
+                TryRecvBatch::Disconnected => {
+                    self.finish();
+                    return true;
+                }
+            }
         }
     }
-    if !stopped {
-        if guarded_call(&ctx.metrics, || op.flush(&mut out)).is_ok() {
-            ctx.deliver(&mut out);
+}
+
+/// The supervised worker loop (thread-per-actor executor): every operator
+/// invocation runs under `catch_unwind`; panics are handled per the
+/// actor's [`SupervisorSpec`]. Returns the actor's private dead-letter log
+/// for the shutdown merge.
+fn run_worker(mut task: WorkerTask) -> DeadLetterLog {
+    task.ctx.trace_event(TraceEventKind::ActorStarted);
+    // Batched intake: block for the first envelope, then drain whatever
+    // else is already queued (up to `batch_size`) under the same
+    // reservation. With `batch_size = 1` this is operation-for-operation
+    // the plain `recv` loop.
+    let intake = task.ctx.batch_size;
+    loop {
+        let mut inbox = std::mem::take(&mut task.inbox);
+        let drained = task.rx.recv_drain(&mut inbox, intake);
+        task.inbox = inbox;
+        match drained {
+            RecvBatch::Received(_) => {
+                // One clock read covers the whole drained batch.
+                task.ctx.refresh_now();
+                if task.process_batch() {
+                    break;
+                }
+            }
+            RecvBatch::Disconnected => break,
+        }
+    }
+    task.finish();
+    std::mem::take(&mut task.ctx.dead_letters)
+}
+
+/// Task states for the pool executor's lost-wakeup-free scheduling
+/// protocol. Transitions (all CAS unless noted):
+///
+/// - `IDLE → READY` (a wake): the winner pushes the index on the ready
+///   queue — the queue therefore never holds an index twice.
+/// - `READY → RUNNING` (claim): exactly one thread wins the right to poll,
+///   so a task's slot mutex is never contended.
+/// - `RUNNING → RERUN` (a wake while running): the runner's
+///   `RUNNING → IDLE` release CAS then fails and it polls again, so a push
+///   that lands mid-poll is never lost.
+/// - `* → DONE` (swap, once): the task finished; `live` is decremented.
+const T_IDLE: u8 = 0;
+const T_READY: u8 = 1;
+const T_RUNNING: u8 = 2;
+const T_RERUN: u8 = 3;
+const T_DONE: u8 = 4;
+
+/// Shared state of the pool executor: one slot + state machine per actor,
+/// a ready queue the fixed worker threads (and helping producers) pop
+/// from, and collection points for finished tasks' dead letters and
+/// uncontainable failures.
+struct PoolShared {
+    /// `tasks[i]` holds actor `i`'s [`WorkerTask`] until it finishes
+    /// (`None` for sources and finished actors). The mutex is never
+    /// contended — only the `READY → RUNNING` claim winner locks it — it
+    /// exists to move the task in and out safely.
+    tasks: Vec<Mutex<Option<WorkerTask>>>,
+    /// Per-task scheduling state (`T_IDLE` … `T_DONE`).
+    states: Vec<AtomicU8>,
+    /// Indexes of `T_READY` tasks awaiting a worker.
+    ready: Mutex<VecDeque<usize>>,
+    ready_cv: Condvar,
+    /// Worker tasks not yet `T_DONE`; pool threads exit when it hits zero.
+    live: AtomicUsize,
+    /// Uncontainable panics (outside `guarded_call`, e.g. a panicking
+    /// `reset`), by actor index — the thread-per-actor equivalent of a
+    /// dead actor thread.
+    failures: Mutex<Vec<(usize, String)>>,
+    /// Finished tasks' private dead-letter logs, merged at shutdown.
+    collected: Mutex<Vec<(usize, DeadLetterLog)>>,
+    /// Topological rank per actor (every edge goes to a strictly higher
+    /// rank; the graph is validated acyclic). Helping is restricted to
+    /// tasks of rank ≥ the helper's own: stack frames of nested inline
+    /// polls are then strictly rank-increasing, so a blocked send — whose
+    /// destination always outranks the whole stack — can never target an
+    /// actor suspended beneath it on the same thread. Without the filter a
+    /// helper could run an *upstream* actor on top of a suspended consumer
+    /// and deadlock it against that consumer's full mailbox.
+    rank: Vec<usize>,
+}
+
+impl PoolShared {
+    fn new(rank: Vec<usize>) -> Self {
+        let n = rank.len();
+        PoolShared {
+            tasks: (0..n).map(|_| Mutex::new(None)).collect(),
+            states: (0..n).map(|_| AtomicU8::new(T_IDLE)).collect(),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            live: AtomicUsize::new(0),
+            failures: Mutex::new(Vec::new()),
+            collected: Mutex::new(Vec::new()),
+            rank,
+        }
+    }
+
+    /// Marks task `i` ready (called from mailbox wake hooks on every push
+    /// and on final-sender drop). AcqRel on the CASes: the winner's queue
+    /// push must happen-after the mailbox write that made the task ready.
+    fn wake(&self, i: usize) {
+        loop {
+            match self.states[i].load(Ordering::Acquire) {
+                T_IDLE => {
+                    if self.states[i]
+                        .compare_exchange(T_IDLE, T_READY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let mut q = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                        q.push_back(i);
+                        drop(q);
+                        self.ready_cv.notify_one();
+                        return;
+                    }
+                }
+                T_RUNNING => {
+                    if self.states[i]
+                        .compare_exchange(T_RUNNING, T_RERUN, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // READY / RERUN: already scheduled; DONE: finished.
+                _ => return,
+            }
+        }
+    }
+
+    /// Claims the exclusive right to poll task `i`.
+    fn claim(&self, i: usize) -> bool {
+        self.states[i]
+            .compare_exchange(T_READY, T_RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// Polls claimed task `i` until it blocks (momentarily empty mailbox) or
+/// finishes. Caller must have won the `READY → RUNNING` claim. Panics that
+/// escape `poll` (i.e. outside `guarded_call`, such as a panicking
+/// `reset`) are recorded as uncontainable failures — the pool equivalent
+/// of a dead actor thread — and the actor is torn down, dropping its
+/// receiver so upstream observes disconnection exactly as in thread mode.
+fn run_task(pool: &Arc<PoolShared>, i: usize) {
+    loop {
+        let mut slot = pool.tasks[i].lock().unwrap_or_else(PoisonError::into_inner);
+        let finished = match slot.as_mut() {
+            Some(task) => match catch_unwind(AssertUnwindSafe(|| task.poll())) {
+                Ok(done) => done,
+                Err(payload) => {
+                    pool.failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((i, panic_message(payload.as_ref())));
+                    true
+                }
+            },
+            None => true,
+        };
+        if finished {
+            if let Some(mut task) = slot.take() {
+                let log = std::mem::take(&mut task.ctx.dead_letters);
+                pool.collected
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((i, log));
+            }
+            drop(slot);
+            // First (only) transition to DONE decrements `live`; the last
+            // task wakes every parked worker so they can exit.
+            if pool.states[i].swap(T_DONE, Ordering::AcqRel) != T_DONE
+                && pool.live.fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                let _guard = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                pool.ready_cv.notify_all();
+            }
+            return;
+        }
+        drop(slot);
+        match pool.states[i].compare_exchange(
+            T_RUNNING,
+            T_IDLE,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return,
+            Err(_) => {
+                // A producer pushed mid-poll (RERUN): take the slot again
+                // so the wake is never lost.
+                pool.states[i].store(T_RUNNING, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Runs one ready task of rank ≥ `min_rank` if any is queued; returns
+/// whether an attempt was made. Used by blocked producers to help instead
+/// of parking (the consumer that would drain their full mailbox may
+/// otherwise never be scheduled). The rank filter keeps nested inline
+/// polls strictly downstream of every suspended frame (see
+/// [`PoolShared::rank`]); lower-ranked tasks are left queued for the pool
+/// workers. Helping recursion is bounded by the acyclic graph depth, and
+/// slot mutexes stay uncontended because only claim winners lock them.
+fn run_one_ready(pool: &Arc<PoolShared>, min_rank: usize) -> bool {
+    let popped = {
+        let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
+        q.iter()
+            .position(|&i| pool.rank[i] >= min_rank)
+            .and_then(|pos| q.remove(pos))
+    };
+    match popped {
+        Some(i) => {
+            if pool.claim(i) {
+                run_task(pool, i);
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// A pool worker thread: pop ready tasks and run each until it blocks;
+/// park on the condvar when the queue stays empty; exit when no live
+/// tasks remain.
+///
+/// An empty queue first costs a bounded run of `yield_now` before the
+/// condvar park: a producer mid-burst will make a task ready within its
+/// next quantum, and yielding to it is far cheaper than the futex
+/// round-trip of a park/notify pair per burst — the context-switch thrash
+/// this executor exists to remove.
+fn worker_loop(pool: &Arc<PoolShared>) {
+    const YIELDS_BEFORE_PARK: u32 = 64;
+    enum Next {
+        Run(usize),
+        Yield,
+        Exit,
+    }
+    let mut idle_yields = 0u32;
+    loop {
+        let next = {
+            let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(i) = q.pop_front() {
+                    break Next::Run(i);
+                }
+                if pool.live.load(Ordering::Acquire) == 0 {
+                    break Next::Exit;
+                }
+                if idle_yields < YIELDS_BEFORE_PARK {
+                    break Next::Yield;
+                }
+                q = pool
+                    .ready_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match next {
+            Next::Run(i) => {
+                idle_yields = 0;
+                if pool.claim(i) {
+                    run_task(pool, i);
+                }
+            }
+            Next::Yield => {
+                idle_yields += 1;
+                thread::yield_now();
+            }
+            Next::Exit => return,
+        }
+    }
+}
+
+/// Batched send for pooled actors: never parks the worker thread while the
+/// destination is full — it runs other ready actors instead (the consumer
+/// that would drain the mailbox may be waiting for this very thread),
+/// falling back to 1 ms bounded blocking slices when nothing is runnable.
+/// Mirrors `send_batch`'s per-slot timeout: the window restarts whenever
+/// any envelope is delivered. The reported `blocked` duration includes
+/// time spent helping — it is an advisory backpressure signal, not pure
+/// park time.
+fn pool_send_batch(
+    pool: &Arc<PoolShared>,
+    sender: &Sender,
+    buf: &mut Vec<Envelope>,
+    timeout: Duration,
+    min_rank: usize,
+) -> BatchOutcome {
+    let total = buf.len();
+    let fast = sender.try_send_batch(buf);
+    if buf.is_empty() || fast.disconnected {
+        return BatchOutcome {
+            delivered: total - buf.len(),
+            blocked: Duration::ZERO,
+            failure: if buf.is_empty() {
+                None
+            } else {
+                Some(BatchFailure::Disconnected)
+            },
+        };
+    }
+    let slow_start = Instant::now();
+    let mut window = slow_start;
+    let failure = loop {
+        if buf.is_empty() {
+            break None;
+        }
+        let before = buf.len();
+        if run_one_ready(pool, min_rank) {
+            let r = sender.try_send_batch(buf);
+            if r.disconnected {
+                break Some(BatchFailure::Disconnected);
+            }
+            if buf.len() < before {
+                window = Instant::now();
+            }
         } else {
-            out.clear();
-            ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
-            ctx.trace_event(TraceEventKind::OperatorPanicked);
+            let remaining = timeout.saturating_sub(window.elapsed());
+            let slice = remaining.min(Duration::from_millis(1));
+            if slice.is_zero() {
+                break Some(BatchFailure::TimedOut);
+            }
+            let out = sender.send_batch(buf, slice);
+            if out.delivered > 0 {
+                window = Instant::now();
+            }
+            if out.failure == Some(BatchFailure::Disconnected) {
+                break Some(BatchFailure::Disconnected);
+            }
+            // A timed-out 1 ms slice is not a verdict; the window check
+            // below decides.
         }
+        if window.elapsed() >= timeout {
+            break Some(BatchFailure::TimedOut);
+        }
+    };
+    BatchOutcome {
+        delivered: total - buf.len(),
+        blocked: slow_start.elapsed(),
+        failure,
     }
-    ctx.propagate_eos();
-    ctx.trace_event(TraceEventKind::ActorFinished);
 }
 
 /// Executes the actor graph to completion and reports measured metrics.
@@ -691,20 +1244,24 @@ fn run_with(
     let n = actors.len();
 
     let metrics: Vec<Arc<ActorMetrics>> = (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
-    let dead_letters = Arc::new(Mutex::new(DeadLetterLog::with_capacity(
-        config.dead_letter_capacity,
-    )));
 
-    // One mailbox per non-source actor.
+    // One mailbox per non-source actor. Edges with a single distinct
+    // upstream actor get the SPSC ring (plain-store tail, no CAS); fan-in
+    // edges get the CAS multi-producer ring. The split is decided here,
+    // statically, from the compiled graph's in-degrees.
     let mut senders: Vec<Option<Sender>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<crate::mailbox::Receiver>> = Vec::with_capacity(n);
-    for spec in &actors {
+    for (i, spec) in actors.iter().enumerate() {
         if spec.behavior.is_source() {
             senders.push(None);
             receivers.push(None);
         } else {
             let cap = spec.mailbox_capacity.unwrap_or(config.mailbox_capacity);
-            let (tx, rx) = channel(cap);
+            let (tx, rx) = if in_degrees[i] <= 1 {
+                channel_spsc(cap)
+            } else {
+                channel(cap)
+            };
             senders.push(Some(tx));
             receivers.push(Some(rx));
         }
@@ -740,7 +1297,16 @@ fn run_with(
     });
 
     let started_at = Instant::now();
-    let mut handles = Vec::with_capacity(n);
+    // Build every actor's runnable state up front, independent of which
+    // executor will drive it.
+    enum Prepared {
+        Source { cfg: SourceConfig, ctx: DeliveryCtx },
+        Worker { task: WorkerTask },
+    }
+    let mut prepared: Vec<(String, Prepared)> = Vec::with_capacity(n);
+    // Unique destinations per actor, kept for the pool executor's
+    // topological ranks (see [`PoolShared::rank`]).
+    let mut out_targets: Vec<Vec<usize>> = Vec::with_capacity(n);
     for (i, spec) in actors.into_iter().enumerate() {
         let eos_targets: Vec<usize> = {
             let mut d: Vec<usize> = spec
@@ -753,16 +1319,22 @@ fn run_with(
             d.dedup();
             d
         };
-        // Give this actor clones of exactly the senders it can reach.
+        // Give this actor exactly the senders it can reach. A sole
+        // producer *moves* the sender out of the engine's vec: cloning
+        // would permanently upgrade the SPSC mailbox to multi-producer
+        // mode.
         let my_senders: Vec<Option<Sender>> = (0..n)
             .map(|j| {
-                if eos_targets.contains(&j) {
-                    senders[j].clone()
-                } else {
+                if !eos_targets.contains(&j) {
                     None
+                } else if in_degrees[j] <= 1 {
+                    senders[j].take()
+                } else {
+                    senders[j].clone()
                 }
             })
             .collect();
+        out_targets.push(eos_targets.clone());
         let ctx = DeliveryCtx {
             id: ActorId(i),
             senders: my_senders,
@@ -772,7 +1344,7 @@ fn run_with(
             metrics: Arc::clone(&metrics[i]),
             started_at,
             send_timeout: config.send_timeout,
-            dead_letters: Arc::clone(&dead_letters),
+            dead_letters: DeadLetterLog::with_capacity(config.dead_letter_capacity),
             latency: hub.as_ref().and_then(|h| h.latency_of(i)),
             trace: hub.as_ref().map(|h| Arc::clone(&h.trace)),
             stamp: hub.is_some(),
@@ -781,21 +1353,35 @@ fn run_with(
             out_bufs: vec![Vec::new(); n],
             buffered: 0,
             last_flush: started_at,
+            cached_now_ns: 0,
+            pending_sink_outs: 0,
+            pool: None,
         };
-        let rx = receivers[i].take();
         let eos_left = in_degrees[i];
-        let name = spec.name.clone();
-        let handle = thread::Builder::new()
-            .name(format!("ss-{i}-{name}"))
-            .spawn(move || match spec.behavior {
-                Behavior::Source(cfg) => run_source(cfg, ctx),
-                Behavior::Worker(op) => {
-                    let rx = rx.expect("worker has a mailbox");
-                    run_worker(op, spec.factory, spec.supervision, rx, eos_left, ctx)
-                }
-            })
-            .expect("spawn actor thread");
-        handles.push((i, spec.name, handle));
+        match spec.behavior {
+            Behavior::Source(cfg) => prepared.push((spec.name, Prepared::Source { cfg, ctx })),
+            Behavior::Worker(op) => {
+                let rx = receivers[i].take().expect("worker has a mailbox");
+                let intake = ctx.batch_size;
+                prepared.push((
+                    spec.name,
+                    Prepared::Worker {
+                        task: WorkerTask {
+                            op,
+                            factory: spec.factory,
+                            supervision: spec.supervision,
+                            rx,
+                            eos_left,
+                            ctx,
+                            out: Outputs::new(),
+                            inbox: Vec::with_capacity(intake),
+                            stopped: false,
+                            restarts_done: 0,
+                        },
+                    },
+                ));
+            }
+        }
     }
     // Drop the engine's own sender handles so disconnect detection can kick
     // in for actors with no upstream.
@@ -838,20 +1424,136 @@ fn run_with(
     });
 
     let mut names = vec![String::new(); n];
-    let mut failure: Option<EngineError> = None;
-    for (i, name, handle) in handles {
-        // Join every thread before returning, even after a failure, so no
-        // actor outlives `run`.
-        if let Err(payload) = handle.join() {
-            if failure.is_none() {
-                failure = Some(EngineError::ActorFailed {
-                    actor: ActorId(i),
-                    reason: panic_message(payload.as_ref()),
-                });
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut actor_logs: Vec<(usize, DeadLetterLog)> = Vec::with_capacity(n);
+    match config.executor.pool_workers() {
+        None => {
+            // Thread-per-actor: spawn, then join every thread before
+            // returning — even after a failure — so no actor outlives
+            // `run`.
+            let mut handles = Vec::with_capacity(n);
+            for (i, (name, pa)) in prepared.into_iter().enumerate() {
+                let handle = thread::Builder::new()
+                    .name(format!("ss-{i}-{name}"))
+                    .spawn(move || match pa {
+                        Prepared::Source { cfg, ctx } => run_source(cfg, ctx),
+                        Prepared::Worker { task } => run_worker(task),
+                    })
+                    .expect("spawn actor thread");
+                handles.push((i, name, handle));
+            }
+            for (i, name, handle) in handles {
+                match handle.join() {
+                    Ok(log) => actor_logs.push((i, log)),
+                    Err(payload) => failures.push((i, panic_message(payload.as_ref()))),
+                }
+                names[i] = name;
             }
         }
-        names[i] = name;
+        Some(workers) => {
+            // Pool executor: sources keep dedicated threads (they pace
+            // wall-clock emission schedules) but carry the pool handle so a
+            // blocked send helps run ready consumers inline instead of
+            // parking; worker actors become [`PoolShared`] tasks
+            // multiplexed over the fixed worker threads.
+            //
+            // Kahn's algorithm over the (validated acyclic) graph assigns
+            // every actor a unique topological rank: each edge ends at a
+            // strictly higher rank, the invariant rank-filtered helping
+            // relies on.
+            let rank = {
+                let mut deg = in_degrees.clone();
+                let mut order: VecDeque<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
+                let mut rank = vec![0usize; n];
+                let mut next = 0usize;
+                while let Some(u) = order.pop_front() {
+                    rank[u] = next;
+                    next += 1;
+                    for &v in &out_targets[u] {
+                        deg[v] -= 1;
+                        if deg[v] == 0 {
+                            order.push_back(v);
+                        }
+                    }
+                }
+                debug_assert_eq!(next, n, "validated graph is acyclic");
+                rank
+            };
+            let pool = Arc::new(PoolShared::new(rank));
+            let mut source_handles = Vec::new();
+            let mut task_ids = Vec::new();
+            for (i, (name, pa)) in prepared.into_iter().enumerate() {
+                names[i] = name.clone();
+                match pa {
+                    Prepared::Source { cfg, mut ctx } => {
+                        ctx.pool = Some(Arc::clone(&pool));
+                        let handle = thread::Builder::new()
+                            .name(format!("ss-{i}-{name}"))
+                            .spawn(move || run_source(cfg, ctx))
+                            .expect("spawn source thread");
+                        source_handles.push((i, handle));
+                    }
+                    Prepared::Worker { mut task } => {
+                        task.ctx.pool = Some(Arc::clone(&pool));
+                        // The mailbox wakes the pool on every push burst
+                        // and on final-sender drop, so this consumer gets
+                        // scheduled even while its producers are blocked
+                        // mid-`send_batch`.
+                        let hook_pool = Arc::clone(&pool);
+                        task.rx.set_wake_hook(Arc::new(move || hook_pool.wake(i)));
+                        task.ctx.trace_event(TraceEventKind::ActorStarted);
+                        *pool.tasks[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(task);
+                        task_ids.push(i);
+                    }
+                }
+            }
+            pool.live.store(task_ids.len(), Ordering::Release);
+            // Initial sweep: every task polls at least once, covering
+            // zero-upstream actors and envelopes pushed by sources before
+            // the wake hooks above were installed.
+            for &i in &task_ids {
+                pool.wake(i);
+            }
+            let mut pool_handles = Vec::with_capacity(workers.max(1));
+            for w in 0..workers.max(1) {
+                let pool = Arc::clone(&pool);
+                pool_handles.push(
+                    thread::Builder::new()
+                        .name(format!("ss-pool-{w}"))
+                        .spawn(move || worker_loop(&pool))
+                        .expect("spawn pool worker thread"),
+                );
+            }
+            for (i, handle) in source_handles {
+                match handle.join() {
+                    Ok(log) => actor_logs.push((i, log)),
+                    Err(payload) => failures.push((i, panic_message(payload.as_ref()))),
+                }
+            }
+            for handle in pool_handles {
+                let _ = handle.join();
+            }
+            actor_logs.extend(std::mem::take(
+                &mut *pool
+                    .collected
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            ));
+            failures.extend(std::mem::take(
+                &mut *pool.failures.lock().unwrap_or_else(PoisonError::into_inner),
+            ));
+        }
     }
+    // Match thread-per-actor reporting: the failure with the lowest actor
+    // id wins.
+    failures.sort_by_key(|(i, _)| *i);
+    let failure = failures
+        .into_iter()
+        .next()
+        .map(|(i, reason)| EngineError::ActorFailed {
+            actor: ActorId(i),
+            reason,
+        });
     let wall = started_at.elapsed();
 
     // Stop the sampler before the final end-of-run snapshot so snapshot
@@ -878,9 +1580,13 @@ fn run_with(
     let reports = (0..n)
         .map(|i| metrics[i].snapshot(&names[i], ActorId(i)))
         .collect();
-    let dead_letters = Arc::try_unwrap(dead_letters)
-        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
-        .unwrap_or_else(|arc| arc.lock().unwrap_or_else(PoisonError::into_inner).clone());
+    // Merge per-actor logs in actor-id order; the capacity cap still
+    // bounds retained entries while totals stay exact.
+    actor_logs.sort_by_key(|(i, _)| *i);
+    let mut dead_letters = DeadLetterLog::with_capacity(config.dead_letter_capacity);
+    for (_, log) in &actor_logs {
+        dead_letters.merge(log);
+    }
     Ok((
         RunReport {
             actors: reports,
@@ -1575,5 +2281,183 @@ mod tests {
         g.connect(double, Route::Unicast(k));
         let r = run(g, &fast_cfg()).unwrap();
         assert_eq!(r.actor(k).items_in, 200);
+    }
+
+    fn pool_cfg(workers: usize) -> EngineConfig {
+        EngineConfig {
+            executor: ExecutorKind::Pool { workers },
+            ..fast_cfg()
+        }
+    }
+
+    #[test]
+    fn pool_workers_resolution() {
+        assert_eq!(ExecutorKind::ThreadPerActor.pool_workers(), None);
+        assert_eq!(ExecutorKind::Pool { workers: 3 }.pool_workers(), Some(3));
+        let auto = ExecutorKind::Pool { workers: 0 }.pool_workers().unwrap();
+        assert!(auto >= 1, "auto-resolved worker count must be positive");
+    }
+
+    #[test]
+    fn pool_executor_delivers_all_items_on_pipeline() {
+        for workers in [1, 2, 4] {
+            let mut g = ActorGraph::new();
+            let s = g.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(f64::INFINITY, 500)),
+            );
+            let w = g.add_actor("mid", Behavior::worker(PassThrough));
+            let k = g.add_actor("sink", Behavior::worker(PassThrough));
+            g.connect(s, Route::Unicast(w));
+            g.connect(w, Route::Unicast(k));
+            let r = run(g, &pool_cfg(workers)).unwrap();
+            assert_eq!(r.actor(w).items_in, 500, "workers {workers}");
+            assert_eq!(r.actor(k).items_in, 500, "workers {workers}");
+            assert_eq!(r.total_dropped(), 0, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn pool_executor_handles_fan_in_with_fewer_workers_than_actors() {
+        // Two sources fan into one merge (multi-producer mailbox), then a
+        // sink: 4 actors on a single pool worker must still drain
+        // everything via cooperative scheduling.
+        let mut g = ActorGraph::new();
+        let s0 = g.add_actor(
+            "src0",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
+        let s1 = g.add_actor(
+            "src1",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
+        let m = g.add_actor("merge", Behavior::worker(PassThrough));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s0, Route::Unicast(m));
+        g.connect(s1, Route::Unicast(m));
+        g.connect(m, Route::Unicast(k));
+        let r = run(g, &pool_cfg(1)).unwrap();
+        assert_eq!(r.actor(m).items_in, 600);
+        assert_eq!(r.actor(k).items_in, 600);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn pool_executor_backpressure_with_tiny_mailboxes() {
+        // Capacity-2 mailboxes on a 3-stage pipeline under one worker:
+        // every hop blocks constantly, exercising the help-don't-park
+        // path in `pool_send_batch` end to end.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 400)),
+        );
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(PassThrough));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        g.connect(b, Route::Unicast(k));
+        for id in [a, b, k] {
+            g.set_mailbox_capacity(id, 2);
+        }
+        let r = run(g, &pool_cfg(1)).unwrap();
+        assert_eq!(r.actor(k).items_in, 400);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn pool_send_timeout_drops_items_when_consumer_stalls() {
+        // The pool analogue of `send_timeout_drops_items_when_consumer_stalls`:
+        // BAS load shedding and dead-letter accounting must survive the
+        // executor swap.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 64)),
+        );
+        let w = g.add_actor("slow", Behavior::worker(Spin::new("slow", 3_000_000)));
+        g.connect(s, Route::Unicast(w));
+        g.set_mailbox_capacity(w, 2);
+        let cfg = EngineConfig {
+            send_timeout: Duration::from_millis(1),
+            ..pool_cfg(1)
+        };
+        let r = run(g, &cfg).unwrap();
+        let dropped = r.actor(s).dropped;
+        assert!(dropped > 0, "expected send-timeout drops");
+        assert_eq!(r.dead_letters.total(), dropped);
+        assert_eq!(r.actor(s).dead_letters, dropped);
+        assert_eq!(r.actor(w).items_in + dropped, 64, "conservation");
+    }
+
+    #[test]
+    fn pool_uncontainable_failure_reports_actor_failed() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        // A panicking `reset` escapes `guarded_call` in the pool executor
+        // too; the failure must surface as ActorFailed while every other
+        // actor still shuts down cleanly (no hang).
+        struct BrokenReset;
+        impl crate::StreamOperator for BrokenReset {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("process");
+            }
+            fn reset(&mut self) {
+                panic!("reset is broken too");
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 10)),
+        );
+        let w = g.add_actor("broken", Behavior::Worker(Box::new(BrokenReset)));
+        g.connect(s, Route::Unicast(w));
+        g.set_supervision(w, SupervisorSpec::restart(10, Backoff::none()));
+        let err = run(g, &pool_cfg(2)).unwrap_err();
+        match err {
+            EngineError::ActorFailed { actor, reason } => {
+                assert_eq!(actor, w);
+                assert!(reason.contains("reset is broken"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_executor_batched_runs_match_threaded_counts() {
+        // Same seeded graph under both executors at batch 64: per-actor
+        // item counts are a pure function of the routing RNG and must be
+        // identical.
+        let build = || {
+            let mut g = ActorGraph::new();
+            let s = g.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(f64::INFINITY, 2_000)),
+            );
+            let r0 = g.add_actor("r0", Behavior::worker(PassThrough));
+            let r1 = g.add_actor("r1", Behavior::worker(PassThrough));
+            let k = g.add_actor("sink", Behavior::worker(PassThrough));
+            g.connect(s, Route::RoundRobin(vec![r0, r1]));
+            g.connect(r0, Route::Unicast(k));
+            g.connect(r1, Route::Unicast(k));
+            g
+        };
+        let batched = |executor| EngineConfig {
+            batch_size: 64,
+            executor,
+            ..fast_cfg()
+        };
+        let threads = run(build(), &batched(ExecutorKind::ThreadPerActor)).unwrap();
+        let pool = run(build(), &batched(ExecutorKind::Pool { workers: 2 })).unwrap();
+        let counts = |r: &RunReport| {
+            r.actors
+                .iter()
+                .map(|a| (a.items_in, a.items_out))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counts(&threads), counts(&pool));
+        assert_eq!(threads.total_dropped(), 0);
+        assert_eq!(pool.total_dropped(), 0);
     }
 }

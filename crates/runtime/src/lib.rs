@@ -108,11 +108,11 @@ mod sim;
 pub mod supervision;
 pub mod telemetry;
 
-pub use engine::{run, run_with_telemetry, EngineConfig, EngineError};
+pub use engine::{run, run_with_telemetry, EngineConfig, EngineError, ExecutorKind};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
 pub use mailbox::{
-    channel, BatchFailure, BatchOutcome, Envelope, Receiver, RecvBatch, RecvResult, SendOutcome,
-    Sender,
+    channel, channel_spsc, BatchFailure, BatchOutcome, Envelope, Receiver, RecvBatch, RecvResult,
+    SendOutcome, Sender, TryBatch, TryRecvBatch, TrySend,
 };
 pub use meta::{MetaDest, MetaOperator, MetaRoute};
 pub use metrics::{ActorReport, RunReport};

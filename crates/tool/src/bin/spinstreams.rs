@@ -10,13 +10,14 @@
 //! spinstreams run      <topology.xml> [--items N] [--batch N] [--telemetry FILE] [--interval-ms M]
 //!                                                     execute and compare vs the model
 //! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S] [--batch N]
-//!                                     [--telemetry FILE] [--interval-ms M]
+//!                                     [--workers N] [--telemetry FILE] [--interval-ms M]
 //!                                                     fault-injected run: supervision + dead letters
-//! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--interval-ms M] [--format table|jsonl|prom]
+//! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--workers N] [--interval-ms M]
+//!                                     [--format table|jsonl|prom]
 //!                                                     live telemetry of a threaded run
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
-//!                      [--no-minimize] [--artifacts DIR]
+//!                      [--no-minimize] [--workers N] [--artifacts DIR]
 //!                                                     differential oracle sweep: prediction vs
 //!                                                     simulator vs threaded runtime
 //! ```
@@ -33,7 +34,7 @@ use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
 use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig};
 use spinstreams_runtime::Executor;
-use spinstreams_runtime::{run_with_telemetry, EngineConfig, TelemetryConfig};
+use spinstreams_runtime::{run_with_telemetry, EngineConfig, ExecutorKind, TelemetryConfig};
 use spinstreams_tool::{
     chaos_table, comparison_table, drift_json, experiment_executor, monitor_table,
     predict_vs_measure, predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text,
@@ -48,7 +49,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|dot> <topology.xml> [options]\n\
          \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
-         \x20                         [--no-minimize] [--artifacts DIR]\n\
+         \x20                         [--no-minimize] [--workers N] [--artifacts DIR]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -60,16 +61,19 @@ fn usage() -> ExitCode {
                      --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M\n\
          chaos     — fault-injected threaded run exercising supervision;\n\
                      --items N, --panic-prob P (default 0.05), --seed S, --batch N,\n\
-                     --telemetry FILE, --interval-ms M\n\
-         monitor   — live telemetry of a threaded run; --items N, --batch N, --interval-ms M,\n\
-                     --format table|jsonl|prom (default table)\n\
+                     --workers N, --telemetry FILE, --interval-ms M\n\
+         monitor   — live telemetry of a threaded run; --items N, --batch N, --workers N,\n\
+                     --interval-ms M, --format table|jsonl|prom (default table)\n\
          \n\
-         --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1)\n\
+         --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1);\n\
+         --workers N selects the worker-pool executor with N threads (0 = one per core;\n\
+         default: the file's <settings workers=\"N\"/>, else one dedicated thread per actor)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan\n\
          oracle    — cross-validate Algorithm 1/2 predictions against the simulator (and a\n\
                      threaded smoke run) over seeded topologies; exits nonzero on divergence.\n\
                      --seeds N (default 20), --seed-start S (default 0), --no-threaded,\n\
-                     --no-fission, --no-minimize, --artifacts DIR (write repro artifacts)"
+                     --no-fission, --no-minimize, --workers N (pool executor for the threaded\n\
+                     smoke runs), --artifacts DIR (write repro artifacts)"
     );
     ExitCode::FAILURE
 }
@@ -89,11 +93,11 @@ fn telemetry_config(args: &[String]) -> TelemetryConfig {
     TelemetryConfig::default().with_interval(Duration::from_millis(interval_ms))
 }
 
-fn load(path: &str) -> Result<(Topology, usize), String> {
+fn load(path: &str) -> Result<(Topology, usize, Option<usize>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let topo = topology_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
     let settings = runtime_settings_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok((topo, settings.batch_size.unwrap_or(1)))
+    Ok((topo, settings.batch_size.unwrap_or(1), settings.workers))
 }
 
 /// `spinstreams oracle` — the differential sweep. Unlike every other
@@ -125,12 +129,26 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--no-minimize") {
         cfg.minimize = false;
     }
+    if let Some(raw) = flag_value(args, "--workers") {
+        match raw.parse::<usize>() {
+            Ok(n) => cfg.workers = Some(n),
+            Err(_) => {
+                eprintln!("--workers must be a non-negative integer (0 = one per core)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let artifacts = flag_value(args, "--artifacts");
 
     println!(
-        "oracle sweep: seeds {seed_start}..{} ({} threaded, fission {}, minimize {})",
+        "oracle sweep: seeds {seed_start}..{} ({} threaded on {}, fission {}, minimize {})",
         seed_start + seeds - 1,
         cfg.threaded_runs.min(seeds as usize),
+        match cfg.workers {
+            Some(0) => "pool (auto workers)".to_string(),
+            Some(n) => format!("pool ({n} workers)"),
+            None => "thread-per-actor".to_string(),
+        },
         if cfg.check_fission { "on" } else { "off" },
         if cfg.minimize { "on" } else { "off" },
     );
@@ -183,7 +201,7 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let (topo, xml_batch) = match load(path) {
+    let (topo, xml_batch, xml_workers) = match load(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -200,6 +218,18 @@ fn main() -> ExitCode {
             }
         },
         None => xml_batch,
+    };
+    // Same precedence for the executor: --workers N beats the document's
+    // <settings workers="N"/>; absent both, thread-per-actor.
+    let workers = match flag_value(&args, "--workers") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--workers must be a non-negative integer (0 = one per core)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => xml_workers,
     };
 
     match cmd.as_str() {
@@ -385,6 +415,7 @@ fn main() -> ExitCode {
                 cfg.seed = seed;
             }
             cfg.batch_size = batch;
+            cfg.workers = workers;
             if !(0.0..=1.0).contains(&cfg.panic_prob) {
                 eprintln!("--panic-prob must be in [0, 1]");
                 return ExitCode::FAILURE;
@@ -465,6 +496,10 @@ fn main() -> ExitCode {
             });
             let engine = EngineConfig {
                 batch_size: batch,
+                executor: match workers {
+                    Some(n) => ExecutorKind::Pool { workers: n },
+                    None => ExecutorKind::ThreadPerActor,
+                },
                 ..EngineConfig::default()
             };
             match run_with_telemetry(plan.graph, &engine, &tcfg) {

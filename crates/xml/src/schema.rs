@@ -79,7 +79,7 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
 ///
 /// ```xml
 /// <topology name="...">
-///   <settings batch-size="64"/>
+///   <settings batch-size="64" workers="4"/>
 ///   ...
 /// </topology>
 /// ```
@@ -88,6 +88,10 @@ pub struct RuntimeSettings {
     /// Envelope batch size for the threaded engine's coalesced data path
     /// (`EngineConfig::batch_size`); `None` leaves the engine default.
     pub batch_size: Option<usize>,
+    /// Pool-executor worker thread count (`EngineConfig::executor =
+    /// Pool { workers }`); `0` means auto (available parallelism), `None`
+    /// keeps the default thread-per-actor executor.
+    pub workers: Option<usize>,
 }
 
 /// Extracts the optional [`RuntimeSettings`] from a topology document.
@@ -112,6 +116,14 @@ pub fn runtime_settings_from_xml(text: &str) -> Result<RuntimeSettings, SchemaEr
                 .ok_or_else(|| invalid(format!("batch-size={raw:?} is not a positive integer")))?;
             settings.batch_size = Some(n);
         }
+        if let Some(raw) = node.get_attr("workers") {
+            // `workers="0"` is valid: it selects the pool executor with an
+            // auto-resolved (available-parallelism) thread count.
+            let n = raw
+                .parse::<usize>()
+                .map_err(|_| invalid(format!("workers={raw:?} is not a non-negative integer")))?;
+            settings.workers = Some(n);
+        }
     }
     Ok(settings)
 }
@@ -125,9 +137,16 @@ pub fn topology_to_xml_with_settings(
     name: &str,
     settings: &RuntimeSettings,
 ) -> String {
-    let Some(batch) = settings.batch_size else {
+    let mut attrs = String::new();
+    if let Some(batch) = settings.batch_size {
+        attrs.push_str(&format!(" batch-size=\"{batch}\""));
+    }
+    if let Some(workers) = settings.workers {
+        attrs.push_str(&format!(" workers=\"{workers}\""));
+    }
+    if attrs.is_empty() {
         return topology_to_xml(topo, name);
-    };
+    }
     let doc = topology_to_xml(topo, name);
     // Insert <settings/> right after the opening <topology ...> tag so the
     // document shape matches the schema example (the document begins with
@@ -136,11 +155,7 @@ pub fn topology_to_xml_with_settings(
         .find("<topology")
         .and_then(|start| doc[start..].find('>').map(|off| start + off));
     match insert_at {
-        Some(end) => format!(
-            "{}\n  <settings batch-size=\"{batch}\"/>{}",
-            &doc[..=end],
-            &doc[end + 1..]
-        ),
+        Some(end) => format!("{}\n  <settings{attrs}/>{}", &doc[..=end], &doc[end + 1..]),
         None => doc,
     }
 }
@@ -519,14 +534,30 @@ mod tests {
         let t = sample();
         let settings = RuntimeSettings {
             batch_size: Some(64),
+            workers: Some(4),
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &settings);
-        assert!(xml.contains("<settings batch-size=\"64\"/>"));
+        assert!(xml.contains("<settings batch-size=\"64\" workers=\"4\"/>"));
         // The settings element is invisible to the topology parser...
         let back = topology_from_xml(&xml).unwrap();
         assert_eq!(t, back);
         // ...and round-trips through the settings parser.
         assert_eq!(runtime_settings_from_xml(&xml).unwrap(), settings);
+        // Each attribute also stands alone.
+        let batch_only = RuntimeSettings {
+            batch_size: Some(8),
+            workers: None,
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &batch_only);
+        assert!(xml.contains("<settings batch-size=\"8\"/>"));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), batch_only);
+        let workers_only = RuntimeSettings {
+            batch_size: None,
+            workers: Some(0), // 0 = auto-resolved pool
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &workers_only);
+        assert!(xml.contains("<settings workers=\"0\"/>"));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), workers_only);
         // No settings: serializer emits the plain document, parser yields
         // defaults.
         let plain = topology_to_xml_with_settings(&t, "sample", &RuntimeSettings::default());
@@ -555,6 +586,22 @@ mod tests {
             );
             // The topology itself still parses: settings stay additive.
             assert!(topology_from_xml(&doc).is_ok());
+        }
+        // workers accepts 0 (auto) but rejects non-integers.
+        for bad in ["-1", "four", "2.5"] {
+            let doc = format!(
+                r#"<topology name="t">
+                     <settings workers="{bad}"/>
+                     <operator id="0" name="src" type="stateless" service-time="1"/>
+                   </topology>"#
+            );
+            assert!(
+                matches!(
+                    runtime_settings_from_xml(&doc).unwrap_err(),
+                    SchemaError::Invalid { .. }
+                ),
+                "workers {bad:?} must be rejected"
+            );
         }
     }
 

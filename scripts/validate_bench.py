@@ -4,15 +4,26 @@
 Usage: validate_bench.py <BENCH_runtime.json>
 
 Structural checks (always):
-  * schema tag is "spinstreams-bench-runtime/1", executor is "threads",
-    mode is "full" or "smoke";
-  * every (topology, batch size) pair in the sweep is present exactly
-    once, with positive items/wall/throughput and a positive speedup;
-  * each topology's batch-1 record has speedup 1.0 (it is the baseline).
+  * schema tag is "spinstreams-bench-runtime/2", mode is "full" or
+    "smoke";
+  * every (topology, executor, workers, batch size) cell of the sweep —
+    thread-per-actor plus the worker pool at each advertised worker
+    count — is present exactly once, with positive items/wall/throughput
+    and a positive speedup;
+  * each configuration's batch-1 record has speedup 1.0 (it is that
+    configuration's baseline).
 
-Performance gate (full mode only — smoke runs are too short to be
-meaningful): the contended pipeline at batch 64 must be at least 2x the
-unbatched throughput.
+Performance gates (full mode only — smoke runs are too short to be
+meaningful):
+  * the contended pipeline under thread-per-actor at batch 64 must be at
+    least 2x its unbatched throughput (the envelope-batching gate);
+  * on pipeline or replicated, the best executor at batch 64 must reach
+    1.5x the pre-pool baseline recorded before the executor rework
+    (the hot-path gate);
+  * on at least one topology, some pool worker count at batch 64 must
+    match or beat thread-per-actor at the same batch size (the
+    worker-pool sanity gate — on a single-core runner the pool mostly
+    removes context switches, it cannot add parallelism).
 
 Exits non-zero (with a message) on the first violation.
 """
@@ -22,7 +33,13 @@ import sys
 
 TOPOLOGIES = {"pipeline", "fanout", "replicated"}
 BATCH_SIZES = {1, 8, 64}
+WORKER_COUNTS = {1, 2, 4}
 MIN_PIPELINE_SPEEDUP = 2.0
+MIN_POOL_RATIO = 1.0
+# Batch-64 tuples/sec recorded in BENCH_runtime.json before the worker
+# pool and the hot-path rework (thread-per-actor, same machine class).
+BASELINE_64 = {"pipeline": 2_001_882.0, "replicated": 1_686_061.0}
+MIN_BASELINE_SPEEDUP = 1.5
 
 
 def fail(msg):
@@ -36,46 +53,81 @@ def validate(path):
         except json.JSONDecodeError as e:
             fail(f"invalid JSON: {e}")
 
-    if doc.get("schema") != "spinstreams-bench-runtime/1":
+    if doc.get("schema") != "spinstreams-bench-runtime/2":
         fail(f"unknown schema tag {doc.get('schema')!r}")
     mode = doc.get("mode")
     if mode not in ("full", "smoke"):
         fail(f"unknown mode {mode!r}")
-    if doc.get("executor") != "threads":
-        fail(f"unexpected executor {doc.get('executor')!r}")
     if set(doc.get("batch_sizes", [])) != BATCH_SIZES:
         fail(f"batch_sizes must be {sorted(BATCH_SIZES)}")
+    if set(doc.get("worker_counts", [])) != WORKER_COUNTS:
+        fail(f"worker_counts must be {sorted(WORKER_COUNTS)}")
+
+    configs = [("threads", None)] + [("pool", w) for w in sorted(WORKER_COUNTS)]
 
     seen = {}
     for r in doc.get("results", []):
-        key = (r.get("topology"), r.get("batch_size"))
+        key = (r.get("topology"), r.get("executor"), r.get("workers"),
+               r.get("batch_size"))
         if key[0] not in TOPOLOGIES:
             fail(f"unknown topology {key[0]!r}")
-        if key[1] not in BATCH_SIZES:
-            fail(f"unknown batch size {key[1]!r}")
+        if (key[1], key[2]) not in configs:
+            fail(f"unknown executor config {key[1]!r}/workers={key[2]!r}")
+        if key[3] not in BATCH_SIZES:
+            fail(f"unknown batch size {key[3]!r}")
         if key in seen:
             fail(f"duplicate record for {key}")
         for field in ("items", "wall_s", "tuples_per_sec", "speedup_vs_batch1"):
             v = r.get(field)
             if not isinstance(v, (int, float)) or v <= 0:
                 fail(f"{key}: field {field!r} must be positive, got {v!r}")
-        if key[1] == 1 and abs(r["speedup_vs_batch1"] - 1.0) > 1e-9:
+        if key[3] == 1 and abs(r["speedup_vs_batch1"] - 1.0) > 1e-9:
             fail(f"{key}: batch-1 baseline must report speedup 1.0")
         seen[key] = r
 
-    missing = {(t, b) for t in TOPOLOGIES for b in BATCH_SIZES} - set(seen)
+    expected = {(t, e, w, b)
+                for t in TOPOLOGIES for (e, w) in configs for b in BATCH_SIZES}
+    missing = expected - set(seen)
     if missing:
-        fail(f"missing records: {sorted(missing)}")
+        fail(f"missing records: {sorted(missing, key=str)}")
 
     if mode == "full":
-        speedup = seen[("pipeline", 64)]["speedup_vs_batch1"]
+        speedup = seen[("pipeline", "threads", None, 64)]["speedup_vs_batch1"]
         if speedup < MIN_PIPELINE_SPEEDUP:
-            fail(f"pipeline at batch 64 is only {speedup:.2f}x over batch 1, "
-                 f"expected >= {MIN_PIPELINE_SPEEDUP}x")
+            fail(f"pipeline (threads) at batch 64 is only {speedup:.2f}x over "
+                 f"batch 1, expected >= {MIN_PIPELINE_SPEEDUP}x")
+        best_gain = None
+        for t, base in BASELINE_64.items():
+            for (e, w) in configs:
+                gain = seen[(t, e, w, 64)]["tuples_per_sec"] / base
+                if best_gain is None or gain > best_gain[0]:
+                    best_gain = (gain, t, e, w)
+        if best_gain[0] < MIN_BASELINE_SPEEDUP:
+            fail(f"best batch-64 throughput is only {best_gain[0]:.2f}x the "
+                 f"pre-pool baseline ({best_gain[1]}, {best_gain[2]}), "
+                 f"expected >= {MIN_BASELINE_SPEEDUP}x on pipeline or "
+                 f"replicated")
+        print(f"{path}: hot-path gate — {best_gain[0]:.2f}x over the pre-pool "
+              f"baseline ({best_gain[1]}, {best_gain[2]}"
+              f"{'' if best_gain[3] is None else f', {best_gain[3]} workers'}, "
+              f"batch 64)")
+        best_pool = None
+        for t in sorted(TOPOLOGIES):
+            threads = seen[(t, "threads", None, 64)]["tuples_per_sec"]
+            for w in sorted(WORKER_COUNTS):
+                ratio = seen[(t, "pool", w, 64)]["tuples_per_sec"] / threads
+                if best_pool is None or ratio > best_pool[0]:
+                    best_pool = (ratio, t, w)
+        if best_pool[0] < MIN_POOL_RATIO:
+            fail(f"best pool-vs-threads ratio at batch 64 is only "
+                 f"{best_pool[0]:.2f}x ({best_pool[1]}, {best_pool[2]} workers), "
+                 f"expected >= {MIN_POOL_RATIO}x on at least one topology")
+        print(f"{path}: pool executor gate — {best_pool[0]:.2f}x over threads "
+              f"({best_pool[1]}, {best_pool[2]} workers, batch 64)")
 
     best = max(r["speedup_vs_batch1"] for r in seen.values())
     print(f"{path}: OK — {len(seen)} records ({mode} mode), "
-          f"best speedup {best:.2f}x")
+          f"best batching speedup {best:.2f}x")
 
 
 if __name__ == "__main__":

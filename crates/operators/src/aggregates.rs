@@ -10,7 +10,7 @@
 use crate::window::{CountWindow, KeyedWindows};
 use spinstreams_core::Tuple;
 use spinstreams_runtime::operators::synthetic_work;
-use spinstreams_runtime::{Outputs, StreamOperator};
+use spinstreams_runtime::{Outputs, StateSnapshot, StreamOperator};
 
 /// The aggregation function applied to a triggered window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,41 @@ enum WindowState {
     Global(CountWindow),
 }
 
+impl WindowState {
+    fn reset(&mut self) {
+        match self {
+            WindowState::Keyed(kw) => kw.clear(),
+            WindowState::Global(w) => w.clear(),
+        }
+    }
+
+    /// Tag + payload encoding; the tag guards restore against a snapshot
+    /// captured in the other mode.
+    fn snapshot(&self) -> StateSnapshot {
+        let mut s = StateSnapshot::new();
+        match self {
+            WindowState::Keyed(kw) => {
+                s.push_u64(1);
+                kw.encode_into(&mut s);
+            }
+            WindowState::Global(w) => {
+                s.push_u64(0);
+                w.encode_into(&mut s);
+            }
+        }
+        s
+    }
+
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        let mut r = snapshot.reader();
+        match (r.read_u64(), &mut *self) {
+            (Some(1), WindowState::Keyed(kw)) => kw.decode_from(&mut r),
+            (Some(0), WindowState::Global(w)) => w.decode_from(&mut r),
+            _ => false,
+        }
+    }
+}
+
 /// A count-based windowed aggregation operator.
 ///
 /// Emits, on each window trigger, a tuple whose `values[0]` is the
@@ -141,6 +176,15 @@ impl StreamOperator for WindowedAggregate {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn reset(&mut self) {
+        self.state.reset();
+    }
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        Some(self.state.snapshot())
+    }
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        self.state.restore(snapshot)
     }
 }
 
@@ -218,6 +262,16 @@ impl StreamOperator for WindowedQuantile {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn reset(&mut self) {
+        self.state.reset();
+        self.scratch.clear();
+    }
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        Some(self.state.snapshot())
+    }
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        self.state.restore(snapshot)
     }
 }
 
@@ -352,6 +406,42 @@ mod tests {
         // Partial-window sums grow as the buffer fills.
         assert_eq!(got[0].values[0], 2.0);
         assert_eq!(got[4].values[0], 10.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_outputs() {
+        // Drive a keyed aggregate halfway, snapshot, restore into a fresh
+        // instance, and check both emit identical outputs from there on.
+        let inputs: Vec<Tuple> = (0..40).map(|i| Tuple::splat(i % 3, i, i as f64)).collect();
+        let (head, tail) = inputs.split_at(20);
+        let mut original = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        drive(&mut original, head);
+        let snap = original.snapshot().expect("stateful operators snapshot");
+        let mut restored = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        assert!(restored.restore(&snap));
+        assert_eq!(drive(&mut original, tail), drive(&mut restored, tail));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_mode_snapshot() {
+        let mut global = WindowedAggregate::global(Aggregation::Sum, 4, 2, 0);
+        let snap = global.snapshot().unwrap();
+        let mut keyed = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        assert!(!keyed.restore(&snap), "mode tag must guard restore");
+    }
+
+    #[test]
+    fn reset_clears_window_state() {
+        let mut op = WindowedQuantile::global(0.5, 4, 2, 0);
+        drive(
+            &mut op,
+            &(0..10).map(|i| t(i as f64, i)).collect::<Vec<_>>(),
+        );
+        op.reset();
+        // A reset operator behaves like a fresh one: no trigger until the
+        // window refills.
+        let got = drive(&mut op, &(0..3).map(|i| t(i as f64, i)).collect::<Vec<_>>());
+        assert!(got.is_empty());
     }
 
     #[test]

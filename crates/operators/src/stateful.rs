@@ -4,7 +4,7 @@
 
 use spinstreams_core::Tuple;
 use spinstreams_runtime::operators::synthetic_work;
-use spinstreams_runtime::{Outputs, StreamOperator};
+use spinstreams_runtime::{Outputs, StateSnapshot, StreamOperator};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
@@ -70,6 +70,36 @@ impl StreamOperator for DistinctCount {
     fn name(&self) -> &str {
         "distinct-count"
     }
+    fn reset(&mut self) {
+        self.window.clear();
+        self.since = 0;
+        self.scratch.clear();
+    }
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        let mut s = StateSnapshot::new();
+        s.push_u64(self.since as u64);
+        s.push_u64(self.window.len() as u64);
+        for k in &self.window {
+            s.push_u64(*k);
+        }
+        Some(s)
+    }
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        self.reset();
+        let mut r = snapshot.reader();
+        let (Some(since), Some(n)) = (r.read_u64(), r.read_u64()) else {
+            return false;
+        };
+        for _ in 0..n {
+            let Some(k) = r.read_u64() else {
+                self.reset();
+                return false;
+            };
+            self.window.push_back(k);
+        }
+        self.since = since as usize;
+        true
+    }
 }
 
 /// Emits an item only when its first attribute moved by more than
@@ -115,6 +145,37 @@ impl StreamOperator for DeltaFilter {
     }
     fn name(&self) -> &str {
         "delta-filter"
+    }
+    fn reset(&mut self) {
+        self.last = None;
+    }
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        let mut s = StateSnapshot::new();
+        match self.last {
+            Some(v) => {
+                s.push_u64(1);
+                s.push_f64(v);
+            }
+            None => s.push_u64(0),
+        }
+        Some(s)
+    }
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        let mut r = snapshot.reader();
+        match r.read_u64() {
+            Some(0) => {
+                self.last = None;
+                true
+            }
+            Some(1) => match r.read_f64() {
+                Some(v) => {
+                    self.last = Some(v);
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
     }
 }
 
@@ -191,6 +252,33 @@ mod tests {
         let got = drive(&mut op, &[t(1, 0, 0.0), t(2, 1, 0.0)]);
         assert_eq!(got.len(), 2);
         assert_eq!(got[1].values[0], 2.0);
+    }
+
+    #[test]
+    fn distinct_count_snapshot_roundtrips() {
+        let inputs: Vec<Tuple> = (0..20).map(|i| t(i % 5, i, 0.0)).collect();
+        let (head, tail) = inputs.split_at(10);
+        let mut original = DistinctCount::new(6, 3, 0);
+        drive(&mut original, head);
+        let snap = original.snapshot().unwrap();
+        let mut restored = DistinctCount::new(6, 3, 0);
+        assert!(restored.restore(&snap));
+        assert_eq!(drive(&mut original, tail), drive(&mut restored, tail));
+    }
+
+    #[test]
+    fn delta_filter_snapshot_roundtrips() {
+        let mut original = DeltaFilter::new(0.1, 0);
+        drive(&mut original, &[t(0, 0, 0.5), t(0, 1, 0.9)]);
+        let snap = original.snapshot().unwrap();
+        let mut restored = DeltaFilter::new(0.1, 0);
+        assert!(restored.restore(&snap));
+        // Both remember last = 0.9: the next item within epsilon is muted.
+        let tail = [t(0, 2, 0.95), t(0, 3, 0.2)];
+        assert_eq!(drive(&mut original, &tail), drive(&mut restored, &tail));
+        // A fresh (or reset) filter always emits the first item instead.
+        let mut fresh = DeltaFilter::new(0.1, 0);
+        assert_eq!(drive(&mut fresh, &[t(0, 2, 0.95)]).len(), 1);
     }
 
     #[test]

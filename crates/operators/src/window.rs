@@ -7,6 +7,7 @@
 //! partitioning key (the partitioned-stateful variant).
 
 use spinstreams_core::Tuple;
+use spinstreams_runtime::{SnapshotReader, StateSnapshot};
 use std::collections::HashMap;
 
 /// A count-based sliding window over one stream.
@@ -116,6 +117,46 @@ impl CountWindow {
     pub fn content(&self) -> &[Tuple] {
         &self.buf
     }
+
+    /// Discards all buffered items and trigger progress.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.since_trigger = 0;
+        self.total = 0;
+    }
+
+    /// Appends the window's dynamic state (trigger progress + buffered
+    /// items) to a checkpoint snapshot. Structural parameters (`length`,
+    /// `slide`, eagerness) are construction-time and deliberately not
+    /// encoded: restore targets an identically configured instance.
+    pub fn encode_into(&self, snap: &mut StateSnapshot) {
+        snap.push_u64(self.since_trigger as u64);
+        snap.push_u64(self.total);
+        snap.push_u64(self.buf.len() as u64);
+        for t in &self.buf {
+            snap.push_tuple(t);
+        }
+    }
+
+    /// Restores state written by [`encode_into`](Self::encode_into) into
+    /// this window. Returns `false` (leaving the window cleared) on a
+    /// truncated or malformed snapshot.
+    pub fn decode_from(&mut self, r: &mut SnapshotReader<'_>) -> bool {
+        self.clear();
+        let (Some(since), Some(total), Some(n)) = (r.read_u64(), r.read_u64(), r.read_u64()) else {
+            return false;
+        };
+        for _ in 0..n {
+            let Some(t) = r.read_tuple() else {
+                self.clear();
+                return false;
+            };
+            self.buf.push(t);
+        }
+        self.since_trigger = since as usize;
+        self.total = total;
+        true
+    }
 }
 
 /// One [`CountWindow`] per partitioning key — the state layout of a
@@ -186,6 +227,49 @@ impl KeyedWindows {
     /// Window length.
     pub fn length(&self) -> usize {
         self.length
+    }
+
+    /// Discards every key's window.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+
+    /// Appends the per-key window table to a checkpoint snapshot. Keys are
+    /// written in sorted order so equal states produce byte-identical
+    /// snapshots regardless of hash-map iteration order.
+    pub fn encode_into(&self, snap: &mut StateSnapshot) {
+        snap.push_u64(self.windows.len() as u64);
+        let mut keys: Vec<u64> = self.windows.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            snap.push_u64(k);
+            self.windows[&k].encode_into(snap);
+        }
+    }
+
+    /// Restores a table written by [`encode_into`](Self::encode_into).
+    /// Returns `false` (leaving the table cleared) on a malformed snapshot.
+    pub fn decode_from(&mut self, r: &mut SnapshotReader<'_>) -> bool {
+        self.clear();
+        let Some(n) = r.read_u64() else {
+            return false;
+        };
+        for _ in 0..n {
+            let Some(key) = r.read_u64() else {
+                self.clear();
+                return false;
+            };
+            let mut w = CountWindow::new(self.length, self.slide);
+            if self.eager {
+                w = w.eager();
+            }
+            if !w.decode_from(r) {
+                self.clear();
+                return false;
+            }
+            self.windows.insert(key, w);
+        }
+        true
     }
 }
 
@@ -302,6 +386,69 @@ mod tests {
         }
         // Each of 5 keys sees 4 items -> 2 triggers each.
         assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_count_window() {
+        let mut w = CountWindow::new(4, 3);
+        for i in 0..6 {
+            w.push(t(i, i as f64));
+        }
+        let mut snap = StateSnapshot::new();
+        w.encode_into(&mut snap);
+        let mut w2 = CountWindow::new(4, 3);
+        let mut r = snap.reader();
+        assert!(w2.decode_from(&mut r));
+        assert!(r.is_exhausted());
+        assert_eq!(w2.content(), w.content());
+        assert_eq!(w2.total_pushed(), w.total_pushed());
+        // The restored window continues the original's trigger schedule.
+        for i in 6..12 {
+            assert_eq!(
+                w.push(t(i, 0.0)).is_some(),
+                w2.push(t(i, 0.0)).is_some(),
+                "trigger divergence at item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_snapshot_is_insertion_order_independent() {
+        let mut a = KeyedWindows::new(3, 2);
+        let mut b = KeyedWindows::new(3, 2);
+        let items = [tk(5, 0), tk(1, 1), tk(9, 2), tk(5, 3)];
+        for it in items {
+            a.push(it);
+        }
+        // Different cross-key interleaving, same per-key sequences.
+        for it in [tk(9, 2), tk(1, 1), tk(5, 0), tk(5, 3)] {
+            b.push(it);
+        }
+        let (mut sa, mut sb) = (StateSnapshot::new(), StateSnapshot::new());
+        a.encode_into(&mut sa);
+        b.encode_into(&mut sb);
+        assert_eq!(sa, sb, "sorted-key encoding must be order-independent");
+        let mut restored = KeyedWindows::new(3, 2);
+        let mut r = sa.reader();
+        assert!(restored.decode_from(&mut r));
+        assert_eq!(restored.num_keys(), 3);
+    }
+
+    #[test]
+    fn truncated_window_snapshot_restores_to_empty() {
+        let mut w = CountWindow::new(4, 2);
+        w.push(t(0, 1.0));
+        let mut snap = StateSnapshot::new();
+        w.encode_into(&mut snap);
+        // Drop the tuple payload: claim one buffered item, provide none.
+        let mut truncated = StateSnapshot::new();
+        truncated.push_u64(0);
+        truncated.push_u64(1);
+        truncated.push_u64(1);
+        let mut w2 = CountWindow::new(4, 2);
+        let mut r = truncated.reader();
+        assert!(!w2.decode_from(&mut r));
+        assert!(w2.is_empty(), "failed decode must leave a clean window");
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Epoch-aligned checkpointing: snapshots, coordinator, replay buffers.
+//!
+//! The engine's recovery path (PR 1) restarted a failed operator *empty* —
+//! correct for stateless operators, silently wrong for windowed and
+//! partitioned-stateful ones. This module supplies the three pieces an
+//! epoch-aligned (Chandy–Lamport-style) checkpoint layer needs:
+//!
+//! * [`StateSnapshot`] — a compact byte-buffer encoding of operator state,
+//!   written by [`StreamOperator::snapshot`](crate::StreamOperator::snapshot)
+//!   and consumed by
+//!   [`StreamOperator::restore`](crate::StreamOperator::restore). The
+//!   writer/reader helpers keep encodings allocation-light and make the
+//!   snapshot *size* (a telemetry quantity) fall out naturally.
+//! * [`CheckpointCoordinator`] — the shared acknowledgment ledger. Sources
+//!   ack epoch *N* when they inject its marker; every worker (sinks
+//!   included) acks when its barrier alignment for *N* completes. Epoch
+//!   *N* is **complete** only when every actor has acked *N* or later —
+//!   the minimum over the ledger.
+//! * [`ReplayBuffer`] — a bounded per-actor log of post-snapshot input
+//!   tuples keyed by epoch. On `Restart` the supervisor restores the
+//!   operator from its last local snapshot and replays this buffer through
+//!   it (outputs suppressed — they were already delivered), which rebuilds
+//!   the state the unfaulted run would have had. Overflow is recorded, not
+//!   fatal: recovery degrades to the old reset-to-empty behavior.
+
+use spinstreams_core::Tuple;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Epoch number meaning "no epoch": acks start at 1.
+pub const NO_EPOCH: u64 = 0;
+
+/// A serialized operator state, produced at an epoch barrier.
+///
+/// The encoding is operator-private; the runtime only moves the bytes and
+/// reports their size. Helpers cover the primitive shapes the library
+/// operators need (u64 counters, f64 attributes, length-prefixed
+/// sequences).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl StateSnapshot {
+    /// Creates an empty snapshot (the stateless-operator encoding).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size of the encoded state in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the snapshot carries no state.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn push_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (little-endian IEEE 754 bits).
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Appends a whole tuple (key, seq, src_ns, then every attribute).
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        self.push_u64(t.key);
+        self.push_u64(t.seq);
+        self.push_u64(t.src_ns);
+        for v in &t.values {
+            self.push_f64(*v);
+        }
+    }
+
+    /// Starts reading the snapshot from the beginning.
+    pub fn reader(&self) -> SnapshotReader<'_> {
+        SnapshotReader {
+            bytes: &self.bytes,
+            pos: 0,
+        }
+    }
+}
+
+/// Cursor over a [`StateSnapshot`]'s bytes.
+///
+/// Reads return `None` past the end (a malformed or truncated snapshot
+/// makes [`StreamOperator::restore`](crate::StreamOperator::restore) fail
+/// gracefully instead of panicking mid-recovery).
+#[derive(Debug, Clone)]
+pub struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl SnapshotReader<'_> {
+    /// Reads the next `u64`, or `None` if the snapshot is exhausted.
+    pub fn read_u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(u64::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    /// Reads the next `f64`.
+    pub fn read_f64(&mut self) -> Option<f64> {
+        self.read_u64().map(f64::from_bits)
+    }
+
+    /// Reads a tuple written by [`StateSnapshot::push_tuple`].
+    pub fn read_tuple(&mut self) -> Option<Tuple> {
+        let mut t = Tuple {
+            key: self.read_u64()?,
+            seq: self.read_u64()?,
+            src_ns: self.read_u64()?,
+            ..Tuple::default()
+        };
+        for v in &mut t.values {
+            *v = self.read_f64()?;
+        }
+        Some(t)
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+/// The shared checkpoint acknowledgment ledger.
+///
+/// One slot per actor (sources, workers and sinks alike). Acks are
+/// monotonic per actor; the globally *complete* epoch is the minimum over
+/// all slots — exactly the "every actor and sink has acked" rule.
+#[derive(Debug)]
+pub struct CheckpointCoordinator {
+    acked: Vec<AtomicU64>,
+}
+
+impl CheckpointCoordinator {
+    /// Creates a ledger for `num_actors` actors, all at [`NO_EPOCH`].
+    pub fn new(num_actors: usize) -> Self {
+        CheckpointCoordinator {
+            acked: (0..num_actors).map(|_| AtomicU64::new(NO_EPOCH)).collect(),
+        }
+    }
+
+    /// Records that actor `actor` finished epoch `epoch` (monotonic: lower
+    /// or repeated epochs are ignored).
+    pub fn ack(&self, actor: usize, epoch: u64) {
+        if let Some(slot) = self.acked.get(actor) {
+            slot.fetch_max(epoch, Ordering::AcqRel);
+        }
+    }
+
+    /// The epoch this actor last acked, or `None` before its first ack.
+    pub fn acked_by(&self, actor: usize) -> Option<u64> {
+        let e = self.acked.get(actor)?.load(Ordering::Acquire);
+        (e != NO_EPOCH).then_some(e)
+    }
+
+    /// The last globally complete epoch: the highest `N` every actor has
+    /// acked, or `None` if any actor has not completed an epoch yet.
+    pub fn last_complete(&self) -> Option<u64> {
+        let min = self.acked.iter().map(|a| a.load(Ordering::Acquire)).min()?;
+        (min != NO_EPOCH).then_some(min)
+    }
+}
+
+/// A bounded log of input tuples keyed by the epoch they arrived in.
+///
+/// The owning actor pushes every data tuple *before* processing it; on a
+/// completed snapshot for epoch `N` the prefix with `epoch <= N` is
+/// trimmed (that state is in the snapshot). What remains is exactly the
+/// input the operator consumed since its last snapshot — the replay set.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    entries: Vec<(u64, Tuple)>,
+    capacity: usize,
+    overflowed: bool,
+    overflows: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` tuples.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            entries: Vec::new(),
+            capacity,
+            overflowed: false,
+            overflows: 0,
+        }
+    }
+
+    /// Logs one input tuple under `epoch`. On overflow the buffer is
+    /// invalidated (cleared) until the next completed snapshot re-arms it.
+    pub fn push(&mut self, epoch: u64, tuple: Tuple) {
+        if self.overflowed {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.clear();
+            self.overflowed = true;
+            self.overflows += 1;
+            return;
+        }
+        self.entries.push((epoch, tuple));
+    }
+
+    /// Drops entries from epochs at or before `epoch` (their effect is in
+    /// the snapshot) and re-arms an overflowed buffer: from this barrier
+    /// on, the log is consistent with the snapshot again.
+    pub fn trim_through(&mut self, epoch: u64) {
+        self.entries.retain(|(e, _)| *e > epoch);
+        self.overflowed = false;
+    }
+
+    /// Removes and returns the most recently pushed tuple (used by the
+    /// `Resume` directive, whose semantics drop the poisoned item).
+    pub fn pop_last(&mut self) -> Option<(u64, Tuple)> {
+        self.entries.pop()
+    }
+
+    /// True if the buffer is currently valid for replay (no overflow since
+    /// the last snapshot).
+    pub fn is_valid(&self) -> bool {
+        !self.overflowed
+    }
+
+    /// Number of times the buffer overflowed over the run.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// The buffered `(epoch, tuple)` entries, oldest first.
+    pub fn entries(&self) -> &[(u64, Tuple)] {
+        &self.entries
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_primitives_and_tuples() {
+        let mut s = StateSnapshot::new();
+        s.push_u64(7);
+        s.push_f64(2.5);
+        let t = Tuple::splat(3, 11, 1.25).stamped(99);
+        s.push_tuple(&t);
+        assert_eq!(s.len(), 8 + 8 + (3 + t.values.len()) * 8);
+        let mut r = s.reader();
+        assert_eq!(r.read_u64(), Some(7));
+        assert_eq!(r.read_f64(), Some(2.5));
+        assert_eq!(r.read_tuple(), Some(t));
+        assert!(r.is_exhausted());
+        assert_eq!(r.read_u64(), None, "reads past the end fail gracefully");
+    }
+
+    #[test]
+    fn truncated_snapshot_reads_none_not_panic() {
+        let mut s = StateSnapshot::new();
+        s.push_u64(1);
+        let mut r = s.reader();
+        assert!(r.read_tuple().is_none());
+    }
+
+    #[test]
+    fn coordinator_complete_epoch_is_the_minimum() {
+        let c = CheckpointCoordinator::new(3);
+        assert_eq!(c.last_complete(), None);
+        c.ack(0, 2);
+        c.ack(1, 1);
+        assert_eq!(c.last_complete(), None, "actor 2 never acked");
+        c.ack(2, 3);
+        assert_eq!(c.last_complete(), Some(1));
+        c.ack(1, 2);
+        assert_eq!(c.last_complete(), Some(2));
+        // Acks are monotonic: a stale ack cannot regress the ledger.
+        c.ack(1, 1);
+        assert_eq!(c.acked_by(1), Some(2));
+        assert_eq!(c.last_complete(), Some(2));
+        assert_eq!(c.acked_by(99), None, "out-of-range actor is None");
+    }
+
+    #[test]
+    fn replay_buffer_trims_and_overflows() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..3u64 {
+            b.push(1, Tuple::splat(0, i, 0.0));
+        }
+        assert_eq!(b.len(), 3);
+        assert!(b.is_valid());
+        // Fourth push overflows: the log is invalidated, not partially kept.
+        b.push(2, Tuple::splat(0, 3, 0.0));
+        assert!(!b.is_valid());
+        assert!(b.is_empty());
+        assert_eq!(b.overflows(), 1);
+        // While overflowed, pushes are ignored.
+        b.push(2, Tuple::splat(0, 4, 0.0));
+        assert!(b.is_empty());
+        // The next barrier re-arms it.
+        b.trim_through(2);
+        assert!(b.is_valid());
+        b.push(3, Tuple::splat(0, 5, 0.0));
+        b.push(3, Tuple::splat(0, 6, 0.0));
+        b.push(4, Tuple::splat(0, 7, 0.0));
+        b.trim_through(3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.entries()[0].0, 4);
+        assert_eq!(b.pop_last().map(|(_, t)| t.seq), Some(7));
+        assert!(b.is_empty());
+    }
+}

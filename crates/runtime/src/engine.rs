@@ -8,6 +8,7 @@
 //! the SS2Akka decoupling of logical operators from runtime executors (§4),
 //! which keeps fission-inflated graphs from oversubscribing cores.
 
+use crate::checkpoint::{CheckpointCoordinator, ReplayBuffer, StateSnapshot};
 use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
 use crate::mailbox::{
     channel, channel_spsc, BatchFailure, BatchOutcome, DepthProbe, Envelope, RecvBatch,
@@ -18,8 +19,8 @@ use crate::operator::Outputs;
 use crate::rng::XorShift64;
 use crate::route::{Route, RouteState};
 use crate::supervision::{
-    DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory, SupervisionPolicy,
-    SupervisorSpec,
+    DeadLetter, DeadLetterLog, DeadLetterReason, DegradePolicy, OperatorFactory, RestartPolicy,
+    SupervisionPolicy, SupervisorSpec,
 };
 use crate::telemetry::{
     HubActor, LatencyHistogram, RawCounters, TelemetryConfig, TelemetryHub, TelemetryReport,
@@ -101,6 +102,22 @@ pub struct EngineConfig {
     pub flush_interval: Duration,
     /// Which executor runs the graph (thread-per-actor by default).
     pub executor: ExecutorKind,
+    /// Epoch-aligned checkpointing: every source injects a numbered epoch
+    /// marker after each `n` emitted items, workers align on the markers
+    /// (Chandy–Lamport-style barriers), snapshot their operator state via
+    /// [`crate::StreamOperator::snapshot`], and ack a shared
+    /// [`CheckpointCoordinator`]. On a supervised `Restart` the actor then
+    /// recovers by restoring its last snapshot and replaying the logged
+    /// post-snapshot input, instead of resetting to empty. `None` (the
+    /// default, also `Some(0)`) disables the whole layer — the hot path is
+    /// unchanged.
+    pub checkpoint_interval: Option<u64>,
+    /// Capacity (tuples) of each actor's bounded replay buffer — the input
+    /// log replayed after restore. On overflow the buffer is invalidated
+    /// until the next completed snapshot and recovery degrades to plain
+    /// reset; overflows are counted in the report. Irrelevant with
+    /// `checkpoint_interval = None`.
+    pub replay_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +130,8 @@ impl Default for EngineConfig {
             batch_size: 1,
             flush_interval: Duration::from_millis(1),
             executor: ExecutorKind::ThreadPerActor,
+            checkpoint_interval: None,
+            replay_capacity: 8192,
         }
     }
 }
@@ -309,6 +328,11 @@ struct DeliveryCtx {
     /// Present only under the pool executor: lets a blocked flush run
     /// other ready actors instead of parking its worker thread.
     pool: Option<Arc<PoolShared>>,
+    /// Epoch-marker interval (sources inject one marker per `n` emitted
+    /// items); `None` disables checkpointing for the whole run.
+    checkpoint_interval: Option<u64>,
+    /// Shared checkpoint ack ledger, present only with checkpointing on.
+    coordinator: Option<Arc<CheckpointCoordinator>>,
 }
 
 impl DeliveryCtx {
@@ -351,6 +375,19 @@ impl DeliveryCtx {
         reason: DeadLetterReason,
         tuple: &Tuple,
     ) {
+        self.dead_letter_msg(destination, reason, tuple, None);
+    }
+
+    /// Like [`dead_letter`](Self::dead_letter), carrying the panic payload
+    /// message when the item was consumed by a caught panic — chaos runs
+    /// can then assert *which* fault fired, not just that one did.
+    fn dead_letter_msg(
+        &mut self,
+        destination: Option<ActorId>,
+        reason: DeadLetterReason,
+        tuple: &Tuple,
+        message: Option<String>,
+    ) {
         use std::sync::atomic::Ordering;
         self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
         self.trace_event(TraceEventKind::DeadLetter { reason });
@@ -360,6 +397,7 @@ impl DeliveryCtx {
             reason,
             key: tuple.key,
             seq: tuple.seq,
+            message,
         });
     }
 
@@ -527,6 +565,45 @@ impl DeliveryCtx {
             *s = None;
         }
     }
+
+    /// Sends one epoch marker to every destination (the same fan-out as
+    /// EOS — markers, unlike routed data, must reach every downstream
+    /// actor). Markers are never dropped: they pace the whole barrier
+    /// protocol, so a lost marker would stall alignment forever. Coalesced
+    /// data drains first — FIFO order is what makes the marker a barrier.
+    fn broadcast_marker(&mut self, epoch: u64) {
+        self.flush_all();
+        for &d in &self.eos_targets {
+            if let Some(sender) = &self.senders[d] {
+                match &self.pool {
+                    // Pooled: help run ready actors while the target
+                    // mailbox is full (same discipline as EOS).
+                    Some(pool) => {
+                        let pool = Arc::clone(pool);
+                        loop {
+                            match sender.try_send(Envelope::Epoch(epoch)) {
+                                TrySend::Sent | TrySend::Disconnected => break,
+                                TrySend::Full => {
+                                    if !run_one_ready(&pool, pool.rank[self.id.0]) {
+                                        let out = sender
+                                            .send(Envelope::Epoch(epoch), Duration::from_millis(1));
+                                        if out.delivered() || out == SendOutcome::Disconnected {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        while sender.send(Envelope::Epoch(epoch), Duration::from_secs(3600))
+                            == SendOutcome::TimedOut
+                        {}
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Sleeps until `target`. Coarse sleep overshoot is tolerated: the source
@@ -581,6 +658,19 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
         };
         out.emit_default(tuple);
         ctx.deliver(&mut out);
+        // Epoch injection: one numbered marker per `interval` emitted
+        // items. The source has no state to snapshot — injecting *is* its
+        // part of the barrier — so it acks the coordinator immediately.
+        if let Some(interval) = ctx.checkpoint_interval {
+            if (seq + 1).is_multiple_of(interval) {
+                let epoch = (seq + 1) / interval;
+                ctx.broadcast_marker(epoch);
+                if let Some(c) = &ctx.coordinator {
+                    c.ack(ctx.id.0, epoch);
+                }
+                ctx.trace_event(TraceEventKind::CheckpointCompleted { epoch, bytes: 0 });
+            }
+        }
     }
     ctx.propagate_eos();
     ctx.trace_event(TraceEventKind::ActorFinished);
@@ -661,6 +751,37 @@ struct WorkerTask {
     /// Degraded mode: the operator is gone; input is forwarded or dropped.
     stopped: bool,
     restarts_done: u32,
+    /// Checkpoint/recovery state, present only with checkpointing on so
+    /// the default hot path carries a single `Option` check per envelope.
+    ckpt: Option<Box<CkptState>>,
+}
+
+/// Per-actor epoch-alignment and recovery state (checkpointing on).
+struct CkptState {
+    /// Markers received for the epoch currently aligning.
+    markers_seen: usize,
+    /// Upstream actors that have not yet sent EOS. The alignment quorum:
+    /// an epoch completes when `markers_seen` covers every *open* input,
+    /// so a finished upstream can't stall barriers from live ones.
+    open_inputs: usize,
+    /// Epoch currently aligning (`0` = none in progress).
+    aligning: u64,
+    /// Last locally completed epoch.
+    completed: u64,
+    /// Envelopes buffered behind the barrier while aligning. A fan-in
+    /// mailbox merges upstreams, so post-marker data is held — for every
+    /// channel — until the last marker lands (input-side barrier
+    /// alignment); deferred later-epoch markers queue here too.
+    align_buf: Vec<Envelope>,
+    /// Bounded input log for post-restore replay, keyed by epoch.
+    replay: ReplayBuffer,
+    /// Latest successfully captured snapshot (`None` both before the
+    /// first barrier and for stateless operators).
+    snapshot: Option<StateSnapshot>,
+    /// Epoch of `snapshot` (`0` = none).
+    snapshot_epoch: u64,
+    /// When the first marker of the aligning epoch arrived (stall metric).
+    align_started: Option<Instant>,
 }
 
 impl WorkerTask {
@@ -674,7 +795,8 @@ impl WorkerTask {
         // Count arrivals once per drained batch. The loop below only stops
         // early at the *final* EOS marker, and FIFO order plus EOS-last per
         // upstream guarantee no data envelope sits behind it, so every
-        // counted envelope is also processed.
+        // counted envelope is also processed (possibly via the alignment
+        // buffer).
         let arrived = inbox
             .iter()
             .filter(|e| matches!(e, Envelope::Data(_)))
@@ -686,20 +808,172 @@ impl WorkerTask {
                 .fetch_add(arrived, Ordering::Relaxed);
         }
         for env in inbox.drain(..) {
-            match env {
-                Envelope::Data(item) => {
-                    if self.stopped {
-                        match self.supervision.degrade {
-                            DegradePolicy::Forward => {
-                                self.out.emit_default(item);
-                                self.ctx.deliver(&mut self.out);
-                            }
-                            DegradePolicy::Drop => {
-                                self.ctx
-                                    .dead_letter(None, DeadLetterReason::StoppedActor, &item);
-                            }
+            if self.handle_env(env) {
+                // FIFO per mailbox and EOS-last per upstream guarantee no
+                // data follows the final marker.
+                finished = true;
+                break;
+            }
+        }
+        // Hand the (drained) inbox back so its allocation is reused.
+        self.inbox = inbox;
+        finished
+    }
+
+    /// Handles one envelope: barrier alignment for epoch markers, the
+    /// supervised operator invocation for data. Returns true once the
+    /// final EOS marker is seen.
+    fn handle_env(&mut self, env: Envelope) -> bool {
+        match env {
+            Envelope::Data(item) => {
+                if let Some(ckpt) = self.ckpt.as_deref_mut() {
+                    if ckpt.aligning != 0 {
+                        // Mid-alignment: the merged fan-in mailbox cannot
+                        // attribute data to a channel, so everything after
+                        // the first marker waits behind the barrier.
+                        ckpt.align_buf.push(Envelope::Data(item));
+                        return false;
+                    }
+                }
+                self.handle_data(item);
+                false
+            }
+            Envelope::Epoch(e) => {
+                let Some(ckpt) = self.ckpt.as_deref_mut() else {
+                    // Checkpointing off: stray markers are inert.
+                    return false;
+                };
+                if ckpt.aligning != 0 && e != ckpt.aligning {
+                    // A later epoch's marker from a fast upstream: defer it
+                    // behind the in-progress barrier.
+                    ckpt.align_buf.push(Envelope::Epoch(e));
+                    return false;
+                }
+                if ckpt.aligning == 0 {
+                    if e <= ckpt.completed {
+                        return false;
+                    }
+                    ckpt.aligning = e;
+                    ckpt.markers_seen = 0;
+                    ckpt.align_started = Some(Instant::now());
+                }
+                ckpt.markers_seen += 1;
+                let aligned = ckpt.markers_seen >= ckpt.open_inputs;
+                if aligned {
+                    self.complete_alignment();
+                }
+                false
+            }
+            Envelope::Eos => {
+                self.eos_left = self.eos_left.saturating_sub(1);
+                let mut aligned = false;
+                if let Some(ckpt) = self.ckpt.as_deref_mut() {
+                    // A finished upstream leaves the alignment quorum: its
+                    // marker for the current epoch either already arrived
+                    // or never will.
+                    ckpt.open_inputs = ckpt.open_inputs.saturating_sub(1);
+                    aligned = ckpt.aligning != 0 && ckpt.markers_seen >= ckpt.open_inputs;
+                }
+                if aligned {
+                    self.complete_alignment();
+                }
+                self.eos_left == 0
+            }
+        }
+    }
+
+    /// Processes one data item under supervision. With checkpointing on,
+    /// the item is logged to the replay buffer *before* the operator runs,
+    /// so a panic leaves the poisoned item as the log's last entry.
+    fn handle_data(&mut self, item: Tuple) {
+        if self.stopped {
+            match self.supervision.degrade {
+                DegradePolicy::Forward => {
+                    self.out.emit_default(item);
+                    self.ctx.deliver(&mut self.out);
+                }
+                DegradePolicy::Drop => {
+                    self.ctx
+                        .dead_letter(None, DeadLetterReason::StoppedActor, &item);
+                }
+            }
+            return;
+        }
+        if let Some(ckpt) = self.ckpt.as_deref_mut() {
+            ckpt.replay.push(ckpt.completed + 1, item);
+        }
+        let op = &mut self.op;
+        let out = &mut self.out;
+        match guarded_raw(|| op.process(item, out)) {
+            Ok(()) => {
+                self.out.inherit_stamp(item.src_ns);
+                self.ctx.deliver(&mut self.out);
+            }
+            Err(payload) => self.handle_panic(item, payload),
+        }
+    }
+
+    /// The supervision path for a panicking `process` invocation.
+    fn handle_panic(&mut self, item: Tuple, payload: Box<dyn Any + Send>) {
+        use std::sync::atomic::Ordering;
+        // The poisoned invocation may have emitted partial output before
+        // dying; discard it — the item either fully processes or
+        // dead-letters. Output coalesced from *earlier* items is sound:
+        // flush it before any backoff sleep so downstream is not starved
+        // while this actor recovers.
+        self.out.clear();
+        self.ctx.flush_all();
+        self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        self.ctx.trace_event(TraceEventKind::OperatorPanicked);
+        let message = panic_message(payload.as_ref());
+        let policy = self.supervision.policy.clone();
+        match policy {
+            SupervisionPolicy::Resume => {
+                // The poisoned item is dropped, so it must not be in the
+                // replay log either (it contributed nothing to state).
+                if let Some(ckpt) = self.ckpt.as_deref_mut() {
+                    ckpt.replay.pop_last();
+                }
+                self.ctx.dead_letter_msg(
+                    None,
+                    DeadLetterReason::OperatorPanic,
+                    &item,
+                    Some(message),
+                );
+            }
+            SupervisionPolicy::Restart(policy) => {
+                if self.restarts_done < policy.max_restarts {
+                    self.restarts_done += 1;
+                    self.restart_backoff(&policy);
+                    match &self.factory {
+                        Some(f) => self.op = f.build(),
+                        None => self.op.reset(),
+                    }
+                    self.ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                    self.ctx.trace_event(TraceEventKind::OperatorRestarted);
+                    // Stateful recovery: restore the last snapshot, replay
+                    // the logged input with outputs suppressed (they were
+                    // already delivered), then retry the failed item live —
+                    // its output was never delivered.
+                    let recovered = match self.ckpt.take() {
+                        Some(mut ckpt) => {
+                            let ok = self.recover(&mut ckpt, true);
+                            self.ckpt = Some(ckpt);
+                            ok
                         }
-                        continue;
+                        None => false,
+                    };
+                    if !recovered {
+                        // No checkpoint layer (or an overflowed replay
+                        // buffer): the pre-checkpoint semantics — the item
+                        // dead-letters and the operator restarts empty.
+                        self.ctx.dead_letter_msg(
+                            None,
+                            DeadLetterReason::OperatorPanic,
+                            &item,
+                            Some(message),
+                        );
+                        return;
                     }
                     let op = &mut self.op;
                     let out = &mut self.out;
@@ -707,67 +981,211 @@ impl WorkerTask {
                         self.out.inherit_stamp(item.src_ns);
                         self.ctx.deliver(&mut self.out);
                     } else {
-                        // The poisoned invocation may have emitted partial
-                        // output before dying; discard it — the item either
-                        // fully processes or dead-letters. Output coalesced
-                        // from *earlier* items is sound: flush it before
-                        // any backoff sleep so downstream is not starved
-                        // while this actor recovers.
+                        // The retried item panicked again: drop it (like
+                        // Resume) instead of looping forever.
                         self.out.clear();
-                        self.ctx.flush_all();
                         self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
                         self.ctx.trace_event(TraceEventKind::OperatorPanicked);
-                        self.ctx
-                            .dead_letter(None, DeadLetterReason::OperatorPanic, &item);
-                        match &self.supervision.policy {
-                            SupervisionPolicy::Resume => {}
-                            SupervisionPolicy::Restart(policy) => {
-                                if self.restarts_done < policy.max_restarts {
-                                    self.restarts_done += 1;
-                                    let delay =
-                                        policy.backoff.delay(self.restarts_done, &mut self.ctx.rng);
-                                    if !delay.is_zero() {
-                                        thread::sleep(delay);
-                                        self.ctx
-                                            .metrics
-                                            .backoff_ns
-                                            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
-                                        self.ctx.trace_event(TraceEventKind::Backoff {
-                                            ns: delay.as_nanos() as u64,
-                                        });
-                                    }
-                                    match &self.factory {
-                                        Some(f) => self.op = f.build(),
-                                        None => self.op.reset(),
-                                    }
-                                    self.ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
-                                    self.ctx.trace_event(TraceEventKind::OperatorRestarted);
-                                } else {
-                                    self.stopped = true;
-                                    self.ctx.trace_event(TraceEventKind::ActorStopped);
-                                }
-                            }
-                            SupervisionPolicy::Stop => {
-                                self.stopped = true;
-                                self.ctx.trace_event(TraceEventKind::ActorStopped);
-                            }
+                        if let Some(ckpt) = self.ckpt.as_deref_mut() {
+                            ckpt.replay.pop_last();
                         }
+                        self.ctx.dead_letter_msg(
+                            None,
+                            DeadLetterReason::OperatorPanic,
+                            &item,
+                            Some(message),
+                        );
+                    }
+                } else {
+                    self.stopped = true;
+                    self.ctx.trace_event(TraceEventKind::ActorStopped);
+                    self.ctx.dead_letter_msg(
+                        None,
+                        DeadLetterReason::OperatorPanic,
+                        &item,
+                        Some(message),
+                    );
+                }
+            }
+            SupervisionPolicy::Stop => {
+                self.stopped = true;
+                self.ctx.trace_event(TraceEventKind::ActorStopped);
+                self.ctx.dead_letter_msg(
+                    None,
+                    DeadLetterReason::OperatorPanic,
+                    &item,
+                    Some(message),
+                );
+            }
+        }
+    }
+
+    /// Sleeps the restart backoff delay and records it.
+    fn restart_backoff(&mut self, policy: &RestartPolicy) {
+        use std::sync::atomic::Ordering;
+        let delay = policy.backoff.delay(self.restarts_done, &mut self.ctx.rng);
+        if !delay.is_zero() {
+            thread::sleep(delay);
+            self.ctx
+                .metrics
+                .backoff_ns
+                .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+            self.ctx.trace_event(TraceEventKind::Backoff {
+                ns: delay.as_nanos() as u64,
+            });
+        }
+    }
+
+    /// Restores the freshly rebuilt operator from its last local snapshot
+    /// and replays the logged post-snapshot input with outputs suppressed.
+    /// With `skip_last` the log's final entry (the poisoned item, pushed
+    /// just before its panic) is left to the caller to retry live. Returns
+    /// false when the replay buffer overflowed since the last snapshot —
+    /// recovery then degrades to the plain reset the caller already did.
+    fn recover(&mut self, ckpt: &mut CkptState, skip_last: bool) -> bool {
+        use std::sync::atomic::Ordering;
+        if !ckpt.replay.is_valid() {
+            return false;
+        }
+        if let Some(snap) = &ckpt.snapshot {
+            let op = &mut self.op;
+            // A panicking or failed restore leaves the operator freshly
+            // reset — replay still reconstructs what it can.
+            let _ = guarded_raw(|| {
+                op.restore(snap);
+            });
+        }
+        let n = ckpt.replay.len().saturating_sub(skip_last as usize);
+        for (_, tuple) in &ckpt.replay.entries()[..n] {
+            let tuple = *tuple;
+            let op = &mut self.op;
+            let out = &mut self.out;
+            // Replay panics are skipped: the tuple's output was already
+            // delivered in its first life, and deterministic faults are
+            // fire-once, so a second failure only means lost state we
+            // cannot do better on.
+            let _ = guarded_raw(|| op.process(tuple, out));
+            self.out.clear();
+        }
+        self.ctx.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.ctx
+            .metrics
+            .replayed
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.ctx
+            .metrics
+            .restored_epoch
+            .store(ckpt.snapshot_epoch, Ordering::Relaxed);
+        self.ctx.trace_event(TraceEventKind::Recovered {
+            epoch: ckpt.snapshot_epoch,
+            replayed: n as u64,
+        });
+        true
+    }
+
+    /// Finishes the in-progress barrier: snapshot (under supervision), ack
+    /// the coordinator, re-broadcast the marker downstream, then release
+    /// the buffered post-barrier envelopes in arrival order.
+    fn complete_alignment(&mut self) {
+        use std::sync::atomic::Ordering;
+        let Some(mut ckpt) = self.ckpt.take() else {
+            return;
+        };
+        let epoch = ckpt.aligning;
+        ckpt.aligning = 0;
+        ckpt.markers_seen = 0;
+        ckpt.completed = epoch;
+        if let Some(t0) = ckpt.align_started.take() {
+            self.ctx
+                .metrics
+                .align_stall_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if !self.stopped {
+            self.take_snapshot(&mut ckpt, epoch);
+        }
+        // Stopped (degraded) actors still ack and forward markers: a dead
+        // operator must not stall the global checkpoint frontier.
+        if let Some(c) = &self.ctx.coordinator {
+            c.ack(self.ctx.id.0, epoch);
+        }
+        // Marker first, buffered data second: downstream must see the
+        // barrier before any post-barrier output.
+        self.ctx.broadcast_marker(epoch);
+        let buffered = std::mem::take(&mut ckpt.align_buf);
+        self.ckpt = Some(ckpt);
+        for env in buffered {
+            // Only Data and deferred Epoch markers are ever buffered, so
+            // no termination signal can hide in here.
+            let _ = self.handle_env(env);
+        }
+    }
+
+    /// Captures the operator snapshot for `epoch`, routing a panicking
+    /// `snapshot` (e.g. a deterministic `crash_at_epoch` fault) through
+    /// the actor's supervision policy with one retry after recovery.
+    fn take_snapshot(&mut self, ckpt: &mut CkptState, epoch: u64) {
+        use std::sync::atomic::Ordering;
+        let mut captured: Option<Option<StateSnapshot>> = None;
+        let ok = {
+            let op = &mut self.op;
+            let slot = &mut captured;
+            guarded_raw(|| *slot = Some(op.snapshot())).is_ok()
+        };
+        if !ok {
+            self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            self.ctx.trace_event(TraceEventKind::OperatorPanicked);
+            let policy = self.supervision.policy.clone();
+            match policy {
+                // Resume: state is intact as far as we know; keep the
+                // previous snapshot and skip this epoch's capture.
+                SupervisionPolicy::Resume => {}
+                SupervisionPolicy::Restart(policy) => {
+                    if self.restarts_done < policy.max_restarts {
+                        self.restarts_done += 1;
+                        self.restart_backoff(&policy);
+                        match &self.factory {
+                            Some(f) => self.op = f.build(),
+                            None => self.op.reset(),
+                        }
+                        self.ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                        self.ctx.trace_event(TraceEventKind::OperatorRestarted);
+                        // No in-flight item here: replay everything since
+                        // the previous snapshot, then retry the capture
+                        // once (deterministic faults are fire-once).
+                        let _ = self.recover(ckpt, false);
+                        let op = &mut self.op;
+                        let slot = &mut captured;
+                        let _ = guarded_raw(|| *slot = Some(op.snapshot()));
+                    } else {
+                        self.stopped = true;
+                        self.ctx.trace_event(TraceEventKind::ActorStopped);
                     }
                 }
-                Envelope::Eos => {
-                    self.eos_left = self.eos_left.saturating_sub(1);
-                    if self.eos_left == 0 {
-                        // FIFO per mailbox and EOS-last per upstream
-                        // guarantee no data follows the final marker.
-                        finished = true;
-                        break;
-                    }
+                SupervisionPolicy::Stop => {
+                    self.stopped = true;
+                    self.ctx.trace_event(TraceEventKind::ActorStopped);
                 }
             }
         }
-        // Hand the (drained) inbox back so its allocation is reused.
-        self.inbox = inbox;
-        finished
+        if let Some(snap) = captured {
+            let bytes = snap.as_ref().map_or(0, StateSnapshot::len) as u64;
+            ckpt.snapshot = snap;
+            ckpt.snapshot_epoch = epoch;
+            // Everything at or before this barrier is in the snapshot; an
+            // overflowed buffer re-arms here, consistent again.
+            ckpt.replay.trim_through(epoch);
+            self.ctx.metrics.snapshots.fetch_add(1, Ordering::Relaxed);
+            self.ctx
+                .metrics
+                .snapshot_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            self.ctx
+                .trace_event(TraceEventKind::CheckpointCompleted { epoch, bytes });
+        }
+        // On an unrecovered capture failure the previous snapshot and the
+        // untrimmed log stay authoritative — recovery remains correct,
+        // just with a longer replay.
     }
 
     /// Processes the drained inbox and flushes coalesced output, charging
@@ -803,6 +1221,12 @@ impl WorkerTask {
     /// EOS propagation, finish trace. Runs exactly once per actor.
     fn finish(&mut self) {
         use std::sync::atomic::Ordering;
+        if let Some(ckpt) = &self.ckpt {
+            self.ctx
+                .metrics
+                .replay_overflows
+                .store(ckpt.replay.overflows(), Ordering::Relaxed);
+        }
         if !self.stopped {
             let op = &mut self.op;
             let out = &mut self.out;
@@ -1245,6 +1669,13 @@ fn run_with(
 
     let metrics: Vec<Arc<ActorMetrics>> = (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
 
+    // Checkpoint layer: a `Some(0)` interval is treated as off, and the
+    // coordinator ledger (one ack slot per actor, sources included) exists
+    // only when the layer is on.
+    let ckpt_interval = config.checkpoint_interval.filter(|&i| i > 0);
+    let coordinator: Option<Arc<CheckpointCoordinator>> =
+        ckpt_interval.map(|_| Arc::new(CheckpointCoordinator::new(n)));
+
     // One mailbox per non-source actor. Edges with a single distinct
     // upstream actor get the SPSC ring (plain-store tail, no CAS); fan-in
     // edges get the CAS multi-producer ring. The split is decided here,
@@ -1356,6 +1787,8 @@ fn run_with(
             cached_now_ns: 0,
             pending_sink_outs: 0,
             pool: None,
+            checkpoint_interval: ckpt_interval,
+            coordinator: coordinator.clone(),
         };
         let eos_left = in_degrees[i];
         match spec.behavior {
@@ -1377,6 +1810,19 @@ fn run_with(
                             inbox: Vec::with_capacity(intake),
                             stopped: false,
                             restarts_done: 0,
+                            ckpt: ckpt_interval.map(|_| {
+                                Box::new(CkptState {
+                                    markers_seen: 0,
+                                    open_inputs: eos_left,
+                                    aligning: 0,
+                                    completed: 0,
+                                    align_buf: Vec::new(),
+                                    replay: ReplayBuffer::new(config.replay_capacity),
+                                    snapshot: None,
+                                    snapshot_epoch: 0,
+                                    align_started: None,
+                                })
+                            }),
                         },
                     },
                 ));
@@ -1593,6 +2039,7 @@ fn run_with(
             wall,
             started_at,
             dead_letters,
+            last_complete_epoch: coordinator.as_ref().and_then(|c| c.last_complete()),
         },
         telemetry_report,
     ))
@@ -1836,7 +2283,7 @@ mod tests {
         // Every drop is structurally accounted as a dead letter.
         assert_eq!(r.total_dead_letters(), r.actor(s).dropped);
         assert_eq!(r.dead_letters.total(), r.actor(s).dropped);
-        let first = r.dead_letters.entries()[0];
+        let first = &r.dead_letters.entries()[0];
         assert_eq!(first.source, s);
         assert_eq!(first.destination, Some(w));
         assert_eq!(first.reason, DeadLetterReason::SendTimeout);
@@ -2459,5 +2906,320 @@ mod tests {
         assert_eq!(counts(&threads), counts(&pool));
         assert_eq!(threads.total_dropped(), 0);
         assert_eq!(pool.total_dropped(), 0);
+    }
+
+    #[test]
+    fn pool_restart_budget_exhaustion_stops_the_actor() {
+        use crate::supervision::{Backoff, SupervisorSpec};
+        // The pool analogue of `restart_budget_exhaustion_stops_the_actor`:
+        // budget accounting and stopped-actor drops must survive the
+        // executor swap.
+        struct AlwaysPanics;
+        impl crate::StreamOperator for AlwaysPanics {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("always");
+            }
+        }
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 50)),
+        );
+        let w = g.add_actor("doomed", Behavior::Worker(Box::new(AlwaysPanics)));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(2, Backoff::none()));
+        let r = run(g, &pool_cfg(2)).unwrap();
+        assert_eq!(r.actor(w).panics, 3);
+        assert_eq!(r.actor(w).restarts, 2);
+        assert_eq!(r.actor(k).items_in, 0);
+        assert_eq!(r.dead_letters.total(), 50);
+        assert_eq!(r.dead_letters.by_reason(DeadLetterReason::OperatorPanic), 3);
+        assert_eq!(r.dead_letters.by_reason(DeadLetterReason::StoppedActor), 47);
+    }
+
+    #[test]
+    fn pool_stopped_actor_degrades_to_forward_or_drop() {
+        use crate::supervision::{DegradePolicy, SupervisorSpec};
+        // Degraded-mode routing under the pool executor: Forward turns the
+        // stopped actor into an identity, Drop dead-letters everything.
+        for (policy, sink_in, dead) in [
+            (DegradePolicy::Forward, 39, 1),
+            (DegradePolicy::Drop, 0, 40),
+        ] {
+            let mut g = ActorGraph::new();
+            let s = g.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(f64::INFINITY, 40)),
+            );
+            let w = g.add_actor(
+                "flaky",
+                Behavior::Worker(Box::new(PanicEvery { every: 64 })),
+            );
+            let k = g.add_actor("sink", Behavior::worker(PassThrough));
+            g.connect(s, Route::Unicast(w));
+            g.connect(w, Route::Unicast(k));
+            g.set_supervision(w, SupervisorSpec::default().with_degrade(policy));
+            let r = run(g, &pool_cfg(2)).unwrap();
+            assert_eq!(r.actor(w).panics, 1, "{policy:?}");
+            assert_eq!(r.actor(k).items_in, sink_in, "{policy:?}");
+            assert_eq!(r.dead_letters.total(), dead, "{policy:?}");
+        }
+    }
+
+    /// Emits every 10th input it has ever seen — a minimal stateful
+    /// operator whose output count is a pure function of its counter, so
+    /// any state loss across a restart shifts the sink count.
+    struct EveryTenth {
+        count: u64,
+    }
+    impl crate::StreamOperator for EveryTenth {
+        fn process(&mut self, item: Tuple, out: &mut Outputs) {
+            self.count += 1;
+            if self.count.is_multiple_of(10) {
+                out.emit_default(item);
+            }
+        }
+        fn name(&self) -> &str {
+            "every-tenth"
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+        fn snapshot(&mut self) -> Option<crate::checkpoint::StateSnapshot> {
+            let mut s = crate::checkpoint::StateSnapshot::new();
+            s.push_u64(self.count);
+            Some(s)
+        }
+        fn restore(&mut self, snapshot: &crate::checkpoint::StateSnapshot) -> bool {
+            match snapshot.reader().read_u64() {
+                Some(count) => {
+                    self.count = count;
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_counts_epochs_and_snapshots() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 500)),
+        );
+        let w = g.add_actor("mid", Behavior::worker(PassThrough));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        let cfg = EngineConfig {
+            checkpoint_interval: Some(100),
+            ..fast_cfg()
+        };
+        let r = run(g, &cfg).unwrap();
+        // 500 items at interval 100: epochs 1-5 all propagate to the sink.
+        assert_eq!(r.last_complete_epoch, Some(5));
+        assert_eq!(r.actor(w).snapshots, 5);
+        assert_eq!(r.actor(k).snapshots, 5);
+        // A stateless operator has nothing to capture: epochs complete
+        // with zero serialized bytes.
+        assert_eq!(r.actor(w).snapshot_bytes, 0);
+        assert_eq!(r.actor(k).items_in, 500);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn fan_in_alignment_completes_epochs_across_sources() {
+        // The merge actor must hold each epoch open until the marker has
+        // arrived from *both* sources before snapshotting and acking.
+        let mut g = ActorGraph::new();
+        let s0 = g.add_actor(
+            "src0",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
+        let s1 = g.add_actor(
+            "src1",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
+        let m = g.add_actor("merge", Behavior::worker(PassThrough));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s0, Route::Unicast(m));
+        g.connect(s1, Route::Unicast(m));
+        g.connect(m, Route::Unicast(k));
+        let cfg = EngineConfig {
+            checkpoint_interval: Some(100),
+            ..fast_cfg()
+        };
+        let r = run(g, &cfg).unwrap();
+        assert_eq!(r.last_complete_epoch, Some(3));
+        assert_eq!(r.actor(m).snapshots, 3);
+        assert_eq!(r.actor(m).items_in, 600);
+        assert_eq!(r.actor(k).items_in, 600);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn checkpointing_off_reports_no_epochs() {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 200)),
+        );
+        let w = g.add_actor("mid", Behavior::Worker(Box::new(EveryTenth { count: 0 })));
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        // `fast_cfg` leaves `checkpoint_interval` at the default `None`:
+        // no markers, no snapshots, no alignment stalls — even for an
+        // operator that implements `snapshot`.
+        let r = run(g, &fast_cfg()).unwrap();
+        assert_eq!(r.last_complete_epoch, None);
+        for a in &r.actors {
+            assert_eq!(a.snapshots, 0);
+            assert_eq!(a.snapshot_bytes, 0);
+            assert_eq!(a.recoveries, 0);
+            assert_eq!(a.align_stall, Duration::ZERO);
+            assert_eq!(a.last_restored_epoch, None);
+        }
+        assert_eq!(r.actor(k).items_in, 20);
+    }
+
+    #[test]
+    fn crash_recovery_restores_state_and_replays_input() {
+        use crate::operators::{FaultConfig, FaultInjector};
+        use crate::supervision::{Backoff, SupervisorSpec};
+        // A deterministic crash on tuple 250 with snapshots every 100:
+        // recovery restores the epoch-2 snapshot (count = 200), replays
+        // the 49 logged tuples with output suppressed, then retries the
+        // poisoned tuple live. The stateful counter never loses a beat:
+        // the sink sees exactly 500 / 10 = 50 emissions and no item is
+        // dead-lettered — the same totals as an unfaulted run.
+        for (label, cfg) in [("threads", fast_cfg()), ("pool-2", pool_cfg(2))] {
+            let cfg = EngineConfig {
+                checkpoint_interval: Some(100),
+                ..cfg
+            };
+            let mut g = ActorGraph::new();
+            let s = g.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(f64::INFINITY, 500)),
+            );
+            let w = g.add_actor(
+                "stateful",
+                Behavior::Worker(Box::new(FaultInjector::new(
+                    EveryTenth { count: 0 },
+                    FaultConfig::none().with_crash_after_tuples(250),
+                ))),
+            );
+            let k = g.add_actor("sink", Behavior::worker(PassThrough));
+            g.connect(s, Route::Unicast(w));
+            g.connect(w, Route::Unicast(k));
+            g.set_supervision(w, SupervisorSpec::restart(5, Backoff::none()));
+            let r = run(g, &cfg).unwrap();
+            let a = r.actor(w);
+            assert_eq!(a.panics, 1, "{label}");
+            assert_eq!(a.restarts, 1, "{label}");
+            assert_eq!(a.recoveries, 1, "{label}");
+            assert_eq!(a.replayed, 49, "{label}");
+            assert_eq!(a.last_restored_epoch, Some(2), "{label}");
+            assert!(a.snapshot_bytes > 0, "{label}");
+            assert_eq!(r.actor(k).items_in, 50, "{label}");
+            assert_eq!(r.dead_letters.total(), 0, "{label}");
+            assert_eq!(r.last_complete_epoch, Some(5), "{label}");
+        }
+    }
+
+    #[test]
+    fn crash_inside_snapshot_recovers_and_retries_the_capture() {
+        use crate::operators::{FaultConfig, FaultInjector};
+        use crate::supervision::{Backoff, SupervisorSpec};
+        // The fault fires *inside* the epoch-2 snapshot call. Supervision
+        // restarts the operator, restores the epoch-1 snapshot, replays
+        // the full inter-epoch log (100 tuples) and retries the capture —
+        // the one-shot trigger stays fired, so the retry succeeds and
+        // epoch 2 still completes globally.
+        let cfg = EngineConfig {
+            checkpoint_interval: Some(100),
+            ..fast_cfg()
+        };
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 500)),
+        );
+        let w = g.add_actor(
+            "stateful",
+            Behavior::Worker(Box::new(FaultInjector::new(
+                EveryTenth { count: 0 },
+                FaultConfig::none().with_crash_at_epoch(2),
+            ))),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(5, Backoff::none()));
+        let r = run(g, &cfg).unwrap();
+        let a = r.actor(w);
+        assert_eq!(a.panics, 1);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.recoveries, 1);
+        assert_eq!(a.replayed, 100);
+        assert_eq!(a.last_restored_epoch, Some(1));
+        // Epoch 1 plus the retried epoch-2 capture plus epochs 3-5.
+        assert_eq!(a.snapshots, 5);
+        assert_eq!(r.actor(k).items_in, 50);
+        assert_eq!(r.dead_letters.total(), 0);
+        assert_eq!(r.last_complete_epoch, Some(5));
+    }
+
+    #[test]
+    fn checkpoint_and_recovery_emit_trace_events() {
+        use crate::operators::{FaultConfig, FaultInjector};
+        use crate::supervision::{Backoff, SupervisorSpec};
+        let cfg = EngineConfig {
+            checkpoint_interval: Some(100),
+            ..fast_cfg()
+        };
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 300)),
+        );
+        let w = g.add_actor(
+            "stateful",
+            Behavior::Worker(Box::new(FaultInjector::new(
+                EveryTenth { count: 0 },
+                FaultConfig::none().with_crash_after_tuples(150),
+            ))),
+        );
+        let k = g.add_actor("sink", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(w));
+        g.connect(w, Route::Unicast(k));
+        g.set_supervision(w, SupervisorSpec::restart(5, Backoff::none()));
+        let (r, tel) = run_with_telemetry(g, &cfg, &TelemetryConfig::default()).unwrap();
+        assert_eq!(r.actor(w).recoveries, 1);
+        let completed: Vec<_> = tel
+            .trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::CheckpointCompleted { epoch, .. } => Some((e.actor, epoch)),
+                _ => None,
+            })
+            .collect();
+        // Worker and sink each complete epochs 1-3.
+        assert!(completed.contains(&(w, 1)), "events: {completed:?}");
+        assert!(completed.contains(&(w, 3)));
+        assert!(completed.contains(&(k, 3)));
+        let recovered: Vec<_> = tel
+            .trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Recovered { epoch, replayed } => Some((e.actor, epoch, replayed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recovered, vec![(w, 1, 49)]);
     }
 }

@@ -94,6 +94,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod engine;
 mod graph;
 mod mailbox;
@@ -108,6 +109,7 @@ mod sim;
 pub mod supervision;
 pub mod telemetry;
 
+pub use checkpoint::{CheckpointCoordinator, ReplayBuffer, SnapshotReader, StateSnapshot};
 pub use engine::{run, run_with_telemetry, EngineConfig, EngineError, ExecutorKind};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
 pub use mailbox::{

@@ -57,6 +57,12 @@ fn lock_waiters(m: &Mutex<Waiters>) -> MutexGuard<'_, Waiters> {
 pub enum Envelope {
     /// A stream item.
     Data(Tuple),
+    /// An epoch (checkpoint barrier) marker carrying the epoch number.
+    /// Sources inject one per out-edge every `checkpoint_interval` items;
+    /// each actor aligns on markers from all in-edges before snapshotting
+    /// and re-broadcasting. The ring moves markers like any other
+    /// envelope — the lock-free fast path is marker-agnostic.
+    Epoch(u64),
     /// End-of-stream marker; one is sent by each upstream sender when it
     /// finishes.
     Eos,
@@ -1115,6 +1121,21 @@ mod tests {
     }
 
     #[test]
+    fn epoch_markers_keep_fifo_position() {
+        // A marker between two data envelopes must arrive between them —
+        // barrier alignment depends on this FIFO guarantee.
+        let (tx, rx) = channel(8);
+        tx.send(item(0), LONG);
+        tx.send(Envelope::Epoch(1), LONG);
+        tx.send(item(1), LONG);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_drain(&mut buf, 8), RecvBatch::Received(3));
+        assert_eq!(buf[0], item(0));
+        assert_eq!(buf[1], Envelope::Epoch(1));
+        assert_eq!(buf[2], item(1));
+    }
+
+    #[test]
     fn try_recv_is_nonblocking() {
         let (tx, rx) = channel(2);
         assert_eq!(rx.try_recv(), None);
@@ -1222,7 +1243,7 @@ mod tests {
         assert_eq!(batch.len(), 5);
         match batch[0] {
             Envelope::Data(t) => assert_eq!(t.seq, 3),
-            Envelope::Eos => panic!("expected data"),
+            Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
         }
     }
 
@@ -1262,7 +1283,7 @@ mod tests {
             .iter()
             .map(|e| match e {
                 Envelope::Data(t) => t.seq,
-                Envelope::Eos => panic!("unexpected EOS"),
+                Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
             })
             .collect();
         assert_eq!(seqs, (0..10).collect::<Vec<_>>());
@@ -1403,7 +1424,7 @@ mod tests {
                         assert_eq!(t.seq, next);
                         next += 1;
                     }
-                    Envelope::Eos => panic!("unexpected EOS"),
+                    Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
                 }
             }
         }
@@ -1432,7 +1453,7 @@ mod tests {
         loop {
             match rx.recv() {
                 RecvResult::Envelope(Envelope::Data(t)) => per_key[t.key as usize].push(t.seq),
-                RecvResult::Envelope(Envelope::Eos) => panic!("unexpected EOS"),
+                RecvResult::Envelope(_) => panic!("expected data"),
                 RecvResult::Disconnected => break,
             }
         }
@@ -1470,7 +1491,7 @@ mod tests {
         assert_eq!(batch.len(), 2);
         match batch[0] {
             Envelope::Data(t) => assert_eq!(t.seq, 3),
-            Envelope::Eos => panic!("expected data"),
+            Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
         }
         drop(rx);
         let out = tx.try_send_batch(&mut batch);

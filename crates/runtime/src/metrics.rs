@@ -30,6 +30,20 @@ pub(crate) struct ActorMetrics {
     pub backoff_ns: AtomicU64,
     /// Dead letters attributed to this actor (as source).
     pub dead_letters: AtomicU64,
+    /// Epoch snapshots successfully captured at barrier alignment.
+    pub snapshots: AtomicU64,
+    /// Total serialized bytes across all captured snapshots.
+    pub snapshot_bytes: AtomicU64,
+    /// Time spent buffering input behind in-progress barrier alignments.
+    pub align_stall_ns: AtomicU64,
+    /// Restarts recovered via snapshot-restore + replay (vs reset-empty).
+    pub recoveries: AtomicU64,
+    /// Tuples replayed through the operator during recoveries.
+    pub replayed: AtomicU64,
+    /// Times the bounded replay buffer overflowed (recovery degraded).
+    pub replay_overflows: AtomicU64,
+    /// Epoch of the snapshot last restored during recovery (0 = none).
+    pub restored_epoch: AtomicU64,
 }
 
 impl ActorMetrics {
@@ -70,6 +84,16 @@ impl ActorMetrics {
             restarts: self.restarts.load(Ordering::Relaxed),
             backoff: Duration::from_nanos(self.backoff_ns.load(Ordering::Relaxed)),
             dead_letters: self.dead_letters.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            align_stall: Duration::from_nanos(self.align_stall_ns.load(Ordering::Relaxed)),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            replay_overflows: self.replay_overflows.load(Ordering::Relaxed),
+            last_restored_epoch: {
+                let e = self.restored_epoch.load(Ordering::Relaxed);
+                (e != 0).then_some(e)
+            },
         }
     }
 }
@@ -109,6 +133,23 @@ pub struct ActorReport {
     /// Dead letters attributed to this actor (items it failed to deliver
     /// or consumed by panics / degraded-mode drops).
     pub dead_letters: u64,
+    /// Epoch snapshots captured at barrier alignment (checkpointing on).
+    pub snapshots: u64,
+    /// Total serialized bytes across all captured snapshots.
+    pub snapshot_bytes: u64,
+    /// Time spent holding input behind in-progress barrier alignments.
+    pub align_stall: Duration,
+    /// Restarts recovered via snapshot-restore + replay instead of a
+    /// reset to empty state.
+    pub recoveries: u64,
+    /// Tuples replayed through the operator during recoveries.
+    pub replayed: u64,
+    /// Times the bounded replay buffer overflowed, degrading a future
+    /// recovery to plain reset.
+    pub replay_overflows: u64,
+    /// Epoch of the snapshot last restored during a recovery (`None` if
+    /// the actor never recovered from a snapshot).
+    pub last_restored_epoch: Option<u64>,
 }
 
 impl ActorReport {
@@ -148,6 +189,10 @@ pub struct RunReport {
     /// Structural record of every undelivered item (capacity-bounded
     /// entries, exact totals).
     pub dead_letters: DeadLetterLog,
+    /// The last globally complete checkpoint epoch — every actor (sources
+    /// and sinks included) acked it. `None` with checkpointing off or if
+    /// no epoch fully propagated before end of stream.
+    pub last_complete_epoch: Option<u64>,
 }
 
 impl RunReport {
@@ -199,6 +244,21 @@ impl RunReport {
     pub fn total_dead_letters(&self) -> u64 {
         self.actors.iter().map(|a| a.dead_letters).sum()
     }
+
+    /// Total snapshot-restore recoveries across all actors.
+    pub fn total_recoveries(&self) -> u64 {
+        self.actors.iter().map(|a| a.recoveries).sum()
+    }
+
+    /// Total tuples replayed during recoveries across all actors.
+    pub fn total_replayed(&self) -> u64 {
+        self.actors.iter().map(|a| a.replayed).sum()
+    }
+
+    /// Total replay-buffer overflows across all actors.
+    pub fn total_replay_overflows(&self) -> u64 {
+        self.actors.iter().map(|a| a.replay_overflows).sum()
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +280,13 @@ mod tests {
             restarts: 0,
             backoff: Duration::ZERO,
             dead_letters: 0,
+            snapshots: 0,
+            snapshot_bytes: 0,
+            align_stall: Duration::ZERO,
+            recoveries: 0,
+            replayed: 0,
+            replay_overflows: 0,
+            last_restored_epoch: None,
         }
     }
 
@@ -274,6 +341,7 @@ mod tests {
             wall: Duration::from_secs(1),
             started_at: Instant::now(),
             dead_letters: DeadLetterLog::default(),
+            last_complete_epoch: None,
         };
         assert!((rep.source_throughput().unwrap() - 100.0).abs() < 1e-9);
         assert_eq!(rep.total_dropped(), 0);
@@ -306,6 +374,7 @@ mod tests {
             wall: Duration::from_secs(1),
             started_at: Instant::now(),
             dead_letters: DeadLetterLog::default(),
+            last_complete_epoch: None,
         };
         assert!((rep.source_throughput().unwrap() - 150.0).abs() < 1e-9);
     }
@@ -328,6 +397,7 @@ mod tests {
             wall: Duration::from_secs(1),
             started_at: Instant::now(),
             dead_letters: DeadLetterLog::default(),
+            last_complete_epoch: None,
         };
         assert!((rep.source_throughput().unwrap() - 100.0).abs() < 1e-9);
         let rep = RunReport {
@@ -335,6 +405,7 @@ mod tests {
             wall: Duration::from_secs(1),
             started_at: Instant::now(),
             dead_letters: DeadLetterLog::default(),
+            last_complete_epoch: None,
         };
         assert_eq!(rep.source_throughput(), None);
     }

@@ -7,6 +7,7 @@
 //! routing layer maps ports to destination mailboxes, keeping the business
 //! logic independent of how the topology was optimized (fission, fusion).
 
+use crate::checkpoint::StateSnapshot;
 use spinstreams_core::Tuple;
 
 /// The default output port for single-output operators.
@@ -105,6 +106,25 @@ pub trait StreamOperator: Send {
     /// when no [`crate::OperatorFactory`] was registered for the actor.
     /// Default: nothing (correct for stateless operators).
     fn reset(&mut self) {}
+
+    /// Serializes the operator's state at an epoch barrier. Called by the
+    /// checkpoint layer once every in-edge's marker has been aligned; the
+    /// `&mut` receiver lets wrappers (e.g. fault injectors) observe the
+    /// call, but capturing must not mutate the logical state. Default:
+    /// `None` — the stateless encoding, meaning "restore is a no-op, a
+    /// fresh instance is equivalent".
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        None
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into a
+    /// fresh (or [`reset`](Self::reset)) instance. Returns `true` if the
+    /// snapshot was understood and applied. Default: `false` (stateless
+    /// operators have nothing to restore).
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
 }
 
 impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
@@ -119,6 +139,12 @@ impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
     }
     fn reset(&mut self) {
         (**self).reset()
+    }
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        (**self).restore(snapshot)
     }
 }
 

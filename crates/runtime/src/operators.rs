@@ -260,6 +260,13 @@ pub struct FaultConfig {
     pub latency_spike_ns: u64,
     /// RNG seed; equal seeds produce identical fault schedules.
     pub seed: u64,
+    /// Deterministic trigger: panic while capturing the snapshot for the
+    /// n-th aligned checkpoint epoch (1-indexed). Fires exactly once; a
+    /// restart does not re-arm it, so recovery proceeds afterwards.
+    pub crash_at_epoch: Option<u64>,
+    /// Deterministic trigger: panic on the n-th processed tuple
+    /// (1-indexed). Fires exactly once; a restart does not re-arm it.
+    pub crash_after_tuples: Option<u64>,
 }
 
 impl FaultConfig {
@@ -272,7 +279,27 @@ impl FaultConfig {
             latency_spike_prob: 0.0,
             latency_spike_ns: 0,
             seed,
+            crash_at_epoch: None,
+            crash_after_tuples: None,
         }
+    }
+
+    /// A config with no faults at all — a base for the deterministic
+    /// crash triggers below.
+    pub fn none() -> Self {
+        FaultConfig::panics(0.0, 0)
+    }
+
+    /// Arms the one-shot crash inside the n-th epoch snapshot.
+    pub fn with_crash_at_epoch(mut self, epoch: u64) -> Self {
+        self.crash_at_epoch = Some(epoch);
+        self
+    }
+
+    /// Arms the one-shot crash on the n-th processed tuple.
+    pub fn with_crash_after_tuples(mut self, tuples: u64) -> Self {
+        self.crash_after_tuples = Some(tuples);
+        self
     }
 
     /// Validates probabilities, returning a description of any problem.
@@ -299,6 +326,10 @@ pub struct FaultInjector<O> {
     cfg: FaultConfig,
     rng: crate::rng::XorShift64,
     burst_left: u32,
+    tuples_seen: u64,
+    snapshots_taken: u64,
+    crashed_on_tuple: bool,
+    crashed_on_epoch: bool,
 }
 
 impl<O: StreamOperator> FaultInjector<O> {
@@ -316,12 +347,23 @@ impl<O: StreamOperator> FaultInjector<O> {
             cfg,
             rng: crate::rng::XorShift64::new(cfg.seed),
             burst_left: 0,
+            tuples_seen: 0,
+            snapshots_taken: 0,
+            crashed_on_tuple: false,
+            crashed_on_epoch: false,
         }
     }
 }
 
 impl<O: StreamOperator> StreamOperator for FaultInjector<O> {
     fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        self.tuples_seen += 1;
+        if let Some(n) = self.cfg.crash_after_tuples {
+            if !self.crashed_on_tuple && self.tuples_seen >= n {
+                self.crashed_on_tuple = true;
+                panic!("injected fault: crash after {n} tuples");
+            }
+        }
         if self.burst_left > 0 {
             self.burst_left -= 1;
             panic!("injected fault: transient-error burst");
@@ -347,9 +389,27 @@ impl<O: StreamOperator> StreamOperator for FaultInjector<O> {
     fn reset(&mut self) {
         // A restart replaces the wrapped operator's state and ends any
         // in-flight burst; the RNG keeps its position so the fault
-        // schedule stays a single deterministic stream per seed.
+        // schedule stays a single deterministic stream per seed, and the
+        // one-shot crash triggers stay fired — a recovering operator must
+        // not crash again on the replayed prefix.
         self.inner.reset();
         self.burst_left = 0;
+    }
+    fn snapshot(&mut self) -> Option<crate::checkpoint::StateSnapshot> {
+        // The engine calls snapshot exactly once per aligned epoch, so the
+        // call count is the epoch number (until the one-shot fires, after
+        // which the count only needs to stay monotonic).
+        self.snapshots_taken += 1;
+        if let Some(n) = self.cfg.crash_at_epoch {
+            if !self.crashed_on_epoch && self.snapshots_taken >= n {
+                self.crashed_on_epoch = true;
+                panic!("injected fault: crash at epoch {n}");
+            }
+        }
+        self.inner.snapshot()
+    }
+    fn restore(&mut self, snapshot: &crate::checkpoint::StateSnapshot) -> bool {
+        self.inner.restore(snapshot)
     }
 }
 
@@ -514,6 +574,8 @@ mod tests {
             latency_spike_prob: 0.0,
             latency_spike_ns: 0,
             seed: 17,
+            crash_at_epoch: None,
+            crash_after_tuples: None,
         };
         let mut op = FaultInjector::new(PassThrough, cfg);
         let mut out = Outputs::new();
@@ -556,6 +618,8 @@ mod tests {
             latency_spike_prob: 0.5,
             latency_spike_ns: 1_000,
             seed: 23,
+            crash_at_epoch: None,
+            crash_after_tuples: None,
         };
         let mut op = FaultInjector::new(PassThrough, cfg);
         let mut out = Outputs::new();

@@ -59,6 +59,14 @@ pub struct SimConfig {
     /// schedule. Threaded and virtual runs of one experiment can therefore
     /// share a config without the virtual results drifting.
     pub batch_size: usize,
+    /// Epoch marker cadence, for configuration parity with
+    /// [`crate::EngineConfig::checkpoint_interval`]. The simulator models
+    /// ideal (never-failing) operators, so barrier alignment and snapshots
+    /// have no effect on the schedule; the only observable is the report's
+    /// [`crate::RunReport::last_complete_epoch`], computed deterministically
+    /// as the minimum over sources of `emitted / interval` (`None` when off
+    /// or when no source finished a full epoch).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -68,6 +76,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             intrinsic_time: true,
             batch_size: 1,
+            checkpoint_interval: None,
         }
     }
 }
@@ -625,13 +634,35 @@ fn simulate_with(
             first_out_ns: a.first_out_ns,
             last_out_ns: a.last_out_ns,
             // The simulator models ideal operators: no panics, so the
-            // supervision counters are structurally zero.
+            // supervision and recovery counters are structurally zero.
             panics: 0,
             restarts: 0,
             backoff: Duration::ZERO,
             dead_letters: 0,
+            snapshots: 0,
+            snapshot_bytes: 0,
+            align_stall: Duration::ZERO,
+            recoveries: 0,
+            replayed: 0,
+            replay_overflows: 0,
+            last_restored_epoch: None,
         })
         .collect();
+    // Ideal operators never fail, so every injected epoch completes; the
+    // last complete epoch is bounded by the shortest source.
+    let last_complete_epoch = config
+        .checkpoint_interval
+        .filter(|&iv| iv > 0)
+        .and_then(|iv| {
+            sim.actors
+                .iter()
+                .filter_map(|a| match &a.kind {
+                    Kind::Source { cfg, .. } => Some(cfg.count / iv),
+                    Kind::Worker { .. } => None,
+                })
+                .min()
+        })
+        .filter(|&e| e > 0);
     let wall = Duration::from_nanos(sim.end_time);
     drop(sim); // releases the sim's hub clone so the unwrap below is unique
     let telemetry_report = hub.map(|hub| {
@@ -646,6 +677,7 @@ fn simulate_with(
             wall,
             started_at,
             dead_letters: crate::supervision::DeadLetterLog::default(),
+            last_complete_epoch,
         },
         telemetry_report,
     ))

@@ -223,7 +223,7 @@ impl fmt::Display for DeadLetterReason {
 
 /// One undeliverable item: where it came from, where it was going, why it
 /// died, and which item it was.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeadLetter {
     /// The actor holding the item when it died.
     pub source: ActorId,
@@ -236,6 +236,10 @@ pub struct DeadLetter {
     pub key: u64,
     /// Sequence number of the dead item.
     pub seq: u64,
+    /// The panic payload message, for items consumed by a caught panic
+    /// ([`DeadLetterReason::OperatorPanic`]) — chaos runs can then assert
+    /// *which* injected fault fired. `None` for non-panic reasons.
+    pub message: Option<String>,
 }
 
 /// A capacity-bounded structural record of undelivered items.
@@ -298,7 +302,7 @@ impl DeadLetterLog {
     pub fn merge(&mut self, other: &DeadLetterLog) {
         for l in &other.entries {
             if self.entries.len() < self.capacity {
-                self.entries.push(*l);
+                self.entries.push(l.clone());
             }
         }
         self.total += other.total;
@@ -316,6 +320,7 @@ mod tests {
             reason,
             key: 0,
             seq,
+            message: None,
         }
     }
 

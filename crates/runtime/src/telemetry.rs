@@ -241,6 +241,25 @@ pub enum TraceEventKind {
         /// Why delivery failed.
         reason: DeadLetterReason,
     },
+    /// An epoch checkpoint completed locally: a source injected the
+    /// marker, or a worker finished barrier alignment and captured its
+    /// snapshot (`bytes` = serialized state size; 0 for sources and
+    /// stateless operators).
+    CheckpointCompleted {
+        /// The epoch number.
+        epoch: u64,
+        /// Serialized snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A restarted operator recovered its state: restored from the
+    /// snapshot of `epoch` (0 = no snapshot yet) and replayed `replayed`
+    /// logged tuples.
+    Recovered {
+        /// Epoch of the restored snapshot (0 before the first barrier).
+        epoch: u64,
+        /// Tuples replayed through the operator, outputs suppressed.
+        replayed: u64,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -254,6 +273,8 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::ActorStopped => write!(f, "actor-stopped"),
             TraceEventKind::Blocked { .. } => write!(f, "blocked"),
             TraceEventKind::DeadLetter { .. } => write!(f, "dead-letter"),
+            TraceEventKind::CheckpointCompleted { .. } => write!(f, "checkpoint-completed"),
+            TraceEventKind::Recovered { .. } => write!(f, "recovered"),
         }
     }
 }
@@ -286,6 +307,12 @@ impl TraceEvent {
             }
             TraceEventKind::DeadLetter { reason } => {
                 let _ = write!(s, ",\"reason\":\"{reason}\"");
+            }
+            TraceEventKind::CheckpointCompleted { epoch, bytes } => {
+                let _ = write!(s, ",\"epoch\":{epoch},\"bytes\":{bytes}");
+            }
+            TraceEventKind::Recovered { epoch, replayed } => {
+                let _ = write!(s, ",\"epoch\":{epoch},\"replayed\":{replayed}");
             }
             _ => {}
         }

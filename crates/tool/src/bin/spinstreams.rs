@@ -7,10 +7,12 @@
 //! spinstreams fuse     <topology.xml> --members 2,3,4 operator fusion (Algorithm 3)
 //! spinstreams autofuse <topology.xml> [--threshold T] automated greedy fusion (§7)
 //! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
-//! spinstreams run      <topology.xml> [--items N] [--batch N] [--telemetry FILE] [--interval-ms M]
+//! spinstreams run      <topology.xml> [--items N] [--batch N] [--checkpoint N]
+//!                                     [--telemetry FILE] [--interval-ms M]
 //!                                                     execute and compare vs the model
 //! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S] [--batch N]
-//!                                     [--workers N] [--telemetry FILE] [--interval-ms M]
+//!                                     [--workers N] [--checkpoint N] [--crash-at-epoch N]
+//!                                     [--crash-after-tuples N] [--telemetry FILE] [--interval-ms M]
 //!                                                     fault-injected run: supervision + dead letters
 //! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--workers N] [--interval-ms M]
 //!                                     [--format table|jsonl|prom]
@@ -61,13 +63,17 @@ fn usage() -> ExitCode {
                      --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M\n\
          chaos     — fault-injected threaded run exercising supervision;\n\
                      --items N, --panic-prob P (default 0.05), --seed S, --batch N,\n\
-                     --workers N, --telemetry FILE, --interval-ms M\n\
+                     --workers N, --checkpoint N, --crash-at-epoch N (every worker panics\n\
+                     once while snapshotting epoch N), --crash-after-tuples N (every worker\n\
+                     panics once on its N-th tuple), --telemetry FILE, --interval-ms M\n\
          monitor   — live telemetry of a threaded run; --items N, --batch N, --workers N,\n\
                      --interval-ms M, --format table|jsonl|prom (default table)\n\
          \n\
          --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1);\n\
          --workers N selects the worker-pool executor with N threads (0 = one per core;\n\
-         default: the file's <settings workers=\"N\"/>, else one dedicated thread per actor)\n\
+         default: the file's <settings workers=\"N\"/>, else one dedicated thread per actor);\n\
+         --checkpoint N enables epoch-aligned checkpointing every N source items (0 = off;\n\
+         default: the file's <settings checkpoint-interval=\"N\"/>, else off)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan\n\
          oracle    — cross-validate Algorithm 1/2 predictions against the simulator (and a\n\
                      threaded smoke run) over seeded topologies; exits nonzero on divergence.\n\
@@ -93,11 +99,11 @@ fn telemetry_config(args: &[String]) -> TelemetryConfig {
     TelemetryConfig::default().with_interval(Duration::from_millis(interval_ms))
 }
 
-fn load(path: &str) -> Result<(Topology, usize, Option<usize>), String> {
+fn load(path: &str) -> Result<(Topology, spinstreams_xml::RuntimeSettings), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let topo = topology_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
     let settings = runtime_settings_from_xml(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok((topo, settings.batch_size.unwrap_or(1), settings.workers))
+    Ok((topo, settings))
 }
 
 /// `spinstreams oracle` — the differential sweep. Unlike every other
@@ -201,7 +207,7 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let (topo, xml_batch, xml_workers) = match load(path) {
+    let (topo, xml_settings) = match load(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -217,7 +223,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => xml_batch,
+        None => xml_settings.batch_size.unwrap_or(1),
     };
     // Same precedence for the executor: --workers N beats the document's
     // <settings workers="N"/>; absent both, thread-per-actor.
@@ -229,7 +235,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => xml_workers,
+        None => xml_settings.workers,
+    };
+    // And for checkpointing: --checkpoint N beats the document's
+    // <settings checkpoint-interval="N"/>; `--checkpoint 0` forces it off.
+    let checkpoint = match flag_value(&args, "--checkpoint") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n).filter(|n| *n > 0),
+            Err(_) => {
+                eprintln!("--checkpoint must be a non-negative integer (0 = off)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => xml_settings.checkpoint_interval,
     };
 
     match cmd.as_str() {
@@ -353,9 +371,11 @@ fn main() -> ExitCode {
                 .unwrap_or(20_000);
             let mut executor = experiment_executor(0x70_01);
             // Accepted for config parity; virtual time ignores batching
-            // (see `SimConfig::batch_size`).
+            // (see `SimConfig::batch_size`) and models checkpoint epochs
+            // deterministically (see `SimConfig::checkpoint_interval`).
             if let Executor::VirtualTime(sim) = &mut executor {
                 sim.batch_size = batch;
+                sim.checkpoint_interval = checkpoint;
             }
             match flag_value(&args, "--telemetry") {
                 Some(out) => {
@@ -416,6 +436,27 @@ fn main() -> ExitCode {
             }
             cfg.batch_size = batch;
             cfg.workers = workers;
+            cfg.checkpoint_interval = checkpoint;
+            cfg.crash_at_epoch = match flag_value(&args, "--crash-at-epoch") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--crash-at-epoch must be a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            cfg.crash_after_tuples = match flag_value(&args, "--crash-after-tuples") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--crash-after-tuples must be a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
             if !(0.0..=1.0).contains(&cfg.panic_prob) {
                 eprintln!("--panic-prob must be in [0, 1]");
                 return ExitCode::FAILURE;
@@ -496,6 +537,7 @@ fn main() -> ExitCode {
             });
             let engine = EngineConfig {
                 batch_size: batch,
+                checkpoint_interval: checkpoint,
                 executor: match workers {
                     Some(n) => ExecutorKind::Pool { workers: n },
                     None => ExecutorKind::ThreadPerActor,

@@ -79,7 +79,7 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
 ///
 /// ```xml
 /// <topology name="...">
-///   <settings batch-size="64" workers="4"/>
+///   <settings batch-size="64" workers="4" checkpoint-interval="1000"/>
 ///   ...
 /// </topology>
 /// ```
@@ -92,6 +92,10 @@ pub struct RuntimeSettings {
     /// Pool { workers }`); `0` means auto (available parallelism), `None`
     /// keeps the default thread-per-actor executor.
     pub workers: Option<usize>,
+    /// Epoch-aligned checkpoint cadence in source items
+    /// (`EngineConfig::checkpoint_interval`); `None` disables
+    /// checkpointing (the default).
+    pub checkpoint_interval: Option<u64>,
 }
 
 /// Extracts the optional [`RuntimeSettings`] from a topology document.
@@ -124,6 +128,14 @@ pub fn runtime_settings_from_xml(text: &str) -> Result<RuntimeSettings, SchemaEr
                 .map_err(|_| invalid(format!("workers={raw:?} is not a non-negative integer")))?;
             settings.workers = Some(n);
         }
+        if let Some(raw) = node.get_attr("checkpoint-interval") {
+            let n = raw.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                invalid(format!(
+                    "checkpoint-interval={raw:?} is not a positive integer"
+                ))
+            })?;
+            settings.checkpoint_interval = Some(n);
+        }
     }
     Ok(settings)
 }
@@ -143,6 +155,9 @@ pub fn topology_to_xml_with_settings(
     }
     if let Some(workers) = settings.workers {
         attrs.push_str(&format!(" workers=\"{workers}\""));
+    }
+    if let Some(interval) = settings.checkpoint_interval {
+        attrs.push_str(&format!(" checkpoint-interval=\"{interval}\""));
     }
     if attrs.is_empty() {
         return topology_to_xml(topo, name);
@@ -535,9 +550,11 @@ mod tests {
         let settings = RuntimeSettings {
             batch_size: Some(64),
             workers: Some(4),
+            checkpoint_interval: Some(1_000),
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &settings);
-        assert!(xml.contains("<settings batch-size=\"64\" workers=\"4\"/>"));
+        assert!(xml
+            .contains("<settings batch-size=\"64\" workers=\"4\" checkpoint-interval=\"1000\"/>"));
         // The settings element is invisible to the topology parser...
         let back = topology_from_xml(&xml).unwrap();
         assert_eq!(t, back);
@@ -546,18 +563,25 @@ mod tests {
         // Each attribute also stands alone.
         let batch_only = RuntimeSettings {
             batch_size: Some(8),
-            workers: None,
+            ..RuntimeSettings::default()
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &batch_only);
         assert!(xml.contains("<settings batch-size=\"8\"/>"));
         assert_eq!(runtime_settings_from_xml(&xml).unwrap(), batch_only);
         let workers_only = RuntimeSettings {
-            batch_size: None,
             workers: Some(0), // 0 = auto-resolved pool
+            ..RuntimeSettings::default()
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &workers_only);
         assert!(xml.contains("<settings workers=\"0\"/>"));
         assert_eq!(runtime_settings_from_xml(&xml).unwrap(), workers_only);
+        let checkpoint_only = RuntimeSettings {
+            checkpoint_interval: Some(500),
+            ..RuntimeSettings::default()
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &checkpoint_only);
+        assert!(xml.contains("<settings checkpoint-interval=\"500\"/>"));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), checkpoint_only);
         // No settings: serializer emits the plain document, parser yields
         // defaults.
         let plain = topology_to_xml_with_settings(&t, "sample", &RuntimeSettings::default());
@@ -601,6 +625,22 @@ mod tests {
                     SchemaError::Invalid { .. }
                 ),
                 "workers {bad:?} must be rejected"
+            );
+        }
+        // checkpoint-interval must be a positive integer (off = omit it).
+        for bad in ["0", "-2", "many"] {
+            let doc = format!(
+                r#"<topology name="t">
+                     <settings checkpoint-interval="{bad}"/>
+                     <operator id="0" name="src" type="stateless" service-time="1"/>
+                   </topology>"#
+            );
+            assert!(
+                matches!(
+                    runtime_settings_from_xml(&doc).unwrap_err(),
+                    SchemaError::Invalid { .. }
+                ),
+                "checkpoint-interval {bad:?} must be rejected"
             );
         }
     }

@@ -23,7 +23,12 @@ meaningful):
   * on at least one topology, some pool worker count at batch 64 must
     match or beat thread-per-actor at the same batch size (the
     worker-pool sanity gate — on a single-core runner the pool mostly
-    removes context switches, it cannot add parallelism).
+    removes context switches, it cannot add parallelism);
+  * the best batch-64 configuration on pipeline and on replicated must
+    stay within 5% of the throughput recorded before the checkpointing
+    layer landed (the checkpoint-off gate — the bench runs with
+    checkpointing disabled, so any regression here is hot-path cost the
+    feature was required not to add).
 
 Exits non-zero (with a message) on the first violation.
 """
@@ -40,6 +45,11 @@ MIN_POOL_RATIO = 1.0
 # pool and the hot-path rework (thread-per-actor, same machine class).
 BASELINE_64 = {"pipeline": 2_001_882.0, "replicated": 1_686_061.0}
 MIN_BASELINE_SPEEDUP = 1.5
+# Best batch-64 tuples/sec per topology recorded in BENCH_runtime.json
+# immediately before the checkpointing layer landed. The bench never
+# enables checkpointing, so these runs must not pay for its existence.
+CHECKPOINT_OFF_BASELINE_64 = {"pipeline": 5_513_932.0, "replicated": 5_118_869.0}
+MAX_CHECKPOINT_REGRESSION = 0.05
 
 
 def fail(msg):
@@ -124,6 +134,18 @@ def validate(path):
                  f"expected >= {MIN_POOL_RATIO}x on at least one topology")
         print(f"{path}: pool executor gate — {best_pool[0]:.2f}x over threads "
               f"({best_pool[1]}, {best_pool[2]} workers, batch 64)")
+        for t, base in CHECKPOINT_OFF_BASELINE_64.items():
+            best = max(seen[(t, e, w, 64)]["tuples_per_sec"]
+                       for (e, w) in configs)
+            ratio = best / base
+            if ratio < 1.0 - MAX_CHECKPOINT_REGRESSION:
+                fail(f"{t}: best batch-64 checkpoint-off throughput is "
+                     f"{ratio:.3f}x the pre-checkpointing baseline "
+                     f"({best:,.0f} vs {base:,.0f} tup/s) — the disabled "
+                     f"checkpoint layer must stay within "
+                     f"{MAX_CHECKPOINT_REGRESSION:.0%} of it")
+            print(f"{path}: checkpoint-off gate — {t} at {ratio:.3f}x the "
+                  f"pre-checkpointing baseline")
 
     best = max(r["speedup_vs_batch1"] for r in seen.values())
     print(f"{path}: OK — {len(seen)} records ({mode} mode), "

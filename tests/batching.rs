@@ -153,6 +153,7 @@ fn sim_telemetry_export_is_byte_identical_across_batch_sizes() {
             seed: 0xBA7C4,
             intrinsic_time: false,
             batch_size,
+            checkpoint_interval: None,
         });
         predict_vs_measure_telemetry(&topo, 5_000, &executor, &tcfg, drift)
             .unwrap()

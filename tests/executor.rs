@@ -210,6 +210,7 @@ fn virtual_time_telemetry_stays_deterministic() {
             seed: 0xBA7C4,
             intrinsic_time: false,
             batch_size: 8,
+            checkpoint_interval: None,
         });
         predict_vs_measure_telemetry(&topo, 5_000, &executor, &tcfg, DriftConfig::default())
             .unwrap()

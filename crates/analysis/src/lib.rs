@@ -23,6 +23,14 @@
 //! * [`DriftMonitor`] — the §5.2 predicted-vs-measured validation run
 //!   *online*: flags operators whose live departure rates have drifted
 //!   from the Algorithm 1 predictions.
+//! * [`Reprofiler`] — the §4.1 annotation step computed *online*: service
+//!   times, selectivities, and routing probabilities continuously
+//!   re-estimated from live telemetry counters, with a flattened layout
+//!   that drops into [`DriftMonitor`] so drift reports name the stale
+//!   annotation.
+//! * [`attribute`] — bottleneck attribution: joins Algorithm 1's predicted
+//!   bottleneck with the measured one, explaining disagreement through
+//!   the blocked-time backpressure chain.
 //! * [`merge_sources`] — the fictitious-source transform (§3.1) that turns a
 //!   multi-source application into the rooted form the models require.
 //!
@@ -48,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+mod attribution;
 mod bottleneck;
 mod candidates;
 mod drift;
@@ -55,8 +64,10 @@ mod fusion;
 mod multi_source;
 mod partitioning;
 mod report;
+mod reprofile;
 mod steady_state;
 
+pub use attribution::{attribute, AttributionReport, ObservedOperator, OperatorVerdict};
 pub use bottleneck::{
     apply_replica_bound, effective_service_rate, eliminate_bottlenecks, evaluate_with_replicas,
     FissionPlan,
@@ -69,6 +80,7 @@ pub use partitioning::{
     consistent_hash_partitioning, key_partitioning, key_partitioning_for_rho, KeyAssignment,
 };
 pub use report::{format_fission_plan, format_steady_state};
+pub use reprofile::{AnnotationId, AnnotationKind, OperatorCounters, Reprofiler};
 pub use steady_state::{
     steady_state, steady_state_with_rates, BottleneckEvent, OperatorMetrics, SteadyStateReport,
 };

@@ -15,6 +15,11 @@
 //! cargo run --release -p spinstreams-bench --bin throughput [-- --smoke] [--out FILE] [--items N]
 //! ```
 //!
+//! The suite closes with a tracing-overhead measurement: the batch-64
+//! pipeline re-run with the sampled span flight recorder armed (one
+//! anchor every 64 tuples), emitted as the `tracing` section — the
+//! validator gates traced throughput at >= 0.95x untraced.
+//!
 //! `--smoke` shrinks the item counts so CI can validate the schema and
 //! plumbing in seconds; speedup assertions only make sense in full mode.
 //! `--topology NAME` restricts the sweep to one topology (the emitted
@@ -23,7 +28,8 @@
 
 use spinstreams_runtime::operators::PassThrough;
 use spinstreams_runtime::{
-    run, ActorGraph, Behavior, EngineConfig, ExecutorKind, Route, SourceConfig,
+    run, run_with_telemetry, ActorGraph, Behavior, EngineConfig, ExecutorKind, Route, SourceConfig,
+    TelemetryConfig, TraceEventKind,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -220,9 +226,59 @@ fn main() {
         }
     }
 
+    // Tracing-overhead measurement: the batch-64 pipeline under
+    // thread-per-actor, untraced vs the sampled flight recorder (one span
+    // anchor every 64 tuples). Longer runs than the sweep (sampler
+    // start/stop is a fixed cost that must amortize, not dominate) and
+    // best-of-five per side to shake scheduler noise out of the ratio the
+    // validator gates on.
+    const SPAN_SAMPLE: u64 = 64;
+    let trace_items = if smoke { items } else { items.max(1_000_000) };
+    let trace_reps = if smoke { 3 } else { 5 };
+    let trace_cfg = EngineConfig {
+        mailbox_capacity: 256,
+        send_timeout: Duration::from_secs(60),
+        seed: 0xBE9C4,
+        batch_size: 64,
+        executor: ExecutorKind::ThreadPerActor,
+        ..EngineConfig::default()
+    };
+    let tcfg = TelemetryConfig::default()
+        .with_interval(Duration::from_millis(100))
+        .with_span_sample(SPAN_SAMPLE);
+    // Interleave the sides: machine speed drifts over a suite this long,
+    // and running all untraced reps before all traced ones would fold
+    // that drift into the ratio as bias.
+    let mut untraced_rate = 0.0f64;
+    let mut traced_rate = 0.0f64;
+    let mut span_events = 0usize;
+    for _ in 0..trace_reps {
+        let (graph, sink) = pipeline(trace_items);
+        let report = run(graph, &trace_cfg).expect("bench graph is valid");
+        assert_eq!(report.actor(sink).items_in, trace_items);
+        untraced_rate = untraced_rate.max(trace_items as f64 / report.wall.as_secs_f64());
+
+        let (graph, sink) = pipeline(trace_items);
+        let (report, telemetry) =
+            run_with_telemetry(graph, &trace_cfg, &tcfg).expect("bench graph is valid");
+        assert_eq!(report.actor(sink).items_in, trace_items);
+        span_events = telemetry
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Span { .. }))
+            .count();
+        traced_rate = traced_rate.max(trace_items as f64 / report.wall.as_secs_f64());
+    }
+    let tracing_ratio = traced_rate / untraced_rate;
+    println!(
+        "tracing overhead (pipeline, threads, batch 64, 1/{SPAN_SAMPLE} sampled): \
+         {untraced_rate:.0} untraced vs {traced_rate:.0} traced tuples/s \
+         ({tracing_ratio:.3}x, {span_events} span event(s) retained)"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/2\",");
+    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/3\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -256,7 +312,15 @@ fn main() {
             r.speedup_vs_batch1
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"topology\": \"pipeline\", \"executor\": \"threads\", \
+         \"batch_size\": 64, \"span_sample\": {SPAN_SAMPLE}, \"items\": {trace_items}, \
+         \"untraced_tuples_per_sec\": {untraced_rate:.1}, \
+         \"traced_tuples_per_sec\": {traced_rate:.1}, \
+         \"ratio\": {tracing_ratio:.4}, \"span_events\": {span_events}}}"
+    );
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write bench output");
     println!("wrote {out_path}");

@@ -325,9 +325,21 @@ struct DeliveryCtx {
     /// update in [`flush_all`](Self::flush_all) instead of one RMW per
     /// consumed tuple.
     pending_sink_outs: u64,
+    /// Run-length latency coalescing for the sink histogram: the current
+    /// run's observed latency and its repeat count. Source stamps are
+    /// batch-granular and the sink clock is batch-cached, so consecutive
+    /// tuples usually observe the *same* latency — folding a run into one
+    /// `record_n` replaces four shared-atomic RMWs per consumed tuple
+    /// with four per distinct value.
+    pending_lat_ns: u64,
+    pending_lat_n: u64,
     /// Present only under the pool executor: lets a blocked flush run
     /// other ready actors instead of parking its worker thread.
     pool: Option<Arc<PoolShared>>,
+    /// Span-sampling mask (telemetry on, `span_sample > 0`): a data tuple
+    /// is flight-recorded at every hop iff `seq & mask == 0`. `None`
+    /// disables span tracing so the hot path never tests per-tuple.
+    span_mask: Option<u64>,
     /// Epoch-marker interval (sources inject one marker per `n` emitted
     /// items); `None` disables checkpointing for the whole run.
     checkpoint_interval: Option<u64>,
@@ -422,9 +434,15 @@ impl DeliveryCtx {
                     // end-to-end latency span. Never coalesced: there is
                     // no mailbox hop to amortize. Workers stamp with the
                     // batch-cached clock (one read per drained batch).
-                    if let Some(hist) = &self.latency {
+                    if self.latency.is_some() {
                         if let Some(lat) = tuple.latency_ns(self.sink_now()) {
-                            hist.record(lat);
+                            if self.pending_lat_n > 0 && lat == self.pending_lat_ns {
+                                self.pending_lat_n += 1;
+                            } else {
+                                self.flush_latency();
+                                self.pending_lat_ns = lat;
+                                self.pending_lat_n = 1;
+                            }
                         }
                     }
                     self.pending_sink_outs += 1;
@@ -463,6 +481,10 @@ impl DeliveryCtx {
         if outcome.blocked > Duration::ZERO {
             let ns = outcome.blocked.as_nanos() as u64;
             self.metrics.blocked_ns.fetch_add(ns, Ordering::Relaxed);
+            // Charge the stall to the *receiving* mailbox as well: the
+            // receiver-edge view ("how long did producers stall on my
+            // inbox") is what the bottleneck attribution joins against.
+            sender.add_stall_ns(ns);
             self.trace_event(TraceEventKind::Blocked { ns });
         }
         if outcome.delivered > 0 {
@@ -496,6 +518,7 @@ impl DeliveryCtx {
                 .record_out_n(self.sink_now(), self.pending_sink_outs);
             self.pending_sink_outs = 0;
         }
+        self.flush_latency();
         if self.buffered > 0 {
             for dest in 0..self.out_bufs.len() {
                 if !self.out_bufs[dest].is_empty() {
@@ -506,6 +529,16 @@ impl DeliveryCtx {
         if self.batch_size > 1 {
             // Batch-1 never consults the deadline; skip the clock read.
             self.last_flush = Instant::now();
+        }
+    }
+
+    /// Folds the current latency run into the shared sink histogram.
+    fn flush_latency(&mut self) {
+        if self.pending_lat_n > 0 {
+            if let Some(hist) = &self.latency {
+                hist.record_n(self.pending_lat_ns, self.pending_lat_n);
+            }
+            self.pending_lat_n = 0;
         }
     }
 
@@ -617,8 +650,7 @@ fn pace_until(target: Instant) {
 }
 
 /// Runs a source actor to completion on the calling thread, returning its
-/// private dead-letter log for the shutdown merge. Sources never refresh
-/// the batch clock cache: their emission times *are* the measurement.
+/// private dead-letter log for the shutdown merge.
 fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
     ctx.trace_event(TraceEventKind::ActorStarted);
     let mut rng = XorShift64::new(cfg.seed);
@@ -628,6 +660,22 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
     } else {
         None
     };
+    // Departure stamping (telemetry on): a paced source reads the clock
+    // per tuple — it sleeps between emissions, so the read is free and the
+    // emission time *is* the measurement. An unpaced source saturates the
+    // pipeline, where one `clock_gettime` per tuple is a measurable tax on
+    // the hot path; it stamps a whole coalescing batch with one reading,
+    // bounding the skew to one batch — the same bound the sink side
+    // already accepts for latency termination.
+    let stamp_every = if period.is_some() {
+        1
+    } else {
+        ctx.batch_size.max(1) as u64
+    };
+    let mut stamp_ns = 0u64;
+    // Countdown instead of `seq % stamp_every`: a u64 division per emitted
+    // tuple is measurable at saturation rates.
+    let mut until_stamp = 0u64;
     let mut next_t = Instant::now();
     for seq in 0..cfg.count {
         if let Some(p) = period {
@@ -652,7 +700,12 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
         }
         let tuple = Tuple::new(key, seq, values);
         let tuple = if ctx.stamp {
-            tuple.stamped(ctx.now_ns())
+            if until_stamp == 0 {
+                stamp_ns = ctx.now_ns();
+                until_stamp = stamp_every;
+            }
+            until_stamp -= 1;
+            tuple.stamped(stamp_ns)
         } else {
             tuple
         };
@@ -797,10 +850,37 @@ impl WorkerTask {
         // upstream guarantee no data envelope sits behind it, so every
         // counted envelope is also processed (possibly via the alignment
         // buffer).
-        let arrived = inbox
-            .iter()
-            .filter(|e| matches!(e, Envelope::Data(_)))
-            .count() as u64;
+        // Flight recorder: sampled tuples leave one span event per hop,
+        // stamped with the batch-cached clock (same skew bound as sink
+        // latency). The span test shares the arrival-counting pass and
+        // hoists the clock and log handle out of the loop; off (`None`)
+        // the hot path never tests per-tuple.
+        let arrived = match (self.ctx.span_mask, self.ctx.trace.as_ref()) {
+            (Some(mask), Some(trace)) => {
+                let now = self.ctx.sink_now();
+                let mut n = 0u64;
+                for env in inbox.iter() {
+                    if let Envelope::Data(t) = env {
+                        n += 1;
+                        if t.seq & mask == 0 && t.src_ns != 0 {
+                            trace.record(
+                                now,
+                                self.ctx.id,
+                                TraceEventKind::Span {
+                                    tuple_seq: t.seq,
+                                    src_ns: t.src_ns,
+                                },
+                            );
+                        }
+                    }
+                }
+                n
+            }
+            _ => inbox
+                .iter()
+                .filter(|e| matches!(e, Envelope::Data(_)))
+                .count() as u64,
+        };
         if arrived > 0 {
             self.ctx
                 .metrics
@@ -1786,7 +1866,10 @@ fn run_with(
             last_flush: started_at,
             cached_now_ns: 0,
             pending_sink_outs: 0,
+            pending_lat_ns: 0,
+            pending_lat_n: 0,
             pool: None,
+            span_mask: telemetry.and_then(|t| t.span_mask()),
             checkpoint_interval: ckpt_interval,
             coordinator: coordinator.clone(),
         };
@@ -1843,6 +1926,7 @@ fn run_with(
             let hub = Arc::clone(hub);
             let metrics = metrics.clone();
             let probes = Arc::clone(&probes);
+            let coord = coordinator.clone();
             let interval = tcfg.interval.max(Duration::from_micros(100));
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
             let stop_flag = Arc::clone(&stop);
@@ -1861,7 +1945,11 @@ fn run_with(
                         }
                         next += interval;
                         let t_ns = started_at.elapsed().as_nanos() as u64;
-                        hub.sample(t_ns, &gather_raw(&metrics, &probes));
+                        hub.sample(
+                            t_ns,
+                            &gather_raw(&metrics, &probes),
+                            coord.as_ref().and_then(|c| c.last_complete()),
+                        );
                     }
                 })
                 .expect("spawn telemetry sampler thread");
@@ -2011,8 +2099,15 @@ fn run_with(
         let _ = handle.join();
     }
     let telemetry_report = hub.map(|hub| {
+        // Final end-of-run sample: every actor thread has been joined, so
+        // this snapshot carries the *final* cumulative counters — exports
+        // never end on a stale periodic tick.
         let t_ns = started_at.elapsed().as_nanos() as u64;
-        hub.sample(t_ns, &gather_raw(&metrics, &probes));
+        hub.sample(
+            t_ns,
+            &gather_raw(&metrics, &probes),
+            coordinator.as_ref().and_then(|c| c.last_complete()),
+        );
         Arc::try_unwrap(hub)
             .ok()
             .expect("every telemetry holder has been joined")
@@ -2045,12 +2140,19 @@ fn run_with(
     ))
 }
 
-/// Loads every actor's raw cumulative counters plus current queue depth.
+/// Loads every actor's raw cumulative counters plus current queue depth
+/// and the cumulative producer stall time charged to its inbox.
 fn gather_raw(metrics: &[Arc<ActorMetrics>], probes: &[Option<DepthProbe>]) -> Vec<RawCounters> {
     metrics
         .iter()
         .zip(probes)
-        .map(|(m, p)| RawCounters::from_metrics(m, p.as_ref().map(DepthProbe::len)))
+        .map(|(m, p)| {
+            RawCounters::from_metrics(
+                m,
+                p.as_ref().map(DepthProbe::len),
+                p.as_ref().map(DepthProbe::stalled_ns).unwrap_or(0),
+            )
+        })
         .collect()
 }
 

@@ -130,6 +130,6 @@ pub use supervision::{
     RestartPolicy, SupervisionPolicy, SupervisorSpec,
 };
 pub use telemetry::{
-    LatencyHistogram, LatencySnapshot, TelemetryConfig, TelemetryReport, TelemetrySnapshot,
-    TraceEvent, TraceEventKind, TraceLog,
+    assemble_spans, LatencyHistogram, LatencySnapshot, SpanHop, SpanPath, TelemetryConfig,
+    TelemetryReport, TelemetrySnapshot, TraceEvent, TraceEventKind, TraceLog,
 };

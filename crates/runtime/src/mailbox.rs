@@ -32,7 +32,7 @@
 use spinstreams_core::Tuple;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::{self, Thread, ThreadId};
 use std::time::{Duration, Instant};
@@ -249,6 +249,14 @@ struct Inner {
     /// ready, so producers blocked *inside* a batched send still get their
     /// consumer scheduled.
     wake_hook: OnceLock<Arc<dyn Fn() + Send + Sync>>,
+    /// Cumulative nanoseconds producers spent blocked on backpressure while
+    /// pushing into *this* mailbox. This is the receiver-edge view of the
+    /// same stalls the senders record in their own `blocked_ns`: charging
+    /// the time to the congested inbox lets the telemetry layer attribute
+    /// backpressure to the operator causing it, not just the operators
+    /// suffering it. Accumulated off the fast path (only when a send
+    /// actually blocked), read by [`DepthProbe::stalled_ns`].
+    stall_ns: AtomicU64,
 }
 
 // SAFETY: the `UnsafeCell` slot values are only accessed by the thread that
@@ -608,6 +616,7 @@ fn new_inner(capacity: usize, mp: bool) -> Arc<Inner> {
             producers: Vec::new(),
         }),
         wake_hook: OnceLock::new(),
+        stall_ns: AtomicU64::new(0),
     })
 }
 
@@ -829,6 +838,16 @@ impl Sender {
         }
     }
 
+    /// Charges `ns` nanoseconds of producer backpressure stall to this
+    /// mailbox (the receiver-edge side of the sender's `blocked_ns`). The
+    /// engine's flush path calls this once per blocked batch, so both the
+    /// thread-per-actor and the pool send paths account identically.
+    pub(crate) fn add_stall_ns(&self, ns: u64) {
+        // Relaxed: a monotonic statistics counter, read only by the
+        // sampler; no ordering with the data path is needed.
+        self.inner.stall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Current queue length (approximate; for tests and diagnostics).
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -871,6 +890,14 @@ impl DepthProbe {
     /// The mailbox capacity.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
+    }
+
+    /// Cumulative nanoseconds producers spent blocked on backpressure
+    /// pushing into this mailbox — congestion charged to the *receiving*
+    /// actor's inbox, the quantity the bottleneck attribution engine joins
+    /// with utilization.
+    pub fn stalled_ns(&self) -> u64 {
+        self.inner.stall_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -1166,6 +1193,19 @@ mod tests {
         assert!(matches!(rx.recv(), RecvResult::Envelope(_)));
         assert_eq!(rx.recv(), RecvResult::Disconnected);
         assert_eq!(probe.len(), 0);
+    }
+
+    #[test]
+    fn stall_accounting_is_probe_visible() {
+        let (tx, _rx) = channel(2);
+        let probe = tx.depth_probe();
+        assert_eq!(probe.stalled_ns(), 0);
+        tx.add_stall_ns(1_500);
+        tx.add_stall_ns(500);
+        assert_eq!(probe.stalled_ns(), 2_000);
+        // A cloned sender charges the same mailbox.
+        tx.clone().add_stall_ns(1);
+        assert_eq!(probe.stalled_ns(), 2_001);
     }
 
     #[test]

@@ -124,6 +124,10 @@ struct SimActor {
     items_out: u64,
     busy_ns: u64,
     blocked_ns: u64,
+    /// Receiver-edge stall view: total virtual time producers spent
+    /// blocked on *this* actor's full mailbox (mirrors the threaded
+    /// engine's per-mailbox stall counter).
+    inbox_stall_ns: u64,
     first_out_ns: u64,
     last_out_ns: u64,
 }
@@ -180,6 +184,11 @@ struct Sim {
     stamp: bool,
     /// Include real measured compute in virtual service times.
     intrinsic_time: bool,
+    /// Flight-recorder sampling mask (see the engine's `DeliveryCtx`):
+    /// a tuple leaves one span event per hop iff `seq & mask == 0`.
+    span_mask: Option<u64>,
+    /// Epoch-marker interval, for the modeled per-sample epoch counter.
+    ckpt_interval: Option<u64>,
 }
 
 impl Sim {
@@ -211,6 +220,8 @@ impl Sim {
                     items_in: a.items_in,
                     items_out: a.items_out,
                     busy_ns: a.busy_ns,
+                    blocked_ns: a.blocked_ns,
+                    inbox_stall_ns: a.inbox_stall_ns,
                     queue_depth: if matches!(a.kind, Kind::Source { .. }) {
                         None
                     } else {
@@ -219,8 +230,23 @@ impl Sim {
                     ..RawCounters::default()
                 })
                 .collect();
-            hub.sample(t_ns, &raw);
+            hub.sample(t_ns, &raw, self.modeled_epoch());
         }
+    }
+
+    /// Models the checkpoint ledger for snapshots: ideal operators never
+    /// fail, so the last complete epoch at any instant is bounded by the
+    /// slowest source's emitted-marker count.
+    fn modeled_epoch(&self) -> Option<u64> {
+        let iv = self.ckpt_interval?;
+        self.actors
+            .iter()
+            .filter_map(|a| match &a.kind {
+                Kind::Source { produced, .. } => Some(*produced / iv),
+                Kind::Worker { .. } => None,
+            })
+            .min()
+            .filter(|&e| e > 0)
     }
 
     /// Runs the operator on one item, returning the virtual service time.
@@ -332,6 +358,20 @@ impl Sim {
             return;
         };
         self.actors[a].items_in += 1;
+        // Flight recorder: sampled tuples leave one span event per hop,
+        // stamped at the exact virtual instant service starts.
+        if let Some(mask) = self.span_mask {
+            if item.seq & mask == 0 && item.src_ns != 0 {
+                self.trace(
+                    now,
+                    a,
+                    TraceEventKind::Span {
+                        tuple_seq: item.seq,
+                        src_ns: item.src_ns,
+                    },
+                );
+            }
+        }
         self.actors[a].state = AState::Busy;
         self.wake_waiters(a, now);
         let service = self.run_operator(a, item);
@@ -348,6 +388,7 @@ impl Sim {
             let since = self.actors[w].blocked_since;
             let blocked = now.saturating_sub(since);
             self.actors[w].blocked_ns += blocked;
+            self.actors[dest].inbox_stall_ns += blocked;
             if blocked > 0 {
                 self.trace(now, w, TraceEventKind::Blocked { ns: blocked });
             }
@@ -515,6 +556,8 @@ fn simulate_with(
         hub: hub.clone(),
         stamp: hub.is_some(),
         intrinsic_time: config.intrinsic_time,
+        span_mask: telemetry.and_then(|t| t.span_mask()),
+        ckpt_interval: config.checkpoint_interval.filter(|&iv| iv > 0),
     };
     for (i, spec) in actors.into_iter().enumerate() {
         let downstream: Vec<usize> = {
@@ -568,6 +611,7 @@ fn simulate_with(
             items_out: 0,
             busy_ns: 0,
             blocked_ns: 0,
+            inbox_stall_ns: 0,
             first_out_ns: u64::MAX,
             last_out_ns: 0,
         });

@@ -36,7 +36,7 @@ use crate::ActorId;
 use std::collections::VecDeque;
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -59,6 +59,14 @@ pub struct TelemetryConfig {
     /// Called synchronously with every snapshot as it is taken — the hook
     /// exporters (JSON-lines files, live monitors) attach to.
     pub on_snapshot: Option<SnapshotCallback>,
+    /// Causal span-tracing sample period: `0` disables span tracing
+    /// (default); any other value is rounded up to a power of two `N`, and
+    /// every tuple whose source sequence number is a multiple of `N`
+    /// becomes a span anchor — each actor that drains it records a
+    /// [`TraceEventKind::Span`] hop, yielding a sampled flight-recorder
+    /// path through the graph. The power-of-two constraint keeps the
+    /// per-tuple gate to one mask-and-compare on the hot path.
+    pub span_sample: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -68,6 +76,7 @@ impl Default for TelemetryConfig {
             ring_capacity: 1024,
             trace_capacity: 4096,
             on_snapshot: None,
+            span_sample: 0,
         }
     }
 }
@@ -79,6 +88,7 @@ impl fmt::Debug for TelemetryConfig {
             .field("ring_capacity", &self.ring_capacity)
             .field("trace_capacity", &self.trace_capacity)
             .field("on_snapshot", &self.on_snapshot.as_ref().map(|_| "Fn(..)"))
+            .field("span_sample", &self.span_sample)
             .finish()
     }
 }
@@ -88,6 +98,23 @@ impl TelemetryConfig {
     pub fn with_interval(mut self, interval: Duration) -> Self {
         self.interval = interval;
         self
+    }
+
+    /// Enables causal span tracing, sampling one tuple in `period`
+    /// (rounded up to a power of two; 0 disables) as a span anchor
+    /// (builder style).
+    pub fn with_span_sample(mut self, period: u64) -> Self {
+        self.span_sample = period;
+        self
+    }
+
+    /// The span sampling mask: a tuple is traced iff
+    /// `seq & mask == 0`. `None` when span tracing is disabled.
+    pub(crate) fn span_mask(&self) -> Option<u64> {
+        match self.span_sample {
+            0 => None,
+            n => Some(n.next_power_of_two() - 1),
+        }
     }
 
     /// Sets the snapshot subscriber (builder style).
@@ -137,10 +164,22 @@ impl LatencyHistogram {
 
     /// Records one latency observation.
     pub fn record(&self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` identical latency observations in one update. The
+    /// engine's sink path run-length-coalesces consecutive equal
+    /// latencies (batch-granular stamps make them common) so a whole run
+    /// costs four shared-atomic RMWs instead of `4 * n`.
+    pub fn record_n(&self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let bucket = ns.max(1).ilog2() as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(ns.saturating_mul(n), Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -260,6 +299,19 @@ pub enum TraceEventKind {
         /// Tuples replayed through the operator, outputs suppressed.
         replayed: u64,
     },
+    /// One hop of a sampled flight-recorder span: a span-anchor tuple
+    /// (selected by [`TelemetryConfig::span_sample`]) was drained by this
+    /// actor. The event's `t_ns` is the batch-granular processing time;
+    /// joining the hops of one `(tuple_seq, src_ns)` identity in trace
+    /// order (see [`assemble_spans`]) yields the tuple's causal path and
+    /// per-hop sojourn times through the graph.
+    Span {
+        /// The traced tuple's source sequence number (span identity).
+        tuple_seq: u64,
+        /// The tuple's source timestamp — hop zero of the span, and the
+        /// disambiguator when several sources share sequence numbers.
+        src_ns: u64,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -275,6 +327,7 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::DeadLetter { .. } => write!(f, "dead-letter"),
             TraceEventKind::CheckpointCompleted { .. } => write!(f, "checkpoint-completed"),
             TraceEventKind::Recovered { .. } => write!(f, "recovered"),
+            TraceEventKind::Span { .. } => write!(f, "span"),
         }
     }
 }
@@ -314,6 +367,9 @@ impl TraceEvent {
             TraceEventKind::Recovered { epoch, replayed } => {
                 let _ = write!(s, ",\"epoch\":{epoch},\"replayed\":{replayed}");
             }
+            TraceEventKind::Span { tuple_seq, src_ns } => {
+                let _ = write!(s, ",\"tuple_seq\":{tuple_seq},\"src_ns\":{src_ns}");
+            }
             _ => {}
         }
         s.push('}');
@@ -324,24 +380,31 @@ impl TraceEvent {
 struct TraceInner {
     entries: Vec<TraceEvent>,
     capacity: usize,
-    total: u64,
 }
 
 /// A capacity-bounded, concurrently-writable log of [`TraceEvent`]s.
 ///
 /// Like the [`DeadLetterLog`](crate::DeadLetterLog), the first `capacity`
 /// events are kept verbatim and the rest only counted, so event storms
-/// cannot exhaust memory while sequence numbers stay exact.
+/// cannot exhaust memory while sequence numbers stay exact. Once the log
+/// is full, [`record`](Self::record) degrades to one relaxed atomic
+/// increment — a saturated pipeline emitting blocked/span events at
+/// mailbox rates must not serialize its actor threads on this mutex.
 pub struct TraceLog {
     inner: Mutex<TraceInner>,
+    /// Events recorded so far, including any beyond capacity. Every
+    /// record increments this and pushes iff the log is below capacity,
+    /// so the retained entries are always the contiguous seq prefix.
+    total: AtomicU64,
+    /// Set once `entries` reaches `capacity`: lock-free early exit.
+    full: AtomicBool,
 }
 
 impl fmt::Debug for TraceLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.lock();
         f.debug_struct("TraceLog")
-            .field("total", &inner.total)
-            .field("retained", &inner.entries.len())
+            .field("total", &self.total())
+            .field("retained", &self.lock().entries.len())
             .finish()
     }
 }
@@ -353,8 +416,9 @@ impl TraceLog {
             inner: Mutex::new(TraceInner {
                 entries: Vec::new(),
                 capacity,
-                total: 0,
             }),
+            total: AtomicU64::new(0),
+            full: AtomicBool::new(capacity == 0),
         }
     }
 
@@ -364,22 +428,28 @@ impl TraceLog {
 
     /// Records one event, assigning it the next global sequence number.
     pub fn record(&self, t_ns: u64, actor: ActorId, kind: TraceEventKind) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if self.full.load(Ordering::Relaxed) {
+            return;
+        }
         let mut inner = self.lock();
-        let seq = inner.total;
-        inner.total += 1;
         if inner.entries.len() < inner.capacity {
+            let seq = inner.entries.len() as u64;
             inner.entries.push(TraceEvent {
                 seq,
                 t_ns,
                 actor,
                 kind,
             });
+            if inner.entries.len() == inner.capacity {
+                self.full.store(true, Ordering::Relaxed);
+            }
         }
     }
 
     /// Total number of events recorded (including any beyond capacity).
     pub fn total(&self) -> u64 {
-        self.lock().total
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Clones the retained events, in sequence order.
@@ -417,6 +487,28 @@ pub struct ActorSample {
     pub dead_letters: u64,
     /// Cumulative items dropped on send timeout.
     pub dropped: u64,
+    /// Cumulative nanoseconds spent inside the operator (the numerator of
+    /// the online service-time estimate `µ̂ = Δbusy_ns / Δitems_in`).
+    pub busy_ns: u64,
+    /// Cumulative nanoseconds this actor spent blocked sending downstream
+    /// (backpressure it *suffered*).
+    pub blocked_ns: u64,
+    /// Cumulative nanoseconds upstream producers spent blocked pushing
+    /// into this actor's mailbox (backpressure it *caused*; 0 for
+    /// sources, which have no mailbox).
+    pub inbox_stall_ns: u64,
+    /// Cumulative checkpoint snapshots captured.
+    pub snapshots: u64,
+    /// Cumulative serialized snapshot bytes.
+    pub snapshot_bytes: u64,
+    /// Cumulative nanoseconds spent aligned-stalled on epoch barriers.
+    pub align_stall_ns: u64,
+    /// Cumulative state recoveries after restart.
+    pub recoveries: u64,
+    /// Cumulative tuples replayed during recoveries.
+    pub replayed: u64,
+    /// Cumulative replay-buffer overflows (degraded recoveries).
+    pub replay_overflows: u64,
 }
 
 /// Per-sink latency summary within a [`TelemetrySnapshot`].
@@ -446,6 +538,9 @@ pub struct TelemetrySnapshot {
     pub latencies: Vec<SinkLatency>,
     /// Total trace events recorded so far.
     pub trace_total: u64,
+    /// Last epoch whose checkpoint completed on every actor (`None` when
+    /// checkpointing is off or no epoch has completed yet).
+    pub last_complete_epoch: Option<u64>,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -506,14 +601,26 @@ impl TelemetrySnapshot {
             let _ = write!(
                 s,
                 ",\"arrival_rate\":{:.3},\"departure_rate\":{:.3},\"utilization\":{:.4},\
-                 \"panics\":{},\"restarts\":{},\"dead_letters\":{},\"dropped\":{}}}",
+                 \"panics\":{},\"restarts\":{},\"dead_letters\":{},\"dropped\":{},\
+                 \"busy_ns\":{},\"blocked_ns\":{},\"inbox_stall_ns\":{},\
+                 \"snapshots\":{},\"snapshot_bytes\":{},\"align_stall_ns\":{},\
+                 \"recoveries\":{},\"replayed\":{},\"replay_overflows\":{}}}",
                 a.arrival_rate,
                 a.departure_rate,
                 a.utilization,
                 a.panics,
                 a.restarts,
                 a.dead_letters,
-                a.dropped
+                a.dropped,
+                a.busy_ns,
+                a.blocked_ns,
+                a.inbox_stall_ns,
+                a.snapshots,
+                a.snapshot_bytes,
+                a.align_stall_ns,
+                a.recoveries,
+                a.replayed,
+                a.replay_overflows
             );
         }
         s.push_str("],\"latency\":[");
@@ -535,6 +642,13 @@ impl TelemetrySnapshot {
             );
         }
         let _ = write!(s, "],\"trace_total\":{}", self.trace_total);
+        s.push_str(",\"last_complete_epoch\":");
+        match self.last_complete_epoch {
+            Some(e) => {
+                let _ = write!(s, "{e}");
+            }
+            None => s.push_str("null"),
+        }
         if !extra_fields.is_empty() {
             s.push(',');
             s.push_str(extra_fields);
@@ -577,6 +691,81 @@ impl TelemetryReport {
     }
 }
 
+/// One hop of an assembled flight-recorder span: the traced tuple was
+/// drained by `actor` at `t_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHop {
+    /// The actor that processed the traced tuple on this hop.
+    pub actor: ActorId,
+    /// Batch-granular processing timestamp (ns since run start).
+    pub t_ns: u64,
+    /// Sojourn on this hop: time since the previous hop (or since the
+    /// source stamp for the first hop). Queue-wait plus service plus any
+    /// upstream flush delay; the attribution layer splits it further
+    /// using the re-profiled service times and the inbox stall counters.
+    pub hop_ns: u64,
+}
+
+/// A sampled tuple's assembled causal path through the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanPath {
+    /// The traced tuple's source sequence number.
+    pub tuple_seq: u64,
+    /// The tuple's source timestamp (span start, hop zero).
+    pub src_ns: u64,
+    /// Hops in causal (trace) order, typically ending at a sink.
+    pub hops: Vec<SpanHop>,
+}
+
+impl SpanPath {
+    /// End-to-end latency of the span: last hop timestamp minus the
+    /// source stamp (`None` for an empty span).
+    pub fn total_ns(&self) -> Option<u64> {
+        self.hops.last().map(|h| h.t_ns.saturating_sub(self.src_ns))
+    }
+}
+
+/// Groups the retained [`TraceEventKind::Span`] events by traced tuple
+/// (`(tuple_seq, src_ns)` identity) and derives per-hop sojourn deltas
+/// from the source stamp.
+///
+/// Hops keep the trace's record order, which is causal for any single
+/// tuple (a tuple is drained hop-by-hop in graph order). Spans follow the
+/// `seq`/`src_ns` identity stamped at the source; operators that emit
+/// fresh tuples (flatmap-style expansion) start new identities and end
+/// the traced span at that operator. The returned paths are sorted by
+/// `(src_ns, tuple_seq)`, so the output is deterministic whenever the
+/// trace is.
+pub fn assemble_spans(events: &[TraceEvent]) -> Vec<SpanPath> {
+    let mut paths: Vec<SpanPath> = Vec::new();
+    for ev in events {
+        if let TraceEventKind::Span { tuple_seq, src_ns } = ev.kind {
+            let path = match paths
+                .iter_mut()
+                .find(|p| p.tuple_seq == tuple_seq && p.src_ns == src_ns)
+            {
+                Some(p) => p,
+                None => {
+                    paths.push(SpanPath {
+                        tuple_seq,
+                        src_ns,
+                        hops: Vec::new(),
+                    });
+                    paths.last_mut().expect("just pushed")
+                }
+            };
+            let prev_t = path.hops.last().map(|h| h.t_ns).unwrap_or(src_ns);
+            path.hops.push(SpanHop {
+                actor: ev.actor,
+                t_ns: ev.t_ns,
+                hop_ns: ev.t_ns.saturating_sub(prev_t),
+            });
+        }
+    }
+    paths.sort_by_key(|p| (p.src_ns, p.tuple_seq));
+    paths
+}
+
 /// Raw cumulative counters for one actor at one sampling instant, fed to
 /// [`TelemetryHub::sample`] by whichever executor owns the counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -584,24 +773,45 @@ pub(crate) struct RawCounters {
     pub items_in: u64,
     pub items_out: u64,
     pub busy_ns: u64,
+    pub blocked_ns: u64,
+    pub inbox_stall_ns: u64,
     pub panics: u64,
     pub restarts: u64,
     pub dead_letters: u64,
     pub dropped: u64,
+    pub snapshots: u64,
+    pub snapshot_bytes: u64,
+    pub align_stall_ns: u64,
+    pub recoveries: u64,
+    pub replayed: u64,
+    pub replay_overflows: u64,
     pub queue_depth: Option<usize>,
 }
 
 impl RawCounters {
-    /// Loads the counters from an actor's shared atomic metrics.
-    pub(crate) fn from_metrics(m: &ActorMetrics, queue_depth: Option<usize>) -> Self {
+    /// Loads the counters from an actor's shared atomic metrics, joined
+    /// with the mailbox-side stall accounting (`inbox_stall_ns`).
+    pub(crate) fn from_metrics(
+        m: &ActorMetrics,
+        queue_depth: Option<usize>,
+        inbox_stall_ns: u64,
+    ) -> Self {
         RawCounters {
             items_in: m.items_in.load(Ordering::Relaxed),
             items_out: m.items_out.load(Ordering::Relaxed),
             busy_ns: m.busy_ns.load(Ordering::Relaxed),
+            blocked_ns: m.blocked_ns.load(Ordering::Relaxed),
+            inbox_stall_ns,
             panics: m.panics.load(Ordering::Relaxed),
             restarts: m.restarts.load(Ordering::Relaxed),
             dead_letters: m.dead_letters.load(Ordering::Relaxed),
             dropped: m.dropped.load(Ordering::Relaxed),
+            snapshots: m.snapshots.load(Ordering::Relaxed),
+            snapshot_bytes: m.snapshot_bytes.load(Ordering::Relaxed),
+            align_stall_ns: m.align_stall_ns.load(Ordering::Relaxed),
+            recoveries: m.recoveries.load(Ordering::Relaxed),
+            replayed: m.replayed.load(Ordering::Relaxed),
+            replay_overflows: m.replay_overflows.load(Ordering::Relaxed),
             queue_depth,
         }
     }
@@ -667,7 +877,15 @@ impl TelemetryHub {
 
     /// Takes one snapshot at `t_ns` from the supplied raw counters,
     /// pushes it into the ring and notifies the subscriber.
-    pub(crate) fn sample(&self, t_ns: u64, raw: &[RawCounters]) -> TelemetrySnapshot {
+    /// `last_complete_epoch` is the checkpoint coordinator's globally
+    /// completed epoch at sampling time (`None` when checkpointing is
+    /// off).
+    pub(crate) fn sample(
+        &self,
+        t_ns: u64,
+        raw: &[RawCounters],
+        last_complete_epoch: Option<u64>,
+    ) -> TelemetrySnapshot {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let tick = state.tick;
         state.tick += 1;
@@ -715,6 +933,15 @@ impl TelemetryHub {
                 restarts: r.restarts,
                 dead_letters: r.dead_letters,
                 dropped: r.dropped,
+                busy_ns: r.busy_ns,
+                blocked_ns: r.blocked_ns,
+                inbox_stall_ns: r.inbox_stall_ns,
+                snapshots: r.snapshots,
+                snapshot_bytes: r.snapshot_bytes,
+                align_stall_ns: r.align_stall_ns,
+                recoveries: r.recoveries,
+                replayed: r.replayed,
+                replay_overflows: r.replay_overflows,
             });
         }
         let latencies = self
@@ -736,6 +963,7 @@ impl TelemetryHub {
             actors: samples,
             latencies,
             trace_total: self.trace.total(),
+            last_complete_epoch,
         };
         state.ring.push_back(snapshot.clone());
         while state.ring.len() > self.ring_capacity {
@@ -871,7 +1099,7 @@ mod tests {
                 ..RawCounters::default()
             },
         ];
-        let s0 = hub.sample(1_000_000_000, &raw0);
+        let s0 = hub.sample(1_000_000_000, &raw0, None);
         assert_eq!(s0.tick, 0);
         assert!((s0.actors[0].departure_rate - 100.0).abs() < 1e-9);
         assert!((s0.actors[1].utilization - 0.5).abs() < 1e-9);
@@ -890,7 +1118,7 @@ mod tests {
                 ..RawCounters::default()
             },
         ];
-        let s1 = hub.sample(1_500_000_000, &raw1);
+        let s1 = hub.sample(1_500_000_000, &raw1, None);
         assert_eq!(s1.tick, 1);
         assert_eq!(s1.interval_ns, 500_000_000);
         assert!((s1.actors[0].departure_rate - 100.0).abs() < 1e-9);
@@ -913,7 +1141,7 @@ mod tests {
         }];
         let hub = TelemetryHub::new(actors, &cfg);
         for t in 1..=5u64 {
-            hub.sample(t * 1_000_000, &[RawCounters::default()]);
+            hub.sample(t * 1_000_000, &[RawCounters::default()], None);
         }
         let report = hub.into_report();
         assert_eq!(report.snapshots.len(), 2);
@@ -928,6 +1156,7 @@ mod tests {
         let snap = hub.sample(
             1_000_000_000,
             &[RawCounters::default(), RawCounters::default()],
+            Some(7),
         );
         let json = snap.to_json();
         for needle in [
@@ -940,12 +1169,88 @@ mod tests {
             "\"p95_ns\":",
             "\"p99_ns\":",
             "\"max_ns\":",
+            "\"busy_ns\":0",
+            "\"blocked_ns\":0",
+            "\"inbox_stall_ns\":0",
+            "\"snapshots\":0",
+            "\"snapshot_bytes\":0",
+            "\"align_stall_ns\":0",
+            "\"recoveries\":0",
+            "\"replayed\":0",
+            "\"replay_overflows\":0",
             "\"trace_total\":0",
+            "\"last_complete_epoch\":7",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         let with_extra = snap.to_json_with("\"drift\":[]");
         assert!(with_extra.ends_with(",\"drift\":[]}"));
+    }
+
+    #[test]
+    fn span_event_json_shape() {
+        let ev = TraceEvent {
+            seq: 9,
+            t_ns: 4_200,
+            actor: ActorId(2),
+            kind: TraceEventKind::Span {
+                tuple_seq: 64,
+                src_ns: 1_000,
+            },
+        };
+        let j = ev.to_json();
+        assert!(j.contains("\"event\":\"span\""), "{j}");
+        assert!(j.contains("\"tuple_seq\":64"), "{j}");
+        assert!(j.contains("\"src_ns\":1000"), "{j}");
+    }
+
+    #[test]
+    fn assemble_spans_groups_hops_and_derives_deltas() {
+        let span = |seq, t_ns, actor, tuple_seq, src_ns| TraceEvent {
+            seq,
+            t_ns,
+            actor: ActorId(actor),
+            kind: TraceEventKind::Span { tuple_seq, src_ns },
+        };
+        let events = vec![
+            // Tuple 0 born at 100 ns, three hops; tuple 8 interleaved.
+            span(0, 150, 1, 0, 100),
+            TraceEvent {
+                seq: 1,
+                t_ns: 160,
+                actor: ActorId(1),
+                kind: TraceEventKind::ActorStarted,
+            },
+            span(2, 170, 1, 8, 160),
+            span(3, 400, 2, 0, 100),
+            span(4, 450, 2, 8, 160),
+            span(5, 900, 3, 0, 100),
+        ];
+        let paths = assemble_spans(&events);
+        assert_eq!(paths.len(), 2);
+        let p0 = &paths[0];
+        assert_eq!((p0.tuple_seq, p0.src_ns), (0, 100));
+        assert_eq!(p0.hops.len(), 3);
+        assert_eq!(p0.hops[0].hop_ns, 50); // 150 - src 100
+        assert_eq!(p0.hops[1].hop_ns, 250); // 400 - 150
+        assert_eq!(p0.hops[2].hop_ns, 500); // 900 - 400
+        assert_eq!(p0.total_ns(), Some(800));
+        let p1 = &paths[1];
+        assert_eq!((p1.tuple_seq, p1.src_ns), (8, 160));
+        assert_eq!(p1.hops.len(), 2);
+        assert_eq!(p1.hops[0].actor, ActorId(1));
+        assert_eq!(p1.total_ns(), Some(290));
+    }
+
+    #[test]
+    fn span_mask_rounds_sample_period_to_power_of_two() {
+        assert_eq!(TelemetryConfig::default().span_mask(), None);
+        let cfg = TelemetryConfig::default().with_span_sample(1);
+        assert_eq!(cfg.span_mask(), Some(0)); // every tuple
+        let cfg = TelemetryConfig::default().with_span_sample(64);
+        assert_eq!(cfg.span_mask(), Some(63));
+        let cfg = TelemetryConfig::default().with_span_sample(100);
+        assert_eq!(cfg.span_mask(), Some(127));
     }
 
     #[test]
@@ -971,8 +1276,8 @@ mod tests {
             }],
             &cfg,
         );
-        hub.sample(1, &[RawCounters::default()]);
-        hub.sample(2, &[RawCounters::default()]);
+        hub.sample(1, &[RawCounters::default()], None);
+        hub.sample(2, &[RawCounters::default()], None);
         assert_eq!(seen.load(Ordering::SeqCst), 2);
     }
 }

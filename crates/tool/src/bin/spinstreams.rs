@@ -17,6 +17,11 @@
 //! spinstreams monitor  <topology.xml> [--items N] [--batch N] [--workers N] [--interval-ms M]
 //!                                     [--format table|jsonl|prom]
 //!                                                     live telemetry of a threaded run
+//! spinstreams inspect  <topology.xml> [--items N] [--batch N] [--workers N] [--threaded]
+//!                                     [--span-sample N] [--min-samples N] [--json]
+//!                                                     bottleneck attribution: re-profile the
+//!                                                     annotations online, join predicted vs
+//!                                                     measured bottleneck, trace backpressure
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
 //!                      [--no-minimize] [--workers N] [--artifacts DIR]
@@ -38,9 +43,10 @@ use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig
 use spinstreams_runtime::Executor;
 use spinstreams_runtime::{run_with_telemetry, EngineConfig, ExecutorKind, TelemetryConfig};
 use spinstreams_tool::{
-    chaos_table, comparison_table, drift_json, experiment_executor, monitor_table,
-    predict_vs_measure, predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text,
-    run_chaos, run_chaos_with_telemetry, topology_dot, ChaosConfig, DriftExporter,
+    chaos_table, comparison_table, drift_json, experiment_executor, inspect, inspect_json,
+    inspect_table, monitor_table, predict_vs_measure, predict_vs_measure_telemetry,
+    predicted_actor_rates, prometheus_text, run_chaos, run_chaos_with_telemetry, topology_dot,
+    ChaosConfig, DriftExporter,
 };
 use spinstreams_xml::{runtime_settings_from_xml, topology_from_xml};
 use std::collections::BTreeSet;
@@ -49,7 +55,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|dot> <topology.xml> [options]\n\
+        "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|inspect|dot> <topology.xml> [options]\n\
          \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
          \x20                         [--no-minimize] [--workers N] [--artifacts DIR]\n\
          \n\
@@ -68,6 +74,12 @@ fn usage() -> ExitCode {
                      panics once on its N-th tuple), --telemetry FILE, --interval-ms M\n\
          monitor   — live telemetry of a threaded run; --items N, --batch N, --workers N,\n\
                      --interval-ms M, --format table|jsonl|prom (default table)\n\
+         inspect   — bottleneck attribution: run with deep telemetry, re-profile the §4.1\n\
+                     annotations online and join the predicted vs measured bottleneck;\n\
+                     --items N, --batch N, --threaded (real threads instead of the\n\
+                     virtual-time simulator), --workers N (implies --threaded),\n\
+                     --span-sample N (trace every Nth tuple; default 64, 0 = off),\n\
+                     --min-samples N (re-profiler floor, default 200), --json\n\
          \n\
          --batch N defaults to the topology file's <settings batch-size=\"N\"/> (or 1);\n\
          --workers N selects the worker-pool executor with N threads (0 = one per core;\n\
@@ -96,7 +108,14 @@ fn telemetry_config(args: &[String]) -> TelemetryConfig {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(100)
         .max(1);
-    TelemetryConfig::default().with_interval(Duration::from_millis(interval_ms))
+    // `--span-sample N` arms the flight recorder: every Nth source tuple
+    // is traced hop-by-hop (rounded to a power of two; 0 = off).
+    let span_sample = flag_value(args, "--span-sample")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    TelemetryConfig::default()
+        .with_interval(Duration::from_millis(interval_ms))
+        .with_span_sample(span_sample)
 }
 
 fn load(path: &str) -> Result<(Topology, spinstreams_xml::RuntimeSettings), String> {
@@ -556,6 +575,52 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("monitor run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "inspect" => {
+            let items = flag_value(&args, "--items")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20_000);
+            let min_samples = flag_value(&args, "--min-samples")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200);
+            // The flight recorder is the point of `inspect`: span sampling
+            // defaults on (every 64th tuple) unless explicitly set.
+            let mut tcfg = telemetry_config(&args);
+            if flag_value(&args, "--span-sample").is_none() {
+                tcfg = tcfg.with_span_sample(64);
+            }
+            let threaded = args.iter().any(|a| a == "--threaded") || workers.is_some();
+            let executor = if threaded {
+                Executor::Threads(EngineConfig {
+                    batch_size: batch,
+                    checkpoint_interval: checkpoint,
+                    executor: match workers {
+                        Some(n) => ExecutorKind::Pool { workers: n },
+                        None => ExecutorKind::ThreadPerActor,
+                    },
+                    ..EngineConfig::default()
+                })
+            } else {
+                let mut executor = experiment_executor(0x1195EC7);
+                if let Executor::VirtualTime(sim) = &mut executor {
+                    sim.batch_size = batch;
+                    sim.checkpoint_interval = checkpoint;
+                }
+                executor
+            };
+            match inspect(&topo, items, &executor, &tcfg, min_samples) {
+                Ok(insp) => {
+                    if args.iter().any(|a| a == "--json") {
+                        println!("{}", inspect_json(&topo, &insp));
+                    } else {
+                        print!("{}", inspect_table(&topo, &insp));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("inspect failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -4,6 +4,7 @@
 
 use crate::Comparison;
 use spinstreams_analysis::{DriftStatus, DriftVerdict};
+use spinstreams_runtime::telemetry::ActorSample;
 use spinstreams_runtime::TelemetrySnapshot;
 use std::fmt::Write as _;
 
@@ -157,31 +158,103 @@ fn prom_label(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Appends one `# HELP` + `# TYPE` header pair (Prometheus text
+/// exposition format 0.0.4 requires both per metric family).
+fn prom_header(s: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(s, "# HELP {name} {help}");
+    let _ = writeln!(s, "# TYPE {name} {kind}");
+}
+
 /// Renders one telemetry snapshot in the Prometheus text exposition
-/// format (version 0.0.4): counters for item totals, gauges for queue
-/// depths, rolling rates, utilization, latency quantiles and drift
-/// relative error.
+/// format (version 0.0.4): counters for item/busy/blocked/stall and
+/// checkpoint-recovery totals, gauges for queue depths, rolling rates,
+/// utilization, latency quantiles, the checkpoint epoch, and drift
+/// relative error. Every family carries `# HELP` and `# TYPE` lines.
 pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "# TYPE spinstreams_actor_items_in_total counter");
-    for a in &snap.actors {
-        let _ = writeln!(
-            s,
-            "spinstreams_actor_items_in_total{{actor=\"{}\"}} {}",
-            prom_label(&a.name),
-            a.items_in
-        );
-    }
-    let _ = writeln!(s, "# TYPE spinstreams_actor_items_out_total counter");
-    for a in &snap.actors {
-        let _ = writeln!(
-            s,
-            "spinstreams_actor_items_out_total{{actor=\"{}\"}} {}",
-            prom_label(&a.name),
-            a.items_out
-        );
-    }
-    let _ = writeln!(s, "# TYPE spinstreams_actor_queue_depth gauge");
+    let counter = |s: &mut String, name: &str, help: &str, value: &dyn Fn(&ActorSample) -> u64| {
+        prom_header(s, name, "counter", help);
+        for a in &snap.actors {
+            let _ = writeln!(
+                s,
+                "{name}{{actor=\"{}\"}} {}",
+                prom_label(&a.name),
+                value(a)
+            );
+        }
+    };
+    counter(
+        &mut s,
+        "spinstreams_actor_items_in_total",
+        "Items consumed by the actor since run start.",
+        &|a| a.items_in,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_items_out_total",
+        "Items emitted by the actor since run start.",
+        &|a| a.items_out,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_busy_ns_total",
+        "Nanoseconds the actor spent servicing items.",
+        &|a| a.busy_ns,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_blocked_ns_total",
+        "Nanoseconds the actor spent blocked sending into full downstream mailboxes.",
+        &|a| a.blocked_ns,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_inbox_stall_ns_total",
+        "Nanoseconds producers spent stalled on this actor's inbox (receiver-edge backpressure).",
+        &|a| a.inbox_stall_ns,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_snapshots_total",
+        "Checkpoint snapshots the actor captured.",
+        &|a| a.snapshots,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_snapshot_bytes_total",
+        "Bytes of checkpoint state the actor captured.",
+        &|a| a.snapshot_bytes,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_align_stall_ns_total",
+        "Nanoseconds spent waiting on checkpoint barrier alignment.",
+        &|a| a.align_stall_ns,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_recoveries_total",
+        "Checkpoint-restore recoveries the actor performed.",
+        &|a| a.recoveries,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_replayed_total",
+        "Items re-processed from the replay log after recoveries.",
+        &|a| a.replayed,
+    );
+    counter(
+        &mut s,
+        "spinstreams_actor_replay_overflows_total",
+        "Recoveries degraded to reset-to-empty by replay-buffer overflow.",
+        &|a| a.replay_overflows,
+    );
+    prom_header(
+        &mut s,
+        "spinstreams_actor_queue_depth",
+        "gauge",
+        "Current mailbox occupancy (absent for sources).",
+    );
     for a in &snap.actors {
         if let Some(d) = a.queue_depth {
             let _ = writeln!(
@@ -191,7 +264,12 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
             );
         }
     }
-    let _ = writeln!(s, "# TYPE spinstreams_actor_arrival_rate gauge");
+    prom_header(
+        &mut s,
+        "spinstreams_actor_arrival_rate",
+        "gauge",
+        "Rolling arrival rate over the last sampling window (items/s).",
+    );
     for a in &snap.actors {
         let _ = writeln!(
             s,
@@ -200,7 +278,12 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
             a.arrival_rate
         );
     }
-    let _ = writeln!(s, "# TYPE spinstreams_actor_departure_rate gauge");
+    prom_header(
+        &mut s,
+        "spinstreams_actor_departure_rate",
+        "gauge",
+        "Rolling departure rate over the last sampling window (items/s).",
+    );
     for a in &snap.actors {
         let _ = writeln!(
             s,
@@ -209,7 +292,12 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
             a.departure_rate
         );
     }
-    let _ = writeln!(s, "# TYPE spinstreams_actor_utilization gauge");
+    prom_header(
+        &mut s,
+        "spinstreams_actor_utilization",
+        "gauge",
+        "Rolling busy fraction over the last sampling window.",
+    );
     for a in &snap.actors {
         let _ = writeln!(
             s,
@@ -218,7 +306,21 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
             a.utilization
         );
     }
-    let _ = writeln!(s, "# TYPE spinstreams_sink_latency_ns gauge");
+    if let Some(epoch) = snap.last_complete_epoch {
+        prom_header(
+            &mut s,
+            "spinstreams_last_complete_epoch",
+            "gauge",
+            "Highest checkpoint epoch acknowledged by every actor.",
+        );
+        let _ = writeln!(s, "spinstreams_last_complete_epoch {epoch}");
+    }
+    prom_header(
+        &mut s,
+        "spinstreams_sink_latency_ns",
+        "gauge",
+        "Per-sink end-to-end latency quantiles (ns).",
+    );
     for l in &snap.latencies {
         for (q, v) in [
             ("0.5", l.latency.p50_ns),
@@ -235,7 +337,12 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
     }
     let drifting: Vec<&DriftVerdict> = verdicts.iter().filter(|v| v.rel_error.is_some()).collect();
     if !drifting.is_empty() {
-        let _ = writeln!(s, "# TYPE spinstreams_drift_relative_error gauge");
+        prom_header(
+            &mut s,
+            "spinstreams_drift_relative_error",
+            "gauge",
+            "Relative error between predicted and measured departure rate.",
+        );
         for v in &drifting {
             let name = snap
                 .actors
@@ -280,6 +387,15 @@ mod tests {
                     restarts: 0,
                     dead_letters: 0,
                     dropped: 0,
+                    busy_ns: 100_000_000,
+                    blocked_ns: 0,
+                    inbox_stall_ns: 0,
+                    snapshots: 0,
+                    snapshot_bytes: 0,
+                    align_stall_ns: 0,
+                    recoveries: 0,
+                    replayed: 0,
+                    replay_overflows: 0,
                 },
                 ActorSample {
                     id: ActorId(1),
@@ -295,6 +411,15 @@ mod tests {
                     restarts: 0,
                     dead_letters: 0,
                     dropped: 0,
+                    busy_ns: 396_000_000,
+                    blocked_ns: 12_000_000,
+                    inbox_stall_ns: 7_000_000,
+                    snapshots: 3,
+                    snapshot_bytes: 96,
+                    align_stall_ns: 2_000_000,
+                    recoveries: 1,
+                    replayed: 40,
+                    replay_overflows: 0,
                 },
             ],
             latencies: vec![SinkLatency {
@@ -310,6 +435,7 @@ mod tests {
                 },
             }],
             trace_total: 6,
+            last_complete_epoch: Some(4),
         }
     }
 
@@ -345,6 +471,50 @@ mod tests {
         assert!(text.contains("spinstreams_drift_relative_error{actor=\"slow\"} 0.6000"));
         // Sources have no mailbox: no queue_depth series for src.
         assert!(!text.contains("spinstreams_actor_queue_depth{actor=\"src\"}"));
+    }
+
+    #[test]
+    fn prometheus_text_has_help_for_every_type() {
+        let text = prometheus_text(&sample_snapshot(), &verdicts());
+        let mut families = 0;
+        let mut prev: Option<&str> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                families += 1;
+                // The immediately preceding line must be this family's HELP.
+                let help = prev.unwrap_or("");
+                assert!(
+                    help.starts_with(&format!("# HELP {name} ")),
+                    "missing/misplaced HELP for {name}: prev line {help:?}"
+                );
+            }
+            prev = Some(line);
+        }
+        assert!(families >= 17, "expected >= 17 families, got {families}");
+    }
+
+    #[test]
+    fn prometheus_text_exports_checkpoint_and_blocked_time_counters() {
+        let text = prometheus_text(&sample_snapshot(), &verdicts());
+        assert!(text.contains("spinstreams_actor_busy_ns_total{actor=\"slow\"} 396000000"));
+        assert!(text.contains("spinstreams_actor_blocked_ns_total{actor=\"slow\"} 12000000"));
+        assert!(text.contains("spinstreams_actor_inbox_stall_ns_total{actor=\"slow\"} 7000000"));
+        assert!(text.contains("spinstreams_actor_snapshots_total{actor=\"slow\"} 3"));
+        assert!(text.contains("spinstreams_actor_snapshot_bytes_total{actor=\"slow\"} 96"));
+        assert!(text.contains("spinstreams_actor_align_stall_ns_total{actor=\"slow\"} 2000000"));
+        assert!(text.contains("spinstreams_actor_recoveries_total{actor=\"slow\"} 1"));
+        assert!(text.contains("spinstreams_actor_replayed_total{actor=\"slow\"} 40"));
+        assert!(text.contains("spinstreams_actor_replay_overflows_total{actor=\"slow\"} 0"));
+        assert!(text.contains("spinstreams_last_complete_epoch 4"));
+    }
+
+    #[test]
+    fn epoch_gauge_absent_without_checkpointing() {
+        let mut snap = sample_snapshot();
+        snap.last_complete_epoch = None;
+        let text = prometheus_text(&snap, &[]);
+        assert!(!text.contains("spinstreams_last_complete_epoch"));
     }
 
     #[test]

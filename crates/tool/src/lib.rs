@@ -22,6 +22,10 @@
 //!   online [`DriftMonitor`](spinstreams_analysis::DriftMonitor) on every
 //!   snapshot, and render JSON-lines / Prometheus text
 //!   ([`prometheus_text`]) / a live table ([`monitor_table`]).
+//! * [`inspect`] — the live bottleneck-attribution harness behind
+//!   `spinstreams inspect`: re-profiles the §4.1 annotations online,
+//!   joins Algorithm 1's predicted bottleneck with the measured one, and
+//!   names the stale annotation when they disagree.
 //! * [`ascii_series`] / [`comparison_table`] — plain-text rendering used by
 //!   the figure/table binaries in `spinstreams-bench`.
 
@@ -31,6 +35,7 @@ mod chaos;
 mod dot;
 mod format;
 mod harness;
+mod inspect;
 mod telemetry;
 
 pub use chaos::{
@@ -42,6 +47,10 @@ pub use format::{ascii_series, comparison_table, monitor_table, prometheus_text}
 pub use harness::{
     calibrate, experiment_executor, items_for_duration, predict_vs_measure, Comparison,
     HarnessError, OperatorComparison,
+};
+pub use inspect::{
+    inspect, inspect_json, inspect_table, observed_operators, operator_counters, Inspection,
+    ANNOTATION_DRIFT_THRESHOLD,
 };
 pub use telemetry::{
     drift_json, predict_vs_measure_telemetry, predicted_actor_rates, DriftExporter,

@@ -4,7 +4,7 @@
 Usage: validate_bench.py <BENCH_runtime.json>
 
 Structural checks (always):
-  * schema tag is "spinstreams-bench-runtime/2", mode is "full" or
+  * schema tag is "spinstreams-bench-runtime/3", mode is "full" or
     "smoke";
   * every (topology, executor, workers, batch size) cell of the sweep —
     thread-per-actor plus the worker pool at each advertised worker
@@ -28,7 +28,10 @@ meaningful):
     stay within 5% of the throughput recorded before the checkpointing
     layer landed (the checkpoint-off gate — the bench runs with
     checkpointing disabled, so any regression here is hot-path cost the
-    feature was required not to add).
+    feature was required not to add);
+  * the batch-64 pipeline with the sampled span flight recorder armed
+    must reach at least 0.95x its untraced throughput, and must have
+    retained span events (the tracing-overhead gate).
 
 Exits non-zero (with a message) on the first violation.
 """
@@ -50,6 +53,7 @@ MIN_BASELINE_SPEEDUP = 1.5
 # enables checkpointing, so these runs must not pay for its existence.
 CHECKPOINT_OFF_BASELINE_64 = {"pipeline": 5_513_932.0, "replicated": 5_118_869.0}
 MAX_CHECKPOINT_REGRESSION = 0.05
+MIN_TRACING_RATIO = 0.95
 
 
 def fail(msg):
@@ -63,7 +67,7 @@ def validate(path):
         except json.JSONDecodeError as e:
             fail(f"invalid JSON: {e}")
 
-    if doc.get("schema") != "spinstreams-bench-runtime/2":
+    if doc.get("schema") != "spinstreams-bench-runtime/3":
         fail(f"unknown schema tag {doc.get('schema')!r}")
     mode = doc.get("mode")
     if mode not in ("full", "smoke"):
@@ -100,6 +104,16 @@ def validate(path):
     missing = expected - set(seen)
     if missing:
         fail(f"missing records: {sorted(missing, key=str)}")
+
+    tracing = doc.get("tracing")
+    if not isinstance(tracing, dict):
+        fail("missing 'tracing' section (schema /3)")
+    for field in ("untraced_tuples_per_sec", "traced_tuples_per_sec", "ratio"):
+        v = tracing.get(field)
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"tracing field {field!r} must be positive, got {v!r}")
+    if not isinstance(tracing.get("span_events"), int):
+        fail("tracing field 'span_events' must be an int")
 
     if mode == "full":
         speedup = seen[("pipeline", "threads", None, 64)]["speedup_vs_batch1"]
@@ -146,6 +160,16 @@ def validate(path):
                      f"{MAX_CHECKPOINT_REGRESSION:.0%} of it")
             print(f"{path}: checkpoint-off gate — {t} at {ratio:.3f}x the "
                   f"pre-checkpointing baseline")
+        ratio = tracing["ratio"]
+        if ratio < MIN_TRACING_RATIO:
+            fail(f"sampled tracing costs too much: traced batch-64 pipeline "
+                 f"runs at {ratio:.3f}x untraced, expected >= "
+                 f"{MIN_TRACING_RATIO}x")
+        if tracing["span_events"] <= 0:
+            fail("traced run retained no span events — the flight recorder "
+                 "never fired")
+        print(f"{path}: tracing-overhead gate — traced at {ratio:.3f}x "
+              f"untraced ({tracing['span_events']} span event(s))")
 
     best = max(r["speedup_vs_batch1"] for r in seen.values())
     print(f"{path}: OK — {len(seen)} records ({mode} mode), "

@@ -29,6 +29,15 @@ ACTOR_FIELDS = {
     "restarts": int,
     "dead_letters": int,
     "dropped": int,
+    "busy_ns": int,
+    "blocked_ns": int,
+    "inbox_stall_ns": int,
+    "snapshots": int,
+    "snapshot_bytes": int,
+    "align_stall_ns": int,
+    "recoveries": int,
+    "replayed": int,
+    "replay_overflows": int,
 }
 LATENCY_FIELDS = {"sink": int, "name": str, "count": int, "mean_ns": int,
                   "p50_ns": int, "p95_ns": int, "p99_ns": int, "max_ns": int}
@@ -36,7 +45,7 @@ DRIFT_STATUSES = {"warmup", "no-data", "ok", "drifting"}
 TRACE_EVENTS = {
     "actor-started", "actor-finished", "operator-panicked",
     "operator-restarted", "backoff", "actor-stopped", "blocked",
-    "dead-letter",
+    "dead-letter", "checkpoint-completed", "recovered", "span",
 }
 
 
@@ -90,6 +99,9 @@ def validate(path, min_snapshots):
                     if not (l["p50_ns"] <= l["p95_ns"] <= l["p99_ns"]
                             <= l["max_ns"]):
                         fail(lineno, f"latency quantiles out of order: {l}")
+                epoch = obj.get("last_complete_epoch")
+                if epoch is not None and not isinstance(epoch, int):
+                    fail(lineno, "last_complete_epoch must be int or null")
                 for v in obj.get("drift", []):
                     if v["status"] not in DRIFT_STATUSES:
                         fail(lineno, f"unknown drift status: {v}")
@@ -105,6 +117,10 @@ def validate(path, min_snapshots):
                     fail(lineno, f"unknown trace event {obj['event']!r}")
                 if obj["t_ns"] < 0 or obj["actor"] < 0:
                     fail(lineno, f"bad trace record: {obj}")
+                if obj["event"] == "span":
+                    if not isinstance(obj.get("tuple_seq"), int) \
+                            or not isinstance(obj.get("src_ns"), int):
+                        fail(lineno, f"span without tuple_seq/src_ns: {obj}")
             else:
                 fail(lineno, f"unknown record type {kind!r}")
     if snapshots < min_snapshots:

@@ -14,6 +14,7 @@
 //! | [`xml`] | `spinstreams-xml` | the §4.1 XML topology formalism |
 //! | [`codegen`] | `spinstreams-codegen` | optimized topology → executable deployment (the SS2Akka analogue) |
 //! | [`tool`] | `spinstreams-tool` | calibration and predict-vs-measure harness |
+//! | [`oracle`] | `spinstreams-oracle` | differential oracle: prediction vs simulator vs runtime over seeded topologies |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use spinstreams_analysis as analysis;
 pub use spinstreams_codegen as codegen;
 pub use spinstreams_core as core;
 pub use spinstreams_operators as operators;
+pub use spinstreams_oracle as oracle;
 pub use spinstreams_runtime as runtime;
 pub use spinstreams_tool as tool;
 pub use spinstreams_topogen as topogen;

@@ -86,6 +86,16 @@ fn snapshot_lines_carry_rates_queues_latency_and_drift() {
             "\"departure_rate\":",
             "\"utilization\":",
             "\"queue_depth\":",
+            "\"busy_ns\":",
+            "\"blocked_ns\":",
+            "\"inbox_stall_ns\":",
+            "\"snapshots\":",
+            "\"snapshot_bytes\":",
+            "\"align_stall_ns\":",
+            "\"recoveries\":",
+            "\"replayed\":",
+            "\"replay_overflows\":",
+            "\"last_complete_epoch\":",
             "\"latency\":[",
             "\"drift\":[",
         ] {
@@ -99,6 +109,38 @@ fn snapshot_lines_carry_rates_queues_latency_and_drift() {
     assert!(lat.p50_ns > 0 && lat.p99_ns >= lat.p50_ns && lat.max_ns >= lat.p99_ns);
     // Trace lines follow the snapshots.
     assert!(run.export.jsonl.contains("{\"type\":\"trace\""));
+}
+
+/// The threaded sampler flushes one final sample after EOS/drain: the
+/// last snapshot's cumulative counters equal the run report's totals,
+/// however the run length and sampling interval line up. (Before the fix
+/// the sampler thread could be joined mid-window, leaving the tail of the
+/// run invisible to every exporter.)
+#[test]
+fn threaded_sampler_emits_final_sample_with_complete_counters() {
+    use spinstreams::codegen::{build_actor_graph, CodegenOptions};
+    use spinstreams::runtime::{run_with_telemetry, EngineConfig};
+
+    let topo = pipeline();
+    let items = 1_000;
+    let plan =
+        build_actor_graph(&topo, None, &[], &[], &CodegenOptions { items, seed: 7 }).unwrap();
+    // An interval far longer than the run: without the final flush the
+    // export would have no snapshot at all, let alone a complete one.
+    let tcfg = TelemetryConfig::default().with_interval(Duration::from_secs(3600));
+    let (report, telemetry) =
+        run_with_telemetry(plan.graph, &EngineConfig::default(), &tcfg).unwrap();
+    let last = telemetry.last_snapshot().expect("final sample after drain");
+    for actor in &last.actors {
+        let finished = report.actor(actor.id);
+        assert_eq!(
+            (actor.items_in, actor.items_out),
+            (finished.items_in, finished.items_out),
+            "final sample must carry {}'s final counters",
+            actor.name
+        );
+    }
+    assert_eq!(last.actors[0].items_out, items, "source drained fully");
 }
 
 /// The threaded sampler must not tax the pipeline it observes: with the

@@ -1,19 +1,41 @@
 //! Runtime throughput suite: executor × worker count × batch size on each
-//! topology shape.
+//! topology shape, with steady-state allocation accounting.
 //!
 //! Every topology runs under the thread-per-actor executor and under the
 //! cooperative worker pool at worker counts {1, 2, 4}, each with envelope
-//! batch sizes {1, 8, 64}; all operators are pass-throughs, so wall-clock
-//! is dominated by mailbox synchronization and scheduling — exactly the
-//! costs that envelope batching amortizes and the pool's run-until-blocked
-//! scheduling removes. Results land in `BENCH_runtime.json` at the current
-//! directory (override with `--out PATH`), one record per (topology,
-//! executor, workers, batch size) with the measured tuples/sec and the
-//! speedup over that configuration's unbatched run.
+//! batch sizes {1, 8, 64}; operators are pass-throughs (or a monomorphized
+//! fused chain, see below), so wall-clock is dominated by mailbox
+//! synchronization and scheduling — exactly the costs that envelope
+//! batching amortizes and the pool's run-until-blocked scheduling removes.
+//! Results land in `BENCH_runtime.json` at the current directory (override
+//! with `--out PATH`), one record per (topology, executor, workers, batch
+//! size) with the measured tuples/sec, the speedup over that
+//! configuration's unbatched run, and the *differential allocation count*
+//! per tuple.
 //!
 //! ```text
 //! cargo run --release -p spinstreams-bench --bin throughput [-- --smoke] [--out FILE] [--items N]
 //! ```
+//!
+//! # Allocation accounting
+//!
+//! The binary installs a counting `#[global_allocator]`. Each configuration
+//! runs twice — once at `N` items, once at `2N` — and reports
+//! `allocs_per_tuple = (A(2N) - A(N)) / N`: the startup cost (graph build,
+//! mailbox rings, pre-sized coalescing buffers, thread spawns) is identical
+//! on both sides and cancels, leaving only what the *steady-state* data
+//! path allocates per extra tuple. The engine's hot path recycles every
+//! buffer it touches, so the validator gates this differential at zero
+//! (±one allocation per thousand tuples of jitter headroom) on the fused
+//! pipeline.
+//!
+//! # The `fused` topology
+//!
+//! `fused` is the pipeline shape with its interior stages compiled into a
+//! single monomorphized [`FusedChain`] actor (statically dispatched
+//! [`StatelessKernel`] stages, no per-member `Box<dyn>` hop) — the
+//! steady-state shape Algorithm 3 fusion groups execute as after
+//! monomorphization.
 //!
 //! The suite closes with a tracing-overhead measurement: the batch-64
 //! pipeline re-run with the sampled span flight recorder armed (one
@@ -21,18 +43,56 @@
 //! validator gates traced throughput at >= 0.95x untraced.
 //!
 //! `--smoke` shrinks the item counts so CI can validate the schema and
-//! plumbing in seconds; speedup assertions only make sense in full mode.
-//! `--topology NAME` restricts the sweep to one topology (the emitted
-//! JSON is then partial — useful for focused measurements, not for
-//! `validate_bench.py`).
+//! plumbing in seconds; speedup and allocation assertions only make sense
+//! in full mode. `--topology NAME` restricts the sweep to one topology
+//! (the emitted JSON is then partial — useful for focused measurements,
+//! not for `validate_bench.py`).
 
+use spinstreams_operators::{build_kernel, OperatorKind, OperatorParams, StatelessKernel};
 use spinstreams_runtime::operators::PassThrough;
 use spinstreams_runtime::{
-    run, run_with_telemetry, ActorGraph, Behavior, EngineConfig, ExecutorKind, Route, SourceConfig,
-    TelemetryConfig, TraceEventKind,
+    run, run_with_telemetry, ActorGraph, Behavior, EngineConfig, ExecutorKind, FusedChain, Route,
+    SourceConfig, TelemetryConfig, TraceEventKind, DEFAULT_PORT,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Counts every heap allocation in the process (allocs and growth
+/// reallocs; frees are not interesting here) on top of the system
+/// allocator. One relaxed fetch-add per allocation — negligible next to
+/// the allocation itself, and the whole point is that the steady-state
+/// path never reaches it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter has
+// no effect on the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
@@ -57,6 +117,42 @@ fn pipeline(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
     g.connect(s, Route::Unicast(a));
     g.connect(a, Route::Unicast(b));
     g.connect(b, Route::Unicast(k));
+    (g, k)
+}
+
+/// src -> F(identity-map × 3) -> sink: the pipeline shape with its three
+/// interior hand-offs compiled into one monomorphized [`FusedChain`] actor.
+/// Zero-work identity kernels keep the comparison apples-to-apples with
+/// `pipeline`'s pass-throughs: the only difference is two mailbox
+/// crossings instead of three, with the three per-tuple operator
+/// applications becoming static enum dispatches inside one actor — the
+/// post-fusion steady state Algorithm 3 aims for.
+fn fused(items: u64) -> (ActorGraph, spinstreams_runtime::ActorId) {
+    let mut g = ActorGraph::new();
+    let s = g.add_actor(
+        "src",
+        Behavior::Source(SourceConfig::new(f64::INFINITY, items)),
+    );
+    let params = OperatorParams {
+        work_ns: 0,
+        ..OperatorParams::default()
+    };
+    let kernels: Vec<StatelessKernel> = (0..3)
+        .map(|_| {
+            build_kernel(OperatorKind::IdentityMap, &params).expect("stateless kinds monomorphize")
+        })
+        .collect();
+    let f = g.add_actor(
+        "fused",
+        Behavior::worker(FusedChain::new(
+            "F(identity-map,identity-map,identity-map)",
+            kernels,
+            DEFAULT_PORT,
+        )),
+    );
+    let k = g.add_actor("sink", Behavior::worker(PassThrough));
+    g.connect(s, Route::Unicast(f));
+    g.connect(f, Route::Unicast(k));
     (g, k)
 }
 
@@ -117,6 +213,7 @@ struct Record {
     wall_s: f64,
     tuples_per_sec: f64,
     speedup_vs_batch1: f64,
+    allocs_per_tuple: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -124,6 +221,18 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Runs `shape` once at `items`, asserting losslessness; returns the wall
+/// seconds and the number of heap allocations the run performed.
+fn timed_run(shape: &Shape, items: u64, cfg: &EngineConfig) -> (f64, u64) {
+    let (graph, sink) = (shape.build)(items);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = run(graph, cfg).expect("bench graph is valid");
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let delivered = report.actor(sink).items_in;
+    assert_eq!(delivered, items, "{}: lossless run expected", shape.name);
+    (report.wall.as_secs_f64(), allocs)
 }
 
 fn main() {
@@ -139,6 +248,10 @@ fn main() {
         Shape {
             name: "pipeline",
             build: pipeline,
+        },
+        Shape {
+            name: "fused",
+            build: fused,
         },
         Shape {
             name: "fanout",
@@ -168,8 +281,8 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
     println!(
-        "{:<12} {:>8} {:>7} {:>6} {:>10} {:>14} {:>9}",
-        "topology", "executor", "workers", "batch", "wall", "tuples/s", "speedup"
+        "{:<12} {:>8} {:>7} {:>6} {:>10} {:>14} {:>9} {:>12}",
+        "topology", "executor", "workers", "batch", "wall", "tuples/s", "speedup", "allocs/tuple"
     );
     for shape in &shapes {
         if only.as_deref().is_some_and(|t| t != shape.name) {
@@ -178,7 +291,6 @@ fn main() {
         for exec in &execs {
             let mut base_rate = 0.0f64;
             for batch_size in BATCH_SIZES {
-                let (graph, sink) = (shape.build)(items);
                 let cfg = EngineConfig {
                     mailbox_capacity: 256,
                     // Generous timeout: the suite measures throughput, not
@@ -189,11 +301,13 @@ fn main() {
                     executor: exec.kind,
                     ..EngineConfig::default()
                 };
-                let report = run(graph, &cfg).expect("bench graph is valid");
-                let delivered = report.actor(sink).items_in;
-                assert_eq!(delivered, items, "{}: lossless run expected", shape.name);
-                let wall_s = report.wall.as_secs_f64();
-                let rate = delivered as f64 / wall_s;
+                // Differential allocation accounting: the 2N run repeats
+                // the N run's startup cost exactly, so the per-tuple count
+                // is the slope between the two, immune to one-time setup.
+                let (wall_s, allocs_n) = timed_run(shape, items, &cfg);
+                let (_, allocs_2n) = timed_run(shape, items * 2, &cfg);
+                let allocs_per_tuple = (allocs_2n.saturating_sub(allocs_n)) as f64 / items as f64;
+                let rate = items as f64 / wall_s;
                 if batch_size == 1 {
                     base_rate = rate;
                 }
@@ -203,14 +317,15 @@ fn main() {
                     1.0
                 };
                 println!(
-                    "{:<12} {:>8} {:>7} {:>6} {:>9.3}s {:>14.0} {:>8.2}x",
+                    "{:<12} {:>8} {:>7} {:>6} {:>9.3}s {:>14.0} {:>8.2}x {:>12.4}",
                     shape.name,
                     exec.label,
                     exec.workers.map_or("-".into(), |w| w.to_string()),
                     batch_size,
                     wall_s,
                     rate,
-                    speedup
+                    speedup,
+                    allocs_per_tuple
                 );
                 records.push(Record {
                     topology: shape.name,
@@ -221,6 +336,7 @@ fn main() {
                     wall_s,
                     tuples_per_sec: rate,
                     speedup_vs_batch1: speedup,
+                    allocs_per_tuple,
                 });
             }
         }
@@ -278,7 +394,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/3\",");
+    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/4\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -302,14 +418,16 @@ fn main() {
             json,
             "    {{\"topology\": \"{}\", \"executor\": \"{}\", \"workers\": {workers}, \
              \"batch_size\": {}, \"items\": {}, \
-             \"wall_s\": {:.6}, \"tuples_per_sec\": {:.1}, \"speedup_vs_batch1\": {:.3}}}{comma}",
+             \"wall_s\": {:.6}, \"tuples_per_sec\": {:.1}, \"speedup_vs_batch1\": {:.3}, \
+             \"allocs_per_tuple\": {:.6}}}{comma}",
             r.topology,
             r.executor,
             r.batch_size,
             r.items,
             r.wall_s,
             r.tuples_per_sec,
-            r.speedup_vs_batch1
+            r.speedup_vs_batch1,
+            r.allocs_per_tuple
         );
     }
     let _ = writeln!(json, "  ],");

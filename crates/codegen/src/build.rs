@@ -2,11 +2,13 @@
 
 use spinstreams_analysis::key_partitioning;
 use spinstreams_core::{KeyDistribution, OperatorId, StateClass, Topology};
-use spinstreams_operators::{build_operator, OperatorKind, OperatorParams};
+use spinstreams_operators::{
+    build_kernel, build_operator, OperatorKind, OperatorParams, StatelessKernel,
+};
 use spinstreams_runtime::operators::PassThrough;
 use spinstreams_runtime::{
-    ActorGraph, ActorId, Behavior, MetaDest, MetaOperator, MetaRoute, Route, SourceConfig,
-    StreamOperator,
+    ActorGraph, ActorId, Behavior, FusedChain, MetaDest, MetaOperator, MetaRoute, Route,
+    SourceConfig, StreamOperator,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -20,6 +22,20 @@ pub struct FusionGroup {
     pub front: OperatorId,
 }
 
+/// How fusion groups are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionStrategy {
+    /// Compile eligible groups (stateless known kinds forming a linear
+    /// all-unicast chain with one external output) to a statically
+    /// dispatched [`FusedChain`]; everything else falls back to the
+    /// interpreted [`MetaOperator`]. The default.
+    #[default]
+    Monomorphize,
+    /// Run every group through the interpreted [`MetaOperator`]
+    /// (differential-testing and debugging knob).
+    Interpret,
+}
+
 /// Options for the generated deployment.
 #[derive(Debug, Clone)]
 pub struct CodegenOptions {
@@ -28,6 +44,8 @@ pub struct CodegenOptions {
     /// RNG seed for the source's keys/values (and the meta-operators'
     /// internal routing).
     pub seed: u64,
+    /// Execution strategy for fusion groups.
+    pub fusion: FusionStrategy,
 }
 
 impl Default for CodegenOptions {
@@ -35,6 +53,7 @@ impl Default for CodegenOptions {
         CodegenOptions {
             items: 10_000,
             seed: 0xFEED,
+            fusion: FusionStrategy::Monomorphize,
         }
     }
 }
@@ -97,14 +116,66 @@ pub struct GeneratedPlan {
     pub num_actors: usize,
 }
 
-fn instantiate(topo: &Topology, id: OperatorId) -> Result<Box<dyn StreamOperator>, CodegenError> {
+fn kind_of(
+    topo: &Topology,
+    id: OperatorId,
+) -> Result<(OperatorKind, OperatorParams), CodegenError> {
     let spec = topo.operator(id);
     let kind: OperatorKind = spec.kind.parse().map_err(|_| CodegenError::UnknownKind {
         operator: id,
         kind: spec.kind.clone(),
     })?;
-    let params = OperatorParams::from_spec_params(&spec.params);
+    Ok((kind, OperatorParams::from_spec_params(&spec.params)))
+}
+
+fn instantiate(topo: &Topology, id: OperatorId) -> Result<Box<dyn StreamOperator>, CodegenError> {
+    let (kind, params) = kind_of(topo, id)?;
     Ok(build_operator(kind, &params))
+}
+
+/// Compiles a fusion group to a monomorphized [`FusedChain`] when it is
+/// eligible: the internal routes walk a linear, all-[`MetaRoute::Unicast`]
+/// chain from the front that covers every member exactly once and ends on
+/// a single external output, and every member kind has a static kernel
+/// (stateless, known to the registry). Returns `None` — fall back to the
+/// interpreted [`MetaOperator`] — otherwise.
+///
+/// Eligible groups draw no internal-routing randomness and visit items in
+/// stage-sequential order under both executors, so the chain's output is
+/// byte-identical to the meta-operator it replaces.
+fn maybe_monomorphize(
+    name: &str,
+    kinds: &[(OperatorKind, OperatorParams)],
+    routes: &[Vec<MetaRoute>],
+    front: usize,
+) -> Option<FusedChain<StatelessKernel>> {
+    let n = kinds.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut cur = front;
+    let out_port = loop {
+        if visited[cur] {
+            return None; // cycle (impossible for valid groups, but cheap to guard)
+        }
+        visited[cur] = true;
+        order.push(cur);
+        let [route] = routes[cur].as_slice() else {
+            return None; // fan-out, or a dead-end member that drops items
+        };
+        match route {
+            MetaRoute::Unicast(MetaDest::Member(j)) => cur = *j,
+            MetaRoute::Unicast(MetaDest::Output(p)) => break *p,
+            MetaRoute::Probabilistic { .. } => return None,
+        }
+    };
+    if order.len() != n {
+        return None; // members off the front's path
+    }
+    let kernels: Vec<StatelessKernel> = order
+        .iter()
+        .map(|&i| build_kernel(kinds[i].0, &kinds[i].1))
+        .collect::<Option<_>>()?;
+    Some(FusedChain::new(name, kernels, out_port))
 }
 
 /// Builds the executable actor graph for `topo`.
@@ -236,9 +307,10 @@ pub fn build_actor_graph(
                 // Internal routing tables (member port 0 only — all library
                 // operators emit on the default port).
                 let mut routes: Vec<Vec<MetaRoute>> = Vec::with_capacity(members.len());
-                let mut ops: Vec<Box<dyn StreamOperator>> = Vec::with_capacity(members.len());
+                let mut kinds: Vec<(OperatorKind, OperatorParams)> =
+                    Vec::with_capacity(members.len());
                 for &m in &members {
-                    ops.push(instantiate(topo, m)?);
+                    kinds.push(kind_of(topo, m)?);
                     let mut choices: Vec<(MetaDest, f64)> = Vec::new();
                     for &eid in topo.out_edges(m) {
                         let e = topo.edge(eid);
@@ -265,14 +337,34 @@ pub fn build_actor_graph(
                     .iter()
                     .map(|m| topo.operator(*m).name.as_str())
                     .collect();
-                let meta = MetaOperator::new(
-                    format!("F({})", fused_names.join("+")),
-                    ops,
-                    routes,
-                    index_of(g.front),
-                    opts.seed ^ (0x4D45_5441 + gi as u64),
-                );
-                let a = graph.add_actor(format!("meta-g{gi}"), Behavior::Worker(Box::new(meta)));
+                let fused_name = format!("F({})", fused_names.join("+"));
+                // Monomorphize when eligible and asked for; otherwise (or
+                // under `FusionStrategy::Interpret`) build the interpreted
+                // meta-operator. Same actor and operator names either way,
+                // so the two strategies produce identical telemetry.
+                let chain = match opts.fusion {
+                    FusionStrategy::Monomorphize => {
+                        maybe_monomorphize(&fused_name, &kinds, &routes, index_of(g.front))
+                    }
+                    FusionStrategy::Interpret => None,
+                };
+                let op: Box<dyn StreamOperator> = match chain {
+                    Some(chain) => Box::new(chain),
+                    None => {
+                        let ops: Vec<Box<dyn StreamOperator>> = kinds
+                            .iter()
+                            .map(|(kind, params)| build_operator(*kind, params))
+                            .collect();
+                        Box::new(MetaOperator::new(
+                            fused_name,
+                            ops,
+                            routes,
+                            index_of(g.front),
+                            opts.seed ^ (0x4D45_5441 + gi as u64),
+                        ))
+                    }
+                };
+                let a = graph.add_actor(format!("meta-g{gi}"), Behavior::Worker(op));
                 meta_actor[gi] = Some(a);
                 meta_external[gi] = externals;
                 for &m in &members {
@@ -422,6 +514,7 @@ mod tests {
             &CodegenOptions {
                 items: 500,
                 seed: 1,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();
@@ -444,6 +537,7 @@ mod tests {
             &CodegenOptions {
                 items: 600,
                 seed: 2,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();
@@ -473,6 +567,7 @@ mod tests {
         let opts = CodegenOptions {
             items: 800,
             seed: 3,
+            ..CodegenOptions::default()
         };
         let plan = build_actor_graph(&t, Some(keys), &[1, 2], &[], &opts).unwrap();
         let report = run(plan.graph, &engine()).unwrap();
@@ -499,6 +594,7 @@ mod tests {
             &CodegenOptions {
                 items: 400,
                 seed: 4,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();
@@ -526,6 +622,7 @@ mod tests {
         let opts = CodegenOptions {
             items: 300,
             seed: 5,
+            ..CodegenOptions::default()
         };
 
         let plain = build_actor_graph(&t, None, &[], &[], &opts).unwrap();
@@ -623,6 +720,7 @@ mod tests {
             &CodegenOptions {
                 items: 4000,
                 seed: 6,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();

@@ -36,5 +36,7 @@
 mod build;
 mod emit;
 
-pub use build::{build_actor_graph, CodegenError, CodegenOptions, FusionGroup, GeneratedPlan};
+pub use build::{
+    build_actor_graph, CodegenError, CodegenOptions, FusionGroup, FusionStrategy, GeneratedPlan,
+};
 pub use emit::emit_rust_source;

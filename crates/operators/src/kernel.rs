@@ -1,0 +1,116 @@
+//! Static kernels: the registry's stateless kinds as an enum-dispatched
+//! [`Kernel`], consumed by the monomorphized [`FusedChain`] executor.
+//!
+//! Each variant *wraps the concrete operator struct* and delegates to its
+//! [`StreamOperator::process`] — the kernel layer adds static dispatch,
+//! not a second implementation, so a monomorphized chain is semantically
+//! identical to the interpreted meta-operator by construction.
+//!
+//! [`FusedChain`]: spinstreams_runtime::FusedChain
+
+use crate::{
+    ArithmeticMap, Enricher, Filter, FlatMap, IdentityMap, KeyRouter, OperatorKind, OperatorParams,
+    Projection, Sampler,
+};
+use spinstreams_core::Tuple;
+use spinstreams_runtime::{Kernel, Outputs, StreamOperator};
+
+/// A stateless registry operator, dispatched by `match` instead of vtable.
+#[allow(missing_docs)] // variants mirror the operator structs they wrap
+pub enum StatelessKernel {
+    IdentityMap(IdentityMap),
+    ArithmeticMap(ArithmeticMap),
+    Filter(Filter),
+    FlatMap(FlatMap),
+    Projection(Projection),
+    Enricher(Enricher),
+    Sampler(Sampler),
+    KeyRouter(KeyRouter),
+}
+
+impl Kernel for StatelessKernel {
+    fn apply(&mut self, item: Tuple, out: &mut Outputs) {
+        match self {
+            StatelessKernel::IdentityMap(op) => op.process(item, out),
+            StatelessKernel::ArithmeticMap(op) => op.process(item, out),
+            StatelessKernel::Filter(op) => op.process(item, out),
+            StatelessKernel::FlatMap(op) => op.process(item, out),
+            StatelessKernel::Projection(op) => op.process(item, out),
+            StatelessKernel::Enricher(op) => op.process(item, out),
+            StatelessKernel::Sampler(op) => op.process(item, out),
+            StatelessKernel::KeyRouter(op) => op.process(item, out),
+        }
+    }
+}
+
+/// Builds the static kernel for `kind`, or `None` if the kind has no
+/// kernel form (stateful, windowed, or multi-input kinds must stay behind
+/// the interpreted meta-operator).
+///
+/// Construction mirrors [`crate::build_operator`] parameter-for-parameter,
+/// so a kernel and the boxed operator built from the same `params` compute
+/// the same function.
+pub fn build_kernel(kind: OperatorKind, params: &OperatorParams) -> Option<StatelessKernel> {
+    use OperatorKind::*;
+    let p = params;
+    Some(match kind {
+        IdentityMap => StatelessKernel::IdentityMap(crate::IdentityMap::new(p.work_ns)),
+        ArithmeticMap => {
+            StatelessKernel::ArithmeticMap(crate::ArithmeticMap::new(p.rounds, p.work_ns))
+        }
+        Filter => StatelessKernel::Filter(crate::Filter::new(p.threshold, p.work_ns)),
+        FlatMap => StatelessKernel::FlatMap(crate::FlatMap::new(p.fanout, p.work_ns)),
+        Projection => StatelessKernel::Projection(crate::Projection::new(p.keep, p.work_ns)),
+        Enricher => StatelessKernel::Enricher(crate::Enricher::new(p.work_ns)),
+        Sampler => StatelessKernel::Sampler(crate::Sampler::new(p.probability, p.work_ns)),
+        KeyRouter => StatelessKernel::KeyRouter(crate::KeyRouter::new(p.num_keys, p.work_ns)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_operator;
+    use spinstreams_runtime::sample_stream;
+
+    #[test]
+    fn every_stateless_kind_has_a_kernel_and_nothing_else_does() {
+        let params = OperatorParams::default();
+        for kind in OperatorKind::all() {
+            assert_eq!(
+                build_kernel(*kind, &params).is_some(),
+                kind.is_stateless(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_boxed_operator_bit_for_bit() {
+        // Same params, same input stream: the kernel and the dynamic
+        // operator must emit identical (port, tuple) sequences.
+        let params = OperatorParams {
+            work_ns: 0,
+            threshold: 0.4,
+            probability: 0.3,
+            fanout: 3,
+            keep: 1,
+            num_keys: 7,
+            rounds: 4,
+            ..Default::default()
+        };
+        let inputs = sample_stream(500, 8, 99);
+        for kind in OperatorKind::all().iter().filter(|k| k.is_stateless()) {
+            let mut kernel = build_kernel(*kind, &params).unwrap();
+            let mut boxed = build_operator(*kind, &params);
+            let mut kout = Outputs::new();
+            let mut bout = Outputs::new();
+            for item in &inputs {
+                kernel.apply(*item, &mut kout);
+                boxed.process(*item, &mut bout);
+            }
+            assert_eq!(kout.items(), bout.items(), "{kind}");
+        }
+    }
+}

@@ -12,6 +12,9 @@ pub enum Layer {
     Base,
     /// The Algorithm 2 fission plan (replicated deployment).
     Fission,
+    /// The Algorithm 3 fusion group, deployed once monomorphized and once
+    /// force-interpreted (differential check of the static kernel layer).
+    Fusion,
 }
 
 impl std::fmt::Display for Layer {
@@ -19,6 +22,7 @@ impl std::fmt::Display for Layer {
         match self {
             Layer::Base => write!(f, "base"),
             Layer::Fission => write!(f, "fission"),
+            Layer::Fusion => write!(f, "fusion"),
         }
     }
 }
@@ -75,6 +79,9 @@ pub enum DivergenceKind {
     ThreadedRatio(OperatorId),
     /// The threaded run dropped items (BAS timeout fired).
     ThreadedDrops,
+    /// Monomorphized vs interpreted deployment of the same fusion group
+    /// disagreed on one operator's exact item counters.
+    FusionCounts(OperatorId),
     /// A pipeline stage failed outright (codegen/engine error).
     Pipeline,
 }

@@ -1,5 +1,6 @@
 //! Oracle configuration: scenario generation knobs and tolerance bands.
 
+use spinstreams_runtime::PinningConfig;
 use spinstreams_topogen::TopogenConfig;
 
 /// Tolerance bands for the three-way comparison.
@@ -62,6 +63,11 @@ pub struct OracleConfig {
     /// Also validate the Algorithm 2 fission plan (`evaluate_with_replicas`
     /// vs a replicated sim deployment) when the plan replicates anything.
     pub check_fission: bool,
+    /// Also differential-test the Algorithm 3 fusion path: deploy the
+    /// longest fusable stateless chain once monomorphized and once
+    /// force-interpreted and require exact per-operator count equality
+    /// (skipped when the scenario has no such chain).
+    pub check_fusion: bool,
     /// Number of leading seeds that additionally get a smoke-scale
     /// *threaded* run (0 disables the layer; it spins real CPU time).
     pub threaded_runs: usize,
@@ -75,6 +81,10 @@ pub struct OracleConfig {
     /// core), `None` keeps thread-per-actor. The oracle's comparisons must
     /// hold under either scheduling discipline.
     pub workers: Option<usize>,
+    /// Core-pinning policy for the threaded smoke layer
+    /// (`EngineConfig::pinning`): the comparisons must also hold when the
+    /// engine pins its threads and shards actors by stage.
+    pub pinning: PinningConfig,
     /// Delta-debug divergent scenarios down to a minimal counterexample.
     pub minimize: bool,
     /// Hard cap on pipeline evaluations spent minimizing one scenario.
@@ -93,9 +103,11 @@ impl Default for OracleConfig {
             min_calibration_samples: 100,
             tolerances: Tolerances::default(),
             check_fission: true,
+            check_fusion: true,
             threaded_runs: 4,
             threaded_items: 6_000,
             workers: None,
+            pinning: PinningConfig::default(),
             minimize: true,
             minimize_budget: 200,
         }

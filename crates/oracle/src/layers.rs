@@ -2,9 +2,13 @@
 //! threaded smoke runs.
 
 use crate::OracleConfig;
-use spinstreams_codegen::{build_actor_graph, CodegenError, CodegenOptions};
+use spinstreams_codegen::{
+    build_actor_graph, CodegenError, CodegenOptions, FusionGroup, FusionStrategy,
+};
 use spinstreams_core::{KeyDistribution, OperatorId, Selectivity, ServiceTime, Topology};
-use spinstreams_runtime::{execute, EngineConfig, EngineError, Executor, ExecutorKind, SimConfig};
+use spinstreams_runtime::{
+    execute, EngineConfig, EngineError, Executor, ExecutorKind, PinningConfig, SimConfig,
+};
 use std::fmt;
 
 /// Errors from an oracle pipeline stage.
@@ -65,14 +69,16 @@ pub fn sim_executor(seed: u64) -> Executor {
 /// The threaded executor used by the smoke layer: thread-per-actor by
 /// default, or the worker-pool executor when `workers` is set (`Some(0)`
 /// = one worker per core). The oracle's rate comparisons must hold under
-/// either scheduling discipline.
-pub fn threaded_executor(seed: u64, workers: Option<usize>) -> Executor {
+/// either scheduling discipline — and under core pinning, which reorders
+/// nothing semantically but changes every thread's placement.
+pub fn threaded_executor(seed: u64, workers: Option<usize>, pinning: &PinningConfig) -> Executor {
     Executor::Threads(EngineConfig {
         seed,
         executor: match workers {
             Some(n) => ExecutorKind::Pool { workers: n },
             None => ExecutorKind::ThreadPerActor,
         },
+        pinning: pinning.clone(),
         ..EngineConfig::default()
     })
 }
@@ -125,8 +131,42 @@ pub fn measure(
     seed: u64,
     executor: &Executor,
 ) -> Result<LayerMeasurement, OracleError> {
-    let opts = CodegenOptions { items, seed };
-    let plan = build_actor_graph(topo, Some(source_keys.clone()), replicas, &[], &opts)?;
+    measure_with(
+        topo,
+        source_keys,
+        replicas,
+        &[],
+        FusionStrategy::Monomorphize,
+        items,
+        seed,
+        executor,
+    )
+}
+
+/// [`measure`] generalized with fusion groups and an explicit
+/// [`FusionStrategy`] — the fusion layer deploys the same groups once
+/// monomorphized and once force-interpreted and compares the two.
+///
+/// # Errors
+///
+/// Propagates codegen/engine failures.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_with(
+    topo: &Topology,
+    source_keys: &KeyDistribution,
+    replicas: &[usize],
+    fusions: &[FusionGroup],
+    fusion: FusionStrategy,
+    items: u64,
+    seed: u64,
+    executor: &Executor,
+) -> Result<LayerMeasurement, OracleError> {
+    let opts = CodegenOptions {
+        items,
+        seed,
+        fusion,
+    };
+    let plan = build_actor_graph(topo, Some(source_keys.clone()), replicas, fusions, &opts)?;
     let report = execute(plan.graph, executor)?;
 
     let n = topo.num_operators();

@@ -40,7 +40,8 @@ pub use compare::{
 };
 pub use config::{OracleConfig, Tolerances};
 pub use layers::{
-    annotate, calibrate, measure, sim_executor, threaded_executor, LayerMeasurement, OracleError,
+    annotate, calibrate, measure, measure_with, sim_executor, threaded_executor, LayerMeasurement,
+    OracleError,
 };
 pub use minimize::{minimize, MinimalCase};
 pub use scenario::{scenario, Scenario};

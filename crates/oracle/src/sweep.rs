@@ -1,12 +1,14 @@
 //! The oracle sweep: seeded scenario evaluation and the driver loop.
 
 use crate::{
-    annotate, compare_layer, compare_threaded, measure, minimize, scenario, sim_executor,
-    threaded_executor, Divergence, DivergenceKind, Layer, MinimalCase, OracleConfig, RateTable,
-    Scenario,
+    annotate, compare_layer, compare_threaded, measure, measure_with, minimize, scenario,
+    sim_executor, threaded_executor, Divergence, DivergenceKind, Layer, MinimalCase, OracleConfig,
+    RateTable, Scenario,
 };
 use spinstreams_analysis::{eliminate_bottlenecks, evaluate_with_replicas, steady_state};
-use spinstreams_core::{KeyDistribution, Topology};
+use spinstreams_codegen::{FusionGroup, FusionStrategy};
+use spinstreams_core::{KeyDistribution, OperatorId, Topology};
+use spinstreams_operators::OperatorKind;
 
 /// The outcome of evaluating one scenario through every oracle layer.
 #[derive(Debug, Clone)]
@@ -24,6 +26,49 @@ impl ScenarioReport {
     pub fn is_clean(&self) -> bool {
         self.divergences.is_empty()
     }
+}
+
+/// Finds the longest fusable stateless chain in `topo`: consecutive
+/// non-source operators, each of a stateless registry kind (so it has a
+/// static kernel form), each with exactly one out-edge, and each non-front
+/// member fed only by its predecessor. Such a group passes codegen's
+/// fusion-group validation and — under [`FusionStrategy::Monomorphize`] —
+/// compiles to a statically dispatched chain, so deploying it under both
+/// strategies differential-tests the kernel layer against the interpreted
+/// meta-operator. Returns `None` when no two adjacent operators qualify.
+fn fusable_chain(topo: &Topology) -> Option<FusionGroup> {
+    let eligible = |id: OperatorId| {
+        id != topo.source()
+            && topo.out_edges(id).len() == 1
+            && topo
+                .operator(id)
+                .kind
+                .parse::<OperatorKind>()
+                .is_ok_and(|k| k.is_stateless())
+    };
+    let mut best: Option<Vec<OperatorId>> = None;
+    for start in topo.operator_ids() {
+        if !eligible(start) {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut cur = start;
+        loop {
+            let next = topo.edge(topo.out_edges(cur)[0]).to;
+            if !eligible(next) || topo.in_edges(next).len() != 1 || chain.contains(&next) {
+                break;
+            }
+            chain.push(next);
+            cur = next;
+        }
+        if chain.len() >= 2 && best.as_ref().is_none_or(|b| chain.len() > b.len()) {
+            best = Some(chain);
+        }
+    }
+    best.map(|chain| FusionGroup {
+        front: chain[0],
+        members: chain.into_iter().collect(),
+    })
 }
 
 /// Runs the full differential pipeline on one (possibly hand-modified)
@@ -116,7 +161,7 @@ pub fn evaluate(
             &[],
             cfg.threaded_items,
             seed,
-            &threaded_executor(seed, cfg.workers),
+            &threaded_executor(seed, cfg.workers, &cfg.pinning),
         ) {
             Ok(thr) => {
                 divergences.extend(compare_threaded(
@@ -193,6 +238,66 @@ pub fn evaluate(
                     seed,
                     Layer::Fission,
                     "sim run",
+                    e.to_string(),
+                ),
+            }
+        }
+    }
+
+    // Fusion layer: deploy the longest fusable stateless chain twice on
+    // the deterministic simulator — once with the group compiled to a
+    // monomorphized kernel chain, once forced through the interpreted
+    // meta-operator — and require the per-operator item counters to agree
+    // *exactly*. Both runs share the seed and the sim is bit-for-bit
+    // deterministic, so any difference is a kernel-vs-interpreter
+    // semantics bug, not noise. Skipped when the scenario has no chain.
+    if cfg.check_fusion {
+        if let Some(group) = fusable_chain(&cal) {
+            let groups = [group];
+            let run = |strategy| {
+                measure_with(
+                    &cal,
+                    source_keys,
+                    &[],
+                    &groups,
+                    strategy,
+                    cfg.items,
+                    seed,
+                    &sim_executor(seed),
+                )
+            };
+            match (
+                run(FusionStrategy::Monomorphize),
+                run(FusionStrategy::Interpret),
+            ) {
+                (Ok(mono), Ok(interp)) => {
+                    for id in cal.operator_ids() {
+                        if mono.items_in[id.0] != interp.items_in[id.0]
+                            || mono.items_out[id.0] != interp.items_out[id.0]
+                        {
+                            divergences.push(Divergence {
+                                seed,
+                                layer: Layer::Fusion,
+                                kind: DivergenceKind::FusionCounts(id),
+                                detail: format!(
+                                    "{} ({id}): monomorphized {}/{} vs interpreted {}/{} \
+                                     items in/out (group {:?})",
+                                    cal.operator(id).name,
+                                    mono.items_in[id.0],
+                                    mono.items_out[id.0],
+                                    interp.items_in[id.0],
+                                    interp.items_out[id.0],
+                                    groups[0].members,
+                                ),
+                            });
+                        }
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => pipeline_failure(
+                    &mut divergences,
+                    seed,
+                    Layer::Fusion,
+                    "fused run",
                     e.to_string(),
                 ),
             }
@@ -304,6 +409,71 @@ mod tests {
             );
             assert!(!report.tables.is_empty());
         }
+    }
+
+    #[test]
+    fn fusable_chain_finds_the_longest_stateless_run() {
+        use spinstreams_core::{OperatorSpec, Selectivity, ServiceTime};
+        let mut b = Topology::builder();
+        let src = b.add_operator(
+            OperatorSpec::source("src", ServiceTime::from_micros(1.0)).with_kind("source"),
+        );
+        let a = b.add_operator(
+            OperatorSpec::stateless("a", ServiceTime::from_micros(1.0)).with_kind("identity-map"),
+        );
+        let f = b.add_operator(
+            OperatorSpec::stateless("f", ServiceTime::from_micros(1.0))
+                .with_kind("filter")
+                .with_selectivity(Selectivity::output(0.5)),
+        );
+        let agg = b.add_operator(
+            OperatorSpec::stateful("agg", ServiceTime::from_micros(1.0)).with_kind("global-sum"),
+        );
+        let sink = b.add_operator(
+            OperatorSpec::stateless("sink", ServiceTime::from_micros(1.0))
+                .with_kind("identity-map"),
+        );
+        b.add_edge(src, a, 1.0).unwrap();
+        b.add_edge(a, f, 1.0).unwrap();
+        b.add_edge(f, agg, 1.0).unwrap();
+        b.add_edge(agg, sink, 1.0).unwrap();
+        let topo = b.build().unwrap();
+        // a → f is the only stateless run of length ≥ 2: the source is
+        // excluded, the aggregate is stateful, and the sink has no
+        // out-edge to carry the chain's output.
+        let g = fusable_chain(&topo).expect("chain");
+        assert_eq!(g.front, a);
+        assert_eq!(g.members, [a, f].into_iter().collect());
+        // A purely stateful pipeline has no chain at all.
+        let mut b = Topology::builder();
+        let src = b.add_operator(
+            OperatorSpec::source("src", ServiceTime::from_micros(1.0)).with_kind("source"),
+        );
+        let j = b.add_operator(
+            OperatorSpec::stateful("join", ServiceTime::from_micros(1.0)).with_kind("equi-join"),
+        );
+        let sink = b.add_operator(
+            OperatorSpec::stateless("sink", ServiceTime::from_micros(1.0))
+                .with_kind("identity-map"),
+        );
+        b.add_edge(src, j, 1.0).unwrap();
+        b.add_edge(j, sink, 1.0).unwrap();
+        assert!(fusable_chain(&b.build().unwrap()).is_none());
+    }
+
+    #[test]
+    fn generated_scenarios_exercise_the_fusion_layer() {
+        // The fusion layer silently skips scenarios without a fusable
+        // chain; if the generator stopped producing adjacent stateless
+        // operators the differential check would quietly stop running.
+        let cfg = quick_cfg();
+        let hits = (0..20)
+            .filter(|&seed| fusable_chain(&scenario(seed, &cfg).topology).is_some())
+            .count();
+        assert!(
+            hits >= 3,
+            "only {hits}/20 generated scenarios have a fusable chain"
+        );
     }
 
     #[test]

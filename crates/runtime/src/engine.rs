@@ -8,10 +8,11 @@
 //! the SS2Akka decoupling of logical operators from runtime executors (§4),
 //! which keeps fission-inflated graphs from oversubscribing cores.
 
+use crate::affinity::{pin_current_thread, PinningConfig};
 use crate::checkpoint::{CheckpointCoordinator, ReplayBuffer, StateSnapshot};
 use crate::graph::{ActorGraph, ActorSpec, Behavior, SourceConfig};
 use crate::mailbox::{
-    channel, channel_spsc, BatchFailure, BatchOutcome, DepthProbe, Envelope, RecvBatch,
+    channel, channel_spsc, BatchFailure, BatchOutcome, BatchPool, DepthProbe, Envelope, RecvBatch,
     SendOutcome, Sender, TryRecvBatch, TrySend,
 };
 use crate::metrics::{ActorMetrics, RunReport};
@@ -118,6 +119,18 @@ pub struct EngineConfig {
     /// reset; overflows are counted in the report. Irrelevant with
     /// `checkpoint_interval = None`.
     pub replay_capacity: usize,
+    /// CPU affinity for the engine's threads (disabled by default).
+    ///
+    /// When a core list is given, actors are *sharded by topological
+    /// stage*: every actor's Kahn rank is mapped onto a contiguous band of
+    /// the list, so pipeline neighbours land on nearby cores and a stage's
+    /// working set stays in one cache domain. Thread-per-actor pins each
+    /// actor thread to its band's core; the pool executor pins worker `w`
+    /// to `cores[w % len]`, pins source threads round-robin, and splits its
+    /// ready queue into per-core shards (workers drain their own shard
+    /// first, then steal). On platforms without affinity support pinning
+    /// degrades to a warn-once no-op and the run proceeds unpinned.
+    pub pinning: PinningConfig,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +145,7 @@ impl Default for EngineConfig {
             executor: ExecutorKind::ThreadPerActor,
             checkpoint_interval: None,
             replay_capacity: 8192,
+            pinning: PinningConfig::default(),
         }
     }
 }
@@ -309,8 +323,13 @@ struct DeliveryCtx {
     /// Deadline after which a paced source flushes an unfilled batch.
     flush_interval: Duration,
     /// Per-destination coalescing buffers (indexed by actor id; only the
-    /// slots of reachable destinations are ever used).
+    /// slots of reachable destinations are ever used). Reachable slots are
+    /// checked out of `buf_pool` pre-sized to the batch limit, so the
+    /// steady-state send path never grows them.
     out_bufs: Vec<Vec<Envelope>>,
+    /// The run-wide buffer slab `out_bufs` was drawn from; buffers go back
+    /// to it in [`release_buffers`](Self::release_buffers) at actor finish.
+    buf_pool: Arc<BatchPool>,
     /// Total envelopes currently coalesced across all buffers.
     buffered: usize,
     /// When the coalescing buffers were last drained (deadline policy).
@@ -366,6 +385,19 @@ impl DeliveryCtx {
             self.cached_now_ns
         } else {
             self.now_ns()
+        }
+    }
+
+    /// Hands every checked-out coalescing buffer back to the run-wide
+    /// [`BatchPool`]. Called exactly once, after the actor's terminal
+    /// flush: the capacity this actor no longer needs is then reused by
+    /// whoever allocates next instead of sitting dead until shutdown.
+    fn release_buffers(&mut self) {
+        let bufs = std::mem::take(&mut self.out_bufs);
+        for buf in bufs {
+            if buf.capacity() > 0 {
+                self.buf_pool.give(buf);
+            }
         }
     }
 
@@ -727,6 +759,7 @@ fn run_source(cfg: SourceConfig, mut ctx: DeliveryCtx) -> DeadLetterLog {
     }
     ctx.propagate_eos();
     ctx.trace_event(TraceEventKind::ActorFinished);
+    ctx.release_buffers();
     std::mem::take(&mut ctx.dead_letters)
 }
 
@@ -1377,6 +1410,7 @@ fn run_worker(mut task: WorkerTask) -> DeadLetterLog {
         }
     }
     task.finish();
+    task.ctx.release_buffers();
     std::mem::take(&mut task.ctx.dead_letters)
 }
 
@@ -1409,9 +1443,20 @@ struct PoolShared {
     tasks: Vec<Mutex<Option<WorkerTask>>>,
     /// Per-task scheduling state (`T_IDLE` … `T_DONE`).
     states: Vec<AtomicU8>,
-    /// Indexes of `T_READY` tasks awaiting a worker.
-    ready: Mutex<VecDeque<usize>>,
+    /// Indexes of `T_READY` tasks awaiting a worker, sharded by topological
+    /// stage band (see [`PoolShared::shard_of`]). One shard — the common,
+    /// unpinned case — is exactly the classic single ready queue. All
+    /// shards share one lock and condvar: sharding here is about *cache
+    /// locality under pinning* (a pinned worker drains its own stage band
+    /// first), not about lock splitting, and a single lock keeps the
+    /// park/notify protocol and the exit condition unchanged.
+    ready: Mutex<Vec<VecDeque<usize>>>,
     ready_cv: Condvar,
+    /// Shard index per actor: its topological rank band. With `s` shards
+    /// over `n` actors, actor `i` lands in shard `rank[i] * s / n` —
+    /// contiguous pipeline stages share a shard, so the worker pinned to
+    /// that band keeps producer/consumer pairs on one core's cache.
+    shard_of: Vec<usize>,
     /// Worker tasks not yet `T_DONE`; pool threads exit when it hits zero.
     live: AtomicUsize,
     /// Uncontainable panics (outside `guarded_call`, e.g. a panicking
@@ -1432,13 +1477,16 @@ struct PoolShared {
 }
 
 impl PoolShared {
-    fn new(rank: Vec<usize>) -> Self {
+    fn new(rank: Vec<usize>, shards: usize) -> Self {
         let n = rank.len();
+        let shards = shards.max(1);
+        let shard_of = rank.iter().map(|&r| r * shards / n.max(1)).collect();
         PoolShared {
             tasks: (0..n).map(|_| Mutex::new(None)).collect(),
             states: (0..n).map(|_| AtomicU8::new(T_IDLE)).collect(),
-            ready: Mutex::new(VecDeque::new()),
+            ready: Mutex::new(vec![VecDeque::new(); shards]),
             ready_cv: Condvar::new(),
+            shard_of,
             live: AtomicUsize::new(0),
             failures: Mutex::new(Vec::new()),
             collected: Mutex::new(Vec::new()),
@@ -1458,8 +1506,11 @@ impl PoolShared {
                         .is_ok()
                     {
                         let mut q = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
-                        q.push_back(i);
+                        q[self.shard_of[i]].push_back(i);
                         drop(q);
+                        // `notify_one` may rouse a worker homed on another
+                        // shard; that is fine — workers steal across shards
+                        // before parking, so no wake is ever lost.
                         self.ready_cv.notify_one();
                         return;
                     }
@@ -1510,6 +1561,7 @@ fn run_task(pool: &Arc<PoolShared>, i: usize) {
         };
         if finished {
             if let Some(mut task) = slot.take() {
+                task.ctx.release_buffers();
                 let log = std::mem::take(&mut task.ctx.dead_letters);
                 pool.collected
                     .lock()
@@ -1555,9 +1607,15 @@ fn run_task(pool: &Arc<PoolShared>, i: usize) {
 fn run_one_ready(pool: &Arc<PoolShared>, min_rank: usize) -> bool {
     let popped = {
         let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
-        q.iter()
-            .position(|&i| pool.rank[i] >= min_rank)
-            .and_then(|pos| q.remove(pos))
+        // Higher shards hold higher-ranked (more downstream) stages, so
+        // scan back-to-front: the first eligible task found is the one
+        // most likely to free mailbox space for the blocked helper.
+        q.iter_mut().rev().find_map(|shard| {
+            shard
+                .iter()
+                .position(|&i| pool.rank[i] >= min_rank)
+                .and_then(|pos| shard.remove(pos))
+        })
     };
     match popped {
         Some(i) => {
@@ -1579,19 +1637,27 @@ fn run_one_ready(pool: &Arc<PoolShared>, min_rank: usize) -> bool {
 /// next quantum, and yielding to it is far cheaper than the futex
 /// round-trip of a park/notify pair per burst — the context-switch thrash
 /// this executor exists to remove.
-fn worker_loop(pool: &Arc<PoolShared>) {
+fn worker_loop(pool: &Arc<PoolShared>, home: usize) {
     const YIELDS_BEFORE_PARK: u32 = 64;
     enum Next {
         Run(usize),
         Yield,
         Exit,
     }
+    // Drain the home shard (this worker's pinned stage band) first, then
+    // steal from the others in wrapping order — downstream neighbours
+    // before far-away bands, so stolen work stays close to the home band's
+    // cache footprint. With one shard this is exactly `q.pop_front()`.
+    let pop = |q: &mut Vec<VecDeque<usize>>| -> Option<usize> {
+        let shards = q.len();
+        (0..shards).find_map(|d| q[(home + d) % shards].pop_front())
+    };
     let mut idle_yields = 0u32;
     loop {
         let next = {
             let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(i) = q.pop_front() {
+                if let Some(i) = pop(&mut q) {
                     break Next::Run(i);
                 }
                 if pool.live.load(Ordering::Acquire) == 0 {
@@ -1808,6 +1874,11 @@ fn run_with(
     });
 
     let started_at = Instant::now();
+    // Run-wide slab of coalescing buffers: every reachable destination gets
+    // a buffer checked out pre-sized to the batch limit, and actors hand
+    // them back when they finish — the steady-state send path never grows
+    // (or allocates) a buffer.
+    let buf_pool = Arc::new(BatchPool::new(config.batch_size.max(1)));
     // Build every actor's runnable state up front, independent of which
     // executor will drive it.
     enum Prepared {
@@ -1846,6 +1917,16 @@ fn run_with(
             })
             .collect();
         out_targets.push(eos_targets.clone());
+        let out_bufs: Vec<Vec<Envelope>> = my_senders
+            .iter()
+            .map(|s| {
+                if s.is_some() {
+                    buf_pool.take()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
         let ctx = DeliveryCtx {
             id: ActorId(i),
             senders: my_senders,
@@ -1861,7 +1942,8 @@ fn run_with(
             stamp: hub.is_some(),
             batch_size: config.batch_size.max(1),
             flush_interval: config.flush_interval,
-            out_bufs: vec![Vec::new(); n],
+            out_bufs,
+            buf_pool: Arc::clone(&buf_pool),
             buffered: 0,
             last_flush: started_at,
             cached_now_ns: 0,
@@ -1957,6 +2039,31 @@ fn run_with(
         })
     });
 
+    // Kahn's algorithm over the (validated acyclic) graph assigns every
+    // actor a unique topological rank: each edge ends at a strictly higher
+    // rank. The pool executor's rank-filtered helping relies on this
+    // invariant, and stage sharding (both executors) maps rank bands onto
+    // the configured core list so pipeline neighbours share a cache domain.
+    let rank = {
+        let mut deg = in_degrees.clone();
+        let mut order: VecDeque<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
+        let mut rank = vec![0usize; n];
+        let mut next = 0usize;
+        while let Some(u) = order.pop_front() {
+            rank[u] = next;
+            next += 1;
+            for &v in &out_targets[u] {
+                deg[v] -= 1;
+                if deg[v] == 0 {
+                    order.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(next, n, "validated graph is acyclic");
+        rank
+    };
+    let cores = config.pinning.cores.clone();
+
     let mut names = vec![String::new(); n];
     let mut failures: Vec<(usize, String)> = Vec::new();
     let mut actor_logs: Vec<(usize, DeadLetterLog)> = Vec::with_capacity(n);
@@ -1964,14 +2071,21 @@ fn run_with(
         None => {
             // Thread-per-actor: spawn, then join every thread before
             // returning — even after a failure — so no actor outlives
-            // `run`.
+            // `run`. With pinning on, actor `i` goes to the core owning
+            // its contiguous rank band: `cores[rank[i] * len / n]`.
             let mut handles = Vec::with_capacity(n);
             for (i, (name, pa)) in prepared.into_iter().enumerate() {
+                let pin_to = (!cores.is_empty()).then(|| cores[rank[i] * cores.len() / n]);
                 let handle = thread::Builder::new()
                     .name(format!("ss-{i}-{name}"))
-                    .spawn(move || match pa {
-                        Prepared::Source { cfg, ctx } => run_source(cfg, ctx),
-                        Prepared::Worker { task } => run_worker(task),
+                    .spawn(move || {
+                        if let Some(core) = pin_to {
+                            pin_current_thread(core);
+                        }
+                        match pa {
+                            Prepared::Source { cfg, ctx } => run_source(cfg, ctx),
+                            Prepared::Worker { task } => run_worker(task),
+                        }
                     })
                     .expect("spawn actor thread");
                 handles.push((i, name, handle));
@@ -1991,39 +2105,34 @@ fn run_with(
             // parking; worker actors become [`PoolShared`] tasks
             // multiplexed over the fixed worker threads.
             //
-            // Kahn's algorithm over the (validated acyclic) graph assigns
-            // every actor a unique topological rank: each edge ends at a
-            // strictly higher rank, the invariant rank-filtered helping
-            // relies on.
-            let rank = {
-                let mut deg = in_degrees.clone();
-                let mut order: VecDeque<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
-                let mut rank = vec![0usize; n];
-                let mut next = 0usize;
-                while let Some(u) = order.pop_front() {
-                    rank[u] = next;
-                    next += 1;
-                    for &v in &out_targets[u] {
-                        deg[v] -= 1;
-                        if deg[v] == 0 {
-                            order.push_back(v);
-                        }
-                    }
-                }
-                debug_assert_eq!(next, n, "validated graph is acyclic");
-                rank
-            };
-            let pool = Arc::new(PoolShared::new(rank));
+            // With pinning on, the ready queue is sharded per worker by
+            // rank band: worker `w` is pinned to `cores[w % len]` and
+            // drains its own band's shard first, so a pipeline stage's
+            // producer/consumer pairs run on the core owning their band.
+            // Unpinned, a single shard reproduces the classic FIFO queue.
+            let shards = if cores.is_empty() { 1 } else { workers.max(1) };
+            let pool = Arc::new(PoolShared::new(rank, shards));
             let mut source_handles = Vec::new();
             let mut task_ids = Vec::new();
+            let mut num_sources = 0usize;
             for (i, (name, pa)) in prepared.into_iter().enumerate() {
                 names[i] = name.clone();
                 match pa {
                     Prepared::Source { cfg, mut ctx } => {
                         ctx.pool = Some(Arc::clone(&pool));
+                        // Sources are pinned round-robin: they sleep on
+                        // their pace schedules, so spreading them evenly
+                        // matters more than band placement.
+                        let pin_to = (!cores.is_empty()).then(|| cores[num_sources % cores.len()]);
+                        num_sources += 1;
                         let handle = thread::Builder::new()
                             .name(format!("ss-{i}-{name}"))
-                            .spawn(move || run_source(cfg, ctx))
+                            .spawn(move || {
+                                if let Some(core) = pin_to {
+                                    pin_current_thread(core);
+                                }
+                                run_source(cfg, ctx)
+                            })
                             .expect("spawn source thread");
                         source_handles.push((i, handle));
                     }
@@ -2051,10 +2160,17 @@ fn run_with(
             let mut pool_handles = Vec::with_capacity(workers.max(1));
             for w in 0..workers.max(1) {
                 let pool = Arc::clone(&pool);
+                let pin_to = (!cores.is_empty()).then(|| cores[w % cores.len()]);
+                let home = w % shards;
                 pool_handles.push(
                     thread::Builder::new()
                         .name(format!("ss-pool-{w}"))
-                        .spawn(move || worker_loop(&pool))
+                        .spawn(move || {
+                            if let Some(core) = pin_to {
+                                pin_current_thread(core);
+                            }
+                            worker_loop(&pool, home)
+                        })
                         .expect("spawn pool worker thread"),
                 );
             }
@@ -2183,6 +2299,63 @@ mod tests {
         let r = run(g, &fast_cfg()).unwrap();
         assert_eq!(r.actor(k).items_in, 500);
         assert_eq!(r.actor(s).items_out, 500);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn pinned_pipeline_delivers_all_items_on_both_executors() {
+        // Pinning must never change results — on this machine the cores
+        // may not even exist, in which case it degrades to a warn-once
+        // no-op and the run proceeds unpinned.
+        for executor in [
+            ExecutorKind::ThreadPerActor,
+            ExecutorKind::Pool { workers: 2 },
+        ] {
+            let mut g = ActorGraph::new();
+            let s = g.add_actor(
+                "src",
+                Behavior::Source(SourceConfig::new(f64::INFINITY, 400)),
+            );
+            let a = g.add_actor("a", Behavior::worker(PassThrough));
+            let b = g.add_actor("b", Behavior::worker(PassThrough));
+            g.connect(s, Route::Unicast(a));
+            g.connect(a, Route::Unicast(b));
+            let cfg = EngineConfig {
+                executor,
+                batch_size: 8,
+                pinning: crate::affinity::PinningConfig::on_cores(vec![0, 1]),
+                ..fast_cfg()
+            };
+            let r = run(g, &cfg).unwrap();
+            assert_eq!(r.actor(b).items_in, 400, "{executor:?}");
+            assert_eq!(r.total_dropped(), 0, "{executor:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_pool_matches_unsharded_counts() {
+        // Pinning with more workers than actors forces multiple ready-queue
+        // shards (some permanently empty); stealing must still drain
+        // every task and the run must finish with identical counts.
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 1_000)),
+        );
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(PassThrough));
+        let c = g.add_actor("c", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        g.connect(b, Route::Unicast(c));
+        let cfg = EngineConfig {
+            executor: ExecutorKind::Pool { workers: 8 },
+            batch_size: 4,
+            pinning: crate::affinity::PinningConfig::on_cores(vec![0]),
+            ..fast_cfg()
+        };
+        let r = run(g, &cfg).unwrap();
+        assert_eq!(r.actor(c).items_in, 1_000);
         assert_eq!(r.total_dropped(), 0);
     }
 

@@ -1,0 +1,187 @@
+//! Monomorphized fused chains: the static counterpart of [`crate::MetaOperator`].
+//!
+//! Algorithm 3 fusion groups whose members are *stateless, known* kinds
+//! wired as a linear chain do not need the interpreted work-list of
+//! Algorithm 4: the group is a pure function `tail ∘ … ∘ front` applied to
+//! each input tuple. [`FusedChain`] executes exactly that, stage by stage
+//! over ping-pong buffers, with every member dispatched statically through
+//! a [`Kernel`] (typically an enum of concrete operator structs) instead
+//! of a `Box<dyn StreamOperator>` hop per member per tuple.
+//!
+//! Equivalence with the interpreted meta-operator is structural: for a
+//! linear chain the breadth-first work-list of Algorithm 4 visits items in
+//! stage-sequential order, which is precisely the order the ping-pong
+//! stages produce, and an all-`Unicast` route table draws no randomness —
+//! so a `FusedChain` and the `MetaOperator` it replaces emit byte-identical
+//! output streams. The codegen layer only monomorphizes groups that satisfy
+//! these conditions and falls back to the meta-operator otherwise.
+
+use crate::{Outputs, StreamOperator};
+use spinstreams_core::Tuple;
+
+/// A statically dispatched operator stage inside a [`FusedChain`].
+///
+/// `apply` has the same contract as [`StreamOperator::process`] restricted
+/// to stateless operators that emit on the default port: consume one item,
+/// emit zero or more. Implementors are typically enums matching on the
+/// concrete operator type, so the whole chain runs without dynamic
+/// dispatch.
+pub trait Kernel: Send {
+    /// Processes one input item, emitting any number of outputs.
+    fn apply(&mut self, item: Tuple, out: &mut Outputs);
+}
+
+/// A fusion group compiled to a statically dispatched stage pipeline.
+///
+/// Stages run path-sequentially: each input tuple is pushed through stage
+/// 0, every emitted item through stage 1, and so on; whatever survives the
+/// final stage leaves on the chain's single external output port. The two
+/// stage buffers are owned by the chain and only ever `clear()`ed, so the
+/// steady-state path performs no allocation once their capacity has grown
+/// to the group's peak fan-out.
+pub struct FusedChain<K> {
+    name: String,
+    kernels: Vec<K>,
+    out_port: usize,
+    ping: Outputs,
+    pong: Outputs,
+}
+
+impl<K: Kernel> FusedChain<K> {
+    /// Creates a chain executing `kernels` front-to-tail, emitting the
+    /// tail's output on external port `out_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty — a fusion group has at least one
+    /// member.
+    pub fn new(name: impl Into<String>, kernels: Vec<K>, out_port: usize) -> Self {
+        assert!(
+            !kernels.is_empty(),
+            "a fused chain needs at least one stage"
+        );
+        FusedChain {
+            name: name.into(),
+            kernels,
+            out_port,
+            ping: Outputs::new(),
+            pong: Outputs::new(),
+        }
+    }
+
+    /// Number of fused stages.
+    pub fn num_stages(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+impl<K: Kernel> StreamOperator for FusedChain<K> {
+    fn process(&mut self, item: Tuple, out: &mut Outputs) {
+        let (first, rest) = self
+            .kernels
+            .split_first_mut()
+            .expect("chain is non-empty by construction");
+        self.ping.clear();
+        first.apply(item, &mut self.ping);
+        for k in rest {
+            if self.ping.is_empty() {
+                break; // filtered out: nothing left to push downstream
+            }
+            self.pong.clear();
+            for (_, t) in self.ping.drain() {
+                k.apply(t, &mut self.pong);
+            }
+            std::mem::swap(&mut self.ping, &mut self.pong);
+        }
+        for (_, t) in self.ping.drain() {
+            out.emit(self.out_port, t);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self) {
+        // Stages are stateless by the monomorphization eligibility rule;
+        // only the scratch buffers could carry residue.
+        self.ping.clear();
+        self.pong.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal kernel set covering map / filter / fan-out shapes.
+    enum TestKernel {
+        Add(f64),
+        DropBelow(f64),
+        Dup,
+    }
+
+    impl Kernel for TestKernel {
+        fn apply(&mut self, item: Tuple, out: &mut Outputs) {
+            match self {
+                TestKernel::Add(d) => {
+                    out.emit_default(item.with_value(0, item.values[0] + *d));
+                }
+                TestKernel::DropBelow(t) => {
+                    if item.values[0] >= *t {
+                        out.emit_default(item);
+                    }
+                }
+                TestKernel::Dup => {
+                    out.emit_default(item);
+                    out.emit_default(item);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stages_apply_in_order() {
+        let mut c = FusedChain::new("F", vec![TestKernel::Add(1.0), TestKernel::Add(10.0)], 0);
+        let mut out = Outputs::new();
+        c.process(Tuple::splat(0, 0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.items()[0].1.values[0], 11.0);
+        assert_eq!(c.num_stages(), 2);
+    }
+
+    #[test]
+    fn filter_stage_short_circuits() {
+        let mut c = FusedChain::new(
+            "F",
+            vec![TestKernel::DropBelow(0.5), TestKernel::Add(1.0)],
+            0,
+        );
+        let mut out = Outputs::new();
+        c.process(Tuple::splat(0, 0, 0.1), &mut out);
+        assert!(out.is_empty());
+        c.process(Tuple::splat(0, 1, 0.9), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn fanout_preserves_stage_sequential_order() {
+        // Dup then Add: both copies of each input pass the Add stage in
+        // emission order, matching the meta-operator's BFS order on a
+        // linear chain.
+        let mut c = FusedChain::new("F", vec![TestKernel::Dup, TestKernel::Add(1.0)], 3);
+        let mut out = Outputs::new();
+        c.process(Tuple::splat(0, 7, 2.0), &mut out);
+        assert_eq!(out.len(), 2);
+        for (port, t) in out.items() {
+            assert_eq!(*port, 3, "externals leave on the configured port");
+            assert_eq!(t.values[0], 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_panics() {
+        let _ = FusedChain::<TestKernel>::new("F", vec![], 0);
+    }
+}

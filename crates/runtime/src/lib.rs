@@ -94,8 +94,10 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod checkpoint;
 mod engine;
+mod fused;
 mod graph;
 mod mailbox;
 mod meta;
@@ -109,12 +111,14 @@ mod sim;
 pub mod supervision;
 pub mod telemetry;
 
+pub use affinity::PinningConfig;
 pub use checkpoint::{CheckpointCoordinator, ReplayBuffer, SnapshotReader, StateSnapshot};
 pub use engine::{run, run_with_telemetry, EngineConfig, EngineError, ExecutorKind};
+pub use fused::{FusedChain, Kernel};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
 pub use mailbox::{
-    channel, channel_spsc, BatchFailure, BatchOutcome, Envelope, Receiver, RecvBatch, RecvResult,
-    SendOutcome, Sender, TryBatch, TryRecvBatch, TrySend,
+    channel, channel_spsc, BatchFailure, BatchOutcome, BatchPool, Envelope, Receiver, RecvBatch,
+    RecvResult, SendOutcome, Sender, TryBatch, TryRecvBatch, TrySend,
 };
 pub use meta::{MetaDest, MetaOperator, MetaRoute};
 pub use metrics::{ActorReport, RunReport};

@@ -1029,6 +1029,71 @@ impl Receiver {
     }
 }
 
+/// A slab of recycled coalescing buffers shared by every actor in a run.
+///
+/// Each actor's delivery context keeps one `Vec<Envelope>` per *reachable*
+/// destination; buffers are checked out of this pool at startup (already
+/// sized to the batch limit) and returned when the actor finishes, so the
+/// steady-state send path never grows a buffer: a flush hands the full
+/// vector to the mailbox and gets the same allocation back, and capacity a
+/// finished actor released is reused instead of allocated fresh.
+///
+/// The mutex is far off the hot path — it is taken once per buffer at actor
+/// startup and shutdown, never per tuple or per flush.
+pub struct BatchPool {
+    free: Mutex<Vec<Vec<Envelope>>>,
+    capacity: usize,
+}
+
+impl BatchPool {
+    /// Creates a pool handing out buffers pre-sized to `capacity` envelopes
+    /// (the engine's effective batch size; zero is bumped to one).
+    pub fn new(capacity: usize) -> Self {
+        BatchPool {
+            free: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The per-buffer capacity every checked-out buffer is pre-sized to.
+    pub fn buffer_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffers currently resident in the freelist.
+    pub fn available(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Checks a buffer out: a recycled one if the freelist has any, else a
+    /// fresh allocation at full capacity.
+    pub fn take(&self) -> Vec<Envelope> {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.capacity))
+    }
+
+    /// Returns `buf` to the freelist for the next [`take`](Self::take).
+    /// Undersized buffers (never grown to the batch limit, or checked out
+    /// of a differently-sized pool) are dropped rather than recycled so the
+    /// pool's pre-sizing guarantee holds.
+    pub fn give(&self, mut buf: Vec<Envelope>) {
+        if buf.capacity() < self.capacity {
+            return;
+        }
+        buf.clear();
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1039,6 +1104,25 @@ mod tests {
     }
 
     const LONG: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn batch_pool_recycles_buffers() {
+        let pool = BatchPool::new(8);
+        let mut a = pool.take();
+        assert_eq!(a.capacity(), 8);
+        a.push(item(1));
+        let ptr = a.as_ptr();
+        pool.give(a);
+        assert_eq!(pool.available(), 1);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.as_ptr(), ptr, "give/take round-trips the same allocation");
+        assert_eq!(pool.available(), 0);
+        // Undersized buffers are dropped, not recycled: the pre-sizing
+        // guarantee of `take` must hold for every resident buffer.
+        pool.give(Vec::new());
+        assert_eq!(pool.available(), 0);
+    }
 
     #[test]
     fn send_recv_fifo_order() {

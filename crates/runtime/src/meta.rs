@@ -7,6 +7,7 @@
 //! sub-graph on one of the meta-operator's external ports. Because the
 //! sub-graph is acyclic, the internal work-list always drains (§4.2).
 
+use crate::checkpoint::StateSnapshot;
 use crate::rng::XorShift64;
 use crate::{Outputs, StreamOperator};
 use spinstreams_core::Tuple;
@@ -50,6 +51,11 @@ pub struct MetaOperator {
     front: usize,
     rng: XorShift64,
     scratch: Outputs,
+    /// Reusable Algorithm 4 work-list: drained back to empty by every
+    /// activation, so steady state never re-allocates it.
+    work: VecDeque<(usize, Tuple)>,
+    /// Flush traversal (front first, then the rest), precomputed once.
+    flush_order: Vec<usize>,
 }
 
 impl MetaOperator {
@@ -96,6 +102,9 @@ impl MetaOperator {
                     .collect()
             })
             .collect();
+        let flush_order = std::iter::once(front)
+            .chain((0..members.len()).filter(|m| *m != front))
+            .collect();
         MetaOperator {
             name: name.into(),
             members,
@@ -104,6 +113,8 @@ impl MetaOperator {
             front,
             rng: XorShift64::new(seed),
             scratch: Outputs::new(),
+            work: VecDeque::with_capacity(4),
+            flush_order,
         }
     }
 
@@ -128,15 +139,16 @@ impl MetaOperator {
         })
     }
 
-    fn drive(&mut self, start: VecDeque<(usize, Tuple)>, out: &mut Outputs) {
-        let mut work = start;
-        while let Some((m, item)) = work.pop_front() {
+    /// Drains `self.work` through the members, emitting externals to
+    /// `out`. The queue is always empty on return, ready for reuse.
+    fn drive(&mut self, out: &mut Outputs) {
+        while let Some((m, item)) = self.work.pop_front() {
             self.scratch.clear();
             let mut scratch = std::mem::take(&mut self.scratch);
             self.members[m].process(item, &mut scratch);
             for (port, emitted) in scratch.drain() {
                 match self.resolve(m, port) {
-                    Some(MetaDest::Member(j)) => work.push_back((j, emitted)),
+                    Some(MetaDest::Member(j)) => self.work.push_back((j, emitted)),
                     Some(MetaDest::Output(p)) => out.emit(p, emitted),
                     None => {} // unrouted member port: internal sink
                 }
@@ -148,31 +160,28 @@ impl MetaOperator {
 
 impl StreamOperator for MetaOperator {
     fn process(&mut self, item: Tuple, out: &mut Outputs) {
-        let mut work = VecDeque::with_capacity(4);
-        work.push_back((self.front, item));
-        self.drive(work, out);
+        self.work.push_back((self.front, item));
+        self.drive(out);
     }
 
     fn flush(&mut self, out: &mut Outputs) {
-        // Flush members front-first so buffered state (windows) drains
-        // through the same internal routing as live items.
-        let order: Vec<usize> = std::iter::once(self.front)
-            .chain((0..self.members.len()).filter(|m| *m != self.front))
-            .collect();
-        for m in order {
+        // Flush members front-first (precomputed order) so buffered
+        // state (windows) drains through the same internal routing as
+        // live items.
+        for idx in 0..self.flush_order.len() {
+            let m = self.flush_order[idx];
             self.scratch.clear();
             let mut scratch = std::mem::take(&mut self.scratch);
             self.members[m].flush(&mut scratch);
-            let mut work = VecDeque::new();
             for (port, emitted) in scratch.drain() {
                 match self.resolve(m, port) {
-                    Some(MetaDest::Member(j)) => work.push_back((j, emitted)),
+                    Some(MetaDest::Member(j)) => self.work.push_back((j, emitted)),
                     Some(MetaDest::Output(p)) => out.emit(p, emitted),
                     None => {}
                 }
             }
             self.scratch = scratch;
-            self.drive(work, out);
+            self.drive(out);
         }
     }
 
@@ -188,6 +197,66 @@ impl StreamOperator for MetaOperator {
             m.reset();
         }
         self.scratch.clear();
+        self.work.clear();
+    }
+
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        // Layout: rng state, member count, then per member a presence
+        // flag and (if present) its snapshot length-prefixed in 64-bit
+        // words. Epoch barriers land between tuples, so the work-list
+        // and scratch are empty and carry no state.
+        let mut snap = StateSnapshot::new();
+        snap.push_u64(self.rng.state());
+        snap.push_u64(self.members.len() as u64);
+        for m in &mut self.members {
+            match m.snapshot() {
+                Some(inner) => {
+                    debug_assert_eq!(inner.len() % 8, 0, "snapshots are u64-aligned");
+                    snap.push_u64(1);
+                    snap.push_u64((inner.len() / 8) as u64);
+                    let mut r = inner.reader();
+                    while let Some(w) = r.read_u64() {
+                        snap.push_u64(w);
+                    }
+                }
+                None => snap.push_u64(0),
+            }
+        }
+        Some(snap)
+    }
+
+    fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
+        let mut r = snapshot.reader();
+        let Some(rng_state) = r.read_u64() else {
+            return false;
+        };
+        match r.read_u64() {
+            Some(n) if n == self.members.len() as u64 => {}
+            _ => return false,
+        }
+        for m in &mut self.members {
+            match r.read_u64() {
+                Some(0) => {} // stateless member: fresh instance is fine
+                Some(1) => {
+                    let Some(words) = r.read_u64() else {
+                        return false;
+                    };
+                    let mut inner = StateSnapshot::new();
+                    for _ in 0..words {
+                        let Some(w) = r.read_u64() else {
+                            return false;
+                        };
+                        inner.push_u64(w);
+                    }
+                    if !m.restore(&inner) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        self.rng.set_state(rng_state);
+        true
     }
 }
 

@@ -27,6 +27,21 @@ impl XorShift64 {
         }
     }
 
+    /// Current generator state, for checkpointing. Never zero.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a state previously read with [`state`](Self::state), so a
+    /// recovered operator resumes the exact same random sequence.
+    pub fn set_state(&mut self, state: u64) {
+        self.state = if state == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            state
+        };
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;

@@ -24,10 +24,15 @@
 //!                                                     measured bottleneck, trace backpressure
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
-//!                      [--no-minimize] [--workers N] [--artifacts DIR]
+//!                      [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]
+//!                      [--artifacts DIR]
 //!                                                     differential oracle sweep: prediction vs
 //!                                                     simulator vs threaded runtime
 //! ```
+//!
+//! `run`, `chaos`, `monitor`, `inspect` and `oracle` also accept
+//! `--pin-cores 0,1,2` to pin the threaded engine's threads (stage-sharded;
+//! best-effort, no-op on platforms without affinity support).
 //!
 //! Topology files follow the §4.1 XML formalism (see `spinstreams-xml`);
 //! operators whose specs carry registry `kind` tags are runnable.
@@ -41,7 +46,9 @@ use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, Topology};
 use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig};
 use spinstreams_runtime::Executor;
-use spinstreams_runtime::{run_with_telemetry, EngineConfig, ExecutorKind, TelemetryConfig};
+use spinstreams_runtime::{
+    run_with_telemetry, EngineConfig, ExecutorKind, PinningConfig, TelemetryConfig,
+};
 use spinstreams_tool::{
     chaos_table, comparison_table, drift_json, experiment_executor, inspect, inspect_json,
     inspect_table, monitor_table, predict_vs_measure, predict_vs_measure_telemetry,
@@ -57,7 +64,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|inspect|dot> <topology.xml> [options]\n\
          \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
-         \x20                         [--no-minimize] [--workers N] [--artifacts DIR]\n\
+         \x20                         [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]\n\
+         \x20                         [--artifacts DIR]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -85,13 +93,17 @@ fn usage() -> ExitCode {
          --workers N selects the worker-pool executor with N threads (0 = one per core;\n\
          default: the file's <settings workers=\"N\"/>, else one dedicated thread per actor);\n\
          --checkpoint N enables epoch-aligned checkpointing every N source items (0 = off;\n\
-         default: the file's <settings checkpoint-interval=\"N\"/>, else off)\n\
+         default: the file's <settings checkpoint-interval=\"N\"/>, else off);\n\
+         --pin-cores 0,1,2 pins engine threads to the listed cores, sharding actors by\n\
+         topological stage (default: the file's <settings pin-cores=\"...\"/>, else unpinned;\n\
+         best-effort — warns and runs unpinned where affinity is unsupported)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan\n\
-         oracle    — cross-validate Algorithm 1/2 predictions against the simulator (and a\n\
+         oracle    — cross-validate Algorithm 1/2/3 predictions against the simulator (and a\n\
                      threaded smoke run) over seeded topologies; exits nonzero on divergence.\n\
                      --seeds N (default 20), --seed-start S (default 0), --no-threaded,\n\
-                     --no-fission, --no-minimize, --workers N (pool executor for the threaded\n\
-                     smoke runs), --artifacts DIR (write repro artifacts)"
+                     --no-fission, --no-fusion (skip the monomorphized-vs-interpreted fusion\n\
+                     layer), --no-minimize, --workers N (pool executor for the threaded\n\
+                     smoke runs), --pin-cores L, --artifacts DIR (write repro artifacts)"
     );
     ExitCode::FAILURE
 }
@@ -151,6 +163,9 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--no-fission") {
         cfg.check_fission = false;
     }
+    if args.iter().any(|a| a == "--no-fusion") {
+        cfg.check_fusion = false;
+    }
     if args.iter().any(|a| a == "--no-minimize") {
         cfg.minimize = false;
     }
@@ -163,10 +178,19 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(raw) = flag_value(args, "--pin-cores") {
+        match PinningConfig::parse(&raw) {
+            Ok(p) => cfg.pinning = p,
+            Err(e) => {
+                eprintln!("--pin-cores: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let artifacts = flag_value(args, "--artifacts");
 
     println!(
-        "oracle sweep: seeds {seed_start}..{} ({} threaded on {}, fission {}, minimize {})",
+        "oracle sweep: seeds {seed_start}..{} ({} threaded on {}, fission {}, fusion {}, minimize {})",
         seed_start + seeds - 1,
         cfg.threaded_runs.min(seeds as usize),
         match cfg.workers {
@@ -175,6 +199,7 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
             None => "thread-per-actor".to_string(),
         },
         if cfg.check_fission { "on" } else { "off" },
+        if cfg.check_fusion { "on" } else { "off" },
         if cfg.minimize { "on" } else { "off" },
     );
     let sweep = run_sweep(&cfg, seed_start, seeds, &mut |report| {
@@ -267,6 +292,25 @@ fn main() -> ExitCode {
             }
         },
         None => xml_settings.checkpoint_interval,
+    };
+    // And for core pinning: --pin-cores 0,1,2 beats the document's
+    // <settings pin-cores="..."/>. Pinning is best-effort — on platforms
+    // without affinity support the engine warns once and runs unpinned —
+    // and only applies to the threaded engine (virtual time has no
+    // threads to pin).
+    let pinning = match flag_value(&args, "--pin-cores") {
+        Some(raw) => match PinningConfig::parse(&raw) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--pin-cores: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => xml_settings
+            .pin_cores
+            .clone()
+            .map(PinningConfig::on_cores)
+            .unwrap_or_default(),
     };
 
     match cmd.as_str() {
@@ -456,6 +500,7 @@ fn main() -> ExitCode {
             cfg.batch_size = batch;
             cfg.workers = workers;
             cfg.checkpoint_interval = checkpoint;
+            cfg.pinning = pinning.clone();
             cfg.crash_at_epoch = match flag_value(&args, "--crash-at-epoch") {
                 Some(raw) => match raw.parse::<u64>() {
                     Ok(n) if n > 0 => Some(n),
@@ -529,6 +574,7 @@ fn main() -> ExitCode {
                 &CodegenOptions {
                     items,
                     seed: 0x3017,
+                    ..CodegenOptions::default()
                 },
             ) {
                 Ok(plan) => plan,
@@ -561,6 +607,7 @@ fn main() -> ExitCode {
                     Some(n) => ExecutorKind::Pool { workers: n },
                     None => ExecutorKind::ThreadPerActor,
                 },
+                pinning: pinning.clone(),
                 ..EngineConfig::default()
             };
             match run_with_telemetry(plan.graph, &engine, &tcfg) {
@@ -601,6 +648,7 @@ fn main() -> ExitCode {
                         Some(n) => ExecutorKind::Pool { workers: n },
                         None => ExecutorKind::ThreadPerActor,
                     },
+                    pinning: pinning.clone(),
                     ..EngineConfig::default()
                 })
             } else {

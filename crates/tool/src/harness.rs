@@ -158,6 +158,7 @@ pub fn calibrate(
     let opts = CodegenOptions {
         items,
         seed: executor_seed(executor) ^ 0xCA11_B8A7,
+        ..CodegenOptions::default()
     };
     let plan = build_actor_graph(topo, source_keys.cloned(), &[], &[], &opts)?;
     let report = execute(plan.graph, executor)?;
@@ -212,6 +213,7 @@ pub fn predict_vs_measure(
     let opts = CodegenOptions {
         items,
         seed: executor_seed(executor),
+        ..CodegenOptions::default()
     };
     let plan = build_actor_graph(topo, source_keys.cloned(), replicas, fusions, &opts)?;
     let run_report = execute(plan.graph, executor)?;

@@ -123,7 +123,17 @@ pub fn inspect(
         Executor::Threads(c) => c.seed,
         Executor::VirtualTime(c) => c.seed,
     };
-    let mut plan = build_actor_graph(topo, None, &[], &[], &CodegenOptions { items, seed })?;
+    let mut plan = build_actor_graph(
+        topo,
+        None,
+        &[],
+        &[],
+        &CodegenOptions {
+            items,
+            seed,
+            ..CodegenOptions::default()
+        },
+    )?;
     let graph = std::mem::take(&mut plan.graph);
     let (run, telemetry_report) = execute_with_telemetry(graph, executor, telemetry)?;
     let snapshot =

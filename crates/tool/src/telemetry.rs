@@ -220,7 +220,17 @@ pub fn predict_vs_measure_telemetry(
         Executor::Threads(c) => c.seed,
         Executor::VirtualTime(c) => c.seed,
     };
-    let plan = build_actor_graph(topo, None, &[], &[], &CodegenOptions { items, seed })?;
+    let plan = build_actor_graph(
+        topo,
+        None,
+        &[],
+        &[],
+        &CodegenOptions {
+            items,
+            seed,
+            ..CodegenOptions::default()
+        },
+    )?;
     let predicted = predicted_actor_rates(topo, &report, &plan);
 
     let exporter = DriftExporter::new(predicted, drift);
@@ -305,7 +315,11 @@ mod tests {
             None,
             &[],
             &[],
-            &CodegenOptions { items: 10, seed: 1 },
+            &CodegenOptions {
+                items: 10,
+                seed: 1,
+                ..CodegenOptions::default()
+            },
         )
         .unwrap();
         let rates = predicted_actor_rates(&topo, &report, &plan);
@@ -394,6 +408,7 @@ mod tests {
             &CodegenOptions {
                 items: 4_000,
                 seed: 0xD1A7,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();

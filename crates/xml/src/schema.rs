@@ -79,11 +79,12 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
 ///
 /// ```xml
 /// <topology name="...">
-///   <settings batch-size="64" workers="4" checkpoint-interval="1000"/>
+///   <settings batch-size="64" workers="4" checkpoint-interval="1000"
+///             pin-cores="0,1,2,3"/>
 ///   ...
 /// </topology>
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeSettings {
     /// Envelope batch size for the threaded engine's coalesced data path
     /// (`EngineConfig::batch_size`); `None` leaves the engine default.
@@ -96,6 +97,11 @@ pub struct RuntimeSettings {
     /// (`EngineConfig::checkpoint_interval`); `None` disables
     /// checkpointing (the default).
     pub checkpoint_interval: Option<u64>,
+    /// Cores to pin engine threads onto, in stage order
+    /// (`EngineConfig::pinning`); `None` leaves pinning off. Pinning is
+    /// best-effort: on platforms without affinity support the engine warns
+    /// once and runs unpinned.
+    pub pin_cores: Option<Vec<usize>>,
 }
 
 /// Extracts the optional [`RuntimeSettings`] from a topology document.
@@ -136,6 +142,25 @@ pub fn runtime_settings_from_xml(text: &str) -> Result<RuntimeSettings, SchemaEr
             })?;
             settings.checkpoint_interval = Some(n);
         }
+        if let Some(raw) = node.get_attr("pin-cores") {
+            // Same grammar as the CLI's --pin-cores: a non-empty
+            // comma-separated list of distinct core ids.
+            let mut cores = Vec::new();
+            for part in raw.split(',') {
+                let part = part.trim();
+                let core = part
+                    .parse::<usize>()
+                    .map_err(|_| invalid(format!("pin-cores={raw:?}: bad core id {part:?}")))?;
+                if cores.contains(&core) {
+                    return Err(invalid(format!("pin-cores={raw:?}: core {core} repeated")));
+                }
+                cores.push(core);
+            }
+            if cores.is_empty() {
+                return Err(invalid("pin-cores is empty".to_string()));
+            }
+            settings.pin_cores = Some(cores);
+        }
     }
     Ok(settings)
 }
@@ -158,6 +183,14 @@ pub fn topology_to_xml_with_settings(
     }
     if let Some(interval) = settings.checkpoint_interval {
         attrs.push_str(&format!(" checkpoint-interval=\"{interval}\""));
+    }
+    if let Some(cores) = &settings.pin_cores {
+        let list = cores
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        attrs.push_str(&format!(" pin-cores=\"{list}\""));
     }
     if attrs.is_empty() {
         return topology_to_xml(topo, name);
@@ -551,10 +584,13 @@ mod tests {
             batch_size: Some(64),
             workers: Some(4),
             checkpoint_interval: Some(1_000),
+            pin_cores: Some(vec![0, 2, 1]),
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &settings);
-        assert!(xml
-            .contains("<settings batch-size=\"64\" workers=\"4\" checkpoint-interval=\"1000\"/>"));
+        assert!(xml.contains(
+            "<settings batch-size=\"64\" workers=\"4\" checkpoint-interval=\"1000\" \
+             pin-cores=\"0,2,1\"/>"
+        ));
         // The settings element is invisible to the topology parser...
         let back = topology_from_xml(&xml).unwrap();
         assert_eq!(t, back);
@@ -582,6 +618,13 @@ mod tests {
         let xml = topology_to_xml_with_settings(&t, "sample", &checkpoint_only);
         assert!(xml.contains("<settings checkpoint-interval=\"500\"/>"));
         assert_eq!(runtime_settings_from_xml(&xml).unwrap(), checkpoint_only);
+        let pin_only = RuntimeSettings {
+            pin_cores: Some(vec![3]),
+            ..RuntimeSettings::default()
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &pin_only);
+        assert!(xml.contains("<settings pin-cores=\"3\"/>"));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), pin_only);
         // No settings: serializer emits the plain document, parser yields
         // defaults.
         let plain = topology_to_xml_with_settings(&t, "sample", &RuntimeSettings::default());
@@ -625,6 +668,22 @@ mod tests {
                     SchemaError::Invalid { .. }
                 ),
                 "workers {bad:?} must be rejected"
+            );
+        }
+        // pin-cores must be a non-empty list of distinct core ids.
+        for bad in ["", "a,b", "1,1", "-1", "0,"] {
+            let doc = format!(
+                r#"<topology name="t">
+                     <settings pin-cores="{bad}"/>
+                     <operator id="0" name="src" type="stateless" service-time="1"/>
+                   </topology>"#
+            );
+            assert!(
+                matches!(
+                    runtime_settings_from_xml(&doc).unwrap_err(),
+                    SchemaError::Invalid { .. }
+                ),
+                "pin-cores {bad:?} must be rejected"
             );
         }
         // checkpoint-interval must be a positive integer (off = omit it).

@@ -4,12 +4,12 @@
 Usage: validate_bench.py <BENCH_runtime.json>
 
 Structural checks (always):
-  * schema tag is "spinstreams-bench-runtime/3", mode is "full" or
+  * schema tag is "spinstreams-bench-runtime/4", mode is "full" or
     "smoke";
   * every (topology, executor, workers, batch size) cell of the sweep —
     thread-per-actor plus the worker pool at each advertised worker
-    count — is present exactly once, with positive items/wall/throughput
-    and a positive speedup;
+    count — is present exactly once, with positive items/wall/throughput,
+    a positive speedup, and a non-negative differential allocation count;
   * each configuration's batch-1 record has speedup 1.0 (it is that
     configuration's baseline).
 
@@ -20,6 +20,15 @@ meaningful):
   * on pipeline or replicated, the best executor at batch 64 must reach
     1.5x the pre-pool baseline recorded before the executor rework
     (the hot-path gate);
+  * the best batch-64 configuration on the monomorphized `fused` topology
+    must reach 1.5x the PR 7 pipeline batch-64 baseline (the fusion
+    gate — compiling the interior stages into one statically dispatched
+    chain removes one mailbox crossing in three and the per-member
+    dynamic-dispatch hop, and must pay off end to end);
+  * every `fused` record's differential allocation count must be zero
+    (<= 0.001 allocs/tuple of jitter headroom) — the steady-state data
+    path of a monomorphized chain performs no heap allocation (the
+    zero-allocation gate);
   * on at least one topology, some pool worker count at batch 64 must
     match or beat thread-per-actor at the same batch size (the
     worker-pool sanity gate — on a single-core runner the pool mostly
@@ -39,7 +48,7 @@ Exits non-zero (with a message) on the first violation.
 import json
 import sys
 
-TOPOLOGIES = {"pipeline", "fanout", "replicated"}
+TOPOLOGIES = {"pipeline", "fused", "fanout", "replicated"}
 BATCH_SIZES = {1, 8, 64}
 WORKER_COUNTS = {1, 2, 4}
 MIN_PIPELINE_SPEEDUP = 2.0
@@ -48,6 +57,17 @@ MIN_POOL_RATIO = 1.0
 # pool and the hot-path rework (thread-per-actor, same machine class).
 BASELINE_64 = {"pipeline": 2_001_882.0, "replicated": 1_686_061.0}
 MIN_BASELINE_SPEEDUP = 1.5
+# Pipeline batch-64 tuples/sec under thread-per-actor recorded in
+# BENCH_runtime.json as of PR 7 (causal span tracing), before operator
+# fusion was monomorphized. The fused topology is the same shape with its
+# interior compiled into one statically dispatched chain actor and must
+# beat this by MIN_FUSED_SPEEDUP end to end.
+PR7_PIPELINE_64 = 4_770_772.8
+MIN_FUSED_SPEEDUP = 1.5
+# Differential allocations per tuple tolerated on the fused topology:
+# nominally zero, with one allocation per thousand tuples of headroom for
+# one-off events (a parked-thread registry growing once, etc.).
+MAX_FUSED_ALLOCS_PER_TUPLE = 0.001
 # Best batch-64 tuples/sec per topology recorded in BENCH_runtime.json
 # immediately before the checkpointing layer landed. The bench never
 # enables checkpointing, so these runs must not pay for its existence.
@@ -67,7 +87,7 @@ def validate(path):
         except json.JSONDecodeError as e:
             fail(f"invalid JSON: {e}")
 
-    if doc.get("schema") != "spinstreams-bench-runtime/3":
+    if doc.get("schema") != "spinstreams-bench-runtime/4":
         fail(f"unknown schema tag {doc.get('schema')!r}")
     mode = doc.get("mode")
     if mode not in ("full", "smoke"):
@@ -95,6 +115,10 @@ def validate(path):
             v = r.get(field)
             if not isinstance(v, (int, float)) or v <= 0:
                 fail(f"{key}: field {field!r} must be positive, got {v!r}")
+        allocs = r.get("allocs_per_tuple")
+        if not isinstance(allocs, (int, float)) or allocs < 0:
+            fail(f"{key}: field 'allocs_per_tuple' must be non-negative, "
+                 f"got {allocs!r}")
         if key[3] == 1 and abs(r["speedup_vs_batch1"] - 1.0) > 1e-9:
             fail(f"{key}: batch-1 baseline must report speedup 1.0")
         seen[key] = r
@@ -107,7 +131,7 @@ def validate(path):
 
     tracing = doc.get("tracing")
     if not isinstance(tracing, dict):
-        fail("missing 'tracing' section (schema /3)")
+        fail("missing 'tracing' section (schema /4)")
     for field in ("untraced_tuples_per_sec", "traced_tuples_per_sec", "ratio"):
         v = tracing.get(field)
         if not isinstance(v, (int, float)) or v <= 0:
@@ -135,6 +159,28 @@ def validate(path):
               f"baseline ({best_gain[1]}, {best_gain[2]}"
               f"{'' if best_gain[3] is None else f', {best_gain[3]} workers'}, "
               f"batch 64)")
+        best_fused = max(((seen[("fused", e, w, 64)]["tuples_per_sec"], e, w)
+                          for (e, w) in configs), key=lambda c: c[0])
+        fused_gain = best_fused[0] / PR7_PIPELINE_64
+        if fused_gain < MIN_FUSED_SPEEDUP:
+            fail(f"best fused batch-64 throughput is only {fused_gain:.2f}x "
+                 f"the PR 7 pipeline baseline ({best_fused[0]:,.0f} vs "
+                 f"{PR7_PIPELINE_64:,.0f} tup/s), expected >= "
+                 f"{MIN_FUSED_SPEEDUP}x from monomorphized fusion")
+        print(f"{path}: fusion gate — fused at {fused_gain:.2f}x the PR 7 "
+              f"pipeline baseline ({best_fused[1]}"
+              f"{'' if best_fused[2] is None else f', {best_fused[2]} workers'}"
+              f", batch 64)")
+        worst_allocs = max(((r["allocs_per_tuple"], key)
+                            for key, r in seen.items() if key[0] == "fused"),
+                           key=lambda c: c[0])
+        if worst_allocs[0] > MAX_FUSED_ALLOCS_PER_TUPLE:
+            fail(f"{worst_allocs[1]}: fused steady state allocates "
+                 f"{worst_allocs[0]:.4f} per tuple, expected <= "
+                 f"{MAX_FUSED_ALLOCS_PER_TUPLE} (the data path must be "
+                 f"allocation-free)")
+        print(f"{path}: zero-allocation gate — worst fused record at "
+              f"{worst_allocs[0]:.4f} allocs/tuple")
         best_pool = None
         for t in sorted(TOPOLOGIES):
             threads = seen[(t, "threads", None, 64)]["tuples_per_sec"]

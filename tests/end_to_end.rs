@@ -99,6 +99,7 @@ fn generated_plan_counts_every_item_exactly_once() {
     let opts = CodegenOptions {
         items: 5_000,
         seed: 3,
+        ..CodegenOptions::default()
     };
     let plan = build_actor_graph(&topo, None, &[1, 2, 3, 1], &[], &opts).unwrap();
     let report = simulate(
@@ -143,6 +144,7 @@ fn threaded_and_virtual_executors_agree_on_counts() {
     let opts = CodegenOptions {
         items: 2_000,
         seed: 11,
+        ..CodegenOptions::default()
     };
     let p1 = build_actor_graph(&topo, None, &[], &[], &opts).unwrap();
     let r1 = simulate(

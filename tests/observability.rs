@@ -57,6 +57,7 @@ fn span_export_is_byte_identical_across_sim_runs_at_every_batch_size() {
             &CodegenOptions {
                 items: 6_000,
                 seed: 0xBEEF,
+                ..CodegenOptions::default()
             },
         )
         .unwrap();
@@ -242,6 +243,7 @@ fn online_reprofiler_matches_offline_profiler_on_oracle_seeds() {
             &CodegenOptions {
                 items: cfg.items,
                 seed,
+                ..CodegenOptions::default()
             },
         )
         .expect("codegen");

@@ -123,8 +123,18 @@ fn threaded_sampler_emits_final_sample_with_complete_counters() {
 
     let topo = pipeline();
     let items = 1_000;
-    let plan =
-        build_actor_graph(&topo, None, &[], &[], &CodegenOptions { items, seed: 7 }).unwrap();
+    let plan = build_actor_graph(
+        &topo,
+        None,
+        &[],
+        &[],
+        &CodegenOptions {
+            items,
+            seed: 7,
+            ..CodegenOptions::default()
+        },
+    )
+    .unwrap();
     // An interval far longer than the run: without the final flush the
     // export would have no snapshot at all, let alone a complete one.
     let tcfg = TelemetryConfig::default().with_interval(Duration::from_secs(3600));
@@ -153,7 +163,11 @@ fn threaded_sampler_overhead_is_bounded() {
 
     let topo = pipeline();
     let items = 2_000;
-    let opts = CodegenOptions { items, seed: 42 };
+    let opts = CodegenOptions {
+        items,
+        seed: 42,
+        ..CodegenOptions::default()
+    };
     let engine = EngineConfig::default();
     // Best-of-three on each side to shake scheduler noise out of the
     // comparison; the source paces both runs at the same rate.

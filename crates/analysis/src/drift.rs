@@ -18,7 +18,12 @@
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftConfig {
     /// Relative error above which a tick counts toward drift
-    /// (`|predicted - measured| / predicted`). Default `0.25`.
+    /// (`|predicted - measured| / max(predicted, measured)`). The
+    /// symmetric denominator means an over-estimate and an under-estimate
+    /// of the same magnitude trip at the same threshold: predicted 100 vs
+    /// measured 50 and predicted 50 vs measured 100 both score 0.5 (a
+    /// predicted-only denominator would score the latter 1.0). Default
+    /// `0.25`.
     pub threshold: f64,
     /// Number of initial ticks reported as [`DriftStatus::Warmup`] and
     /// excluded from streak counting — rolling rates are noisy while the
@@ -48,8 +53,8 @@ pub struct DriftVerdict {
     pub predicted: Option<f64>,
     /// The measured rolling departure rate (items/s), if any.
     pub measured: Option<f64>,
-    /// `|predicted - measured| / predicted`; `None` unless both rates are
-    /// present and the prediction is positive.
+    /// `|predicted - measured| / max(predicted, measured)`; `None` unless
+    /// both rates are present and at least one is positive.
     pub rel_error: Option<f64>,
     /// The streak-aware classification.
     pub status: DriftStatus,
@@ -137,7 +142,7 @@ impl DriftMonitor {
         for (i, &predicted) in self.predicted.iter().enumerate() {
             let m = measured.get(i).copied().flatten();
             let rel_error = match (predicted, m) {
-                (Some(p), Some(meas)) if p > 0.0 => Some((p - meas).abs() / p),
+                (Some(p), Some(meas)) if p.max(meas) > 0.0 => Some((p - meas).abs() / p.max(meas)),
                 _ => None,
             };
             let status = if warming {
@@ -248,6 +253,32 @@ mod tests {
         let v = m.tick(&[Some(100.0)]);
         assert_eq!(v.len(), 2);
         assert_eq!(v[1].status, DriftStatus::NoData);
+    }
+
+    #[test]
+    fn rel_error_is_symmetric_in_over_and_under_estimates() {
+        // Over-estimate: predicted 100, measured 50.
+        let mut over = monitor(&[100.0]);
+        over.tick(&[Some(100.0)]); // warmup
+        let vo = over.tick(&[Some(50.0)]);
+        // Under-estimate of the same magnitude: predicted 50, measured 100.
+        let mut under = monitor(&[50.0]);
+        under.tick(&[Some(50.0)]); // warmup
+        let vu = under.tick(&[Some(100.0)]);
+        assert_eq!(vo[0].rel_error, vu[0].rel_error);
+        assert!((vo[0].rel_error.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_prediction_with_positive_measurement_is_judged() {
+        // A predicted-only denominator would divide by zero here; the
+        // symmetric form scores it as 100% error.
+        let mut m = monitor(&[0.0]);
+        m.tick(&[Some(10.0)]); // warmup
+        m.tick(&[Some(10.0)]);
+        let v = m.tick(&[Some(10.0)]);
+        assert_eq!(v[0].rel_error, Some(1.0));
+        assert_eq!(v[0].status, DriftStatus::Drifting);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 mod attribution;
 mod bottleneck;
 mod candidates;
+mod controller;
 mod drift;
 mod fusion;
 mod multi_source;
@@ -73,6 +74,7 @@ pub use bottleneck::{
     FissionPlan,
 };
 pub use candidates::{auto_fuse, fusion_candidates, AutoFusion, FusionCandidate};
+pub use controller::{AdaptiveConfig, AdaptiveController, PlanChange};
 pub use drift::{DriftConfig, DriftMonitor, DriftStatus, DriftVerdict};
 pub use fusion::{fuse, fusion_service_time, FusionError, FusionOutcome};
 pub use multi_source::{merge_sources, MultiSourceSpec};

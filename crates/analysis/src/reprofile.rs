@@ -272,10 +272,16 @@ impl Reprofiler {
                     p.0 *= scale;
                 }
             }
-            let total: f64 = probs.iter().map(|p| p.0.max(1e-9)).sum();
-            for (p, measured) in probs {
-                if measured {
-                    self.latest[slot] = Some((p.max(1e-9) / total).min(1.0));
+            // Clamp each raw weight into (0, 1] *before* normalizing, then
+            // divide by the post-clamp total: the final division is exact,
+            // so the full edge set sums to 1. (Clamping after the division
+            // could shave mass off a dominant edge and leave the set
+            // summing below 1.)
+            let clamped: Vec<f64> = probs.iter().map(|p| p.0.clamp(1e-9, 1.0)).collect();
+            let total: f64 = clamped.iter().sum();
+            for (c, (_, measured)) in clamped.iter().zip(&probs) {
+                if *measured {
+                    self.latest[slot] = Some(c / total);
                     slot += 1;
                 }
             }
@@ -361,9 +367,14 @@ impl Reprofiler {
                     edges[e.0].probability *= scale;
                 }
             }
-            let total: f64 = out.iter().map(|e| edges[e.0].probability.max(1e-9)).sum();
+            // Clamp-then-normalize (not the reverse) so the out-edge set
+            // sums to exactly 1 — see the same invariant in `update`.
+            let total: f64 = out
+                .iter()
+                .map(|e| edges[e.0].probability.clamp(1e-9, 1.0))
+                .sum();
             for e in out {
-                edges[e.0].probability = (edges[e.0].probability.max(1e-9) / total).min(1.0);
+                edges[e.0].probability = edges[e.0].probability.clamp(1e-9, 1.0) / total;
             }
         }
         Topology::from_parts(ops, edges).map_err(|e| e.to_string())
@@ -508,6 +519,38 @@ mod tests {
                 assert_eq!(drifting, vec!["service_time(router)".to_string()]);
             }
         }
+    }
+
+    #[test]
+    fn renormalized_probabilities_sum_to_one_even_when_one_edge_dominates() {
+        // One edge carries (nearly) all the measured traffic. A
+        // clamp-after-normalize would cap the dominant edge and leave the
+        // set summing below 1; clamp-then-normalize keeps the invariant
+        // exact.
+        let mut rp = Reprofiler::new(&diamond()).with_min_samples(100);
+        let est = rp.update(&[
+            OperatorCounters {
+                items_out: 1000,
+                ..OperatorCounters::default()
+            },
+            counters(1000, 1000, 150),
+            counters(1000, 1000, 120), // a: got everything
+            counters(0, 0, 0),         // b: starved
+            counters(1000, 1000, 40),
+        ]);
+        let sum = est[8].unwrap() + est[9].unwrap();
+        assert!((sum - 1.0).abs() < 1e-12, "estimates sum to {sum}");
+        assert!(est.iter().flatten().all(|&p| p <= 1.0));
+        // The annotated topology preserves the same invariant (and still
+        // validates, which requires each out-edge set to close to 1).
+        let topo = rp.annotated_topology().unwrap();
+        let router = topo.operator_by_name("router").unwrap();
+        let mass: f64 = topo
+            .out_edges(router)
+            .iter()
+            .map(|e| topo.edge(*e).probability)
+            .sum();
+        assert!((mass - 1.0).abs() < 1e-12, "edge mass {mass}");
     }
 
     #[test]

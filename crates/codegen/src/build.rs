@@ -46,6 +46,14 @@ pub struct CodegenOptions {
     pub seed: u64,
     /// Execution strategy for fusion groups.
     pub fusion: FusionStrategy,
+    /// Pre-provisioned replica *slots* per operator (empty = exactly the
+    /// active degrees). A slot count above the active degree deploys spare
+    /// replica actors up front — wired for EOS and checkpoint markers via a
+    /// never-emitting emitter port, but receiving no data — so an adaptive
+    /// re-scale is a pure route swap with no graph surgery (the Flink
+    /// max-parallelism trick). Entries below the active degree are raised
+    /// to it; the source cannot be provisioned.
+    pub provision: Vec<usize>,
 }
 
 impl Default for CodegenOptions {
@@ -54,6 +62,7 @@ impl Default for CodegenOptions {
             items: 10_000,
             seed: 0xFEED,
             fusion: FusionStrategy::Monomorphize,
+            provision: Vec::new(),
         }
     }
 }
@@ -112,7 +121,19 @@ pub struct GeneratedPlan {
     /// For each original operator, the actor receiving its logical input
     /// stream (worker, emitter, or meta actor).
     pub input_actor: Vec<ActorId>,
-    /// Total number of actors (including emitters/collectors).
+    /// Every replica slot (active then spare, in slot order) of each
+    /// operator deployed behind an emitter/collector pair; empty for plain
+    /// and fused operators.
+    pub replica_slots: Vec<Vec<ActorId>>,
+    /// The emitter in front of each replicated operator, if any — the actor
+    /// reconfiguration ops are posted to.
+    pub emitter_actor: Vec<Option<ActorId>>,
+    /// The collector behind each replicated operator, if any.
+    pub collector_actor: Vec<Option<ActorId>>,
+    /// The *active* replication degree each operator was built with.
+    pub active_replicas: Vec<usize>,
+    /// Total number of actors (including emitters/collectors and spare
+    /// slots).
     pub num_actors: usize,
 }
 
@@ -212,6 +233,24 @@ pub fn build_actor_graph(
             reason: "the source cannot be replicated".into(),
         });
     }
+    if !opts.provision.is_empty() {
+        if opts.provision.len() != n {
+            return Err(CodegenError::BadReplicaVector {
+                reason: format!(
+                    "{} provision entries for {} operators",
+                    opts.provision.len(),
+                    n
+                ),
+            });
+        }
+        if opts.provision[topo.source().0] > 1 {
+            return Err(CodegenError::BadReplicaVector {
+                reason: "the source cannot be provisioned with spare slots".into(),
+            });
+        }
+    }
+    // Slots per operator: the active degree, plus any provisioned spares.
+    let slots_of = |i: usize| opts.provision.get(i).copied().unwrap_or(0).max(replicas[i]);
 
     // Validate fusion groups.
     let mut group_of: BTreeMap<OperatorId, usize> = BTreeMap::new();
@@ -232,9 +271,11 @@ pub fn build_actor_graph(
                     reason: format!("unknown member {m}"),
                 });
             }
-            if replicas[m.0] != 1 {
+            if slots_of(m.0) != 1 {
                 return Err(CodegenError::BadFusionGroup {
-                    reason: format!("member {m} is replicated; meta-operators cannot be fissioned"),
+                    reason: format!(
+                        "member {m} is replicated or provisioned; meta-operators cannot be fissioned"
+                    ),
                 });
             }
             if group_of.insert(*m, gi).is_some() {
@@ -375,19 +416,21 @@ pub fn build_actor_graph(
             continue;
         }
         let nrep = replicas[id.0];
-        if nrep == 1 {
+        let slots = slots_of(id.0);
+        if slots == 1 {
             let a = graph.add_actor(spec.name.clone(), Behavior::Worker(instantiate(topo, id)?));
             input_actor[id.0] = a;
             departure_actor[id.0] = a;
             routing_actor[id.0] = Some(a);
         } else {
-            // Emitter -> n replicas -> collector (§4.2).
+            // Emitter -> n replicas -> collector (§4.2), plus any spare
+            // provisioned slots behind the same pair.
             let emitter = graph.add_actor(
                 format!("{}-emitter", spec.name),
                 Behavior::worker(PassThrough),
             );
-            let mut reps = Vec::with_capacity(nrep);
-            for r in 0..nrep {
+            let mut reps = Vec::with_capacity(slots);
+            for r in 0..slots {
                 let a = graph.add_actor(
                     format!("{}-r{r}", spec.name),
                     Behavior::Worker(instantiate(topo, id)?),
@@ -399,7 +442,8 @@ pub fn build_actor_graph(
                 Behavior::worker(PassThrough),
             );
             // Emitter policy: round-robin for stateless, key map for
-            // partitioned-stateful.
+            // partitioned-stateful. Only the first `nrep` slots carry data.
+            let active = &reps[..nrep];
             let route = match &spec.state {
                 StateClass::PartitionedStateful { keys } => {
                     let assign = key_partitioning(keys, nrep);
@@ -407,12 +451,20 @@ pub fn build_actor_graph(
                     // use only the replicas the assignment references.
                     Route::KeyMap {
                         key_map: assign.owner.clone(),
-                        destinations: reps[..assign.replicas].to_vec(),
+                        destinations: active[..assign.replicas].to_vec(),
                     }
                 }
-                _ => Route::RoundRobin(reps.clone()),
+                _ if nrep == 1 => Route::Unicast(active[0]),
+                _ => Route::RoundRobin(active.to_vec()),
             };
             graph.connect(emitter, route);
+            if slots > nrep {
+                // Spare slots hang off a port the pass-through emitter never
+                // emits on: no data flows, but the slots are wired senders
+                // and EOS/marker targets, so they stay alive, aligned with
+                // every checkpoint, and reachable by a later route swap.
+                graph.connect(emitter, Route::RoundRobin(reps[nrep..].to_vec()));
+            }
             for &r in &reps {
                 graph.connect(r, Route::Unicast(collector));
             }
@@ -465,6 +517,10 @@ pub fn build_actor_graph(
         graph,
         departure_actor,
         input_actor,
+        replica_slots: replica_actors,
+        emitter_actor,
+        collector_actor,
+        active_replicas: replicas.to_vec(),
         num_actors,
     })
 }
@@ -696,6 +752,117 @@ mod tests {
         assert!(matches!(
             build_actor_graph(&bad, None, &[], &[], &opts).unwrap_err(),
             CodegenError::UnknownKind { .. }
+        ));
+    }
+
+    #[test]
+    fn provisioned_spare_slots_stay_idle_but_wired() {
+        let t = small_topology();
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[1, 2, 1, 1],
+            &[],
+            &CodegenOptions {
+                items: 600,
+                seed: 7,
+                provision: vec![1, 4, 1, 1],
+                ..CodegenOptions::default()
+            },
+        )
+        .unwrap();
+        // 3 plain actors + emitter + 4 slots + collector.
+        assert_eq!(plan.num_actors, 3 + 6);
+        assert_eq!(plan.replica_slots[1].len(), 4);
+        assert_eq!(plan.active_replicas, vec![1, 2, 1, 1]);
+        assert!(plan.emitter_actor[1].is_some());
+        assert!(plan.collector_actor[1].is_some());
+        let report = run(plan.graph, &engine()).unwrap();
+        // The collector still sees every item exactly once...
+        assert_eq!(report.actor(plan.departure_actor[1]).items_in, 600);
+        // ...and the spare slots never received data.
+        for &spare in &plan.replica_slots[1][2..] {
+            assert_eq!(report.actor(spare).items_in, 0, "spare {spare:?} got data");
+        }
+    }
+
+    #[test]
+    fn provisioning_a_single_replica_builds_the_full_harness() {
+        // provision > 1 with an active degree of 1 still deploys the
+        // emitter/collector pair, so a later re-scale is a pure route swap.
+        let t = small_topology();
+        let plan = build_actor_graph(
+            &t,
+            None,
+            &[],
+            &[],
+            &CodegenOptions {
+                items: 300,
+                seed: 8,
+                provision: vec![1, 3, 1, 1],
+                ..CodegenOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.num_actors, 3 + 5);
+        assert_eq!(plan.active_replicas, vec![1, 1, 1, 1]);
+        let report = run(plan.graph, &engine()).unwrap();
+        assert_eq!(report.actor(plan.departure_actor[1]).items_out, 300);
+        assert_eq!(report.actor(plan.replica_slots[1][0]).items_in, 300);
+        assert_eq!(report.actor(plan.replica_slots[1][1]).items_in, 0);
+    }
+
+    #[test]
+    fn provision_validation_errors() {
+        let t = small_topology();
+        // Wrong provision length.
+        assert!(matches!(
+            build_actor_graph(
+                &t,
+                None,
+                &[],
+                &[],
+                &CodegenOptions {
+                    provision: vec![1, 2],
+                    ..CodegenOptions::default()
+                }
+            )
+            .unwrap_err(),
+            CodegenError::BadReplicaVector { .. }
+        ));
+        // Provisioned source.
+        assert!(matches!(
+            build_actor_graph(
+                &t,
+                None,
+                &[],
+                &[],
+                &CodegenOptions {
+                    provision: vec![2, 1, 1, 1],
+                    ..CodegenOptions::default()
+                }
+            )
+            .unwrap_err(),
+            CodegenError::BadReplicaVector { .. }
+        ));
+        // Provisioned fusion member.
+        let g = FusionGroup {
+            members: [OperatorId(1), OperatorId(2)].into_iter().collect(),
+            front: OperatorId(1),
+        };
+        assert!(matches!(
+            build_actor_graph(
+                &t,
+                None,
+                &[],
+                &[g],
+                &CodegenOptions {
+                    provision: vec![1, 3, 1, 1],
+                    ..CodegenOptions::default()
+                }
+            )
+            .unwrap_err(),
+            CodegenError::BadFusionGroup { .. }
         ));
     }
 

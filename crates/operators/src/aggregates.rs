@@ -115,6 +115,30 @@ impl WindowState {
             _ => false,
         }
     }
+
+    /// Per-key extraction for live repartitioning — keyed mode only (the
+    /// global window is monolithic state and must never be key-split).
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<StateSnapshot> {
+        match self {
+            WindowState::Keyed(kw) => {
+                let mut s = StateSnapshot::new();
+                s.push_u64(1);
+                kw.extract_keys_into(keys, &mut s);
+                Some(s)
+            }
+            WindowState::Global(_) => None,
+        }
+    }
+
+    /// Merges state extracted by [`extract_keys`](Self::extract_keys) on
+    /// another replica; the mode tag guards against cross-mode injection.
+    fn inject(&mut self, snapshot: &StateSnapshot) -> bool {
+        let mut r = snapshot.reader();
+        match (r.read_u64(), &mut *self) {
+            (Some(1), WindowState::Keyed(kw)) => kw.merge_from(&mut r),
+            _ => false,
+        }
+    }
 }
 
 /// A count-based windowed aggregation operator.
@@ -185,6 +209,12 @@ impl StreamOperator for WindowedAggregate {
     }
     fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
         self.state.restore(snapshot)
+    }
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<StateSnapshot> {
+        self.state.extract_keys(keys)
+    }
+    fn inject_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        self.state.inject(snapshot)
     }
 }
 
@@ -272,6 +302,12 @@ impl StreamOperator for WindowedQuantile {
     }
     fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
         self.state.restore(snapshot)
+    }
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<StateSnapshot> {
+        self.state.extract_keys(keys)
+    }
+    fn inject_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        self.state.inject(snapshot)
     }
 }
 
@@ -420,6 +456,43 @@ mod tests {
         let mut restored = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
         assert!(restored.restore(&snap));
         assert_eq!(drive(&mut original, tail), drive(&mut restored, tail));
+    }
+
+    #[test]
+    fn extract_inject_roundtrip_preserves_keyed_outputs() {
+        // Split a keyed aggregate's keys across two replicas mid-stream
+        // via extract_keys/inject_state; the pair must jointly emit what
+        // the unsplit instance would.
+        let inputs: Vec<Tuple> = (0..30).map(|i| Tuple::splat(i % 2, i, i as f64)).collect();
+        let (head, tail) = inputs.split_at(16);
+        let mut old_owner = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        let mut reference = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        drive(&mut old_owner, head);
+        drive(&mut reference, head);
+        let moved = old_owner.extract_keys(&[1]).expect("keyed mode extracts");
+        let mut new_owner = WindowedAggregate::keyed(Aggregation::Sum, 4, 2, 0);
+        assert!(new_owner.inject_state(&moved));
+        let mut split_out = Vec::new();
+        for t in tail {
+            let owner: &mut WindowedAggregate = if t.key == 1 {
+                &mut new_owner
+            } else {
+                &mut old_owner
+            };
+            split_out.extend(drive(owner, std::slice::from_ref(t)));
+        }
+        assert_eq!(split_out, drive(&mut reference, tail));
+    }
+
+    #[test]
+    fn global_mode_refuses_key_extraction() {
+        let mut op = WindowedAggregate::global(Aggregation::Sum, 4, 2, 0);
+        drive(&mut op, &(0..8).map(|i| t(1.0, i)).collect::<Vec<_>>());
+        assert!(
+            op.extract_keys(&[0]).is_none(),
+            "monolithic state must not split"
+        );
+        assert!(!op.inject_state(&StateSnapshot::new()));
     }
 
     #[test]

@@ -247,6 +247,53 @@ impl KeyedWindows {
         }
     }
 
+    /// Removes the given keys' windows and appends them to `snap` in
+    /// exactly the [`encode_into`](Self::encode_into) table layout — the
+    /// drain side of a live key-repartitioning handoff. Keys this table
+    /// has never seen are skipped (they have no state to move); after the
+    /// call the table behaves as if it had never seen the moved keys.
+    pub fn extract_keys_into(&mut self, keys: &[u64], snap: &mut StateSnapshot) {
+        let mut moving: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| self.windows.contains_key(k))
+            .collect();
+        moving.sort_unstable();
+        moving.dedup();
+        snap.push_u64(moving.len() as u64);
+        for k in moving {
+            snap.push_u64(k);
+            let w = self.windows.remove(&k).expect("filtered on presence");
+            w.encode_into(snap);
+        }
+    }
+
+    /// Merges a table written by [`encode_into`](Self::encode_into) or
+    /// [`extract_keys_into`](Self::extract_keys_into) into this one
+    /// *without* clearing existing keys — the resume side of a handoff.
+    /// An incoming key replaces a same-key window (handoff callers
+    /// guarantee disjointness). Returns `false` on a malformed snapshot,
+    /// leaving entries merged before the corruption point in place.
+    pub fn merge_from(&mut self, r: &mut SnapshotReader<'_>) -> bool {
+        let Some(n) = r.read_u64() else {
+            return false;
+        };
+        for _ in 0..n {
+            let Some(key) = r.read_u64() else {
+                return false;
+            };
+            let mut w = CountWindow::new(self.length, self.slide);
+            if self.eager {
+                w = w.eager();
+            }
+            if !w.decode_from(r) {
+                return false;
+            }
+            self.windows.insert(key, w);
+        }
+        true
+    }
+
     /// Restores a table written by [`encode_into`](Self::encode_into).
     /// Returns `false` (leaving the table cleared) on a malformed snapshot.
     pub fn decode_from(&mut self, r: &mut SnapshotReader<'_>) -> bool {
@@ -432,6 +479,53 @@ mod tests {
         let mut r = sa.reader();
         assert!(restored.decode_from(&mut r));
         assert_eq!(restored.num_keys(), 3);
+    }
+
+    #[test]
+    fn extract_keys_moves_state_and_merge_resumes_schedules() {
+        // Build one table over 3 keys, extract key 1, merge it into a
+        // fresh table: the split pair must jointly behave exactly like the
+        // original — per-key trigger schedules survive the move.
+        let mut donor = KeyedWindows::new(3, 2);
+        let mut reference = KeyedWindows::new(3, 2);
+        for i in 0..14 {
+            donor.push(tk(i % 3, i));
+            reference.push(tk(i % 3, i));
+        }
+        let mut snap = StateSnapshot::new();
+        donor.extract_keys_into(&[1, 99], &mut snap); // 99: never seen, skipped
+        assert_eq!(donor.num_keys(), 2, "extracted key is gone from the donor");
+        let mut recipient = KeyedWindows::new(3, 2);
+        recipient.push(tk(7, 0)); // pre-existing disjoint state survives the merge
+        let mut r = snap.reader();
+        assert!(recipient.merge_from(&mut r));
+        assert!(r.is_exhausted());
+        assert_eq!(recipient.num_keys(), 2);
+        // Key 1 items now trigger on the recipient exactly as they would
+        // have on the unsplit reference; keys 0/2 stay with the donor.
+        for i in 14..26 {
+            let k = i % 3;
+            let split = if k == 1 {
+                recipient.push(tk(k, i)).is_some()
+            } else {
+                donor.push(tk(k, i)).is_some()
+            };
+            assert_eq!(split, reference.push(tk(k, i)).is_some(), "item {i}");
+        }
+        // A donor that sees a moved key again starts it from scratch.
+        assert!(donor.push(tk(1, 100)).is_none());
+    }
+
+    #[test]
+    fn merge_from_rejects_truncation_without_clearing() {
+        let mut kw = KeyedWindows::new(2, 1);
+        kw.push(tk(5, 0));
+        let mut truncated = StateSnapshot::new();
+        truncated.push_u64(1); // one entry claimed
+        truncated.push_u64(9); // key, then nothing
+        let mut r = truncated.reader();
+        assert!(!kw.merge_from(&mut r));
+        assert_eq!(kw.num_keys(), 1, "existing keys survive a failed merge");
     }
 
     #[test]

@@ -165,6 +165,7 @@ pub fn measure_with(
         items,
         seed,
         fusion,
+        ..CodegenOptions::default()
     };
     let plan = build_actor_graph(topo, Some(source_keys.clone()), replicas, fusions, &opts)?;
     let report = execute(plan.graph, executor)?;

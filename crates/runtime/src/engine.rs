@@ -17,6 +17,7 @@ use crate::mailbox::{
 };
 use crate::metrics::{ActorMetrics, RunReport};
 use crate::operator::Outputs;
+use crate::reconfig::{ReconfigOp, ReconfigTaskState};
 use crate::rng::XorShift64;
 use crate::route::{Route, RouteState};
 use crate::supervision::{
@@ -131,6 +132,15 @@ pub struct EngineConfig {
     /// first, then steal). On platforms without affinity support pinning
     /// degrades to a warn-once no-op and the run proceeds unpinned.
     pub pinning: PinningConfig,
+    /// Live reconfiguration handle. When installed, every actor checks a
+    /// shared generation counter once per batch and applies posted
+    /// [`crate::ReconfigOp`]s at epoch barriers — route swaps, replica
+    /// rescaling over pre-provisioned slots, and pause–drain–resume key
+    /// handoffs (see [`crate::reconfig`]). Epoch-gated ops require
+    /// checkpointing to be enabled (`checkpoint_interval`); without
+    /// barriers they never fire. `None` (the default) keeps the hot path
+    /// unchanged.
+    pub reconfig: Option<crate::reconfig::ReconfigHandle>,
 }
 
 impl Default for EngineConfig {
@@ -146,6 +156,7 @@ impl Default for EngineConfig {
             checkpoint_interval: None,
             replay_capacity: 8192,
             pinning: PinningConfig::default(),
+            reconfig: None,
         }
     }
 }
@@ -451,34 +462,42 @@ impl DeliveryCtx {
     /// buffered, reproducing the unbatched engine exactly.
     fn deliver(&mut self, out: &mut Outputs) {
         for (port, tuple) in out.drain() {
-            match self.routes.get_mut(port) {
-                Some(route) => {
-                    let dest = route.pick(&tuple, &mut self.rng).0;
-                    self.out_bufs[dest].push(Envelope::Data(tuple));
-                    self.buffered += 1;
-                    if self.out_bufs[dest].len() >= self.batch_size {
-                        self.flush_dest(dest);
-                    }
+            self.deliver_one(port, tuple);
+        }
+    }
+
+    /// Routes a single `(port, tuple)` emission — the per-item body of
+    /// [`deliver`](Self::deliver), split out so the reconfiguration layer's
+    /// pause interception can route the non-paused remainder item by item.
+    #[inline]
+    fn deliver_one(&mut self, port: usize, tuple: Tuple) {
+        match self.routes.get_mut(port) {
+            Some(route) => {
+                let dest = route.pick(&tuple, &mut self.rng).0;
+                self.out_bufs[dest].push(Envelope::Data(tuple));
+                self.buffered += 1;
+                if self.out_bufs[dest].len() >= self.batch_size {
+                    self.flush_dest(dest);
                 }
-                None => {
-                    // Sink port: the emission is the actor's departure —
-                    // and, with telemetry on, the end of the tuple's
-                    // end-to-end latency span. Never coalesced: there is
-                    // no mailbox hop to amortize. Workers stamp with the
-                    // batch-cached clock (one read per drained batch).
-                    if self.latency.is_some() {
-                        if let Some(lat) = tuple.latency_ns(self.sink_now()) {
-                            if self.pending_lat_n > 0 && lat == self.pending_lat_ns {
-                                self.pending_lat_n += 1;
-                            } else {
-                                self.flush_latency();
-                                self.pending_lat_ns = lat;
-                                self.pending_lat_n = 1;
-                            }
+            }
+            None => {
+                // Sink port: the emission is the actor's departure —
+                // and, with telemetry on, the end of the tuple's
+                // end-to-end latency span. Never coalesced: there is
+                // no mailbox hop to amortize. Workers stamp with the
+                // batch-cached clock (one read per drained batch).
+                if self.latency.is_some() {
+                    if let Some(lat) = tuple.latency_ns(self.sink_now()) {
+                        if self.pending_lat_n > 0 && lat == self.pending_lat_ns {
+                            self.pending_lat_n += 1;
+                        } else {
+                            self.flush_latency();
+                            self.pending_lat_ns = lat;
+                            self.pending_lat_n = 1;
                         }
                     }
-                    self.pending_sink_outs += 1;
                 }
+                self.pending_sink_outs += 1;
             }
         }
     }
@@ -840,6 +859,10 @@ struct WorkerTask {
     /// Checkpoint/recovery state, present only with checkpointing on so
     /// the default hot path carries a single `Option` check per envelope.
     ckpt: Option<Box<CkptState>>,
+    /// Live-reconfiguration state, present only when a
+    /// [`crate::ReconfigHandle`] is installed; its absence keeps the hot
+    /// path to one `Option` check per batch.
+    reconfig: Option<Box<ReconfigTaskState>>,
 }
 
 /// Per-actor epoch-alignment and recovery state (checkpointing on).
@@ -977,6 +1000,19 @@ impl WorkerTask {
                 }
                 false
             }
+            Envelope::Handoff(id) => {
+                if let Some(ckpt) = self.ckpt.as_deref_mut() {
+                    if ckpt.aligning != 0 {
+                        // Handoff tokens respect the barrier like data:
+                        // extraction/merge happens against post-barrier
+                        // state.
+                        ckpt.align_buf.push(Envelope::Handoff(id));
+                        return false;
+                    }
+                }
+                self.handle_handoff(id);
+                false
+            }
             Envelope::Eos => {
                 self.eos_left = self.eos_left.saturating_sub(1);
                 let mut aligned = false;
@@ -1003,7 +1039,7 @@ impl WorkerTask {
             match self.supervision.degrade {
                 DegradePolicy::Forward => {
                     self.out.emit_default(item);
-                    self.ctx.deliver(&mut self.out);
+                    self.deliver_outputs();
                 }
                 DegradePolicy::Drop => {
                     self.ctx
@@ -1020,7 +1056,7 @@ impl WorkerTask {
         match guarded_raw(|| op.process(item, out)) {
             Ok(()) => {
                 self.out.inherit_stamp(item.src_ns);
-                self.ctx.deliver(&mut self.out);
+                self.deliver_outputs();
             }
             Err(payload) => self.handle_panic(item, payload),
         }
@@ -1092,7 +1128,7 @@ impl WorkerTask {
                     let out = &mut self.out;
                     if guarded_raw(|| op.process(item, out)).is_ok() {
                         self.out.inherit_stamp(item.src_ns);
-                        self.ctx.deliver(&mut self.out);
+                        self.deliver_outputs();
                     } else {
                         // The retried item panicked again: drop it (like
                         // Resume) instead of looping forever.
@@ -1168,6 +1204,36 @@ impl WorkerTask {
                 op.restore(snap);
             });
         }
+        // Re-inject handoffs merged since the restored snapshot (their
+        // published copies are retained in the shared map until the next
+        // completed checkpoint for exactly this case): the snapshot
+        // predates the merge and the replay log only holds data tuples.
+        // Injection precedes replay — pre-merge replay data is for
+        // disjoint keys (commutes), post-merge moved-key data then lands
+        // on the re-injected state.
+        if let Some(rc) = self.reconfig.as_deref_mut() {
+            if !rc.merged_since_snapshot.is_empty() {
+                let snaps: Vec<StateSnapshot> = {
+                    let map = rc
+                        .shared
+                        .handoffs
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    rc.merged_since_snapshot
+                        .iter()
+                        .filter_map(|id| map.get(id).cloned())
+                        .collect()
+                };
+                for snap in &snaps {
+                    if !snap.is_empty() {
+                        let op = &mut self.op;
+                        let _ = guarded_raw(|| {
+                            op.inject_state(snap);
+                        });
+                    }
+                }
+            }
+        }
         let n = ckpt.replay.len().saturating_sub(skip_last as usize);
         for (_, tuple) in &ckpt.replay.entries()[..n] {
             let tuple = *tuple;
@@ -1179,6 +1245,19 @@ impl WorkerTask {
             // cannot do better on.
             let _ = guarded_raw(|| op.process(tuple, out));
             self.out.clear();
+        }
+        // Re-drop keys extracted (handed off) since the restored snapshot:
+        // restore + replay just rebuilt their state locally, but the
+        // published copy is authoritative — stale local state would
+        // double-emit at the terminal flush. Extraction follows replay so
+        // pre-swap moved-key replay data is dropped with it.
+        if let Some(rc) = self.reconfig.as_deref_mut() {
+            for (_, keys) in rc.extracted_since_snapshot.iter() {
+                let op = &mut self.op;
+                let _ = guarded_raw(|| {
+                    let _ = op.extract_keys(keys);
+                });
+            }
         }
         self.ctx.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
         self.ctx
@@ -1225,11 +1304,17 @@ impl WorkerTask {
         // Marker first, buffered data second: downstream must see the
         // barrier before any post-barrier output.
         self.ctx.broadcast_marker(epoch);
+        // Staged route swaps fire here — after the marker broadcast (so
+        // every pre-barrier tuple is already flushed under the old route)
+        // and before the buffered post-barrier envelopes are released
+        // (which would otherwise be routed pre-swap). This makes the swap
+        // barrier-exact.
+        self.apply_reconfig(epoch);
         let buffered = std::mem::take(&mut ckpt.align_buf);
         self.ckpt = Some(ckpt);
         for env in buffered {
-            // Only Data and deferred Epoch markers are ever buffered, so
-            // no termination signal can hide in here.
+            // Only Data, Handoff tokens and deferred Epoch markers are
+            // ever buffered, so no termination signal can hide in here.
             let _ = self.handle_env(env);
         }
     }
@@ -1283,6 +1368,22 @@ impl WorkerTask {
         }
         if let Some(snap) = captured {
             let bytes = snap.as_ref().map_or(0, StateSnapshot::len) as u64;
+            // The fresh snapshot covers every handoff merged or extracted
+            // so far: published copies of merged handoffs can leave the
+            // shared map, and the restart re-drop list resets.
+            if let Some(rc) = self.reconfig.as_deref_mut() {
+                if !rc.merged_since_snapshot.is_empty() {
+                    let mut map = rc
+                        .shared
+                        .handoffs
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    for id in rc.merged_since_snapshot.drain(..) {
+                        map.remove(&id);
+                    }
+                }
+                rc.extracted_since_snapshot.clear();
+            }
             ckpt.snapshot = snap;
             ckpt.snapshot_epoch = epoch;
             // Everything at or before this barrier is in the snapshot; an
@@ -1312,6 +1413,9 @@ impl WorkerTask {
     /// buffering overhead; see [`ActorReport::busy`].
     fn process_batch(&mut self) -> bool {
         use std::sync::atomic::Ordering;
+        if self.reconfig.is_some() {
+            self.poll_reconfig();
+        }
         let blocked0 = self.ctx.metrics.blocked_ns.load(Ordering::Relaxed);
         let backoff0 = self.ctx.metrics.backoff_ns.load(Ordering::Relaxed);
         let t0 = Instant::now();
@@ -1330,6 +1434,249 @@ impl WorkerTask {
         finished
     }
 
+    /// Routes the operator's buffered emissions, holding back tuples whose
+    /// key is in the active migration pause set (port 0 only — the data
+    /// port). Collapses to the plain [`DeliveryCtx::deliver`] whenever no
+    /// pause is active, i.e. always outside a key-handoff window.
+    fn deliver_outputs(&mut self) {
+        match self.reconfig.as_deref_mut() {
+            Some(rc) if !rc.pause_keys.is_empty() => {
+                for (port, tuple) in self.out.drain() {
+                    if port == 0 && rc.pause_keys.contains(&tuple.key) {
+                        rc.paused.push(tuple);
+                    } else {
+                        self.ctx.deliver_one(port, tuple);
+                    }
+                }
+            }
+            _ => self.ctx.deliver(&mut self.out),
+        }
+    }
+
+    /// Once-per-batch reconfiguration poll: pulls freshly posted ops when
+    /// the shared generation moved, applies them immediately when no
+    /// barrier machinery exists to gate them, and completes any pending
+    /// pause–drain–resume handoff.
+    fn poll_reconfig(&mut self) {
+        let Some(rc) = self.reconfig.as_deref_mut() else {
+            return;
+        };
+        if rc.outdated() {
+            let actor = self.ctx.id.0;
+            rc.pull(actor);
+            if self.ckpt.is_none() {
+                // Checkpointing off: no barriers will ever fire, so
+                // epoch-gated ops would rot. Apply now — only safe (and
+                // only intended) for stateless rescaling.
+                self.apply_reconfig(u64::MAX);
+            }
+        }
+        self.try_complete_handoffs();
+    }
+
+    /// Applies every staged op gated on an epoch `<= epoch`: swaps the
+    /// route, publishes extraction requests, forwards the in-band
+    /// [`Envelope::Handoff`] request tokens to the old owners (FIFO-ordered
+    /// behind the barrier marker just broadcast), and arms the pause set.
+    fn apply_reconfig(&mut self, epoch: u64) {
+        use std::sync::atomic::Ordering;
+        let Some(rc) = self.reconfig.as_deref_mut() else {
+            return;
+        };
+        if rc.staged.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < rc.staged.len() {
+            let ReconfigOp::SwapRoute { at_epoch, .. } = &rc.staged[i];
+            if *at_epoch > epoch {
+                i += 1;
+                continue;
+            }
+            let ReconfigOp::SwapRoute {
+                port,
+                route,
+                pause_keys,
+                handoffs,
+                ..
+            } = rc.staged.remove(i);
+            let destinations = route.destinations().len() as u64;
+            if port < self.ctx.routes.len() {
+                self.ctx.routes[port] = RouteState::new(route);
+            }
+            self.ctx.trace_event(TraceEventKind::Reconfigured {
+                epoch: if epoch == u64::MAX { 0 } else { epoch },
+                port,
+                destinations,
+                moved_keys: pause_keys.len() as u64,
+            });
+            if handoffs.is_empty() {
+                // Stateless rescale: the swap is complete as soon as the
+                // route is replaced.
+                rc.shared.applied.fetch_add(1, Ordering::Release);
+                continue;
+            }
+            {
+                let mut reqs = rc
+                    .shared
+                    .extract_requests
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                for h in &handoffs {
+                    reqs.insert(h.id, h.keys.clone());
+                }
+            }
+            for h in &handoffs {
+                // In-band extraction request to the old owner; FIFO order
+                // behind the marker makes the extracted state exactly the
+                // barrier-consistent state.
+                self.ctx.out_bufs[h.from].push(Envelope::Handoff(h.id));
+                self.ctx.buffered += 1;
+                rc.expect_handoffs.push((h.id, h.to));
+            }
+            rc.pause_keys.extend(pause_keys);
+            rc.pending_release += 1;
+            self.ctx.flush_all();
+        }
+    }
+
+    /// Completes a pending pause–drain–resume: once every expected handoff
+    /// is published, pushes the in-band merge token to each new owner and
+    /// *then* releases the paused tuples through the new route — the shared
+    /// FIFO buffer guarantees every new owner merges state before seeing
+    /// any moved-key data.
+    fn try_complete_handoffs(&mut self) {
+        use std::sync::atomic::Ordering;
+        let Some(rc) = self.reconfig.as_deref_mut() else {
+            return;
+        };
+        if rc.expect_handoffs.is_empty() {
+            if !rc.pause_keys.is_empty() || !rc.paused.is_empty() {
+                // Defensive: a swap that paused keys without expecting
+                // handoffs must not black-hole tuples.
+                rc.pause_keys.clear();
+                let paused = std::mem::take(&mut rc.paused);
+                for tuple in paused {
+                    self.ctx.deliver_one(0, tuple);
+                }
+                self.ctx.flush_all();
+            }
+            return;
+        }
+        if !rc.handoffs_ready() {
+            return;
+        }
+        for (id, dest) in std::mem::take(&mut rc.expect_handoffs) {
+            self.ctx.out_bufs[dest].push(Envelope::Handoff(id));
+            self.ctx.buffered += 1;
+        }
+        rc.pause_keys.clear();
+        let paused = std::mem::take(&mut rc.paused);
+        for tuple in paused {
+            self.ctx.deliver_one(0, tuple);
+        }
+        self.ctx.flush_all();
+        rc.shared
+            .applied
+            .fetch_add(rc.pending_release, Ordering::Release);
+        rc.pending_release = 0;
+    }
+
+    /// Handles an in-band [`Envelope::Handoff`] token. Which side this
+    /// actor is on is decided by the shared maps: an outstanding extraction
+    /// request makes it the old owner (extract + publish); otherwise a
+    /// published snapshot makes it the new owner (merge). Unknown ids are
+    /// inert.
+    fn handle_handoff(&mut self, id: u64) {
+        use std::sync::atomic::Ordering;
+        let Some(rc) = self.reconfig.as_deref_mut() else {
+            return;
+        };
+        let keys = {
+            let mut reqs = rc
+                .shared
+                .extract_requests
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            reqs.remove(&id)
+        };
+        if let Some(keys) = keys {
+            let mut extracted: Option<StateSnapshot> = None;
+            {
+                let op = &mut self.op;
+                let slot = &mut extracted;
+                let _ = guarded_raw(|| *slot = op.extract_keys(&keys));
+            }
+            let snap = extracted.unwrap_or_default();
+            self.ctx.trace_event(TraceEventKind::StateMigrated {
+                handoff: id,
+                bytes: snap.len() as u64,
+                outbound: true,
+            });
+            rc.extracted_since_snapshot.push((id, keys));
+            rc.shared
+                .handoffs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(id, snap);
+            return;
+        }
+        // New-owner side. The snapshot stays in the shared map until this
+        // actor's next completed checkpoint covers the merge (see
+        // `take_snapshot`), so a supervised restart in between re-injects
+        // it during `recover`.
+        let snap = {
+            let map = rc
+                .shared
+                .handoffs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            map.get(&id).cloned()
+        };
+        if let Some(snap) = snap {
+            if !snap.is_empty() {
+                let op = &mut self.op;
+                let _ = guarded_raw(|| {
+                    op.inject_state(&snap);
+                });
+            }
+            rc.merged_since_snapshot.push(id);
+            rc.shared.migrated.fetch_add(1, Ordering::Release);
+            self.ctx.trace_event(TraceEventKind::StateMigrated {
+                handoff: id,
+                bytes: snap.len() as u64,
+                outbound: false,
+            });
+        }
+    }
+
+    /// Blocks actor termination until any in-flight handoff completes: the
+    /// paused tuples must flow before EOS. The old owners this actor is
+    /// waiting on cannot be waiting on it in turn (they already have their
+    /// extraction tokens and need no further input), so this terminates.
+    /// Under the pool executor the wait helps run downstream-ranked actors
+    /// instead of parking the worker thread.
+    fn await_handoffs(&mut self) {
+        loop {
+            self.try_complete_handoffs();
+            let waiting = self
+                .reconfig
+                .as_deref()
+                .is_some_and(|rc| !rc.expect_handoffs.is_empty());
+            if !waiting {
+                return;
+            }
+            match self.ctx.pool.clone() {
+                Some(pool) => {
+                    if !run_one_ready(&pool, pool.rank[self.ctx.id.0]) {
+                        thread::yield_now();
+                    }
+                }
+                None => thread::sleep(Duration::from_micros(100)),
+            }
+        }
+    }
+
     /// Terminal sequence: final operator flush (unless degraded-stopped),
     /// EOS propagation, finish trace. Runs exactly once per actor.
     fn finish(&mut self) {
@@ -1340,11 +1687,14 @@ impl WorkerTask {
                 .replay_overflows
                 .store(ckpt.replay.overflows(), Ordering::Relaxed);
         }
+        if self.reconfig.is_some() {
+            self.await_handoffs();
+        }
         if !self.stopped {
             let op = &mut self.op;
             let out = &mut self.out;
             if guarded_call(&self.ctx.metrics, || op.flush(out)).is_ok() {
-                self.ctx.deliver(&mut self.out);
+                self.deliver_outputs();
             } else {
                 self.out.clear();
                 self.ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
@@ -1988,6 +2338,10 @@ fn run_with(
                                     align_started: None,
                                 })
                             }),
+                            reconfig: config
+                                .reconfig
+                                .as_ref()
+                                .map(|h| Box::new(ReconfigTaskState::new(Arc::clone(&h.shared)))),
                         },
                     },
                 ));

@@ -105,6 +105,7 @@ mod metrics;
 mod operator;
 pub mod operators;
 mod profiler;
+pub mod reconfig;
 mod rng;
 mod route;
 mod sim;
@@ -124,6 +125,7 @@ pub use meta::{MetaDest, MetaOperator, MetaRoute};
 pub use metrics::{ActorReport, RunReport};
 pub use operator::{Outputs, StreamOperator, DEFAULT_PORT};
 pub use profiler::{profile_operator, sample_stream, ProfileResult};
+pub use reconfig::{KeyHandoff, ReconfigHandle, ReconfigOp};
 pub use rng::XorShift64;
 pub use route::Route;
 pub use sim::{

@@ -66,6 +66,13 @@ pub enum Envelope {
     /// End-of-stream marker; one is sent by each upstream sender when it
     /// finishes.
     Eos,
+    /// Key-state handoff token (live repartitioning): the migrated state
+    /// itself travels out-of-band in the shared reconfiguration map — the
+    /// envelope only carries the handoff id, so `Envelope` stays `Copy` —
+    /// but its *position* in the mailbox is the correctness guarantee:
+    /// FIFO order puts it ahead of every released post-migration tuple,
+    /// so the new owner merges state before touching moved-key data.
+    Handoff(u64),
 }
 
 /// Outcome of a send attempt.
@@ -1367,7 +1374,7 @@ mod tests {
         assert_eq!(batch.len(), 5);
         match batch[0] {
             Envelope::Data(t) => assert_eq!(t.seq, 3),
-            Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
+            Envelope::Epoch(_) | Envelope::Eos | Envelope::Handoff(_) => panic!("expected data"),
         }
     }
 
@@ -1407,7 +1414,9 @@ mod tests {
             .iter()
             .map(|e| match e {
                 Envelope::Data(t) => t.seq,
-                Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
+                Envelope::Epoch(_) | Envelope::Eos | Envelope::Handoff(_) => {
+                    panic!("expected data")
+                }
             })
             .collect();
         assert_eq!(seqs, (0..10).collect::<Vec<_>>());
@@ -1548,7 +1557,9 @@ mod tests {
                         assert_eq!(t.seq, next);
                         next += 1;
                     }
-                    Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
+                    Envelope::Epoch(_) | Envelope::Eos | Envelope::Handoff(_) => {
+                        panic!("expected data")
+                    }
                 }
             }
         }
@@ -1615,7 +1626,7 @@ mod tests {
         assert_eq!(batch.len(), 2);
         match batch[0] {
             Envelope::Data(t) => assert_eq!(t.seq, 3),
-            Envelope::Epoch(_) | Envelope::Eos => panic!("expected data"),
+            Envelope::Epoch(_) | Envelope::Eos | Envelope::Handoff(_) => panic!("expected data"),
         }
         drop(rx);
         let out = tx.try_send_batch(&mut batch);

@@ -125,6 +125,29 @@ pub trait StreamOperator: Send {
         let _ = snapshot;
         false
     }
+
+    /// Removes the state of the given keys from the operator and returns
+    /// it encoded as a snapshot — the drain side of a live key
+    /// repartitioning handoff. After the call the operator must behave as
+    /// if it had never seen those keys. Default: `None`, meaning the
+    /// operator does not support per-key extraction (it is either
+    /// stateless, in which case nothing needs to move, or
+    /// monolithic-stateful, in which case it must not be key-repartitioned
+    /// at all).
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<StateSnapshot> {
+        let _ = keys;
+        None
+    }
+
+    /// Merges state produced by [`extract_keys`](Self::extract_keys) on
+    /// another replica into this operator — the resume side of a handoff.
+    /// The injected keys are guaranteed disjoint from the keys this
+    /// replica currently owns. Returns `true` if the snapshot was
+    /// understood and merged. Default: `false`.
+    fn inject_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
 }
 
 impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
@@ -145,6 +168,12 @@ impl<T: StreamOperator + ?Sized> StreamOperator for Box<T> {
     }
     fn restore(&mut self, snapshot: &StateSnapshot) -> bool {
         (**self).restore(snapshot)
+    }
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<StateSnapshot> {
+        (**self).extract_keys(keys)
+    }
+    fn inject_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        (**self).inject_state(snapshot)
     }
 }
 

@@ -267,6 +267,11 @@ pub struct FaultConfig {
     /// Deterministic trigger: panic on the n-th processed tuple
     /// (1-indexed). Fires exactly once; a restart does not re-arm it.
     pub crash_after_tuples: Option<u64>,
+    /// Deterministic trigger: after the n-th processed tuple, every item
+    /// burns an extra `extra_ns` of synthetic work — a *persistent*
+    /// service-time shift (unlike latency spikes), the workload change the
+    /// adaptive controller is built to detect. `(n, extra_ns)`.
+    pub slow_after_tuples: Option<(u64, u64)>,
 }
 
 impl FaultConfig {
@@ -281,6 +286,7 @@ impl FaultConfig {
             seed,
             crash_at_epoch: None,
             crash_after_tuples: None,
+            slow_after_tuples: None,
         }
     }
 
@@ -299,6 +305,13 @@ impl FaultConfig {
     /// Arms the one-shot crash on the n-th processed tuple.
     pub fn with_crash_after_tuples(mut self, tuples: u64) -> Self {
         self.crash_after_tuples = Some(tuples);
+        self
+    }
+
+    /// Arms the persistent service-time shift: after `tuples` items, every
+    /// item costs an extra `extra_ns` of synthetic work.
+    pub fn with_slowdown_after(mut self, tuples: u64, extra_ns: u64) -> Self {
+        self.slow_after_tuples = Some((tuples, extra_ns));
         self
     }
 
@@ -378,6 +391,11 @@ impl<O: StreamOperator> StreamOperator for FaultInjector<O> {
         if self.cfg.latency_spike_prob > 0.0 && self.rng.next_f64() < self.cfg.latency_spike_prob {
             synthetic_work(self.cfg.latency_spike_ns);
         }
+        if let Some((after, extra_ns)) = self.cfg.slow_after_tuples {
+            if self.tuples_seen > after {
+                synthetic_work(extra_ns);
+            }
+        }
         self.inner.process(item, out);
     }
     fn flush(&mut self, out: &mut Outputs) {
@@ -410,6 +428,14 @@ impl<O: StreamOperator> StreamOperator for FaultInjector<O> {
     }
     fn restore(&mut self, snapshot: &crate::checkpoint::StateSnapshot) -> bool {
         self.inner.restore(snapshot)
+    }
+    fn extract_keys(&mut self, keys: &[u64]) -> Option<crate::checkpoint::StateSnapshot> {
+        // Key handoffs move the *wrapped* operator's state; the injector's
+        // own schedule stays put on the old replica.
+        self.inner.extract_keys(keys)
+    }
+    fn inject_state(&mut self, snapshot: &crate::checkpoint::StateSnapshot) -> bool {
+        self.inner.inject_state(snapshot)
     }
 }
 
@@ -576,6 +602,7 @@ mod tests {
             seed: 17,
             crash_at_epoch: None,
             crash_after_tuples: None,
+            slow_after_tuples: None,
         };
         let mut op = FaultInjector::new(PassThrough, cfg);
         let mut out = Outputs::new();
@@ -620,6 +647,7 @@ mod tests {
             seed: 23,
             crash_at_epoch: None,
             crash_after_tuples: None,
+            slow_after_tuples: None,
         };
         let mut op = FaultInjector::new(PassThrough, cfg);
         let mut out = Outputs::new();

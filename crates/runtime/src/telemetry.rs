@@ -312,6 +312,32 @@ pub enum TraceEventKind {
         /// disambiguator when several sources share sequence numbers.
         src_ns: u64,
     },
+    /// A live reconfiguration route swap was applied by this actor: its
+    /// output `port` now routes to `destinations` replica slots. Emitted
+    /// at the epoch barrier the swap was gated on (`epoch` 0 when applied
+    /// un-gated, i.e. with checkpointing off).
+    Reconfigured {
+        /// Barrier epoch the swap applied at (0 = ungated).
+        epoch: u64,
+        /// The swapped output port.
+        port: usize,
+        /// Destination count of the new route (the new active parallelism).
+        destinations: u64,
+        /// Keys paused for state handoff by this swap.
+        moved_keys: u64,
+    },
+    /// One side of a key-state handoff executed on this actor: the old
+    /// owner extracted and published the moving keys' state
+    /// (`outbound = true`), or the new owner merged it
+    /// (`outbound = false`).
+    StateMigrated {
+        /// The handoff id connecting the extract and merge events.
+        handoff: u64,
+        /// Serialized size of the moved state.
+        bytes: u64,
+        /// True on the extracting (old-owner) side.
+        outbound: bool,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -328,6 +354,8 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::CheckpointCompleted { .. } => write!(f, "checkpoint-completed"),
             TraceEventKind::Recovered { .. } => write!(f, "recovered"),
             TraceEventKind::Span { .. } => write!(f, "span"),
+            TraceEventKind::Reconfigured { .. } => write!(f, "reconfigured"),
+            TraceEventKind::StateMigrated { .. } => write!(f, "state-migrated"),
         }
     }
 }
@@ -369,6 +397,27 @@ impl TraceEvent {
             }
             TraceEventKind::Span { tuple_seq, src_ns } => {
                 let _ = write!(s, ",\"tuple_seq\":{tuple_seq},\"src_ns\":{src_ns}");
+            }
+            TraceEventKind::Reconfigured {
+                epoch,
+                port,
+                destinations,
+                moved_keys,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"port\":{port},\"destinations\":{destinations},\"moved_keys\":{moved_keys}"
+                );
+            }
+            TraceEventKind::StateMigrated {
+                handoff,
+                bytes,
+                outbound,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"handoff\":{handoff},\"bytes\":{bytes},\"outbound\":{outbound}"
+                );
             }
             _ => {}
         }
@@ -887,8 +936,6 @@ impl TelemetryHub {
         last_complete_epoch: Option<u64>,
     ) -> TelemetrySnapshot {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let tick = state.tick;
-        state.tick += 1;
         // All actors share the same window; take it from slot 0 (or 0 ns
         // for an empty graph, which validation rejects anyway).
         let window_ns = state
@@ -896,6 +943,21 @@ impl TelemetryHub {
             .first()
             .map(|p| t_ns.saturating_sub(p.t_ns))
             .unwrap_or(0);
+        // Zero-width window (two samples on the same timestamp, e.g. the
+        // final flush racing the sampler on a coarse clock): rates would
+        // be 0/0. Merge into the previous snapshot — refresh its
+        // cumulative counters but keep its rates, tick and `prev`
+        // baseline, so the intervening deltas are attributed to the next
+        // real window instead of being dropped or reported as NaN/inf.
+        if window_ns == 0 {
+            if let Some(last) = state.ring.back().cloned() {
+                let merged = self.merge_into(last, raw, last_complete_epoch);
+                *state.ring.back_mut().expect("ring non-empty") = merged.clone();
+                return merged;
+            }
+        }
+        let tick = state.tick;
+        state.tick += 1;
         let mut samples = Vec::with_capacity(self.actors.len());
         for (i, actor) in self.actors.iter().enumerate() {
             let r = &raw[i];
@@ -974,6 +1036,43 @@ impl TelemetryHub {
             cb(&snapshot);
         }
         snapshot
+    }
+
+    /// Refreshes the cumulative fields of `last` from `raw` without
+    /// touching its rates or tick — the zero-width-window merge.
+    fn merge_into(
+        &self,
+        mut last: TelemetrySnapshot,
+        raw: &[RawCounters],
+        last_complete_epoch: Option<u64>,
+    ) -> TelemetrySnapshot {
+        for (i, s) in last.actors.iter_mut().enumerate() {
+            let r = &raw[i];
+            s.items_in = r.items_in;
+            s.items_out = r.items_out;
+            s.queue_depth = r.queue_depth;
+            s.panics = r.panics;
+            s.restarts = r.restarts;
+            s.dead_letters = r.dead_letters;
+            s.dropped = r.dropped;
+            s.busy_ns = r.busy_ns;
+            s.blocked_ns = r.blocked_ns;
+            s.inbox_stall_ns = r.inbox_stall_ns;
+            s.snapshots = r.snapshots;
+            s.snapshot_bytes = r.snapshot_bytes;
+            s.align_stall_ns = r.align_stall_ns;
+            s.recoveries = r.recoveries;
+            s.replayed = r.replayed;
+            s.replay_overflows = r.replay_overflows;
+        }
+        for l in &mut last.latencies {
+            if let Some(h) = self.actors[l.actor.0].latency.as_ref() {
+                l.latency = h.snapshot();
+            }
+        }
+        last.trace_total = self.trace.total();
+        last.last_complete_epoch = last_complete_epoch;
+        last
     }
 
     /// Drains the hub into the final report.
@@ -1126,6 +1225,53 @@ mod tests {
         assert!((s1.actors[1].utilization - 0.5).abs() < 1e-9);
         // Cumulative counters are still absolute.
         assert_eq!(s1.actors[0].items_out, 150);
+    }
+
+    #[test]
+    fn zero_width_window_merges_instead_of_emitting_bogus_rates() {
+        let hub = hub_with(&["src", "sink"]);
+        let raw0 = [
+            RawCounters {
+                items_out: 100,
+                ..RawCounters::default()
+            },
+            RawCounters {
+                items_in: 100,
+                busy_ns: 500_000_000,
+                ..RawCounters::default()
+            },
+        ];
+        let s0 = hub.sample(1_000_000_000, &raw0, None);
+        // A second sample on the same timestamp: counters advanced but no
+        // time passed. It must merge into tick 0, not mint a zero-rate
+        // (or NaN/inf) snapshot.
+        let raw1 = [
+            RawCounters {
+                items_out: 160,
+                ..RawCounters::default()
+            },
+            RawCounters {
+                items_in: 160,
+                busy_ns: 700_000_000,
+                ..RawCounters::default()
+            },
+        ];
+        let s1 = hub.sample(1_000_000_000, &raw1, Some(3));
+        assert_eq!(s1.tick, 0, "merged into the previous tick");
+        assert_eq!(s1.actors[0].items_out, 160, "cumulatives refreshed");
+        assert_eq!(s1.last_complete_epoch, Some(3));
+        // Rates kept from the real window — finite, not 0/NaN/inf.
+        assert!((s1.actors[0].departure_rate - s0.actors[0].departure_rate).abs() < 1e-9);
+        assert!(s1.actors.iter().all(|a| {
+            a.arrival_rate.is_finite() && a.departure_rate.is_finite() && a.utilization.is_finite()
+        }));
+        // The intervening delta is attributed to the next real window:
+        // 60 more items over the next 0.5 s -> 120/s.
+        let s2 = hub.sample(1_500_000_000, &raw1, None);
+        assert_eq!(s2.tick, 1);
+        assert!((s2.actors[0].departure_rate - 120.0).abs() < 1e-9);
+        let report = hub.into_report();
+        assert_eq!(report.snapshots.len(), 2, "no extra ring entry");
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! spinstreams codegen  <topology.xml> [--out main.rs] generate the optimized application
 //! spinstreams run      <topology.xml> [--items N] [--batch N] [--checkpoint N]
 //!                                     [--telemetry FILE] [--interval-ms M]
-//!                                                     execute and compare vs the model
+//!                                     [--adaptive] [--drift-threshold T] [--cooldown N]
+//!                                     [--hysteresis H] [--max-replicas N] [--min-samples N]
+//!                                                     execute and compare vs the model;
+//!                                                     --adaptive closes the control loop
+//!                                                     (live re-optimization + migration)
 //! spinstreams chaos    <topology.xml> [--items N] [--panic-prob P] [--seed S] [--batch N]
 //!                                     [--workers N] [--checkpoint N] [--crash-at-epoch N]
 //!                                     [--crash-after-tuples N] [--telemetry FILE] [--interval-ms M]
@@ -25,9 +29,12 @@
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
 //! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
 //!                      [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]
-//!                      [--artifacts DIR]
+//!                      [--artifacts DIR] [--adaptation-seeds A,B,C]
 //!                                                     differential oracle sweep: prediction vs
-//!                                                     simulator vs threaded runtime
+//!                                                     simulator vs threaded runtime; the
+//!                                                     adaptation layer replays a mid-run
+//!                                                     service-time shift and checks the live
+//!                                                     migration preserved exactly-once output
 //! ```
 //!
 //! `run`, `chaos`, `monitor`, `inspect` and `oracle` also accept
@@ -37,22 +44,23 @@
 //! Topology files follow the §4.1 XML formalism (see `spinstreams-xml`);
 //! operators whose specs carry registry `kind` tags are runnable.
 
-use spinstreams_analysis::DriftConfig;
 use spinstreams_analysis::{
     apply_replica_bound, auto_fuse, eliminate_bottlenecks, evaluate_with_replicas,
     format_fission_plan, format_steady_state, fuse, fusion_candidates, steady_state,
 };
+use spinstreams_analysis::{AdaptiveConfig, DriftConfig};
 use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
-use spinstreams_core::{OperatorId, Topology};
+use spinstreams_core::{OperatorId, StateClass, Topology};
 use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig};
 use spinstreams_runtime::Executor;
 use spinstreams_runtime::{
     run_with_telemetry, EngineConfig, ExecutorKind, PinningConfig, TelemetryConfig,
 };
 use spinstreams_tool::{
-    chaos_table, comparison_table, drift_json, experiment_executor, inspect, inspect_json,
-    inspect_table, monitor_table, predict_vs_measure, predict_vs_measure_telemetry,
-    predicted_actor_rates, prometheus_text, run_chaos, run_chaos_with_telemetry, topology_dot,
+    adaptation_table, adaptive_table, chaos_table, comparison_table, drift_json,
+    experiment_executor, inspect, inspect_json, inspect_table, monitor_table, predict_vs_measure,
+    predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text, run_adaptation_layer,
+    run_adaptive, run_chaos, run_chaos_with_telemetry, topology_dot, AdaptiveRunConfig,
     ChaosConfig, DriftExporter,
 };
 use spinstreams_xml::{runtime_settings_from_xml, topology_from_xml};
@@ -65,7 +73,7 @@ fn usage() -> ExitCode {
         "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|inspect|dot> <topology.xml> [options]\n\
          \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
          \x20                         [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]\n\
-         \x20                         [--artifacts DIR]\n\
+         \x20                         [--artifacts DIR] [--adaptation-seeds A,B,C]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -74,7 +82,12 @@ fn usage() -> ExitCode {
          codegen   — emit the optimized application's Rust source; --out FILE\n\
          run       — execute on the virtual-time runtime and compare vs the model; --items N,\n\
                      --batch N (envelope batch size; accepted for parity, virtual time ignores it),\n\
-                     --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M\n\
+                     --telemetry FILE (JSON-lines export with drift verdicts), --interval-ms M;\n\
+                     --adaptive runs the *threaded* engine with the control loop closed —\n\
+                     live re-profiling, re-optimization, and in-flight migration (needs\n\
+                     --checkpoint N or <settings checkpoint-interval=\"N\"/>); knobs\n\
+                     --drift-threshold T, --cooldown N, --hysteresis H, --max-replicas N,\n\
+                     --min-samples N (defaults from <settings adaptive=\"true\" ...attrs/>)\n\
          chaos     — fault-injected threaded run exercising supervision;\n\
                      --items N, --panic-prob P (default 0.05), --seed S, --batch N,\n\
                      --workers N, --checkpoint N, --crash-at-epoch N (every worker panics\n\
@@ -103,7 +116,9 @@ fn usage() -> ExitCode {
                      --seeds N (default 20), --seed-start S (default 0), --no-threaded,\n\
                      --no-fission, --no-fusion (skip the monomorphized-vs-interpreted fusion\n\
                      layer), --no-minimize, --workers N (pool executor for the threaded\n\
-                     smoke runs), --pin-cores L, --artifacts DIR (write repro artifacts)"
+                     smoke runs), --pin-cores L, --artifacts DIR (write repro artifacts),\n\
+                     --adaptation-seeds A,B,C (run the drift → live-migration adaptation\n\
+                     layer on the listed seeds instead of the static sweep)"
     );
     ExitCode::FAILURE
 }
@@ -140,6 +155,49 @@ fn load(path: &str) -> Result<(Topology, spinstreams_xml::RuntimeSettings), Stri
 /// `spinstreams oracle` — the differential sweep. Unlike every other
 /// subcommand it takes no topology file: scenarios are generated from seeds.
 fn oracle_cmd(args: &[String]) -> ExitCode {
+    // The adaptation layer: `--adaptation-seeds 1,2,3` runs the drift →
+    // live-migration scenario on the listed seeds. It replaces the static
+    // sweep unless `--seeds` was also given explicitly.
+    if let Some(raw) = flag_value(args, "--adaptation-seeds") {
+        let parsed: Result<Vec<u64>, _> = raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::parse)
+            .collect();
+        let adapt_seeds = match parsed {
+            Ok(v) if !v.is_empty() => v,
+            _ => {
+                eprintln!("--adaptation-seeds must be a comma-separated list of integers");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut dirty = 0usize;
+        for &seed in &adapt_seeds {
+            match run_adaptation_layer(seed) {
+                Ok(report) => {
+                    print!("{}", adaptation_table(&report));
+                    if !report.is_clean() {
+                        dirty += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("adaptation seed {seed}: {e}");
+                    dirty += 1;
+                }
+            }
+        }
+        println!(
+            "{}/{} adaptation seed(s) clean",
+            adapt_seeds.len() - dirty,
+            adapt_seeds.len()
+        );
+        if dirty > 0 {
+            return ExitCode::FAILURE;
+        }
+        if flag_value(args, "--seeds").is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
     let seeds = match flag_value(args, "--seeds").map(|v| v.parse::<u64>()) {
         None => 20,
         Some(Ok(n)) if n > 0 => n,
@@ -432,6 +490,124 @@ fn main() -> ExitCode {
             let items = flag_value(&args, "--items")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(20_000);
+            // `--adaptive` (or an XML `<settings adaptive="true" .../>` opt-in)
+            // switches to the threaded engine with the control loop closed.
+            // Knob precedence: CLI flag > XML attribute > built-in default.
+            if args.iter().any(|a| a == "--adaptive") || xml_settings.adaptive.is_some() {
+                let mut controller = AdaptiveConfig::default();
+                if let Some(x) = &xml_settings.adaptive {
+                    if let Some(t) = x.drift_threshold {
+                        controller.drift.threshold = t;
+                    }
+                    if let Some(n) = x.cooldown_ticks {
+                        controller.cooldown_ticks = n;
+                    }
+                    if let Some(h) = x.hysteresis {
+                        controller.hysteresis = h;
+                    }
+                    if let Some(n) = x.max_replicas {
+                        controller.max_replicas = n;
+                    }
+                    if let Some(n) = x.min_samples {
+                        controller.min_samples = n;
+                    }
+                }
+                if let Some(raw) = flag_value(&args, "--drift-threshold") {
+                    match raw.parse::<f64>() {
+                        Ok(t) if t.is_finite() && t > 0.0 => controller.drift.threshold = t,
+                        _ => {
+                            eprintln!("--drift-threshold must be a positive number");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Some(raw) = flag_value(&args, "--cooldown") {
+                    match raw.parse::<u64>() {
+                        Ok(n) => controller.cooldown_ticks = n,
+                        Err(_) => {
+                            eprintln!("--cooldown must be a non-negative integer (ticks)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Some(raw) = flag_value(&args, "--hysteresis") {
+                    match raw.parse::<f64>() {
+                        Ok(h) if h.is_finite() && h >= 0.0 => controller.hysteresis = h,
+                        _ => {
+                            eprintln!("--hysteresis must be a non-negative number");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Some(raw) = flag_value(&args, "--max-replicas") {
+                    match raw.parse::<usize>() {
+                        Ok(n) if n > 0 => controller.max_replicas = n,
+                        _ => {
+                            eprintln!("--max-replicas must be a positive integer");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Some(raw) = flag_value(&args, "--min-samples") {
+                    match raw.parse::<u64>() {
+                        Ok(n) => controller.min_samples = n,
+                        Err(_) => {
+                            eprintln!("--min-samples must be a non-negative integer");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let Some(interval) = checkpoint else {
+                    eprintln!(
+                        "run --adaptive needs epoch barriers to migrate against: pass \
+                         --checkpoint N or add <settings checkpoint-interval=\"N\"/>"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                let interval_ms = flag_value(&args, "--interval-ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(100)
+                    .max(1);
+                // A partitioned topology keys its stream from the declared
+                // frequency table, so measured key load matches the plan.
+                let source_keys = topo.operators().iter().find_map(|op| match &op.state {
+                    StateClass::PartitionedStateful { keys } => Some(keys.clone()),
+                    _ => None,
+                });
+                let mut cfg = AdaptiveRunConfig {
+                    items,
+                    batch_size: batch,
+                    workers,
+                    checkpoint_interval: interval,
+                    controller,
+                    telemetry_interval: Duration::from_millis(interval_ms),
+                    ..AdaptiveRunConfig::default()
+                };
+                if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+                    cfg.seed = seed;
+                }
+                match run_adaptive(&topo, source_keys, &cfg) {
+                    Ok(outcome) => {
+                        if let Some(out) = flag_value(&args, "--telemetry") {
+                            if let Err(e) = std::fs::write(&out, outcome.telemetry.to_jsonl()) {
+                                eprintln!("cannot write {out}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            println!(
+                                "telemetry: {} snapshot(s), {} trace event(s) -> {out}",
+                                outcome.telemetry.snapshots.len(),
+                                outcome.telemetry.trace_total
+                            );
+                        }
+                        print!("{}", adaptive_table(path, &cfg, &outcome));
+                    }
+                    Err(e) => {
+                        eprintln!("adaptive run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
             let mut executor = experiment_executor(0x70_01);
             // Accepted for config parity; virtual time ignores batching
             // (see `SimConfig::batch_size`) and models checkpoint epochs

@@ -22,6 +22,14 @@
 //!   online [`DriftMonitor`](spinstreams_analysis::DriftMonitor) on every
 //!   snapshot, and render JSON-lines / Prometheus text
 //!   ([`prometheus_text`]) / a live table ([`monitor_table`]).
+//! * [`run_adaptive`] — the closed control loop behind `spinstreams run
+//!   --adaptive`: every telemetry tick re-profiles the annotations, and a
+//!   sustained drift re-runs Algorithms 1–3 and migrates the live graph
+//!   (route swaps + key-state handoffs) without stopping the stream.
+//! * [`run_adaptation_layer`] — the differential oracle's adaptation
+//!   layer: a mid-run service-time shift must trigger a live migration
+//!   that preserves exactly-once sink output and lands within the drift
+//!   threshold of the new plan's Algorithm 1 prediction.
 //! * [`inspect`] — the live bottleneck-attribution harness behind
 //!   `spinstreams inspect`: re-profiles the §4.1 annotations online,
 //!   joins Algorithm 1's predicted bottleneck with the measured one, and
@@ -31,6 +39,8 @@
 
 #![warn(missing_docs)]
 
+mod adaptation;
+mod adaptive;
 mod chaos;
 mod dot;
 mod format;
@@ -38,6 +48,10 @@ mod harness;
 mod inspect;
 mod telemetry;
 
+pub use adaptation::{adaptation_table, run_adaptation_layer, AdaptationReport};
+pub use adaptive::{
+    adaptive_table, run_adaptive, AdaptiveOutcome, AdaptiveRunConfig, OperatorFault,
+};
 pub use chaos::{
     chaos_table, predicted_delivered_fraction, run_chaos, run_chaos_with_telemetry, ChaosConfig,
     ChaosOutcome,

@@ -44,5 +44,5 @@ mod writer;
 pub use parser::{parse, XmlError, XmlNode};
 pub use schema::{
     runtime_settings_from_xml, scenario_from_xml, scenario_to_xml, topology_from_xml,
-    topology_to_xml, topology_to_xml_with_settings, RuntimeSettings, SchemaError,
+    topology_to_xml, topology_to_xml_with_settings, AdaptiveSettings, RuntimeSettings, SchemaError,
 };

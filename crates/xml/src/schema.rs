@@ -70,6 +70,36 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
     }
 }
 
+/// Adaptive re-optimization knobs carried on the `<settings>` element.
+///
+/// Present only when the document opts in with `adaptive="true"`; every
+/// knob is optional and `None` defers to the controller's default:
+///
+/// ```xml
+/// <settings adaptive="true" drift-threshold="0.25" adaptive-cooldown="4"
+///           adaptive-hysteresis="0.05" adaptive-max-replicas="16"
+///           adaptive-min-samples="200"/>
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptiveSettings {
+    /// Relative-error threshold above which an annotation counts as
+    /// drifting (`drift-threshold`, in `(0, +inf)`).
+    pub drift_threshold: Option<f64>,
+    /// Telemetry ticks to ignore after a migration or baseline rebase
+    /// before re-arming the drift monitor (`adaptive-cooldown`).
+    pub cooldown_ticks: Option<u64>,
+    /// Minimum relative predicted-throughput gain a new plan must show
+    /// before the controller migrates (`adaptive-hysteresis`, `>= 0`).
+    pub hysteresis: Option<f64>,
+    /// Total replica budget handed to Algorithm 2's bound
+    /// (`adaptive-max-replicas`, positive).
+    pub max_replicas: Option<usize>,
+    /// Items an operator must have processed inside the profiling window
+    /// before its re-profiled annotations are trusted
+    /// (`adaptive-min-samples`).
+    pub min_samples: Option<u64>,
+}
+
 /// Optional runtime tuning carried by a topology document in a
 /// `<settings .../>` child of `<topology>`.
 ///
@@ -84,7 +114,7 @@ fn invalid(reason: impl Into<String>) -> SchemaError {
 ///   ...
 /// </topology>
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuntimeSettings {
     /// Envelope batch size for the threaded engine's coalesced data path
     /// (`EngineConfig::batch_size`); `None` leaves the engine default.
@@ -102,6 +132,10 @@ pub struct RuntimeSettings {
     /// best-effort: on platforms without affinity support the engine warns
     /// once and runs unpinned.
     pub pin_cores: Option<Vec<usize>>,
+    /// Adaptive re-optimization opt-in plus its knobs
+    /// (`adaptive="true"` on `<settings>`); `None` keeps the closed-loop
+    /// controller off.
+    pub adaptive: Option<AdaptiveSettings>,
 }
 
 /// Extracts the optional [`RuntimeSettings`] from a topology document.
@@ -161,6 +195,83 @@ pub fn runtime_settings_from_xml(text: &str) -> Result<RuntimeSettings, SchemaEr
             }
             settings.pin_cores = Some(cores);
         }
+        let enabled = match node.get_attr("adaptive") {
+            None => false,
+            Some("true") => true,
+            Some("false") => false,
+            Some(raw) => {
+                return Err(invalid(format!(
+                    "adaptive={raw:?} is not \"true\" or \"false\""
+                )))
+            }
+        };
+        let mut adaptive = AdaptiveSettings::default();
+        let mut any_knob = false;
+        if let Some(raw) = node.get_attr("drift-threshold") {
+            let v = raw
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| {
+                    invalid(format!("drift-threshold={raw:?} is not a positive number"))
+                })?;
+            adaptive.drift_threshold = Some(v);
+            any_knob = true;
+        }
+        if let Some(raw) = node.get_attr("adaptive-cooldown") {
+            let v = raw.parse::<u64>().map_err(|_| {
+                invalid(format!(
+                    "adaptive-cooldown={raw:?} is not a non-negative integer"
+                ))
+            })?;
+            adaptive.cooldown_ticks = Some(v);
+            any_knob = true;
+        }
+        if let Some(raw) = node.get_attr("adaptive-hysteresis") {
+            let v = raw
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "adaptive-hysteresis={raw:?} is not a non-negative number"
+                    ))
+                })?;
+            adaptive.hysteresis = Some(v);
+            any_knob = true;
+        }
+        if let Some(raw) = node.get_attr("adaptive-max-replicas") {
+            let v = raw
+                .parse::<usize>()
+                .ok()
+                .filter(|v| *v > 0)
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "adaptive-max-replicas={raw:?} is not a positive integer"
+                    ))
+                })?;
+            adaptive.max_replicas = Some(v);
+            any_knob = true;
+        }
+        if let Some(raw) = node.get_attr("adaptive-min-samples") {
+            let v = raw.parse::<u64>().map_err(|_| {
+                invalid(format!(
+                    "adaptive-min-samples={raw:?} is not a non-negative integer"
+                ))
+            })?;
+            adaptive.min_samples = Some(v);
+            any_knob = true;
+        }
+        if enabled {
+            settings.adaptive = Some(adaptive);
+        } else if any_knob {
+            // Knobs without the opt-in are almost certainly a typo'd
+            // `adaptive="true"`; fail loudly instead of silently running
+            // a static plan.
+            return Err(invalid(
+                "adaptive-* knobs present but adaptive=\"true\" is not set",
+            ));
+        }
     }
     Ok(settings)
 }
@@ -191,6 +302,24 @@ pub fn topology_to_xml_with_settings(
             .collect::<Vec<_>>()
             .join(",");
         attrs.push_str(&format!(" pin-cores=\"{list}\""));
+    }
+    if let Some(adaptive) = &settings.adaptive {
+        attrs.push_str(" adaptive=\"true\"");
+        if let Some(v) = adaptive.drift_threshold {
+            attrs.push_str(&format!(" drift-threshold=\"{v}\""));
+        }
+        if let Some(v) = adaptive.cooldown_ticks {
+            attrs.push_str(&format!(" adaptive-cooldown=\"{v}\""));
+        }
+        if let Some(v) = adaptive.hysteresis {
+            attrs.push_str(&format!(" adaptive-hysteresis=\"{v}\""));
+        }
+        if let Some(v) = adaptive.max_replicas {
+            attrs.push_str(&format!(" adaptive-max-replicas=\"{v}\""));
+        }
+        if let Some(v) = adaptive.min_samples {
+            attrs.push_str(&format!(" adaptive-min-samples=\"{v}\""));
+        }
     }
     if attrs.is_empty() {
         return topology_to_xml(topo, name);
@@ -585,6 +714,7 @@ mod tests {
             workers: Some(4),
             checkpoint_interval: Some(1_000),
             pin_cores: Some(vec![0, 2, 1]),
+            adaptive: None,
         };
         let xml = topology_to_xml_with_settings(&t, "sample", &settings);
         assert!(xml.contains(
@@ -633,6 +763,75 @@ mod tests {
             runtime_settings_from_xml(&plain).unwrap(),
             RuntimeSettings::default()
         );
+    }
+
+    #[test]
+    fn adaptive_settings_roundtrip() {
+        let t = sample();
+        // Full knob set round-trips.
+        let settings = RuntimeSettings {
+            checkpoint_interval: Some(500),
+            adaptive: Some(AdaptiveSettings {
+                drift_threshold: Some(0.25),
+                cooldown_ticks: Some(4),
+                hysteresis: Some(0.05),
+                max_replicas: Some(16),
+                min_samples: Some(200),
+            }),
+            ..RuntimeSettings::default()
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &settings);
+        assert!(xml.contains(
+            "adaptive=\"true\" drift-threshold=\"0.25\" adaptive-cooldown=\"4\" \
+             adaptive-hysteresis=\"0.05\" adaptive-max-replicas=\"16\" \
+             adaptive-min-samples=\"200\""
+        ));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), settings);
+        // Bare opt-in: all knobs default.
+        let bare = RuntimeSettings {
+            adaptive: Some(AdaptiveSettings::default()),
+            ..RuntimeSettings::default()
+        };
+        let xml = topology_to_xml_with_settings(&t, "sample", &bare);
+        assert!(xml.contains("<settings adaptive=\"true\"/>"));
+        assert_eq!(runtime_settings_from_xml(&xml).unwrap(), bare);
+        // Explicit opt-out parses as no adaptive settings.
+        let doc = r#"<topology name="t">
+             <settings adaptive="false"/>
+             <operator id="0" name="src" type="stateless" service-time="1"/>
+           </topology>"#;
+        assert_eq!(runtime_settings_from_xml(doc).unwrap().adaptive, None);
+    }
+
+    #[test]
+    fn malformed_adaptive_settings_are_rejected() {
+        let wrap = |attrs: &str| {
+            format!(
+                r#"<topology name="t">
+                     <settings {attrs}/>
+                     <operator id="0" name="src" type="stateless" service-time="1"/>
+                   </topology>"#
+            )
+        };
+        for attrs in [
+            "adaptive=\"yes\"",
+            "adaptive=\"true\" drift-threshold=\"0\"",
+            "adaptive=\"true\" drift-threshold=\"nan\"",
+            "adaptive=\"true\" adaptive-hysteresis=\"-0.1\"",
+            "adaptive=\"true\" adaptive-max-replicas=\"0\"",
+            "adaptive=\"true\" adaptive-cooldown=\"-1\"",
+            "adaptive=\"true\" adaptive-min-samples=\"abc\"",
+            // Knobs without the opt-in are a configuration error.
+            "drift-threshold=\"0.5\"",
+        ] {
+            assert!(
+                matches!(
+                    runtime_settings_from_xml(&wrap(attrs)).unwrap_err(),
+                    SchemaError::Invalid { .. }
+                ),
+                "expected rejection for {attrs}"
+            );
+        }
     }
 
     #[test]

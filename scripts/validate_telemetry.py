@@ -15,6 +15,7 @@ Exits non-zero (with a message) on the first violation.
 """
 
 import json
+import math
 import sys
 
 ACTOR_FIELDS = {
@@ -46,7 +47,12 @@ TRACE_EVENTS = {
     "actor-started", "actor-finished", "operator-panicked",
     "operator-restarted", "backoff", "actor-stopped", "blocked",
     "dead-letter", "checkpoint-completed", "recovered", "span",
+    "reconfigured", "state-migrated",
 }
+# Rate/ratio fields that must be finite numbers: a NaN or infinity here
+# parses fine as JSON (Python accepts the non-standard literals) but
+# poisons every downstream aggregation.
+FINITE_ACTOR_FIELDS = ("arrival_rate", "departure_rate", "utilization")
 
 
 def fail(lineno, msg):
@@ -92,6 +98,9 @@ def validate(path, min_snapshots):
                     for opt in ("queue_depth", "queue_capacity"):
                         if a[opt] is not None and not isinstance(a[opt], int):
                             fail(lineno, f"actor {opt} must be int or null")
+                    for name in FINITE_ACTOR_FIELDS:
+                        if math.isnan(a[name]) or math.isinf(a[name]):
+                            fail(lineno, f"non-finite {name}: {a}")
                     if not 0.0 <= a["utilization"] <= 1.0 + 1e-9:
                         fail(lineno, f"utilization out of range: {a}")
                 for l in obj["latency"]:
@@ -108,6 +117,10 @@ def validate(path, min_snapshots):
                     if v["status"] in ("ok", "drifting") \
                             and v["rel_error"] is None:
                         fail(lineno, f"judged verdict without rel_error: {v}")
+                    err = v.get("rel_error")
+                    if err is not None and \
+                            (math.isnan(err) or math.isinf(err)):
+                        fail(lineno, f"non-finite rel_error: {v}")
             elif kind == "trace":
                 traces += 1
                 if obj["seq"] <= prev_seq:

@@ -80,6 +80,7 @@ fn deploy_counts(
         items: 4_000,
         seed: 0xF00D,
         fusion: strategy,
+        ..CodegenOptions::default()
     };
     let plan = build_actor_graph(
         &topo,
@@ -147,6 +148,7 @@ fn monomorphized_sim_telemetry_is_byte_identical_to_interpreted() {
                 items: 4_000,
                 seed: 0xF00D,
                 fusion: strategy,
+                ..CodegenOptions::default()
             };
             let plan = build_actor_graph(
                 &topo,

@@ -1,0 +1,264 @@
+//! Model-driven admission control for multi-tenant serving.
+//!
+//! When a long-lived engine hosts many topologies on one shared worker
+//! pool, a new submission must not silently degrade the tenants already
+//! running. Algorithm 1 gives exactly the number needed to decide this
+//! *before* deployment: each operator's steady-state utilization `ρ` is the
+//! fraction of one core the operator consumes, so `Σ ρ·replicas` over a
+//! plan is the **core demand** of the whole topology (the resource model of
+//! Benoit et al., *Resource Allocation for Multiple Concurrent In-Network
+//! Stream-Processing Applications*).
+//!
+//! [`admit`] compares that demand against the pool's remaining capacity and
+//! returns one of three verdicts:
+//!
+//! * [`AdmissionVerdict::Admit`] — the plan fits inside the headroom-scaled
+//!   capacity; deploy immediately.
+//! * [`AdmissionVerdict::Queue`] — the plan would fit an *empty* pool but
+//!   not the current residue; hold it until a tenant stops.
+//! * [`AdmissionVerdict::Reject`] — the plan oversubscribes even an empty
+//!   pool; report the predicted core deficit and the throughput fraction
+//!   the model predicts it would achieve if forced in.
+
+use crate::steady_state::SteadyStateReport;
+
+/// Capacity model for one shared worker pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Number of cores (pool workers) available to all tenants together.
+    pub capacity_cores: f64,
+    /// Fraction of the capacity admission may hand out, in `(0, 1]`.
+    /// The rest absorbs model error and transient load spikes.
+    pub headroom: f64,
+}
+
+impl AdmissionConfig {
+    /// Capacity model for a pool of `workers` cores with the default 90 %
+    /// headroom.
+    pub fn for_workers(workers: usize) -> Self {
+        Self {
+            capacity_cores: workers as f64,
+            headroom: 0.9,
+        }
+    }
+
+    /// Usable capacity after headroom.
+    pub fn usable_cores(&self) -> f64 {
+        self.capacity_cores * self.headroom
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self::for_workers(1)
+    }
+}
+
+/// Outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionVerdict {
+    /// The plan fits the remaining capacity; deploy now.
+    Admit {
+        /// Core demand of the candidate plan (`Σ ρ·replicas`).
+        demand_cores: f64,
+    },
+    /// The plan fits an empty pool but not the currently free capacity;
+    /// hold the submission until running tenants release cores.
+    Queue {
+        /// Core demand of the candidate plan.
+        demand_cores: f64,
+        /// Cores currently free (usable capacity minus running demand).
+        available_cores: f64,
+    },
+    /// The plan cannot fit even an empty pool.
+    Reject {
+        /// Core demand of the candidate plan.
+        demand_cores: f64,
+        /// Usable pool capacity the demand was compared against.
+        capacity_cores: f64,
+        /// Cores missing: `demand - capacity`.
+        deficit_cores: f64,
+        /// Throughput fraction the model predicts the plan would reach if
+        /// deployed anyway (`capacity / demand`, in `(0, 1)`).
+        predicted_throughput_fraction: f64,
+    },
+}
+
+impl AdmissionVerdict {
+    /// True for [`AdmissionVerdict::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, AdmissionVerdict::Admit { .. })
+    }
+
+    /// The candidate's core demand, whatever the verdict.
+    pub fn demand_cores(&self) -> f64 {
+        match *self {
+            AdmissionVerdict::Admit { demand_cores }
+            | AdmissionVerdict::Queue { demand_cores, .. }
+            | AdmissionVerdict::Reject { demand_cores, .. } => demand_cores,
+        }
+    }
+}
+
+/// Core demand of one analyzed plan: `Σ ρ·replicas` over its operators.
+///
+/// `report` should come from running Algorithm 1 on the plan *as deployed*
+/// (i.e. via [`crate::evaluate_with_replicas`] when fission raised replica
+/// counts), so each operator's `ρ` already reflects its effective service
+/// rate and `replicas` its replication degree.
+pub fn plan_demand_cores(report: &SteadyStateReport) -> f64 {
+    report
+        .metrics
+        .iter()
+        .map(|m| m.utilization * m.replicas as f64)
+        .sum()
+}
+
+/// Core demand of a plan on a *worker pool* whose sources keep dedicated
+/// threads (the pool executor's model): [`plan_demand_cores`] minus the
+/// source's own contribution at `source_index`.
+pub fn pool_demand_cores(report: &SteadyStateReport, source_index: usize) -> f64 {
+    report
+        .metrics
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != source_index)
+        .map(|(_, m)| m.utilization * m.replicas as f64)
+        .sum()
+}
+
+/// Decides whether a candidate plan of `demand_cores` (from
+/// [`plan_demand_cores`] or [`pool_demand_cores`], per the executor's
+/// threading model) may join a pool already carrying
+/// `running_demand_cores` of admitted demand.
+///
+/// # Panics
+///
+/// Panics if `config.headroom` is not in `(0, 1]` or the capacity is not
+/// positive.
+pub fn admit(
+    demand_cores: f64,
+    running_demand_cores: f64,
+    config: &AdmissionConfig,
+) -> AdmissionVerdict {
+    assert!(
+        config.headroom > 0.0 && config.headroom <= 1.0,
+        "headroom must be in (0, 1]"
+    );
+    assert!(config.capacity_cores > 0.0, "capacity must be positive");
+    let demand = demand_cores;
+    let usable = config.usable_cores();
+    let available = (usable - running_demand_cores).max(0.0);
+    if demand <= available {
+        AdmissionVerdict::Admit {
+            demand_cores: demand,
+        }
+    } else if demand <= usable {
+        AdmissionVerdict::Queue {
+            demand_cores: demand,
+            available_cores: available,
+        }
+    } else {
+        AdmissionVerdict::Reject {
+            demand_cores: demand,
+            capacity_cores: usable,
+            deficit_cores: demand - usable,
+            predicted_throughput_fraction: usable / demand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady_state;
+    use spinstreams_core::{OperatorSpec, ServiceTime, Topology};
+
+    fn pipeline(src_ms: f64, work_ms: f64) -> Topology {
+        let mut b = Topology::builder();
+        let src = b.add_operator(OperatorSpec::source(
+            "src",
+            ServiceTime::from_millis(src_ms),
+        ));
+        let work = b.add_operator(OperatorSpec::stateless(
+            "work",
+            ServiceTime::from_millis(work_ms),
+        ));
+        b.add_edge(src, work, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn demand_sums_utilization_times_replicas() {
+        // src at 1 ms feeds work at 0.5 ms: ρ_src = 1, ρ_work = 0.5.
+        let report = steady_state(&pipeline(1.0, 0.5));
+        let demand = plan_demand_cores(&report);
+        assert!((demand - 1.5).abs() < 1e-9, "demand = {demand}");
+    }
+
+    #[test]
+    fn pool_demand_excludes_the_source() {
+        let report = steady_state(&pipeline(1.0, 0.5));
+        assert!((pool_demand_cores(&report, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admits_when_pool_is_empty_enough() {
+        let report = steady_state(&pipeline(1.0, 0.5));
+        let cfg = AdmissionConfig {
+            capacity_cores: 4.0,
+            headroom: 1.0,
+        };
+        let verdict = admit(plan_demand_cores(&report), 1.0, &cfg);
+        assert!(verdict.is_admit(), "{verdict:?}");
+        assert!((verdict.demand_cores() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queues_when_residue_blocks_but_empty_pool_fits() {
+        let report = steady_state(&pipeline(1.0, 0.5));
+        let cfg = AdmissionConfig {
+            capacity_cores: 2.0,
+            headroom: 1.0,
+        };
+        match admit(plan_demand_cores(&report), 1.0, &cfg) {
+            AdmissionVerdict::Queue {
+                demand_cores,
+                available_cores,
+            } => {
+                assert!((demand_cores - 1.5).abs() < 1e-9);
+                assert!((available_cores - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected Queue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_with_deficit_and_predicted_fraction() {
+        let report = steady_state(&pipeline(1.0, 0.5));
+        let cfg = AdmissionConfig {
+            capacity_cores: 1.0,
+            headroom: 1.0,
+        };
+        match admit(plan_demand_cores(&report), 0.0, &cfg) {
+            AdmissionVerdict::Reject {
+                demand_cores,
+                capacity_cores,
+                deficit_cores,
+                predicted_throughput_fraction,
+            } => {
+                assert!((demand_cores - 1.5).abs() < 1e-9);
+                assert!((capacity_cores - 1.0).abs() < 1e-9);
+                assert!((deficit_cores - 0.5).abs() < 1e-9);
+                assert!((predicted_throughput_fraction - 1.0 / 1.5).abs() < 1e-9);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headroom_shrinks_usable_capacity() {
+        let cfg = AdmissionConfig::for_workers(10);
+        assert!((cfg.usable_cores() - 9.0).abs() < 1e-9);
+    }
+}

@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod attribution;
 mod bottleneck;
 mod candidates;
@@ -68,6 +69,9 @@ mod report;
 mod reprofile;
 mod steady_state;
 
+pub use admission::{
+    admit, plan_demand_cores, pool_demand_cores, AdmissionConfig, AdmissionVerdict,
+};
 pub use attribution::{attribute, AttributionReport, ObservedOperator, OperatorVerdict};
 pub use bottleneck::{
     apply_replica_bound, effective_service_rate, eliminate_bottlenecks, evaluate_with_replicas,

@@ -42,6 +42,18 @@
 //! anchor every 64 tuples), emitted as the `tracing` section — the
 //! validator gates traced throughput at >= 0.95x untraced.
 //!
+//! # Serving measurements (schema /5)
+//!
+//! Two more sections exercise the multi-tenant serving layer:
+//!
+//! * `plan_cache` — one cold submission (the §4.1 profiling run plus
+//!   Algorithms 1–3) against one warm submission of the identical topology
+//!   (checksum lookup only). The validator gates the hit at <= 0.1x the
+//!   miss latency.
+//! * `multitenant` — four seeded paced pipelines run solo and then
+//!   concurrently on one single-worker shared pool. The validator gates
+//!   the concurrent aggregate at >= 0.8x the sum of the solo rates.
+//!
 //! `--smoke` shrinks the item counts so CI can validate the schema and
 //! plumbing in seconds; speedup and allocation assertions only make sense
 //! in full mode. `--topology NAME` restricts the sweep to one topology
@@ -54,10 +66,12 @@ use spinstreams_runtime::{
     run, run_with_telemetry, ActorGraph, Behavior, EngineConfig, ExecutorKind, FusedChain, Route,
     SourceConfig, TelemetryConfig, TraceEventKind, DEFAULT_PORT,
 };
+use spinstreams_serve::{ServeConfig, StreamService, SubmitRequest};
+use spinstreams_tool::tenant_topology;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Counts every heap allocation in the process (allocs and growth
 /// reallocs; frees are not interesting here) on top of the system
@@ -392,9 +406,102 @@ fn main() {
          ({tracing_ratio:.3}x, {span_events} span event(s) retained)"
     );
 
+    // Plan-cache measurement (schema /5): the cold submission pays the
+    // §4.1 profiling run plus Algorithms 1–3 and canonical serialization;
+    // the warm submission of the byte-identical topology is a checksum
+    // lookup plus an admission check. The validator gates hit <= 0.1x miss.
+    let serve_engine = EngineConfig {
+        executor: ExecutorKind::Pool { workers: 1 },
+        batch_size: 8,
+        seed: 0xBE9C4,
+        ..EngineConfig::default()
+    };
+    let calibration_items = if smoke { 300 } else { 2_000 };
+    let mut cache_svc = StreamService::new({
+        let mut cfg = ServeConfig::new(serve_engine.clone());
+        cfg.calibration_items = calibration_items;
+        cfg
+    });
+    let cache_topo = tenant_topology(0xCACE, 0);
+    let t0 = Instant::now();
+    let cold = cache_svc
+        .submit(SubmitRequest::new("cold", cache_topo.clone()).with_items(1_000))
+        .expect("cold submission");
+    let miss_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!cold.cache_hit, "first submission must miss");
+    // Best of three warm submissions: a single hit is microseconds and
+    // jitters; the min is the honest steady-state figure.
+    let mut hit_ms = f64::INFINITY;
+    for i in 0..3 {
+        let t1 = Instant::now();
+        let warm = cache_svc
+            .submit(SubmitRequest::new(format!("warm{i}"), cache_topo.clone()).with_items(1_000))
+            .expect("warm submission");
+        hit_ms = hit_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        assert!(warm.cache_hit, "identical resubmission must hit");
+        assert_eq!(warm.plan_checksum, cold.plan_checksum);
+    }
+    let cache_ratio = hit_ms / miss_ms;
+    println!(
+        "plan cache ({} calibration items): miss {miss_ms:.3} ms vs hit {hit_ms:.6} ms \
+         ({:.1}x faster)",
+        calibration_items,
+        miss_ms / hit_ms,
+    );
+
+    // Multi-tenant measurement (schema /5): four seeded paced pipelines,
+    // solo then concurrent on one single-worker shared pool. Paced sources
+    // make the comparison meaningful on any core count: each tenant's
+    // demand is far below one core, so the concurrent aggregate must land
+    // near the sum of the solo rates. The validator gates >= 0.8x.
+    const MT_TENANTS: usize = 4;
+    let mt_items = if smoke { 400 } else { 2_000 };
+    let mt_service = || {
+        let mut cfg = ServeConfig::new(serve_engine.clone());
+        cfg.calibration_items = 0;
+        cfg.fuse = false;
+        StreamService::new(cfg)
+    };
+    let mut solo_rates = Vec::with_capacity(MT_TENANTS);
+    for i in 0..MT_TENANTS {
+        let mut svc = mt_service();
+        svc.submit(
+            SubmitRequest::new(format!("t{i}"), tenant_topology(0xBEEF, i)).with_items(mt_items),
+        )
+        .expect("solo submission");
+        let runs = svc.launch().expect("solo launch");
+        solo_rates.push(
+            runs[0]
+                .report
+                .source_throughput()
+                .expect("solo rate measurable"),
+        );
+    }
+    let mut svc = mt_service();
+    for i in 0..MT_TENANTS {
+        let receipt = svc
+            .submit(
+                SubmitRequest::new(format!("t{i}"), tenant_topology(0xBEEF, i))
+                    .with_items(mt_items),
+            )
+            .expect("concurrent submission");
+        assert!(receipt.state == spinstreams_serve::TenantState::Admitted);
+    }
+    let concurrent = svc.launch().expect("concurrent launch");
+    let aggregate: f64 = concurrent
+        .iter()
+        .map(|r| r.report.source_throughput().unwrap_or(0.0))
+        .sum();
+    let solo_sum: f64 = solo_rates.iter().sum();
+    let mt_ratio = aggregate / solo_sum;
+    println!(
+        "multitenant ({MT_TENANTS} paced tenants, pool 1 worker): aggregate {aggregate:.0} \
+         vs solo sum {solo_sum:.0} tuples/s ({mt_ratio:.3}x)"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/4\",");
+    let _ = writeln!(json, "  \"schema\": \"spinstreams-bench-runtime/5\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -437,7 +544,26 @@ fn main() {
          \"batch_size\": 64, \"span_sample\": {SPAN_SAMPLE}, \"items\": {trace_items}, \
          \"untraced_tuples_per_sec\": {untraced_rate:.1}, \
          \"traced_tuples_per_sec\": {traced_rate:.1}, \
-         \"ratio\": {tracing_ratio:.4}, \"span_events\": {span_events}}}"
+         \"ratio\": {tracing_ratio:.4}, \"span_events\": {span_events}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"plan_cache\": {{\"calibration_items\": {calibration_items}, \
+         \"plan_cache_miss_ms\": {miss_ms:.4}, \"plan_cache_hit_ms\": {hit_ms:.6}, \
+         \"ratio\": {cache_ratio:.6}, \"plan_checksum\": \"{:#018x}\"}},",
+        cold.plan_checksum
+    );
+    let solo_list = solo_rates
+        .iter()
+        .map(|r| format!("{r:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        json,
+        "  \"multitenant\": {{\"tenants\": {MT_TENANTS}, \"items\": {mt_items}, \
+         \"executor\": \"pool\", \"workers\": 1, \"batch_size\": 8, \
+         \"solo_tuples_per_sec\": [{solo_list}], \"solo_sum\": {solo_sum:.1}, \
+         \"aggregate_tuples_per_sec\": {aggregate:.1}, \"ratio\": {mt_ratio:.4}}}"
     );
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write bench output");

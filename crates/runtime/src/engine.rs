@@ -35,7 +35,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -157,6 +157,22 @@ impl Default for EngineConfig {
             replay_capacity: 8192,
             pinning: PinningConfig::default(),
             reconfig: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Resolves the pool worker count like [`ExecutorKind::pool_workers`],
+    /// except that `Pool { workers: 0 }` ("one per core") combined with a
+    /// pinned core list means one worker per *pinned* core — the threads
+    /// are confined to that set, so sizing the pool by total machine
+    /// parallelism would oversubscribe the allowed cores.
+    pub fn resolved_pool_workers(&self) -> Option<usize> {
+        match self.executor {
+            ExecutorKind::Pool { workers: 0 } if !self.pinning.cores.is_empty() => {
+                Some(self.pinning.cores.len())
+            }
+            other => other.pool_workers(),
         }
     }
 }
@@ -366,6 +382,10 @@ struct DeliveryCtx {
     /// Present only under the pool executor: lets a blocked flush run
     /// other ready actors instead of parking its worker thread.
     pool: Option<Arc<PoolShared>>,
+    /// This actor's slot in the (possibly multi-tenant) pool: its tenant
+    /// base offset plus its local actor id. Single-tenant runs have base
+    /// 0, so slot == actor id. Only meaningful when `pool` is `Some`.
+    pool_slot: usize,
     /// Span-sampling mask (telemetry on, `span_sample > 0`): a data tuple
     /// is flight-recorded at every hop iff `seq & mask == 0`. `None`
     /// disables span tracing so the hot path never tests per-tuple.
@@ -524,8 +544,7 @@ impl DeliveryCtx {
             // instead of sleeping.
             Some(pool) => {
                 let pool = Arc::clone(pool);
-                let min_rank = pool.rank[self.id.0];
-                pool_send_batch(&pool, sender, &mut buf, self.send_timeout, min_rank)
+                pool_send_batch(&pool, sender, &mut buf, self.send_timeout, self.pool_slot)
             }
             None => sender.send_batch(&mut buf, self.send_timeout),
         };
@@ -623,7 +642,7 @@ impl DeliveryCtx {
                             match sender.try_send(Envelope::Eos) {
                                 TrySend::Sent | TrySend::Disconnected => break,
                                 TrySend::Full => {
-                                    if !run_one_ready(&pool, pool.rank[self.id.0]) {
+                                    if !run_one_ready(&pool, self.pool_slot) {
                                         let out =
                                             sender.send(Envelope::Eos, Duration::from_millis(1));
                                         if out.delivered() || out == SendOutcome::Disconnected {
@@ -668,7 +687,7 @@ impl DeliveryCtx {
                             match sender.try_send(Envelope::Epoch(epoch)) {
                                 TrySend::Sent | TrySend::Disconnected => break,
                                 TrySend::Full => {
-                                    if !run_one_ready(&pool, pool.rank[self.id.0]) {
+                                    if !run_one_ready(&pool, self.pool_slot) {
                                         let out = sender
                                             .send(Envelope::Epoch(epoch), Duration::from_millis(1));
                                         if out.delivered() || out == SendOutcome::Disconnected {
@@ -863,6 +882,12 @@ struct WorkerTask {
     /// [`crate::ReconfigHandle`] is installed; its absence keeps the hot
     /// path to one `Option` check per batch.
     reconfig: Option<Box<ReconfigTaskState>>,
+    /// Input batches a single [`WorkerTask::poll`] may drain before
+    /// yielding the worker thread back to the scheduler. Multi-tenant
+    /// pools set a finite quantum so deficit round-robin can interleave
+    /// tenants; single-tenant runs use `usize::MAX` (run-until-blocked,
+    /// the classic behavior — the budget check never fires).
+    poll_budget: usize,
 }
 
 /// Per-actor epoch-alignment and recovery state (checkpointing on).
@@ -1668,7 +1693,7 @@ impl WorkerTask {
             }
             match self.ctx.pool.clone() {
                 Some(pool) => {
-                    if !run_one_ready(&pool, pool.rank[self.ctx.id.0]) {
+                    if !run_one_ready(&pool, self.ctx.pool_slot) {
                         thread::yield_now();
                     }
                 }
@@ -1706,10 +1731,12 @@ impl WorkerTask {
     }
 
     /// Pool-executor step: drain and process input batches until the
-    /// mailbox is momentarily empty (run-until-blocked). Returns true when
-    /// the actor has fully finished (EOS drained or all producers gone).
-    fn poll(&mut self) -> bool {
+    /// mailbox is momentarily empty (run-until-blocked), the actor
+    /// finishes, or the poll budget is exhausted (multi-tenant fairness
+    /// quantum — see [`WorkerTask::poll_budget`]).
+    fn poll(&mut self) -> Polled {
         let intake = self.ctx.batch_size;
+        let mut batches = 0usize;
         loop {
             let mut inbox = std::mem::take(&mut self.inbox);
             let drained = self.rx.try_drain(&mut inbox, intake);
@@ -1720,17 +1747,32 @@ impl WorkerTask {
                     self.ctx.refresh_now();
                     if self.process_batch() {
                         self.finish();
-                        return true;
+                        return Polled::Finished;
+                    }
+                    batches += 1;
+                    if batches >= self.poll_budget {
+                        return Polled::Yielded;
                     }
                 }
-                TryRecvBatch::Empty => return false,
+                TryRecvBatch::Empty => return Polled::Blocked,
                 TryRecvBatch::Disconnected => {
                     self.finish();
-                    return true;
+                    return Polled::Finished;
                 }
             }
         }
     }
+}
+
+/// Outcome of one [`WorkerTask::poll`] activation under the pool executor.
+enum Polled {
+    /// Mailbox momentarily empty; the task parks until the next wake.
+    Blocked,
+    /// Poll budget exhausted with input still queued: the task goes back
+    /// on the ready queue so the scheduler can interleave other tenants.
+    Yielded,
+    /// EOS drained or all producers gone; the task is done for good.
+    Finished,
 }
 
 /// The supervised worker loop (thread-per-actor executor): every operator
@@ -1793,20 +1835,34 @@ struct PoolShared {
     tasks: Vec<Mutex<Option<WorkerTask>>>,
     /// Per-task scheduling state (`T_IDLE` … `T_DONE`).
     states: Vec<AtomicU8>,
-    /// Indexes of `T_READY` tasks awaiting a worker, sharded by topological
-    /// stage band (see [`PoolShared::shard_of`]). One shard — the common,
-    /// unpinned case — is exactly the classic single ready queue. All
-    /// shards share one lock and condvar: sharding here is about *cache
-    /// locality under pinning* (a pinned worker drains its own stage band
-    /// first), not about lock splitting, and a single lock keeps the
-    /// park/notify protocol and the exit condition unchanged.
-    ready: Mutex<Vec<VecDeque<usize>>>,
+    /// Indexes of `T_READY` tasks awaiting a worker, sharded either by
+    /// topological stage band (single-tenant, see [`PoolShared::shard_of`])
+    /// or by tenant (multi-tenant, where a deficit-round-robin scheduler
+    /// interleaves the shards). One shard — the common, unpinned
+    /// single-tenant case — is exactly the classic single ready queue. All
+    /// shards share one lock and condvar: sharding here is about cache
+    /// locality / fairness bookkeeping, not lock splitting, and a single
+    /// lock keeps the park/notify protocol and the exit condition
+    /// unchanged. Note the hot path (mailbox push, task poll) never takes
+    /// this lock — only wake transitions and worker pops do.
+    ready: Mutex<ReadyState>,
     ready_cv: Condvar,
-    /// Shard index per actor: its topological rank band. With `s` shards
-    /// over `n` actors, actor `i` lands in shard `rank[i] * s / n` —
-    /// contiguous pipeline stages share a shard, so the worker pinned to
-    /// that band keeps producer/consumer pairs on one core's cache.
+    /// Shard index per actor. Single-tenant: its topological rank band —
+    /// with `s` shards over `n` actors, actor `i` lands in shard
+    /// `rank[i] * s / n`, so contiguous pipeline stages share a shard and
+    /// the worker pinned to that band keeps producer/consumer pairs on one
+    /// core's cache. Multi-tenant: the actor's tenant index, so the DRR
+    /// scheduler's shards *are* the tenants.
     shard_of: Vec<usize>,
+    /// Owning tenant per task slot (all zeros for single-tenant runs).
+    /// Helping is filtered to the helper's own tenant: a cross-tenant
+    /// inline poll could nest two tenants' pipelines on one stack in an
+    /// order that violates neither tenant's rank discipline yet still
+    /// blocks a suspended frame's consumer, so it is never attempted.
+    tenant_of: Vec<usize>,
+    /// Per-tenant completion ledger (actor counts / finish timestamps);
+    /// [`run_task`] reports each task's terminal transition exactly once.
+    ledger: Arc<TenantLedger>,
     /// Worker tasks not yet `T_DONE`; pool threads exit when it hits zero.
     live: AtomicUsize,
     /// Uncontainable panics (outside `guarded_call`, e.g. a panicking
@@ -1826,17 +1882,168 @@ struct PoolShared {
     rank: Vec<usize>,
 }
 
+/// The pool's ready queue: per-shard FIFOs plus, in multi-tenant mode,
+/// the deficit-round-robin state that decides which shard (= tenant) the
+/// next pop serves. Protected by the single `ready` mutex.
+struct ReadyState {
+    shards: Vec<VecDeque<usize>>,
+    drr: Option<DrrState>,
+}
+
+/// Deficit round-robin over tenant shards: each tenant has a quantum (its
+/// configured weight, in task activations — each activation bounded to
+/// [`TENANT_POLL_BUDGET`] drained batches) and accumulates deficit as the
+/// rotor passes. Tenants with queued work stay on the active rotor;
+/// popping debits one activation from the tenant's deficit.
+struct DrrState {
+    /// Per-tenant quantum in activations (the submission weight, >= 1).
+    quantum: Vec<u64>,
+    /// Per-tenant unspent activation credit.
+    deficit: Vec<u64>,
+    /// Rotor of tenants believed to have queued work, in service order.
+    active: VecDeque<usize>,
+    /// Membership flag for `active` (no tenant is enqueued twice).
+    in_active: Vec<bool>,
+}
+
+impl ReadyState {
+    fn new(shards: usize, quantum: Option<Vec<u64>>) -> Self {
+        ReadyState {
+            shards: vec![VecDeque::new(); shards],
+            drr: quantum.map(|quantum| {
+                let n = quantum.len();
+                DrrState {
+                    quantum,
+                    deficit: vec![0; n],
+                    active: VecDeque::new(),
+                    in_active: vec![false; n],
+                }
+            }),
+        }
+    }
+
+    /// Pushes ready task `i` onto shard `shard`, activating the tenant's
+    /// rotor entry in DRR mode.
+    fn enqueue(&mut self, shard: usize, i: usize) {
+        self.shards[shard].push_back(i);
+        if let Some(drr) = &mut self.drr {
+            if !drr.in_active[shard] {
+                drr.in_active[shard] = true;
+                drr.active.push_back(shard);
+            }
+        }
+    }
+
+    /// Pops the next task a worker should run. Single-tenant: drain the
+    /// home shard first, then steal in wrapping order — downstream
+    /// neighbours before far-away bands, so stolen work stays close to the
+    /// home band's cache footprint (with one shard this is exactly
+    /// `pop_front`). Multi-tenant: deficit round-robin across tenant
+    /// shards, ignoring `home` — fairness outranks cache placement.
+    fn pop(&mut self, home: usize) -> Option<usize> {
+        match &mut self.drr {
+            None => {
+                let shards = self.shards.len();
+                (0..shards).find_map(|d| self.shards[(home + d) % shards].pop_front())
+            }
+            Some(drr) => {
+                while let Some(&t) = drr.active.front() {
+                    if let Some(i) = self.shards[t].front().copied() {
+                        if drr.deficit[t] == 0 {
+                            drr.deficit[t] = drr.quantum[t];
+                        }
+                        drr.deficit[t] -= 1;
+                        self.shards[t].pop_front();
+                        if drr.deficit[t] == 0 || self.shards[t].is_empty() {
+                            // Quantum spent (or nothing left): rotate the
+                            // tenant to the back; an emptied tenant also
+                            // forfeits unspent credit (classic DRR — credit
+                            // only accrues while backlogged).
+                            drr.active.rotate_left(1);
+                            if self.shards[t].is_empty() {
+                                drr.deficit[t] = 0;
+                                drr.in_active[t] = false;
+                                drr.active.pop_back();
+                            }
+                        }
+                        return Some(i);
+                    }
+                    // Helping drained this tenant's shard behind the
+                    // rotor's back: deactivate and move on.
+                    drr.deficit[t] = 0;
+                    drr.in_active[t] = false;
+                    drr.active.pop_front();
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Per-tenant completion bookkeeping for a (possibly multi-tenant) run:
+/// how many actors are still live per tenant, and when the tenant's last
+/// actor finished — the tenant's own wall-clock, so a short tenant's
+/// throughput is not diluted by a long co-tenant keeping the run alive.
+struct TenantLedger {
+    started_at: Instant,
+    remaining: Vec<AtomicUsize>,
+    finished_ns: Vec<AtomicU64>,
+}
+
+impl TenantLedger {
+    fn new(counts: &[usize], started_at: Instant) -> Self {
+        TenantLedger {
+            started_at,
+            remaining: counts.iter().map(|&c| AtomicUsize::new(c)).collect(),
+            finished_ns: counts.iter().map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one actor of `tenant` finishing; the last one stamps the
+    /// tenant's completion time.
+    fn actor_done(&self, tenant: usize) {
+        if self.remaining[tenant].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let ns = self.started_at.elapsed().as_nanos() as u64;
+            self.finished_ns[tenant].store(ns.max(1), Ordering::Release);
+        }
+    }
+
+    /// The tenant's own wall time, if all its actors have finished.
+    fn wall(&self, tenant: usize) -> Option<Duration> {
+        let ns = self.finished_ns[tenant].load(Ordering::Acquire);
+        (ns > 0).then(|| Duration::from_nanos(ns))
+    }
+}
+
+/// Input batches one multi-tenant poll activation may drain before
+/// yielding (the DRR batch quantum). Large enough to amortize scheduling,
+/// small enough that a backlogged tenant cannot monopolize a worker.
+const TENANT_POLL_BUDGET: usize = 32;
+
 impl PoolShared {
-    fn new(rank: Vec<usize>, shards: usize) -> Self {
+    fn new(
+        rank: Vec<usize>,
+        tenant_of: Vec<usize>,
+        shards: usize,
+        quantum: Option<Vec<u64>>,
+        ledger: Arc<TenantLedger>,
+    ) -> Self {
         let n = rank.len();
         let shards = shards.max(1);
-        let shard_of = rank.iter().map(|&r| r * shards / n.max(1)).collect();
+        let shard_of = if quantum.is_some() {
+            // Multi-tenant: shards are tenants (the DRR service classes).
+            tenant_of.clone()
+        } else {
+            rank.iter().map(|&r| r * shards / n.max(1)).collect()
+        };
         PoolShared {
             tasks: (0..n).map(|_| Mutex::new(None)).collect(),
             states: (0..n).map(|_| AtomicU8::new(T_IDLE)).collect(),
-            ready: Mutex::new(vec![VecDeque::new(); shards]),
+            ready: Mutex::new(ReadyState::new(shards, quantum)),
             ready_cv: Condvar::new(),
             shard_of,
+            tenant_of,
+            ledger,
             live: AtomicUsize::new(0),
             failures: Mutex::new(Vec::new()),
             collected: Mutex::new(Vec::new()),
@@ -1856,7 +2063,7 @@ impl PoolShared {
                         .is_ok()
                     {
                         let mut q = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
-                        q[self.shard_of[i]].push_back(i);
+                        q.enqueue(self.shard_of[i], i);
                         drop(q);
                         // `notify_one` may rouse a worker homed on another
                         // shard; that is fine — workers steal across shards
@@ -1896,74 +2103,101 @@ impl PoolShared {
 fn run_task(pool: &Arc<PoolShared>, i: usize) {
     loop {
         let mut slot = pool.tasks[i].lock().unwrap_or_else(PoisonError::into_inner);
-        let finished = match slot.as_mut() {
+        let polled = match slot.as_mut() {
             Some(task) => match catch_unwind(AssertUnwindSafe(|| task.poll())) {
-                Ok(done) => done,
+                Ok(polled) => polled,
                 Err(payload) => {
                     pool.failures
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
                         .push((i, panic_message(payload.as_ref())));
-                    true
+                    Polled::Finished
                 }
             },
-            None => true,
+            None => Polled::Finished,
         };
-        if finished {
-            if let Some(mut task) = slot.take() {
-                task.ctx.release_buffers();
-                let log = std::mem::take(&mut task.ctx.dead_letters);
-                pool.collected
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push((i, log));
+        match polled {
+            Polled::Finished => {
+                if let Some(mut task) = slot.take() {
+                    task.ctx.release_buffers();
+                    let log = std::mem::take(&mut task.ctx.dead_letters);
+                    pool.collected
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((i, log));
+                }
+                drop(slot);
+                // First (only) transition to DONE decrements `live` and
+                // reports to the tenant ledger; the last task wakes every
+                // parked worker so they can exit.
+                if pool.states[i].swap(T_DONE, Ordering::AcqRel) != T_DONE {
+                    pool.ledger.actor_done(pool.tenant_of[i]);
+                    if pool.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _guard = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                        pool.ready_cv.notify_all();
+                    }
+                }
+                return;
             }
-            drop(slot);
-            // First (only) transition to DONE decrements `live`; the last
-            // task wakes every parked worker so they can exit.
-            if pool.states[i].swap(T_DONE, Ordering::AcqRel) != T_DONE
-                && pool.live.fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                let _guard = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
-                pool.ready_cv.notify_all();
+            Polled::Yielded => {
+                drop(slot);
+                // Budget exhausted with input still queued: this thread
+                // owns the task (RUNNING or RERUN), so parking it back to
+                // IDLE and re-waking pushes it to the back of its tenant's
+                // shard — the DRR rotor decides when it runs next. The
+                // IDLE→READY winner is the only pusher, so the queue never
+                // holds the index twice and no concurrent wake is lost.
+                pool.states[i].store(T_IDLE, Ordering::Release);
+                pool.wake(i);
+                return;
             }
-            return;
-        }
-        drop(slot);
-        match pool.states[i].compare_exchange(
-            T_RUNNING,
-            T_IDLE,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => return,
-            Err(_) => {
-                // A producer pushed mid-poll (RERUN): take the slot again
-                // so the wake is never lost.
-                pool.states[i].store(T_RUNNING, Ordering::Release);
+            Polled::Blocked => {
+                drop(slot);
+                match pool.states[i].compare_exchange(
+                    T_RUNNING,
+                    T_IDLE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return,
+                    Err(_) => {
+                        // A producer pushed mid-poll (RERUN): take the slot
+                        // again so the wake is never lost.
+                        pool.states[i].store(T_RUNNING, Ordering::Release);
+                    }
+                }
             }
         }
     }
 }
 
-/// Runs one ready task of rank ≥ `min_rank` if any is queued; returns
-/// whether an attempt was made. Used by blocked producers to help instead
-/// of parking (the consumer that would drain their full mailbox may
-/// otherwise never be scheduled). The rank filter keeps nested inline
-/// polls strictly downstream of every suspended frame (see
-/// [`PoolShared::rank`]); lower-ranked tasks are left queued for the pool
-/// workers. Helping recursion is bounded by the acyclic graph depth, and
-/// slot mutexes stay uncontended because only claim winners lock them.
-fn run_one_ready(pool: &Arc<PoolShared>, min_rank: usize) -> bool {
+/// Runs one ready task belonging to the helper's own tenant, of rank ≥
+/// the helper's rank, if any is queued; returns whether an attempt was
+/// made. Used by blocked producers to help instead of parking (the
+/// consumer that would drain their full mailbox may otherwise never be
+/// scheduled). The rank filter keeps nested inline polls strictly
+/// downstream of every suspended frame (see [`PoolShared::rank`]); the
+/// tenant filter keeps one tenant's suspended frames from interleaving
+/// with another's (see [`PoolShared::tenant_of`]). Lower-ranked and
+/// foreign-tenant tasks are left queued for the pool workers. Helping
+/// recursion is bounded by the acyclic graph depth, and slot mutexes stay
+/// uncontended because only claim winners lock them.
+fn run_one_ready(pool: &Arc<PoolShared>, helper_slot: usize) -> bool {
+    let min_rank = pool.rank[helper_slot];
+    let tenant = pool.tenant_of[helper_slot];
     let popped = {
         let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
-        // Higher shards hold higher-ranked (more downstream) stages, so
-        // scan back-to-front: the first eligible task found is the one
-        // most likely to free mailbox space for the blocked helper.
-        q.iter_mut().rev().find_map(|shard| {
+        // Higher shards hold higher-ranked (more downstream) stages
+        // (single-tenant; in tenant-sharded mode only one shard can match
+        // the filter anyway), so scan back-to-front: the first eligible
+        // task found is the one most likely to free mailbox space for the
+        // blocked helper. Helping bypasses the DRR rotor by design — it
+        // runs on the *blocked producer's* thread and only ever advances
+        // the helper's own tenant, so co-tenants lose nothing.
+        q.shards.iter_mut().rev().find_map(|shard| {
             shard
                 .iter()
-                .position(|&i| pool.rank[i] >= min_rank)
+                .position(|&i| pool.tenant_of[i] == tenant && pool.rank[i] >= min_rank)
                 .and_then(|pos| shard.remove(pos))
         })
     };
@@ -1994,20 +2228,12 @@ fn worker_loop(pool: &Arc<PoolShared>, home: usize) {
         Yield,
         Exit,
     }
-    // Drain the home shard (this worker's pinned stage band) first, then
-    // steal from the others in wrapping order — downstream neighbours
-    // before far-away bands, so stolen work stays close to the home band's
-    // cache footprint. With one shard this is exactly `q.pop_front()`.
-    let pop = |q: &mut Vec<VecDeque<usize>>| -> Option<usize> {
-        let shards = q.len();
-        (0..shards).find_map(|d| q[(home + d) % shards].pop_front())
-    };
     let mut idle_yields = 0u32;
     loop {
         let next = {
             let mut q = pool.ready.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(i) = pop(&mut q) {
+                if let Some(i) = q.pop(home) {
                     break Next::Run(i);
                 }
                 if pool.live.load(Ordering::Acquire) == 0 {
@@ -2051,7 +2277,7 @@ fn pool_send_batch(
     sender: &Sender,
     buf: &mut Vec<Envelope>,
     timeout: Duration,
-    min_rank: usize,
+    helper_slot: usize,
 ) -> BatchOutcome {
     let total = buf.len();
     let fast = sender.try_send_batch(buf);
@@ -2073,7 +2299,7 @@ fn pool_send_batch(
             break None;
         }
         let before = buf.len();
-        if run_one_ready(pool, min_rank) {
+        if run_one_ready(pool, helper_slot) {
             let r = sender.try_send_batch(buf);
             if r.disconnected {
                 break Some(BatchFailure::Disconnected);
@@ -2157,217 +2383,427 @@ fn run_with(
     config: &EngineConfig,
     telemetry: Option<&TelemetryConfig>,
 ) -> Result<(RunReport, Option<TelemetryReport>), EngineError> {
-    let in_degrees = graph.in_degrees();
-    let actors = graph.into_actors();
-    validate(&actors)?;
-    install_panic_silencer();
-    let n = actors.len();
+    let tenant = TenantSpec {
+        name: "default".to_string(),
+        weight: 1,
+        graph,
+        telemetry: telemetry.cloned(),
+    };
+    let mut runs = run_graphs(vec![tenant], config)?;
+    Ok(runs.pop().expect("exactly one tenant was submitted"))
+}
 
-    let metrics: Vec<Arc<ActorMetrics>> = (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
+/// One tenant of a multi-tenant run: a named actor graph that shares the
+/// engine — and, under [`ExecutorKind::Pool`], ONE worker pool — with the
+/// other tenants submitted alongside it in the same [`run_tenants`] call.
+pub struct TenantSpec {
+    /// Tenant label, used in telemetry exports and the returned
+    /// [`TenantRun`]. Not required to be unique, but unique names make
+    /// per-tenant exports distinguishable.
+    pub name: String,
+    /// Weighted-fair share under the pool executor: the tenant's deficit
+    /// round-robin quantum, in task activations (each activation bounded
+    /// to a fixed number of drained batches). Clamped to ≥ 1; tenants
+    /// with equal weights get equal service when backlogged. Ignored by
+    /// the thread-per-actor executor (the OS scheduler arbitrates there).
+    pub weight: u64,
+    /// The tenant's actor graph.
+    pub graph: ActorGraph,
+    /// Optional per-tenant telemetry. In multi-tenant runs the config's
+    /// tenant label defaults to [`TenantSpec::name`] so exports are
+    /// attributable without extra wiring.
+    pub telemetry: Option<TelemetryConfig>,
+}
 
-    // Checkpoint layer: a `Some(0)` interval is treated as off, and the
-    // coordinator ledger (one ack slot per actor, sources included) exists
-    // only when the layer is on.
-    let ckpt_interval = config.checkpoint_interval.filter(|&i| i > 0);
-    let coordinator: Option<Arc<CheckpointCoordinator>> =
-        ckpt_interval.map(|_| Arc::new(CheckpointCoordinator::new(n)));
-
-    // One mailbox per non-source actor. Edges with a single distinct
-    // upstream actor get the SPSC ring (plain-store tail, no CAS); fan-in
-    // edges get the CAS multi-producer ring. The split is decided here,
-    // statically, from the compiled graph's in-degrees.
-    let mut senders: Vec<Option<Sender>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<crate::mailbox::Receiver>> = Vec::with_capacity(n);
-    for (i, spec) in actors.iter().enumerate() {
-        if spec.behavior.is_source() {
-            senders.push(None);
-            receivers.push(None);
-        } else {
-            let cap = spec.mailbox_capacity.unwrap_or(config.mailbox_capacity);
-            let (tx, rx) = if in_degrees[i] <= 1 {
-                channel_spsc(cap)
-            } else {
-                channel(cap)
-            };
-            senders.push(Some(tx));
-            receivers.push(Some(rx));
+impl TenantSpec {
+    /// A tenant with weight 1 and no telemetry.
+    pub fn new(name: impl Into<String>, graph: ActorGraph) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            graph,
+            telemetry: None,
         }
     }
 
-    // Depth probes observe queue depths without counting as producers, so
-    // they never delay disconnect detection.
-    let probes: Arc<Vec<Option<DepthProbe>>> = Arc::new(
-        senders
-            .iter()
-            .map(|s| s.as_ref().map(Sender::depth_probe))
-            .collect(),
-    );
-    let hub: Option<Arc<TelemetryHub>> = telemetry.map(|tcfg| {
-        let hub_actors = actors
-            .iter()
-            .map(|spec| HubActor {
-                name: spec.name.clone(),
-                queue_capacity: if spec.behavior.is_source() {
-                    None
-                } else {
-                    Some(spec.mailbox_capacity.unwrap_or(config.mailbox_capacity))
-                },
-                // Sink actors (no outgoing routes) terminate latency spans.
-                latency: if !spec.behavior.is_source() && spec.routes.is_empty() {
-                    Some(Arc::new(LatencyHistogram::new()))
-                } else {
-                    None
-                },
-            })
-            .collect();
-        Arc::new(TelemetryHub::new(hub_actors, tcfg))
-    });
+    /// Sets the tenant's weighted-fair share (clamped to ≥ 1 at use).
+    #[must_use]
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
 
+    /// Enables per-tenant telemetry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// One tenant's results from [`run_tenants`].
+#[derive(Debug)]
+pub struct TenantRun {
+    /// The tenant's name, as submitted.
+    pub name: String,
+    /// The tenant's run report. Its `wall` is the *tenant's own*
+    /// completion time (first to last actor of this tenant), so a short
+    /// tenant's throughput is not diluted by a long co-tenant keeping the
+    /// whole run alive.
+    pub report: RunReport,
+    /// The tenant's telemetry report, when requested in the spec.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// Executes many actor graphs concurrently on one shared engine and
+/// reports per-tenant metrics.
+///
+/// Under [`ExecutorKind::ThreadPerActor`] every tenant's actors get
+/// dedicated threads, exactly as in [`run`]. Under [`ExecutorKind::Pool`]
+/// all tenants' worker actors are multiplexed over ONE fixed-size worker
+/// pool: the ready queue is sharded by tenant and served deficit
+/// round-robin by [`TenantSpec::weight`], each activation bounded to a
+/// fixed batch quantum, so a backlogged tenant cannot monopolize the
+/// workers. Per-tenant determinism is preserved — each tenant's actors
+/// are seeded from `config.seed` plus their *local* actor id, exactly as
+/// in a solo [`run`] of the same graph, so a deterministic graph produces
+/// identical per-tenant results solo and co-scheduled.
+///
+/// Live reconfiguration (`config.reconfig`) is single-tenant machinery
+/// and is ignored when more than one tenant is submitted.
+///
+/// # Errors
+///
+/// Fails fast with a validation error if *any* graph is invalid (no
+/// actors run in that case), or [`EngineError::ActorFailed`] (local actor
+/// id, lowest failing pool slot) if an actor dies in a way supervision
+/// could not contain.
+pub fn run_tenants(
+    tenants: Vec<TenantSpec>,
+    config: &EngineConfig,
+) -> Result<Vec<TenantRun>, EngineError> {
+    let names: Vec<String> = tenants.iter().map(|t| t.name.clone()).collect();
+    let runs = run_graphs(tenants, config)?;
+    Ok(names
+        .into_iter()
+        .zip(runs)
+        .map(|(name, (report, telemetry))| TenantRun {
+            name,
+            report,
+            telemetry,
+        })
+        .collect())
+}
+
+/// An actor's runnable state, built up front independent of which
+/// executor will drive it.
+enum Prepared {
+    Source { cfg: SourceConfig, ctx: DeliveryCtx },
+    Worker { task: WorkerTask },
+}
+
+/// One tenant's prepared (not yet running) graph inside [`run_graphs`]:
+/// everything the dispatch and report-assembly phases need, with actors
+/// indexed locally and `base` locating the tenant's global slot range.
+struct TenantPrep {
+    base: usize,
+    n: usize,
+    weight: u64,
+    telemetry: Option<TelemetryConfig>,
+    prepared: Vec<(String, Prepared)>,
+    metrics: Vec<Arc<ActorMetrics>>,
+    probes: Arc<Vec<Option<DepthProbe>>>,
+    hub: Option<Arc<TelemetryHub>>,
+    coordinator: Option<Arc<CheckpointCoordinator>>,
+    rank: Vec<usize>,
+}
+
+/// The shared driver behind [`run`], [`run_with_telemetry`], and
+/// [`run_tenants`]: prepares every tenant's graph, dispatches all of them
+/// onto the configured executor at once, and assembles per-tenant reports.
+fn run_graphs(
+    tenants: Vec<TenantSpec>,
+    config: &EngineConfig,
+) -> Result<Vec<(RunReport, Option<TelemetryReport>)>, EngineError> {
+    if tenants.is_empty() {
+        return Ok(Vec::new());
+    }
+    let multi = tenants.len() > 1;
+    install_panic_silencer();
+    // Checkpoint layer: a `Some(0)` interval is treated as off, and each
+    // tenant's coordinator ledger (one ack slot per actor, sources
+    // included) exists only when the layer is on.
+    let ckpt_interval = config.checkpoint_interval.filter(|&i| i > 0);
+    // Live reconfiguration drives a single graph's generation counter;
+    // with several tenants it is ignored rather than misapplied to all.
+    let reconfig_src = if multi {
+        None
+    } else {
+        config.reconfig.as_ref()
+    };
     let started_at = Instant::now();
     // Run-wide slab of coalescing buffers: every reachable destination gets
     // a buffer checked out pre-sized to the batch limit, and actors hand
     // them back when they finish — the steady-state send path never grows
     // (or allocates) a buffer.
     let buf_pool = Arc::new(BatchPool::new(config.batch_size.max(1)));
-    // Build every actor's runnable state up front, independent of which
-    // executor will drive it.
-    enum Prepared {
-        Source { cfg: SourceConfig, ctx: DeliveryCtx },
-        Worker { task: WorkerTask },
-    }
-    let mut prepared: Vec<(String, Prepared)> = Vec::with_capacity(n);
-    // Unique destinations per actor, kept for the pool executor's
-    // topological ranks (see [`PoolShared::rank`]).
-    let mut out_targets: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for (i, spec) in actors.into_iter().enumerate() {
-        let eos_targets: Vec<usize> = {
-            let mut d: Vec<usize> = spec
-                .routes
-                .iter()
-                .flat_map(|r| r.destinations_iter())
-                .map(|d| d.0)
-                .collect();
-            d.sort_unstable();
-            d.dedup();
-            d
-        };
-        // Give this actor exactly the senders it can reach. A sole
-        // producer *moves* the sender out of the engine's vec: cloning
-        // would permanently upgrade the SPSC mailbox to multi-producer
-        // mode.
-        let my_senders: Vec<Option<Sender>> = (0..n)
-            .map(|j| {
-                if !eos_targets.contains(&j) {
-                    None
-                } else if in_degrees[j] <= 1 {
-                    senders[j].take()
-                } else {
-                    senders[j].clone()
+
+    let mut preps: Vec<TenantPrep> = Vec::with_capacity(tenants.len());
+    let mut base = 0usize;
+    for tenant in tenants {
+        let TenantSpec {
+            name: tenant_name,
+            weight,
+            graph,
+            mut telemetry,
+        } = tenant;
+        if multi {
+            // Default the telemetry tenant label so multi-tenant exports
+            // are attributable without extra wiring.
+            if let Some(tcfg) = &mut telemetry {
+                if tcfg.tenant.is_none() {
+                    tcfg.tenant = Some(tenant_name.clone());
                 }
-            })
-            .collect();
-        out_targets.push(eos_targets.clone());
-        let out_bufs: Vec<Vec<Envelope>> = my_senders
-            .iter()
-            .map(|s| {
-                if s.is_some() {
-                    buf_pool.take()
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        let ctx = DeliveryCtx {
-            id: ActorId(i),
-            senders: my_senders,
-            routes: spec.routes.into_iter().map(RouteState::new).collect(),
-            eos_targets,
-            rng: XorShift64::new(config.seed.wrapping_add(i as u64)),
-            metrics: Arc::clone(&metrics[i]),
-            started_at,
-            send_timeout: config.send_timeout,
-            dead_letters: DeadLetterLog::with_capacity(config.dead_letter_capacity),
-            latency: hub.as_ref().and_then(|h| h.latency_of(i)),
-            trace: hub.as_ref().map(|h| Arc::clone(&h.trace)),
-            stamp: hub.is_some(),
-            batch_size: config.batch_size.max(1),
-            flush_interval: config.flush_interval,
-            out_bufs,
-            buf_pool: Arc::clone(&buf_pool),
-            buffered: 0,
-            last_flush: started_at,
-            cached_now_ns: 0,
-            pending_sink_outs: 0,
-            pending_lat_ns: 0,
-            pending_lat_n: 0,
-            pool: None,
-            span_mask: telemetry.and_then(|t| t.span_mask()),
-            checkpoint_interval: ckpt_interval,
-            coordinator: coordinator.clone(),
-        };
-        let eos_left = in_degrees[i];
-        match spec.behavior {
-            Behavior::Source(cfg) => prepared.push((spec.name, Prepared::Source { cfg, ctx })),
-            Behavior::Worker(op) => {
-                let rx = receivers[i].take().expect("worker has a mailbox");
-                let intake = ctx.batch_size;
-                prepared.push((
-                    spec.name,
-                    Prepared::Worker {
-                        task: WorkerTask {
-                            op,
-                            factory: spec.factory,
-                            supervision: spec.supervision,
-                            rx,
-                            eos_left,
-                            ctx,
-                            out: Outputs::new(),
-                            inbox: Vec::with_capacity(intake),
-                            stopped: false,
-                            restarts_done: 0,
-                            ckpt: ckpt_interval.map(|_| {
-                                Box::new(CkptState {
-                                    markers_seen: 0,
-                                    open_inputs: eos_left,
-                                    aligning: 0,
-                                    completed: 0,
-                                    align_buf: Vec::new(),
-                                    replay: ReplayBuffer::new(config.replay_capacity),
-                                    snapshot: None,
-                                    snapshot_epoch: 0,
-                                    align_started: None,
-                                })
-                            }),
-                            reconfig: config
-                                .reconfig
-                                .as_ref()
-                                .map(|h| Box::new(ReconfigTaskState::new(Arc::clone(&h.shared)))),
-                        },
-                    },
-                ));
             }
         }
-    }
-    // Drop the engine's own sender handles so disconnect detection can kick
-    // in for actors with no upstream.
-    drop(senders);
+        let in_degrees = graph.in_degrees();
+        let actors = graph.into_actors();
+        validate(&actors)?;
+        let n = actors.len();
 
-    // Background sampler: wakes every `interval`, snapshots all counters
-    // and queue depths into the hub. Spawned only when telemetry was
+        let metrics: Vec<Arc<ActorMetrics>> =
+            (0..n).map(|_| Arc::new(ActorMetrics::new())).collect();
+        let coordinator: Option<Arc<CheckpointCoordinator>> =
+            ckpt_interval.map(|_| Arc::new(CheckpointCoordinator::new(n)));
+
+        // One mailbox per non-source actor. Edges with a single distinct
+        // upstream actor get the SPSC ring (plain-store tail, no CAS); fan-in
+        // edges get the CAS multi-producer ring. The split is decided here,
+        // statically, from the compiled graph's in-degrees.
+        let mut senders: Vec<Option<Sender>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<crate::mailbox::Receiver>> = Vec::with_capacity(n);
+        for (i, spec) in actors.iter().enumerate() {
+            if spec.behavior.is_source() {
+                senders.push(None);
+                receivers.push(None);
+            } else {
+                let cap = spec.mailbox_capacity.unwrap_or(config.mailbox_capacity);
+                let (tx, rx) = if in_degrees[i] <= 1 {
+                    channel_spsc(cap)
+                } else {
+                    channel(cap)
+                };
+                senders.push(Some(tx));
+                receivers.push(Some(rx));
+            }
+        }
+
+        // Depth probes observe queue depths without counting as producers, so
+        // they never delay disconnect detection.
+        let probes: Arc<Vec<Option<DepthProbe>>> = Arc::new(
+            senders
+                .iter()
+                .map(|s| s.as_ref().map(Sender::depth_probe))
+                .collect(),
+        );
+        let hub: Option<Arc<TelemetryHub>> = telemetry.as_ref().map(|tcfg| {
+            let hub_actors = actors
+                .iter()
+                .map(|spec| HubActor {
+                    name: spec.name.clone(),
+                    queue_capacity: if spec.behavior.is_source() {
+                        None
+                    } else {
+                        Some(spec.mailbox_capacity.unwrap_or(config.mailbox_capacity))
+                    },
+                    // Sink actors (no outgoing routes) terminate latency spans.
+                    latency: if !spec.behavior.is_source() && spec.routes.is_empty() {
+                        Some(Arc::new(LatencyHistogram::new()))
+                    } else {
+                        None
+                    },
+                })
+                .collect();
+            Arc::new(TelemetryHub::new(hub_actors, tcfg))
+        });
+
+        let mut prepared: Vec<(String, Prepared)> = Vec::with_capacity(n);
+        // Unique destinations per actor, kept for the pool executor's
+        // topological ranks (see [`PoolShared::rank`]).
+        let mut out_targets: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (i, spec) in actors.into_iter().enumerate() {
+            let eos_targets: Vec<usize> = {
+                let mut d: Vec<usize> = spec
+                    .routes
+                    .iter()
+                    .flat_map(|r| r.destinations_iter())
+                    .map(|d| d.0)
+                    .collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            // Give this actor exactly the senders it can reach. A sole
+            // producer *moves* the sender out of the engine's vec: cloning
+            // would permanently upgrade the SPSC mailbox to multi-producer
+            // mode.
+            let my_senders: Vec<Option<Sender>> = (0..n)
+                .map(|j| {
+                    if !eos_targets.contains(&j) {
+                        None
+                    } else if in_degrees[j] <= 1 {
+                        senders[j].take()
+                    } else {
+                        senders[j].clone()
+                    }
+                })
+                .collect();
+            out_targets.push(eos_targets.clone());
+            let out_bufs: Vec<Vec<Envelope>> = my_senders
+                .iter()
+                .map(|s| {
+                    if s.is_some() {
+                        buf_pool.take()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let ctx = DeliveryCtx {
+                id: ActorId(i),
+                senders: my_senders,
+                routes: spec.routes.into_iter().map(RouteState::new).collect(),
+                eos_targets,
+                rng: XorShift64::new(config.seed.wrapping_add(i as u64)),
+                metrics: Arc::clone(&metrics[i]),
+                started_at,
+                send_timeout: config.send_timeout,
+                dead_letters: DeadLetterLog::with_capacity(config.dead_letter_capacity),
+                latency: hub.as_ref().and_then(|h| h.latency_of(i)),
+                trace: hub.as_ref().map(|h| Arc::clone(&h.trace)),
+                stamp: hub.is_some(),
+                batch_size: config.batch_size.max(1),
+                flush_interval: config.flush_interval,
+                out_bufs,
+                buf_pool: Arc::clone(&buf_pool),
+                buffered: 0,
+                last_flush: started_at,
+                cached_now_ns: 0,
+                pending_sink_outs: 0,
+                pending_lat_ns: 0,
+                pending_lat_n: 0,
+                pool: None,
+                pool_slot: base + i,
+                span_mask: telemetry.as_ref().and_then(|t| t.span_mask()),
+                checkpoint_interval: ckpt_interval,
+                coordinator: coordinator.clone(),
+            };
+            let eos_left = in_degrees[i];
+            match spec.behavior {
+                Behavior::Source(cfg) => prepared.push((spec.name, Prepared::Source { cfg, ctx })),
+                Behavior::Worker(op) => {
+                    let rx = receivers[i].take().expect("worker has a mailbox");
+                    let intake = ctx.batch_size;
+                    prepared.push((
+                        spec.name,
+                        Prepared::Worker {
+                            task: WorkerTask {
+                                op,
+                                factory: spec.factory,
+                                supervision: spec.supervision,
+                                rx,
+                                eos_left,
+                                ctx,
+                                out: Outputs::new(),
+                                inbox: Vec::with_capacity(intake),
+                                stopped: false,
+                                restarts_done: 0,
+                                ckpt: ckpt_interval.map(|_| {
+                                    Box::new(CkptState {
+                                        markers_seen: 0,
+                                        open_inputs: eos_left,
+                                        aligning: 0,
+                                        completed: 0,
+                                        align_buf: Vec::new(),
+                                        replay: ReplayBuffer::new(config.replay_capacity),
+                                        snapshot: None,
+                                        snapshot_epoch: 0,
+                                        align_started: None,
+                                    })
+                                }),
+                                reconfig: reconfig_src.map(|h| {
+                                    Box::new(ReconfigTaskState::new(Arc::clone(&h.shared)))
+                                }),
+                                poll_budget: usize::MAX,
+                            },
+                        },
+                    ));
+                }
+            }
+        }
+        // Drop the engine's own sender handles so disconnect detection can kick
+        // in for actors with no upstream.
+        drop(senders);
+
+        // Kahn's algorithm over the (validated acyclic) graph assigns every
+        // actor a unique topological rank: each edge ends at a strictly higher
+        // rank. The pool executor's rank-filtered helping relies on this
+        // invariant, and stage sharding (both executors) maps rank bands onto
+        // the configured core list so pipeline neighbours share a cache domain.
+        let rank = {
+            let mut deg = in_degrees.clone();
+            let mut order: VecDeque<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
+            let mut rank = vec![0usize; n];
+            let mut next = 0usize;
+            while let Some(u) = order.pop_front() {
+                rank[u] = next;
+                next += 1;
+                for &v in &out_targets[u] {
+                    deg[v] -= 1;
+                    if deg[v] == 0 {
+                        order.push_back(v);
+                    }
+                }
+            }
+            debug_assert_eq!(next, n, "validated graph is acyclic");
+            rank
+        };
+
+        preps.push(TenantPrep {
+            base,
+            n,
+            weight,
+            telemetry,
+            prepared,
+            metrics,
+            probes,
+            hub,
+            coordinator,
+            rank,
+        });
+        base += n;
+    }
+
+    // Background samplers, one per telemetry-enabled tenant: each wakes
+    // every `interval` and snapshots its tenant's counters and queue
+    // depths into that tenant's hub. Spawned only when telemetry was
     // requested (and the `telemetry` feature is on), so the plain [`run`]
     // path pays nothing.
     #[cfg(feature = "telemetry")]
-    let sampler = telemetry.and_then(|tcfg| {
-        hub.as_ref().map(|hub| {
-            let hub = Arc::clone(hub);
-            let metrics = metrics.clone();
-            let probes = Arc::clone(&probes);
-            let coord = coordinator.clone();
+    let samplers: Vec<(Arc<std::sync::atomic::AtomicBool>, thread::JoinHandle<()>)> = preps
+        .iter()
+        .enumerate()
+        .filter_map(|(t, prep)| {
+            let tcfg = prep.telemetry.as_ref()?;
+            let hub = Arc::clone(prep.hub.as_ref()?);
+            let metrics = prep.metrics.clone();
+            let probes = Arc::clone(&prep.probes);
+            let coord = prep.coordinator.clone();
             let interval = tcfg.interval.max(Duration::from_micros(100));
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
             let stop_flag = Arc::clone(&stop);
             let handle = thread::Builder::new()
-                .name("ss-telemetry".into())
+                .name(format!("ss-telemetry-{t}"))
                 .spawn(move || {
                     use std::sync::atomic::Ordering;
                     let mut next = started_at + interval;
@@ -2389,118 +2825,161 @@ fn run_with(
                     }
                 })
                 .expect("spawn telemetry sampler thread");
-            (stop, handle)
+            Some((stop, handle))
         })
-    });
+        .collect();
 
-    // Kahn's algorithm over the (validated acyclic) graph assigns every
-    // actor a unique topological rank: each edge ends at a strictly higher
-    // rank. The pool executor's rank-filtered helping relies on this
-    // invariant, and stage sharding (both executors) maps rank bands onto
-    // the configured core list so pipeline neighbours share a cache domain.
-    let rank = {
-        let mut deg = in_degrees.clone();
-        let mut order: VecDeque<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
-        let mut rank = vec![0usize; n];
-        let mut next = 0usize;
-        while let Some(u) = order.pop_front() {
-            rank[u] = next;
-            next += 1;
-            for &v in &out_targets[u] {
-                deg[v] -= 1;
-                if deg[v] == 0 {
-                    order.push_back(v);
-                }
-            }
-        }
-        debug_assert_eq!(next, n, "validated graph is acyclic");
-        rank
-    };
     let cores = config.pinning.cores.clone();
 
-    let mut names = vec![String::new(); n];
+    // Per-tenant completion ledger: actor counts in, per-tenant finish
+    // timestamps out. Both executors report through it, so a tenant's
+    // reported wall is its own first-to-last-actor span.
+    let tenant_counts: Vec<usize> = preps.iter().map(|p| p.n).collect();
+    let total: usize = tenant_counts.iter().sum();
+    let ledger = Arc::new(TenantLedger::new(&tenant_counts, started_at));
+    let mut names: Vec<Vec<String>> = tenant_counts
+        .iter()
+        .map(|&n| vec![String::new(); n])
+        .collect();
+    // Failures are keyed by GLOBAL slot; dead-letter logs per (tenant,
+    // local actor id).
     let mut failures: Vec<(usize, String)> = Vec::new();
-    let mut actor_logs: Vec<(usize, DeadLetterLog)> = Vec::with_capacity(n);
-    match config.executor.pool_workers() {
+    let mut tenant_logs: Vec<Vec<(usize, DeadLetterLog)>> = tenant_counts
+        .iter()
+        .map(|&n| Vec::with_capacity(n))
+        .collect();
+    match config.resolved_pool_workers() {
         None => {
             // Thread-per-actor: spawn, then join every thread before
             // returning — even after a failure — so no actor outlives
-            // `run`. With pinning on, actor `i` goes to the core owning
-            // its contiguous rank band: `cores[rank[i] * len / n]`.
-            let mut handles = Vec::with_capacity(n);
-            for (i, (name, pa)) in prepared.into_iter().enumerate() {
-                let pin_to = (!cores.is_empty()).then(|| cores[rank[i] * cores.len() / n]);
-                let handle = thread::Builder::new()
-                    .name(format!("ss-{i}-{name}"))
-                    .spawn(move || {
-                        if let Some(core) = pin_to {
-                            pin_current_thread(core);
-                        }
-                        match pa {
-                            Prepared::Source { cfg, ctx } => run_source(cfg, ctx),
-                            Prepared::Worker { task } => run_worker(task),
-                        }
-                    })
-                    .expect("spawn actor thread");
-                handles.push((i, name, handle));
-            }
-            for (i, name, handle) in handles {
-                match handle.join() {
-                    Ok(log) => actor_logs.push((i, log)),
-                    Err(payload) => failures.push((i, panic_message(payload.as_ref()))),
+            // the run. With pinning on, a tenant's actor `i` goes to the
+            // core owning its contiguous rank band within that tenant:
+            // `cores[rank[i] * len / n]`.
+            let mut handles = Vec::with_capacity(total);
+            for (t, prep) in preps.iter_mut().enumerate() {
+                let n = prep.n;
+                let prepared = std::mem::take(&mut prep.prepared);
+                for (i, (name, pa)) in prepared.into_iter().enumerate() {
+                    let pin_to = (!cores.is_empty()).then(|| cores[prep.rank[i] * cores.len() / n]);
+                    let slot = prep.base + i;
+                    let ledger = Arc::clone(&ledger);
+                    let handle = thread::Builder::new()
+                        .name(format!("ss-{slot}-{name}"))
+                        .spawn(move || {
+                            if let Some(core) = pin_to {
+                                pin_current_thread(core);
+                            }
+                            let log = match pa {
+                                Prepared::Source { cfg, ctx } => run_source(cfg, ctx),
+                                Prepared::Worker { task } => run_worker(task),
+                            };
+                            ledger.actor_done(t);
+                            log
+                        })
+                        .expect("spawn actor thread");
+                    handles.push((t, i, name, handle));
                 }
-                names[i] = name;
+            }
+            for (t, i, name, handle) in handles {
+                match handle.join() {
+                    Ok(log) => tenant_logs[t].push((i, log)),
+                    Err(payload) => {
+                        failures.push((preps[t].base + i, panic_message(payload.as_ref())))
+                    }
+                }
+                names[t][i] = name;
             }
         }
         Some(workers) => {
             // Pool executor: sources keep dedicated threads (they pace
             // wall-clock emission schedules) but carry the pool handle so a
             // blocked send helps run ready consumers inline instead of
-            // parking; worker actors become [`PoolShared`] tasks
-            // multiplexed over the fixed worker threads.
+            // parking; ALL tenants' worker actors become [`PoolShared`]
+            // tasks multiplexed over the one fixed set of worker threads.
             //
-            // With pinning on, the ready queue is sharded per worker by
-            // rank band: worker `w` is pinned to `cores[w % len]` and
-            // drains its own band's shard first, so a pipeline stage's
-            // producer/consumer pairs run on the core owning their band.
-            // Unpinned, a single shard reproduces the classic FIFO queue.
-            let shards = if cores.is_empty() { 1 } else { workers.max(1) };
-            let pool = Arc::new(PoolShared::new(rank, shards));
+            // Single-tenant with pinning on, the ready queue is sharded
+            // per worker by rank band: worker `w` is pinned to
+            // `cores[w % len]` and drains its own band's shard first, so a
+            // pipeline stage's producer/consumer pairs run on the core
+            // owning their band. Unpinned, a single shard reproduces the
+            // classic FIFO queue. Multi-tenant, shards are tenants and
+            // deficit round-robin (weighted by [`TenantSpec::weight`])
+            // decides service order; each activation is budgeted to
+            // [`TENANT_POLL_BUDGET`] batches so no tenant monopolizes a
+            // worker.
+            let mut rank_all = Vec::with_capacity(total);
+            let mut tenant_of = Vec::with_capacity(total);
+            for (t, prep) in preps.iter().enumerate() {
+                rank_all.extend(prep.rank.iter().copied());
+                tenant_of.extend(std::iter::repeat_n(t, prep.n));
+            }
+            let (shards, quantum) = if multi {
+                let weights: Vec<u64> = preps.iter().map(|p| p.weight.max(1)).collect();
+                (preps.len(), Some(weights))
+            } else if cores.is_empty() {
+                (1, None)
+            } else {
+                (workers.max(1), None)
+            };
+            let pool = Arc::new(PoolShared::new(
+                rank_all,
+                tenant_of,
+                shards,
+                quantum,
+                Arc::clone(&ledger),
+            ));
+            let poll_budget = if multi {
+                TENANT_POLL_BUDGET
+            } else {
+                usize::MAX
+            };
             let mut source_handles = Vec::new();
             let mut task_ids = Vec::new();
             let mut num_sources = 0usize;
-            for (i, (name, pa)) in prepared.into_iter().enumerate() {
-                names[i] = name.clone();
-                match pa {
-                    Prepared::Source { cfg, mut ctx } => {
-                        ctx.pool = Some(Arc::clone(&pool));
-                        // Sources are pinned round-robin: they sleep on
-                        // their pace schedules, so spreading them evenly
-                        // matters more than band placement.
-                        let pin_to = (!cores.is_empty()).then(|| cores[num_sources % cores.len()]);
-                        num_sources += 1;
-                        let handle = thread::Builder::new()
-                            .name(format!("ss-{i}-{name}"))
-                            .spawn(move || {
-                                if let Some(core) = pin_to {
-                                    pin_current_thread(core);
-                                }
-                                run_source(cfg, ctx)
-                            })
-                            .expect("spawn source thread");
-                        source_handles.push((i, handle));
-                    }
-                    Prepared::Worker { mut task } => {
-                        task.ctx.pool = Some(Arc::clone(&pool));
-                        // The mailbox wakes the pool on every push burst
-                        // and on final-sender drop, so this consumer gets
-                        // scheduled even while its producers are blocked
-                        // mid-`send_batch`.
-                        let hook_pool = Arc::clone(&pool);
-                        task.rx.set_wake_hook(Arc::new(move || hook_pool.wake(i)));
-                        task.ctx.trace_event(TraceEventKind::ActorStarted);
-                        *pool.tasks[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(task);
-                        task_ids.push(i);
+            for (t, prep) in preps.iter_mut().enumerate() {
+                let prepared = std::mem::take(&mut prep.prepared);
+                for (i, (name, pa)) in prepared.into_iter().enumerate() {
+                    let slot = prep.base + i;
+                    names[t][i] = name.clone();
+                    match pa {
+                        Prepared::Source { cfg, mut ctx } => {
+                            ctx.pool = Some(Arc::clone(&pool));
+                            // Sources are pinned round-robin: they sleep on
+                            // their pace schedules, so spreading them evenly
+                            // matters more than band placement.
+                            let pin_to =
+                                (!cores.is_empty()).then(|| cores[num_sources % cores.len()]);
+                            num_sources += 1;
+                            let ledger = Arc::clone(&ledger);
+                            let handle = thread::Builder::new()
+                                .name(format!("ss-{slot}-{name}"))
+                                .spawn(move || {
+                                    if let Some(core) = pin_to {
+                                        pin_current_thread(core);
+                                    }
+                                    let log = run_source(cfg, ctx);
+                                    ledger.actor_done(t);
+                                    log
+                                })
+                                .expect("spawn source thread");
+                            source_handles.push((t, i, handle));
+                        }
+                        Prepared::Worker { mut task } => {
+                            task.ctx.pool = Some(Arc::clone(&pool));
+                            task.poll_budget = poll_budget;
+                            // The mailbox wakes the pool on every push burst
+                            // and on final-sender drop, so this consumer gets
+                            // scheduled even while its producers are blocked
+                            // mid-`send_batch`.
+                            let hook_pool = Arc::clone(&pool);
+                            task.rx
+                                .set_wake_hook(Arc::new(move || hook_pool.wake(slot)));
+                            task.ctx.trace_event(TraceEventKind::ActorStarted);
+                            *pool.tasks[slot]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner) = Some(task);
+                            task_ids.push(slot);
+                        }
                     }
                 }
             }
@@ -2508,8 +2987,8 @@ fn run_with(
             // Initial sweep: every task polls at least once, covering
             // zero-upstream actors and envelopes pushed by sources before
             // the wake hooks above were installed.
-            for &i in &task_ids {
-                pool.wake(i);
+            for &slot in &task_ids {
+                pool.wake(slot);
             }
             let mut pool_handles = Vec::with_capacity(workers.max(1));
             for w in 0..workers.max(1) {
@@ -2528,86 +3007,118 @@ fn run_with(
                         .expect("spawn pool worker thread"),
                 );
             }
-            for (i, handle) in source_handles {
+            for (t, i, handle) in source_handles {
                 match handle.join() {
-                    Ok(log) => actor_logs.push((i, log)),
-                    Err(payload) => failures.push((i, panic_message(payload.as_ref()))),
+                    Ok(log) => tenant_logs[t].push((i, log)),
+                    Err(payload) => {
+                        failures.push((preps[t].base + i, panic_message(payload.as_ref())))
+                    }
                 }
             }
             for handle in pool_handles {
                 let _ = handle.join();
             }
-            actor_logs.extend(std::mem::take(
+            let tenant_of_slot = |slot: usize| {
+                preps
+                    .iter()
+                    .rposition(|p| p.base <= slot)
+                    .expect("slot belongs to a tenant")
+            };
+            for (slot, log) in std::mem::take(
                 &mut *pool
                     .collected
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner),
-            ));
+            ) {
+                let t = tenant_of_slot(slot);
+                tenant_logs[t].push((slot - preps[t].base, log));
+            }
             failures.extend(std::mem::take(
                 &mut *pool.failures.lock().unwrap_or_else(PoisonError::into_inner),
             ));
         }
     }
-    // Match thread-per-actor reporting: the failure with the lowest actor
-    // id wins.
-    failures.sort_by_key(|(i, _)| *i);
-    let failure = failures
-        .into_iter()
-        .next()
-        .map(|(i, reason)| EngineError::ActorFailed {
-            actor: ActorId(i),
+    // Match thread-per-actor reporting: the failure with the lowest
+    // global slot wins, reported under its tenant-local actor id.
+    failures.sort_by_key(|(slot, _)| *slot);
+    let failure = failures.into_iter().next().map(|(slot, reason)| {
+        let t = preps
+            .iter()
+            .rposition(|p| p.base <= slot)
+            .expect("slot belongs to a tenant");
+        EngineError::ActorFailed {
+            actor: ActorId(slot - preps[t].base),
             reason,
-        });
-    let wall = started_at.elapsed();
+        }
+    });
+    let total_wall = started_at.elapsed();
 
-    // Stop the sampler before the final end-of-run snapshot so snapshot
+    // Stop the samplers before the final end-of-run snapshots so snapshot
     // ticks stay strictly ordered.
     #[cfg(feature = "telemetry")]
-    if let Some((stop, handle)) = sampler {
+    for (stop, handle) in samplers {
         stop.store(true, std::sync::atomic::Ordering::Release);
         handle.thread().unpark();
         let _ = handle.join();
     }
-    let telemetry_report = hub.map(|hub| {
-        // Final end-of-run sample: every actor thread has been joined, so
-        // this snapshot carries the *final* cumulative counters — exports
-        // never end on a stale periodic tick.
-        let t_ns = started_at.elapsed().as_nanos() as u64;
-        hub.sample(
-            t_ns,
-            &gather_raw(&metrics, &probes),
-            coordinator.as_ref().and_then(|c| c.last_complete()),
-        );
-        Arc::try_unwrap(hub)
-            .ok()
-            .expect("every telemetry holder has been joined")
-            .into_report()
-    });
+    let mut telemetry_reports: Vec<Option<TelemetryReport>> = preps
+        .iter_mut()
+        .map(|prep| {
+            prep.hub.take().map(|hub| {
+                // Final end-of-run sample: every actor has been joined, so
+                // this snapshot carries the *final* cumulative counters —
+                // exports never end on a stale periodic tick.
+                let t_ns = started_at.elapsed().as_nanos() as u64;
+                hub.sample(
+                    t_ns,
+                    &gather_raw(&prep.metrics, &prep.probes),
+                    prep.coordinator.as_ref().and_then(|c| c.last_complete()),
+                );
+                Arc::try_unwrap(hub)
+                    .ok()
+                    .expect("every telemetry holder has been joined")
+                    .into_report()
+            })
+        })
+        .collect();
 
     if let Some(err) = failure {
         return Err(err);
     }
 
-    let reports = (0..n)
-        .map(|i| metrics[i].snapshot(&names[i], ActorId(i)))
-        .collect();
-    // Merge per-actor logs in actor-id order; the capacity cap still
-    // bounds retained entries while totals stay exact.
-    actor_logs.sort_by_key(|(i, _)| *i);
-    let mut dead_letters = DeadLetterLog::with_capacity(config.dead_letter_capacity);
-    for (_, log) in &actor_logs {
-        dead_letters.merge(log);
+    let mut out = Vec::with_capacity(preps.len());
+    for (t, prep) in preps.iter().enumerate() {
+        let reports = (0..prep.n)
+            .map(|i| prep.metrics[i].snapshot(&names[t][i], ActorId(i)))
+            .collect();
+        // A tenant's wall is its own first-to-last-actor span; the solo
+        // case keeps the classic whole-run elapsed time (identical here,
+        // minus ledger stamping skew).
+        let wall = if multi {
+            ledger.wall(t).unwrap_or(total_wall)
+        } else {
+            total_wall
+        };
+        // Merge per-actor logs in actor-id order; the capacity cap still
+        // bounds retained entries while totals stay exact.
+        let logs = &mut tenant_logs[t];
+        logs.sort_by_key(|(i, _)| *i);
+        let mut dead_letters = DeadLetterLog::with_capacity(config.dead_letter_capacity);
+        for (_, log) in logs.iter() {
+            dead_letters.merge(log);
+        }
+        out.push((
+            RunReport {
+                actors: reports,
+                wall,
+                started_at,
+                dead_letters,
+                last_complete_epoch: prep.coordinator.as_ref().and_then(|c| c.last_complete()),
+            },
+            telemetry_reports[t].take(),
+        ));
     }
-    Ok((
-        RunReport {
-            actors: reports,
-            wall,
-            started_at,
-            dead_letters,
-            last_complete_epoch: coordinator.as_ref().and_then(|c| c.last_complete()),
-        },
-        telemetry_report,
-    ))
+    Ok(out)
 }
 
 /// Loads every actor's raw cumulative counters plus current queue depth
@@ -3850,5 +4361,179 @@ mod tests {
             })
             .collect();
         assert_eq!(recovered, vec![(w, 1, 49)]);
+    }
+
+    /// A seeded three-stage pipeline for tenancy tests; `items` varies per
+    /// tenant so cross-tenant mixups change counts.
+    fn tenant_pipeline(items: u64) -> ActorGraph {
+        let mut g = ActorGraph::new();
+        let s = g.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, items)),
+        );
+        let a = g.add_actor("a", Behavior::worker(PassThrough));
+        let b = g.add_actor("b", Behavior::worker(PassThrough));
+        g.connect(s, Route::Unicast(a));
+        g.connect(a, Route::Unicast(b));
+        g
+    }
+
+    #[test]
+    fn tenants_match_solo_counts_on_both_executors() {
+        let items = [300u64, 450, 600];
+        for executor in [
+            ExecutorKind::ThreadPerActor,
+            ExecutorKind::Pool { workers: 2 },
+        ] {
+            let cfg = EngineConfig {
+                executor,
+                batch_size: 8,
+                ..fast_cfg()
+            };
+            let solo: Vec<u64> = items
+                .iter()
+                .map(|&n| {
+                    run(tenant_pipeline(n), &cfg)
+                        .unwrap()
+                        .actor(ActorId(2))
+                        .items_in
+                })
+                .collect();
+            let tenants = items
+                .iter()
+                .enumerate()
+                .map(|(t, &n)| TenantSpec::new(format!("t{t}"), tenant_pipeline(n)))
+                .collect();
+            let runs = run_tenants(tenants, &cfg).unwrap();
+            assert_eq!(runs.len(), 3);
+            for (t, run) in runs.iter().enumerate() {
+                assert_eq!(run.name, format!("t{t}"));
+                assert_eq!(
+                    run.report.actor(ActorId(2)).items_in,
+                    solo[t],
+                    "{executor:?} tenant {t}"
+                );
+                assert_eq!(run.report.total_dropped(), 0, "{executor:?} tenant {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tenants_all_complete_under_one_worker() {
+        // One pool worker serving three backlogged tenants with unequal
+        // weights: DRR must still drain everyone (no starvation).
+        let tenants = vec![
+            TenantSpec::new("light", tenant_pipeline(200)).with_weight(1),
+            TenantSpec::new("mid", tenant_pipeline(400)).with_weight(2),
+            TenantSpec::new("heavy", tenant_pipeline(800)).with_weight(4),
+        ];
+        let cfg = EngineConfig {
+            executor: ExecutorKind::Pool { workers: 1 },
+            batch_size: 4,
+            ..fast_cfg()
+        };
+        let runs = run_tenants(tenants, &cfg).unwrap();
+        for (run, expect) in runs.iter().zip([200u64, 400, 800]) {
+            assert_eq!(
+                run.report.actor(ActorId(2)).items_in,
+                expect,
+                "{}",
+                run.name
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_failure_surfaces_as_actor_failed() {
+        struct BrokenReset;
+        impl crate::StreamOperator for BrokenReset {
+            fn process(&mut self, _item: Tuple, _out: &mut Outputs) {
+                panic!("process");
+            }
+            fn reset(&mut self) {
+                panic!("reset is broken too");
+            }
+        }
+        use crate::supervision::{Backoff, SupervisorSpec};
+        let mut bad = ActorGraph::new();
+        let s = bad.add_actor(
+            "src",
+            Behavior::Source(SourceConfig::new(f64::INFINITY, 10)),
+        );
+        let w = bad.add_actor("broken", Behavior::Worker(Box::new(BrokenReset)));
+        bad.connect(s, Route::Unicast(w));
+        bad.set_supervision(w, SupervisorSpec::restart(10, Backoff::none()));
+        let tenants = vec![
+            TenantSpec::new("ok", tenant_pipeline(100)),
+            TenantSpec::new("bad", bad),
+        ];
+        let cfg = EngineConfig {
+            executor: ExecutorKind::Pool { workers: 2 },
+            ..fast_cfg()
+        };
+        let err = run_tenants(tenants, &cfg).unwrap_err();
+        match err {
+            EngineError::ActorFailed { actor, reason } => {
+                assert_eq!(actor, w, "local id of the failing tenant's actor");
+                assert!(reason.contains("reset is broken"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_single_tenant_runs() {
+        assert!(run_tenants(Vec::new(), &fast_cfg()).unwrap().is_empty());
+        let runs = run_tenants(
+            vec![TenantSpec::new("solo", tenant_pipeline(50))],
+            &fast_cfg(),
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].report.actor(ActorId(2)).items_in, 50);
+    }
+
+    #[test]
+    fn resolved_pool_workers_honors_pinned_core_set() {
+        // `--workers 0` means "one per core"; with a pinned core list the
+        // worker threads are confined to that set, so the pool sizes to it.
+        let mut cfg = EngineConfig {
+            executor: ExecutorKind::Pool { workers: 0 },
+            pinning: crate::affinity::PinningConfig::on_cores(vec![0, 0, 0]),
+            ..fast_cfg()
+        };
+        assert_eq!(cfg.resolved_pool_workers(), Some(3));
+        // Unpinned 0 falls back to machine parallelism.
+        cfg.pinning = crate::affinity::PinningConfig::default();
+        assert_eq!(
+            cfg.resolved_pool_workers(),
+            ExecutorKind::Pool { workers: 0 }.pool_workers()
+        );
+        // Explicit counts are never overridden by pinning.
+        cfg.executor = ExecutorKind::Pool { workers: 5 };
+        cfg.pinning = crate::affinity::PinningConfig::on_cores(vec![0, 1]);
+        assert_eq!(cfg.resolved_pool_workers(), Some(5));
+        // Thread-per-actor has no pool.
+        cfg.executor = ExecutorKind::ThreadPerActor;
+        assert_eq!(cfg.resolved_pool_workers(), None);
+    }
+
+    #[test]
+    fn multi_tenant_telemetry_carries_tenant_label() {
+        let tenants = vec![
+            TenantSpec::new("alpha", tenant_pipeline(80))
+                .with_telemetry(TelemetryConfig::default()),
+            TenantSpec::new("beta", tenant_pipeline(80)),
+        ];
+        let cfg = EngineConfig {
+            executor: ExecutorKind::Pool { workers: 2 },
+            ..fast_cfg()
+        };
+        let runs = run_tenants(tenants, &cfg).unwrap();
+        let tel = runs[0].telemetry.as_ref().expect("telemetry was requested");
+        let snap = tel.last_snapshot().expect("final snapshot");
+        assert_eq!(snap.tenant.as_deref(), Some("alpha"));
+        assert!(snap.to_json().contains("\"tenant\":\"alpha\""));
+        assert!(runs[1].telemetry.is_none());
     }
 }

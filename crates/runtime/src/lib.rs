@@ -114,7 +114,10 @@ pub mod telemetry;
 
 pub use affinity::PinningConfig;
 pub use checkpoint::{CheckpointCoordinator, ReplayBuffer, SnapshotReader, StateSnapshot};
-pub use engine::{run, run_with_telemetry, EngineConfig, EngineError, ExecutorKind};
+pub use engine::{
+    run, run_tenants, run_with_telemetry, EngineConfig, EngineError, ExecutorKind, TenantRun,
+    TenantSpec,
+};
 pub use fused::{FusedChain, Kernel};
 pub use graph::{ActorGraph, ActorId, Behavior, SourceConfig};
 pub use mailbox::{

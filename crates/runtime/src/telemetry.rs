@@ -67,6 +67,11 @@ pub struct TelemetryConfig {
     /// path through the graph. The power-of-two constraint keeps the
     /// per-tuple gate to one mask-and-compare on the hot path.
     pub span_sample: u64,
+    /// Tenant label attached to every snapshot (and propagated into the
+    /// JSON-lines / Prometheus exporters' per-actor records). `None` —
+    /// the default, and the single-tenant norm — omits the label
+    /// entirely. Multi-tenant runs default it to the tenant's name.
+    pub tenant: Option<String>,
 }
 
 impl Default for TelemetryConfig {
@@ -77,6 +82,7 @@ impl Default for TelemetryConfig {
             trace_capacity: 4096,
             on_snapshot: None,
             span_sample: 0,
+            tenant: None,
         }
     }
 }
@@ -89,6 +95,7 @@ impl fmt::Debug for TelemetryConfig {
             .field("trace_capacity", &self.trace_capacity)
             .field("on_snapshot", &self.on_snapshot.as_ref().map(|_| "Fn(..)"))
             .field("span_sample", &self.span_sample)
+            .field("tenant", &self.tenant)
             .finish()
     }
 }
@@ -115,6 +122,12 @@ impl TelemetryConfig {
             0 => None,
             n => Some(n.next_power_of_two() - 1),
         }
+    }
+
+    /// Sets the tenant label stamped on every snapshot (builder style).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Sets the snapshot subscriber (builder style).
@@ -590,6 +603,10 @@ pub struct TelemetrySnapshot {
     /// Last epoch whose checkpoint completed on every actor (`None` when
     /// checkpointing is off or no epoch has completed yet).
     pub last_complete_epoch: Option<u64>,
+    /// Tenant label (multi-tenant runs; `None` for solo runs without an
+    /// explicit [`TelemetryConfig::tenant`]). Exporters attach it to every
+    /// per-actor record so co-tenant streams stay distinguishable.
+    pub tenant: Option<String>,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -620,15 +637,25 @@ impl TelemetrySnapshot {
         let mut s = String::with_capacity(256 + 220 * self.actors.len());
         let _ = write!(
             s,
-            "{{\"type\":\"snapshot\",\"tick\":{},\"t_ns\":{},\"interval_ns\":{},\"actors\":[",
+            "{{\"type\":\"snapshot\",\"tick\":{},\"t_ns\":{},\"interval_ns\":{},",
             self.tick, self.t_ns, self.interval_ns
         );
+        if let Some(tenant) = &self.tenant {
+            s.push_str("\"tenant\":\"");
+            escape_json(tenant, &mut s);
+            s.push_str("\",");
+        }
+        s.push_str("\"actors\":[");
         for (i, a) in self.actors.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             let _ = write!(s, "{{\"id\":{},\"name\":\"", a.id.0);
             escape_json(&a.name, &mut s);
+            if let Some(tenant) = &self.tenant {
+                s.push_str("\",\"tenant\":\"");
+                escape_json(tenant, &mut s);
+            }
             let _ = write!(
                 s,
                 "\",\"items_in\":{},\"items_out\":{},\"queue_depth\":",
@@ -892,6 +919,7 @@ pub(crate) struct TelemetryHub {
     actors: Vec<HubActor>,
     pub trace: Arc<TraceLog>,
     ring_capacity: usize,
+    tenant: Option<String>,
     state: Mutex<HubState>,
     on_snapshot: Option<SnapshotCallback>,
 }
@@ -903,6 +931,7 @@ impl TelemetryHub {
             actors,
             trace: Arc::new(TraceLog::with_capacity(config.trace_capacity)),
             ring_capacity: config.ring_capacity.max(1),
+            tenant: config.tenant.clone(),
             state: Mutex::new(HubState {
                 prev: (0..n)
                     .map(|_| PrevCounters {
@@ -1026,6 +1055,7 @@ impl TelemetryHub {
             latencies,
             trace_total: self.trace.total(),
             last_complete_epoch,
+            tenant: self.tenant.clone(),
         };
         state.ring.push_back(snapshot.clone());
         while state.ring.len() > self.ring_capacity {

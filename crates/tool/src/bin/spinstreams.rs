@@ -27,14 +27,23 @@
 //!                                                     annotations online, join predicted vs
 //!                                                     measured bottleneck, trace backpressure
 //! spinstreams dot      <topology.xml> [--optimized]   Graphviz rendering of the (optimized) topology
+//! spinstreams serve    [--workers N] [--batch N] [--script FILE]
+//!                                                     long-lived multi-tenant serving shell:
+//!                                                     submit / status / launch many topologies
+//!                                                     on one shared pool, with a checksum-keyed
+//!                                                     plan cache and model-driven admission
 //! spinstreams oracle   [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]
 //!                      [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]
 //!                      [--artifacts DIR] [--adaptation-seeds A,B,C]
+//!                      [--multitenant-seeds A,B,C]
 //!                                                     differential oracle sweep: prediction vs
 //!                                                     simulator vs threaded runtime; the
 //!                                                     adaptation layer replays a mid-run
 //!                                                     service-time shift and checks the live
-//!                                                     migration preserved exactly-once output
+//!                                                     migration preserved exactly-once output;
+//!                                                     the multitenant layer co-schedules seeded
+//!                                                     pipelines on one shared pool and checks
+//!                                                     per-tenant isolation and the aggregate
 //! ```
 //!
 //! `run`, `chaos`, `monitor`, `inspect` and `oracle` also accept
@@ -48,7 +57,7 @@ use spinstreams_analysis::{
     apply_replica_bound, auto_fuse, eliminate_bottlenecks, evaluate_with_replicas,
     format_fission_plan, format_steady_state, fuse, fusion_candidates, steady_state,
 };
-use spinstreams_analysis::{AdaptiveConfig, DriftConfig};
+use spinstreams_analysis::{AdaptiveConfig, AdmissionVerdict, DriftConfig};
 use spinstreams_codegen::{build_actor_graph, emit_rust_source, CodegenOptions};
 use spinstreams_core::{OperatorId, StateClass, Topology};
 use spinstreams_oracle::{format_report, run_sweep, write_artifacts, OracleConfig};
@@ -56,12 +65,13 @@ use spinstreams_runtime::Executor;
 use spinstreams_runtime::{
     run_with_telemetry, EngineConfig, ExecutorKind, PinningConfig, TelemetryConfig,
 };
+use spinstreams_serve::{ServeConfig, StreamService, SubmitRequest};
 use spinstreams_tool::{
     adaptation_table, adaptive_table, chaos_table, comparison_table, drift_json,
-    experiment_executor, inspect, inspect_json, inspect_table, monitor_table, predict_vs_measure,
-    predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text, run_adaptation_layer,
-    run_adaptive, run_chaos, run_chaos_with_telemetry, topology_dot, AdaptiveRunConfig,
-    ChaosConfig, DriftExporter,
+    experiment_executor, inspect, inspect_json, inspect_table, monitor_table, multitenant_table,
+    predict_vs_measure, predict_vs_measure_telemetry, predicted_actor_rates, prometheus_text,
+    run_adaptation_layer, run_adaptive, run_chaos, run_chaos_with_telemetry, run_multitenant_layer,
+    tenant_topology, topology_dot, AdaptiveRunConfig, ChaosConfig, DriftExporter,
 };
 use spinstreams_xml::{runtime_settings_from_xml, topology_from_xml};
 use std::collections::BTreeSet;
@@ -71,9 +81,11 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spinstreams <analyze|optimize|fuse|autofuse|codegen|run|chaos|monitor|inspect|dot> <topology.xml> [options]\n\
+         \x20      spinstreams serve  [--workers N] [--batch N] [--script FILE]\n\
          \x20      spinstreams oracle [--seeds N] [--seed-start S] [--no-threaded] [--no-fission]\n\
          \x20                         [--no-fusion] [--no-minimize] [--workers N] [--pin-cores L]\n\
          \x20                         [--artifacts DIR] [--adaptation-seeds A,B,C]\n\
+         \x20                         [--multitenant-seeds A,B,C]\n\
          \n\
          analyze   — steady-state throughput analysis (Algorithm 1)\n\
          optimize  — bottleneck elimination via fission (Algorithm 2); --max-replicas N\n\
@@ -111,6 +123,12 @@ fn usage() -> ExitCode {
          topological stage (default: the file's <settings pin-cores=\"...\"/>, else unpinned;\n\
          best-effort — warns and runs unpinned where affinity is unsupported)\n\
          dot       — Graphviz rendering annotated with the analysis; --optimized adds the fission plan\n\
+         serve     — long-lived multi-tenant serving shell on one shared engine; reads commands\n\
+                     from --script FILE (default stdin): submit NAME FILE.xml [WEIGHT],\n\
+                     submit-seed NAME SEED IDX [WEIGHT] (a seeded paced pipeline),\n\
+                     status, cache, plan NAME, launch, stop NAME, quit; --workers N sizes the\n\
+                     shared pool (0 = one per core; default 1), --batch N the envelope batches,\n\
+                     --items N the per-launch source items (default 10000)\n\
          oracle    — cross-validate Algorithm 1/2/3 predictions against the simulator (and a\n\
                      threaded smoke run) over seeded topologies; exits nonzero on divergence.\n\
                      --seeds N (default 20), --seed-start S (default 0), --no-threaded,\n\
@@ -118,7 +136,10 @@ fn usage() -> ExitCode {
                      layer), --no-minimize, --workers N (pool executor for the threaded\n\
                      smoke runs), --pin-cores L, --artifacts DIR (write repro artifacts),\n\
                      --adaptation-seeds A,B,C (run the drift → live-migration adaptation\n\
-                     layer on the listed seeds instead of the static sweep)"
+                     layer on the listed seeds instead of the static sweep),\n\
+                     --multitenant-seeds A,B,C (run the shared-pool multi-tenant layer on\n\
+                     the listed seeds: solo-vs-concurrent sink isolation, admission, and\n\
+                     aggregate-vs-model throughput)"
     );
     ExitCode::FAILURE
 }
@@ -190,6 +211,52 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
             "{}/{} adaptation seed(s) clean",
             adapt_seeds.len() - dirty,
             adapt_seeds.len()
+        );
+        if dirty > 0 {
+            return ExitCode::FAILURE;
+        }
+        if flag_value(args, "--seeds").is_none()
+            && flag_value(args, "--multitenant-seeds").is_none()
+        {
+            return ExitCode::SUCCESS;
+        }
+    }
+    // The multi-tenant layer: `--multitenant-seeds 1,2,3` co-schedules N
+    // seeded paced pipelines on one shared serving pool per seed and
+    // checks admission, per-tenant sink isolation, plan-cache coherence
+    // and the aggregate against the summed Algorithm 1 predictions.
+    if let Some(raw) = flag_value(args, "--multitenant-seeds") {
+        let parsed: Result<Vec<u64>, _> = raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::parse)
+            .collect();
+        let mt_seeds = match parsed {
+            Ok(v) if !v.is_empty() => v,
+            _ => {
+                eprintln!("--multitenant-seeds must be a comma-separated list of integers");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut dirty = 0usize;
+        for &seed in &mt_seeds {
+            match run_multitenant_layer(seed) {
+                Ok(report) => {
+                    print!("{}", multitenant_table(&report));
+                    if !report.is_clean() {
+                        dirty += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("multitenant seed {seed}: {e}");
+                    dirty += 1;
+                }
+            }
+        }
+        println!(
+            "{}/{} multitenant seed(s) clean",
+            mt_seeds.len() - dirty,
+            mt_seeds.len()
         );
         if dirty > 0 {
             return ExitCode::FAILURE;
@@ -300,11 +367,252 @@ fn oracle_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// `spinstreams serve` — the long-lived multi-tenant serving shell. Like
+/// `oracle` it takes no topology positional: tenants arrive through script
+/// commands read from `--script FILE` (or stdin).
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let workers = match flag_value(args, "--workers").map(|v| v.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--workers must be a non-negative integer (0 = one per core)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = match flag_value(args, "--batch").map(|v| v.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--batch must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let items = match flag_value(args, "--items").map(|v| v.parse::<u64>()) {
+        None => 10_000,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--items must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script: Box<dyn std::io::BufRead> = match flag_value(args, "--script") {
+        Some(path) => match std::fs::File::open(&path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let engine = EngineConfig {
+        executor: ExecutorKind::Pool { workers },
+        batch_size: batch,
+        ..EngineConfig::default()
+    };
+    let mut svc = StreamService::new(ServeConfig::new(engine));
+    let admission = svc.config().admission;
+    println!(
+        "serve: shared pool ({}), admission capacity {:.2} usable cores \
+         (headroom {:.0}%)",
+        match workers {
+            0 => "auto workers".to_string(),
+            n => format!("{n} worker(s)"),
+        },
+        admission.usable_cores(),
+        admission.headroom * 100.0,
+    );
+
+    let describe = |verdict: &AdmissionVerdict| match *verdict {
+        AdmissionVerdict::Admit { demand_cores } => {
+            format!("admitted (demand {demand_cores:.3} cores)")
+        }
+        AdmissionVerdict::Queue {
+            demand_cores,
+            available_cores,
+        } => format!("queued (demand {demand_cores:.3} cores > {available_cores:.3} available)"),
+        AdmissionVerdict::Reject {
+            demand_cores,
+            capacity_cores,
+            deficit_cores,
+            predicted_throughput_fraction,
+        } => format!(
+            "REJECTED (demand {demand_cores:.3} cores > capacity {capacity_cores:.3}: \
+             deficit {deficit_cores:.3} cores, predicted throughput fraction \
+             {predicted_throughput_fraction:.2})"
+        ),
+    };
+
+    let mut failed = false;
+    use std::io::BufRead as _;
+    for line in script.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("script read error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words[0] {
+            "quit" | "exit" => break,
+            "submit" | "submit-seed" => {
+                let topo = if words[0] == "submit" {
+                    // submit NAME FILE.xml [WEIGHT]
+                    let Some(path) = words.get(2) else {
+                        eprintln!("usage: submit NAME FILE.xml [WEIGHT]");
+                        failed = true;
+                        continue;
+                    };
+                    match load(path) {
+                        Ok((topo, _)) => topo,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            failed = true;
+                            continue;
+                        }
+                    }
+                } else {
+                    // submit-seed NAME SEED IDX [WEIGHT]
+                    let (Some(seed), Some(idx)) = (
+                        words.get(2).and_then(|w| w.parse::<u64>().ok()),
+                        words.get(3).and_then(|w| w.parse::<usize>().ok()),
+                    ) else {
+                        eprintln!("usage: submit-seed NAME SEED IDX [WEIGHT]");
+                        failed = true;
+                        continue;
+                    };
+                    tenant_topology(seed, idx)
+                };
+                let Some(name) = words.get(1) else {
+                    eprintln!("usage: {} NAME ...", words[0]);
+                    failed = true;
+                    continue;
+                };
+                let mut req = SubmitRequest::new(*name, topo).with_items(items);
+                let weight_at = if words[0] == "submit" { 3 } else { 4 };
+                if let Some(w) = words.get(weight_at).and_then(|w| w.parse::<u64>().ok()) {
+                    req = req.with_weight(w);
+                }
+                match svc.submit(req) {
+                    Ok(receipt) => println!(
+                        "tenant {:?}: plan {:#018x} ({}) — {}",
+                        receipt.tenant,
+                        receipt.plan_checksum,
+                        if receipt.cache_hit {
+                            "cache hit"
+                        } else {
+                            "cache miss, optimized"
+                        },
+                        describe(&receipt.verdict),
+                    ),
+                    Err(e) => {
+                        eprintln!("submit failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            "status" => {
+                for t in svc.status() {
+                    println!(
+                        "  {:<12} {:<9} demand {:.3} cores, weight {}, plan {:#018x}",
+                        t.name,
+                        format!("{:?}", t.state),
+                        t.demand_cores,
+                        t.weight,
+                        t.plan_checksum,
+                    );
+                }
+                println!("  running demand: {:.3} cores", svc.running_demand());
+            }
+            "cache" => {
+                let s = svc.cache_stats();
+                println!(
+                    "  plan cache: {} entr{}, {} hit(s), {} miss(es), {} update(s), \
+                     {} eviction(s)",
+                    s.entries,
+                    if s.entries == 1 { "y" } else { "ies" },
+                    s.hits,
+                    s.misses,
+                    s.updates,
+                    s.evictions,
+                );
+            }
+            "plan" => match words.get(1).and_then(|n| svc.plan_text(n)) {
+                Some(text) => print!("{text}"),
+                None => {
+                    eprintln!("usage: plan NAME (of a tenant whose plan is cached)");
+                    failed = true;
+                }
+            },
+            "launch" => match svc.launch() {
+                Ok(runs) => {
+                    for run in &runs {
+                        println!(
+                            "  {:<12} {:>8} item(s) at the source, {:.3} s wall, {}",
+                            run.name,
+                            run.report
+                                .actors
+                                .iter()
+                                .filter(|a| a.items_in == 0)
+                                .map(|a| a.items_out)
+                                .sum::<u64>(),
+                            run.report.wall.as_secs_f64(),
+                            match run.report.source_throughput() {
+                                Some(r) => format!("{r:.0} items/s"),
+                                None => "rate n/a".to_string(),
+                            },
+                        );
+                    }
+                    println!("  {} tenant(s) completed", runs.len());
+                }
+                Err(e) => {
+                    eprintln!("launch failed: {e}");
+                    failed = true;
+                }
+            },
+            "stop" => match words.get(1) {
+                Some(name) => match svc.stop(name) {
+                    Ok(()) => println!("tenant {name:?} stopped"),
+                    Err(e) => {
+                        eprintln!("stop failed: {e}");
+                        failed = true;
+                    }
+                },
+                None => {
+                    eprintln!("usage: stop NAME");
+                    failed = true;
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown command {other:?} (submit, submit-seed, status, cache, plan, \
+                     launch, stop, quit)"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `oracle` generates its own seeded topologies — no XML positional.
     if args.first().map(String::as_str) == Some("oracle") {
         return oracle_cmd(&args[1..]);
+    }
+    // `serve` reads its tenants from a command script — no XML positional.
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_cmd(&args[1..]);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

@@ -172,12 +172,19 @@ fn prom_header(s: &mut String, name: &str, kind: &str, help: &str) {
 /// relative error. Every family carries `# HELP` and `# TYPE` lines.
 pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> String {
     let mut s = String::new();
+    // Multi-tenant runs stamp every per-actor series with the tenant it
+    // belongs to; single-tenant snapshots are unchanged.
+    let tenant = snap
+        .tenant
+        .as_deref()
+        .map(|t| format!(",tenant=\"{}\"", prom_label(t)))
+        .unwrap_or_default();
     let counter = |s: &mut String, name: &str, help: &str, value: &dyn Fn(&ActorSample) -> u64| {
         prom_header(s, name, "counter", help);
         for a in &snap.actors {
             let _ = writeln!(
                 s,
-                "{name}{{actor=\"{}\"}} {}",
+                "{name}{{actor=\"{}\"{tenant}}} {}",
                 prom_label(&a.name),
                 value(a)
             );
@@ -259,7 +266,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
         if let Some(d) = a.queue_depth {
             let _ = writeln!(
                 s,
-                "spinstreams_actor_queue_depth{{actor=\"{}\"}} {d}",
+                "spinstreams_actor_queue_depth{{actor=\"{}\"{tenant}}} {d}",
                 prom_label(&a.name)
             );
         }
@@ -273,7 +280,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
     for a in &snap.actors {
         let _ = writeln!(
             s,
-            "spinstreams_actor_arrival_rate{{actor=\"{}\"}} {:.3}",
+            "spinstreams_actor_arrival_rate{{actor=\"{}\"{tenant}}} {:.3}",
             prom_label(&a.name),
             a.arrival_rate
         );
@@ -287,7 +294,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
     for a in &snap.actors {
         let _ = writeln!(
             s,
-            "spinstreams_actor_departure_rate{{actor=\"{}\"}} {:.3}",
+            "spinstreams_actor_departure_rate{{actor=\"{}\"{tenant}}} {:.3}",
             prom_label(&a.name),
             a.departure_rate
         );
@@ -301,7 +308,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
     for a in &snap.actors {
         let _ = writeln!(
             s,
-            "spinstreams_actor_utilization{{actor=\"{}\"}} {:.4}",
+            "spinstreams_actor_utilization{{actor=\"{}\"{tenant}}} {:.4}",
             prom_label(&a.name),
             a.utilization
         );
@@ -330,7 +337,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
         ] {
             let _ = writeln!(
                 s,
-                "spinstreams_sink_latency_ns{{sink=\"{}\",quantile=\"{q}\"}} {v}",
+                "spinstreams_sink_latency_ns{{sink=\"{}\",quantile=\"{q}\"{tenant}}} {v}",
                 prom_label(&l.name)
             );
         }
@@ -352,7 +359,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot, verdicts: &[DriftVerdict]) -> S
                 .unwrap_or("?");
             let _ = writeln!(
                 s,
-                "spinstreams_drift_relative_error{{actor=\"{}\"}} {:.4}",
+                "spinstreams_drift_relative_error{{actor=\"{}\"{tenant}}} {:.4}",
                 prom_label(name),
                 v.rel_error.unwrap_or(f64::NAN)
             );
@@ -436,6 +443,7 @@ mod tests {
             }],
             trace_total: 6,
             last_complete_epoch: Some(4),
+            tenant: None,
         }
     }
 
@@ -507,6 +515,23 @@ mod tests {
         assert!(text.contains("spinstreams_actor_replayed_total{actor=\"slow\"} 40"));
         assert!(text.contains("spinstreams_actor_replay_overflows_total{actor=\"slow\"} 0"));
         assert!(text.contains("spinstreams_last_complete_epoch 4"));
+    }
+
+    #[test]
+    fn tenant_label_rides_every_per_actor_family() {
+        let mut snap = sample_snapshot();
+        snap.tenant = Some("alpha".into());
+        let text = prometheus_text(&snap, &verdicts());
+        assert!(text.contains("spinstreams_actor_items_in_total{actor=\"src\",tenant=\"alpha\"}"));
+        assert!(text.contains("spinstreams_actor_queue_depth{actor=\"slow\",tenant=\"alpha\"} 31"));
+        assert!(text.contains("spinstreams_actor_utilization{actor=\"slow\",tenant=\"alpha\"}"));
+        assert!(text.contains(
+            "spinstreams_sink_latency_ns{sink=\"slow\",quantile=\"0.99\",tenant=\"alpha\"} 900000"
+        ));
+        assert!(text.contains("spinstreams_drift_relative_error{actor=\"slow\",tenant=\"alpha\"}"));
+        // No tenant, no label — the single-tenant exposition is unchanged.
+        let plain = prometheus_text(&sample_snapshot(), &verdicts());
+        assert!(!plain.contains("tenant="));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   layer: a mid-run service-time shift must trigger a live migration
 //!   that preserves exactly-once sink output and lands within the drift
 //!   threshold of the new plan's Algorithm 1 prediction.
+//! * [`run_multitenant_layer`] — the differential oracle's multi-tenant
+//!   layer: N seeded paced pipelines launched together on one shared
+//!   serving pool must reproduce their solo sink counts exactly, and the
+//!   measured aggregate must land within tolerance of the summed
+//!   Algorithm 1 predictions.
 //! * [`inspect`] — the live bottleneck-attribution harness behind
 //!   `spinstreams inspect`: re-profiles the §4.1 annotations online,
 //!   joins Algorithm 1's predicted bottleneck with the measured one, and
@@ -46,6 +51,7 @@ mod dot;
 mod format;
 mod harness;
 mod inspect;
+mod multitenant;
 mod telemetry;
 
 pub use adaptation::{adaptation_table, run_adaptation_layer, AdaptationReport};
@@ -65,6 +71,10 @@ pub use harness::{
 pub use inspect::{
     inspect, inspect_json, inspect_table, observed_operators, operator_counters, Inspection,
     ANNOTATION_DRIFT_THRESHOLD,
+};
+pub use multitenant::{
+    multitenant_table, run_multitenant_layer, run_multitenant_layer_with, tenant_topology,
+    MultiTenantConfig, MultiTenantReport, TenantOutcome,
 };
 pub use telemetry::{
     drift_json, predict_vs_measure_telemetry, predicted_actor_rates, DriftExporter,

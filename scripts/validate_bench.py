@@ -4,7 +4,7 @@
 Usage: validate_bench.py <BENCH_runtime.json>
 
 Structural checks (always):
-  * schema tag is "spinstreams-bench-runtime/4", mode is "full" or
+  * schema tag is "spinstreams-bench-runtime/5", mode is "full" or
     "smoke";
   * every (topology, executor, workers, batch size) cell of the sweep —
     thread-per-actor plus the worker pool at each advertised worker
@@ -40,7 +40,11 @@ meaningful):
     feature was required not to add);
   * the batch-64 pipeline with the sampled span flight recorder armed
     must reach at least 0.95x its untraced throughput, and must have
-    retained span events (the tracing-overhead gate).
+    retained span events (the tracing-overhead gate);
+  * a plan-cache hit must cost at most 0.1x the cold (profile + optimize)
+    miss latency (the plan-cache gate);
+  * four paced tenants co-scheduled on the shared pool must reach at
+    least 0.8x the sum of their solo throughputs (the multi-tenant gate).
 
 Exits non-zero (with a message) on the first violation.
 """
@@ -74,6 +78,12 @@ MAX_FUSED_ALLOCS_PER_TUPLE = 0.001
 CHECKPOINT_OFF_BASELINE_64 = {"pipeline": 5_513_932.0, "replicated": 5_118_869.0}
 MAX_CHECKPOINT_REGRESSION = 0.05
 MIN_TRACING_RATIO = 0.95
+# A plan-cache hit skips the profiling run and Algorithms 1-3 entirely;
+# anything above a tenth of the miss latency means the cache is not
+# actually short-circuiting the cold path.
+MAX_CACHE_HIT_RATIO = 0.1
+# Concurrent aggregate vs summed solo throughput of the paced tenants.
+MIN_MULTITENANT_RATIO = 0.8
 
 
 def fail(msg):
@@ -87,7 +97,7 @@ def validate(path):
         except json.JSONDecodeError as e:
             fail(f"invalid JSON: {e}")
 
-    if doc.get("schema") != "spinstreams-bench-runtime/4":
+    if doc.get("schema") != "spinstreams-bench-runtime/5":
         fail(f"unknown schema tag {doc.get('schema')!r}")
     mode = doc.get("mode")
     if mode not in ("full", "smoke"):
@@ -138,6 +148,32 @@ def validate(path):
             fail(f"tracing field {field!r} must be positive, got {v!r}")
     if not isinstance(tracing.get("span_events"), int):
         fail("tracing field 'span_events' must be an int")
+
+    cache = doc.get("plan_cache")
+    if not isinstance(cache, dict):
+        fail("missing 'plan_cache' section (schema /5)")
+    for field in ("plan_cache_miss_ms", "plan_cache_hit_ms", "ratio"):
+        v = cache.get(field)
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"plan_cache field {field!r} must be positive, got {v!r}")
+    if not isinstance(cache.get("plan_checksum"), str):
+        fail("plan_cache field 'plan_checksum' must be a string")
+
+    mt = doc.get("multitenant")
+    if not isinstance(mt, dict):
+        fail("missing 'multitenant' section (schema /5)")
+    solos = mt.get("solo_tuples_per_sec")
+    if not isinstance(solos, list) or not solos or \
+            any(not isinstance(v, (int, float)) or v <= 0 for v in solos):
+        fail("multitenant field 'solo_tuples_per_sec' must be a non-empty "
+             "list of positive rates")
+    if mt.get("tenants") != len(solos):
+        fail(f"multitenant 'tenants' ({mt.get('tenants')!r}) != "
+             f"{len(solos)} solo rates")
+    for field in ("solo_sum", "aggregate_tuples_per_sec", "ratio"):
+        v = mt.get(field)
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"multitenant field {field!r} must be positive, got {v!r}")
 
     if mode == "full":
         speedup = seen[("pipeline", "threads", None, 64)]["speedup_vs_batch1"]
@@ -216,6 +252,25 @@ def validate(path):
                  "never fired")
         print(f"{path}: tracing-overhead gate — traced at {ratio:.3f}x "
               f"untraced ({tracing['span_events']} span event(s))")
+        cache_ratio = cache["ratio"]
+        if cache_ratio > MAX_CACHE_HIT_RATIO:
+            fail(f"plan-cache hit costs {cache_ratio:.4f}x the miss "
+                 f"({cache['plan_cache_hit_ms']:.4f} vs "
+                 f"{cache['plan_cache_miss_ms']:.2f} ms), expected <= "
+                 f"{MAX_CACHE_HIT_RATIO}x — the cache must skip the cold "
+                 f"path")
+        print(f"{path}: plan-cache gate — hit at "
+              f"{1 / cache_ratio:.0f}x faster than the cold path "
+              f"({cache['plan_cache_hit_ms']:.4f} vs "
+              f"{cache['plan_cache_miss_ms']:.2f} ms)")
+        mt_ratio = mt["ratio"]
+        if mt_ratio < MIN_MULTITENANT_RATIO:
+            fail(f"multi-tenant aggregate is only {mt_ratio:.3f}x the summed "
+                 f"solo throughput ({mt['aggregate_tuples_per_sec']:,.0f} vs "
+                 f"{mt['solo_sum']:,.0f} tup/s), expected >= "
+                 f"{MIN_MULTITENANT_RATIO}x on the shared pool")
+        print(f"{path}: multi-tenant gate — {mt['tenants']} tenants at "
+              f"{mt_ratio:.3f}x their summed solo throughput")
 
     best = max(r["speedup_vs_batch1"] for r in seen.values())
     print(f"{path}: OK — {len(seen)} records ({mode} mode), "

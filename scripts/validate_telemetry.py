@@ -8,7 +8,8 @@ Checks, for every line:
   * it parses as a JSON object with "type" of "snapshot" or "trace";
   * snapshots carry monotonically increasing ticks/timestamps, per-actor
     rate/queue/counter fields of the right types, latency summaries with
-    ordered quantiles, and well-formed drift verdicts when present;
+    ordered quantiles, well-formed drift verdicts when present, and — in
+    multi-tenant exports — a tenant label mirrored on every actor;
   * traces carry gap-free sequence numbers and known event names.
 
 Exits non-zero (with a message) on the first violation.
@@ -93,8 +94,16 @@ def validate(path, min_snapshots):
                     fail(lineno, "non-positive interval_ns")
                 if not obj["actors"]:
                     fail(lineno, "snapshot with no actors")
+                # Multi-tenant exports label the snapshot and every actor
+                # with the tenant name; solo exports omit it entirely.
+                tenant = obj.get("tenant")
+                if tenant is not None and not isinstance(tenant, str):
+                    fail(lineno, "tenant must be a string")
                 for a in obj["actors"]:
                     check_fields(lineno, a, ACTOR_FIELDS, "actor")
+                    if a.get("tenant") != tenant:
+                        fail(lineno, f"actor tenant {a.get('tenant')!r} "
+                                     f"!= snapshot tenant {tenant!r}")
                     for opt in ("queue_depth", "queue_capacity"):
                         if a[opt] is not None and not isinstance(a[opt], int):
                             fail(lineno, f"actor {opt} must be int or null")

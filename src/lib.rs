@@ -15,6 +15,7 @@
 //! | [`codegen`] | `spinstreams-codegen` | optimized topology → executable deployment (the SS2Akka analogue) |
 //! | [`tool`] | `spinstreams-tool` | calibration and predict-vs-measure harness |
 //! | [`oracle`] | `spinstreams-oracle` | differential oracle: prediction vs simulator vs runtime over seeded topologies |
+//! | [`serve`] | `spinstreams-serve` | multi-tenant serving: plan cache, shared pool, model-driven admission |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use spinstreams_core as core;
 pub use spinstreams_operators as operators;
 pub use spinstreams_oracle as oracle;
 pub use spinstreams_runtime as runtime;
+pub use spinstreams_serve as serve;
 pub use spinstreams_tool as tool;
 pub use spinstreams_topogen as topogen;
 pub use spinstreams_xml as xml;
